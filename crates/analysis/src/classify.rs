@@ -1,0 +1,130 @@
+//! Fast/slow workload classification (Section 5.2, Table 2).
+//!
+//! A benchmark has "fast workload variations" when a substantial share of
+//! its queue-occupancy variance sits at wavelengths shorter than what a
+//! fixed-interval controller can track — wavelengths up to roughly twice
+//! the interval length (a fixed-interval scheme observes averages over an
+//! interval, so variation with period ≤ 2 intervals aliases away inside
+//! them).
+
+use crate::spectrum::multitaper;
+use crate::spectrum::variance::band_variance;
+
+/// Classifier over queue-occupancy series sampled at the controller's
+/// sampling rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadClassifier {
+    /// Lower wavelength (samples) of the "fast" band. Excludes
+    /// sample-to-sample queue noise, whose white spectrum would otherwise
+    /// dominate any band that reaches down to the Nyquist wavelength.
+    pub fast_min_wavelength: f64,
+    /// Upper wavelength (samples) of the "fast" band. The paper's fixed
+    /// intervals are 10 k instructions ≈ 2 500–10 000 samples; twice that
+    /// is the default.
+    pub fast_max_wavelength: f64,
+    /// Minimum fast-band variance (queue entries²) to call a workload
+    /// fast.
+    pub variance_threshold: f64,
+    /// Sine tapers used for the spectral estimate.
+    pub tapers: usize,
+}
+
+/// A classification result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedBenchmark {
+    /// Variance in the fast band (entries²).
+    pub fast_variance: f64,
+    /// Total variance of the series (entries²).
+    pub total_variance: f64,
+    /// The verdict.
+    pub is_fast: bool,
+}
+
+impl Default for WorkloadClassifier {
+    fn default() -> Self {
+        WorkloadClassifier {
+            fast_min_wavelength: 500.0,
+            fast_max_wavelength: 20_000.0,
+            // Calibrated on the study's 17 benchmarks: steady workloads
+            // carry 2–5 entries² of incidental burst variance in this
+            // band, fast-varying ones 6–50 entries².
+            variance_threshold: 5.5,
+            tapers: 4,
+        }
+    }
+}
+
+impl WorkloadClassifier {
+    /// Classifies an occupancy series (one value per sampling period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is shorter than 8 samples.
+    pub fn classify(&self, occupancy: &[f64]) -> ClassifiedBenchmark {
+        let spectrum = multitaper(occupancy, self.tapers);
+        let fast_variance = band_variance(
+            &spectrum,
+            self.fast_min_wavelength,
+            self.fast_max_wavelength,
+        );
+        let total_variance = spectrum.total_variance();
+        ClassifiedBenchmark {
+            fast_variance,
+            total_variance,
+            is_fast: fast_variance >= self.variance_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(n: usize, period: usize, low: f64, high: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if (i / (period / 2)) % 2 == 0 {
+                    high
+                } else {
+                    low
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn short_period_square_wave_is_fast() {
+        // Period 2 000 samples ≪ 20 000-sample fast band, swing 0 ↔ 12.
+        let x = square(262_144, 2_000, 0.0, 12.0);
+        let c = WorkloadClassifier::default().classify(&x);
+        assert!(c.is_fast, "fast variance {}", c.fast_variance);
+        assert!(c.fast_variance > 0.8 * c.total_variance);
+    }
+
+    #[test]
+    fn long_period_square_wave_is_slow() {
+        // Period 200 000 samples ≫ the fast band.
+        let x = square(262_144, 200_000, 0.0, 12.0);
+        let c = WorkloadClassifier::default().classify(&x);
+        assert!(!c.is_fast, "fast variance {}", c.fast_variance);
+    }
+
+    #[test]
+    fn flat_series_is_slow() {
+        let x = vec![5.0; 65_536];
+        let c = WorkloadClassifier::default().classify(&x);
+        assert!(!c.is_fast);
+        assert!(c.total_variance < 1e-9);
+    }
+
+    #[test]
+    fn small_fast_ripple_stays_below_threshold() {
+        // Fast but tiny (amplitude 0.5 → variance 0.125): noise, not a
+        // workload swing.
+        let x: Vec<f64> = (0..131_072)
+            .map(|i| 6.0 + 0.5 * (2.0 * std::f64::consts::PI * i as f64 / 500.0).sin())
+            .collect();
+        let c = WorkloadClassifier::default().classify(&x);
+        assert!(!c.is_fast, "fast variance {}", c.fast_variance);
+    }
+}

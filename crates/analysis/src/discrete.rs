@@ -1,0 +1,314 @@
+//! Discrete-time refinement of the stability analysis.
+//!
+//! Section 4 notes that "a similar but more complicated discrete-time
+//! model can be derived to get a better and more accurate analysis
+//! result" and leaves it as future work. This module provides that
+//! refinement for the linearized loop: the controller acts once per
+//! sampling period `h`, so the closed loop is really the discrete map
+//! `x_{k+1} = M(h)·x_k`, stable iff the spectral radius of `M` is below 1.
+//!
+//! Two discretizations are provided:
+//!
+//! * [`exact_discretize`] — `M = exp(hA)`: the continuous loop sampled
+//!   exactly, which is stable for every `h` whenever the continuous loop
+//!   is (eigenvalues map to `e^{sh}`);
+//! * [`euler_discretize`] — `M = I + hA`: the controller applies one
+//!   forward increment per period, which is what the step-per-trigger
+//!   hardware actually does. This map *loses* stability when the
+//!   sampling period grows past [`max_stable_period`], recovering the
+//!   intuition that the 250 MHz sampling rate must be fast relative to
+//!   the loop's time constants.
+
+use crate::stability::SystemParams;
+
+/// A 2×2 real matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2 {
+    /// Row-major entries `[[a, b], [c, d]]`.
+    pub a: f64,
+    /// Top-right entry.
+    pub b: f64,
+    /// Bottom-left entry.
+    pub c: f64,
+    /// Bottom-right entry.
+    pub d: f64,
+}
+
+impl Mat2 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat2 = Mat2 {
+        a: 1.0,
+        b: 0.0,
+        c: 0.0,
+        d: 1.0,
+    };
+
+    /// Matrix product `self · rhs`.
+    pub fn mul(self, rhs: Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a * rhs.a + self.b * rhs.c,
+            b: self.a * rhs.b + self.b * rhs.d,
+            c: self.c * rhs.a + self.d * rhs.c,
+            d: self.c * rhs.b + self.d * rhs.d,
+        }
+    }
+
+    /// Scales every entry.
+    pub fn scaled(self, k: f64) -> Mat2 {
+        Mat2 {
+            a: self.a * k,
+            b: self.b * k,
+            c: self.c * k,
+            d: self.d * k,
+        }
+    }
+
+    /// Entry-wise sum.
+    pub fn plus(self, rhs: Mat2) -> Mat2 {
+        Mat2 {
+            a: self.a + rhs.a,
+            b: self.b + rhs.b,
+            c: self.c + rhs.c,
+            d: self.d + rhs.d,
+        }
+    }
+
+    /// Trace.
+    pub fn trace(self) -> f64 {
+        self.a + self.d
+    }
+
+    /// Determinant.
+    pub fn det(self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Largest eigenvalue magnitude (spectral radius).
+    pub fn spectral_radius(self) -> f64 {
+        let tr = self.trace();
+        let det = self.det();
+        let disc = tr * tr - 4.0 * det;
+        // `tr² − 4·det` cancels catastrophically when the eigenvalues are
+        // a near-degenerate complex pair; treat near-zero discriminants
+        // (relative to tr²) as complex.
+        if disc > 1e-9 * tr * tr {
+            let sq = disc.sqrt();
+            ((tr + sq) / 2.0).abs().max(((tr - sq) / 2.0).abs())
+        } else {
+            // Complex pair: |λ|² = det.
+            det.abs().sqrt()
+        }
+    }
+
+    /// Matrix exponential via scaling and squaring on a 12-term Taylor
+    /// series.
+    pub fn exp(self) -> Mat2 {
+        // Scale down so the norm is small.
+        let norm = self
+            .a
+            .abs()
+            .max(self.b.abs())
+            .max(self.c.abs())
+            .max(self.d.abs());
+        let squarings = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as u32
+        } else {
+            0
+        };
+        let scaled = self.scaled(1.0 / f64::powi(2.0, squarings as i32));
+        // Taylor series.
+        let mut term = Mat2::IDENTITY;
+        let mut sum = Mat2::IDENTITY;
+        for k in 1..=12 {
+            term = term.mul(scaled).scaled(1.0 / k as f64);
+            sum = sum.plus(term);
+        }
+        // Square back up.
+        let mut result = sum;
+        for _ in 0..squarings {
+            result = result.mul(result);
+        }
+        result
+    }
+}
+
+/// The continuous closed-loop system matrix `A` of the linearized model
+/// (state `(q̃, μ̃)`):
+///
+/// ```text
+/// q̃̇ = −γ·μ̃
+/// μ̃̇ = (K_m/γ)·q̃ − K_l·μ̃
+/// ```
+pub fn system_matrix(sys: &SystemParams) -> Mat2 {
+    Mat2 {
+        a: 0.0,
+        b: -sys.gamma,
+        c: sys.k_m() / sys.gamma,
+        d: -sys.k_l(),
+    }
+}
+
+/// Exact sampling: `M = exp(hA)`.
+pub fn exact_discretize(sys: &SystemParams, h: f64) -> Mat2 {
+    system_matrix(sys).scaled(h).exp()
+}
+
+/// Forward-Euler sampling: `M = I + hA` (one controller increment per
+/// period).
+pub fn euler_discretize(sys: &SystemParams, h: f64) -> Mat2 {
+    Mat2::IDENTITY.plus(system_matrix(sys).scaled(h))
+}
+
+/// Whether the discrete map is (strictly) stable.
+pub fn is_stable_discrete(m: Mat2) -> bool {
+    m.spectral_radius() < 1.0
+}
+
+/// The largest sampling period for which the Euler-discretized loop stays
+/// stable (bisection to 1e-6 relative accuracy).
+pub fn max_stable_period(sys: &SystemParams) -> f64 {
+    let stable_at = |h: f64| is_stable_discrete(euler_discretize(sys, h));
+    assert!(stable_at(1e-9), "loop must be stable at vanishing periods");
+    let mut lo = 1e-9;
+    let mut hi = 1e-9;
+    while stable_at(hi) {
+        hi *= 2.0;
+        assert!(hi < 1e12, "no instability found — degenerate parameters?");
+    }
+    for _ in 0..80 {
+        let mid = (lo + hi) / 2.0;
+        if stable_at(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat2_algebra() {
+        let m = Mat2 {
+            a: 1.0,
+            b: 2.0,
+            c: 3.0,
+            d: 4.0,
+        };
+        let i = Mat2::IDENTITY;
+        assert_eq!(m.mul(i), m);
+        assert_eq!(m.trace(), 5.0);
+        assert_eq!(m.det(), -2.0);
+        let s = m.scaled(2.0);
+        assert_eq!(s.a, 2.0);
+        assert_eq!(m.plus(m), s);
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Mat2 {
+            a: 0.0,
+            b: 0.0,
+            c: 0.0,
+            d: 0.0,
+        };
+        let e = z.exp();
+        assert!((e.a - 1.0).abs() < 1e-12 && (e.d - 1.0).abs() < 1e-12);
+        assert!(e.b.abs() < 1e-12 && e.c.abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_matches_scalar_case() {
+        // Diagonal matrix: exp is elementwise.
+        let m = Mat2 {
+            a: -0.7,
+            b: 0.0,
+            c: 0.0,
+            d: 2.0,
+        };
+        let e = m.exp();
+        assert!((e.a - (-0.7f64).exp()).abs() < 1e-9);
+        assert!((e.d - (2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_satisfies_det_identity() {
+        // det(exp(A)) = exp(tr(A)).
+        let m = system_matrix(&SystemParams::paper_default()).scaled(3.0);
+        let e = m.exp();
+        assert!((e.det() - m.trace().exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_sampling_is_stable_for_any_period() {
+        let sys = SystemParams::paper_default();
+        for h in [0.01, 0.1, 1.0, 10.0, 100.0, 1000.0] {
+            let m = exact_discretize(&sys, h);
+            assert!(
+                is_stable_discrete(m),
+                "exp(hA) unstable at h = {h}: radius {}",
+                m.spectral_radius()
+            );
+        }
+    }
+
+    #[test]
+    fn euler_sampling_destabilizes_at_large_periods() {
+        let sys = SystemParams::paper_default();
+        let h_max = max_stable_period(&sys);
+        assert!(h_max > 0.0);
+        assert!(is_stable_discrete(euler_discretize(&sys, h_max * 0.9)));
+        assert!(!is_stable_discrete(euler_discretize(&sys, h_max * 1.1)));
+    }
+
+    #[test]
+    fn paper_sampling_rate_is_far_inside_the_stable_region() {
+        // One sampling period is h = 1 in controller time units; the
+        // stability limit should be comfortably above that.
+        let sys = SystemParams::paper_default();
+        let h_max = max_stable_period(&sys);
+        assert!(
+            h_max > 1.0,
+            "paper's sampling period is outside the Euler-stable region: h_max = {h_max}"
+        );
+    }
+
+    #[test]
+    fn max_period_matches_analytic_formulas() {
+        // Underdamped (complex eigenvalues): the Euler radius is
+        // √(1 − h·K_l + h²·K_m), crossing 1 at h = K_l/K_m.
+        let sys = SystemParams::paper_default();
+        assert!(sys.damping_ratio() < 1.0);
+        let predicted = sys.k_l() / sys.k_m();
+        let measured = max_stable_period(&sys);
+        assert!(
+            (measured - predicted).abs() / predicted < 1e-6,
+            "complex regime: measured {measured} vs K_l/K_m = {predicted}"
+        );
+
+        // Overdamped (real eigenvalues): the fast eigenvalue s₋ limits the
+        // period at h = 2/|s₋|.
+        let over = SystemParams { t_m0: 500.0, ..sys };
+        assert!(over.damping_ratio() > 1.0);
+        let (r1, r2) = over.roots();
+        let s_fast = r1.re.abs().max(r2.re.abs());
+        let predicted = 2.0 / s_fast;
+        let measured = max_stable_period(&over);
+        assert!(
+            (measured - predicted).abs() / predicted < 1e-6,
+            "real regime: measured {measured} vs 2/|s| = {predicted}"
+        );
+    }
+
+    #[test]
+    fn euler_and_exact_agree_for_small_periods() {
+        let sys = SystemParams::paper_default();
+        let h = 1e-3;
+        let a = euler_discretize(&sys, h);
+        let b = exact_discretize(&sys, h);
+        assert!((a.spectral_radius() - b.spectral_radius()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Online estimation of the μ–f model parameters.
+//!
+//! The service-rate model `μ(f) = 1/(t₁ + c₂/f)` (equation 9) has two
+//! parameters: `t₁`, the frequency-independent time per instruction
+//! (asynchronous memory), and `c₂`, the frequency-dependent cycles per
+//! instruction. The paper notes they "can be estimated online or offline
+//! using methods similar to those in [1, 24]". The estimator here does the
+//! standard trick: `1/μ = t₁ + c₂·(1/f)` is linear in `1/f`, so ordinary
+//! least squares over per-interval `(f, μ)` observations recovers both.
+
+/// Recursive least-squares estimator of `(t₁, c₂)`.
+///
+/// Feed per-interval observations of domain frequency and achieved
+/// service rate; read back the fitted parameters and the linearization
+/// constant `k` the stability analysis needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MuFEstimator {
+    n: u64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_xy: f64,
+}
+
+/// A fitted μ–f model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuFModel {
+    /// Frequency-independent time per instruction.
+    pub t1: f64,
+    /// Frequency-dependent cycles per instruction.
+    pub c2: f64,
+}
+
+impl MuFModel {
+    /// Predicted service rate at frequency `f`.
+    pub fn mu(&self, f: f64) -> f64 {
+        1.0 / (self.t1 + self.c2 / f)
+    }
+
+    /// The linearization constant `k ≈ c₂·μ²/f²` at operating point `f`
+    /// (what [`crate::stability::SystemParams::k`] wants).
+    pub fn k_at(&self, f: f64) -> f64 {
+        let mu = self.mu(f);
+        self.c2 * mu * mu / (f * f)
+    }
+}
+
+impl MuFEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        MuFEstimator::default()
+    }
+
+    /// Observations seen so far.
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Feeds one interval's `(frequency, service rate)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both values are positive and finite.
+    pub fn observe(&mut self, f: f64, mu: f64) {
+        assert!(f.is_finite() && f > 0.0, "invalid frequency {f}");
+        assert!(mu.is_finite() && mu > 0.0, "invalid service rate {mu}");
+        let x = 1.0 / f;
+        let y = 1.0 / mu;
+        self.n += 1;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_xy += x * y;
+    }
+
+    /// The least-squares fit, or `None` with fewer than two distinct
+    /// frequencies (the regression is then degenerate).
+    pub fn fit(&self) -> Option<MuFModel> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let denom = n * self.sum_xx - self.sum_x * self.sum_x;
+        if denom.abs() < 1e-12 * n * self.sum_xx.max(1e-30) {
+            return None; // all observations at one frequency
+        }
+        let c2 = (n * self.sum_xy - self.sum_x * self.sum_y) / denom;
+        let t1 = (self.sum_y - c2 * self.sum_x) / n;
+        Some(MuFModel { t1, c2 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_data_recovers_parameters() {
+        let truth = MuFModel { t1: 0.2, c2: 0.8 };
+        let mut est = MuFEstimator::new();
+        for f in [0.25, 0.4, 0.6, 0.8, 1.0] {
+            est.observe(f, truth.mu(f));
+        }
+        let fit = est.fit().expect("five distinct frequencies");
+        assert!((fit.t1 - 0.2).abs() < 1e-12, "t1 = {}", fit.t1);
+        assert!((fit.c2 - 0.8).abs() < 1e-12, "c2 = {}", fit.c2);
+    }
+
+    #[test]
+    fn noisy_data_recovers_parameters_approximately() {
+        let truth = MuFModel { t1: 0.3, c2: 0.7 };
+        let mut est = MuFEstimator::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..10_000 {
+            let f = 0.25 + 0.75 * ((i % 100) as f64 / 99.0);
+            let noise = 1.0 + (rng.gen::<f64>() - 0.5) * 0.05;
+            est.observe(f, truth.mu(f) * noise);
+        }
+        let fit = est.fit().expect("plenty of data");
+        assert!((fit.t1 - 0.3).abs() < 0.02, "t1 = {}", fit.t1);
+        assert!((fit.c2 - 0.7).abs() < 0.02, "c2 = {}", fit.c2);
+    }
+
+    #[test]
+    fn fitted_k_matches_model_params() {
+        use crate::ode::ModelParams;
+        let p = ModelParams::paper_default();
+        let truth = MuFModel { t1: p.t1, c2: p.c2 };
+        let mut est = MuFEstimator::new();
+        for f in [0.3, 0.5, 0.7, 0.9] {
+            est.observe(f, truth.mu(f));
+        }
+        let fit = est.fit().expect("four frequencies");
+        for f in [0.4, 0.8] {
+            assert!((fit.k_at(f) - p.k_at(f)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        let mut est = MuFEstimator::new();
+        assert_eq!(est.fit(), None);
+        est.observe(0.5, 1.0);
+        assert_eq!(est.fit(), None, "one observation");
+        est.observe(0.5, 1.01);
+        assert_eq!(est.fit(), None, "single frequency is degenerate");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid frequency")]
+    fn zero_frequency_panics() {
+        MuFEstimator::new().observe(0.0, 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Modeling and analysis companion to the adaptive DVFS controller.
+//!
+//! Two halves, mirroring the paper:
+//!
+//! * **Section 4 — control theory.** The aggregate continuous-time model
+//!   of the controller/queue/clock-domain loop (mod `ode`), its
+//!   linearization ([`linearize`]), the characteristic-root stability
+//!   analysis with damping ratio, settling and rising times
+//!   ([`stability`]), and numeric step responses that validate Remarks
+//!   1–3 ([`response`]).
+//! * **Section 5.2 — spectral analysis.** An in-crate radix-2 FFT
+//!   ([`mod@spectrum::fft`]), periodogram/Welch and sine-multitaper spectral
+//!   estimators ([`spectrum`]), band-limited variance integration, and the
+//!   fast/slow workload classifier used to build Table 2 ([`classify`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mcd_analysis::stability::SystemParams;
+//!
+//! let sys = SystemParams::paper_default();
+//! assert!(sys.is_stable()); // Remark 1
+//! let xi = sys.damping_ratio();
+//! assert!(xi > 0.5); // Remark 3's small-overshoot condition
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod discrete;
+pub mod estimate;
+pub mod frequency_response;
+pub mod linearize;
+pub mod ode;
+pub mod response;
+pub mod spectrum;
+pub mod stability;
+
+pub use classify::{ClassifiedBenchmark, WorkloadClassifier};
+pub use ode::{ModelParams, OdeModel, OdeState};
+pub use response::{step_response, StepResponseMetrics};
+pub use stability::{Complex, SystemParams};

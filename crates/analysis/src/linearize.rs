@@ -1,0 +1,150 @@
+//! Linearization of the nonlinear model (Section 4.3).
+//!
+//! Transforming the controller equation to the service-rate state variable
+//! `μ` and choosing `h(f) = f²` compensates the nonlinearity of
+//! `μ = 1/(t₁ + c₂/f)` up to the quadratic approximation
+//! `c₂/(t₁·f + c₂)² ≈ k/f²`, yielding the linear system (12):
+//!
+//! ```text
+//! q̇ = γλ − γμ
+//! μ̇ = (m·k·step/T_m0)(q − q_ref) + (l·k·step/T_l0)·q̇
+//! ```
+
+use crate::ode::ModelParams;
+use crate::stability::SystemParams;
+
+/// Produces the linearized [`SystemParams`] of the model around operating
+/// frequency `f_op`.
+pub fn linearize(params: &ModelParams, f_op: f64) -> SystemParams {
+    SystemParams {
+        m: params.m,
+        l: params.l,
+        gamma: params.gamma,
+        k: params.k_at(f_op),
+        step: params.step,
+        t_m0: params.t_m0,
+        t_l0: params.t_l0,
+    }
+}
+
+/// Simulates the *linear* system (12) with RK4 — used to validate the
+/// analytic formulas and to cross-check the nonlinear model.
+///
+/// Returns `(t, q, μ)` triples, starting from `(q0, μ0)`.
+pub fn simulate_linear(
+    sys: &SystemParams,
+    q_ref: f64,
+    q0: f64,
+    mu0: f64,
+    lambda: f64,
+    dt: f64,
+    steps: usize,
+) -> Vec<(f64, f64, f64)> {
+    assert!(dt > 0.0, "step size must be positive");
+    let km = sys.k_m();
+    let kl = sys.k_l();
+    let gamma = sys.gamma;
+    let rhs = |q: f64, mu: f64| {
+        let q_dot = gamma * (lambda - mu);
+        let mu_dot = km * (q - q_ref) + kl * q_dot;
+        (q_dot, mu_dot)
+    };
+    let mut out = Vec::with_capacity(steps + 1);
+    let (mut q, mut mu, mut t) = (q0, mu0, 0.0);
+    out.push((t, q, mu));
+    for _ in 0..steps {
+        let (k1q, k1m) = rhs(q, mu);
+        let (k2q, k2m) = rhs(q + dt / 2.0 * k1q, mu + dt / 2.0 * k1m);
+        let (k3q, k3m) = rhs(q + dt / 2.0 * k2q, mu + dt / 2.0 * k2m);
+        let (k4q, k4m) = rhs(q + dt * k3q, mu + dt * k3m);
+        q += dt / 6.0 * (k1q + 2.0 * k2q + 2.0 * k3q + k4q);
+        mu += dt / 6.0 * (k1m + 2.0 * k2m + 2.0 * k3m + k4m);
+        t += dt;
+        out.push((t, q, mu));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearized_k_matches_operating_point() {
+        let p = ModelParams::paper_default();
+        let sys = linearize(&p, 1.0);
+        assert!((sys.k - p.k_at(1.0)).abs() < 1e-12);
+        assert_eq!(sys.t_m0, p.t_m0);
+        assert!(sys.is_stable());
+    }
+
+    #[test]
+    fn linear_sim_converges_to_lambda_and_qref() {
+        let p = ModelParams::paper_default();
+        let sys = linearize(&p, 0.8);
+        let traj = simulate_linear(&sys, 4.0, 10.0, 0.2, 0.7, 0.05, 400_000);
+        let &(_, q, mu) = traj.last().expect("nonempty");
+        assert!((mu - 0.7).abs() < 1e-3, "μ settled at {mu}");
+        assert!((q - 4.0).abs() < 1e-2, "q settled at {q}");
+    }
+
+    #[test]
+    fn linear_and_nonlinear_agree_near_operating_point() {
+        use crate::ode::{OdeModel, OdeState};
+        let p = ModelParams::paper_default();
+        let lambda = 0.75;
+        let nonlinear = OdeModel::new(p);
+        let f_eq = nonlinear.equilibrium_frequency(lambda);
+        let mu_eq = p.mu(f_eq);
+        // Small perturbation around equilibrium.
+        let init = OdeState {
+            t: 0.0,
+            q: 5.0,
+            f: f_eq,
+        };
+        let nl = nonlinear.simulate(init, 0.05, 100_000, |_| lambda);
+        let sys = linearize(&p, f_eq);
+        let lin = simulate_linear(&sys, p.q_ref, 5.0, mu_eq, lambda, 0.05, 100_000);
+        // Compare the queue trajectories at a mid point and the end.
+        for idx in [20_000, 100_000] {
+            let qn = nl[idx].q;
+            let ql = lin[idx].1;
+            assert!(
+                (qn - ql).abs() < 0.5,
+                "idx {idx}: nonlinear q {qn} vs linear q {ql}"
+            );
+        }
+    }
+
+    #[test]
+    fn overshoot_formula_matches_simulation() {
+        // For an underdamped setting, the simulated step-response
+        // overshoot should match exp(−πξ/√(1−ξ²)) within a few percent.
+        let sys = SystemParams {
+            t_m0: 16.0,
+            t_l0: 8.0, // ratio 2 → ξ just under the 0.5 boundary
+            ..SystemParams::paper_default()
+        };
+        let xi = sys.damping_ratio();
+        assert!(xi < 1.0);
+        let q_ref = 4.0;
+        let lambda = 0.7;
+        // Step: start with μ equal to the *old* load 0.5; new load 0.7.
+        let traj = simulate_linear(&sys, q_ref, q_ref, 0.5, lambda, 0.02, 2_000_000);
+        let peak = traj.iter().map(|&(_, _, mu)| mu).fold(f64::MIN, f64::max);
+        let overshoot = (peak - lambda) / (lambda - 0.5);
+        let predicted = sys.percent_overshoot();
+        // The loop has a zero at −K_m/K_l (the K_l·q̇ term), which damps
+        // the response relative to the textbook zero-free 2nd-order
+        // system, so the ξ-based formula is an upper bound — the bound
+        // the paper's Remark 3 argues from.
+        assert!(
+            overshoot > 0.02,
+            "ξ = {xi:.3} must visibly overshoot, got {overshoot:.4}"
+        );
+        assert!(
+            overshoot <= predicted + 0.02,
+            "simulated {overshoot:.4} exceeds predicted bound {predicted:.4}"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! The nonlinear continuous-time model of Section 4.2 (equations 7–9).
+//!
+//! ```text
+//! f′(t) = m·step/(h(f)·T_m0) · (q − q_ref)  +  l·step/(h(f)·T_l0) · q′(t)
+//! q′(t) = γ·λ(t) − γ·μ(t)
+//! μ(t)  = 1 / (t₁ + c₂/f)
+//! ```
+//!
+//! with `h(f) = f²` (the linearizing choice). Integrated with classic RK4.
+
+/// Parameters of the aggregate model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Unit conversion `m` for the occupancy signal.
+    pub m: f64,
+    /// Unit conversion `l` for the difference signal.
+    pub l: f64,
+    /// Frequency step per action (normalized units).
+    pub step: f64,
+    /// Basic delay `T_m0`.
+    pub t_m0: f64,
+    /// Basic delay `T_l0`.
+    pub t_l0: f64,
+    /// Reference occupancy `q_ref`.
+    pub q_ref: f64,
+    /// Queue constant `γ` (proportional to the sampling period).
+    pub gamma: f64,
+    /// Frequency-independent seconds per instruction `t₁`.
+    pub t1: f64,
+    /// Frequency-dependent cycles per instruction `c₂`.
+    pub c2: f64,
+    /// Queue capacity used to clamp `q` (the physical queue is finite).
+    pub q_max: f64,
+    /// Normalized frequency bounds.
+    pub f_min: f64,
+    /// Upper normalized frequency bound.
+    pub f_max: f64,
+}
+
+impl ModelParams {
+    /// A representative configuration: the controller settings of the
+    /// evaluation, an order-one μ–f relationship (`t₁ = 0.2`, `c₂ = 0.8`,
+    /// so μ(1) = 1), and the same `K_l ≈ 0.5` normalization as
+    /// [`crate::stability::SystemParams::paper_default`].
+    pub fn paper_default() -> Self {
+        ModelParams {
+            m: 0.5,
+            l: 0.5,
+            step: 1.0,
+            t_m0: 50.0,
+            t_l0: 8.0,
+            q_ref: 4.0,
+            gamma: 8.0,
+            t1: 0.2,
+            c2: 0.8,
+            q_max: 16.0,
+            f_min: 0.25,
+            f_max: 1.0,
+        }
+    }
+
+    /// Service rate `μ(f) = 1/(t₁ + c₂/f)` (equation 9).
+    pub fn mu(&self, f: f64) -> f64 {
+        1.0 / (self.t1 + self.c2 / f)
+    }
+
+    /// The linearized μ–f slope `k ≈ c₂·μ²/f²` at operating point `f`
+    /// (the quadratic approximation of Section 4.3).
+    pub fn k_at(&self, f: f64) -> f64 {
+        let mu = self.mu(f);
+        self.c2 * mu * mu / (f * f)
+    }
+}
+
+/// One integration state: queue occupancy and normalized frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdeState {
+    /// Time.
+    pub t: f64,
+    /// Queue occupancy `q(t)`.
+    pub q: f64,
+    /// Normalized domain frequency `f(t)`.
+    pub f: f64,
+}
+
+/// RK4 integrator for the model, driven by an arrival-rate function.
+#[derive(Debug, Clone)]
+pub struct OdeModel {
+    params: ModelParams,
+}
+
+impl OdeModel {
+    /// Creates a model with the given parameters.
+    pub fn new(params: ModelParams) -> Self {
+        OdeModel { params }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Right-hand side `(q′, f′)` at `(q, f)` under arrival rate `lambda`.
+    fn rhs(&self, q: f64, f: f64, lambda: f64) -> (f64, f64) {
+        let p = &self.params;
+        let f = f.clamp(p.f_min, p.f_max);
+        let q_dot = p.gamma * lambda - p.gamma * p.mu(f);
+        let h = f * f;
+        let f_dot =
+            p.m * p.step / (h * p.t_m0) * (q - p.q_ref) + p.l * p.step / (h * p.t_l0) * q_dot;
+        (q_dot, f_dot)
+    }
+
+    /// Integrates from `initial` for `steps` RK4 steps of size `dt`,
+    /// sampling the arrival rate `lambda(t)` at the usual RK4 points.
+    /// Returns the trajectory including the initial state.
+    pub fn simulate<F>(
+        &self,
+        initial: OdeState,
+        dt: f64,
+        steps: usize,
+        mut lambda: F,
+    ) -> Vec<OdeState>
+    where
+        F: FnMut(f64) -> f64,
+    {
+        assert!(dt > 0.0, "step size must be positive");
+        let p = self.params;
+        let mut out = Vec::with_capacity(steps + 1);
+        let mut s = initial;
+        out.push(s);
+        for _ in 0..steps {
+            let (k1q, k1f) = self.rhs(s.q, s.f, lambda(s.t));
+            let lam_mid = lambda(s.t + dt / 2.0);
+            let (k2q, k2f) = self.rhs(s.q + dt / 2.0 * k1q, s.f + dt / 2.0 * k1f, lam_mid);
+            let (k3q, k3f) = self.rhs(s.q + dt / 2.0 * k2q, s.f + dt / 2.0 * k2f, lam_mid);
+            let lam_end = lambda(s.t + dt);
+            let (k4q, k4f) = self.rhs(s.q + dt * k3q, s.f + dt * k3f, lam_end);
+            s.q = (s.q + dt / 6.0 * (k1q + 2.0 * k2q + 2.0 * k3q + k4q)).clamp(0.0, p.q_max);
+            s.f = (s.f + dt / 6.0 * (k1f + 2.0 * k2f + 2.0 * k3f + k4f)).clamp(p.f_min, p.f_max);
+            s.t += dt;
+            out.push(s);
+        }
+        out
+    }
+
+    /// The equilibrium frequency for a constant arrival rate: the `f` at
+    /// which `μ(f) = λ` (clamped to the frequency range).
+    pub fn equilibrium_frequency(&self, lambda: f64) -> f64 {
+        let p = &self.params;
+        // μ(f) = λ  ⇒  f = c₂·λ / (1 − t₁·λ)
+        let denom = 1.0 - p.t1 * lambda;
+        if denom <= 0.0 {
+            return p.f_max;
+        }
+        (p.c2 * lambda / denom).clamp(p.f_min, p.f_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> OdeModel {
+        OdeModel::new(ModelParams::paper_default())
+    }
+
+    #[test]
+    fn mu_is_increasing_and_saturating() {
+        let p = ModelParams::paper_default();
+        assert!(p.mu(0.5) < p.mu(1.0));
+        assert!((p.mu(1.0) - 1.0).abs() < 1e-12); // t1 + c2 = 1
+                                                  // As f → ∞, μ → 1/t₁ = 5.
+        assert!(p.mu(1e9) < 5.0 + 1e-6);
+    }
+
+    #[test]
+    fn k_matches_numeric_derivative() {
+        let p = ModelParams::paper_default();
+        for &f in &[0.3, 0.5, 0.8, 1.0] {
+            let eps = 1e-6;
+            let dmu = (p.mu(f + eps) - p.mu(f - eps)) / (2.0 * eps);
+            assert!(
+                (p.k_at(f) - dmu).abs() < 1e-6,
+                "k({f}) = {} vs numeric {dmu}",
+                p.k_at(f)
+            );
+        }
+    }
+
+    #[test]
+    fn constant_load_converges_to_equilibrium_remark1() {
+        let m = model();
+        let lambda = 0.7;
+        let f_eq = m.equilibrium_frequency(lambda);
+        let init = OdeState {
+            t: 0.0,
+            q: 10.0,
+            f: 1.0,
+        };
+        let traj = m.simulate(init, 0.05, 200_000, |_| lambda);
+        let last = traj.last().expect("nonempty");
+        assert!(
+            (last.f - f_eq).abs() < 0.02,
+            "f settled at {} vs equilibrium {f_eq}",
+            last.f
+        );
+        assert!(
+            (last.q - m.params().q_ref).abs() < 0.3,
+            "q settled at {} vs q_ref",
+            last.q
+        );
+    }
+
+    #[test]
+    fn trajectory_is_bounded_for_extreme_inputs_remark1() {
+        let m = model();
+        let init = OdeState {
+            t: 0.0,
+            q: 0.0,
+            f: 1.0,
+        };
+        // Violent square-wave load.
+        let traj = m.simulate(init, 0.05, 100_000, |t| {
+            if (t / 50.0) as u64 % 2 == 0 {
+                4.0
+            } else {
+                0.05
+            }
+        });
+        for s in &traj {
+            assert!(s.q.is_finite() && s.f.is_finite());
+            assert!((0.0..=16.0).contains(&s.q));
+            assert!((0.25..=1.0).contains(&s.f));
+        }
+    }
+
+    #[test]
+    fn equilibrium_frequency_clamps() {
+        let m = model();
+        assert_eq!(m.equilibrium_frequency(10.0), 1.0); // beyond capacity
+        assert_eq!(m.equilibrium_frequency(1e-6), 0.25); // below range
+    }
+
+    #[test]
+    fn step_load_raises_frequency() {
+        let m = model();
+        let init = OdeState {
+            t: 0.0,
+            q: 4.0,
+            f: 0.5,
+        };
+        let traj = m.simulate(init, 0.05, 100_000, |t| if t < 10.0 { 0.55 } else { 0.9 });
+        let last = traj.last().expect("nonempty");
+        let f_eq = m.equilibrium_frequency(0.9);
+        assert!((last.f - f_eq).abs() < 0.05, "f = {} vs {}", last.f, f_eq);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn zero_dt_panics() {
+        let m = model();
+        let _ = m.simulate(
+            OdeState {
+                t: 0.0,
+                q: 0.0,
+                f: 1.0,
+            },
+            0.0,
+            1,
+            |_| 1.0,
+        );
+    }
+}

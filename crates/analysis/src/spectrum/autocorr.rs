@@ -1,0 +1,147 @@
+//! Autocorrelation via FFT, and the Wiener–Khinchin consistency check.
+//!
+//! The autocovariance sequence is the inverse transform of the power
+//! spectrum; computing it both ways is the classic internal-consistency
+//! check for a spectral-analysis stack, and the time-domain view is
+//! occasionally more legible than Figure 8's spectrum (the first zero
+//! crossing estimates the variation wavelength directly).
+
+use crate::spectrum::fft::{fft, ifft, next_pow2};
+use crate::spectrum::periodogram::detrend;
+
+/// Biased autocovariance of `x` at lags `0..max_lag` (biased = divided by
+/// `n`, which keeps the sequence positive semidefinite).
+///
+/// # Panics
+///
+/// Panics if `x` has fewer than 2 samples or `max_lag >= x.len()`.
+pub fn autocovariance(x: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(x.len() >= 2, "need at least two samples");
+    assert!(max_lag < x.len(), "lag exceeds series length");
+    let n = x.len();
+    // Zero-pad to 2n to make circular convolution linear.
+    let m = next_pow2(2 * n);
+    let mut re = x.to_vec();
+    detrend(&mut re);
+    re.resize(m, 0.0);
+    let mut im = vec![0.0; m];
+    fft(&mut re, &mut im);
+    for k in 0..m {
+        let p = re[k] * re[k] + im[k] * im[k];
+        re[k] = p;
+        im[k] = 0.0;
+    }
+    ifft(&mut re, &mut im);
+    (0..=max_lag).map(|lag| re[lag] / n as f64).collect()
+}
+
+/// Autocorrelation (autocovariance normalized by lag-0 variance).
+/// A constant series has zero variance; its autocorrelation is defined
+/// here as 1 at lag 0 and 0 elsewhere.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let acov = autocovariance(x, max_lag);
+    let var = acov[0];
+    if var <= 1e-30 {
+        let mut out = vec![0.0; max_lag + 1];
+        out[0] = 1.0;
+        return out;
+    }
+    acov.into_iter().map(|c| c / var).collect()
+}
+
+/// Estimates the dominant variation wavelength from the first
+/// zero-crossing lag of the autocorrelation, which sits at a quarter
+/// period for periodic signals (`None` if it never crosses).
+pub fn dominant_wavelength(x: &[f64]) -> Option<f64> {
+    let max_lag = x.len() / 2;
+    let ac = autocorrelation(x, max_lag);
+    ac.windows(2)
+        .position(|w| w[0] > 0.0 && w[1] <= 0.0)
+        .map(|lag| 4.0 * (lag + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_autocov(x: &[f64], max_lag: usize) -> Vec<f64> {
+        let n = x.len();
+        let mean = x.iter().sum::<f64>() / n as f64;
+        (0..=max_lag)
+            .map(|lag| {
+                (0..n - lag)
+                    .map(|i| (x[i] - mean) * (x[i + lag] - mean))
+                    .sum::<f64>()
+                    / n as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 13 + 7) % 23) as f64).collect();
+        let fast = autocovariance(&x, 50);
+        let slow = naive_autocov(&x, 50);
+        for (lag, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-9, "lag {lag}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lag_zero_is_variance() {
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.1).sin() * 3.0).collect();
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
+        let acov = autocovariance(&x, 10);
+        assert!((acov[0] - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autocorrelation_is_normalized_and_bounded() {
+        let x: Vec<f64> = (0..500).map(|i| ((i * 31 + 11) % 17) as f64).collect();
+        let ac = autocorrelation(&x, 100);
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+        for (lag, &r) in ac.iter().enumerate() {
+            assert!(r.abs() <= 1.0 + 1e-9, "lag {lag}: {r}");
+        }
+    }
+
+    #[test]
+    fn constant_series_defined_autocorrelation() {
+        let ac = autocorrelation(&[4.0; 100], 10);
+        assert_eq!(ac[0], 1.0);
+        assert!(ac[1..].iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn sine_wavelength_recovered() {
+        let lambda = 64.0;
+        let x: Vec<f64> = (0..4096)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / lambda).sin())
+            .collect();
+        let w = dominant_wavelength(&x).expect("sine crosses zero");
+        assert!((w - lambda).abs() <= 4.0, "estimated {w}");
+    }
+
+    /// Wiener–Khinchin: total variance from the spectrum equals the
+    /// autocovariance at lag zero.
+    #[test]
+    fn wiener_khinchin_consistency() {
+        use crate::spectrum::periodogram::periodogram;
+        let x: Vec<f64> = (0..2048)
+            .map(|i| (i as f64 / 37.0).sin() * 2.0 + ((i * 7 + 3) % 13) as f64 * 0.1)
+            .collect();
+        let spectral_var = periodogram(&x).total_variance();
+        let time_var = autocovariance(&x, 1)[0];
+        assert!(
+            (spectral_var - time_var).abs() / time_var < 1e-9,
+            "spectrum {spectral_var} vs autocov {time_var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lag exceeds")]
+    fn oversized_lag_panics() {
+        let _ = autocovariance(&[1.0, 2.0], 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! In-place radix-2 Cooley–Tukey FFT (no external DSP dependencies).
+
+/// Forward FFT of the complex signal `(re, im)`, in place.
+///
+/// # Panics
+///
+/// Panics unless `re.len() == im.len()` and the length is a power of two.
+pub fn fft(re: &mut [f64], im: &mut [f64]) {
+    transform(re, im, false);
+}
+
+/// Inverse FFT (includes the 1/N normalization), in place.
+///
+/// # Panics
+///
+/// Panics unless `re.len() == im.len()` and the length is a power of two.
+pub fn ifft(re: &mut [f64], im: &mut [f64]) {
+    transform(re, im, true);
+    let n = re.len() as f64;
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        *r /= n;
+        *i /= n;
+    }
+}
+
+fn transform(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "mismatched real/imag lengths");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cur_re, mut cur_im) = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = start + k;
+                let b = start + k + len / 2;
+                let t_re = re[b] * cur_re - im[b] * cur_im;
+                let t_im = re[b] * cur_im + im[b] * cur_re;
+                re[b] = re[a] - t_re;
+                im[b] = im[a] - t_im;
+                re[a] += t_re;
+                im[a] += t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Smallest power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[f64]) -> Vec<(f64, f64)> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (t, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64;
+                    re += v * ang.cos();
+                    im += v * ang.sin();
+                }
+                (re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let x: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let mut re = x.clone();
+        let mut im = vec![0.0; 32];
+        fft(&mut re, &mut im);
+        for (k, (nre, nim)) in naive_dft(&x).into_iter().enumerate() {
+            assert!((re[k] - nre).abs() < 1e-9, "bin {k} re");
+            assert!((im[k] - nim).abs() < 1e-9, "bin {k} im");
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 64;
+        let freq = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let mut re = x;
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        for k in 0..n {
+            let mag = re[k].hypot(im[k]);
+            if k == freq || k == n - freq {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {k} mag {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {k} leaked {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let mut re = x.clone();
+        let mut im = vec![0.0; 128];
+        fft(&mut re, &mut im);
+        ifft(&mut re, &mut im);
+        for (a, b) in x.iter().zip(re.iter()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!(im.iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let x: Vec<f64> = (0..256).map(|i| ((i * 13 + 1) % 17) as f64).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let mut re = x;
+        let mut im = vec![0.0; 256];
+        fft(&mut re, &mut im);
+        let freq_energy: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let mut re = vec![3.0];
+        let mut im = vec![0.0];
+        fft(&mut re, &mut im);
+        assert_eq!(re[0], 3.0);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft(&mut re, &mut im);
+    }
+}

@@ -1,0 +1,21 @@
+//! Spectral analysis of workload variability (Section 5.2).
+//!
+//! The paper estimates the *variance spectrum* of queue-occupancy series —
+//! the distribution of variance over variation frequency ω — with the
+//! multitaper method, then integrates the density over the short-wavelength
+//! band to identify benchmarks with fast workload variations (Figure 8).
+//! This module provides the full chain from scratch: an in-crate radix-2
+//! FFT, periodogram and Welch estimators, sine-taper multitaper
+//! estimation, and band-limited variance integration.
+
+pub mod autocorr;
+pub mod fft;
+pub mod periodogram;
+pub mod taper;
+pub mod variance;
+
+pub use autocorr::{autocorrelation, autocovariance, dominant_wavelength};
+pub use fft::{fft, ifft};
+pub use periodogram::{periodogram, welch, Spectrum};
+pub use taper::multitaper;
+pub use variance::band_variance;

@@ -1,0 +1,220 @@
+//! Periodogram and Welch spectral estimators.
+
+use crate::spectrum::fft::{fft, next_pow2};
+
+/// A one-sided variance spectrum.
+///
+/// `density[k]` is variance per unit frequency at `f = k·df` cycles per
+/// sample, for `k` in `0..=M/2`; the total integrates (≈) to the signal's
+/// variance: `Σ density[k] · df ≈ var(x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    /// One-sided spectral density values.
+    pub density: Vec<f64>,
+    /// Frequency-bin spacing in cycles per sample.
+    pub df: f64,
+}
+
+impl Spectrum {
+    /// Frequency of bin `k` in cycles per sample.
+    pub fn frequency(&self, k: usize) -> f64 {
+        k as f64 * self.df
+    }
+
+    /// Wavelength of bin `k` in samples (∞ for the DC bin).
+    pub fn wavelength(&self, k: usize) -> f64 {
+        if k == 0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.frequency(k)
+        }
+    }
+
+    /// Total integrated variance.
+    pub fn total_variance(&self) -> f64 {
+        self.density.iter().sum::<f64>() * self.df
+    }
+}
+
+/// Removes the mean in place; returns the removed mean.
+pub(crate) fn detrend(x: &mut [f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+    mean
+}
+
+/// Folds a two-sided |X|² array into a one-sided density with the given
+/// per-bin normalization.
+fn fold_one_sided(re: &[f64], im: &[f64], norm: f64) -> Vec<f64> {
+    let m = re.len();
+    let half = m / 2;
+    let power = |k: usize| (re[k] * re[k] + im[k] * im[k]) * norm;
+    let mut out = Vec::with_capacity(half + 1);
+    out.push(power(0));
+    for k in 1..half {
+        out.push(power(k) + power(m - k));
+    }
+    out.push(power(half));
+    out
+}
+
+/// The raw (single-segment) periodogram of `x`, zero-padded to a power of
+/// two.
+///
+/// # Panics
+///
+/// Panics if `x` has fewer than 2 samples.
+pub fn periodogram(x: &[f64]) -> Spectrum {
+    assert!(x.len() >= 2, "need at least two samples");
+    let n = x.len();
+    let m = next_pow2(n);
+    let mut re = x.to_vec();
+    detrend(&mut re);
+    re.resize(m, 0.0);
+    let mut im = vec![0.0; m];
+    fft(&mut re, &mut im);
+    // Σ_k |X[k]|²/(N·M) = Σ x²/N = var(x): density·df integrates to var.
+    Spectrum {
+        density: fold_one_sided(&re, &im, 1.0 / n as f64),
+        df: 1.0 / m as f64,
+    }
+}
+
+/// Welch's method: Hann-windowed segments of `seg_len` with 50 % overlap,
+/// averaged.
+///
+/// # Panics
+///
+/// Panics if `seg_len < 4` or `x.len() < seg_len`.
+pub fn welch(x: &[f64], seg_len: usize) -> Spectrum {
+    assert!(seg_len >= 4, "segment too short");
+    assert!(x.len() >= seg_len, "signal shorter than a segment");
+    let m = next_pow2(seg_len);
+    let hop = seg_len / 2;
+    let window: Vec<f64> = (0..seg_len)
+        .map(|i| {
+            let w = std::f64::consts::PI * i as f64 / (seg_len - 1) as f64;
+            w.sin() * w.sin() // Hann
+        })
+        .collect();
+    let wpow: f64 = window.iter().map(|w| w * w).sum();
+
+    let mut x = x.to_vec();
+    detrend(&mut x);
+    let mut acc = vec![0.0; m / 2 + 1];
+    let mut segments = 0;
+    let mut start = 0;
+    while start + seg_len <= x.len() {
+        let mut re: Vec<f64> = x[start..start + seg_len]
+            .iter()
+            .zip(&window)
+            .map(|(v, w)| v * w)
+            .collect();
+        re.resize(m, 0.0);
+        let mut im = vec![0.0; m];
+        fft(&mut re, &mut im);
+        let one = fold_one_sided(&re, &im, 1.0 / wpow);
+        for (a, p) in acc.iter_mut().zip(one) {
+            *a += p;
+        }
+        segments += 1;
+        start += hop;
+    }
+    for a in acc.iter_mut() {
+        *a /= segments as f64;
+    }
+    Spectrum {
+        density: acc,
+        df: 1.0 / m as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn periodogram_integrates_to_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f64> = (0..1024).map(|_| rng.gen::<f64>() * 4.0).collect();
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
+        let s = periodogram(&x);
+        assert!(
+            (s.total_variance() - var).abs() / var < 1e-9,
+            "{} vs {var}",
+            s.total_variance()
+        );
+    }
+
+    #[test]
+    fn tone_peaks_at_its_frequency() {
+        let n = 2048;
+        let cycles = 64.0; // frequency 64/2048 = 1/32 cycles/sample
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * cycles * i as f64 / n as f64).sin())
+            .collect();
+        let s = periodogram(&x);
+        let peak = s
+            .density
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0;
+        assert!(
+            (s.wavelength(peak) - 32.0).abs() < 0.5,
+            "peak at λ {}",
+            s.wavelength(peak)
+        );
+    }
+
+    #[test]
+    fn welch_recovers_white_noise_variance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x: Vec<f64> = (0..16_384).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let var = 1.0 / 12.0;
+        let s = welch(&x, 512);
+        assert!(
+            (s.total_variance() - var).abs() / var < 0.1,
+            "{} vs {var}",
+            s.total_variance()
+        );
+    }
+
+    #[test]
+    fn welch_smooths_relative_to_periodogram() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x: Vec<f64> = (0..8192).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let raw = periodogram(&x);
+        let smooth = welch(&x, 256);
+        // Coefficient of variation of the density should shrink markedly.
+        let cv = |d: &[f64]| {
+            let m = d.iter().sum::<f64>() / d.len() as f64;
+            let v = d.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / d.len() as f64;
+            v.sqrt() / m
+        };
+        assert!(cv(&smooth.density[1..]) < cv(&raw.density[1..]) / 2.0);
+    }
+
+    #[test]
+    fn wavelength_and_frequency_invert() {
+        let s = periodogram(&vec![1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0]);
+        assert_eq!(s.wavelength(0), f64::INFINITY);
+        let k = 2;
+        assert!((s.wavelength(k) * s.frequency(k) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn single_sample_panics() {
+        let _ = periodogram(&[1.0]);
+    }
+}

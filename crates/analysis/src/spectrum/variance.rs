@@ -1,0 +1,80 @@
+//! Band-limited variance integration (Section 5.2).
+//!
+//! "With the spectrum … we can get the variance associated with any range
+//! of frequencies by integrating the spectral density over the increment
+//! of frequency ω." Wavelengths are expressed in sampling periods, as in
+//! Figure 8's x-axis.
+
+use crate::spectrum::periodogram::Spectrum;
+
+/// Integrates `spectrum` over wavelengths in `[min_wavelength,
+/// max_wavelength]` (samples). Returns the variance in that band.
+///
+/// # Panics
+///
+/// Panics unless `2.0 <= min_wavelength < max_wavelength` (two samples is
+/// the Nyquist wavelength).
+pub fn band_variance(spectrum: &Spectrum, min_wavelength: f64, max_wavelength: f64) -> f64 {
+    assert!(
+        min_wavelength >= 2.0 && min_wavelength < max_wavelength,
+        "invalid wavelength band [{min_wavelength}, {max_wavelength}]"
+    );
+    let f_lo = 1.0 / max_wavelength;
+    let f_hi = 1.0 / min_wavelength;
+    spectrum
+        .density
+        .iter()
+        .enumerate()
+        .skip(1) // DC carries no variance after detrending
+        .filter(|(k, _)| {
+            let f = spectrum.frequency(*k);
+            f >= f_lo && f <= f_hi
+        })
+        .map(|(_, d)| d * spectrum.df)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::periodogram::periodogram;
+
+    fn tone(n: usize, wavelength: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * i as f64 / wavelength).sin())
+            .collect()
+    }
+
+    #[test]
+    fn variance_lands_in_the_tone_band() {
+        let x = tone(4096, 32.0, 2.0); // variance amp²/2 = 2
+        let s = periodogram(&x);
+        let in_band = band_variance(&s, 16.0, 64.0);
+        let out_band = band_variance(&s, 128.0, 4096.0);
+        assert!((in_band - 2.0).abs() < 0.05, "in-band {in_band}");
+        assert!(out_band < 0.01, "out-of-band {out_band}");
+    }
+
+    #[test]
+    fn disjoint_bands_partition_total_variance() {
+        let x: Vec<f64> = tone(8192, 20.0, 1.0)
+            .iter()
+            .zip(tone(8192, 1000.0, 3.0))
+            .map(|(a, b)| a + b)
+            .collect();
+        let s = periodogram(&x);
+        let fast = band_variance(&s, 2.0, 100.0);
+        let slow = band_variance(&s, 100.0, 8192.0);
+        let total = s.total_variance();
+        assert!((fast + slow - total).abs() / total < 0.01);
+        assert!((fast - 0.5).abs() < 0.05, "fast {fast}"); // amp 1 → var 0.5
+        assert!((slow - 4.5).abs() < 0.1, "slow {slow}"); // amp 3 → var 4.5
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid wavelength band")]
+    fn inverted_band_panics() {
+        let s = periodogram(&[0.0, 1.0, 0.0, 1.0]);
+        let _ = band_variance(&s, 64.0, 16.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Characteristic-root stability analysis (Section 4.3).
+//!
+//! After linearization the closed loop is the 2nd-order system (12):
+//!
+//! ```text
+//! q̇ = γλ − γμ
+//! μ̇ = K_m (q − q_ref) + K_l q̇,
+//!    where K_m = m·γ·k·step / T_m0,  K_l = l·γ·k·step / T_l0
+//! ```
+//!
+//! with characteristic roots `s₁,₂ = (−K_l ± √(K_l² − 4K_m)) / 2` (13).
+
+/// A minimal complex number (just enough for root reporting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{:.4}", self.re)
+        } else {
+            write!(
+                f,
+                "{:.4} {} {:.4}i",
+                self.re,
+                if self.im >= 0.0 { '+' } else { '-' },
+                self.im.abs()
+            )
+        }
+    }
+}
+
+/// The linearized closed-loop parameters of Section 4.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemParams {
+    /// Unit-conversion constant `m` (occupancy signal).
+    pub m: f64,
+    /// Unit-conversion constant `l` (difference signal).
+    pub l: f64,
+    /// Sampling-period constant `γ` of the Lindley queue equation.
+    pub gamma: f64,
+    /// Linearized μ–f slope constant `k` (from `c₂·μ²/f²` at the
+    /// operating point).
+    pub k: f64,
+    /// Frequency step per action (normalized to the full range).
+    pub step: f64,
+    /// Basic time delay for the `q − q_ref` signal.
+    pub t_m0: f64,
+    /// Basic time delay for the `Δq` signal.
+    pub t_l0: f64,
+}
+
+impl SystemParams {
+    /// The evaluation's setting: `T_m0 = 50`, `T_l0 = 8`, unit conversions
+    /// `m = l = 0.5`, normalized so that `K_l = 0.5` — the paper's
+    /// "typical system setting, K_l < 1" under which Remark 3's 2–8×
+    /// delay-ratio band follows.
+    pub fn paper_default() -> Self {
+        SystemParams {
+            m: 0.5,
+            l: 0.5,
+            gamma: 8.0,
+            k: 1.0,
+            step: 1.0,
+            t_m0: 50.0,
+            t_l0: 8.0,
+        }
+    }
+
+    /// `K_m = m·γ·k·step / T_m0`.
+    pub fn k_m(&self) -> f64 {
+        self.m * self.gamma * self.k * self.step / self.t_m0
+    }
+
+    /// `K_l = l·γ·k·step / T_l0`.
+    pub fn k_l(&self) -> f64 {
+        self.l * self.gamma * self.k * self.step / self.t_l0
+    }
+
+    /// The characteristic roots (13): `s₁,₂ = (−K_l ± √(K_l²−4K_m))/2`.
+    pub fn roots(&self) -> (Complex, Complex) {
+        let kl = self.k_l();
+        let km = self.k_m();
+        let disc = kl * kl - 4.0 * km;
+        if disc >= 0.0 {
+            let sq = disc.sqrt();
+            (
+                Complex {
+                    re: (-kl + sq) / 2.0,
+                    im: 0.0,
+                },
+                Complex {
+                    re: (-kl - sq) / 2.0,
+                    im: 0.0,
+                },
+            )
+        } else {
+            let sq = (-disc).sqrt();
+            (
+                Complex {
+                    re: -kl / 2.0,
+                    im: sq / 2.0,
+                },
+                Complex {
+                    re: -kl / 2.0,
+                    im: -sq / 2.0,
+                },
+            )
+        }
+    }
+
+    /// Remark 1: the loop is stable iff both roots lie strictly in the
+    /// left half-plane, which holds for any positive parameters.
+    pub fn is_stable(&self) -> bool {
+        let (r1, r2) = self.roots();
+        r1.re < 0.0 && r2.re < 0.0
+    }
+
+    /// Damping ratio `ξ = K_l / (2√K_m)` (Remark 3).
+    pub fn damping_ratio(&self) -> f64 {
+        self.k_l() / (2.0 * self.k_m().sqrt())
+    }
+
+    /// Settling time `t_s = 8 / K_l` (Remark 2, from the control-theory text's formulas).
+    pub fn settling_time(&self) -> f64 {
+        8.0 / self.k_l()
+    }
+
+    /// Rising time `t_r = (0.8 + 1.25·K_l/√K_m) / √K_m`.
+    pub fn rising_time(&self) -> f64 {
+        let sqrt_km = self.k_m().sqrt();
+        (0.8 + 1.25 * self.k_l() / sqrt_km) / sqrt_km
+    }
+
+    /// Maximum percent transient overshoot of the underdamped 2nd-order
+    /// step response: `exp(−πξ/√(1−ξ²))` for `ξ < 1`, zero otherwise.
+    pub fn percent_overshoot(&self) -> f64 {
+        let xi = self.damping_ratio();
+        if xi >= 1.0 {
+            0.0
+        } else {
+            (-std::f64::consts::PI * xi / (1.0 - xi * xi).sqrt()).exp()
+        }
+    }
+
+    /// The delay ratio `T_m0 / T_l0` (Remark 3's 2–8 band, assuming
+    /// `m = l`).
+    pub fn delay_ratio(&self) -> f64 {
+        self.t_m0 / self.t_l0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_stable_remark1() {
+        assert!(SystemParams::paper_default().is_stable());
+    }
+
+    #[test]
+    fn any_positive_parameters_are_stable_remark1() {
+        for &step in &[1e-4, 1e-2, 0.5] {
+            for &t_m0 in &[1.0, 50.0, 1000.0] {
+                for &t_l0 in &[1.0, 8.0, 500.0] {
+                    let s = SystemParams {
+                        step,
+                        t_m0,
+                        t_l0,
+                        ..SystemParams::paper_default()
+                    };
+                    assert!(s.is_stable(), "unstable at {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roots_satisfy_characteristic_polynomial() {
+        // s² + K_l·s + K_m = 0 must hold for both roots.
+        let s = SystemParams::paper_default();
+        let (r1, r2) = s.roots();
+        for r in [r1, r2] {
+            // (re+im·i)² + K_l(re+im·i) + K_m
+            let re = r.re * r.re - r.im * r.im + s.k_l() * r.re + s.k_m();
+            let im = 2.0 * r.re * r.im + s.k_l() * r.im;
+            assert!(re.abs() < 1e-12 && im.abs() < 1e-12, "root {r} fails");
+        }
+    }
+
+    #[test]
+    fn smaller_delays_speed_up_the_response_remark2() {
+        let slow = SystemParams::paper_default();
+        let fast = SystemParams {
+            t_m0: 25.0,
+            t_l0: 4.0,
+            ..slow
+        };
+        assert!(fast.settling_time() < slow.settling_time());
+        assert!(fast.rising_time() < slow.rising_time());
+    }
+
+    #[test]
+    fn paper_ratio_keeps_damping_above_half_remark3() {
+        let s = SystemParams::paper_default();
+        assert!(s.delay_ratio() > 2.0 && s.delay_ratio() < 8.0);
+        assert!(s.damping_ratio() >= 0.5, "ξ = {}", s.damping_ratio());
+        // ξ ≥ 0.5 caps the overshoot at ≈ 16 %.
+        assert!(s.percent_overshoot() <= 0.17);
+    }
+
+    #[test]
+    fn too_small_ratio_underdamps() {
+        // T_m0 = T_l0 → ratio 1 → ξ < 0.5 → larger overshoot.
+        let s = SystemParams {
+            t_m0: 8.0,
+            t_l0: 8.0,
+            ..SystemParams::paper_default()
+        };
+        assert!(s.damping_ratio() < 0.5);
+        assert!(s.percent_overshoot() > 0.17);
+        assert!(s.is_stable(), "underdamped is still stable");
+    }
+
+    #[test]
+    fn overdamped_has_no_overshoot() {
+        let s = SystemParams {
+            t_m0: 400.0,
+            t_l0: 8.0,
+            ..SystemParams::paper_default()
+        };
+        assert!(s.damping_ratio() >= 1.0);
+        assert_eq!(s.percent_overshoot(), 0.0);
+    }
+
+    #[test]
+    fn complex_display_and_abs() {
+        let c = Complex { re: -0.5, im: 0.25 };
+        assert!(format!("{c}").contains('i'));
+        assert!((c.abs() - (0.3125f64).sqrt()).abs() < 1e-12);
+        let r = Complex { re: -1.0, im: 0.0 };
+        assert_eq!(format!("{r}"), "-1.0000");
+    }
+}

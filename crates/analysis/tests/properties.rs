@@ -1,0 +1,84 @@
+//! Property-based tests for the analysis toolkit.
+
+use mcd_analysis::discrete::{exact_discretize, is_stable_discrete};
+use mcd_analysis::frequency_response::magnitude;
+use mcd_analysis::spectrum::{autocovariance, fft, ifft, periodogram};
+use mcd_analysis::SystemParams;
+use proptest::prelude::*;
+
+fn arb_system() -> impl Strategy<Value = SystemParams> {
+    (0.1f64..4.0, 5.0f64..400.0, 1.0f64..100.0).prop_map(|(step, t_m0, t_l0)| SystemParams {
+        step,
+        t_m0,
+        t_l0,
+        ..SystemParams::paper_default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Remark 1 as a property: every positive parameterization is stable,
+    /// and its exact discretization at any period is stable too.
+    #[test]
+    fn stability_is_universal(sys in arb_system(), h in 0.01f64..100.0) {
+        prop_assert!(sys.is_stable());
+        prop_assert!(is_stable_discrete(exact_discretize(&sys, h)));
+    }
+
+    /// The characteristic roots always satisfy s² + K_l·s + K_m = 0.
+    #[test]
+    fn roots_solve_characteristic_polynomial(sys in arb_system()) {
+        let (r1, r2) = sys.roots();
+        for r in [r1, r2] {
+            let re = r.re * r.re - r.im * r.im + sys.k_l() * r.re + sys.k_m();
+            let im = 2.0 * r.re * r.im + sys.k_l() * r.im;
+            prop_assert!(re.abs() < 1e-9 && im.abs() < 1e-9);
+        }
+    }
+
+    /// |H(jω)| is 1 at DC and below 1/√2 beyond the tracking bandwidth…
+    /// and always non-negative and finite.
+    #[test]
+    fn frequency_response_is_sane(sys in arb_system(), omega in 0.0f64..1000.0) {
+        let m = magnitude(&sys, omega);
+        prop_assert!(m.is_finite() && m >= 0.0);
+        prop_assert!((magnitude(&sys, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    /// FFT round-trips arbitrary signals (power-of-two lengths).
+    #[test]
+    fn fft_roundtrip(x in proptest::collection::vec(-100.0f64..100.0, 1..200), pow in 0u32..3) {
+        let n = (x.len().next_power_of_two() << pow).max(2);
+        let mut re = x.clone();
+        re.resize(n, 0.0);
+        let orig = re.clone();
+        let mut im = vec![0.0; n];
+        fft(&mut re, &mut im);
+        ifft(&mut re, &mut im);
+        for (a, b) in orig.iter().zip(&re) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        prop_assert!(im.iter().all(|v| v.abs() < 1e-8));
+    }
+
+    /// Parseval as a property: the periodogram's integrated variance equals
+    /// the series variance.
+    #[test]
+    fn periodogram_preserves_variance(x in proptest::collection::vec(-50.0f64..50.0, 8..300)) {
+        let n = x.len() as f64;
+        let mean = x.iter().sum::<f64>() / n;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let s = periodogram(&x);
+        prop_assert!((s.total_variance() - var).abs() <= 1e-9 * var.max(1.0));
+    }
+
+    /// Autocovariance at lag 0 dominates all other lags in magnitude.
+    #[test]
+    fn autocovariance_peaks_at_zero(x in proptest::collection::vec(-10.0f64..10.0, 8..300)) {
+        let acov = autocovariance(&x, x.len() / 2);
+        for (lag, &c) in acov.iter().enumerate() {
+            prop_assert!(c.abs() <= acov[0] + 1e-9, "lag {lag}: {c} vs {}", acov[0]);
+        }
+    }
+}

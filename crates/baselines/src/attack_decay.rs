@@ -1,0 +1,246 @@
+//! The attack/decay controller of Semeraro et al. (MICRO 2002) — the
+//! paper's reference \[9\].
+//!
+//! Per fixed interval, the controller compares the interval's average
+//! queue utilization to the previous interval's. A change above the
+//! *reaction threshold* triggers an **attack**: a frequency jump in the
+//! direction of the change, proportional to the attack factor. Small
+//! changes trigger the **decay**: a slow steady drift downward that
+//! harvests energy whenever the workload is not visibly growing.
+
+use mcd_sim::{ControllerCtx, DomainId, DvfsAction, DvfsController, QueueSample};
+
+use crate::interval::IntervalFramer;
+
+/// Attack/decay tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackDecayConfig {
+    /// Interval length in committed instructions (10 000 in \[9\]).
+    pub interval_insts: u64,
+    /// Utilization-change magnitude (fraction of capacity) that triggers
+    /// an attack.
+    pub threshold: f64,
+    /// Attack step as a fraction of the full frequency range.
+    pub attack: f64,
+    /// Decay step as a fraction of the full frequency range.
+    pub decay: f64,
+}
+
+impl Default for AttackDecayConfig {
+    /// The MICRO 2002 settings: 10 k-instruction intervals, 1.7 %
+    /// reaction threshold, 6 % attack, 0.17 % decay.
+    fn default() -> Self {
+        AttackDecayConfig {
+            interval_insts: 10_000,
+            threshold: 0.017,
+            attack: 0.06,
+            decay: 0.0017,
+        }
+    }
+}
+
+/// The attack/decay DVFS controller for one domain.
+#[derive(Debug)]
+pub struct AttackDecayController {
+    cfg: AttackDecayConfig,
+    framer: IntervalFramer,
+    prev_util: Option<f64>,
+    /// Fractional-step carry so the tiny decay is not lost to rounding.
+    carry: f64,
+    intervals: u64,
+}
+
+impl AttackDecayController {
+    /// Builds a controller with explicit parameters.
+    pub fn new(cfg: AttackDecayConfig) -> Self {
+        AttackDecayController {
+            framer: IntervalFramer::new(cfg.interval_insts),
+            cfg,
+            prev_util: None,
+            carry: 0.0,
+            intervals: 0,
+        }
+    }
+
+    /// Builds the default (\[9\]) configuration; the parameters do not vary
+    /// by domain, so `_domain` only mirrors the other schemes' interface.
+    pub fn for_domain(_domain: DomainId) -> Self {
+        AttackDecayController::new(AttackDecayConfig::default())
+    }
+
+    /// Completed decision intervals so far.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+}
+
+impl DvfsController for AttackDecayController {
+    fn on_sample(&mut self, ctx: &ControllerCtx<'_>, sample: QueueSample) -> Option<DvfsAction> {
+        let summary = self.framer.observe(sample.occupancy as f64, ctx.retired)?;
+        self.intervals += 1;
+        let util = summary.mean_occupancy / sample.capacity as f64;
+        let prev = self.prev_util.replace(util);
+        let steps_in_range = ctx.curve.max_index().0 as f64;
+
+        // First interval: no history, no action.
+        let prev = prev?;
+
+        let delta = util - prev;
+        let step_frac = if delta.abs() >= self.cfg.threshold {
+            // Attack in the direction of the utilization change.
+            self.cfg.attack * delta.signum()
+        } else {
+            // Quiet interval: decay downward.
+            -self.cfg.decay
+        };
+        let exact = step_frac * steps_in_range + self.carry;
+        let whole = exact.trunc();
+        self.carry = exact - whole;
+        let steps = whole as i32;
+        if steps == 0 {
+            return None;
+        }
+        Some(DvfsAction::Step(steps))
+    }
+
+    fn name(&self) -> &'static str {
+        "attack-decay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::{OpIndex, TimePs, VfCurve};
+
+    struct Harness {
+        curve: VfCurve,
+        retired: u64,
+        now: TimePs,
+        current: OpIndex,
+        ctrl: AttackDecayController,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            let curve = VfCurve::mcd_default();
+            Harness {
+                current: curve.max_index(),
+                curve,
+                retired: 0,
+                now: TimePs::ZERO,
+                ctrl: AttackDecayController::for_domain(DomainId::Int),
+            }
+        }
+
+        /// One sample with the given occupancy; advances `retired` by
+        /// `insts` instructions.
+        fn sample(&mut self, occupancy: u32, insts: u64) -> Option<DvfsAction> {
+            self.retired += insts;
+            self.now += TimePs::from_ns(4);
+            let ctx = ControllerCtx {
+                now: self.now,
+                domain: DomainId::Int,
+                current: self.current,
+                curve: &self.curve,
+                in_transition: false,
+                single_step_time: TimePs::from_ns(172),
+                sample_period: TimePs::from_ns(4),
+                retired: self.retired,
+            };
+            let a = self.ctrl.on_sample(
+                &ctx,
+                QueueSample {
+                    occupancy,
+                    capacity: 20,
+                },
+            );
+            if let Some(act) = a {
+                self.current = act.resolve(self.current, &self.curve);
+            }
+            a
+        }
+
+        /// Runs exactly one 10k-instruction interval at constant occupancy.
+        fn interval(&mut self, occupancy: u32) -> Option<DvfsAction> {
+            let mut last = None;
+            for _ in 0..10 {
+                if let Some(a) = self.sample(occupancy, 1000) {
+                    last = Some(a);
+                }
+            }
+            last
+        }
+    }
+
+    #[test]
+    fn first_interval_takes_no_action() {
+        let mut h = Harness::new();
+        assert_eq!(h.interval(10), None);
+        assert_eq!(h.ctrl.intervals(), 1);
+    }
+
+    #[test]
+    fn quiet_intervals_decay_downward() {
+        let mut h = Harness::new();
+        h.interval(10); // priming interval
+        let start = h.current;
+        for _ in 0..20 {
+            h.interval(10); // identical utilization: decay path
+        }
+        assert!(h.current < start, "decay should have lowered frequency");
+        // Decay is slow: 0.17% of 320 steps ≈ 0.54 steps/interval.
+        let dropped = start.0 - h.current.0;
+        assert!(
+            (8..=14).contains(&dropped),
+            "dropped {dropped} steps in 20 intervals"
+        );
+    }
+
+    #[test]
+    fn rising_utilization_attacks_upward() {
+        let mut h = Harness::new();
+        h.current = OpIndex(100);
+        h.interval(5); // prime at 25% utilization
+        let before = h.current;
+        let action = h.interval(15); // 75%: change +50% >> threshold
+        assert!(
+            matches!(action, Some(DvfsAction::Step(s)) if s > 0),
+            "{action:?}"
+        );
+        assert!(h.current > before);
+        // Attack: 6% of 320 ≈ 19 steps.
+        assert_eq!(h.current.0 - before.0, 19);
+    }
+
+    #[test]
+    fn falling_utilization_attacks_downward() {
+        let mut h = Harness::new();
+        h.interval(15);
+        let before = h.current;
+        h.interval(5);
+        assert!(h.current < before);
+        assert_eq!(before.0 - h.current.0, 19);
+    }
+
+    #[test]
+    fn small_changes_do_not_attack() {
+        let mut h = Harness::new();
+        h.interval(10);
+        let before = h.current;
+        h.interval(10); // |Δutil| = 0 < 1.7%: decay only
+        let dropped = before.0 - h.current.0;
+        assert!(
+            dropped <= 1,
+            "dropped {dropped}, expected at most the decay"
+        );
+    }
+
+    #[test]
+    fn reports_name() {
+        assert_eq!(
+            AttackDecayController::for_domain(DomainId::Fp).name(),
+            "attack-decay"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Pinning a domain at a fixed operating point (ablation helper).
+
+use mcd_power::OpIndex;
+use mcd_sim::{ControllerCtx, DvfsAction, DvfsController, QueueSample};
+
+/// A "controller" that pins its domain at one operating point forever.
+///
+/// Useful for static-scaling ablations and oracle studies; the full-speed
+/// baseline itself needs no controller at all (domains start at maximum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedOperatingPoint(pub OpIndex);
+
+impl DvfsController for FixedOperatingPoint {
+    fn on_sample(&mut self, ctx: &ControllerCtx<'_>, _: QueueSample) -> Option<DvfsAction> {
+        (ctx.current != self.0).then_some(DvfsAction::Set(self.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::{TimePs, VfCurve};
+    use mcd_sim::DomainId;
+
+    #[test]
+    fn requests_target_until_reached_then_stays_silent() {
+        let curve = VfCurve::mcd_default();
+        let mut c = FixedOperatingPoint(OpIndex(40));
+        let ctx = |current: OpIndex| ControllerCtx {
+            now: TimePs::ZERO,
+            domain: DomainId::Int,
+            current,
+            curve: &curve,
+            in_transition: false,
+            single_step_time: TimePs::from_ns(172),
+            sample_period: TimePs::from_ns(4),
+            retired: 0,
+        };
+        let s = QueueSample {
+            occupancy: 3,
+            capacity: 20,
+        };
+        assert_eq!(
+            c.on_sample(&ctx(curve.max_index()), s),
+            Some(DvfsAction::Set(OpIndex(40)))
+        );
+        assert_eq!(c.on_sample(&ctx(OpIndex(40)), s), None);
+        assert_eq!(c.name(), "fixed");
+    }
+}

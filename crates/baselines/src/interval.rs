@@ -1,0 +1,116 @@
+//! Fixed-interval framing shared by the baseline schemes.
+//!
+//! Both prior schemes frame their decisions on a fixed number of committed
+//! instructions (10 000 in the original papers). The framer accumulates
+//! queue samples and reports the interval's mean occupancy when the
+//! instruction boundary passes.
+
+/// Accumulates queue samples over fixed instruction intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalFramer {
+    interval_insts: u64,
+    next_boundary: u64,
+    sum: f64,
+    n: u64,
+}
+
+/// Summary of one completed interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalSummary {
+    /// Mean queue occupancy over the interval's samples.
+    pub mean_occupancy: f64,
+    /// Number of samples that fell into the interval.
+    pub samples: u64,
+}
+
+impl IntervalFramer {
+    /// Creates a framer with the given interval length in committed
+    /// instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_insts` is zero.
+    pub fn new(interval_insts: u64) -> Self {
+        assert!(interval_insts > 0, "interval length must be positive");
+        IntervalFramer {
+            interval_insts,
+            next_boundary: interval_insts,
+            sum: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The configured interval length.
+    pub fn interval_insts(&self) -> u64 {
+        self.interval_insts
+    }
+
+    /// Feeds one sample (occupancy + the current retired-instruction
+    /// count). Returns the completed interval's summary when the boundary
+    /// has passed, `None` otherwise.
+    pub fn observe(&mut self, occupancy: f64, retired: u64) -> Option<IntervalSummary> {
+        self.sum += occupancy;
+        self.n += 1;
+        if retired < self.next_boundary {
+            return None;
+        }
+        let summary = IntervalSummary {
+            mean_occupancy: self.sum / self.n as f64,
+            samples: self.n,
+        };
+        self.sum = 0.0;
+        self.n = 0;
+        // Skip ahead if the program raced through several intervals.
+        while self.next_boundary <= retired {
+            self.next_boundary += self.interval_insts;
+        }
+        Some(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_summary_before_boundary() {
+        let mut f = IntervalFramer::new(100);
+        assert_eq!(f.observe(5.0, 10), None);
+        assert_eq!(f.observe(7.0, 50), None);
+    }
+
+    #[test]
+    fn summary_at_boundary_averages_samples() {
+        let mut f = IntervalFramer::new(100);
+        f.observe(4.0, 30);
+        f.observe(6.0, 60);
+        let s = f.observe(8.0, 100).expect("boundary crossed");
+        assert_eq!(s.mean_occupancy, 6.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn next_interval_starts_fresh() {
+        let mut f = IntervalFramer::new(100);
+        f.observe(10.0, 100).expect("first interval");
+        assert_eq!(f.observe(2.0, 150), None);
+        let s = f.observe(4.0, 205).expect("second interval");
+        assert_eq!(s.mean_occupancy, 3.0);
+    }
+
+    #[test]
+    fn fast_programs_skip_boundaries_cleanly() {
+        let mut f = IntervalFramer::new(100);
+        let s = f.observe(5.0, 350).expect("boundary far behind");
+        assert_eq!(s.samples, 1);
+        // Next boundary is 400, not 200.
+        assert_eq!(f.observe(5.0, 399), None);
+        assert!(f.observe(5.0, 400).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_panics() {
+        let _ = IntervalFramer::new(0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Fixed-interval DVFS baselines for MCD processors.
+//!
+//! The HPCA 2005 paper compares its adaptive controller against the two
+//! best-known prior online DVFS schemes for MCD processors, both of which
+//! frame decisions on a **fixed interval**:
+//!
+//! * [`AttackDecayController`] — the attack/decay heuristic of Semeraro et
+//!   al. (MICRO 2002), the paper's reference \[9\]: per interval, a large
+//!   change in average queue utilization triggers a proportional "attack"
+//!   step; otherwise the frequency "decays" slowly downward.
+//! * [`PidController`] — the formal PID controller of Wu et al.
+//!   (ASPLOS 2004), the paper's reference \[23\]: per interval, a PID law on
+//!   the average-occupancy error computes a new frequency setting.
+//!
+//! Both observe exactly the same queue samples as the adaptive scheme, so
+//! comparisons isolate the *decision policy*. [`FixedOperatingPoint`] pins
+//! a domain to one point (for ablations and the full-speed baseline).
+//!
+//! # Example
+//!
+//! ```
+//! use mcd_baselines::PidController;
+//! use mcd_sim::{Machine, SimConfig};
+//! use mcd_workloads::{registry, TraceGenerator};
+//!
+//! let spec = registry::by_name("gzip").expect("known benchmark");
+//! let machine = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 10_000, 1))
+//!     .with_controllers(|d| Box::new(PidController::for_domain(d)));
+//! let result = machine.run();
+//! assert_eq!(result.instructions, 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack_decay;
+pub mod fixed;
+pub mod interval;
+pub mod pid;
+
+pub use attack_decay::{AttackDecayConfig, AttackDecayController};
+pub use fixed::FixedOperatingPoint;
+pub use interval::IntervalFramer;
+pub use pid::{PidConfig, PidController};

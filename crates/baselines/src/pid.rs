@@ -1,0 +1,282 @@
+//! The PID fixed-interval controller of Wu et al. (ASPLOS 2004) — the
+//! paper's reference \[23\].
+//!
+//! Per fixed interval the controller computes the occupancy error
+//! `e = q̄ − q_ref` and updates the frequency setting with an incremental
+//! (velocity-form) PID law:
+//!
+//! ```text
+//! Δu_k = K_P (e_k − e_{k−1}) + K_I e_k + K_D (e_k − 2e_{k−1} + e_{k−2})
+//! ```
+//!
+//! A queue above its reference means the domain is too slow (frequency
+//! rises); below, too fast (frequency falls). The incremental form has no
+//! integral windup and maps directly onto hardware
+//! multipliers — the very hardware this paper's adaptive scheme avoids.
+
+use mcd_power::OpIndex;
+use mcd_sim::{ControllerCtx, DomainId, DvfsAction, DvfsController, QueueSample};
+
+use crate::interval::IntervalFramer;
+
+/// PID controller parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PidConfig {
+    /// Interval length in committed instructions (10 000 in \[23\]).
+    pub interval_insts: u64,
+    /// Reference queue occupancy.
+    pub q_ref: f64,
+    /// Proportional gain, in curve steps per occupancy entry.
+    pub kp: f64,
+    /// Integral gain, in curve steps per occupancy entry per interval.
+    pub ki: f64,
+    /// Derivative gain, in curve steps per occupancy entry.
+    pub kd: f64,
+}
+
+impl PidConfig {
+    /// The per-domain defaults used in the reproduction: `q_ref` matches
+    /// the adaptive scheme (6 INT, 4 FP/LS) so the two schemes pursue the
+    /// same operating point, with gains tuned for stable tracking on
+    /// 10 k-instruction intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is the front end.
+    pub fn for_domain(domain: DomainId) -> Self {
+        let q_ref = match domain {
+            DomainId::Int => 6.0,
+            DomainId::Fp | DomainId::Ls => 4.0,
+            DomainId::FrontEnd => panic!("the front end is not DVFS-controlled"),
+        };
+        PidConfig {
+            interval_insts: 10_000,
+            q_ref,
+            kp: 6.0,
+            ki: 2.0,
+            kd: 1.0,
+        }
+    }
+
+    /// Overrides the interval length (the paper's closing study sweeps
+    /// this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_insts` is zero.
+    pub fn with_interval(mut self, interval_insts: u64) -> Self {
+        assert!(interval_insts > 0, "interval length must be positive");
+        self.interval_insts = interval_insts;
+        self
+    }
+
+    /// Overrides the PID gains.
+    pub fn with_gains(mut self, kp: f64, ki: f64, kd: f64) -> Self {
+        self.kp = kp;
+        self.ki = ki;
+        self.kd = kd;
+        self
+    }
+}
+
+/// The PID DVFS controller for one domain.
+#[derive(Debug)]
+pub struct PidController {
+    cfg: PidConfig,
+    framer: IntervalFramer,
+    e1: Option<f64>,
+    e2: Option<f64>,
+    /// Continuous frequency setting in curve steps (carries fractions).
+    setting: Option<f64>,
+    intervals: u64,
+}
+
+impl PidController {
+    /// Builds a controller with explicit parameters.
+    pub fn new(cfg: PidConfig) -> Self {
+        PidController {
+            framer: IntervalFramer::new(cfg.interval_insts),
+            cfg,
+            e1: None,
+            e2: None,
+            setting: None,
+            intervals: 0,
+        }
+    }
+
+    /// Builds the default configuration for `domain`.
+    pub fn for_domain(domain: DomainId) -> Self {
+        PidController::new(PidConfig::for_domain(domain))
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &PidConfig {
+        &self.cfg
+    }
+
+    /// Completed decision intervals so far.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+}
+
+impl DvfsController for PidController {
+    fn on_sample(&mut self, ctx: &ControllerCtx<'_>, sample: QueueSample) -> Option<DvfsAction> {
+        let summary = self.framer.observe(sample.occupancy as f64, ctx.retired)?;
+        self.intervals += 1;
+
+        let e = summary.mean_occupancy - self.cfg.q_ref;
+        let e1 = self.e1.unwrap_or(e);
+        let e2 = self.e2.unwrap_or(e1);
+        self.e2 = Some(e1);
+        self.e1 = Some(e);
+
+        let du = self.cfg.kp * (e - e1) + self.cfg.ki * e + self.cfg.kd * (e - 2.0 * e1 + e2);
+        let setting = self.setting.get_or_insert(ctx.current.0 as f64);
+        *setting = (*setting + du).clamp(0.0, ctx.curve.max_index().0 as f64);
+        let target = OpIndex(setting.round() as u16);
+        if target == ctx.current {
+            None
+        } else {
+            Some(DvfsAction::Set(target))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::{TimePs, VfCurve};
+
+    struct Harness {
+        curve: VfCurve,
+        retired: u64,
+        now: TimePs,
+        current: OpIndex,
+        ctrl: PidController,
+    }
+
+    impl Harness {
+        fn new(ctrl: PidController) -> Self {
+            let curve = VfCurve::mcd_default();
+            Harness {
+                current: curve.max_index(),
+                curve,
+                retired: 0,
+                now: TimePs::ZERO,
+                ctrl,
+            }
+        }
+
+        fn interval(&mut self, occupancy: u32) -> Option<DvfsAction> {
+            let per = self.ctrl.config().interval_insts / 10;
+            let mut out = None;
+            for _ in 0..10 {
+                self.retired += per;
+                self.now += TimePs::from_ns(4);
+                let ctx = ControllerCtx {
+                    now: self.now,
+                    domain: DomainId::Fp,
+                    current: self.current,
+                    curve: &self.curve,
+                    in_transition: false,
+                    single_step_time: TimePs::from_ns(172),
+                    sample_period: TimePs::from_ns(4),
+                    retired: self.retired,
+                };
+                if let Some(a) = self.ctrl.on_sample(
+                    &ctx,
+                    QueueSample {
+                        occupancy,
+                        capacity: 16,
+                    },
+                ) {
+                    self.current = a.resolve(self.current, &self.curve);
+                    out = Some(a);
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn at_reference_no_movement() {
+        let mut h = Harness::new(PidController::for_domain(DomainId::Fp));
+        for _ in 0..50 {
+            h.interval(4); // e = 0
+        }
+        assert_eq!(h.current, h.curve.max_index());
+    }
+
+    #[test]
+    fn empty_queue_integrates_down_to_minimum() {
+        let mut h = Harness::new(PidController::for_domain(DomainId::Fp));
+        for _ in 0..200 {
+            h.interval(0); // e = −4 persistently
+        }
+        assert_eq!(h.current, OpIndex(0));
+    }
+
+    #[test]
+    fn overfull_queue_drives_back_up() {
+        let mut h = Harness::new(PidController::for_domain(DomainId::Fp));
+        h.current = OpIndex(0);
+        for _ in 0..200 {
+            h.interval(16); // e = +12 persistently
+        }
+        assert_eq!(h.current, h.curve.max_index());
+    }
+
+    #[test]
+    fn integral_speed_scales_with_error() {
+        let drop_after = |occ: u32, n: usize| {
+            let mut h = Harness::new(PidController::for_domain(DomainId::Fp));
+            for _ in 0..n {
+                h.interval(occ);
+            }
+            h.curve.max_index().0 - h.current.0
+        };
+        let small_err = drop_after(3, 10); // e = −1
+        let large_err = drop_after(0, 10); // e = −4
+        assert!(
+            large_err > small_err * 2,
+            "large {large_err} vs small {small_err}"
+        );
+    }
+
+    #[test]
+    fn shorter_intervals_react_sooner_in_instructions() {
+        // Same persistent error; count *instructions* until first action.
+        let insts_to_first_action = |interval: u64| {
+            let cfg = PidConfig::for_domain(DomainId::Fp).with_interval(interval);
+            let mut h = Harness::new(PidController::new(cfg));
+            let mut insts = 0;
+            loop {
+                insts += interval; // one interval per call below
+                if h.interval(0).is_some() {
+                    return insts;
+                }
+                assert!(insts < 10_000_000);
+            }
+        };
+        assert!(insts_to_first_action(2_500) < insts_to_first_action(25_000));
+    }
+
+    #[test]
+    fn no_action_while_setting_rounds_to_current() {
+        let mut h = Harness::new(PidController::new(
+            PidConfig::for_domain(DomainId::Fp).with_gains(0.01, 0.01, 0.0),
+        ));
+        // Tiny gains: first interval moves the setting by < 0.5 steps.
+        assert_eq!(h.interval(5), None);
+    }
+
+    #[test]
+    fn reports_name() {
+        assert_eq!(PidController::for_domain(DomainId::Ls).name(), "pid");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the fixed-interval baselines.
+
+use mcd_baselines::{AttackDecayController, IntervalFramer, PidConfig, PidController};
+use mcd_power::{OpIndex, TimePs, VfCurve};
+use mcd_sim::{ControllerCtx, DomainId, DvfsController, QueueSample};
+use proptest::prelude::*;
+
+/// Drives any controller over an occupancy sequence with a fixed
+/// instructions-per-sample rate, applying every action.
+fn drive(ctrl: &mut dyn DvfsController, occupancies: &[u8], insts_per_sample: u64) -> Vec<OpIndex> {
+    let curve = VfCurve::mcd_default();
+    let mut current = curve.max_index();
+    let mut now = TimePs::ZERO;
+    let mut retired = 0;
+    let mut visited = vec![current];
+    for &occ in occupancies {
+        now += TimePs::from_ns(4);
+        retired += insts_per_sample;
+        let ctx = ControllerCtx {
+            now,
+            domain: DomainId::Int,
+            current,
+            curve: &curve,
+            in_transition: false,
+            single_step_time: TimePs::from_ns(172),
+            sample_period: TimePs::from_ns(4),
+            retired,
+        };
+        if let Some(a) = ctrl.on_sample(
+            &ctx,
+            QueueSample {
+                occupancy: occ.min(20) as u32,
+                capacity: 20,
+            },
+        ) {
+            current = a.resolve(current, &curve);
+            visited.push(current);
+        }
+    }
+    visited
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both baselines keep the operating point on the curve for arbitrary
+    /// occupancy streams and instruction rates.
+    #[test]
+    fn baselines_stay_on_curve(
+        occupancies in proptest::collection::vec(0u8..=20, 1..3000),
+        rate in 1u64..2000,
+    ) {
+        let max = VfCurve::mcd_default().max_index();
+        let mut pid = PidController::for_domain(DomainId::Int);
+        for p in drive(&mut pid, &occupancies, rate) {
+            prop_assert!(p.0 <= max.0);
+        }
+        let mut ad = AttackDecayController::for_domain(DomainId::Int);
+        for p in drive(&mut ad, &occupancies, rate) {
+            prop_assert!(p.0 <= max.0);
+        }
+    }
+
+    /// Fixed-interval schemes act at most once per completed interval.
+    #[test]
+    fn actions_bounded_by_interval_count(
+        occupancies in proptest::collection::vec(0u8..=20, 1..3000),
+        rate in 1u64..500,
+    ) {
+        let total_insts = occupancies.len() as u64 * rate;
+        let intervals = total_insts / 10_000 + 1;
+        let mut pid = PidController::for_domain(DomainId::Int);
+        let actions = drive(&mut pid, &occupancies, rate).len() as u64 - 1;
+        prop_assert!(
+            actions <= intervals,
+            "{actions} actions in {intervals} intervals"
+        );
+    }
+
+    /// The interval framer's summaries always average within the observed
+    /// occupancy range and cover every sample exactly once.
+    #[test]
+    fn framer_summaries_are_consistent(
+        occupancies in proptest::collection::vec(0.0f64..20.0, 1..2000),
+        interval in 10u64..5000,
+        rate in 1u64..50,
+    ) {
+        let mut framer = IntervalFramer::new(interval);
+        let mut retired = 0;
+        let mut covered = 0u64;
+        for &q in &occupancies {
+            retired += rate;
+            if let Some(s) = framer.observe(q, retired) {
+                prop_assert!(s.mean_occupancy >= 0.0 && s.mean_occupancy <= 20.0);
+                prop_assert!(s.samples > 0);
+                covered += s.samples;
+            }
+        }
+        prop_assert!(covered <= occupancies.len() as u64);
+    }
+
+    /// PID with zero gains never acts, whatever it observes.
+    #[test]
+    fn zero_gain_pid_is_inert(occupancies in proptest::collection::vec(0u8..=20, 1..2000)) {
+        let cfg = PidConfig::for_domain(DomainId::Int).with_gains(0.0, 0.0, 0.0);
+        let mut pid = PidController::new(cfg);
+        let visited = drive(&mut pid, &occupancies, 100);
+        prop_assert_eq!(visited.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulator throughput: simulated instructions per second of host time,
+//! for the baseline machine and under each DVFS scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcd_bench::runner::{run, RunConfig, Scheme};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    let ops = 20_000u64;
+    group.throughput(Throughput::Elements(ops));
+    group.sample_size(10);
+    for scheme in [
+        Scheme::Baseline,
+        Scheme::Adaptive,
+        Scheme::Pid,
+        Scheme::AttackDecay,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("gzip", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let cfg = RunConfig::quick().with_ops(ops);
+                b.iter(|| run("gzip", scheme, &cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Spectral-estimation cost: FFT, periodogram, Welch and multitaper on
+//! occupancy-sized series (the Figure 8 / Table 2 pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcd_analysis::spectrum::{fft, multitaper, periodogram, welch};
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            6.0 + 4.0 * (t / 977.0).sin() + 2.0 * (t / 37.0).cos()
+        })
+        .collect()
+}
+
+fn spectrum_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectrum");
+    for &n in &[16_384usize, 131_072] {
+        let x = series(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fft", n), &x, |b, x| {
+            b.iter(|| {
+                let mut re = x.clone();
+                let mut im = vec![0.0; re.len()];
+                fft(&mut re, &mut im);
+                criterion::black_box(re[1])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("periodogram", n), &x, |b, x| {
+            b.iter(|| criterion::black_box(periodogram(x).total_variance()))
+        });
+        group.bench_with_input(BenchmarkId::new("welch_1024", n), &x, |b, x| {
+            b.iter(|| criterion::black_box(welch(x, 1024).total_variance()))
+        });
+        group.bench_with_input(BenchmarkId::new("multitaper_4", n), &x, |b, x| {
+            b.iter(|| criterion::black_box(multitaper(x, 4).total_variance()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, spectrum_benches);
+criterion_main!(benches);

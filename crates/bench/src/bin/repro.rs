@@ -1,0 +1,107 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--ops N] [--quick] [--seed S] [--out DIR]
+//! repro all [--ops N] [--out DIR]
+//! repro list
+//! ```
+//!
+//! With `--out DIR`, each experiment's report is also written to
+//! `DIR/<experiment>.txt`.
+
+use std::process::ExitCode;
+
+use mcd_bench::experiments;
+use mcd_bench::runner::RunConfig;
+
+fn usage() -> String {
+    format!(
+        "usage: repro <experiment|all|list> [--ops N] [--quick] [--seed S] [--out DIR]\n\
+         experiments: {}",
+        experiments::ALL.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let id = args[0].as_str();
+    if id == "list" {
+        for e in experiments::ALL {
+            println!("{e}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = RunConfig::full();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = RunConfig::quick(),
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--ops" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--ops needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg = cfg.with_ops(n);
+            }
+            "--seed" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg.seed = s;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<&str> = if id == "all" {
+        experiments::ALL.to_vec()
+    } else if experiments::ALL.contains(&id) {
+        vec![id]
+    } else {
+        eprintln!("unknown experiment {id}\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for (n, id) in ids.iter().enumerate() {
+        if n > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        let report = experiments::run(id, &cfg);
+        println!("{report}");
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.txt"));
+            if let Err(e) = std::fs::write(&path, &report) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! Ablations beyond the paper's figures: the design knobs Section 3 calls
+//! out (`q_ref` as the energy/performance trade-off; step size for
+//! XScale- vs Transmeta-style DVFS).
+
+use mcd_power::DvfsStyle;
+
+use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::table::Table;
+
+/// A small representative benchmark set (one per behaviour class).
+pub const REPRESENTATIVES: [&str; 4] = ["gzip", "wupwise", "mpeg2_decode", "mcf"];
+
+fn mean_outcome(cfg: &RunConfig, scheme: Scheme) -> Outcome {
+    let os: Vec<Outcome> = REPRESENTATIVES
+        .iter()
+        .map(|&n| {
+            let base = run_sim(n, Scheme::Baseline, cfg);
+            Outcome::versus(&run_sim(n, scheme, cfg), &base)
+        })
+        .collect();
+    Outcome::mean(&os)
+}
+
+/// The `q_ref` trade-off: raising the reference occupancy is more
+/// aggressive about energy, at a performance cost (Section 3.1).
+pub fn run_qref(cfg: &RunConfig) -> String {
+    let mut t = Table::new([
+        "q_ref scale",
+        "Energy savings",
+        "Perf degradation",
+        "EDP gain",
+    ]);
+    for scale in [0.5, 0.75, 1.0, 1.5, 2.0] {
+        let mut c = cfg.clone();
+        c.q_ref_scale = scale;
+        let o = mean_outcome(&c, Scheme::Adaptive);
+        t.row([
+            format!("{scale:.2}"),
+            pct(o.energy_savings),
+            pct(o.perf_degradation),
+            pct(o.edp_improvement),
+        ]);
+    }
+    format!(
+        "Ablation: reference queue occupancy (energy/performance trade-off knob)\n\
+         benchmarks: {REPRESENTATIVES:?}\n\n{}",
+        t.render()
+    )
+}
+
+/// Step-size ablation, including a Transmeta-style configuration
+/// (large steps, stall-during-transition).
+pub fn run_step(cfg: &RunConfig) -> String {
+    let mut t = Table::new([
+        "style",
+        "step",
+        "Energy savings",
+        "Perf degradation",
+        "EDP gain",
+    ]);
+    for (style, step) in [
+        (DvfsStyle::XScale, 1),
+        (DvfsStyle::XScale, 4),
+        (DvfsStyle::XScale, 16),
+        (DvfsStyle::Transmeta, 16),
+        (DvfsStyle::Transmeta, 64),
+    ] {
+        let mut c = cfg.clone();
+        c.sim.dvfs_style = style;
+        // Larger steps need higher trigger thresholds (Section 3's
+        // switching-cost argument): scale the delays with the step.
+        let o = {
+            use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+            use mcd_sim::{DomainId, Machine};
+            use mcd_workloads::{registry, TraceGenerator};
+            let os: Vec<Outcome> = REPRESENTATIVES
+                .iter()
+                .map(|&n| {
+                    let base = run_sim(n, Scheme::Baseline, &c);
+                    let spec = registry::by_name(n).expect("known benchmark");
+                    let mut m =
+                        Machine::new(c.sim.clone(), TraceGenerator::new(&spec, c.ops, c.seed));
+                    for &d in &DomainId::BACKEND {
+                        let acfg = AdaptiveConfig::for_domain(d)
+                            .with_step(step)
+                            .with_delays(50.0 * step as f64, 8.0 * step as f64);
+                        m = m.with_controller(d, Box::new(AdaptiveDvfsController::new(acfg)));
+                    }
+                    Outcome::versus(&m.run(), &base)
+                })
+                .collect();
+            Outcome::mean(&os)
+        };
+        t.row([
+            format!("{style:?}"),
+            step.to_string(),
+            pct(o.energy_savings),
+            pct(o.perf_degradation),
+            pct(o.edp_improvement),
+        ]);
+    }
+    format!(
+        "Ablation: action step size and DVFS style (Section 3's switching-cost trade-off)\n\
+         benchmarks: {REPRESENTATIVES:?}\n\n{}\n\
+         Note: Transmeta-style DVFS stalls the domain for the whole (10x slower)\n\
+         transition, so at sub-millisecond workload timescales *any* triggered\n\
+         action is ruinous — exactly Section 3's warning that slow-switching\n\
+         implementations need coarse steps and high trigger thresholds, and are\n\
+         only viable when workload phases last tens of milliseconds.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qref_ablation_renders_all_scales() {
+        let out = run_qref(&RunConfig::quick().with_ops(10_000));
+        assert!(out.contains("0.50") && out.contains("2.00"));
+    }
+
+    #[test]
+    fn step_ablation_includes_transmeta() {
+        let out = run_step(&RunConfig::quick().with_ops(10_000));
+        assert!(out.contains("Transmeta"));
+    }
+}

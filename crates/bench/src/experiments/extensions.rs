@@ -1,0 +1,288 @@
+//! Experiments beyond the paper's figures: the centralized-control
+//! extension, the synchronization-interface comparison, the wavelength
+//! sweep, the static-scaling bound, and the per-domain energy breakdown.
+
+use mcd_adaptive::coordinated_controllers;
+use mcd_baselines::FixedOperatingPoint;
+use mcd_power::OpIndex;
+use mcd_sim::{DomainId, Machine, SimResult, SyncModel};
+use mcd_workloads::{registry, synthetic, TraceGenerator, VariabilityClass};
+
+use crate::runner::{controller_for, pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::table::Table;
+
+/// Runs a spec (not necessarily registered) under a scheme.
+fn run_spec(spec: &mcd_workloads::BenchmarkSpec, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+    let mut machine = Machine::new(
+        cfg.sim.clone(),
+        TraceGenerator::new(spec, cfg.ops, cfg.seed),
+    );
+    for &d in &DomainId::BACKEND {
+        if let Some(c) = controller_for(scheme, d, cfg) {
+            machine = machine.with_controller(d, c);
+        }
+    }
+    machine.run()
+}
+
+/// Wavelength sweep: how each scheme's EDP gain depends on the workload's
+/// variation wavelength (square-wave FP/INT alternation, 40 % duty).
+///
+/// This is the design space behind the paper's fast/slow split: the
+/// adaptive advantage concentrates where the wavelength is comparable to
+/// (or shorter than) the fixed interval.
+pub fn run_wavelength(cfg: &RunConfig) -> String {
+    let mut t = Table::new([
+        "wavelength (insts)",
+        "adaptive EDP",
+        "PID EDP",
+        "atk/decay EDP",
+    ]);
+    for period in [
+        5_000u64, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000,
+    ] {
+        let spec = synthetic::square_wave(period, 0.4);
+        let ops = cfg.ops.max(period * 3); // at least three full periods
+        let mut c = cfg.clone();
+        c.ops = ops;
+        let base = run_spec(&spec, Scheme::Baseline, &c);
+        let edp = |scheme| Outcome::versus(&run_spec(&spec, scheme, &c), &base).edp_improvement;
+        t.row([
+            period.to_string(),
+            pct(edp(Scheme::Adaptive)),
+            pct(edp(Scheme::Pid)),
+            pct(edp(Scheme::AttackDecay)),
+        ]);
+    }
+    format!(
+        "Extension: EDP gain vs workload-variation wavelength (square-wave FP/INT)\n\n{}\n\
+         Reading guide: at wavelengths near 2x the fixed interval (20k insts) the\n\
+         PID averages away the swing it is riding — the paper's motivating\n\
+         half-interval scenario — while the adaptive scheme stays non-negative.\n\
+         Full-range square waves are hostile to everyone in the middle of the\n\
+         sweep, where each phase is comparable to the ~55 us regulator slew; only\n\
+         the adaptive scheme turns positive again at very long wavelengths. The\n\
+         fixed-interval schemes recover late because their instruction-framed\n\
+         intervals stretch in wall-clock time exactly when the domain is slow.\n",
+        t.render()
+    )
+}
+
+/// Synchronization-interface comparison (Section 2's two families):
+/// arbitration window vs token-ring FIFO vs an ideal zero-cost interface.
+pub fn run_sync(cfg: &RunConfig) -> String {
+    let mut t = Table::new([
+        "interface",
+        "benchmark",
+        "time vs ideal",
+        "adaptive EDP gain",
+    ]);
+    for name in ["gzip", "mpeg2_decode"] {
+        let mut ideal = cfg.clone();
+        ideal.sim.sync_window = mcd_power::TimePs::new(0);
+        ideal.sim.jitter_sigma_ps = 0.0;
+        let ideal_base = run_sim(name, Scheme::Baseline, &ideal);
+        for (label, model, window) in [
+            ("arbitration 300ps", SyncModel::Arbitration, 300u64),
+            ("token-ring FIFO", SyncModel::TokenRing, 300),
+            ("ideal (no sync)", SyncModel::Arbitration, 0),
+        ] {
+            let mut c = cfg.clone();
+            c.sim.sync_model = model;
+            c.sim.sync_window = mcd_power::TimePs::new(window);
+            c.sim.jitter_sigma_ps = 0.0;
+            let base = run_sim(name, Scheme::Baseline, &c);
+            let adaptive = run_sim(name, Scheme::Adaptive, &c);
+            t.row([
+                label.to_string(),
+                name.to_string(),
+                pct(base.sim_time.as_secs() / ideal_base.sim_time.as_secs() - 1.0),
+                pct(adaptive.edp_improvement_vs(&base)),
+            ]);
+        }
+    }
+    format!(
+        "Extension: synchronization-interface families (Section 2)\n\n{}",
+        t.render()
+    )
+}
+
+/// The centralized-control extension (the paper's future work): shared
+/// blackboard vetoing down-steps while another domain is the bottleneck.
+pub fn run_centralized(cfg: &RunConfig) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "decentralized E",
+        "decentralized T",
+        "decentralized EDP",
+        "centralized E",
+        "centralized T",
+        "centralized EDP",
+    ]);
+    let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let mut dec_all = Vec::new();
+    let mut cen_all = Vec::new();
+    for name in names {
+        let spec = registry::by_name(name).expect("registered");
+        let base = run_sim(name, Scheme::Baseline, cfg);
+        let dec = Outcome::versus(&run_sim(name, Scheme::Adaptive, cfg), &base);
+        let cen_result = Machine::new(
+            cfg.sim.clone(),
+            TraceGenerator::new(&spec, cfg.ops, cfg.seed),
+        )
+        .with_controllers(coordinated_controllers())
+        .run();
+        let cen = Outcome::versus(&cen_result, &base);
+        t.row([
+            name.to_string(),
+            pct(dec.energy_savings),
+            pct(dec.perf_degradation),
+            pct(dec.edp_improvement),
+            pct(cen.energy_savings),
+            pct(cen.perf_degradation),
+            pct(cen.edp_improvement),
+        ]);
+        dec_all.push(dec);
+        cen_all.push(cen);
+    }
+    let dm = Outcome::mean(&dec_all);
+    let cm = Outcome::mean(&cen_all);
+    format!(
+        "Extension: centralized coordination (paper's future work), fast group\n\n{}\n\
+         Mean: decentralized EDP {} vs centralized EDP {}\n",
+        t.render(),
+        pct(dm.edp_improvement),
+        pct(cm.edp_improvement)
+    )
+}
+
+/// Static per-domain scaling bound: the best fixed operating point found
+/// by a per-domain coarse search (what an oracle *static* assignment
+/// achieves, contrasting with dynamic control).
+pub fn run_static(cfg: &RunConfig) -> String {
+    let grid = [0u16, 80, 160, 240, 320];
+    let mut t = Table::new([
+        "Benchmark",
+        "best static (INT/FP/LS idx)",
+        "static EDP",
+        "adaptive EDP",
+    ]);
+    for name in ["adpcm_encode", "gzip", "wupwise", "mpeg2_decode"] {
+        let spec = registry::by_name(name).expect("registered");
+        let base = run_sim(name, Scheme::Baseline, cfg);
+        // Greedy per-domain search (domains are weakly coupled, Section 3).
+        let mut best = [OpIndex(320); 3];
+        for &d in &DomainId::BACKEND {
+            let mut best_edp = f64::MIN;
+            let mut best_idx = OpIndex(320);
+            for &idx in &grid {
+                let mut points = best;
+                points[d.backend_index()] = OpIndex(idx);
+                let mut m = Machine::new(
+                    cfg.sim.clone(),
+                    TraceGenerator::new(&spec, cfg.ops, cfg.seed),
+                );
+                for &dd in &DomainId::BACKEND {
+                    m = m.with_controller(
+                        dd,
+                        Box::new(FixedOperatingPoint(points[dd.backend_index()])),
+                    );
+                }
+                let edp = m.run().edp_improvement_vs(&base);
+                if edp > best_edp {
+                    best_edp = edp;
+                    best_idx = OpIndex(idx);
+                }
+            }
+            best[d.backend_index()] = best_idx;
+        }
+        let mut m = Machine::new(
+            cfg.sim.clone(),
+            TraceGenerator::new(&spec, cfg.ops, cfg.seed),
+        );
+        for &dd in &DomainId::BACKEND {
+            m = m.with_controller(dd, Box::new(FixedOperatingPoint(best[dd.backend_index()])));
+        }
+        let static_edp = m.run().edp_improvement_vs(&base);
+        let adaptive_edp = run_sim(name, Scheme::Adaptive, cfg).edp_improvement_vs(&base);
+        t.row([
+            name.to_string(),
+            format!("{}/{}/{}", best[0].0, best[1].0, best[2].0),
+            pct(static_edp),
+            pct(adaptive_edp),
+        ]);
+    }
+    format!(
+        "Extension: best static per-domain operating points vs dynamic adaptive control\n\n{}",
+        t.render()
+    )
+}
+
+/// Per-domain, per-category energy breakdown: where the savings come from.
+pub fn run_energy_breakdown(cfg: &RunConfig) -> String {
+    let mut out = String::from("Extension: per-domain energy breakdown (baseline vs adaptive)\n");
+    for name in ["adpcm_encode", "swim"] {
+        let base = run_sim(name, Scheme::Baseline, cfg);
+        let adap = run_sim(name, Scheme::Adaptive, cfg);
+        out.push_str(&format!("\n{name}:\n"));
+        let mut t = Table::new([
+            "domain",
+            "clock (b)",
+            "clock (a)",
+            "compute (b)",
+            "compute (a)",
+            "memory (b)",
+            "memory (a)",
+            "pipeline (b)",
+            "pipeline (a)",
+        ]);
+        for &d in &DomainId::ALL {
+            let b = base.domain(d).energy;
+            let a = adap.domain(d).energy;
+            let uj = |e: mcd_power::Energy| format!("{:.2}uJ", e.as_joules() * 1e6);
+            t.row([
+                format!("{d}"),
+                uj(b.clock),
+                uj(a.clock),
+                uj(b.compute),
+                uj(a.compute),
+                uj(b.memory),
+                uj(a.memory),
+                uj(b.pipeline),
+                uj(a.pipeline),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_experiment_lists_all_interfaces() {
+        let out = run_sync(&RunConfig::quick().with_ops(10_000));
+        assert!(out.contains("arbitration 300ps"));
+        assert!(out.contains("token-ring FIFO"));
+        assert!(out.contains("ideal (no sync)"));
+    }
+
+    #[test]
+    fn centralized_experiment_renders() {
+        let out = run_centralized(&RunConfig::quick().with_ops(10_000));
+        assert!(out.contains("centralized EDP"));
+    }
+
+    #[test]
+    fn energy_breakdown_covers_all_domains() {
+        let out = run_energy_breakdown(&RunConfig::quick().with_ops(10_000));
+        for d in ["front-end", "INT", "FP", "LS"] {
+            assert!(out.contains(d), "missing {d}");
+        }
+    }
+}

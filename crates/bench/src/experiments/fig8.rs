@@ -1,0 +1,83 @@
+//! Figure 8: variance spectrum of the INT-queue occupancy for
+//! `epic_decode`, with the fast-variation band marked.
+
+use mcd_analysis::spectrum::multitaper;
+use mcd_analysis::WorkloadClassifier;
+use mcd_sim::DomainId;
+
+use crate::runner::{run as run_sim, RunConfig, Scheme};
+use crate::table::Table;
+
+/// The log-spaced spectrum series: (wavelength in sampling periods,
+/// variance density in entries²/Hz-equivalent units).
+pub fn series(cfg: &RunConfig) -> Vec<(f64, f64)> {
+    let mut run_cfg = cfg.clone();
+    run_cfg.traces = true;
+    let result = run_sim("epic_decode", Scheme::Baseline, &run_cfg);
+    let occupancy = result
+        .metrics
+        .occupancy_series(DomainId::Int.backend_index());
+    let spectrum = multitaper(&occupancy, 4);
+    // Downsample the one-sided spectrum onto ~40 log-spaced wavelengths.
+    let max_wavelength = occupancy.len() as f64;
+    let mut points = Vec::new();
+    let mut lambda = 4.0;
+    while lambda < max_wavelength {
+        let f_hi = 1.0 / lambda;
+        let f_lo = 1.0 / (lambda * 1.3);
+        let (mut sum, mut n) = (0.0, 0u32);
+        for (k, d) in spectrum.density.iter().enumerate().skip(1) {
+            let f = spectrum.frequency(k);
+            if f >= f_lo && f <= f_hi {
+                sum += d;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            points.push((lambda, sum / n as f64));
+        }
+        lambda *= 1.3;
+    }
+    points
+}
+
+/// Renders the Figure 8 spectrum.
+pub fn run(cfg: &RunConfig) -> String {
+    let pts = series(cfg);
+    let classifier = WorkloadClassifier::default();
+    let max_d = pts.iter().map(|p| p.1).fold(f64::MIN_POSITIVE, f64::max);
+    let mut t = Table::new(["wavelength (samples)", "variance density", "", "band"]);
+    for (lambda, d) in &pts {
+        let bar = ((d / max_d).sqrt() * 40.0).round() as usize;
+        let in_band =
+            *lambda >= classifier.fast_min_wavelength && *lambda <= classifier.fast_max_wavelength;
+        t.row([
+            format!("{lambda:.0}"),
+            format!("{d:.4}"),
+            "#".repeat(bar),
+            if in_band { "<- fast" } else { "" }.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 8: variance spectrum of INT-queue occupancy, epic_decode\n\
+         (dotted band in the paper = wavelengths {:.0}-{:.0} samples)\n\n{}",
+        classifier.fast_min_wavelength,
+        classifier.fast_max_wavelength,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_series_is_log_spaced_and_positive() {
+        let pts = series(&RunConfig::quick().with_ops(60_000));
+        assert!(pts.len() > 10);
+        for w in pts.windows(2) {
+            assert!(w[1].0 > w[0].0, "wavelengths must increase");
+        }
+        assert!(pts.iter().all(|p| p.1 >= 0.0));
+    }
+}

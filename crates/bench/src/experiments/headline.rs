@@ -1,0 +1,90 @@
+//! Figure 9 (reconstructed): per-benchmark energy savings and performance
+//! degradation of the adaptive scheme versus the full-speed MCD baseline.
+//!
+//! The paper's headline: ≈9 % energy savings at ≈3 % performance
+//! degradation on average, with q_ref chosen to keep degradation near 5 %.
+
+use mcd_workloads::registry;
+
+use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::table::Table;
+
+/// Per-benchmark adaptive-vs-baseline outcomes.
+pub fn outcomes(cfg: &RunConfig) -> Vec<(&'static str, String, Outcome)> {
+    registry::all()
+        .iter()
+        .map(|spec| {
+            let base = run_sim(spec.name, Scheme::Baseline, cfg);
+            let adaptive = run_sim(spec.name, Scheme::Adaptive, cfg);
+            (
+                spec.name,
+                spec.suite.to_string(),
+                Outcome::versus(&adaptive, &base),
+            )
+        })
+        .collect()
+}
+
+/// Renders Figure 9.
+pub fn run(cfg: &RunConfig) -> String {
+    let rows = outcomes(cfg);
+    let mut t = Table::new([
+        "Benchmark",
+        "Suite",
+        "Energy savings",
+        "Perf degradation",
+        "EDP gain",
+    ]);
+    for (name, suite, o) in &rows {
+        t.row([
+            name.to_string(),
+            suite.clone(),
+            pct(o.energy_savings),
+            pct(o.perf_degradation),
+            pct(o.edp_improvement),
+        ]);
+    }
+    let all: Vec<Outcome> = rows.iter().map(|r| r.2).collect();
+    let mean = Outcome::mean(&all);
+    let mut out = format!(
+        "Figure 9 (reconstructed): adaptive DVFS vs full-speed MCD baseline\n\n{}",
+        t.render()
+    );
+    out.push_str(&format!(
+        "\nAverage: {} energy savings, {} performance degradation, {} EDP gain\n\
+         (paper: ~9% energy savings, ~3% performance degradation on average)\n",
+        pct(mean.energy_savings),
+        pct(mean.perf_degradation),
+        pct(mean.edp_improvement)
+    ));
+    for suite in ["MediaBench", "SPEC2000int", "SPEC2000fp"] {
+        let subset: Vec<Outcome> = rows.iter().filter(|r| r.1 == suite).map(|r| r.2).collect();
+        let m = Outcome::mean(&subset);
+        out.push_str(&format!(
+            "  {suite:12}: {} energy, {} perf, {} EDP\n",
+            pct(m.energy_savings),
+            pct(m.perf_degradation),
+            pct(m.edp_improvement)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_headline_covers_all_benchmarks() {
+        let rows = outcomes(&RunConfig::quick().with_ops(20_000));
+        assert_eq!(rows.len(), 17);
+        for (name, _, o) in &rows {
+            assert!(o.energy_savings.is_finite(), "{name}");
+            // Quick runs are transition-dominated; just sanity-bound them.
+            assert!(
+                o.perf_degradation > -0.5 && o.perf_degradation < 1.0,
+                "{name}"
+            );
+        }
+    }
+}

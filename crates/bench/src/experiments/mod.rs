@@ -1,0 +1,70 @@
+//! One module per reproduced artifact (see DESIGN.md §3 for the index).
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig7;
+pub mod fig8;
+pub mod hardware;
+pub mod headline;
+pub mod intervals;
+pub mod schemes;
+pub mod stability;
+pub mod table1;
+pub mod table2;
+
+use crate::runner::RunConfig;
+
+/// Every experiment id accepted by the `repro` binary.
+pub const ALL: [&str; 20] = [
+    "table1",
+    "table2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table3",
+    "stability",
+    "overshoot",
+    "sampling",
+    "bandwidth",
+    "hardware",
+    "ablate-qref",
+    "ablate-step",
+    "ablate-wavelength",
+    "ablate-sync",
+    "ablate-static",
+    "ext-centralized",
+    "energy-breakdown",
+];
+
+/// Runs the experiment named `id` and returns its report.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates first).
+pub fn run(id: &str, cfg: &RunConfig) -> String {
+    match id {
+        "table1" => table1::run(cfg),
+        "table2" => table2::run(cfg),
+        "fig7" => fig7::run(cfg),
+        "fig8" => fig8::run(cfg),
+        "fig9" => headline::run(cfg),
+        "fig10" => schemes::run(cfg),
+        "fig11" => schemes::run_fast_group(cfg),
+        "table3" => intervals::run(cfg),
+        "stability" => stability::run_roots(),
+        "overshoot" => stability::run_overshoot(),
+        "sampling" => stability::run_sampling(),
+        "bandwidth" => stability::run_bandwidth(),
+        "hardware" => hardware::run(),
+        "ablate-qref" => ablations::run_qref(cfg),
+        "ablate-step" => ablations::run_step(cfg),
+        "ablate-wavelength" => extensions::run_wavelength(cfg),
+        "ablate-sync" => extensions::run_sync(cfg),
+        "ablate-static" => extensions::run_static(cfg),
+        "ext-centralized" => extensions::run_centralized(cfg),
+        "energy-breakdown" => extensions::run_energy_breakdown(cfg),
+        other => panic!("unknown experiment id {other}"),
+    }
+}

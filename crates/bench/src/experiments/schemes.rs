@@ -1,0 +1,108 @@
+//! Figures 10 and 11 (reconstructed): scheme comparison across all
+//! benchmarks, and the fast-varying application group where the adaptive
+//! scheme's reactive nature pays off.
+
+use mcd_workloads::{registry, VariabilityClass};
+
+use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::table::Table;
+
+/// Per-benchmark outcomes for every controlled scheme:
+/// `(name, [adaptive, pid, attack/decay])`.
+pub fn outcomes(cfg: &RunConfig, names: &[&'static str]) -> Vec<(&'static str, [Outcome; 3])> {
+    names
+        .iter()
+        .map(|&name| {
+            let base = run_sim(name, Scheme::Baseline, cfg);
+            let os: Vec<Outcome> = Scheme::CONTROLLED
+                .iter()
+                .map(|&s| Outcome::versus(&run_sim(name, s, cfg), &base))
+                .collect();
+            (name, [os[0], os[1], os[2]])
+        })
+        .collect()
+}
+
+fn render(title: &str, rows: &[(&'static str, [Outcome; 3])]) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "adaptive E",
+        "adaptive T",
+        "adaptive EDP",
+        "PID EDP",
+        "atk/decay EDP",
+    ]);
+    for (name, os) in rows {
+        t.row([
+            name.to_string(),
+            pct(os[0].energy_savings),
+            pct(os[0].perf_degradation),
+            pct(os[0].edp_improvement),
+            pct(os[1].edp_improvement),
+            pct(os[2].edp_improvement),
+        ]);
+    }
+    let mean =
+        |i: usize| Outcome::mean(&rows.iter().map(|r| r.1[i]).collect::<Vec<_>>()).edp_improvement;
+    let (a, p, d) = (mean(0), mean(1), mean(2));
+    let mut out = format!("{title}\n\n{}", t.render());
+    out.push_str(&format!(
+        "\nMean EDP gain: adaptive {}, PID {}, attack/decay {}\n",
+        pct(a),
+        pct(p),
+        pct(d)
+    ));
+    if p > 0.0 {
+        out.push_str(&format!(
+            "adaptive / PID EDP-gain ratio:        {:.2}x\n",
+            a / p
+        ));
+    }
+    if d > 0.0 {
+        out.push_str(&format!(
+            "adaptive / attack-decay EDP-gain ratio: {:.2}x\n",
+            a / d
+        ));
+    } else {
+        out.push_str("attack/decay mean EDP gain is non-positive on this set\n");
+    }
+    out
+}
+
+/// Figure 10: all benchmarks.
+pub fn run(cfg: &RunConfig) -> String {
+    let names: Vec<&'static str> = registry::all().iter().map(|s| s.name).collect();
+    let rows = outcomes(cfg, &names);
+    render(
+        "Figure 10 (reconstructed): EDP improvement by scheme, all benchmarks",
+        &rows,
+    )
+}
+
+/// Figure 11: the fast-varying group only (paper: adaptive ≈8 % better
+/// than PID and ≈3× attack/decay there).
+pub fn run_fast_group(cfg: &RunConfig) -> String {
+    let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let rows = outcomes(cfg, &names);
+    render(
+        "Figure 11 (reconstructed): fast-varying group (short-wavelength workloads)",
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_cover_requested_benchmarks() {
+        let cfg = RunConfig::quick().with_ops(15_000);
+        let rows = outcomes(&cfg, &["adpcm_encode", "swim"]);
+        assert_eq!(rows.len(), 2);
+        let text = render("t", &rows);
+        assert!(text.contains("adpcm_encode") && text.contains("swim"));
+    }
+}

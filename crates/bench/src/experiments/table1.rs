@@ -1,0 +1,139 @@
+//! Table 1: the full simulation-parameter record.
+
+use crate::runner::RunConfig;
+use crate::table::Table;
+
+/// Prints the active configuration in the shape of the paper's Table 1.
+pub fn run(cfg: &RunConfig) -> String {
+    let s = &cfg.sim;
+    let curve = &s.vf_curve;
+    let mut t = Table::new(["Simulation parameter", "Value"]);
+    t.row([
+        "Domain frequency range".to_string(),
+        format!("{} - {}", curve.min().frequency, curve.max().frequency),
+    ]);
+    t.row([
+        "Domain voltage range".to_string(),
+        format!("{} - {}", curve.min().voltage, curve.max().voltage),
+    ]);
+    t.row([
+        "Frequency/voltage change speed".to_string(),
+        format!("{:.1} ns/MHz", s.dvfs_style.ns_per_mhz()),
+    ]);
+    t.row([
+        "Signal sampling rate".to_string(),
+        format!("{:.0} MHz", 1e12 / s.sample_period.as_ps() as f64 / 1e6),
+    ]);
+    t.row([
+        "Step size (f/V)".to_string(),
+        format!(
+            "{} / {:.2} mV",
+            curve.freq_step(),
+            curve.volt_step().as_mv()
+        ),
+    ]);
+    t.row([
+        "Reference queue point".to_string(),
+        "6 INT, 4 FP, 4 LS".to_string(),
+    ]);
+    t.row([
+        "Time delays (sampling)".to_string(),
+        "T_l0 = 8, T_m0 = 50".to_string(),
+    ]);
+    t.row([
+        "Deviation window (DW)".to_string(),
+        "+-1 (q-q_ref), 0 (dq)".to_string(),
+    ]);
+    t.row([
+        "Domain clock jitter".to_string(),
+        format!("+-{:.0} ps, normally distributed", 3.0 * s.jitter_sigma_ps),
+    ]);
+    t.row([
+        "Inter-domain synchro window".to_string(),
+        format!("{} ps", s.sync_window.as_ps()),
+    ]);
+    t.row([
+        "Decode/Issue/Retire width".to_string(),
+        format!("{}/{}/{}", s.decode_width, s.issue_width, s.retire_width),
+    ]);
+    t.row([
+        "L1 data cache".to_string(),
+        format!("{} KB, {}-way", s.l1d_bytes / 1024, s.l1d_assoc),
+    ]);
+    t.row([
+        "L1 instr cache".to_string(),
+        format!("{} KB, {}-way", s.l1i_bytes / 1024, s.l1i_assoc),
+    ]);
+    t.row([
+        "L2 unified cache".to_string(),
+        format!(
+            "{} MB, {}",
+            s.l2_bytes / (1024 * 1024),
+            if s.l2_assoc == 1 {
+                "direct mapped".to_string()
+            } else {
+                format!("{}-way", s.l2_assoc)
+            }
+        ),
+    ]);
+    t.row([
+        "Cache access time".to_string(),
+        format!("{} cycles L1, {} cycles L2", s.l1_latency, s.l2_latency),
+    ]);
+    t.row([
+        "Memory access latency".to_string(),
+        format!(
+            "{:.0} ns first chunk, {:.0} ns inter",
+            s.mem_first_chunk.as_ns(),
+            s.mem_inter_chunk.as_ns()
+        ),
+    ]);
+    t.row([
+        "Integer ALUs".to_string(),
+        format!("{} + {} mult/div unit", s.int_alus, s.int_muls),
+    ]);
+    t.row([
+        "Floating-point ALUs".to_string(),
+        format!("{} + {} mult/div/sqrt unit", s.fp_alus, s.fp_muls),
+    ]);
+    t.row([
+        "Issue queue size".to_string(),
+        format!("{} INT, {} FP, {} LS", s.int_queue, s.fp_queue, s.ls_queue),
+    ]);
+    t.row(["Reorder buffer size".to_string(), s.rob_size.to_string()]);
+    t.row([
+        "Physical register file size".to_string(),
+        format!("{} INT, {} FP", s.int_regs, s.fp_regs),
+    ]);
+    t.row([
+        "Branch predictor".to_string(),
+        "bimodal 1024 + 2-level (hist 10, 1024) + chooser 4096".to_string(),
+    ]);
+    format!(
+        "Table 1: Summary of All Simulation Parameters\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_key_parameters() {
+        let out = run(&RunConfig::quick());
+        for needle in [
+            "250.000 MHz",
+            "1000.000 MHz",
+            "73.3 ns/MHz",
+            "T_l0 = 8, T_m0 = 50",
+            "300 ps",
+            "4/6/11",
+            "20 INT, 16 FP, 16 LS",
+            "72 INT, 72 FP",
+            "80 ns first chunk",
+        ] {
+            assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared run plumbing: schemes × benchmarks × configurations.
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_baselines::{AttackDecayController, PidConfig, PidController};
+use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
+use mcd_workloads::{registry, TraceGenerator};
+
+/// The DVFS policy attached to the three back-end domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// No DVFS: every domain at the maximum point (the normalization
+    /// baseline).
+    Baseline,
+    /// This paper's adaptive controller.
+    Adaptive,
+    /// The PID fixed-interval baseline \[23\].
+    Pid,
+    /// The attack/decay fixed-interval baseline \[9\].
+    AttackDecay,
+}
+
+impl Scheme {
+    /// The three DVFS schemes under comparison (everything but the
+    /// baseline).
+    pub const CONTROLLED: [Scheme; 3] = [Scheme::Adaptive, Scheme::Pid, Scheme::AttackDecay];
+
+    /// Scheme name as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Adaptive => "adaptive",
+            Scheme::Pid => "PID",
+            Scheme::AttackDecay => "attack/decay",
+        }
+    }
+}
+
+/// Options for one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Dynamic instructions per run.
+    pub ops: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+    /// Record occupancy/frequency traces.
+    pub traces: bool,
+    /// PID interval length in instructions (Table 3 sweeps this).
+    pub pid_interval: u64,
+    /// Adaptive-controller configuration factory knob: reference-occupancy
+    /// scale (1.0 = the paper's 6/4/4).
+    pub q_ref_scale: f64,
+    /// Simulator configuration.
+    pub sim: SimConfig,
+}
+
+impl RunConfig {
+    /// The full evaluation configuration (600 k instructions per run).
+    pub fn full() -> Self {
+        RunConfig {
+            ops: 600_000,
+            seed: 1,
+            traces: false,
+            pid_interval: 10_000,
+            q_ref_scale: 1.0,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// A fast configuration for tests and smoke runs (40 k instructions).
+    pub fn quick() -> Self {
+        RunConfig {
+            ops: 40_000,
+            ..RunConfig::full()
+        }
+    }
+
+    /// Overrides the instruction count.
+    pub fn with_ops(mut self, ops: u64) -> Self {
+        assert!(ops > 0, "runs need at least one instruction");
+        self.ops = ops;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn with_traces(mut self) -> Self {
+        self.traces = true;
+        self
+    }
+}
+
+/// Builds the controller for `scheme` on `domain` under `cfg`.
+pub fn controller_for(
+    scheme: Scheme,
+    domain: DomainId,
+    cfg: &RunConfig,
+) -> Option<Box<dyn DvfsController>> {
+    match scheme {
+        Scheme::Baseline => None,
+        Scheme::Adaptive => {
+            let base = AdaptiveConfig::for_domain(domain);
+            let q_ref = base.q_ref * cfg.q_ref_scale;
+            Some(Box::new(AdaptiveDvfsController::new(
+                base.with_q_ref(q_ref),
+            )))
+        }
+        Scheme::Pid => Some(Box::new(PidController::new(
+            PidConfig::for_domain(domain).with_interval(cfg.pid_interval),
+        ))),
+        Scheme::AttackDecay => Some(Box::new(AttackDecayController::for_domain(domain))),
+    }
+}
+
+/// Runs `benchmark` under `scheme`.
+///
+/// # Panics
+///
+/// Panics if `benchmark` is not in the registry.
+pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+    let spec =
+        registry::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+    let mut sim = cfg.sim.clone();
+    if cfg.traces {
+        sim = sim.with_traces();
+    }
+    let trace = TraceGenerator::new(&spec, cfg.ops, cfg.seed);
+    let mut machine = Machine::new(sim, trace);
+    for &d in &DomainId::BACKEND {
+        if let Some(c) = controller_for(scheme, d, cfg) {
+            machine = machine.with_controller(d, c);
+        }
+    }
+    machine.run()
+}
+
+/// One benchmark's scheme-vs-baseline outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Fractional energy saving vs. the full-speed baseline.
+    pub energy_savings: f64,
+    /// Fractional slowdown vs. the baseline.
+    pub perf_degradation: f64,
+    /// Fractional energy-delay-product improvement vs. the baseline.
+    pub edp_improvement: f64,
+}
+
+impl Outcome {
+    /// Compares `result` against `baseline`.
+    pub fn versus(result: &SimResult, baseline: &SimResult) -> Outcome {
+        Outcome {
+            energy_savings: result.energy_savings_vs(baseline),
+            perf_degradation: result.perf_degradation_vs(baseline),
+            edp_improvement: result.edp_improvement_vs(baseline),
+        }
+    }
+
+    /// Element-wise mean over a set of outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn mean(outcomes: &[Outcome]) -> Outcome {
+        assert!(!outcomes.is_empty(), "cannot average zero outcomes");
+        let n = outcomes.len() as f64;
+        Outcome {
+            energy_savings: outcomes.iter().map(|o| o.energy_savings).sum::<f64>() / n,
+            perf_degradation: outcomes.iter().map(|o| o.perf_degradation).sum::<f64>() / n,
+            edp_improvement: outcomes.iter().map(|o| o.edp_improvement).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Formats a fraction as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_run_retires_all_instructions() {
+        let cfg = RunConfig::quick().with_ops(5_000);
+        let r = run("adpcm_encode", Scheme::Baseline, &cfg);
+        assert_eq!(r.instructions, 5_000);
+    }
+
+    #[test]
+    fn every_scheme_builds_controllers() {
+        let cfg = RunConfig::quick();
+        for scheme in Scheme::CONTROLLED {
+            for &d in &DomainId::BACKEND {
+                assert!(controller_for(scheme, d, &cfg).is_some(), "{scheme:?} {d}");
+            }
+            assert!(!scheme.name().is_empty());
+        }
+        assert!(controller_for(Scheme::Baseline, DomainId::Int, &cfg).is_none());
+    }
+
+    #[test]
+    fn outcome_mean_averages() {
+        let a = Outcome {
+            energy_savings: 0.1,
+            perf_degradation: 0.02,
+            edp_improvement: 0.08,
+        };
+        let b = Outcome {
+            energy_savings: 0.3,
+            perf_degradation: 0.04,
+            edp_improvement: 0.26,
+        };
+        let m = Outcome::mean(&[a, b]);
+        assert!((m.energy_savings - 0.2).abs() < 1e-12);
+        assert!((m.perf_degradation - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(0.093), "+9.3%");
+        assert_eq!(pct(-0.03), "-3.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let _ = run("nope", Scheme::Baseline, &RunConfig::quick());
+    }
+}

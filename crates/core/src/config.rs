@@ -1,0 +1,175 @@
+//! Adaptive-controller configuration (the paper's Section 5.1 settings).
+
+use mcd_sim::DomainId;
+
+/// Tunable parameters of one domain's adaptive DVFS controller.
+///
+/// Defaults reproduce the paper's experimental setup: `T_m0 = 50` and
+/// `T_l0 = 8` sampling periods (inside the 2–8× ratio band required by
+/// Remark 3), deviation windows of ±1 for `q − q_ref` and 0 for `Δq`, a
+/// single-step action size, reference occupancies of 6 (INT) and 4 (FP,
+/// LS), and `1/f̂²` scaling of the count-down delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Reference (target) queue occupancy `q_ref`.
+    pub q_ref: f64,
+    /// Deviation window around zero for the `q − q_ref` signal.
+    pub dw_occupancy: f64,
+    /// Deviation window around zero for the `q_i − q_{i−1}` signal.
+    pub dw_delta: f64,
+    /// Basic time delay `T_m0` for the `q − q_ref` signal, in sampling
+    /// periods.
+    pub t_m0: f64,
+    /// Basic time delay `T_l0` for the `Δq` signal, in sampling periods.
+    pub t_l0: f64,
+    /// Operating-point steps per triggered action (1 for XScale-style
+    /// fine-grained control; larger for Transmeta-style).
+    pub step: i32,
+    /// Whether the count-down delay is scaled by `1/f̂²` (Section 5.1).
+    pub scale_down_delay_with_freq: bool,
+    /// The paper's unit-conversion constant `m` for the `q − q_ref`
+    /// signal: counter increments are `m·|signal|`, so the effective delay
+    /// is `T_m0 / (m·|signal|)`. The paper leaves `m` unspecified; 0.5 was
+    /// calibrated against the evaluation workloads (see EXPERIMENTS.md).
+    pub m_occupancy: f64,
+    /// The conversion constant `l` for the `q_i − q_{i−1}` signal.
+    pub m_delta: f64,
+}
+
+impl AdaptiveConfig {
+    /// The paper's configuration for a given back-end domain
+    /// (`q_ref` = 6 for INT — about a third of its 20-entry queue — and 4
+    /// for the FP and LS domains, a quarter of theirs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is the front end, which is not DVFS-controlled.
+    pub fn for_domain(domain: DomainId) -> Self {
+        let q_ref = match domain {
+            DomainId::Int => 6.0,
+            DomainId::Fp | DomainId::Ls => 4.0,
+            DomainId::FrontEnd => panic!("the front end is not DVFS-controlled"),
+        };
+        AdaptiveConfig {
+            q_ref,
+            dw_occupancy: 1.0,
+            dw_delta: 0.0,
+            t_m0: 50.0,
+            t_l0: 8.0,
+            step: 1,
+            scale_down_delay_with_freq: true,
+            m_occupancy: 0.5,
+            m_delta: 0.5,
+        }
+    }
+
+    /// Overrides the unit-conversion constants `m` and `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are positive.
+    pub fn with_conversions(mut self, m_occupancy: f64, m_delta: f64) -> Self {
+        assert!(
+            m_occupancy > 0.0 && m_delta > 0.0,
+            "conversion constants must be positive"
+        );
+        self.m_occupancy = m_occupancy;
+        self.m_delta = m_delta;
+        self
+    }
+
+    /// Overrides the reference occupancy (the paper's energy/performance
+    /// trade-off knob: higher `q_ref` is more aggressive about energy).
+    pub fn with_q_ref(mut self, q_ref: f64) -> Self {
+        assert!(q_ref >= 0.0, "q_ref must be non-negative");
+        self.q_ref = q_ref;
+        self
+    }
+
+    /// Overrides both basic time delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both delays are positive.
+    pub fn with_delays(mut self, t_m0: f64, t_l0: f64) -> Self {
+        assert!(t_m0 > 0.0 && t_l0 > 0.0, "time delays must be positive");
+        self.t_m0 = t_m0;
+        self.t_l0 = t_l0;
+        self
+    }
+
+    /// Overrides the per-action step size (Transmeta-style coarse control).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `step` is positive.
+    pub fn with_step(mut self, step: i32) -> Self {
+        assert!(step > 0, "step must be positive");
+        self.step = step;
+        self
+    }
+
+    /// Overrides the deviation windows.
+    pub fn with_windows(mut self, dw_occupancy: f64, dw_delta: f64) -> Self {
+        assert!(
+            dw_occupancy >= 0.0 && dw_delta >= 0.0,
+            "windows must be non-negative"
+        );
+        self.dw_occupancy = dw_occupancy;
+        self.dw_delta = dw_delta;
+        self
+    }
+
+    /// The delay ratio `T_m0 / T_l0` that Remark 3 constrains to 2–8.
+    pub fn delay_ratio(&self) -> f64 {
+        self.t_m0 / self.t_l0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_per_domain() {
+        let int = AdaptiveConfig::for_domain(DomainId::Int);
+        assert_eq!(int.q_ref, 6.0);
+        let fp = AdaptiveConfig::for_domain(DomainId::Fp);
+        assert_eq!(fp.q_ref, 4.0);
+        assert_eq!(AdaptiveConfig::for_domain(DomainId::Ls).q_ref, 4.0);
+        assert_eq!(fp.t_m0, 50.0);
+        assert_eq!(fp.t_l0, 8.0);
+        assert_eq!(fp.step, 1);
+    }
+
+    #[test]
+    fn delay_ratio_is_inside_remark3_band() {
+        let c = AdaptiveConfig::for_domain(DomainId::Int);
+        assert!(c.delay_ratio() >= 2.0 && c.delay_ratio() <= 8.0);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = AdaptiveConfig::for_domain(DomainId::Fp)
+            .with_q_ref(8.0)
+            .with_delays(100.0, 20.0)
+            .with_step(16)
+            .with_windows(2.0, 1.0);
+        assert_eq!(c.q_ref, 8.0);
+        assert_eq!(c.delay_ratio(), 5.0);
+        assert_eq!(c.step, 16);
+        assert_eq!(c.dw_occupancy, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not DVFS-controlled")]
+    fn front_end_config_panics() {
+        let _ = AdaptiveConfig::for_domain(DomainId::FrontEnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "delays must be positive")]
+    fn zero_delay_panics() {
+        let _ = AdaptiveConfig::for_domain(DomainId::Int).with_delays(0.0, 8.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! The resettable time-delay relay (Section 3).
+//!
+//! A signal must stay outside its deviation window for an *effective* delay
+//! before an action triggers. The paper makes the delay adaptive two ways
+//! (Section 5.1):
+//!
+//! * **signal scaling** — "larger time-counter increments for larger signal
+//!   values": the counter advances by `|signal|` per sample, so the
+//!   effective delay is `T_d0 / |signal|`;
+//! * **frequency scaling** — the count-*down* delay is scaled by `1/f̂²`
+//!   (equivalently, the increment by `f̂²`), so an already-slow domain is
+//!   more cautious about scaling down further.
+
+/// A resettable accumulating counter with threshold `t_d0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayCounter {
+    t_d0: f64,
+    accum: f64,
+}
+
+impl DelayCounter {
+    /// Creates a counter with basic delay `t_d0` (in sampling periods).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_d0` is positive.
+    pub fn new(t_d0: f64) -> Self {
+        assert!(t_d0 > 0.0, "basic time delay must be positive");
+        DelayCounter { t_d0, accum: 0.0 }
+    }
+
+    /// The configured basic delay.
+    pub fn t_d0(&self) -> f64 {
+        self.t_d0
+    }
+
+    /// The current accumulated count.
+    pub fn accum(&self) -> f64 {
+        self.accum
+    }
+
+    /// Advances the counter by `increment` (≥ 0); returns `true` when the
+    /// threshold is reached (the relay fires).
+    pub fn advance(&mut self, increment: f64) -> bool {
+        debug_assert!(increment >= 0.0, "counter increments are non-negative");
+        self.accum += increment;
+        self.accum >= self.t_d0
+    }
+
+    /// Resets the accumulated count to zero.
+    pub fn reset(&mut self) {
+        self.accum = 0.0;
+    }
+
+    /// Effective number of samples until firing at a constant `increment`.
+    pub fn samples_to_fire(&self, increment: f64) -> f64 {
+        if increment <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.t_d0 - self.accum).max(0.0) / increment
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_t_d0_unit_increments() {
+        let mut c = DelayCounter::new(3.0);
+        assert!(!c.advance(1.0));
+        assert!(!c.advance(1.0));
+        assert!(c.advance(1.0));
+    }
+
+    #[test]
+    fn larger_signals_fire_sooner() {
+        let mut slow = DelayCounter::new(50.0);
+        let mut fast = DelayCounter::new(50.0);
+        let mut slow_n = 0;
+        while !slow.advance(1.0) {
+            slow_n += 1;
+        }
+        let mut fast_n = 0;
+        while !fast.advance(10.0) {
+            fast_n += 1;
+        }
+        assert!(fast_n < slow_n, "fast {fast_n} !< slow {slow_n}");
+        assert_eq!(fast_n, 4); // fires on the 5th advance: 50/10 = 5 steps
+    }
+
+    #[test]
+    fn reset_clears_progress() {
+        let mut c = DelayCounter::new(2.0);
+        c.advance(1.5);
+        c.reset();
+        assert_eq!(c.accum(), 0.0);
+        assert!(!c.advance(1.5));
+    }
+
+    #[test]
+    fn samples_to_fire_estimates() {
+        let c = DelayCounter::new(50.0);
+        assert_eq!(c.samples_to_fire(5.0), 10.0);
+        assert_eq!(c.samples_to_fire(0.0), f64::INFINITY);
+        let mut c = c;
+        c.advance(40.0);
+        assert_eq!(c.samples_to_fire(5.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_delay_panics() {
+        let _ = DelayCounter::new(0.0);
+    }
+}

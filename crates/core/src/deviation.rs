@@ -1,0 +1,80 @@
+//! Deviation windows: the controller's magnitude filter (Section 3).
+
+/// A symmetric interval `[−DW, +DW]` around the origin. Signals inside the
+/// window are treated as noise and never start (and always reset) the
+/// time-delay counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationWindow {
+    half_width: f64,
+}
+
+impl DeviationWindow {
+    /// Creates a window of half-width `dw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dw` is negative or non-finite.
+    pub fn new(dw: f64) -> Self {
+        assert!(dw.is_finite() && dw >= 0.0, "invalid deviation window {dw}");
+        DeviationWindow { half_width: dw }
+    }
+
+    /// The window half-width.
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Whether `signal` lies inside the window (inclusive).
+    pub fn contains(&self, signal: f64) -> bool {
+        signal.abs() <= self.half_width
+    }
+
+    /// The side of the window `signal` falls on, if outside.
+    pub fn side(&self, signal: f64) -> Option<crate::fsm::Direction> {
+        if self.contains(signal) {
+            None
+        } else if signal > 0.0 {
+            Some(crate::fsm::Direction::Up)
+        } else {
+            Some(crate::fsm::Direction::Down)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::Direction;
+
+    #[test]
+    fn window_boundaries_are_inclusive() {
+        let w = DeviationWindow::new(1.0);
+        assert!(w.contains(0.0));
+        assert!(w.contains(1.0));
+        assert!(w.contains(-1.0));
+        assert!(!w.contains(1.0001));
+        assert!(!w.contains(-2.0));
+    }
+
+    #[test]
+    fn zero_window_passes_any_nonzero_signal() {
+        let w = DeviationWindow::new(0.0);
+        assert!(w.contains(0.0));
+        assert_eq!(w.side(0.5), Some(Direction::Up));
+        assert_eq!(w.side(-0.5), Some(Direction::Down));
+    }
+
+    #[test]
+    fn side_reports_direction() {
+        let w = DeviationWindow::new(1.0);
+        assert_eq!(w.side(0.5), None);
+        assert_eq!(w.side(3.0), Some(Direction::Up));
+        assert_eq!(w.side(-3.0), Some(Direction::Down));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid deviation window")]
+    fn negative_window_panics() {
+        let _ = DeviationWindow::new(-1.0);
+    }
+}

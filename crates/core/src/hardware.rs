@@ -1,0 +1,183 @@
+//! Decision-logic hardware cost model (Section 3.1, Figure 5).
+//!
+//! The paper argues the adaptive scheme's decision process "leads to
+//! smaller and cheaper hardware" than the fixed-interval schemes, which
+//! need multipliers/dividers or lookup tables to compute per-interval
+//! voltage/frequency settings. This module makes that argument
+//! quantitative with a simple gate-equivalent estimate of each scheme's
+//! per-domain decision logic (`repro hardware` prints the comparison).
+
+/// Inventory of one scheme's per-domain decision logic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HardwareCost {
+    /// Total adder bits (ripple-carry equivalents).
+    pub adder_bits: u32,
+    /// Total magnitude-comparator bits.
+    pub comparator_bits: u32,
+    /// Total counter bits.
+    pub counter_bits: u32,
+    /// Plain storage register bits.
+    pub register_bits: u32,
+    /// Total FSM states (across all FSMs).
+    pub fsm_states: u32,
+    /// Bits per hardware multiplier, one entry per multiplier.
+    pub multiplier_bits: Vec<u32>,
+    /// Lookup-table bits.
+    pub lut_bits: u32,
+}
+
+impl HardwareCost {
+    /// Rough NAND2-equivalent gate count.
+    ///
+    /// Per-bit costs: adder 6, comparator 4, counter 8 (flop + increment),
+    /// register 4; an n-bit array multiplier costs ≈ 6·n²; FSMs cost
+    /// ≈ 8 gates per state plus 20 of glue; LUTs cost ≈ 1 gate per 4 bits.
+    pub fn gate_estimate(&self) -> u32 {
+        let mut g = 0;
+        g += self.adder_bits * 6;
+        g += self.comparator_bits * 4;
+        g += self.counter_bits * 8;
+        g += self.register_bits * 4;
+        if self.fsm_states > 0 {
+            g += self.fsm_states * 8 + 20;
+        }
+        for &n in &self.multiplier_bits {
+            g += 6 * n * n;
+        }
+        g += self.lut_bits / 4;
+        g
+    }
+}
+
+/// The per-domain decision-logic inventory of each DVFS scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeHardware {
+    /// This paper's adaptive controller (Figure 5).
+    Adaptive,
+    /// The PID-based fixed-interval controller of Wu et al. \[23\].
+    Pid,
+    /// The attack/decay fixed-interval controller of Semeraro et al. \[9\].
+    AttackDecay,
+}
+
+impl SchemeHardware {
+    /// Every scheme, for comparison tables.
+    pub const ALL: [SchemeHardware; 3] = [
+        SchemeHardware::Adaptive,
+        SchemeHardware::Pid,
+        SchemeHardware::AttackDecay,
+    ];
+
+    /// Scheme name as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeHardware::Adaptive => "adaptive (this paper)",
+            SchemeHardware::Pid => "PID [23]",
+            SchemeHardware::AttackDecay => "attack/decay [9]",
+        }
+    }
+
+    /// The scheme's per-domain decision-logic inventory.
+    pub fn cost(self) -> HardwareCost {
+        match self {
+            // Figure 5, doubled for the two queue signals: a 6-bit adder
+            // computes the trigger signal, a 7-bit comparator checks the
+            // deviation window, a 5-state FSM plus an 8-bit delay counter
+            // implement the relay; one 6-bit register holds q_{i−1}; a few
+            // gates of scheduler glue reconcile the two FSMs (modeled as a
+            // 3-state FSM).
+            SchemeHardware::Adaptive => HardwareCost {
+                adder_bits: 2 * 6,
+                comparator_bits: 2 * 7,
+                counter_bits: 2 * 8,
+                register_bits: 6,
+                fsm_states: 2 * 5 + 3,
+                multiplier_bits: Vec::new(),
+                lut_bits: 0,
+            },
+            // Per interval the PID computes
+            // u = Kp·e + Ki·Σe + Kd·Δe and maps it to a frequency setting:
+            // three 16-bit multipliers, a 16-bit accumulator and output
+            // adders, error adder, interval counter, coefficient/setting
+            // registers, and a small frequency-mapping LUT.
+            SchemeHardware::Pid => HardwareCost {
+                adder_bits: 7 + 16 + 16 + 16,
+                comparator_bits: 0,
+                counter_bits: 16 + 16,
+                register_bits: 3 * 16 + 16,
+                fsm_states: 4,
+                multiplier_bits: vec![16, 16, 16],
+                lut_bits: 256 * 9,
+            },
+            // Attack/decay keeps per-interval utilization counters, one
+            // subtractor for the change, a threshold comparator, and a
+            // shift-and-add attack/decay update.
+            SchemeHardware::AttackDecay => HardwareCost {
+                adder_bits: 16 + 9 + 9,
+                comparator_bits: 9,
+                counter_bits: 16 + 16,
+                register_bits: 16,
+                fsm_states: 4,
+                multiplier_bits: Vec::new(),
+                lut_bits: 0,
+            },
+        }
+    }
+
+    /// Gate estimate of [`SchemeHardware::cost`].
+    pub fn gates(self) -> u32 {
+        self.cost().gate_estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_is_much_cheaper_than_pid() {
+        let a = SchemeHardware::Adaptive.gates();
+        let p = SchemeHardware::Pid.gates();
+        assert!(
+            a * 5 < p,
+            "adaptive ({a}) should be well under a fifth of PID ({p})"
+        );
+    }
+
+    #[test]
+    fn adaptive_is_comparable_to_attack_decay_bookkeeping() {
+        let a = SchemeHardware::Adaptive.gates() as f64;
+        let d = SchemeHardware::AttackDecay.gates() as f64;
+        // "Roughly the same order as the book-keeping hardware" — within 3×.
+        assert!(
+            a / d < 3.0 && d / a < 3.0,
+            "adaptive {a} vs attack/decay {d}"
+        );
+    }
+
+    #[test]
+    fn gate_estimate_components() {
+        let c = HardwareCost {
+            adder_bits: 1,
+            comparator_bits: 1,
+            counter_bits: 1,
+            register_bits: 1,
+            fsm_states: 0,
+            multiplier_bits: vec![2],
+            lut_bits: 8,
+        };
+        assert_eq!(c.gate_estimate(), 6 + 4 + 8 + 4 + 24 + 2);
+    }
+
+    #[test]
+    fn empty_cost_is_zero_gates() {
+        assert_eq!(HardwareCost::default().gate_estimate(), 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            SchemeHardware::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+}

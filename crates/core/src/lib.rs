@@ -1,0 +1,57 @@
+//! The adaptive-reaction-time DVFS controller of Wu, Juang, Martonosi &
+//! Clark, *"Voltage and Frequency Control With Adaptive Reaction Time in
+//! Multiple-Clock-Domain Processors"* (HPCA 2005).
+//!
+//! Unlike fixed-interval schemes, this controller has **no predetermined
+//! decision boundary**: it watches two queue signals at every sampling
+//! period and reacts the moment a change has proven itself large and
+//! persistent enough —
+//!
+//! * the *relative queue occupancy* `q_i − q_ref`, and
+//! * the *queue difference* `q_i − q_{i−1}`,
+//!
+//! each filtered by a **deviation window** (small excursions are noise) and
+//! a **resettable time-delay relay** (short excursions are noise). When a
+//! signal stays outside its window long enough, a single ±step
+//! frequency/voltage action fires; a scheduler reconciles the two signals'
+//! FSMs (identical simultaneous actions combine, opposite ones cancel).
+//! The effective delay shrinks with signal magnitude — severe changes get
+//! fast reactions — and grows as `1/f̂²` for down-steps, making the
+//! controller cautious about scaling an already-slow domain further down
+//! (this is the `h(f) = f²` linearization choice of Section 4).
+//!
+//! # Example
+//!
+//! ```
+//! use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+//! use mcd_sim::{DomainId, Machine, SimConfig};
+//! use mcd_workloads::{registry, TraceGenerator};
+//!
+//! let spec = registry::by_name("adpcm_encode").expect("known benchmark");
+//! let machine = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 10_000, 1))
+//!     .with_controllers(|d| Box::new(AdaptiveDvfsController::new(AdaptiveConfig::for_domain(d))));
+//! let result = machine.run();
+//! assert_eq!(result.instructions, 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod coordination;
+pub mod delay;
+pub mod deviation;
+pub mod fsm;
+pub mod hardware;
+pub mod scheduler;
+pub mod signals;
+
+pub use config::AdaptiveConfig;
+pub use controller::AdaptiveDvfsController;
+pub use coordination::{coordinated_controllers, CoordinatedController};
+pub use deviation::DeviationWindow;
+pub use fsm::{Direction, SignalFsm, TriggerState};
+pub use hardware::{HardwareCost, SchemeHardware};
+pub use scheduler::{resolve, Resolution};
+pub use signals::QueueSignals;

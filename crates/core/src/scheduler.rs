@@ -1,0 +1,100 @@
+//! The Schedule state: reconciling the two signals' triggers (Section 3.1).
+//!
+//! When both FSMs fire in the same sampling period, identical directions
+//! combine into one double-step action and opposite directions cancel each
+//! other; a single firing passes through unchanged.
+
+use crate::fsm::{Direction, TriggerState};
+
+/// The scheduler's decision for one sampling period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// No action this period.
+    None,
+    /// A single action: direction and how many unit steps (1 or 2).
+    Action {
+        /// Which way the frequency moves.
+        direction: Direction,
+        /// How many unit steps to move (2 when both signals agree).
+        magnitude: u32,
+    },
+    /// Both signals fired in opposite directions: cancel both, reset both
+    /// FSMs to Wait.
+    Cancelled,
+}
+
+/// Resolves the two FSMs' trigger reports.
+pub fn resolve(occupancy: TriggerState, delta: TriggerState) -> Resolution {
+    match (occupancy, delta) {
+        (TriggerState::Idle, TriggerState::Idle) => Resolution::None,
+        (TriggerState::Fired(d), TriggerState::Idle)
+        | (TriggerState::Idle, TriggerState::Fired(d)) => Resolution::Action {
+            direction: d,
+            magnitude: 1,
+        },
+        (TriggerState::Fired(a), TriggerState::Fired(b)) => {
+            if a == b {
+                Resolution::Action {
+                    direction: a,
+                    magnitude: 2,
+                }
+            } else {
+                Resolution::Cancelled
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::Direction::{Down, Up};
+    use crate::fsm::TriggerState::{Fired, Idle};
+
+    #[test]
+    fn both_idle_is_none() {
+        assert_eq!(resolve(Idle, Idle), Resolution::None);
+    }
+
+    #[test]
+    fn single_trigger_passes_through() {
+        assert_eq!(
+            resolve(Fired(Up), Idle),
+            Resolution::Action {
+                direction: Up,
+                magnitude: 1
+            }
+        );
+        assert_eq!(
+            resolve(Idle, Fired(Down)),
+            Resolution::Action {
+                direction: Down,
+                magnitude: 1
+            }
+        );
+    }
+
+    #[test]
+    fn identical_triggers_combine_to_double_step() {
+        assert_eq!(
+            resolve(Fired(Up), Fired(Up)),
+            Resolution::Action {
+                direction: Up,
+                magnitude: 2
+            }
+        );
+        assert_eq!(
+            resolve(Fired(Down), Fired(Down)),
+            Resolution::Action {
+                direction: Down,
+                magnitude: 2
+            }
+        );
+    }
+
+    #[test]
+    fn opposite_triggers_cancel() {
+        assert_eq!(resolve(Fired(Up), Fired(Down)), Resolution::Cancelled);
+        assert_eq!(resolve(Fired(Down), Fired(Up)), Resolution::Cancelled);
+    }
+}

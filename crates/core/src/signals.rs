@@ -1,0 +1,79 @@
+//! The two queue signals the controller monitors (Section 3.1).
+
+/// Computes the controller's trigger signals from raw occupancy samples.
+///
+/// At the i-th sampling point with occupancy `q_i`:
+///
+/// * `occupancy_error = q_i − q_ref` — how far the queue is from its
+///   nominal operating point, and
+/// * `delta = q_i − q_{i−1}` — how fast it is moving (`None` at the first
+///   sample, when no previous value exists).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueSignals {
+    prev: Option<f64>,
+}
+
+/// One sampling period's worth of signal values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalValues {
+    /// `q_i − q_ref`.
+    pub occupancy_error: f64,
+    /// `q_i − q_{i−1}` (`None` on the very first sample).
+    pub delta: Option<f64>,
+}
+
+impl QueueSignals {
+    /// Creates a signal tracker with no history.
+    pub fn new() -> Self {
+        QueueSignals::default()
+    }
+
+    /// Feeds occupancy `q` sampled against reference `q_ref`; returns both
+    /// signal values.
+    pub fn observe(&mut self, q: f64, q_ref: f64) -> SignalValues {
+        let delta = self.prev.map(|p| q - p);
+        self.prev = Some(q);
+        SignalValues {
+            occupancy_error: q - q_ref,
+            delta,
+        }
+    }
+
+    /// Clears history (used when the controller resets).
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_has_no_delta() {
+        let mut s = QueueSignals::new();
+        let v = s.observe(5.0, 4.0);
+        assert_eq!(v.occupancy_error, 1.0);
+        assert_eq!(v.delta, None);
+    }
+
+    #[test]
+    fn delta_tracks_consecutive_samples() {
+        let mut s = QueueSignals::new();
+        s.observe(5.0, 4.0);
+        let v = s.observe(8.0, 4.0);
+        assert_eq!(v.occupancy_error, 4.0);
+        assert_eq!(v.delta, Some(3.0));
+        let v = s.observe(2.0, 4.0);
+        assert_eq!(v.occupancy_error, -2.0);
+        assert_eq!(v.delta, Some(-6.0));
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut s = QueueSignals::new();
+        s.observe(5.0, 4.0);
+        s.reset();
+        assert_eq!(s.observe(7.0, 4.0).delta, None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the adaptive controller.
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_power::{OpIndex, TimePs, VfCurve};
+use mcd_sim::{ControllerCtx, DomainId, DvfsAction, DvfsController, QueueSample};
+use proptest::prelude::*;
+
+/// Drives a controller over an arbitrary occupancy sequence, applying
+/// actions, and returns the visited operating points.
+fn drive(cfg: AdaptiveConfig, occupancies: &[u8]) -> Vec<OpIndex> {
+    let curve = VfCurve::mcd_default();
+    let mut ctrl = AdaptiveDvfsController::new(cfg);
+    let mut current = curve.max_index();
+    let mut now = TimePs::ZERO;
+    let mut visited = vec![current];
+    for (i, &occ) in occupancies.iter().enumerate() {
+        now += TimePs::from_ns(4);
+        let ctx = ControllerCtx {
+            now,
+            domain: DomainId::Fp,
+            current,
+            curve: &curve,
+            in_transition: false,
+            single_step_time: TimePs::from_ns(172),
+            sample_period: TimePs::from_ns(4),
+            retired: i as u64 * 2,
+        };
+        if let Some(action) = ctrl.on_sample(
+            &ctx,
+            QueueSample {
+                occupancy: occ.min(16) as u32,
+                capacity: 16,
+            },
+        ) {
+            current = action.resolve(current, &curve);
+            visited.push(current);
+        }
+    }
+    visited
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the occupancy sequence, the operating point never leaves
+    /// the curve and never moves more than 2·step per action.
+    #[test]
+    fn operating_point_stays_in_range(occupancies in proptest::collection::vec(0u8..=16, 1..4000)) {
+        let cfg = AdaptiveConfig::for_domain(DomainId::Fp);
+        let step = cfg.step;
+        let visited = drive(cfg, &occupancies);
+        let max = VfCurve::mcd_default().max_index();
+        for w in visited.windows(2) {
+            prop_assert!(w[1].0 <= max.0);
+            let jump = (w[1].0 as i32 - w[0].0 as i32).abs();
+            prop_assert!(jump <= 2 * step, "action jumped {jump} steps");
+        }
+    }
+
+    /// An occupancy pinned at the reference never triggers an action.
+    #[test]
+    fn reference_occupancy_is_a_fixed_point(n in 1usize..5000) {
+        let cfg = AdaptiveConfig::for_domain(DomainId::Fp);
+        let q_ref = cfg.q_ref as u8;
+        let visited = drive(cfg, &vec![q_ref; n]);
+        prop_assert_eq!(visited.len(), 1, "no actions expected at q = q_ref");
+    }
+
+    /// The controller is deterministic: same samples, same actions.
+    #[test]
+    fn controller_is_deterministic(occupancies in proptest::collection::vec(0u8..=16, 1..2000)) {
+        let a = drive(AdaptiveConfig::for_domain(DomainId::Ls), &occupancies);
+        let b = drive(AdaptiveConfig::for_domain(DomainId::Ls), &occupancies);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Persistent emptiness monotonically walks the point down to minimum.
+    #[test]
+    fn emptiness_descends_monotonically(n in 150_000usize..200_000) {
+        let cfg = AdaptiveConfig::for_domain(DomainId::Fp);
+        let visited = drive(cfg, &vec![0u8; n]);
+        for w in visited.windows(2) {
+            prop_assert!(w[1] <= w[0], "descent must be monotone");
+        }
+        prop_assert_eq!(*visited.last().expect("nonempty"), OpIndex(0));
+    }
+
+    /// `DvfsAction::resolve` never leaves the curve for any step size.
+    #[test]
+    fn action_resolution_clamps(current in 0u16..=320, steps in -1000i32..1000) {
+        let curve = VfCurve::mcd_default();
+        let target = DvfsAction::Step(steps).resolve(OpIndex(current), &curve);
+        prop_assert!(target.0 <= curve.max_index().0);
+    }
+}

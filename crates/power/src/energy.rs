@@ -1,0 +1,284 @@
+//! Per-domain energy accounting.
+//!
+//! Each simulated clock domain owns a [`DomainEnergyMeter`]; the simulator
+//! charges it a cycle cost on every local clock edge and an event cost for
+//! every structure access, at whatever supply voltage the domain's regulator
+//! reports at that instant.
+
+use crate::types::{Energy, Voltage};
+use crate::wattch::{ActivityEvent, DomainClass, EnergyModel};
+
+/// Coarse category an [`ActivityEvent`] is accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyCategory {
+    /// Clock distribution and gated idle power.
+    Clock,
+    /// Functional-unit execution energy.
+    Compute,
+    /// Cache and memory hierarchy energy.
+    Memory,
+    /// Pipeline bookkeeping: fetch/decode/rename/dispatch/issue/commit,
+    /// predictor and register-file traffic.
+    Pipeline,
+    /// Static (leakage) energy: proportional to time and voltage, not to
+    /// activity.
+    Leakage,
+}
+
+impl EnergyCategory {
+    /// Every category, for iteration/reporting.
+    pub const ALL: [EnergyCategory; 5] = [
+        EnergyCategory::Clock,
+        EnergyCategory::Compute,
+        EnergyCategory::Memory,
+        EnergyCategory::Pipeline,
+        EnergyCategory::Leakage,
+    ];
+
+    /// The category an event belongs to.
+    pub fn of(event: ActivityEvent) -> EnergyCategory {
+        use ActivityEvent::*;
+        match event {
+            IntAlu | IntMul | FpAlu | FpMul | FpDiv => EnergyCategory::Compute,
+            L1DAccess | L2Access | MemAccess => EnergyCategory::Memory,
+            Fetch | BpredLookup | BpredUpdate | DecodeRename | Dispatch | Issue | RegRead
+            | RegWrite | LsqAccess | Commit => EnergyCategory::Pipeline,
+        }
+    }
+}
+
+/// Energy totals split by [`EnergyCategory`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Clock distribution + gated idle energy.
+    pub clock: Energy,
+    /// Functional-unit energy.
+    pub compute: Energy,
+    /// Memory-hierarchy energy.
+    pub memory: Energy,
+    /// Pipeline bookkeeping energy.
+    pub pipeline: Energy,
+    /// Static (leakage) energy.
+    pub leakage: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Sum over all categories.
+    pub fn total(&self) -> Energy {
+        self.clock + self.compute + self.memory + self.pipeline + self.leakage
+    }
+
+    /// Adds `e` under `category`.
+    pub fn add(&mut self, category: EnergyCategory, e: Energy) {
+        match category {
+            EnergyCategory::Clock => self.clock += e,
+            EnergyCategory::Compute => self.compute += e,
+            EnergyCategory::Memory => self.memory += e,
+            EnergyCategory::Pipeline => self.pipeline += e,
+            EnergyCategory::Leakage => self.leakage += e,
+        }
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn merged(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            clock: self.clock + other.clock,
+            compute: self.compute + other.compute,
+            memory: self.memory + other.memory,
+            pipeline: self.pipeline + other.pipeline,
+            leakage: self.leakage + other.leakage,
+        }
+    }
+}
+
+/// Accumulates the energy spent by one clock domain.
+///
+/// ```
+/// use mcd_power::{DomainEnergyMeter, EnergyModel, Voltage, ActivityEvent};
+/// use mcd_power::wattch::DomainClass;
+///
+/// let model = EnergyModel::new(Voltage::from_volts(1.2));
+/// let mut meter = DomainEnergyMeter::new(DomainClass::Integer, model);
+/// let v = Voltage::from_volts(1.2);
+/// meter.charge_cycle(0.5, v);
+/// meter.charge_event(ActivityEvent::IntAlu, v);
+/// assert!(meter.total().as_pj() > 0.0);
+/// assert_eq!(meter.cycles(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomainEnergyMeter {
+    class: DomainClass,
+    model: EnergyModel,
+    breakdown: EnergyBreakdown,
+    cycles: u64,
+    events: u64,
+}
+
+impl DomainEnergyMeter {
+    /// Creates a zeroed meter for a domain of class `class`.
+    pub fn new(class: DomainClass, model: EnergyModel) -> Self {
+        DomainEnergyMeter {
+            class,
+            model,
+            breakdown: EnergyBreakdown::default(),
+            cycles: 0,
+            events: 0,
+        }
+    }
+
+    /// The domain class this meter charges clock energy for.
+    pub fn class(&self) -> DomainClass {
+        self.class
+    }
+
+    /// The underlying energy model.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Charges one local clock cycle at utilization `utilization` and
+    /// voltage `v`.
+    pub fn charge_cycle(&mut self, utilization: f64, v: Voltage) {
+        let e = self.model.cycle_energy(self.class, utilization, v);
+        self.breakdown.add(EnergyCategory::Clock, e);
+        self.cycles += 1;
+    }
+
+    /// Charges one structure access at voltage `v`.
+    pub fn charge_event(&mut self, event: ActivityEvent, v: Voltage) {
+        let e = self.model.event_energy(event, v);
+        self.breakdown.add(EnergyCategory::of(event), e);
+        self.events += 1;
+    }
+
+    /// Charges static (leakage) energy directly.
+    pub fn charge_leakage(&mut self, e: Energy) {
+        self.breakdown.add(EnergyCategory::Leakage, e);
+    }
+
+    /// Charges `n` identical accesses at voltage `v`.
+    pub fn charge_events(&mut self, event: ActivityEvent, n: u64, v: Voltage) {
+        if n == 0 {
+            return;
+        }
+        let e = self.model.event_energy(event, v).scaled(n as f64);
+        self.breakdown.add(EnergyCategory::of(event), e);
+        self.events += n;
+    }
+
+    /// Total energy charged so far.
+    pub fn total(&self) -> Energy {
+        self.breakdown.total()
+    }
+
+    /// Category breakdown of the charged energy.
+    pub fn breakdown(&self) -> &EnergyBreakdown {
+        &self.breakdown
+    }
+
+    /// Local clock cycles charged.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Structure accesses charged.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Voltage;
+
+    fn meter() -> DomainEnergyMeter {
+        DomainEnergyMeter::new(
+            DomainClass::Integer,
+            EnergyModel::new(Voltage::from_volts(1.2)),
+        )
+    }
+
+    #[test]
+    fn categories_cover_all_events() {
+        for &e in &ActivityEvent::ALL {
+            // `of` is total; this is a compile-time-ish exhaustiveness check.
+            let _ = EnergyCategory::of(e);
+        }
+        assert_eq!(
+            EnergyCategory::of(ActivityEvent::FpDiv),
+            EnergyCategory::Compute
+        );
+        assert_eq!(
+            EnergyCategory::of(ActivityEvent::L2Access),
+            EnergyCategory::Memory
+        );
+        assert_eq!(
+            EnergyCategory::of(ActivityEvent::Fetch),
+            EnergyCategory::Pipeline
+        );
+    }
+
+    #[test]
+    fn breakdown_total_is_sum_of_parts() {
+        let mut b = EnergyBreakdown::default();
+        b.add(EnergyCategory::Clock, Energy::from_pj(1.0));
+        b.add(EnergyCategory::Compute, Energy::from_pj(2.0));
+        b.add(EnergyCategory::Memory, Energy::from_pj(3.0));
+        b.add(EnergyCategory::Pipeline, Energy::from_pj(4.0));
+        assert!((b.total().as_pj() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_breakdowns_add_elementwise() {
+        let mut a = EnergyBreakdown::default();
+        a.add(EnergyCategory::Clock, Energy::from_pj(1.0));
+        let mut b = EnergyBreakdown::default();
+        b.add(EnergyCategory::Clock, Energy::from_pj(2.0));
+        b.add(EnergyCategory::Memory, Energy::from_pj(5.0));
+        let m = a.merged(&b);
+        assert!((m.clock.as_pj() - 3.0).abs() < 1e-9);
+        assert!((m.memory.as_pj() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_counts_cycles_and_events() {
+        let mut m = meter();
+        let v = Voltage::from_volts(1.0);
+        m.charge_cycle(1.0, v);
+        m.charge_cycle(0.0, v);
+        m.charge_event(ActivityEvent::IntAlu, v);
+        m.charge_events(ActivityEvent::Issue, 3, v);
+        m.charge_events(ActivityEvent::Issue, 0, v);
+        assert_eq!(m.cycles(), 2);
+        assert_eq!(m.events(), 4);
+        assert!(m.breakdown().clock.as_pj() > 0.0);
+        assert!(m.breakdown().compute.as_pj() > 0.0);
+        assert!(m.breakdown().pipeline.as_pj() > 0.0);
+        assert_eq!(m.breakdown().memory, Energy::ZERO);
+    }
+
+    #[test]
+    fn lower_voltage_cycles_cost_less() {
+        let mut hi = meter();
+        let mut lo = meter();
+        hi.charge_cycle(1.0, Voltage::from_volts(1.2));
+        lo.charge_cycle(1.0, Voltage::from_volts(0.65));
+        assert!(lo.total() < hi.total());
+        let ratio = lo.total().as_joules() / hi.total().as_joules();
+        let expect = (0.65f64 / 1.2).powi(2);
+        assert!((ratio - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_events_batches_match_singles() {
+        let v = Voltage::from_volts(0.9);
+        let mut a = meter();
+        let mut b = meter();
+        a.charge_events(ActivityEvent::L1DAccess, 5, v);
+        for _ in 0..5 {
+            b.charge_event(ActivityEvent::L1DAccess, v);
+        }
+        assert!((a.total().as_pj() - b.total().as_pj()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Static (leakage) power model.
+//!
+//! Wattch-era (0.18 µm) leakage is a small fraction of total power, but it
+//! changes the DVFS accounting in a qualitative way: leakage energy scales
+//! with *time and voltage*, not with clock frequency — so slowing a domain
+//! down stretches its leakage energy even as it shrinks its dynamic
+//! energy. The model here is the standard first-order
+//! `P_leak = P₀ · (V/V_ref) · e^{k(V−V_ref)}` shape reduced to its linear
+//! term (adequate over the 0.65–1.2 V range).
+
+use crate::types::{Energy, TimePs, Voltage};
+use crate::wattch::DomainClass;
+
+/// Per-domain leakage power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageModel {
+    v_ref: Voltage,
+    /// Leakage power at `v_ref` per domain, in µW.
+    scale: f64,
+}
+
+impl LeakageModel {
+    /// Builds the default model: each domain leaks a few percent of its
+    /// typical dynamic power at the reference voltage.
+    pub fn new(v_ref: Voltage) -> Self {
+        LeakageModel { v_ref, scale: 1.0 }
+    }
+
+    /// Scales all leakage (1.0 = default ≈ 0.18 µm technology; larger
+    /// values model leakier processes, the knob of the leakage ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn with_scale(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid leakage scale");
+        self.scale = factor;
+        self
+    }
+
+    /// Leakage power of `class` at the reference voltage, in microwatts.
+    pub fn leak_uw_at_ref(&self, class: DomainClass) -> f64 {
+        let base = match class {
+            DomainClass::FrontEnd => 220.0,
+            DomainClass::Integer => 190.0,
+            DomainClass::FloatingPoint => 180.0,
+            DomainClass::LoadStore => 260.0, // cache arrays leak most
+        };
+        base * self.scale
+    }
+
+    /// Leakage energy of `class` over `duration` at supply voltage `v`
+    /// (linear voltage scaling).
+    pub fn energy(&self, class: DomainClass, duration: TimePs, v: Voltage) -> Energy {
+        let watts = self.leak_uw_at_ref(class) * 1e-6 * (v.as_volts() / self.v_ref.as_volts());
+        Energy::from_joules(watts * duration.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LeakageModel {
+        LeakageModel::new(Voltage::from_volts(1.2))
+    }
+
+    #[test]
+    fn leakage_scales_with_time() {
+        let m = model();
+        let short = m.energy(
+            DomainClass::Integer,
+            TimePs::from_us(1),
+            Voltage::from_volts(1.2),
+        );
+        let long = m.energy(
+            DomainClass::Integer,
+            TimePs::from_us(10),
+            Voltage::from_volts(1.2),
+        );
+        assert!((long.as_joules() / short.as_joules() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_scales_linearly_with_voltage() {
+        let m = model();
+        let hi = m.energy(
+            DomainClass::LoadStore,
+            TimePs::from_us(1),
+            Voltage::from_volts(1.2),
+        );
+        let lo = m.energy(
+            DomainClass::LoadStore,
+            TimePs::from_us(1),
+            Voltage::from_volts(0.6),
+        );
+        assert!((hi.as_joules() / lo.as_joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_zero_disables_leakage() {
+        let m = model().with_scale(0.0);
+        let e = m.energy(
+            DomainClass::FrontEnd,
+            TimePs::from_us(5),
+            Voltage::from_volts(1.0),
+        );
+        assert_eq!(e, Energy::ZERO);
+    }
+
+    #[test]
+    fn reference_magnitude_is_small_vs_dynamic() {
+        // At 1 GHz a busy domain burns ~5 pJ/cycle = 5 mW of dynamic
+        // power; leakage should be a few percent of that.
+        let m = model();
+        let leak_w = m.leak_uw_at_ref(DomainClass::Integer) * 1e-6;
+        assert!(leak_w > 0.5e-4 && leak_w < 1e-3, "leakage {leak_w} W");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid leakage scale")]
+    fn negative_scale_panics() {
+        let _ = model().with_scale(-1.0);
+    }
+}

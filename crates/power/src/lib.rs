@@ -1,0 +1,44 @@
+//! Wattch-style power modeling for multiple-clock-domain (MCD) processor
+//! simulation.
+//!
+//! This crate provides the electrical substrate of the HPCA 2005
+//! adaptive-DVFS reproduction:
+//!
+//! * strongly-typed physical units ([`TimePs`], [`Frequency`], [`Voltage`],
+//!   [`Energy`]),
+//! * the processor's voltage/frequency operating-point table
+//!   ([`VfCurve`]): 250 MHz–1.0 GHz, 0.65 V–1.20 V in 320 discrete steps,
+//! * a voltage-regulator / PLL transition model ([`Regulator`]) with both
+//!   XScale-style (execute-through) and Transmeta-style (stall) semantics,
+//! * a per-structure effective-capacitance energy model
+//!   ([`wattch::EnergyModel`]) with aggressive clock gating, and
+//! * per-domain energy accounting ([`energy::DomainEnergyMeter`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mcd_power::{VfCurve, Frequency};
+//!
+//! let curve = VfCurve::mcd_default();
+//! let f = Frequency::from_mhz(250.0);
+//! let point = curve.point_for_frequency(f);
+//! assert!((point.voltage.as_volts() - 0.65).abs() < 1e-9);
+//! assert_eq!(curve.min().frequency, f);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod leakage;
+pub mod regulator;
+pub mod types;
+pub mod vf_curve;
+pub mod wattch;
+
+pub use energy::{DomainEnergyMeter, EnergyBreakdown, EnergyCategory};
+pub use leakage::LeakageModel;
+pub use regulator::{DvfsStyle, Regulator, Transition};
+pub use types::{Energy, Frequency, TimePs, Voltage};
+pub use vf_curve::{OpIndex, OpPoint, VfCurve};
+pub use wattch::{ActivityEvent, DomainClass, EnergyModel};

@@ -1,0 +1,337 @@
+//! Voltage-regulator / PLL transition model.
+//!
+//! The paper assumes an aggressive **XScale-style** DVFS implementation: a
+//! clock domain keeps executing *through* a voltage/frequency transition,
+//! and the transition proceeds at a finite rate (73.3 ns/MHz frequency slew,
+//! from the industrial numbers cited in Section 2). A **Transmeta-style**
+//! implementation is also modeled for the design-space discussion of
+//! Section 3: transitions are slower and the domain stalls until the new
+//! point is reached.
+
+use crate::types::{Energy, Frequency, TimePs, Voltage};
+use crate::vf_curve::{OpIndex, VfCurve};
+
+/// How a clock domain behaves while its operating point is changing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DvfsStyle {
+    /// XScale-style: the domain executes through the transition at the
+    /// (continuously moving) intermediate frequency. Fast slew rate.
+    XScale,
+    /// Transmeta-style: the domain is stalled for the whole transition.
+    /// Slower slew rate, modeled as a multiple of the XScale rate.
+    Transmeta,
+}
+
+impl DvfsStyle {
+    /// Frequency slew time per MHz of change.
+    ///
+    /// XScale-style uses the paper's 73.3 ns/MHz; Transmeta-style is modeled
+    /// 10× slower (tens of microseconds for large swings), matching the
+    /// "relatively slow transition time and long processor idle time"
+    /// characterization in Section 3.
+    pub fn ns_per_mhz(self) -> f64 {
+        match self {
+            DvfsStyle::XScale => 73.3,
+            DvfsStyle::Transmeta => 733.0,
+        }
+    }
+
+    /// Whether the domain must stall while the transition is in flight.
+    pub fn stalls_during_transition(self) -> bool {
+        matches!(self, DvfsStyle::Transmeta)
+    }
+}
+
+/// An in-flight voltage/frequency transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Effective frequency when the transition began.
+    pub from: Frequency,
+    /// Frequency being slewed toward.
+    pub to: Frequency,
+    /// Time the transition began.
+    pub start: TimePs,
+    /// Time the transition completes.
+    pub end: TimePs,
+}
+
+impl Transition {
+    /// Linearly interpolated frequency at `now` (clamped to the endpoints).
+    pub fn frequency_at(&self, now: TimePs) -> Frequency {
+        if now <= self.start {
+            return self.from;
+        }
+        if now >= self.end {
+            return self.to;
+        }
+        let span = (self.end - self.start).as_ps() as f64;
+        let done = (now - self.start).as_ps() as f64 / span;
+        let hz =
+            self.from.as_hz() as f64 + (self.to.as_hz() as f64 - self.from.as_hz() as f64) * done;
+        Frequency::from_hz(hz.round() as u64)
+    }
+}
+
+/// Per-domain voltage regulator and PLL.
+///
+/// Tracks the committed operating point, slews toward retarget requests at
+/// the style's rate, and accounts the (small) regulator switching energy.
+///
+/// ```
+/// use mcd_power::{Regulator, DvfsStyle, VfCurve, OpIndex, TimePs};
+///
+/// let curve = VfCurve::mcd_default();
+/// let mut reg = Regulator::new(curve.clone(), DvfsStyle::XScale, curve.max_index());
+/// let t0 = TimePs::ZERO;
+/// reg.request(OpIndex(0), t0);
+/// assert!(reg.is_transitioning(TimePs::from_us(10)));
+/// // Full-range swing: 750 MHz * 73.3 ns/MHz ≈ 55 us.
+/// assert!(!reg.is_transitioning(TimePs::from_us(60)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regulator {
+    curve: VfCurve,
+    style: DvfsStyle,
+    target: OpIndex,
+    transition: Option<Transition>,
+    switching_energy: Energy,
+    transitions_started: u64,
+    /// Effective output capacitance of the (dual-phase) regulator, used for
+    /// the `½·C·|V₁²−V₀²|` switching-energy estimate. Small, per Section 3.
+    vr_capacitance_farads: f64,
+}
+
+impl Regulator {
+    /// Creates a regulator parked at `initial` with no transition pending.
+    pub fn new(curve: VfCurve, style: DvfsStyle, initial: OpIndex) -> Self {
+        assert!(
+            initial.0 <= curve.max_index().0,
+            "initial index out of range"
+        );
+        Regulator {
+            curve,
+            style,
+            target: initial,
+            transition: None,
+            switching_energy: Energy::ZERO,
+            transitions_started: 0,
+            vr_capacitance_farads: 10e-9,
+        }
+    }
+
+    /// The operating-point curve this regulator drives.
+    pub fn curve(&self) -> &VfCurve {
+        &self.curve
+    }
+
+    /// The DVFS style (XScale or Transmeta).
+    pub fn style(&self) -> DvfsStyle {
+        self.style
+    }
+
+    /// The committed target operating point.
+    pub fn target(&self) -> OpIndex {
+        self.target
+    }
+
+    /// Number of retarget requests that actually started a transition.
+    pub fn transitions_started(&self) -> u64 {
+        self.transitions_started
+    }
+
+    /// Total regulator switching energy spent so far.
+    pub fn switching_energy(&self) -> Energy {
+        self.switching_energy
+    }
+
+    /// Requests a move to `target`, starting (or re-aiming) a transition at
+    /// `now`. Returns the completion time. Requests for the current target
+    /// are no-ops and return `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` exceeds the curve's maximum index.
+    pub fn request(&mut self, target: OpIndex, now: TimePs) -> TimePs {
+        assert!(
+            target.0 <= self.curve.max_index().0,
+            "target index out of range"
+        );
+        if target == self.target && self.transition.map_or(true, |t| now >= t.end) {
+            return now;
+        }
+        if target == self.target {
+            // Already slewing there.
+            return self.transition.expect("checked above").end;
+        }
+        let from = self.frequency_at(now);
+        let to = self.curve.point(target).frequency;
+        let delta_mhz = (to.as_mhz() - from.as_mhz()).abs();
+        let dur_ps = delta_mhz * self.style.ns_per_mhz() * 1e3;
+        let end = now.advance_f64(dur_ps);
+
+        // Regulator switching energy: ½·C·|V₁² − V₀²|.
+        let v0 = self.curve.voltage_for_frequency(from).as_volts();
+        let v1 = self.curve.voltage_for_frequency(to).as_volts();
+        self.switching_energy +=
+            Energy::from_joules(0.5 * self.vr_capacitance_farads * (v1 * v1 - v0 * v0).abs());
+        self.transitions_started += 1;
+        self.target = target;
+        self.transition = Some(Transition {
+            from,
+            to,
+            start: now,
+            end,
+        });
+        end
+    }
+
+    /// Whether a transition is still in flight at `now`.
+    pub fn is_transitioning(&self, now: TimePs) -> bool {
+        self.transition.is_some_and(|t| now < t.end)
+    }
+
+    /// Time the in-flight transition (if any) completes.
+    pub fn transition_end(&self) -> Option<TimePs> {
+        self.transition.map(|t| t.end)
+    }
+
+    /// If the style stalls during transitions, the time until which the
+    /// domain must stall (when a transition is in flight at `now`).
+    pub fn stall_until(&self, now: TimePs) -> Option<TimePs> {
+        if self.style.stalls_during_transition() && self.is_transitioning(now) {
+            self.transition.map(|t| t.end)
+        } else {
+            None
+        }
+    }
+
+    /// Effective clock frequency at `now` (interpolated mid-transition).
+    pub fn frequency_at(&self, now: TimePs) -> Frequency {
+        match self.transition {
+            Some(t) if now < t.end => t.frequency_at(now),
+            _ => self.curve.point(self.target).frequency,
+        }
+    }
+
+    /// Supply voltage at `now`. The regulator slews voltage together with
+    /// frequency along the curve.
+    pub fn voltage_at(&self, now: TimePs) -> Voltage {
+        self.curve.voltage_for_frequency(self.frequency_at(now))
+    }
+
+    /// Time to slew one curve step — the paper's switching time `T_s` for a
+    /// single triggered action (≈172 ns for the default curve, XScale).
+    pub fn single_step_time(&self) -> TimePs {
+        let dur_ps = self.curve.freq_step().as_mhz() * self.style.ns_per_mhz() * 1e3;
+        TimePs::ZERO.advance_f64(dur_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_at_max(style: DvfsStyle) -> Regulator {
+        let curve = VfCurve::mcd_default();
+        let max = curve.max_index();
+        Regulator::new(curve, style, max)
+    }
+
+    #[test]
+    fn idle_regulator_reports_target_point() {
+        let r = reg_at_max(DvfsStyle::XScale);
+        assert_eq!(r.frequency_at(TimePs::ZERO), Frequency::from_ghz(1.0));
+        assert!(!r.is_transitioning(TimePs::ZERO));
+        assert_eq!(r.transition_end(), None);
+    }
+
+    #[test]
+    fn full_swing_duration_matches_slew_rate() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let end = r.request(OpIndex(0), TimePs::ZERO);
+        // 750 MHz * 73.3 ns/MHz = 54_975 ns.
+        assert_eq!(end.as_ps(), 54_975_000);
+        assert_eq!(r.transitions_started(), 1);
+    }
+
+    #[test]
+    fn frequency_interpolates_during_transition() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let end = r.request(OpIndex(0), TimePs::ZERO);
+        let mid = TimePs::new(end.as_ps() / 2);
+        let f = r.frequency_at(mid);
+        assert!((f.as_mhz() - 625.0).abs() < 1.0, "got {f}");
+        assert_eq!(r.frequency_at(end), Frequency::from_mhz(250.0));
+    }
+
+    #[test]
+    fn retarget_mid_transition_starts_from_current_frequency() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let end = r.request(OpIndex(0), TimePs::ZERO);
+        let mid = TimePs::new(end.as_ps() / 2);
+        let f_mid = r.frequency_at(mid);
+        let max = r.curve().max_index();
+        let end2 = r.request(max, mid);
+        // Slewing back up from ~625 MHz takes about half the full swing.
+        let expect_ps = (1000.0 - f_mid.as_mhz()) * 73.3 * 1e3;
+        assert!(((end2 - mid).as_ps() as f64 - expect_ps).abs() < 2e3);
+        assert_eq!(r.frequency_at(end2), Frequency::from_ghz(1.0));
+    }
+
+    #[test]
+    fn same_target_request_is_noop() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let max = r.curve().max_index();
+        let t = TimePs::from_ns(5);
+        assert_eq!(r.request(max, t), t);
+        assert_eq!(r.transitions_started(), 0);
+        assert_eq!(r.switching_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn duplicate_request_during_transition_returns_same_end() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let end = r.request(OpIndex(0), TimePs::ZERO);
+        let again = r.request(OpIndex(0), TimePs::from_ns(100));
+        assert_eq!(end, again);
+        assert_eq!(r.transitions_started(), 1);
+    }
+
+    #[test]
+    fn transmeta_stalls_xscale_does_not() {
+        let mut x = reg_at_max(DvfsStyle::XScale);
+        x.request(OpIndex(0), TimePs::ZERO);
+        assert_eq!(x.stall_until(TimePs::from_ns(10)), None);
+
+        let mut t = reg_at_max(DvfsStyle::Transmeta);
+        let end = t.request(OpIndex(0), TimePs::ZERO);
+        assert_eq!(t.stall_until(TimePs::from_ns(10)), Some(end));
+        assert_eq!(t.stall_until(end), None);
+    }
+
+    #[test]
+    fn transmeta_is_slower() {
+        let mut x = reg_at_max(DvfsStyle::XScale);
+        let mut t = reg_at_max(DvfsStyle::Transmeta);
+        let ex = x.request(OpIndex(0), TimePs::ZERO);
+        let et = t.request(OpIndex(0), TimePs::ZERO);
+        assert_eq!(et.as_ps(), ex.as_ps() * 10);
+    }
+
+    #[test]
+    fn switching_energy_accumulates() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        r.request(OpIndex(0), TimePs::ZERO);
+        let e1 = r.switching_energy();
+        assert!(e1.as_joules() > 0.0);
+        // ½ · 10nF · (1.2² − 0.65²) ≈ 5.09 nJ
+        assert!((e1.as_nj() - 5.0875).abs() < 0.01, "got {e1}");
+    }
+
+    #[test]
+    fn single_step_time_is_about_172ns() {
+        let r = reg_at_max(DvfsStyle::XScale);
+        let ts = r.single_step_time();
+        assert!((ts.as_ns() - 171.8).abs() < 1.0, "got {ts}");
+    }
+}

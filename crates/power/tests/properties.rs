@@ -1,0 +1,119 @@
+//! Property-based tests for the power substrate.
+
+use mcd_power::{DvfsStyle, Energy, Frequency, OpIndex, Regulator, TimePs, VfCurve, Voltage};
+use proptest::prelude::*;
+
+fn curve() -> VfCurve {
+    VfCurve::mcd_default()
+}
+
+proptest! {
+    /// Frequency and voltage are monotone in the operating-point index.
+    #[test]
+    fn vf_curve_is_monotone(a in 0u16..=320, b in 0u16..=320) {
+        let c = curve();
+        let pa = c.point(OpIndex(a));
+        let pb = c.point(OpIndex(b));
+        if a < b {
+            prop_assert!(pa.frequency < pb.frequency);
+            prop_assert!(pa.voltage < pb.voltage);
+        } else if a == b {
+            prop_assert_eq!(pa.frequency, pb.frequency);
+        }
+    }
+
+    /// Every operating point round-trips through its own frequency.
+    #[test]
+    fn point_frequency_roundtrip(idx in 0u16..=320) {
+        let c = curve();
+        let p = c.point(OpIndex(idx));
+        prop_assert_eq!(c.point_for_frequency(p.frequency).index, p.index);
+    }
+
+    /// `point_for_frequency` always returns a valid index, for any input.
+    #[test]
+    fn arbitrary_frequency_maps_into_range(hz in 1u64..5_000_000_000) {
+        let c = curve();
+        let p = c.point_for_frequency(Frequency::from_hz(hz));
+        prop_assert!(p.index.0 <= c.max_index().0);
+        prop_assert!(p.frequency >= c.min().frequency);
+        prop_assert!(p.frequency <= c.max().frequency);
+    }
+
+    /// A regulator's effective frequency always stays within the envelope
+    /// of its transition endpoints, and transitions always terminate.
+    #[test]
+    fn regulator_frequency_stays_in_envelope(
+        start in 0u16..=320,
+        target in 0u16..=320,
+        probe_fraction in 0.0f64..1.5,
+    ) {
+        let c = curve();
+        let mut reg = Regulator::new(c.clone(), DvfsStyle::XScale, OpIndex(start));
+        let end = reg.request(OpIndex(target), TimePs::ZERO);
+        let probe = TimePs::new((end.as_ps() as f64 * probe_fraction) as u64);
+        let f = reg.frequency_at(probe);
+        let f0 = c.point(OpIndex(start)).frequency;
+        let f1 = c.point(OpIndex(target)).frequency;
+        let (lo, hi) = if f0 <= f1 { (f0, f1) } else { (f1, f0) };
+        prop_assert!(f >= lo && f <= hi, "f={f} outside [{lo}, {hi}]");
+        prop_assert_eq!(reg.frequency_at(end), f1);
+        prop_assert!(!reg.is_transitioning(end));
+    }
+
+    /// Transition duration is proportional to the frequency distance.
+    #[test]
+    fn transition_time_proportional_to_distance(
+        start in 0u16..=320,
+        target in 0u16..=320,
+    ) {
+        let c = curve();
+        let mut reg = Regulator::new(c.clone(), DvfsStyle::XScale, OpIndex(start));
+        let end = reg.request(OpIndex(target), TimePs::ZERO);
+        let dist_mhz = (c.point(OpIndex(start)).frequency.as_mhz()
+            - c.point(OpIndex(target)).frequency.as_mhz())
+        .abs();
+        let expect_ps = dist_mhz * 73.3 * 1e3;
+        prop_assert!((end.as_ps() as f64 - expect_ps).abs() <= 1.0);
+    }
+
+    /// Event energy is strictly increasing in voltage (V² scaling).
+    #[test]
+    fn event_energy_monotone_in_voltage(mv_a in 650.0f64..1200.0, mv_b in 650.0f64..1200.0) {
+        use mcd_power::{ActivityEvent, EnergyModel};
+        let m = EnergyModel::new(Voltage::from_volts(1.2));
+        let ea = m.event_energy(ActivityEvent::L1DAccess, Voltage::from_mv(mv_a));
+        let eb = m.event_energy(ActivityEvent::L1DAccess, Voltage::from_mv(mv_b));
+        if mv_a < mv_b {
+            prop_assert!(ea < eb);
+        }
+    }
+
+    /// Meter totals equal the sum of the breakdown categories.
+    #[test]
+    fn meter_total_consistent(
+        cycles in 0u64..200,
+        alus in 0u64..200,
+        loads in 0u64..200,
+    ) {
+        use mcd_power::{ActivityEvent, DomainClass, DomainEnergyMeter, EnergyModel};
+        let mut meter = DomainEnergyMeter::new(
+            DomainClass::LoadStore,
+            EnergyModel::new(Voltage::from_volts(1.2)),
+        );
+        let v = Voltage::from_volts(1.0);
+        for _ in 0..cycles {
+            meter.charge_cycle(0.3, v);
+        }
+        meter.charge_events(ActivityEvent::IntAlu, alus, v);
+        meter.charge_events(ActivityEvent::L1DAccess, loads, v);
+        let b = meter.breakdown();
+        let sum = b.clock + b.compute + b.memory + b.pipeline + b.leakage;
+        prop_assert!((sum.as_joules() - meter.total().as_joules()).abs() <= f64::EPSILON);
+        prop_assert_eq!(meter.cycles(), cycles);
+        prop_assert_eq!(meter.events(), alus + loads);
+        if cycles + alus + loads == 0 {
+            prop_assert_eq!(meter.total(), Energy::ZERO);
+        }
+    }
+}

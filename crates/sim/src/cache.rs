@@ -1,0 +1,176 @@
+//! Set-associative caches with LRU replacement.
+
+/// A set-associative cache directory (tags only — the simulator needs hit/
+/// miss decisions and access counts, not data).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // per-set tag stack, most-recently-used last
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache of `size_bytes` with `assoc` ways and `line_bytes`
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
+    /// line size, or size not divisible into sets).
+    pub fn new(size_bytes: usize, assoc: usize, line_bytes: usize) -> Self {
+        assert!(
+            size_bytes > 0 && assoc > 0 && line_bytes > 0,
+            "degenerate cache"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = size_bytes / line_bytes;
+        assert!(lines >= assoc && lines % assoc == 0, "size/assoc mismatch");
+        let n_sets = lines / assoc;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); n_sets],
+            assoc,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: (n_sets - 1) as u64,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Accesses and (on miss) fills the line containing `addr`.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.sets.len().trailing_zeros();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            self.misses += 1;
+            if set.len() == self.assoc {
+                set.remove(0); // evict LRU
+            }
+            set.push(tag);
+            false
+        }
+    }
+
+    /// Probes without filling or counting. Returns `true` on present.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.sets.len().trailing_zeros();
+        self.sets[set_idx].contains(&tag)
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio so far (0 if never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = Cache::new(64 * 1024, 2, 64);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004), "same line must hit");
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        // Direct-mapped tiny cache: 2 lines of 64B.
+        let mut c = Cache::new(128, 1, 64);
+        assert_eq!(c.n_sets(), 2);
+        assert!(!c.access(0x0)); // set 0
+        assert!(!c.access(0x80)); // set 0, evicts 0x0
+        assert!(!c.access(0x0)); // miss again
+    }
+
+    #[test]
+    fn two_way_set_keeps_both_lines() {
+        let mut c = Cache::new(256, 2, 64); // 2 sets, 2 ways
+        c.access(0x000); // set 0
+        c.access(0x100); // set 0, other tag
+        assert!(c.access(0x000));
+        assert!(c.access(0x100));
+        // Third distinct tag in set 0 evicts the LRU (0x000 after the hits
+        // above made 0x100 MRU... actually 0x100 was hit last, so 0x000 is LRU).
+        c.access(0x200);
+        assert!(c.probe(0x100));
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn probe_does_not_fill_or_count() {
+        let c = Cache::new(1024, 2, 64);
+        assert!(!c.probe(0x40));
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn miss_rate_tracks_counts() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert_eq!(c.miss_rate(), 0.0);
+        c.access(0x0);
+        c.access(0x0);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_working_set_larger_than_cache_always_misses() {
+        let mut c = Cache::new(4096, 1, 64); // 64 lines
+                                             // Two passes over 128 distinct lines with a direct-mapped cache in
+                                             // which each set sees two alternating tags: pass 2 must miss fully.
+        for pass in 0..2 {
+            for i in 0..128u64 {
+                let hit = c.access(i * 64);
+                if pass == 1 {
+                    assert!(!hit, "line {i} unexpectedly survived");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_panics() {
+        let _ = Cache::new(1024, 2, 48);
+    }
+}

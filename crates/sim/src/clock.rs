@@ -1,0 +1,207 @@
+//! Per-domain clock generation with jitter and DVFS-driven periods.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mcd_power::{DvfsStyle, Frequency, OpIndex, Regulator, TimePs, VfCurve, Voltage};
+
+/// An independently-generated domain clock.
+///
+/// Each edge is one local cycle. The period follows the domain's
+/// [`Regulator`] (so it shifts continuously during an XScale-style
+/// transition), and each edge is perturbed by normally-distributed jitter
+/// clamped to ±3σ — the paper's "±10 ps, normally distributed".
+#[derive(Debug, Clone)]
+pub struct DomainClock {
+    regulator: Regulator,
+    next_edge: TimePs,
+    /// Carries the sub-picosecond part of the period between edges so long
+    /// runs do not accumulate rounding drift.
+    frac_carry: f64,
+    sigma_ps: f64,
+    rng: StdRng,
+    edges: u64,
+}
+
+impl DomainClock {
+    /// Creates a clock starting at operating point `initial`, first edge at
+    /// one period past time zero.
+    pub fn new(
+        curve: VfCurve,
+        style: DvfsStyle,
+        initial: OpIndex,
+        sigma_ps: f64,
+        seed: u64,
+    ) -> Self {
+        let regulator = Regulator::new(curve, style, initial);
+        let period = regulator.frequency_at(TimePs::ZERO).period_ps();
+        DomainClock {
+            regulator,
+            next_edge: TimePs::ZERO.advance_f64(period),
+            frac_carry: 0.0,
+            sigma_ps,
+            rng: StdRng::seed_from_u64(seed),
+            edges: 0,
+        }
+    }
+
+    /// The next clock edge.
+    pub fn next_edge(&self) -> TimePs {
+        self.next_edge
+    }
+
+    /// Total edges generated so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// The regulator driving this clock.
+    pub fn regulator(&self) -> &Regulator {
+        &self.regulator
+    }
+
+    /// Mutable access to the regulator (for DVFS retargeting).
+    pub fn regulator_mut(&mut self) -> &mut Regulator {
+        &mut self.regulator
+    }
+
+    /// Effective frequency at `now`.
+    pub fn frequency_at(&self, now: TimePs) -> Frequency {
+        self.regulator.frequency_at(now)
+    }
+
+    /// Supply voltage at `now`.
+    pub fn voltage_at(&self, now: TimePs) -> Voltage {
+        self.regulator.voltage_at(now)
+    }
+
+    /// Consumes the pending edge and schedules the next one.
+    ///
+    /// Returns the time of the edge that just fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called before the pending edge's time has been
+    /// reached by the caller's event loop.
+    pub fn tick(&mut self) -> TimePs {
+        let edge = self.next_edge;
+        self.edges += 1;
+        let period = self.regulator.frequency_at(edge).period_ps() + self.frac_carry;
+        let whole = period.floor();
+        self.frac_carry = period - whole;
+        let jitter = self.sample_jitter();
+        // Jitter perturbs the edge position but never reorders edges.
+        let step = (whole + jitter).max(1.0);
+        self.next_edge = edge.advance_f64(step);
+        edge
+    }
+
+    /// Local cycles that elapse per `duration` at the current frequency
+    /// (used to convert latency-in-cycles to absolute times).
+    pub fn cycles_to_time(&self, cycles: u32, now: TimePs) -> TimePs {
+        let period = self.regulator.frequency_at(now).period_ps();
+        TimePs::ZERO.advance_f64(period * cycles as f64)
+    }
+
+    /// Box–Muller normal sample, clamped to ±3σ.
+    fn sample_jitter(&mut self) -> f64 {
+        if self.sigma_ps == 0.0 {
+            return 0.0;
+        }
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (z * self.sigma_ps).clamp(-3.0 * self.sigma_ps, 3.0 * self.sigma_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(sigma: f64) -> DomainClock {
+        let curve = VfCurve::mcd_default();
+        let max = curve.max_index();
+        DomainClock::new(curve, DvfsStyle::XScale, max, sigma, 42)
+    }
+
+    #[test]
+    fn jitterless_clock_ticks_at_exact_period() {
+        let mut c = clock(0.0);
+        let mut last = TimePs::ZERO;
+        for i in 1..=100 {
+            let edge = c.tick();
+            assert_eq!(edge.as_ps(), i * 1000, "edge {i}");
+            assert!(edge > last);
+            last = edge;
+        }
+        assert_eq!(c.edges(), 100);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_preserves_order() {
+        let mut c = clock(10.0 / 3.0);
+        let mut last = TimePs::ZERO;
+        for i in 1..=10_000u64 {
+            let edge = c.tick();
+            assert!(edge > last, "edges must be monotone");
+            // Cumulative drift stays near nominal: each edge within ±10ps of
+            // its neighbours' spacing.
+            let spacing = (edge - last).as_ps() as i64;
+            assert!((spacing - 1000).abs() <= 11, "edge {i}: spacing {spacing}");
+            last = edge;
+        }
+    }
+
+    #[test]
+    fn frequency_change_lengthens_period() {
+        let mut c = clock(0.0);
+        // Warm up a few edges at 1 GHz.
+        for _ in 0..5 {
+            c.tick();
+        }
+        let now = c.next_edge();
+        c.regulator_mut().request(OpIndex(0), now);
+        // Drain the transition (~55 us) by ticking until past its end.
+        let end = c.regulator().transition_end().expect("transition started");
+        let mut edge = TimePs::ZERO;
+        while edge < end {
+            edge = c.tick();
+        }
+        let e1 = c.tick();
+        let e2 = c.tick();
+        // At 250 MHz the period is 4000 ps.
+        assert_eq!((e2 - e1).as_ps(), 4000);
+    }
+
+    #[test]
+    fn cycles_to_time_scales_with_frequency() {
+        let c = clock(0.0);
+        assert_eq!(c.cycles_to_time(12, TimePs::ZERO).as_ps(), 12_000);
+        let curve = VfCurve::mcd_default();
+        let slow = DomainClock::new(curve, DvfsStyle::XScale, OpIndex(0), 0.0, 1);
+        assert_eq!(slow.cycles_to_time(12, TimePs::ZERO).as_ps(), 48_000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = clock(3.0);
+        let mut b = clock(3.0);
+        for _ in 0..1000 {
+            assert_eq!(a.tick(), b.tick());
+        }
+    }
+
+    #[test]
+    fn long_run_has_no_systematic_drift() {
+        let mut c = clock(10.0 / 3.0);
+        let mut edge = TimePs::ZERO;
+        let n = 100_000u64;
+        for _ in 0..n {
+            edge = c.tick();
+        }
+        // Mean period should be 1000 ps within a tiny tolerance.
+        let mean = edge.as_ps() as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 0.5, "mean period {mean}");
+    }
+}

@@ -1,0 +1,949 @@
+//! The MCD machine: event loop, pipeline stages, and DVFS plumbing.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use mcd_power::{ActivityEvent, DomainEnergyMeter, Energy, EnergyModel, LeakageModel, TimePs};
+use mcd_workloads::{MicroOp, OpClass};
+
+use crate::bpred::BranchPredictor;
+use crate::cache::Cache;
+use crate::clock::DomainClock;
+use crate::config::{DomainId, SimConfig};
+use crate::controller::{ControllerCtx, DvfsController, QueueSample};
+use crate::memory::MainMemory;
+use crate::metrics::{FreqTracePoint, Metrics};
+use crate::queue::{IqEntry, IssueQueue};
+use crate::regfile::FreeList;
+use crate::result::{DomainResult, SimResult};
+use crate::rob::{Rob, RobEntry};
+
+/// Where and when an instruction finished executing.
+#[derive(Debug, Clone, Copy)]
+struct Completion {
+    at: TimePs,
+    domain: DomainId,
+}
+
+/// A pool of identical functional units, each free again at a known time.
+#[derive(Debug, Clone)]
+struct FuPool {
+    free_at: Vec<TimePs>,
+}
+
+impl FuPool {
+    fn new(units: u32) -> Self {
+        FuPool {
+            free_at: vec![TimePs::ZERO; units as usize],
+        }
+    }
+
+    /// Claims a free unit until `busy_until`; returns false if none free.
+    fn try_issue(&mut self, now: TimePs, busy_until: TimePs) -> bool {
+        if let Some(u) = self.free_at.iter_mut().find(|t| **t <= now) {
+            *u = busy_until;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn busy_count(&self, now: TimePs) -> usize {
+        self.free_at.iter().filter(|&&t| t > now).count()
+    }
+
+    fn total(&self) -> usize {
+        self.free_at.len()
+    }
+}
+
+/// Execution latency of `class` in consumer-domain cycles, and whether the
+/// unit pipelines (frees after one cycle) or blocks until completion.
+fn latency_cycles(class: OpClass) -> (u32, bool) {
+    match class {
+        OpClass::IntAlu | OpClass::Branch => (1, true),
+        OpClass::IntMul => (3, true),
+        OpClass::FpAlu => (4, true),
+        OpClass::FpMul => (4, true),
+        OpClass::FpDiv => (12, false),
+        // Loads/stores are priced by the memory hierarchy, not here.
+        OpClass::Load | OpClass::Store => (1, true),
+    }
+}
+
+/// The simulated MCD processor.
+///
+/// Construct with [`Machine::new`], optionally attach per-domain DVFS
+/// controllers with [`Machine::with_controller`], then call
+/// [`Machine::run`] to simulate until the trace is drained.
+pub struct Machine<T> {
+    cfg: SimConfig,
+    now: TimePs,
+    clocks: [DomainClock; 4],
+    meters: [DomainEnergyMeter; 4],
+    leakage: LeakageModel,
+    controllers: [Option<Box<dyn DvfsController>>; 3],
+
+    trace: T,
+    trace_done: bool,
+    fetch_buf: VecDeque<MicroOp>,
+    fetch_stall_until: TimePs,
+    pending_redirect: Option<u64>,
+
+    rob: Rob,
+    iqs: [IssueQueue; 3],
+    int_regs: FreeList,
+    fp_regs: FreeList,
+    completed: HashMap<u64, Completion>,
+    store_map: HashMap<u64, u64>,
+
+    int_alus: FuPool,
+    int_muls: FuPool,
+    fp_alus: FuPool,
+    fp_muls: FuPool,
+    ls_ports: FuPool,
+
+    icache: Cache,
+    dcache: Cache,
+    l2: Cache,
+    memory: MainMemory,
+    bpred: BranchPredictor,
+
+    next_sample: TimePs,
+    metrics: Metrics,
+    retired: u64,
+}
+
+impl<T> std::fmt::Debug for Machine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("retired", &self.retired)
+            .field("rob_len", &self.rob.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Iterator<Item = MicroOp>> Machine<T> {
+    /// Builds a machine over `trace` with configuration `cfg`. All domains
+    /// start at the maximum operating point with no controllers attached
+    /// (the study's full-speed baseline).
+    pub fn new(cfg: SimConfig, trace: T) -> Self {
+        let curve = cfg.vf_curve.clone();
+        let max = curve.max_index();
+        let model = EnergyModel::new(curve.max().voltage);
+        let mk_clock = |i: usize| {
+            DomainClock::new(
+                curve.clone(),
+                cfg.dvfs_style,
+                max,
+                cfg.jitter_sigma_ps,
+                cfg.jitter_seed.wrapping_add(i as u64 * 0x9e37),
+            )
+        };
+        let clocks = [mk_clock(0), mk_clock(1), mk_clock(2), mk_clock(3)];
+        let meters = [
+            DomainEnergyMeter::new(DomainId::FrontEnd.class(), model.clone()),
+            DomainEnergyMeter::new(DomainId::Int.class(), model.clone()),
+            DomainEnergyMeter::new(DomainId::Fp.class(), model.clone()),
+            DomainEnergyMeter::new(DomainId::Ls.class(), model),
+        ];
+        Machine {
+            now: TimePs::ZERO,
+            clocks,
+            meters,
+            leakage: LeakageModel::new(curve.max().voltage).with_scale(cfg.leakage_scale),
+            controllers: [None, None, None],
+            trace,
+            trace_done: false,
+            fetch_buf: VecDeque::with_capacity(4 * cfg.decode_width as usize),
+            fetch_stall_until: TimePs::ZERO,
+            pending_redirect: None,
+            rob: Rob::new(cfg.rob_size),
+            iqs: [
+                IssueQueue::new(cfg.int_queue),
+                IssueQueue::new(cfg.fp_queue),
+                IssueQueue::new(cfg.ls_queue),
+            ],
+            int_regs: FreeList::new(cfg.int_regs),
+            fp_regs: FreeList::new(cfg.fp_regs),
+            completed: HashMap::new(),
+            store_map: HashMap::new(),
+            int_alus: FuPool::new(cfg.int_alus),
+            int_muls: FuPool::new(cfg.int_muls),
+            fp_alus: FuPool::new(cfg.fp_alus),
+            fp_muls: FuPool::new(cfg.fp_muls),
+            ls_ports: FuPool::new(cfg.ls_ports),
+            icache: Cache::new(cfg.l1i_bytes, cfg.l1i_assoc, cfg.line_bytes),
+            dcache: Cache::new(cfg.l1d_bytes, cfg.l1d_assoc, cfg.line_bytes),
+            l2: Cache::new(cfg.l2_bytes, cfg.l2_assoc, cfg.line_bytes),
+            memory: MainMemory::new(cfg.mem_first_chunk, cfg.mem_inter_chunk, cfg.mem_chunks),
+            bpred: BranchPredictor::table1(),
+            next_sample: cfg.sample_period,
+            metrics: Metrics::default(),
+            retired: 0,
+            cfg,
+        }
+    }
+
+    /// Attaches a DVFS controller to a back-end domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is the front end (which runs at fixed maximum
+    /// speed, as in the paper's experiments).
+    pub fn with_controller(
+        mut self,
+        domain: DomainId,
+        controller: Box<dyn DvfsController>,
+    ) -> Self {
+        self.controllers[domain.backend_index()] = Some(controller);
+        self
+    }
+
+    /// Builds one controller per back-end domain from `factory` and
+    /// attaches them.
+    pub fn with_controllers<F>(mut self, mut factory: F) -> Self
+    where
+        F: FnMut(DomainId) -> Box<dyn DvfsController>,
+    {
+        for &d in &DomainId::BACKEND {
+            self.controllers[d.backend_index()] = Some(factory(d));
+        }
+        self
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Runs the machine until the trace is drained and the pipeline is
+    /// empty, then returns the accumulated results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if simulated time exceeds `cfg.max_sim_time` (a livelock
+    /// guard — a correct configuration always terminates).
+    pub fn run(mut self) -> SimResult {
+        while !(self.trace_done && self.fetch_buf.is_empty() && self.rob.is_empty()) {
+            let mut t = self.next_sample;
+            let mut which = 4usize;
+            for i in 0..4 {
+                let e = self.clocks[i].next_edge();
+                if e < t {
+                    t = e;
+                    which = i;
+                }
+            }
+            assert!(
+                t <= self.cfg.max_sim_time,
+                "simulation exceeded max_sim_time at {t} with {} retired — livelock?",
+                self.retired
+            );
+            match which {
+                0 => self.tick_frontend(),
+                1 => self.tick_backend(DomainId::Int),
+                2 => self.tick_backend(DomainId::Fp),
+                3 => self.tick_backend(DomainId::Ls),
+                _ => self.tick_sample(),
+            }
+        }
+        self.build_result()
+    }
+
+    // ----- readiness ---------------------------------------------------
+
+    /// Whether producer `src`'s result is usable at time `t` by an op in
+    /// `consumer`.
+    fn source_ready(&self, src: u64, t: TimePs, consumer: DomainId) -> bool {
+        if src < self.retired {
+            return true; // architecturally committed long ago
+        }
+        match self.completed.get(&src) {
+            None => false,
+            Some(c) => {
+                let cross = c.domain != consumer;
+                let penalty = match self.cfg.sync_model {
+                    // Arbitration checks every cross-domain transfer
+                    // against the synchronization window.
+                    crate::config::SyncModel::Arbitration if cross => self.cfg.sync_window,
+                    // Token-ring FIFOs forward results without a
+                    // synchronization check while the ring is flowing.
+                    _ => TimePs::ZERO,
+                };
+                c.at + penalty <= t
+            }
+        }
+    }
+
+    fn entry_ready(&self, e: &IqEntry, t: TimePs, consumer: DomainId) -> bool {
+        if e.visible_at > t {
+            return false;
+        }
+        for src in e.op.sources() {
+            if !self.source_ready(src, t, consumer) {
+                return false;
+            }
+        }
+        if let Some(dep) = e.mem_dep {
+            if !self.source_ready(dep, t, consumer) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ----- back-end domains ---------------------------------------------
+
+    fn tick_backend(&mut self, d: DomainId) {
+        let di = d.index();
+        let bi = d.backend_index();
+        let edge = self.clocks[di].tick();
+        self.now = edge;
+        let v = self.clocks[di].voltage_at(edge);
+        // Static power accrues per local period; at lower frequency the
+        // periods lengthen, so leakage energy tracks wall-clock time.
+        let period = self.clocks[di].cycles_to_time(1, edge);
+        self.meters[di].charge_leakage(self.leakage.energy(d.class(), period, v));
+
+        // Transmeta-style transitions stall the whole domain.
+        if self.clocks[di].regulator().stall_until(edge).is_some() {
+            self.meters[di].charge_cycle(0.0, v);
+            return;
+        }
+
+        // Select ready entries in age order, bounded by issue width.
+        let width = self.cfg.issue_width as usize;
+        let mut candidates: Vec<usize> = Vec::with_capacity(width);
+        for (i, e) in self.iqs[bi].iter().enumerate() {
+            if candidates.len() >= width {
+                break;
+            }
+            if self.entry_ready(e, edge, d) {
+                candidates.push(i);
+            }
+        }
+
+        // Try to claim functional units and compute completion times.
+        let mut issued: Vec<usize> = Vec::with_capacity(candidates.len());
+        for &idx in &candidates {
+            let entry = *self.iqs[bi].iter().nth(idx).expect("candidate index valid");
+            let op = entry.op;
+            let (lat, pipelined) = latency_cycles(op.class);
+            let lat_time = self.clocks[di].cycles_to_time(lat, edge);
+            let one_cycle = self.clocks[di].cycles_to_time(1, edge);
+
+            let (pool, completion): (&mut FuPool, TimePs) = match op.class {
+                OpClass::IntAlu | OpClass::Branch => (&mut self.int_alus, edge + lat_time),
+                OpClass::IntMul => (&mut self.int_muls, edge + lat_time),
+                OpClass::FpAlu => (&mut self.fp_alus, edge + lat_time),
+                OpClass::FpMul | OpClass::FpDiv => (&mut self.fp_muls, edge + lat_time),
+                OpClass::Load | OpClass::Store => (&mut self.ls_ports, edge + lat_time),
+            };
+            let busy_until = if pipelined {
+                edge + one_cycle
+            } else {
+                completion
+            };
+            if !pool.try_issue(edge, busy_until) {
+                continue; // structural hazard; try younger ops
+            }
+
+            // Memory ops get their real completion from the hierarchy.
+            let completion = if op.class.is_mem() {
+                self.execute_mem(&op, edge, v)
+            } else {
+                self.charge_exec_energy(op.class, di, v);
+                completion
+            };
+            self.meters[di].charge_event(ActivityEvent::Issue, v);
+            self.completed.insert(
+                op.seq,
+                Completion {
+                    at: completion,
+                    domain: d,
+                },
+            );
+            issued.push(idx);
+        }
+        self.iqs[bi].remove_issued(&issued);
+
+        // Cycle energy at the fraction of busy units.
+        let (busy, total) = match d {
+            DomainId::Int => (
+                self.int_alus.busy_count(edge) + self.int_muls.busy_count(edge),
+                self.int_alus.total() + self.int_muls.total(),
+            ),
+            DomainId::Fp => (
+                self.fp_alus.busy_count(edge) + self.fp_muls.busy_count(edge),
+                self.fp_alus.total() + self.fp_muls.total(),
+            ),
+            DomainId::Ls => (self.ls_ports.busy_count(edge), self.ls_ports.total()),
+            DomainId::FrontEnd => unreachable!("front end handled separately"),
+        };
+        self.meters[di].charge_cycle(busy as f64 / total as f64, v);
+    }
+
+    fn charge_exec_energy(&mut self, class: OpClass, di: usize, v: mcd_power::Voltage) {
+        let ev = match class {
+            OpClass::IntAlu | OpClass::Branch => ActivityEvent::IntAlu,
+            OpClass::IntMul => ActivityEvent::IntMul,
+            OpClass::FpAlu => ActivityEvent::FpAlu,
+            OpClass::FpMul => ActivityEvent::FpMul,
+            OpClass::FpDiv => ActivityEvent::FpDiv,
+            OpClass::Load | OpClass::Store => return,
+        };
+        self.meters[di].charge_event(ev, v);
+        // Register traffic: two reads, one write (when a value is produced).
+        self.meters[di].charge_events(ActivityEvent::RegRead, 2, v);
+        if class.produces_value() {
+            self.meters[di].charge_event(ActivityEvent::RegWrite, v);
+        }
+    }
+
+    /// Executes a load/store against the cache hierarchy; returns its
+    /// completion time and charges LS-domain energy.
+    fn execute_mem(&mut self, op: &MicroOp, edge: TimePs, v: mcd_power::Voltage) -> TimePs {
+        let di = DomainId::Ls.index();
+        let addr = op.addr.expect("memory op carries an address");
+        self.meters[di].charge_event(ActivityEvent::LsqAccess, v);
+        self.meters[di].charge_event(ActivityEvent::L1DAccess, v);
+        let l1_time = self.clocks[di].cycles_to_time(self.cfg.l1_latency, edge);
+
+        if op.class == OpClass::Store {
+            // Stores drain through a write buffer: one port cycle, cache
+            // line allocated on the spot (write-allocate, no stall).
+            self.dcache.access(addr);
+            return edge + self.clocks[di].cycles_to_time(1, edge);
+        }
+
+        if self.dcache.access(addr) {
+            return edge + l1_time;
+        }
+        self.meters[di].charge_event(ActivityEvent::L2Access, v);
+        let l2_time = self.clocks[di].cycles_to_time(self.cfg.l2_latency, edge);
+        if self.l2.access(addr) {
+            return edge + l1_time + l2_time;
+        }
+        self.meters[di].charge_event(ActivityEvent::MemAccess, v);
+        // Off-chip: frequency-independent latency after the on-chip lookups.
+        self.memory.access(edge + l1_time + l2_time)
+    }
+
+    // ----- front end ----------------------------------------------------
+
+    fn tick_frontend(&mut self) {
+        let di = DomainId::FrontEnd.index();
+        let edge = self.clocks[di].tick();
+        self.now = edge;
+        let v = self.clocks[di].voltage_at(edge);
+        let period = self.clocks[di].cycles_to_time(1, edge);
+        self.meters[di].charge_leakage(self.leakage.energy(DomainId::FrontEnd.class(), period, v));
+
+        let retired_now = self.retire(edge, v);
+
+        // A resolved mispredicted branch redirects fetch after the penalty.
+        if let Some(bseq) = self.pending_redirect {
+            if self.source_ready(bseq, edge, DomainId::FrontEnd) {
+                self.pending_redirect = None;
+                self.fetch_stall_until =
+                    edge + self.clocks[di].cycles_to_time(self.cfg.mispredict_penalty, edge);
+            }
+        }
+
+        let fetched_now = self.fetch(edge, v);
+        let dispatched_now = self.dispatch(edge, v);
+
+        let width = self.cfg.decode_width as f64;
+        let util = (fetched_now as f64 + dispatched_now as f64 + retired_now as f64)
+            / (2.0 * width + self.cfg.retire_width as f64);
+        self.meters[di].charge_cycle(util.min(1.0), v);
+    }
+
+    fn retire(&mut self, edge: TimePs, v: mcd_power::Voltage) -> u32 {
+        let mut retired_now = 0;
+        while retired_now < self.cfg.retire_width {
+            let Some(head) = self.rob.head() else { break };
+            let seq = head.seq;
+            if !self.source_ready(seq, edge, DomainId::FrontEnd) {
+                break;
+            }
+            let entry = self.rob.retire_head();
+            if entry.holds_int_reg() {
+                self.int_regs.release();
+            } else if entry.holds_fp_reg() {
+                self.fp_regs.release();
+            }
+            self.completed.remove(&seq);
+            self.retired += 1;
+            retired_now += 1;
+            self.meters[DomainId::FrontEnd.index()].charge_event(ActivityEvent::Commit, v);
+        }
+        retired_now
+    }
+
+    fn fetch(&mut self, edge: TimePs, v: mcd_power::Voltage) -> u32 {
+        if self.pending_redirect.is_some() || edge < self.fetch_stall_until || self.trace_done {
+            return 0;
+        }
+        let di = DomainId::FrontEnd.index();
+        let cap = 4 * self.cfg.decode_width as usize;
+        let mut fetched = 0;
+        while fetched < self.cfg.decode_width && self.fetch_buf.len() < cap {
+            let Some(op) = self.trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            self.meters[di].charge_event(ActivityEvent::Fetch, v);
+
+            // Instruction-cache lookup; a miss stalls subsequent fetch.
+            if !self.icache.access(op.pc) {
+                self.meters[di].charge_event(ActivityEvent::L2Access, v);
+                let stall = if self.l2.access(op.pc) {
+                    self.clocks[di].cycles_to_time(self.cfg.l2_latency, edge)
+                } else {
+                    self.meters[di].charge_event(ActivityEvent::MemAccess, v);
+                    self.memory.access(edge) - edge
+                };
+                self.fetch_stall_until = edge + stall;
+                self.fetch_buf.push_back(op);
+                fetched += 1;
+                break;
+            }
+
+            if op.class == OpClass::Branch {
+                self.meters[di].charge_event(ActivityEvent::BpredLookup, v);
+                let pred = self.bpred.predict(op.pc);
+                self.meters[di].charge_event(ActivityEvent::BpredUpdate, v);
+                let correct = self.bpred.update(op.pc, pred, op.taken);
+                let seq = op.seq;
+                self.fetch_buf.push_back(op);
+                fetched += 1;
+                if !correct {
+                    // No wrong-path execution in trace-driven mode: model
+                    // the bubble by freezing fetch until the branch
+                    // resolves, plus the redirect penalty. The wrong-path
+                    // instructions a real front end would have fetched and
+                    // decoded before the redirect still cost energy.
+                    let wrong_path = (self.cfg.mispredict_penalty * self.cfg.decode_width) as u64;
+                    self.meters[di].charge_events(ActivityEvent::Fetch, wrong_path, v);
+                    self.meters[di].charge_events(ActivityEvent::DecodeRename, wrong_path, v);
+                    self.pending_redirect = Some(seq);
+                    break;
+                }
+                continue;
+            }
+            self.fetch_buf.push_back(op);
+            fetched += 1;
+        }
+        fetched
+    }
+
+    fn dispatch(&mut self, edge: TimePs, v: mcd_power::Voltage) -> u32 {
+        use crate::metrics::StallCause;
+        let di = DomainId::FrontEnd.index();
+        let mut dispatched = 0;
+        let mut blocked: Option<StallCause> = None;
+        while dispatched < self.cfg.decode_width {
+            let Some(&op) = self.fetch_buf.front() else {
+                break;
+            };
+            if self.rob.is_full() {
+                blocked = Some(StallCause::RobFull);
+                break;
+            }
+            let target = op.class.domain();
+            let bi = match target {
+                mcd_workloads::ExecDomain::Integer => 0,
+                mcd_workloads::ExecDomain::FloatingPoint => 1,
+                mcd_workloads::ExecDomain::LoadStore => 2,
+            };
+            if self.iqs[bi].is_full() {
+                blocked = Some(match bi {
+                    0 => StallCause::IntQueueFull,
+                    1 => StallCause::FpQueueFull,
+                    _ => StallCause::LsQueueFull,
+                });
+                break;
+            }
+            // Rename: claim a physical register for value producers
+            // (exactly one space per op, so a failed claim leaks nothing).
+            let needs_fp = op.class.produces_value() && op.class.is_fp();
+            let needs_int = op.class.produces_value() && !op.class.is_fp();
+            if needs_int && !self.int_regs.try_alloc() {
+                blocked = Some(StallCause::IntRegs);
+                break;
+            }
+            if needs_fp && !self.fp_regs.try_alloc() {
+                blocked = Some(StallCause::FpRegs);
+                break;
+            }
+
+            self.fetch_buf.pop_front();
+            self.rob.push(RobEntry {
+                seq: op.seq,
+                class: op.class,
+            });
+            let mem_dep = match op.class {
+                OpClass::Load => op
+                    .addr
+                    .and_then(|a| self.store_map.get(&a).copied())
+                    .filter(|&s| s < op.seq),
+                _ => None,
+            };
+            if op.class == OpClass::Store {
+                let a = op.addr.expect("store carries an address");
+                self.store_map.insert(a, op.seq);
+            }
+            let visible_at = match self.cfg.sync_model {
+                // Arbitration: every enqueue synchronizes across the
+                // boundary before the consumer may observe it.
+                crate::config::SyncModel::Arbitration => edge + self.cfg.sync_window,
+                // Token-ring: only an enqueue into an empty FIFO pays the
+                // window (the ring must restart); otherwise entries flow
+                // behind their predecessors for free.
+                crate::config::SyncModel::TokenRing => {
+                    if self.iqs[bi].is_empty() {
+                        edge + self.cfg.sync_window
+                    } else {
+                        edge
+                    }
+                }
+            };
+            self.iqs[bi].push(IqEntry {
+                op,
+                visible_at,
+                mem_dep,
+            });
+            self.meters[di].charge_event(ActivityEvent::DecodeRename, v);
+            self.meters[di].charge_event(ActivityEvent::Dispatch, v);
+            dispatched += 1;
+        }
+        // A fully-blocked cycle with work waiting is a dispatch stall.
+        if dispatched == 0 {
+            if let Some(cause) = blocked {
+                self.metrics.dispatch_stalls[cause.index()] += 1;
+            }
+        }
+        dispatched
+    }
+
+    // ----- sampling & DVFS ------------------------------------------------
+
+    fn tick_sample(&mut self) {
+        let t = self.next_sample;
+        self.now = t;
+        self.next_sample = t + self.cfg.sample_period;
+        self.metrics.samples += 1;
+
+        let f_max = self.cfg.vf_curve.max().frequency;
+        if self.cfg.record_frequency {
+            self.metrics.retired_trace.push(self.retired);
+        }
+        for &d in &DomainId::BACKEND {
+            let di = d.index();
+            let bi = d.backend_index();
+            let occupancy = self.iqs[bi].len() as u32;
+            self.metrics.occupancy_sum[bi] += occupancy as u64;
+            if self.cfg.record_occupancy {
+                self.metrics.occupancy[bi].push(occupancy.min(u8::MAX as u32) as u8);
+            }
+            if self.cfg.record_frequency {
+                let rel = self.clocks[di].frequency_at(t).relative_to(f_max);
+                self.metrics.frequency[bi].push(FreqTracePoint {
+                    time: t,
+                    rel_freq: rel,
+                });
+            }
+
+            let current = self.clocks[di].regulator().target();
+            let in_transition = self.clocks[di].regulator().is_transitioning(t);
+            let single_step_time = self.clocks[di].regulator().single_step_time();
+            if let Some(ctrl) = self.controllers[bi].as_mut() {
+                let ctx = ControllerCtx {
+                    now: t,
+                    domain: d,
+                    current,
+                    curve: &self.cfg.vf_curve,
+                    in_transition,
+                    single_step_time,
+                    sample_period: self.cfg.sample_period,
+                    retired: self.retired,
+                };
+                let sample = QueueSample {
+                    occupancy,
+                    capacity: self.iqs[bi].capacity() as u32,
+                };
+                if let Some(action) = ctrl.on_sample(&ctx, sample) {
+                    let target = action.resolve(current, &self.cfg.vf_curve);
+                    if target != current {
+                        self.clocks[di].regulator_mut().request(target, t);
+                        self.metrics.dvfs_actions[bi] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- results ---------------------------------------------------------
+
+    fn build_result(self) -> SimResult {
+        let f_max_hz = self.cfg.vf_curve.max().frequency.as_hz() as f64;
+        let secs = self.now.as_secs();
+        let mut domains = Vec::with_capacity(4);
+        let mut regulator_energy = Energy::ZERO;
+        for &d in &DomainId::ALL {
+            let di = d.index();
+            let cycles = self.clocks[di].edges();
+            let mean_rel_freq = if secs > 0.0 {
+                cycles as f64 / (secs * f_max_hz)
+            } else {
+                0.0
+            };
+            regulator_energy += self.clocks[di].regulator().switching_energy();
+            domains.push(DomainResult {
+                domain: d,
+                cycles,
+                energy: *self.meters[di].breakdown(),
+                mean_rel_freq,
+                transitions: self.clocks[di].regulator().transitions_started(),
+            });
+        }
+        SimResult {
+            instructions: self.retired,
+            sim_time: self.now,
+            domains,
+            regulator_energy,
+            metrics: self.metrics,
+            queue_peaks: [self.iqs[0].peak(), self.iqs[1].peak(), self.iqs[2].peak()],
+            l1d_miss_rate: self.dcache.miss_rate(),
+            l2_miss_rate: self.l2.miss_rate(),
+            mispredict_rate: self.bpred.mispredict_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::DvfsAction;
+    use mcd_power::OpIndex;
+    use mcd_workloads::{registry, TraceGenerator};
+
+    fn run_benchmark(name: &str, ops: u64) -> SimResult {
+        let spec = registry::by_name(name).expect("benchmark exists");
+        let trace = TraceGenerator::new(&spec, ops, 1);
+        Machine::new(SimConfig::default(), trace).run()
+    }
+
+    #[test]
+    fn retires_every_instruction() {
+        let r = run_benchmark("adpcm_encode", 10_000);
+        assert_eq!(r.instructions, 10_000);
+        assert!(r.sim_time > TimePs::ZERO);
+    }
+
+    #[test]
+    fn ipc_is_plausible_for_ilp_code() {
+        let r = run_benchmark("adpcm_encode", 20_000);
+        assert!(r.ipc() > 0.3, "ipc {}", r.ipc());
+        assert!(r.ipc() <= 4.0, "ipc {} exceeds fetch width", r.ipc());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_benchmark("gzip", 5_000);
+        let b = run_benchmark("gzip", 5_000);
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.instructions, b.instructions);
+        assert!((a.total_energy().as_joules() - b.total_energy().as_joules()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn memory_bound_code_is_slower_and_hits_memory() {
+        let fast = run_benchmark("adpcm_encode", 10_000);
+        let slow = run_benchmark("mcf", 10_000);
+        assert!(
+            slow.ipc() < fast.ipc(),
+            "mcf {} vs adpcm {}",
+            slow.ipc(),
+            fast.ipc()
+        );
+        assert!(slow.l1d_miss_rate > 0.05, "l1d miss {}", slow.l1d_miss_rate);
+    }
+
+    #[test]
+    fn fp_code_exercises_fp_domain() {
+        let r = run_benchmark("wupwise", 10_000);
+        let fp = r.domain(DomainId::Fp);
+        assert!(fp.energy.compute.as_pj() > 0.0, "no FP compute energy");
+        // Integer-only code leaves the FP compute meter untouched.
+        let ri = run_benchmark("adpcm_encode", 10_000);
+        assert_eq!(ri.domain(DomainId::Fp).energy.compute.as_pj(), 0.0);
+    }
+
+    #[test]
+    fn all_domains_run_at_full_speed_without_controllers() {
+        let r = run_benchmark("gzip", 10_000);
+        for &d in &DomainId::ALL {
+            let m = r.domain(d).mean_rel_freq;
+            assert!((m - 1.0).abs() < 0.01, "{d} mean rel freq {m}");
+        }
+        assert_eq!(r.domain(DomainId::Int).transitions, 0);
+    }
+
+    /// Forces a domain to minimum frequency from the first sample.
+    #[derive(Debug)]
+    struct ForceMin;
+    impl DvfsController for ForceMin {
+        fn on_sample(&mut self, ctx: &ControllerCtx<'_>, _: QueueSample) -> Option<DvfsAction> {
+            if ctx.current.0 > 0 {
+                Some(DvfsAction::Set(OpIndex(0)))
+            } else {
+                None
+            }
+        }
+        fn name(&self) -> &'static str {
+            "force-min"
+        }
+    }
+
+    #[test]
+    fn scaling_fp_down_saves_energy_on_integer_code() {
+        // The run must be several times the ~55 us full-range slew time for
+        // the scaled FP domain to actually spend most of it at f_min.
+        let spec = registry::by_name("adpcm_encode").expect("exists");
+        let base = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 150_000, 1)).run();
+        let scaled = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 150_000, 1))
+            .with_controller(DomainId::Fp, Box::new(ForceMin))
+            .run();
+        assert_eq!(scaled.instructions, base.instructions);
+        // FP is idle in adpcm: scaling it to f_min must save energy with
+        // almost no slowdown.
+        assert!(
+            scaled.total_energy() < base.total_energy(),
+            "scaled {} !< base {}",
+            scaled.total_energy(),
+            base.total_energy()
+        );
+        assert!(
+            scaled.perf_degradation_vs(&base) < 0.02,
+            "perf hit {}",
+            scaled.perf_degradation_vs(&base)
+        );
+        assert!(scaled.domain(DomainId::Fp).mean_rel_freq < 0.5);
+        assert!(scaled.domain(DomainId::Fp).transitions >= 1);
+    }
+
+    #[test]
+    fn scaling_int_down_slows_integer_code() {
+        // adpcm_decode is the most serial integer kernel (dep_mean 3), so
+        // the INT domain at f_min cannot hide behind its ALU headroom.
+        let spec = registry::by_name("adpcm_decode").expect("exists");
+        let base = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 50_000, 1)).run();
+        let scaled = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 50_000, 1))
+            .with_controller(DomainId::Int, Box::new(ForceMin))
+            .run();
+        assert!(
+            scaled.perf_degradation_vs(&base) > 0.15,
+            "perf hit only {}",
+            scaled.perf_degradation_vs(&base)
+        );
+    }
+
+    #[test]
+    fn occupancy_traces_recorded_when_enabled() {
+        let spec = registry::by_name("gzip").expect("exists");
+        let cfg = SimConfig::default().with_traces();
+        let r = Machine::new(cfg, TraceGenerator::new(&spec, 10_000, 1)).run();
+        assert_eq!(r.metrics.occupancy[0].len() as u64, r.metrics.samples);
+        assert_eq!(r.metrics.frequency[0].len() as u64, r.metrics.samples);
+        assert!(r.metrics.samples > 0);
+    }
+
+    #[test]
+    fn slowing_a_domain_shows_up_in_stall_accounting() {
+        use crate::metrics::StallCause;
+        let spec = registry::by_name("adpcm_decode").expect("exists");
+        let base = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 30_000, 1)).run();
+        let slowed = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 30_000, 1))
+            .with_controller(DomainId::Int, Box::new(ForceMin))
+            .run();
+        let idx = StallCause::IntQueueFull.index();
+        assert!(
+            slowed.metrics.dispatch_stalls[idx] > base.metrics.dispatch_stalls[idx],
+            "slowed {} !> base {}",
+            slowed.metrics.dispatch_stalls[idx],
+            base.metrics.dispatch_stalls[idx]
+        );
+    }
+
+    #[test]
+    fn queue_peaks_are_positive_and_bounded() {
+        let r = run_benchmark("swim", 10_000);
+        let caps = [20usize, 16, 16];
+        for (i, (&peak, &cap)) in r.queue_peaks.iter().zip(&caps).enumerate() {
+            assert!(peak > 0, "queue {i} never held an entry");
+            assert!(peak <= cap, "queue {i} peak {peak} over capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn leakage_energy_accrues_with_time_not_frequency() {
+        let spec = registry::by_name("adpcm_encode").expect("exists");
+        let with = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 10_000, 1)).run();
+        let mut cfg0 = SimConfig::default();
+        cfg0.leakage_scale = 0.0;
+        let without = Machine::new(cfg0, TraceGenerator::new(&spec, 10_000, 1)).run();
+        for &d in &DomainId::ALL {
+            assert!(
+                with.domain(d).energy.leakage.as_joules() > 0.0,
+                "{d} leaks nothing"
+            );
+            assert_eq!(without.domain(d).energy.leakage, Energy::ZERO);
+        }
+        // Leakage is a small but visible fraction of the total (≈ a few %).
+        let frac = with
+            .domains
+            .iter()
+            .map(|dr| dr.energy.leakage)
+            .sum::<Energy>()
+            / with.total_energy();
+        assert!((0.005..0.25).contains(&frac), "leakage fraction {frac}");
+    }
+
+    #[test]
+    fn token_ring_sync_is_cheaper_than_arbitration() {
+        let spec = registry::by_name("gzip").expect("exists");
+        let mut arb = SimConfig::default();
+        arb.jitter_sigma_ps = 0.0;
+        let mut ring = arb.clone();
+        ring.sync_model = crate::config::SyncModel::TokenRing;
+        let a = Machine::new(arb, TraceGenerator::new(&spec, 20_000, 1)).run();
+        let r = Machine::new(ring, TraceGenerator::new(&spec, 20_000, 1)).run();
+        assert!(
+            r.sim_time <= a.sim_time,
+            "token ring {} should not be slower than arbitration {}",
+            r.sim_time,
+            a.sim_time
+        );
+    }
+
+    #[test]
+    fn queue_occupancy_rises_when_consumer_is_slowed() {
+        let spec = registry::by_name("adpcm_encode").expect("exists");
+        let cfg = SimConfig::default().with_traces();
+        let base = Machine::new(cfg.clone(), TraceGenerator::new(&spec, 20_000, 1)).run();
+        let scaled = Machine::new(cfg, TraceGenerator::new(&spec, 20_000, 1))
+            .with_controller(DomainId::Int, Box::new(ForceMin))
+            .run();
+        let bi = DomainId::Int.backend_index();
+        assert!(
+            scaled.metrics.mean_occupancy(bi) > base.metrics.mean_occupancy(bi),
+            "scaled occ {} !> base occ {}",
+            scaled.metrics.mean_occupancy(bi),
+            base.metrics.mean_occupancy(bi)
+        );
+    }
+}

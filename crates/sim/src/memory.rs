@@ -1,0 +1,89 @@
+//! External main memory: an asynchronous, frequency-independent domain.
+//!
+//! The paper treats main memory as a separate external clock domain not
+//! controlled by the processor; its latency is fixed in wall-clock time
+//! (Table 1: "80 ns first chunk, 2 ns inter-chunk"), which is what makes
+//! memory-bound codes insensitive to LS-domain frequency.
+
+use mcd_power::TimePs;
+
+/// The fixed-latency main-memory model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainMemory {
+    first_chunk: TimePs,
+    inter_chunk: TimePs,
+    chunks: u32,
+    accesses: u64,
+}
+
+impl MainMemory {
+    /// Creates a memory with the given chunk latencies and line transfer
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    pub fn new(first_chunk: TimePs, inter_chunk: TimePs, chunks: u32) -> Self {
+        assert!(chunks > 0, "line transfers need at least one chunk");
+        MainMemory {
+            first_chunk,
+            inter_chunk,
+            chunks,
+            accesses: 0,
+        }
+    }
+
+    /// Latency of a full line fill, independent of any domain frequency.
+    pub fn line_latency(&self) -> TimePs {
+        self.first_chunk + self.inter_chunk * (self.chunks - 1) as u64
+    }
+
+    /// Records an access and returns its completion time.
+    pub fn access(&mut self, now: TimePs) -> TimePs {
+        self.accesses += 1;
+        now + self.line_latency()
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+impl Default for MainMemory {
+    /// The Table 1 memory: 80 ns + 3 × 2 ns.
+    fn default() -> Self {
+        MainMemory::new(TimePs::from_ns(80), TimePs::from_ns(2), 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_line_latency_is_86ns() {
+        let m = MainMemory::default();
+        assert_eq!(m.line_latency(), TimePs::from_ns(86));
+    }
+
+    #[test]
+    fn access_is_frequency_independent_offset() {
+        let mut m = MainMemory::default();
+        let done = m.access(TimePs::from_ns(100));
+        assert_eq!(done, TimePs::from_ns(186));
+        assert_eq!(m.accesses(), 1);
+    }
+
+    #[test]
+    fn single_chunk_memory_has_no_inter_latency() {
+        let m = MainMemory::new(TimePs::from_ns(50), TimePs::from_ns(5), 1);
+        assert_eq!(m.line_latency(), TimePs::from_ns(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_panics() {
+        let _ = MainMemory::new(TimePs::from_ns(80), TimePs::from_ns(2), 0);
+    }
+}

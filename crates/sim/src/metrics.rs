@@ -1,0 +1,166 @@
+//! Run-time trace recording (occupancy and frequency series).
+
+use mcd_power::TimePs;
+
+/// Why dispatch stopped in a front-end cycle (the first blocking reason,
+/// since dispatch is in-order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Reorder buffer full.
+    RobFull,
+    /// INT issue queue full.
+    IntQueueFull,
+    /// FP issue queue full.
+    FpQueueFull,
+    /// LS queue full.
+    LsQueueFull,
+    /// No free physical integer register.
+    IntRegs,
+    /// No free physical FP register.
+    FpRegs,
+}
+
+impl StallCause {
+    /// All causes, in reporting order.
+    pub const ALL: [StallCause; 6] = [
+        StallCause::RobFull,
+        StallCause::IntQueueFull,
+        StallCause::FpQueueFull,
+        StallCause::LsQueueFull,
+        StallCause::IntRegs,
+        StallCause::FpRegs,
+    ];
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StallCause::RobFull => 0,
+            StallCause::IntQueueFull => 1,
+            StallCause::FpQueueFull => 2,
+            StallCause::LsQueueFull => 3,
+            StallCause::IntRegs => 4,
+            StallCause::FpRegs => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StallCause::RobFull => "ROB full",
+            StallCause::IntQueueFull => "INT queue full",
+            StallCause::FpQueueFull => "FP queue full",
+            StallCause::LsQueueFull => "LS queue full",
+            StallCause::IntRegs => "INT registers",
+            StallCause::FpRegs => "FP registers",
+        })
+    }
+}
+
+/// A point in a domain's frequency trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqTracePoint {
+    /// Sample time.
+    pub time: TimePs,
+    /// Relative frequency `f/f_max` at that time.
+    pub rel_freq: f64,
+}
+
+/// Optional per-sample traces collected during a run.
+///
+/// Indices into the per-domain arrays follow
+/// [`crate::config::DomainId::backend_index`]: 0 = INT, 1 = FP, 2 = LS.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Per-backend-domain queue occupancy, one `u8` per sampling period
+    /// (empty when recording is disabled).
+    pub occupancy: [Vec<u8>; 3],
+    /// Per-backend-domain relative-frequency trace, one point per sampling
+    /// period (empty when recording is disabled).
+    pub frequency: [Vec<FreqTracePoint>; 3],
+    /// Instructions retired as of each sampling period (recorded together
+    /// with the frequency traces; Figure 7's x-axis is instructions).
+    pub retired_trace: Vec<u64>,
+    /// Sampling periods elapsed.
+    pub samples: u64,
+    /// DVFS actions started, per backend domain.
+    pub dvfs_actions: [u64; 3],
+    /// Running occupancy sums for cheap averages (always collected).
+    pub occupancy_sum: [u64; 3],
+    /// Dispatch-stall cycles by first blocking cause (indexed by
+    /// [`StallCause::index`]; counted on front-end cycles where at least
+    /// one instruction was waiting but none dispatched).
+    pub dispatch_stalls: [u64; 6],
+}
+
+impl Metrics {
+    /// Total dispatch-stall cycles across all causes.
+    pub fn total_dispatch_stalls(&self) -> u64 {
+        self.dispatch_stalls.iter().sum()
+    }
+}
+
+impl Metrics {
+    /// Mean queue occupancy of backend domain `idx` over the run.
+    pub fn mean_occupancy(&self, idx: usize) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.occupancy_sum[idx] as f64 / self.samples as f64
+        }
+    }
+
+    /// Occupancy series of backend domain `idx` as `f64` (for spectral
+    /// analysis).
+    pub fn occupancy_series(&self, idx: usize) -> Vec<f64> {
+        self.occupancy[idx].iter().map(|&q| q as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_occupancy_handles_empty() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn mean_occupancy_divides_by_samples() {
+        let m = Metrics {
+            samples: 4,
+            occupancy_sum: [8, 0, 2],
+            ..Metrics::default()
+        };
+        assert_eq!(m.mean_occupancy(0), 2.0);
+        assert_eq!(m.mean_occupancy(2), 0.5);
+    }
+
+    #[test]
+    fn stall_causes_are_dense_and_displayable() {
+        let mut seen = [false; 6];
+        for &c in &StallCause::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+            assert!(!format!("{c}").is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn total_dispatch_stalls_sums() {
+        let mut m = Metrics::default();
+        m.dispatch_stalls = [1, 2, 3, 4, 5, 6];
+        assert_eq!(m.total_dispatch_stalls(), 21);
+    }
+
+    #[test]
+    fn occupancy_series_converts_to_f64() {
+        let mut m = Metrics::default();
+        m.occupancy[1] = vec![1, 2, 3];
+        assert_eq!(m.occupancy_series(1), vec![1.0, 2.0, 3.0]);
+        assert!(m.occupancy_series(0).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Combined issue/interface queues.
+//!
+//! In the MCD design the synchronization interface between the front end
+//! and each back-end domain is folded into that domain's issue queue
+//! (Section 2 of the paper): the front end writes entries across the clock
+//! boundary, and an entry becomes *visible* to the consumer domain only
+//! after the synchronization window has passed. The occupancy of these
+//! queues is the signal every DVFS controller in this study observes.
+
+use mcd_power::TimePs;
+use mcd_workloads::MicroOp;
+
+/// One queue entry: a micro-op plus its synchronization and memory-order
+/// bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IqEntry {
+    /// The micro-op itself.
+    pub op: MicroOp,
+    /// First instant a consumer-domain clock edge may observe this entry
+    /// (dispatch time + synchronization window).
+    pub visible_at: TimePs,
+    /// For loads: sequence number of the youngest older store to the same
+    /// address, which must complete first.
+    pub mem_dep: Option<u64>,
+}
+
+/// A bounded issue/interface queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    entries: Vec<IqEntry>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl IssueQueue {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full (dispatch must stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Inserts an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full — callers must check [`IssueQueue::is_full`].
+    pub fn push(&mut self, entry: IqEntry) {
+        assert!(!self.is_full(), "push into full issue queue");
+        self.entries.push(entry);
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Iterates entries in age order (oldest first).
+    pub fn iter(&self) -> std::slice::Iter<'_, IqEntry> {
+        self.entries.iter()
+    }
+
+    /// Removes the entries at the given **sorted ascending** indices
+    /// (as produced by an age-ordered select pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the indices are not strictly ascending or out of
+    /// range.
+    pub fn remove_issued(&mut self, sorted_indices: &[usize]) {
+        debug_assert!(sorted_indices.windows(2).all(|w| w[0] < w[1]));
+        for &idx in sorted_indices.iter().rev() {
+            self.entries.remove(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_workloads::OpClass;
+
+    fn entry(seq: u64) -> IqEntry {
+        IqEntry {
+            op: MicroOp::compute(seq, OpClass::IntAlu, 0x400, None, None),
+            visible_at: TimePs::ZERO,
+            mem_dep: None,
+        }
+    }
+
+    #[test]
+    fn push_and_capacity_limits() {
+        let mut q = IssueQueue::new(2);
+        assert!(q.is_empty());
+        q.push(entry(0));
+        q.push(entry(1));
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full issue queue")]
+    fn overfull_push_panics() {
+        let mut q = IssueQueue::new(1);
+        q.push(entry(0));
+        q.push(entry(1));
+    }
+
+    #[test]
+    fn remove_issued_preserves_age_order() {
+        let mut q = IssueQueue::new(8);
+        for i in 0..5 {
+            q.push(entry(i));
+        }
+        q.remove_issued(&[1, 3]);
+        let seqs: Vec<u64> = q.iter().map(|e| e.op.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 4]);
+        assert_eq!(q.peak(), 5, "peak survives removals");
+    }
+
+    #[test]
+    fn remove_nothing_is_noop() {
+        let mut q = IssueQueue::new(4);
+        q.push(entry(7));
+        q.remove_issued(&[]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = IssueQueue::new(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulation results and cross-run comparison helpers.
+
+use mcd_power::{Energy, EnergyBreakdown, TimePs};
+
+use crate::config::DomainId;
+use crate::metrics::Metrics;
+
+/// Per-domain outcome of a run.
+#[derive(Debug, Clone)]
+pub struct DomainResult {
+    /// Which domain.
+    pub domain: DomainId,
+    /// Local clock cycles elapsed.
+    pub cycles: u64,
+    /// Energy consumed, by category.
+    pub energy: EnergyBreakdown,
+    /// Mean relative frequency over the run (cycle-weighted).
+    pub mean_rel_freq: f64,
+    /// Voltage/frequency transitions started.
+    pub transitions: u64,
+}
+
+/// Complete outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Total simulated time.
+    pub sim_time: TimePs,
+    /// Per-domain results, indexed by [`DomainId::index`].
+    pub domains: Vec<DomainResult>,
+    /// Voltage-regulator switching energy (all domains).
+    pub regulator_energy: Energy,
+    /// Optional traces and sampling statistics.
+    pub metrics: Metrics,
+    /// Peak occupancy reached by each back-end interface queue
+    /// (INT, FP, LS) — exact, tracked at every enqueue.
+    pub queue_peaks: [usize; 3],
+    /// L1 D-cache miss rate observed.
+    pub l1d_miss_rate: f64,
+    /// L2 miss rate observed (of L2 accesses).
+    pub l2_miss_rate: f64,
+    /// Branch misprediction rate observed.
+    pub mispredict_rate: f64,
+}
+
+impl SimResult {
+    /// Total energy: all domains plus regulator switching energy.
+    pub fn total_energy(&self) -> Energy {
+        self.domains
+            .iter()
+            .map(|d| d.energy.total())
+            .sum::<Energy>()
+            + self.regulator_energy
+    }
+
+    /// Instructions per front-end cycle.
+    pub fn ipc(&self) -> f64 {
+        let fe = self.domains[DomainId::FrontEnd.index()].cycles;
+        if fe == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / fe as f64
+        }
+    }
+
+    /// The per-domain result for `d`.
+    pub fn domain(&self, d: DomainId) -> &DomainResult {
+        &self.domains[d.index()]
+    }
+
+    /// Energy–delay product (joule·seconds).
+    pub fn edp(&self) -> f64 {
+        self.total_energy().as_joules() * self.sim_time.as_secs()
+    }
+
+    /// Fractional energy saving versus `baseline` (positive = saved).
+    pub fn energy_savings_vs(&self, baseline: &SimResult) -> f64 {
+        1.0 - self.total_energy() / baseline.total_energy()
+    }
+
+    /// Fractional slowdown versus `baseline` (positive = slower).
+    pub fn perf_degradation_vs(&self, baseline: &SimResult) -> f64 {
+        self.sim_time.as_secs() / baseline.sim_time.as_secs() - 1.0
+    }
+
+    /// Fractional energy-delay-product improvement versus `baseline`
+    /// (positive = better).
+    pub fn edp_improvement_vs(&self, baseline: &SimResult) -> f64 {
+        1.0 - self.edp() / baseline.edp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::EnergyBreakdown;
+
+    fn result(energy_j: f64, time_us: u64, insts: u64, fe_cycles: u64) -> SimResult {
+        let mut domains: Vec<DomainResult> = DomainId::ALL
+            .iter()
+            .map(|&d| DomainResult {
+                domain: d,
+                cycles: 0,
+                energy: EnergyBreakdown::default(),
+                mean_rel_freq: 1.0,
+                transitions: 0,
+            })
+            .collect();
+        domains[0].cycles = fe_cycles;
+        domains[0].energy.add(
+            mcd_power::EnergyCategory::Clock,
+            Energy::from_joules(energy_j),
+        );
+        SimResult {
+            instructions: insts,
+            sim_time: TimePs::from_us(time_us),
+            domains,
+            regulator_energy: Energy::ZERO,
+            metrics: Metrics::default(),
+            queue_peaks: [0; 3],
+            l1d_miss_rate: 0.0,
+            l2_miss_rate: 0.0,
+            mispredict_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn ipc_divides_by_frontend_cycles() {
+        let r = result(1.0, 100, 2000, 1000);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        let r0 = result(1.0, 100, 2000, 0);
+        assert_eq!(r0.ipc(), 0.0);
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        let base = result(1.0, 100, 1000, 500);
+        let dvfs = result(0.8, 110, 1000, 550);
+        assert!((dvfs.energy_savings_vs(&base) - 0.2).abs() < 1e-9);
+        assert!((dvfs.perf_degradation_vs(&base) - 0.1).abs() < 1e-9);
+        // EDP: 0.8*110 vs 1.0*100 → improvement = 1 - 0.88 = 0.12.
+        assert!((dvfs.edp_improvement_vs(&base) - 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_energy_includes_regulator() {
+        let mut r = result(1.0, 100, 1000, 500);
+        r.regulator_energy = Energy::from_joules(0.5);
+        assert!((r.total_energy().as_joules() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domain_accessor_matches_index() {
+        let r = result(1.0, 1, 1, 1);
+        assert_eq!(r.domain(DomainId::Fp).domain, DomainId::Fp);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the simulator's components.
+
+use mcd_power::{DvfsStyle, OpIndex, TimePs, VfCurve};
+use mcd_sim::bpred::BranchPredictor;
+use mcd_sim::cache::Cache;
+use mcd_sim::clock::DomainClock;
+use mcd_sim::memory::MainMemory;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clock edges are strictly monotone for any jitter level and any
+    /// sequence of frequency retargets.
+    #[test]
+    fn clock_edges_strictly_monotone(
+        sigma in 0.0f64..5.0,
+        seed in 0u64..1000,
+        retargets in proptest::collection::vec((0u16..=320, 1u64..200), 0..8),
+    ) {
+        let curve = VfCurve::mcd_default();
+        let max = curve.max_index();
+        let mut clock = DomainClock::new(curve, DvfsStyle::XScale, max, sigma, seed);
+        let mut last = TimePs::ZERO;
+        let mut plan = retargets.into_iter();
+        let mut next_retarget = plan.next();
+        for i in 0..2_000u64 {
+            if let Some((idx, at_tick)) = next_retarget {
+                if i == at_tick {
+                    let now = clock.next_edge();
+                    clock.regulator_mut().request(OpIndex(idx), now);
+                    next_retarget = plan.next();
+                }
+            }
+            let edge = clock.tick();
+            prop_assert!(edge > last, "edge {} not after {}", edge, last);
+            last = edge;
+        }
+    }
+
+    /// Cache miss counts never exceed accesses, and a second pass over a
+    /// cache-resident working set never misses.
+    #[test]
+    fn cache_conservation_and_residency(lines in 1u64..64, assoc in proptest::sample::select(vec![1usize, 2, 4])) {
+        let mut cache = Cache::new(64 * 1024, assoc, 64);
+        // Working set of `lines` distinct lines fits easily in 64 KB.
+        for pass in 0..2 {
+            for l in 0..lines {
+                let hit = cache.access(l * 64);
+                if pass == 1 {
+                    prop_assert!(hit, "resident line {l} missed on pass 2");
+                }
+            }
+        }
+        prop_assert!(cache.misses() <= cache.accesses());
+        prop_assert_eq!(cache.misses(), lines);
+    }
+
+    /// The predictor's mispredict count is consistent with its rate and it
+    /// eventually learns any constant-direction branch.
+    #[test]
+    fn predictor_learns_constant_branches(pc in 0u64..1_000_000, taken in any::<bool>()) {
+        let mut bp = BranchPredictor::table1();
+        for _ in 0..16 {
+            let p = bp.predict(pc);
+            bp.update(pc, p, taken);
+        }
+        prop_assert_eq!(bp.predict(pc), taken);
+        prop_assert!(bp.mispredicts() <= bp.lookups());
+    }
+
+    /// Memory latency is an affine function of chunk parameters and is
+    /// frequency independent by construction.
+    #[test]
+    fn memory_latency_is_affine(first in 1u64..200, inter in 0u64..20, chunks in 1u32..16) {
+        let m = MainMemory::new(TimePs::from_ns(first), TimePs::from_ns(inter), chunks);
+        let expect = first * 1000 + inter * 1000 * (chunks as u64 - 1);
+        prop_assert_eq!(m.line_latency().as_ps(), expect);
+    }
+}

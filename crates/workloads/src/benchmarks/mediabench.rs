@@ -1,0 +1,185 @@
+//! MediaBench benchmark models (6 applications, as in the paper).
+
+use crate::benchmarks::{BenchmarkSpec, Suite, VariabilityClass};
+use crate::mix::InstructionMix;
+use crate::phase::PhaseSpec;
+
+/// All MediaBench benchmark models.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![
+        adpcm_encode(),
+        adpcm_decode(),
+        epic_encode(),
+        epic_decode(),
+        g721_encode(),
+        mpeg2_decode(),
+    ]
+}
+
+/// `adpcm_encode`: tiny integer kernel, essentially phase-free. The FP
+/// queue is permanently empty and the INT queue occupancy is steady.
+pub fn adpcm_encode() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "adpcm_encode",
+        suite: Suite::MediaBench,
+        description: "steady integer kernel; FP idle throughout",
+        phases: vec![
+            PhaseSpec::new("encode", InstructionMix::integer_kernel(), 400_000)
+                .with_dep_mean(4.0)
+                .with_misses(0.01, 0.1)
+                .with_branches(0.05, 0.6)
+                .with_code_footprint(256),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `adpcm_decode`: like the encoder, slightly more serial.
+pub fn adpcm_decode() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "adpcm_decode",
+        suite: Suite::MediaBench,
+        description: "steady serial integer kernel; FP idle throughout",
+        phases: vec![
+            PhaseSpec::new("decode", InstructionMix::integer_kernel(), 400_000)
+                .with_dep_mean(3.0)
+                .with_misses(0.01, 0.1)
+                .with_branches(0.04, 0.65)
+                .with_code_footprint(256),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `epic_encode`: wavelet filter / quantize / entropy-code inner loop —
+/// FP activity alternates on a short wavelength (the paper's fast group).
+pub fn epic_encode() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "epic_encode",
+        suite: Suite::MediaBench,
+        description: "FP filter bursts alternating with integer coding at short wavelength",
+        phases: vec![
+            PhaseSpec::new("filter", InstructionMix::fp_burst(), 30_000)
+                .with_dep_mean(8.0)
+                .with_misses(0.04, 0.2),
+            PhaseSpec::new("quantize", InstructionMix::integer_typical(), 20_000)
+                .with_dep_mean(5.0)
+                .with_misses(0.02, 0.2),
+            PhaseSpec::new("encode", InstructionMix::integer_kernel(), 25_000)
+                .with_dep_mean(4.0)
+                .with_branches(0.2, 0.55),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+/// `epic_decode`: the paper's Figure 7 illustration. The FP queue is
+/// emptying except for two distinct activity phases: a modest one about a
+/// quarter of the way in, and a dramatic burst near the end.
+pub fn epic_decode() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "epic_decode",
+        suite: Suite::MediaBench,
+        description: "FP idle except two distinct phases (modest mid-run, dramatic near end)",
+        phases: vec![
+            PhaseSpec::new("unpack", InstructionMix::integer_typical(), 270_000).with_dep_mean(5.0),
+            PhaseSpec::new("fp_modest", InstructionMix::fp_typical(), 130_000)
+                .with_dep_mean(7.0)
+                .with_misses(0.03, 0.2),
+            PhaseSpec::new("entropy", InstructionMix::integer_kernel(), 450_000)
+                .with_dep_mean(4.0)
+                .with_branches(0.15, 0.6),
+            PhaseSpec::new("fp_burst", InstructionMix::fp_burst(), 150_000)
+                .with_dep_mean(9.0)
+                .with_misses(0.04, 0.2),
+        ],
+        loops: false,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `g721_encode`: steady integer DSP code with multiplies.
+pub fn g721_encode() -> BenchmarkSpec {
+    let mix = InstructionMix::new(0.46, 0.08, 0.0, 0.0, 0.0, 0.18, 0.09, 0.19)
+        .expect("static mix is valid");
+    BenchmarkSpec {
+        name: "g721_encode",
+        suite: Suite::MediaBench,
+        description: "steady integer DSP with multiplies; FP idle",
+        phases: vec![PhaseSpec::new("predict", mix, 350_000)
+            .with_dep_mean(3.5)
+            .with_misses(0.015, 0.15)
+            .with_code_footprint(512)],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `mpeg2_decode`: IDCT (FP burst) / motion-compensation (memory) / VLD
+/// (integer, branchy) macroblock loop — fast alternation.
+pub fn mpeg2_decode() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "mpeg2_decode",
+        suite: Suite::MediaBench,
+        description: "IDCT FP bursts, memory-heavy motion compensation, branchy VLD per macroblock",
+        phases: vec![
+            PhaseSpec::new("idct", InstructionMix::fp_burst(), 15_000)
+                .with_dep_mean(8.0)
+                .with_misses(0.02, 0.2),
+            PhaseSpec::new("motion", InstructionMix::memory_bound(), 20_000)
+                .with_dep_mean(6.0)
+                .with_misses(0.08, 0.3),
+            PhaseSpec::new("vld", InstructionMix::integer_kernel(), 15_000)
+                .with_dep_mean(4.0)
+                .with_branches(0.25, 0.5),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_mediabench_benchmarks() {
+        assert_eq!(all().len(), 6);
+        for b in all() {
+            assert_eq!(b.suite, Suite::MediaBench);
+            assert!(!b.phases.is_empty());
+        }
+    }
+
+    #[test]
+    fn epic_decode_has_two_fp_phases_among_idle() {
+        let b = epic_decode();
+        let fp_phases: Vec<_> = b
+            .phases
+            .iter()
+            .filter(|p| p.mix.fp_fraction() > 0.1)
+            .collect();
+        assert_eq!(fp_phases.len(), 2, "Figure 7 needs exactly two FP phases");
+        assert!(!b.loops);
+    }
+
+    #[test]
+    fn adpcm_has_no_fp() {
+        for b in [adpcm_encode(), adpcm_decode()] {
+            for p in &b.phases {
+                assert_eq!(p.mix.fp_fraction(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_benchmarks_alternate_fp_and_int() {
+        let b = mpeg2_decode();
+        assert!(b.loops);
+        assert!(b.phases.iter().any(|p| p.mix.fp_fraction() > 0.3));
+        assert!(b.phases.iter().any(|p| p.mix.fp_fraction() < 0.1));
+    }
+}

@@ -1,0 +1,141 @@
+//! SPEC2000 floating-point benchmark models (5 applications, as in the
+//! paper).
+
+use crate::benchmarks::{BenchmarkSpec, Suite, VariabilityClass};
+use crate::mix::InstructionMix;
+use crate::phase::PhaseSpec;
+
+/// All SPECfp2000 benchmark models.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![wupwise(), swim(), mgrid(), applu(), art()]
+}
+
+/// `wupwise`: long, steady FP phases (lattice QCD kernels).
+pub fn wupwise() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "wupwise",
+        suite: Suite::SpecFp2000,
+        description: "long steady FP matrix kernels; near-constant queue occupancies",
+        phases: vec![
+            PhaseSpec::new("zgemm", InstructionMix::fp_typical(), 500_000)
+                .with_dep_mean(8.0)
+                .with_misses(0.03, 0.25),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `swim`: shallow-water stencil sweeps — FP bursts alternating with
+/// array-update stretches on a short wavelength.
+pub fn swim() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "swim",
+        suite: Suite::SpecFp2000,
+        description: "stencil FP bursts alternating with memory-heavy array updates",
+        phases: vec![
+            PhaseSpec::new("stencil", InstructionMix::fp_burst(), 25_000)
+                .with_dep_mean(9.0)
+                .with_misses(0.06, 0.3),
+            PhaseSpec::new("update", InstructionMix::memory_bound(), 20_000)
+                .with_dep_mean(6.0)
+                .with_misses(0.08, 0.35),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+/// `mgrid`: multigrid relaxation — steady FP with heavy memory traffic.
+pub fn mgrid() -> BenchmarkSpec {
+    let mix = InstructionMix::new(0.14, 0.01, 0.24, 0.16, 0.02, 0.27, 0.09, 0.07)
+        .expect("static mix is valid");
+    BenchmarkSpec {
+        name: "mgrid",
+        suite: Suite::SpecFp2000,
+        description: "steady multigrid relaxation; FP and LS both busy",
+        phases: vec![PhaseSpec::new("relax", mix, 450_000)
+            .with_dep_mean(8.0)
+            .with_misses(0.05, 0.3)],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `applu`: SSOR sweeps — alternating lower/upper triangular solves and
+/// right-hand-side computation at short wavelength.
+pub fn applu() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "applu",
+        suite: Suite::SpecFp2000,
+        description: "alternating triangular-solve FP bursts and integer/memory RHS phases",
+        phases: vec![
+            PhaseSpec::new("blts", InstructionMix::fp_burst(), 30_000)
+                .with_dep_mean(7.0)
+                .with_misses(0.04, 0.3),
+            PhaseSpec::new("buts", InstructionMix::fp_typical(), 30_000)
+                .with_dep_mean(7.0)
+                .with_misses(0.04, 0.3),
+            PhaseSpec::new("rhs", InstructionMix::memory_bound(), 25_000)
+                .with_dep_mean(5.0)
+                .with_misses(0.06, 0.3),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+/// `art`: neural-network image matching — short FP/memory bursts with very
+/// high miss rates.
+pub fn art() -> BenchmarkSpec {
+    let match_mix = InstructionMix::new(0.16, 0.0, 0.22, 0.12, 0.0, 0.30, 0.08, 0.12)
+        .expect("static mix is valid");
+    BenchmarkSpec {
+        name: "art",
+        suite: Suite::SpecFp2000,
+        description: "short FP match bursts over a large, cache-hostile working set",
+        phases: vec![
+            PhaseSpec::new("match", match_mix, 20_000)
+                .with_dep_mean(6.0)
+                .with_misses(0.20, 0.5),
+            PhaseSpec::new("learn", InstructionMix::integer_typical(), 15_000)
+                .with_dep_mean(4.5)
+                .with_misses(0.10, 0.4),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_specfp_benchmarks_fp_dominant() {
+        let benches = all();
+        assert_eq!(benches.len(), 5);
+        for b in &benches {
+            assert_eq!(b.suite, Suite::SpecFp2000);
+            assert!(
+                b.phases.iter().any(|p| p.mix.fp_fraction() > 0.2),
+                "{}: no FP-heavy phase",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn art_is_cache_hostile() {
+        let a = art();
+        assert!(a.phases[0].l1d_miss >= 0.15);
+    }
+
+    #[test]
+    fn fast_fp_benchmarks_loop() {
+        for b in [swim(), applu(), art()] {
+            assert!(b.loops, "{} should loop", b.name);
+            assert_eq!(b.expected_variability, VariabilityClass::Fast);
+        }
+    }
+}

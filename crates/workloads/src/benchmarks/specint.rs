@@ -1,0 +1,154 @@
+//! SPEC2000 integer benchmark models (6 applications, as in the paper).
+
+use crate::benchmarks::{BenchmarkSpec, Suite, VariabilityClass};
+use crate::mix::InstructionMix;
+use crate::phase::PhaseSpec;
+
+/// All SPECint2000 benchmark models.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![gzip(), vpr(), gcc(), mcf(), parser(), bzip2()]
+}
+
+/// `gzip`: long compression phases with moderate memory traffic.
+pub fn gzip() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gzip",
+        suite: Suite::SpecInt2000,
+        description: "long deflate phases, moderate memory traffic, FP idle",
+        phases: vec![
+            PhaseSpec::new("deflate", InstructionMix::integer_typical(), 600_000)
+                .with_dep_mean(5.0)
+                .with_misses(0.025, 0.2),
+            PhaseSpec::new("window", InstructionMix::integer_kernel(), 200_000)
+                .with_dep_mean(4.0)
+                .with_misses(0.04, 0.25),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `vpr`: place-and-route with a small FP component (cost functions).
+pub fn vpr() -> BenchmarkSpec {
+    let mix = InstructionMix::new(0.38, 0.02, 0.06, 0.02, 0.0, 0.22, 0.10, 0.20)
+        .expect("static mix is valid");
+    BenchmarkSpec {
+        name: "vpr",
+        suite: Suite::SpecInt2000,
+        description: "integer place-and-route with a small steady FP cost-function component",
+        phases: vec![PhaseSpec::new("place", mix, 400_000)
+            .with_dep_mean(5.5)
+            .with_misses(0.035, 0.3)
+            .with_branches(0.18, 0.5)],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `gcc`: branchy parsing alternating with memory-heavy optimization.
+pub fn gcc() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gcc",
+        suite: Suite::SpecInt2000,
+        description: "branchy front-end passes alternating with pointer-heavy optimization",
+        phases: vec![
+            PhaseSpec::new("parse", InstructionMix::integer_typical(), 150_000)
+                .with_dep_mean(4.5)
+                .with_branches(0.3, 0.5)
+                .with_code_footprint(8192),
+            PhaseSpec::new("optimize", InstructionMix::memory_bound(), 180_000)
+                .with_dep_mean(5.0)
+                .with_misses(0.06, 0.35)
+                .with_code_footprint(8192),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `mcf`: pointer chasing with very high miss rates — the LS domain and
+/// asynchronous memory dominate.
+pub fn mcf() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "mcf",
+        suite: Suite::SpecInt2000,
+        description: "memory-bound pointer chasing; execution time set by the asynchronous memory",
+        phases: vec![
+            PhaseSpec::new("simplex", InstructionMix::memory_bound(), 500_000)
+                .with_dep_mean(3.0)
+                .with_misses(0.25, 0.6)
+                .with_branches(0.2, 0.5),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `parser`: dictionary lookups and branchy parsing.
+pub fn parser() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "parser",
+        suite: Suite::SpecInt2000,
+        description: "branchy parsing with periodic dictionary-lookup stretches",
+        phases: vec![
+            PhaseSpec::new("parse", InstructionMix::integer_typical(), 250_000)
+                .with_dep_mean(4.0)
+                .with_branches(0.25, 0.55),
+            PhaseSpec::new("dict", InstructionMix::memory_bound(), 150_000)
+                .with_dep_mean(4.5)
+                .with_misses(0.05, 0.3),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
+/// `bzip2`: block-sort bursts alternating with Huffman coding on a short
+/// wavelength — the integer member of the fast group.
+pub fn bzip2() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "bzip2",
+        suite: Suite::SpecInt2000,
+        description:
+            "short alternation of memory-heavy block sorting and compute-only Huffman coding",
+        phases: vec![
+            PhaseSpec::new("blocksort", InstructionMix::memory_bound(), 40_000)
+                .with_dep_mean(5.0)
+                .with_misses(0.07, 0.3),
+            PhaseSpec::new("huffman", InstructionMix::integer_kernel(), 30_000)
+                .with_dep_mean(4.0)
+                .with_misses(0.01, 0.1),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_specint_benchmarks_all_integer_dominant() {
+        let benches = all();
+        assert_eq!(benches.len(), 6);
+        for b in &benches {
+            assert_eq!(b.suite, Suite::SpecInt2000);
+            for p in &b.phases {
+                assert!(
+                    p.mix.fp_fraction() < 0.15,
+                    "{}: SPECint phase {} too FP-heavy",
+                    b.name,
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_is_the_most_memory_bound() {
+        let m = mcf();
+        assert!(m.phases[0].l1d_miss >= 0.2);
+        assert!(m.phases[0].mix.mem_fraction() > 0.4);
+    }
+}

@@ -1,0 +1,262 @@
+//! Instruction-mix distributions.
+
+use crate::uop::OpClass;
+
+/// Fractions of each [`OpClass`] in a workload phase.
+///
+/// The fractions must be non-negative and sum to 1 (within 1e-6); use
+/// [`InstructionMix::new`] to validate or the presets for typical shapes.
+///
+/// ```
+/// use mcd_workloads::InstructionMix;
+/// let mix = InstructionMix::integer_typical();
+/// assert!((mix.total() - 1.0).abs() < 1e-9);
+/// assert_eq!(mix.fraction(mcd_workloads::OpClass::FpDiv), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    int_alu: f64,
+    int_mul: f64,
+    fp_alu: f64,
+    fp_mul: f64,
+    fp_div: f64,
+    load: f64,
+    store: f64,
+    branch: f64,
+}
+
+impl InstructionMix {
+    /// Builds a mix from per-class fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if any fraction is negative/non-finite or the sum
+    /// deviates from 1 by more than 1e-6.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        int_alu: f64,
+        int_mul: f64,
+        fp_alu: f64,
+        fp_mul: f64,
+        fp_div: f64,
+        load: f64,
+        store: f64,
+        branch: f64,
+    ) -> Result<Self, MixError> {
+        let parts = [
+            int_alu, int_mul, fp_alu, fp_mul, fp_div, load, store, branch,
+        ];
+        if parts.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(MixError::NegativeFraction);
+        }
+        let total: f64 = parts.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(MixError::BadTotal(total));
+        }
+        Ok(InstructionMix {
+            int_alu,
+            int_mul,
+            fp_alu,
+            fp_mul,
+            fp_div,
+            load,
+            store,
+            branch,
+        })
+    }
+
+    /// A typical integer-code mix (SPECint-like): no FP, ~1/4 memory.
+    pub fn integer_typical() -> Self {
+        InstructionMix::new(0.42, 0.02, 0.0, 0.0, 0.0, 0.22, 0.12, 0.22).expect("preset valid")
+    }
+
+    /// A typical FP-code mix (SPECfp-like): heavy FP, fewer branches.
+    pub fn fp_typical() -> Self {
+        InstructionMix::new(0.18, 0.01, 0.22, 0.14, 0.03, 0.24, 0.10, 0.08).expect("preset valid")
+    }
+
+    /// An FP-burst mix: the FP queue fills quickly (used inside bursty
+    /// phases of media codes).
+    pub fn fp_burst() -> Self {
+        InstructionMix::new(0.10, 0.00, 0.32, 0.24, 0.06, 0.16, 0.06, 0.06).expect("preset valid")
+    }
+
+    /// A memory-bound mix (mcf/art-like): every third op touches memory.
+    pub fn memory_bound() -> Self {
+        InstructionMix::new(0.30, 0.01, 0.04, 0.02, 0.0, 0.33, 0.12, 0.18).expect("preset valid")
+    }
+
+    /// An integer mix with no FP and little memory (adpcm-like kernels).
+    pub fn integer_kernel() -> Self {
+        InstructionMix::new(0.55, 0.04, 0.0, 0.0, 0.0, 0.14, 0.08, 0.19).expect("preset valid")
+    }
+
+    /// The fraction assigned to `class`.
+    pub fn fraction(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::IntAlu => self.int_alu,
+            OpClass::IntMul => self.int_mul,
+            OpClass::FpAlu => self.fp_alu,
+            OpClass::FpMul => self.fp_mul,
+            OpClass::FpDiv => self.fp_div,
+            OpClass::Load => self.load,
+            OpClass::Store => self.store,
+            OpClass::Branch => self.branch,
+        }
+    }
+
+    /// Sum of all fractions (≈1 by construction).
+    pub fn total(&self) -> f64 {
+        OpClass::ALL.iter().map(|&c| self.fraction(c)).sum()
+    }
+
+    /// Total FP fraction (alu + mul + div).
+    pub fn fp_fraction(&self) -> f64 {
+        self.fp_alu + self.fp_mul + self.fp_div
+    }
+
+    /// Total memory fraction (loads + stores).
+    pub fn mem_fraction(&self) -> f64 {
+        self.load + self.store
+    }
+
+    /// Picks the class at cumulative position `u ∈ [0, 1)` — the inverse-CDF
+    /// sampler used by the trace generator.
+    pub fn sample(&self, u: f64) -> OpClass {
+        debug_assert!((0.0..=1.0).contains(&u));
+        let mut acc = 0.0;
+        for &c in &OpClass::ALL {
+            acc += self.fraction(c);
+            if u < acc {
+                return c;
+            }
+        }
+        // Floating-point slack: the tail belongs to the last nonzero class.
+        *OpClass::ALL
+            .iter()
+            .rev()
+            .find(|&&c| self.fraction(c) > 0.0)
+            .expect("mix sums to 1, so some class is nonzero")
+    }
+
+    /// Linear blend `(1−t)·self + t·other` (both mixes stay normalized).
+    pub fn blended(&self, other: &InstructionMix, t: f64) -> InstructionMix {
+        let lerp = |a: f64, b: f64| a + (b - a) * t.clamp(0.0, 1.0);
+        InstructionMix {
+            int_alu: lerp(self.int_alu, other.int_alu),
+            int_mul: lerp(self.int_mul, other.int_mul),
+            fp_alu: lerp(self.fp_alu, other.fp_alu),
+            fp_mul: lerp(self.fp_mul, other.fp_mul),
+            fp_div: lerp(self.fp_div, other.fp_div),
+            load: lerp(self.load, other.load),
+            store: lerp(self.store, other.store),
+            branch: lerp(self.branch, other.branch),
+        }
+    }
+}
+
+/// Errors from [`InstructionMix::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixError {
+    /// A fraction was negative or non-finite.
+    NegativeFraction,
+    /// The fractions did not sum to 1 (contains the actual sum).
+    BadTotal(f64),
+}
+
+impl std::fmt::Display for MixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixError::NegativeFraction => write!(f, "mix fraction negative or non-finite"),
+            MixError::BadTotal(t) => write!(f, "mix fractions sum to {t}, expected 1"),
+        }
+    }
+}
+
+impl std::error::Error for MixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_normalized() {
+        for mix in [
+            InstructionMix::integer_typical(),
+            InstructionMix::fp_typical(),
+            InstructionMix::fp_burst(),
+            InstructionMix::memory_bound(),
+            InstructionMix::integer_kernel(),
+        ] {
+            assert!((mix.total() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_mixes() {
+        assert_eq!(
+            InstructionMix::new(0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+            Err(MixError::BadTotal(0.5))
+        );
+        assert_eq!(
+            InstructionMix::new(1.2, -0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+            Err(MixError::NegativeFraction)
+        );
+    }
+
+    #[test]
+    fn sample_covers_all_classes_proportionally() {
+        let mix = InstructionMix::fp_typical();
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            *counts.entry(mix.sample(u)).or_insert(0u32) += 1;
+        }
+        for &c in &OpClass::ALL {
+            let got = *counts.get(&c).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (got - mix.fraction(c)).abs() < 1e-3,
+                "{c}: got {got}, want {}",
+                mix.fraction(c)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_edges_do_not_panic() {
+        let mix = InstructionMix::integer_typical();
+        let _ = mix.sample(0.0);
+        let _ = mix.sample(0.999_999_999);
+        let _ = mix.sample(1.0);
+    }
+
+    #[test]
+    fn blend_endpoints_match_inputs() {
+        let a = InstructionMix::integer_typical();
+        let b = InstructionMix::fp_burst();
+        assert_eq!(a.blended(&b, 0.0), a);
+        let at_one = a.blended(&b, 1.0);
+        for &c in &OpClass::ALL {
+            assert!((at_one.fraction(c) - b.fraction(c)).abs() < 1e-12);
+        }
+        let mid = a.blended(&b, 0.5);
+        assert!((mid.total() - 1.0).abs() < 1e-9);
+        assert!(mid.fp_fraction() > a.fp_fraction());
+        assert!(mid.fp_fraction() < b.fp_fraction());
+    }
+
+    #[test]
+    fn convenience_fractions() {
+        let mix = InstructionMix::fp_typical();
+        assert!((mix.fp_fraction() - 0.39).abs() < 1e-9);
+        assert!((mix.mem_fraction() - 0.34).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display_mentions_cause() {
+        let e = MixError::BadTotal(0.4);
+        assert!(format!("{e}").contains("0.4"));
+        assert!(!format!("{}", MixError::NegativeFraction).is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Analytic workload-variation patterns.
+//!
+//! These patterns produce deterministic scalar series `λ(t)` used by the
+//! control-model experiments (step responses, spectral-analysis fixtures)
+//! and by ablation studies that need a precisely-shaped input instead of a
+//! full benchmark. The paper's motivating scenario — "the workload
+//! increases dramatically in the first half-interval and decreases in the
+//! second half" — is [`VariationPattern::SquareWave`] with a period equal
+//! to the fixed-interval length.
+
+/// A deterministic workload-intensity pattern over continuous time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VariationPattern {
+    /// Constant intensity.
+    Constant {
+        /// The constant level.
+        level: f64,
+    },
+    /// Step from `before` to `after` at time `at`.
+    Step {
+        /// Level before the step.
+        before: f64,
+        /// Level after the step.
+        after: f64,
+        /// Step instant.
+        at: f64,
+    },
+    /// Square wave between `low` and `high` with the given period and duty
+    /// cycle (fraction of the period spent at `high`).
+    SquareWave {
+        /// Low level.
+        low: f64,
+        /// High level.
+        high: f64,
+        /// Wave period.
+        period: f64,
+        /// Fraction of each period at `high`, in `[0, 1]`.
+        duty: f64,
+    },
+    /// Sinusoid `mean + amplitude·sin(2πt/period)`.
+    Sine {
+        /// Mean level.
+        mean: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Oscillation period.
+        period: f64,
+    },
+    /// Linear ramp from `from` at t=0 to `to` at `duration`, then flat.
+    Ramp {
+        /// Initial level.
+        from: f64,
+        /// Final level.
+        to: f64,
+        /// Time to traverse the ramp.
+        duration: f64,
+    },
+}
+
+impl VariationPattern {
+    /// The pattern's value at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `t` is negative.
+    pub fn sample(&self, t: f64) -> f64 {
+        debug_assert!(t >= 0.0, "patterns are defined for t >= 0");
+        match *self {
+            VariationPattern::Constant { level } => level,
+            VariationPattern::Step { before, after, at } => {
+                if t < at {
+                    before
+                } else {
+                    after
+                }
+            }
+            VariationPattern::SquareWave {
+                low,
+                high,
+                period,
+                duty,
+            } => {
+                let phase = (t / period).fract();
+                if phase < duty {
+                    high
+                } else {
+                    low
+                }
+            }
+            VariationPattern::Sine {
+                mean,
+                amplitude,
+                period,
+            } => mean + amplitude * (2.0 * std::f64::consts::PI * t / period).sin(),
+            VariationPattern::Ramp { from, to, duration } => {
+                if t >= duration {
+                    to
+                } else {
+                    from + (to - from) * t / duration
+                }
+            }
+        }
+    }
+
+    /// Samples the pattern at `n` points spaced `dt` apart, starting at 0.
+    pub fn series(&self, n: usize, dt: f64) -> Vec<f64> {
+        (0..n).map(|i| self.sample(i as f64 * dt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let p = VariationPattern::Constant { level: 2.5 };
+        assert_eq!(p.sample(0.0), 2.5);
+        assert_eq!(p.sample(1e6), 2.5);
+    }
+
+    #[test]
+    fn step_switches_at_instant() {
+        let p = VariationPattern::Step {
+            before: 1.0,
+            after: 3.0,
+            at: 10.0,
+        };
+        assert_eq!(p.sample(9.999), 1.0);
+        assert_eq!(p.sample(10.0), 3.0);
+    }
+
+    #[test]
+    fn square_wave_respects_duty_cycle() {
+        let p = VariationPattern::SquareWave {
+            low: 0.0,
+            high: 1.0,
+            period: 10.0,
+            duty: 0.3,
+        };
+        assert_eq!(p.sample(1.0), 1.0);
+        assert_eq!(p.sample(2.9), 1.0);
+        assert_eq!(p.sample(3.1), 0.0);
+        assert_eq!(p.sample(9.9), 0.0);
+        assert_eq!(p.sample(10.5), 1.0); // next period
+        let s = p.series(1000, 0.01);
+        let high = s.iter().filter(|&&x| x > 0.5).count();
+        assert!((high as f64 / 1000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn sine_oscillates_around_mean() {
+        let p = VariationPattern::Sine {
+            mean: 5.0,
+            amplitude: 2.0,
+            period: 4.0,
+        };
+        assert!((p.sample(0.0) - 5.0).abs() < 1e-12);
+        assert!((p.sample(1.0) - 7.0).abs() < 1e-12);
+        assert!((p.sample(3.0) - 3.0).abs() < 1e-12);
+        let s = p.series(4000, 0.001);
+        let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ramp_saturates_at_target() {
+        let p = VariationPattern::Ramp {
+            from: 0.0,
+            to: 10.0,
+            duration: 5.0,
+        };
+        assert_eq!(p.sample(0.0), 0.0);
+        assert_eq!(p.sample(2.5), 5.0);
+        assert_eq!(p.sample(5.0), 10.0);
+        assert_eq!(p.sample(100.0), 10.0);
+    }
+
+    #[test]
+    fn series_has_requested_length_and_spacing() {
+        let p = VariationPattern::Ramp {
+            from: 0.0,
+            to: 1.0,
+            duration: 1.0,
+        };
+        let s = p.series(11, 0.1);
+        assert_eq!(s.len(), 11);
+        assert!((s[5] - 0.5).abs() < 1e-12);
+        assert_eq!(*s.last().expect("nonempty"), 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Workload phases: homogeneous stretches of dynamic instructions.
+//!
+//! A benchmark is a list of phases executed in order (optionally looping).
+//! Phase *lengths* are in dynamic instructions, so the wavelength of
+//! workload variation is explicit — which is exactly the property the
+//! paper's spectral analysis (Section 5.2) classifies benchmarks by.
+
+use crate::mix::InstructionMix;
+
+/// A homogeneous workload phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpec {
+    /// Human-readable phase name (for traces and reports).
+    pub name: &'static str,
+    /// Instruction-class distribution inside the phase.
+    pub mix: InstructionMix,
+    /// Phase length in dynamic instructions.
+    pub len_ops: u64,
+    /// Mean register-dependency distance (in instructions); larger means
+    /// more instruction-level parallelism.
+    pub dep_mean: f64,
+    /// Target L1 D-cache miss ratio of memory accesses.
+    pub l1d_miss: f64,
+    /// Fraction of L1 misses that also miss in L2.
+    pub l2_miss: f64,
+    /// Fraction of branch sites with data-dependent (random) outcomes.
+    pub branch_random: f64,
+    /// Taken probability of random branches.
+    pub branch_taken: f64,
+    /// Static code footprint of the phase, in distinct instructions.
+    pub code_footprint: u64,
+}
+
+impl PhaseSpec {
+    /// Creates a phase with the given mix/length and typical defaults for
+    /// everything else (moderate ILP, warm caches, predictable branches).
+    pub fn new(name: &'static str, mix: InstructionMix, len_ops: u64) -> Self {
+        assert!(len_ops > 0, "phase must contain at least one instruction");
+        PhaseSpec {
+            name,
+            mix,
+            len_ops,
+            dep_mean: 6.0,
+            l1d_miss: 0.03,
+            l2_miss: 0.2,
+            branch_random: 0.10,
+            branch_taken: 0.6,
+            code_footprint: 2048,
+        }
+    }
+
+    /// Sets the mean dependency distance.
+    pub fn with_dep_mean(mut self, dep_mean: f64) -> Self {
+        assert!(dep_mean >= 1.0, "dependency distance must be >= 1");
+        self.dep_mean = dep_mean;
+        self
+    }
+
+    /// Sets the cache-miss targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either ratio is outside `[0, 1]`.
+    pub fn with_misses(mut self, l1d_miss: f64, l2_miss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&l1d_miss), "l1d_miss out of range");
+        assert!((0.0..=1.0).contains(&l2_miss), "l2_miss out of range");
+        self.l1d_miss = l1d_miss;
+        self.l2_miss = l2_miss;
+        self
+    }
+
+    /// Sets branch behaviour: the random-site fraction and taken rate.
+    pub fn with_branches(mut self, random: f64, taken: f64) -> Self {
+        assert!((0.0..=1.0).contains(&random), "branch_random out of range");
+        assert!((0.0..=1.0).contains(&taken), "branch_taken out of range");
+        self.branch_random = random;
+        self.branch_taken = taken;
+        self
+    }
+
+    /// Sets the static code footprint (distinct instruction addresses).
+    pub fn with_code_footprint(mut self, instructions: u64) -> Self {
+        assert!(instructions > 0, "code footprint must be positive");
+        self.code_footprint = instructions;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = PhaseSpec::new("p", InstructionMix::integer_typical(), 1000);
+        assert_eq!(p.len_ops, 1000);
+        assert!(p.dep_mean >= 1.0);
+        assert!(p.l1d_miss < 0.5);
+        assert!(p.code_footprint > 0);
+    }
+
+    #[test]
+    fn builder_methods_override() {
+        let p = PhaseSpec::new("p", InstructionMix::fp_typical(), 10)
+            .with_dep_mean(3.0)
+            .with_misses(0.2, 0.5)
+            .with_branches(0.3, 0.5)
+            .with_code_footprint(128);
+        assert_eq!(p.dep_mean, 3.0);
+        assert_eq!(p.l1d_miss, 0.2);
+        assert_eq!(p.l2_miss, 0.5);
+        assert_eq!(p.branch_random, 0.3);
+        assert_eq!(p.code_footprint, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn zero_length_phase_panics() {
+        let _ = PhaseSpec::new("p", InstructionMix::integer_typical(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "l1d_miss out of range")]
+    fn invalid_miss_rate_panics() {
+        let _ = PhaseSpec::new("p", InstructionMix::integer_typical(), 1).with_misses(1.5, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Summary statistics over generated traces.
+//!
+//! Used by tests (generator validation) and by the Table 2 report to
+//! describe each benchmark's dynamic character.
+
+use std::collections::HashMap;
+
+use crate::uop::{MicroOp, OpClass};
+
+/// Aggregate statistics of a micro-op trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total micro-ops observed.
+    pub total: u64,
+    /// Per-class dynamic counts.
+    pub class_counts: HashMap<OpClass, u64>,
+    /// Mean distance (in ops) from each op to its farthest producer.
+    pub mean_dep_distance: f64,
+    /// Fraction of branches that were taken.
+    pub taken_rate: f64,
+    /// Distinct static PCs observed.
+    pub static_pcs: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `ops`.
+    pub fn from_trace<'a, I: IntoIterator<Item = &'a MicroOp>>(ops: I) -> TraceStats {
+        let mut total = 0u64;
+        let mut class_counts: HashMap<OpClass, u64> = HashMap::new();
+        let mut dep_sum = 0u64;
+        let mut dep_n = 0u64;
+        let mut branches = 0u64;
+        let mut taken = 0u64;
+        let mut pcs = std::collections::HashSet::new();
+        for op in ops {
+            total += 1;
+            *class_counts.entry(op.class).or_insert(0) += 1;
+            if let Some(min_src) = op.sources().min() {
+                dep_sum += op.seq - min_src;
+                dep_n += 1;
+            }
+            if op.class == OpClass::Branch {
+                branches += 1;
+                if op.taken {
+                    taken += 1;
+                }
+            }
+            pcs.insert(op.pc);
+        }
+        TraceStats {
+            total,
+            class_counts,
+            mean_dep_distance: if dep_n == 0 {
+                0.0
+            } else {
+                dep_sum as f64 / dep_n as f64
+            },
+            taken_rate: if branches == 0 {
+                0.0
+            } else {
+                taken as f64 / branches as f64
+            },
+            static_pcs: pcs.len(),
+        }
+    }
+
+    /// Dynamic fraction of `class`.
+    pub fn fraction(&self, class: OpClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.class_counts.get(&class).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Dynamic fraction of floating-point ops.
+    pub fn fp_fraction(&self) -> f64 {
+        self.fraction(OpClass::FpAlu)
+            + self.fraction(OpClass::FpMul)
+            + self.fraction(OpClass::FpDiv)
+    }
+
+    /// Dynamic fraction of memory ops.
+    pub fn mem_fraction(&self) -> f64 {
+        self.fraction(OpClass::Load) + self.fraction(OpClass::Store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::registry;
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let s = TraceStats::from_trace(std::iter::empty());
+        assert_eq!(s.total, 0);
+        assert_eq!(s.fraction(OpClass::Load), 0.0);
+        assert_eq!(s.mean_dep_distance, 0.0);
+        assert_eq!(s.taken_rate, 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let spec = registry::by_name("vpr").expect("exists");
+        let ops: Vec<_> = TraceGenerator::new(&spec, 20_000, 9).collect();
+        let s = TraceStats::from_trace(&ops);
+        let sum: f64 = OpClass::ALL.iter().map(|&c| s.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(s.total, 20_000);
+    }
+
+    #[test]
+    fn dep_distance_reflects_phase_spec_ordering() {
+        let serial = registry::by_name("adpcm_decode").expect("exists"); // dep_mean 3.0
+        let parallel = registry::by_name("wupwise").expect("exists"); // dep_mean 8.0
+        let so: Vec<_> = TraceGenerator::new(&serial, 30_000, 1).collect();
+        let po: Vec<_> = TraceGenerator::new(&parallel, 30_000, 1).collect();
+        let ss = TraceStats::from_trace(&so);
+        let ps = TraceStats::from_trace(&po);
+        assert!(
+            ss.mean_dep_distance < ps.mean_dep_distance,
+            "serial {} !< parallel {}",
+            ss.mean_dep_distance,
+            ps.mean_dep_distance
+        );
+    }
+
+    #[test]
+    fn static_footprint_is_bounded_by_phase_spec() {
+        let spec = registry::by_name("adpcm_encode").expect("exists"); // footprint 256
+        let ops: Vec<_> = TraceGenerator::new(&spec, 10_000, 1).collect();
+        let s = TraceStats::from_trace(&ops);
+        assert!(s.static_pcs <= 256);
+        assert!(s.static_pcs > 64, "footprint suspiciously small");
+    }
+}

@@ -1,0 +1,239 @@
+//! Plain-text trace export/import.
+//!
+//! Generated traces can be written to a simple line-oriented format and
+//! read back, so a workload can be inspected, archived, or replayed
+//! outside the generator. One micro-op per line:
+//!
+//! ```text
+//! # mcd-trace v1
+//! <class> <pc> <src1|-> <src2|-> <addr|-> <taken:0|1>
+//! ```
+//!
+//! Sequence numbers are implicit (dense, starting at 0).
+
+use std::io::{BufRead, Write};
+
+use crate::uop::{MicroOp, OpClass};
+
+/// The header line identifying the format.
+pub const HEADER: &str = "# mcd-trace v1";
+
+fn class_token(c: OpClass) -> &'static str {
+    match c {
+        OpClass::IntAlu => "ialu",
+        OpClass::IntMul => "imul",
+        OpClass::FpAlu => "falu",
+        OpClass::FpMul => "fmul",
+        OpClass::FpDiv => "fdiv",
+        OpClass::Load => "ld",
+        OpClass::Store => "st",
+        OpClass::Branch => "br",
+    }
+}
+
+fn parse_class(tok: &str) -> Option<OpClass> {
+    Some(match tok {
+        "ialu" => OpClass::IntAlu,
+        "imul" => OpClass::IntMul,
+        "falu" => OpClass::FpAlu,
+        "fmul" => OpClass::FpMul,
+        "fdiv" => OpClass::FpDiv,
+        "ld" => OpClass::Load,
+        "st" => OpClass::Store,
+        "br" => OpClass::Branch,
+        _ => return None,
+    })
+}
+
+/// Errors from [`read_trace`].
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A malformed line (1-based line number and reason).
+    BadLine(usize, &'static str),
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ParseTraceError::BadHeader => write!(f, "missing '{HEADER}' header"),
+            ParseTraceError::BadLine(n, why) => write!(f, "line {n}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes `ops` to `w` in the text format. Accepts any `Write` by value;
+/// pass `&mut writer` to keep using it afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write, I: IntoIterator<Item = MicroOp>>(
+    ops: I,
+    mut w: W,
+) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for op in ops {
+        let opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+        writeln!(
+            w,
+            "{} {:#x} {} {} {} {}",
+            class_token(op.class),
+            op.pc,
+            opt(op.src1),
+            opt(op.src2),
+            op.addr.map_or("-".to_string(), |a| format!("{a:#x}")),
+            u8::from(op.taken),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`. Accepts any `BufRead` by value; pass
+/// `&mut reader` to keep using it afterwards.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure, a missing header, or any
+/// malformed line.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<MicroOp>, ParseTraceError> {
+    let mut lines = r.lines();
+    match lines.next() {
+        Some(Ok(h)) if h.trim() == HEADER => {}
+        Some(Ok(_)) | None => return Err(ParseTraceError::BadHeader),
+        Some(Err(e)) => return Err(e.into()),
+    }
+    let parse_u64 = |tok: &str| -> Option<u64> {
+        if let Some(hex) = tok.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            tok.parse().ok()
+        }
+    };
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let lineno = i + 2;
+        if toks.len() != 6 {
+            return Err(ParseTraceError::BadLine(lineno, "expected 6 fields"));
+        }
+        let class =
+            parse_class(toks[0]).ok_or(ParseTraceError::BadLine(lineno, "unknown op class"))?;
+        let pc = parse_u64(toks[1]).ok_or(ParseTraceError::BadLine(lineno, "bad pc"))?;
+        let opt = |tok: &str, what: &'static str| -> Result<Option<u64>, ParseTraceError> {
+            if tok == "-" {
+                Ok(None)
+            } else {
+                parse_u64(tok)
+                    .map(Some)
+                    .ok_or(ParseTraceError::BadLine(lineno, what))
+            }
+        };
+        let src1 = opt(toks[2], "bad src1")?;
+        let src2 = opt(toks[3], "bad src2")?;
+        let addr = opt(toks[4], "bad addr")?;
+        let taken = match toks[5] {
+            "0" => false,
+            "1" => true,
+            _ => return Err(ParseTraceError::BadLine(lineno, "bad taken flag")),
+        };
+        if class.is_mem() && addr.is_none() {
+            return Err(ParseTraceError::BadLine(
+                lineno,
+                "memory op without address",
+            ));
+        }
+        ops.push(MicroOp {
+            seq: ops.len() as u64,
+            class,
+            src1,
+            src2,
+            addr,
+            pc,
+            taken,
+        });
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::registry;
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let spec = registry::by_name("mpeg2_decode").expect("registered");
+        let ops: Vec<MicroOp> = TraceGenerator::new(&spec, 5_000, 42).collect();
+        let mut buf = Vec::new();
+        write_trace(ops.iter().copied(), &mut buf).expect("write to vec");
+        let back = read_trace(buf.as_slice()).expect("parse own output");
+        assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn header_is_required() {
+        let e = read_trace("ialu 0x400 - - - 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, ParseTraceError::BadHeader));
+        assert!(!format!("{e}").is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n\n# a comment\nialu 0x400 - - - 0\n");
+        let ops = read_trace(text.as_bytes()).expect("parse");
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].class, OpClass::IntAlu);
+        assert_eq!(ops[0].seq, 0);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let text = format!("{HEADER}\nialu 0x400 - - - 0\nbogus line here\n");
+        let e = read_trace(text.as_bytes()).unwrap_err();
+        match e {
+            ParseTraceError::BadLine(n, _) => assert_eq!(n, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_op_without_address_rejected() {
+        let text = format!("{HEADER}\nld 0x400 - - - 0\n");
+        let e = read_trace(text.as_bytes()).unwrap_err();
+        assert!(matches!(e, ParseTraceError::BadLine(2, _)));
+    }
+
+    #[test]
+    fn all_classes_roundtrip_tokens() {
+        for &c in &OpClass::ALL {
+            assert_eq!(parse_class(class_token(c)), Some(c), "{c:?}");
+        }
+        assert_eq!(parse_class("nope"), None);
+    }
+}

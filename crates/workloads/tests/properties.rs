@@ -1,0 +1,69 @@
+//! Property-based tests for the workload generators.
+
+use mcd_workloads::{registry, InstructionMix, OpClass, TraceGenerator, TraceStats};
+use proptest::prelude::*;
+
+fn arb_benchmark_name() -> impl Strategy<Value = &'static str> {
+    proptest::sample::select(registry::names())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sequence numbers are dense and dependencies strictly backward for
+    /// every benchmark and seed.
+    #[test]
+    fn seqs_dense_and_deps_backward(name in arb_benchmark_name(), seed in 0u64..10_000) {
+        let spec = registry::by_name(name).expect("registered");
+        for (i, op) in TraceGenerator::new(&spec, 2_000, seed).enumerate() {
+            prop_assert_eq!(op.seq, i as u64);
+            for s in op.sources() {
+                prop_assert!(s < op.seq);
+            }
+            prop_assert_eq!(op.addr.is_some(), op.class.is_mem());
+        }
+    }
+
+    /// Dynamic class fractions approach the phase mix for single-phase
+    /// benchmarks.
+    #[test]
+    fn single_phase_mix_converges(seed in 0u64..10_000) {
+        let spec = registry::by_name("wupwise").expect("registered");
+        let ops: Vec<_> = TraceGenerator::new(&spec, 50_000, seed).collect();
+        let stats = TraceStats::from_trace(&ops);
+        let want = spec.phases[0].mix;
+        for &c in &OpClass::ALL {
+            prop_assert!(
+                (stats.fraction(c) - want.fraction(c)).abs() < 0.02,
+                "{}: {} vs {}", c, stats.fraction(c), want.fraction(c)
+            );
+        }
+    }
+
+    /// Mix construction accepts exactly the normalized non-negative cases.
+    #[test]
+    fn mix_validation(parts in proptest::array::uniform8(0.0f64..1.0)) {
+        let total: f64 = parts.iter().sum();
+        let result = InstructionMix::new(
+            parts[0], parts[1], parts[2], parts[3], parts[4], parts[5], parts[6], parts[7],
+        );
+        if (total - 1.0).abs() <= 1e-6 {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Normalizing arbitrary non-negative parts always yields a valid mix
+    /// whose sampler covers only nonzero classes.
+    #[test]
+    fn normalized_mix_samples_within_support(parts in proptest::array::uniform8(0.01f64..1.0), u in 0.0f64..1.0) {
+        let total: f64 = parts.iter().sum();
+        let mix = InstructionMix::new(
+            parts[0] / total, parts[1] / total, parts[2] / total, parts[3] / total,
+            parts[4] / total, parts[5] / total, parts[6] / total, parts[7] / total,
+        ).expect("normalized");
+        let class = mix.sample(u);
+        prop_assert!(mix.fraction(class) > 0.0);
+    }
+}

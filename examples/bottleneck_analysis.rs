@@ -1,0 +1,60 @@
+//! Bottleneck analysis: where does dispatch stall, and how does the DVFS
+//! controller shift the picture?
+//!
+//! ```text
+//! cargo run --release --example bottleneck_analysis
+//! ```
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_sim::metrics::StallCause;
+use mcd_sim::{DomainId, Machine, SimConfig, SimResult};
+use mcd_workloads::{registry, TraceGenerator};
+
+fn run(name: &str, adaptive: bool) -> SimResult {
+    let spec = registry::by_name(name).expect("registered benchmark");
+    let mut m = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 200_000, 1));
+    if adaptive {
+        m = m.with_controllers(|d| {
+            Box::new(AdaptiveDvfsController::new(AdaptiveConfig::for_domain(d)))
+        });
+    }
+    m.run()
+}
+
+fn report(name: &str, r: &SimResult, label: &str) {
+    let fe_cycles = r.domain(DomainId::FrontEnd).cycles;
+    let total = r.metrics.total_dispatch_stalls();
+    println!(
+        "{name} [{label}]: IPC {:.2}, {} dispatch-stall cycles ({:.1}% of front-end cycles)",
+        r.ipc(),
+        total,
+        total as f64 / fe_cycles as f64 * 100.0
+    );
+    for &cause in &StallCause::ALL {
+        let n = r.metrics.dispatch_stalls[cause.index()];
+        if n > 0 {
+            println!(
+                "    {cause:<16} {n:>8}  ({:.1}%)",
+                n as f64 / total.max(1) as f64 * 100.0
+            );
+        }
+    }
+}
+
+fn main() {
+    for name in ["adpcm_decode", "mcf", "swim"] {
+        let base = run(name, false);
+        report(name, &base, "baseline");
+        let adap = run(name, true);
+        report(name, &adap, "adaptive");
+        println!(
+            "    queue peaks (INT/FP/LS): baseline {:?}, adaptive {:?}\n",
+            base.queue_peaks, adap.queue_peaks
+        );
+    }
+    println!(
+        "Reading guide: under the adaptive controller the controlled domains run\n\
+         slower, so their queues absorb more of the slack — stall cycles migrate\n\
+         from the ROB toward the issue queues of whichever domain was scaled."
+    );
+}

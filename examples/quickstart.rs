@@ -1,0 +1,58 @@
+//! Quickstart: simulate one benchmark under adaptive DVFS and compare it
+//! to the full-speed baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_sim::{DomainId, Machine, SimConfig};
+use mcd_workloads::{registry, TraceGenerator};
+
+fn main() {
+    let ops = 200_000;
+    let spec = registry::by_name("gzip").expect("gzip is a registered benchmark");
+    println!(
+        "benchmark: {} ({}) — {}",
+        spec.name, spec.suite, spec.description
+    );
+
+    // Full-speed MCD baseline: no controllers attached.
+    let baseline = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, ops, 1)).run();
+
+    // The paper's adaptive controller on each back-end domain.
+    let adaptive = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, ops, 1))
+        .with_controllers(|d| Box::new(AdaptiveDvfsController::new(AdaptiveConfig::for_domain(d))))
+        .run();
+
+    println!("\n                      baseline     adaptive");
+    println!(
+        "execution time     {:>11}  {:>11}",
+        format!("{}", baseline.sim_time),
+        format!("{}", adaptive.sim_time)
+    );
+    println!(
+        "total energy       {:>11}  {:>11}",
+        format!("{}", baseline.total_energy()),
+        format!("{}", adaptive.total_energy())
+    );
+    println!(
+        "IPC                {:>11.3}  {:>11.3}",
+        baseline.ipc(),
+        adaptive.ipc()
+    );
+    for &d in &DomainId::ALL {
+        println!(
+            "mean f/f_max {:>5}  {:>11.3}  {:>11.3}",
+            format!("{d}"),
+            baseline.domain(d).mean_rel_freq,
+            adaptive.domain(d).mean_rel_freq
+        );
+    }
+    println!(
+        "\nadaptive vs baseline: {:+.1}% energy, {:+.1}% execution time, {:+.1}% EDP",
+        -adaptive.energy_savings_vs(&baseline) * 100.0,
+        adaptive.perf_degradation_vs(&baseline) * 100.0,
+        -adaptive.edp_improvement_vs(&baseline) * 100.0
+    );
+}

