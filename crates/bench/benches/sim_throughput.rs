@@ -1,8 +1,13 @@
 //! Simulator throughput: simulated instructions per second of host time,
-//! for the baseline machine and under each DVFS scheme.
+//! for the baseline machine and under each DVFS scheme, plus the
+//! experiment harness's parallel fan-out and baseline memo cache.
+//!
+//! For a machine-readable throughput report of the real experiment
+//! suite, use `repro all --quick --bench-out results/bench_sim.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mcd_bench::runner::{run, RunConfig, Scheme};
+use mcd_bench::parallel::default_jobs;
+use mcd_bench::runner::{run, RunConfig, RunSet, Scheme};
 
 fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
@@ -24,8 +29,46 @@ fn sim_throughput(c: &mut Criterion) {
             },
         );
     }
+    // Workload extremes for the engine's fast paths: adpcm_encode keeps
+    // the INT queue busy (issue-loop bound), mcf misses caches constantly
+    // (memory bound, mostly idle queues), swim exercises the FP domain.
+    for name in ["adpcm_encode", "mcf", "swim"] {
+        group.bench_with_input(BenchmarkId::new(name, "baseline"), &name, |b, &name| {
+            let cfg = RunConfig::quick().with_ops(ops);
+            b.iter(|| run(name, Scheme::Baseline, &cfg));
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, sim_throughput);
+fn harness_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness");
+    let ops = 10_000u64;
+    let names = ["gzip", "swim", "adpcm_encode", "epic_decode"];
+    group.throughput(Throughput::Elements(ops * names.len() as u64));
+    group.sample_size(10);
+    for jobs in [1usize, default_jobs()] {
+        group.bench_with_input(
+            BenchmarkId::new("fanout", format!("{jobs}-jobs")),
+            &jobs,
+            |b, &jobs| {
+                let cfg = RunConfig::quick().with_ops(ops);
+                b.iter(|| {
+                    let rs = RunSet::new(jobs);
+                    rs.par(names.to_vec(), |name| rs.run(name, Scheme::Adaptive, &cfg))
+                });
+            },
+        );
+    }
+    // Baseline memoization: the second and later requests are free.
+    group.bench_function("baseline_cache_hit", |b| {
+        let cfg = RunConfig::quick().with_ops(ops);
+        let rs = RunSet::new(1);
+        let _ = rs.baseline("gzip", &cfg); // warm the cache
+        b.iter(|| rs.baseline("gzip", &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, harness_throughput);
 criterion_main!(benches);

@@ -1,24 +1,84 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--ops N] [--quick] [--seed S] [--out DIR]
-//! repro all [--ops N] [--out DIR]
+//! repro <experiment> [--ops N] [--quick] [--seed S] [--jobs N] [--out DIR] [--bench-out FILE]
+//! repro all [--ops N] [--jobs N] [--out DIR] [--bench-out FILE]
 //! repro list
 //! ```
 //!
+//! Each simulation is single-threaded and deterministic; `--jobs N` sets
+//! how many independent runs the harness fans out at once (default: one
+//! per available core). Reports are byte-identical whatever the worker
+//! count.
+//!
 //! With `--out DIR`, each experiment's report is also written to
-//! `DIR/<experiment>.txt`.
+//! `DIR/<experiment>.txt`. With `--bench-out FILE`, a machine-readable
+//! JSON record of per-experiment wall-clock time and simulation
+//! throughput is written to `FILE`.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mcd_bench::experiments;
-use mcd_bench::runner::RunConfig;
+use mcd_bench::runner::{RunConfig, RunSet};
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment|all|list> [--ops N] [--quick] [--seed S] [--out DIR]\n\
+        "usage: repro <experiment|all|list> [--ops N] [--quick] [--seed S] [--jobs N] \
+         [--out DIR] [--bench-out FILE]\n\
          experiments: {}",
         experiments::ALL.join(", ")
+    )
+}
+
+/// One experiment's timing record for the `--bench-out` report.
+struct BenchRecord {
+    id: &'static str,
+    wall_s: f64,
+    runs: u64,
+    instructions: u64,
+    baseline_hits: u64,
+}
+
+impl BenchRecord {
+    fn simulated_mips(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.instructions as f64 / self.wall_s / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"experiment\": \"{}\", \"wall_s\": {:.3}, \"runs\": {}, \
+             \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {:.2}}}",
+            self.id,
+            self.wall_s,
+            self.runs,
+            self.instructions,
+            self.baseline_hits,
+            self.simulated_mips()
+        )
+    }
+}
+
+fn bench_report(jobs: usize, total_wall_s: f64, records: &[BenchRecord]) -> String {
+    let runs: u64 = records.iter().map(|r| r.runs).sum();
+    let instructions: u64 = records.iter().map(|r| r.instructions).sum();
+    let hits: u64 = records.iter().map(|r| r.baseline_hits).sum();
+    let mips = if total_wall_s > 0.0 {
+        instructions as f64 / total_wall_s / 1e6
+    } else {
+        0.0
+    };
+    let body: Vec<String> = records.iter().map(BenchRecord::to_json).collect();
+    format!(
+        "{{\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_wall_s:.3},\n  \
+         \"total_runs\": {runs},\n  \"total_instructions\": {instructions},\n  \
+         \"total_baseline_cache_hits\": {hits},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
+         \"experiments\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
     )
 }
 
@@ -28,7 +88,11 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
-    let id = args[0].as_str();
+    // "headline" is a friendlier alias for the reconstructed Figure 9.
+    let id = match args[0].as_str() {
+        "headline" => "fig9",
+        other => other,
+    };
     if id == "list" {
         for e in experiments::ALL {
             println!("{e}");
@@ -38,6 +102,8 @@ fn main() -> ExitCode {
 
     let mut cfg = RunConfig::full();
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut bench_out: Option<std::path::PathBuf> = None;
+    let mut jobs = mcd_bench::parallel::default_jobs();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,6 +115,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 out_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--bench-out" => {
+                i += 1;
+                let Some(file) = args.get(i) else {
+                    eprintln!("--bench-out needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                bench_out = Some(std::path::PathBuf::from(file));
+            }
+            "--jobs" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                jobs = n;
             }
             "--ops" => {
                 i += 1;
@@ -74,10 +160,10 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let ids: Vec<&str> = if id == "all" {
+    let ids: Vec<&'static str> = if id == "all" {
         experiments::ALL.to_vec()
-    } else if experiments::ALL.contains(&id) {
-        vec![id]
+    } else if let Some(&known) = experiments::ALL.iter().find(|&&e| e == id) {
+        vec![known]
     } else {
         eprintln!("unknown experiment {id}\n{}", usage());
         return ExitCode::FAILURE;
@@ -89,11 +175,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    let rs = RunSet::init_global(jobs);
+    let mut records = Vec::with_capacity(ids.len());
+    let all_start = Instant::now();
     for (n, id) in ids.iter().enumerate() {
         if n > 0 {
             println!("\n{}\n", "=".repeat(78));
         }
+        let before = rs.stats();
+        let start = Instant::now();
         let report = experiments::run(id, &cfg);
+        let wall_s = start.elapsed().as_secs_f64();
+        let after = rs.stats();
+        records.push(BenchRecord {
+            id,
+            wall_s,
+            runs: after.runs - before.runs,
+            instructions: after.instructions - before.instructions,
+            baseline_hits: after.baseline_hits - before.baseline_hits,
+        });
         println!("{report}");
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{id}.txt"));
@@ -101,6 +202,21 @@ fn main() -> ExitCode {
                 eprintln!("cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = &bench_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let json = bench_report(rs.jobs(), all_start.elapsed().as_secs_f64(), &records);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

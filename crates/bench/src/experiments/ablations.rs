@@ -4,36 +4,42 @@
 
 use mcd_power::DvfsStyle;
 
-use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// A small representative benchmark set (one per behaviour class).
 pub const REPRESENTATIVES: [&str; 4] = ["gzip", "wupwise", "mpeg2_decode", "mcf"];
 
-fn mean_outcome(cfg: &RunConfig, scheme: Scheme) -> Outcome {
-    let os: Vec<Outcome> = REPRESENTATIVES
-        .iter()
-        .map(|&n| {
-            let base = run_sim(n, Scheme::Baseline, cfg);
-            Outcome::versus(&run_sim(n, scheme, cfg), &base)
-        })
-        .collect();
-    Outcome::mean(&os)
-}
-
 /// The `q_ref` trade-off: raising the reference occupancy is more
 /// aggressive about energy, at a performance cost (Section 3.1).
-pub fn run_qref(cfg: &RunConfig) -> String {
+pub fn run_qref(rs: &RunSet, cfg: &RunConfig) -> String {
+    const SCALES: [f64; 5] = [0.5, 0.75, 1.0, 1.5, 2.0];
+    let mut tasks = Vec::with_capacity(SCALES.len() * REPRESENTATIVES.len());
+    for &scale in &SCALES {
+        for &n in &REPRESENTATIVES {
+            tasks.push((scale, n));
+        }
+    }
+    // q_ref only affects the adaptive controller, so every scale shares
+    // the same four memoized baselines.
+    let outcomes = rs.par(tasks, |(scale, n)| {
+        let base = rs.baseline(n, cfg);
+        let mut c = cfg.clone();
+        c.q_ref_scale = scale;
+        Outcome::versus(&rs.run(n, Scheme::Adaptive, &c), &base)
+    });
+
     let mut t = Table::new([
         "q_ref scale",
         "Energy savings",
         "Perf degradation",
         "EDP gain",
     ]);
-    for scale in [0.5, 0.75, 1.0, 1.5, 2.0] {
-        let mut c = cfg.clone();
-        c.q_ref_scale = scale;
-        let o = mean_outcome(&c, Scheme::Adaptive);
+    for (scale, os) in SCALES
+        .iter()
+        .zip(outcomes.chunks_exact(REPRESENTATIVES.len()))
+    {
+        let o = Outcome::mean(os);
         t.row([
             format!("{scale:.2}"),
             pct(o.energy_savings),
@@ -50,7 +56,40 @@ pub fn run_qref(cfg: &RunConfig) -> String {
 
 /// Step-size ablation, including a Transmeta-style configuration
 /// (large steps, stall-during-transition).
-pub fn run_step(cfg: &RunConfig) -> String {
+pub fn run_step(rs: &RunSet, cfg: &RunConfig) -> String {
+    const POINTS: [(DvfsStyle, i32); 5] = [
+        (DvfsStyle::XScale, 1),
+        (DvfsStyle::XScale, 4),
+        (DvfsStyle::XScale, 16),
+        (DvfsStyle::Transmeta, 16),
+        (DvfsStyle::Transmeta, 64),
+    ];
+    let mut tasks = Vec::with_capacity(POINTS.len() * REPRESENTATIVES.len());
+    for &point in &POINTS {
+        for &n in &REPRESENTATIVES {
+            tasks.push((point, n));
+        }
+    }
+    // Larger steps need higher trigger thresholds (Section 3's
+    // switching-cost argument): scale the delays with the step.
+    let outcomes = rs.par(tasks, |((style, step), n)| {
+        use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+        use mcd_sim::{DomainId, Machine};
+        use mcd_workloads::{registry, TraceGenerator};
+        let mut c = cfg.clone();
+        c.sim.dvfs_style = style;
+        let base = rs.baseline(n, &c);
+        let spec = registry::by_name(n).expect("known benchmark");
+        let mut m = Machine::new(c.sim.clone(), TraceGenerator::new(&spec, c.ops, c.seed));
+        for &d in &DomainId::BACKEND {
+            let acfg = AdaptiveConfig::for_domain(d)
+                .with_step(step)
+                .with_delays(50.0 * step as f64, 8.0 * step as f64);
+            m = m.with_controller(d, Box::new(AdaptiveDvfsController::new(acfg)));
+        }
+        Outcome::versus(&rs.run_custom(|| m.run()), &base)
+    });
+
     let mut t = Table::new([
         "style",
         "step",
@@ -58,39 +97,11 @@ pub fn run_step(cfg: &RunConfig) -> String {
         "Perf degradation",
         "EDP gain",
     ]);
-    for (style, step) in [
-        (DvfsStyle::XScale, 1),
-        (DvfsStyle::XScale, 4),
-        (DvfsStyle::XScale, 16),
-        (DvfsStyle::Transmeta, 16),
-        (DvfsStyle::Transmeta, 64),
-    ] {
-        let mut c = cfg.clone();
-        c.sim.dvfs_style = style;
-        // Larger steps need higher trigger thresholds (Section 3's
-        // switching-cost argument): scale the delays with the step.
-        let o = {
-            use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
-            use mcd_sim::{DomainId, Machine};
-            use mcd_workloads::{registry, TraceGenerator};
-            let os: Vec<Outcome> = REPRESENTATIVES
-                .iter()
-                .map(|&n| {
-                    let base = run_sim(n, Scheme::Baseline, &c);
-                    let spec = registry::by_name(n).expect("known benchmark");
-                    let mut m =
-                        Machine::new(c.sim.clone(), TraceGenerator::new(&spec, c.ops, c.seed));
-                    for &d in &DomainId::BACKEND {
-                        let acfg = AdaptiveConfig::for_domain(d)
-                            .with_step(step)
-                            .with_delays(50.0 * step as f64, 8.0 * step as f64);
-                        m = m.with_controller(d, Box::new(AdaptiveDvfsController::new(acfg)));
-                    }
-                    Outcome::versus(&m.run(), &base)
-                })
-                .collect();
-            Outcome::mean(&os)
-        };
+    for ((style, step), os) in POINTS
+        .iter()
+        .zip(outcomes.chunks_exact(REPRESENTATIVES.len()))
+    {
+        let o = Outcome::mean(os);
         t.row([
             format!("{style:?}"),
             step.to_string(),
@@ -117,13 +128,15 @@ mod tests {
 
     #[test]
     fn qref_ablation_renders_all_scales() {
-        let out = run_qref(&RunConfig::quick().with_ops(10_000));
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run_qref(&rs, &RunConfig::quick().with_ops(10_000));
         assert!(out.contains("0.50") && out.contains("2.00"));
     }
 
     #[test]
     fn step_ablation_includes_transmeta() {
-        let out = run_step(&RunConfig::quick().with_ops(10_000));
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run_step(&rs, &RunConfig::quick().with_ops(10_000));
         assert!(out.contains("Transmeta"));
     }
 }

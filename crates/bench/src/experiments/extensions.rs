@@ -8,7 +8,7 @@ use mcd_power::OpIndex;
 use mcd_sim::{DomainId, Machine, SimResult, SyncModel};
 use mcd_workloads::{registry, synthetic, TraceGenerator, VariabilityClass};
 
-use crate::runner::{controller_for, pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::runner::{controller_for, pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// Runs a spec (not necessarily registered) under a scheme.
@@ -31,27 +31,41 @@ fn run_spec(spec: &mcd_workloads::BenchmarkSpec, scheme: Scheme, cfg: &RunConfig
 /// This is the design space behind the paper's fast/slow split: the
 /// adaptive advantage concentrates where the wavelength is comparable to
 /// (or shorter than) the fixed interval.
-pub fn run_wavelength(cfg: &RunConfig) -> String {
+pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> String {
+    const PERIODS: [u64; 7] = [
+        5_000, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000,
+    ];
+    // Synthetic specs are not registry-backed, so the baseline memo cache
+    // does not apply; each period is one work item running its own
+    // baseline plus the three controlled schemes.
+    let rows = rs.par(PERIODS.to_vec(), |period| {
+        let spec = synthetic::square_wave(period, 0.4);
+        let ops = cfg.ops.max(period * 3); // at least three full periods
+        let mut c = cfg.clone();
+        c.ops = ops;
+        let base = rs.run_custom(|| run_spec(&spec, Scheme::Baseline, &c));
+        let edp = |scheme| {
+            Outcome::versus(&rs.run_custom(|| run_spec(&spec, scheme, &c)), &base).edp_improvement
+        };
+        (
+            period,
+            edp(Scheme::Adaptive),
+            edp(Scheme::Pid),
+            edp(Scheme::AttackDecay),
+        )
+    });
     let mut t = Table::new([
         "wavelength (insts)",
         "adaptive EDP",
         "PID EDP",
         "atk/decay EDP",
     ]);
-    for period in [
-        5_000u64, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000,
-    ] {
-        let spec = synthetic::square_wave(period, 0.4);
-        let ops = cfg.ops.max(period * 3); // at least three full periods
-        let mut c = cfg.clone();
-        c.ops = ops;
-        let base = run_spec(&spec, Scheme::Baseline, &c);
-        let edp = |scheme| Outcome::versus(&run_spec(&spec, scheme, &c), &base).edp_improvement;
+    for (period, adaptive, pid, attack_decay) in rows {
         t.row([
             period.to_string(),
-            pct(edp(Scheme::Adaptive)),
-            pct(edp(Scheme::Pid)),
-            pct(edp(Scheme::AttackDecay)),
+            pct(adaptive),
+            pct(pid),
+            pct(attack_decay),
         ]);
     }
     format!(
@@ -70,36 +84,46 @@ pub fn run_wavelength(cfg: &RunConfig) -> String {
 
 /// Synchronization-interface comparison (Section 2's two families):
 /// arbitration window vs token-ring FIFO vs an ideal zero-cost interface.
-pub fn run_sync(cfg: &RunConfig) -> String {
+pub fn run_sync(rs: &RunSet, cfg: &RunConfig) -> String {
+    const INTERFACES: [(&str, SyncModel, u64); 3] = [
+        ("arbitration 300ps", SyncModel::Arbitration, 300),
+        ("token-ring FIFO", SyncModel::TokenRing, 300),
+        ("ideal (no sync)", SyncModel::Arbitration, 0),
+    ];
+    let mut tasks = Vec::new();
+    for name in ["gzip", "mpeg2_decode"] {
+        for interface in INTERFACES {
+            tasks.push((name, interface));
+        }
+    }
+    let rows = rs.par(tasks, |(name, (label, model, window))| {
+        // The ideal baseline doubles as the "ideal (no sync)" row's own
+        // baseline, so the memo cache collapses the two.
+        let mut ideal = cfg.clone();
+        ideal.sim.sync_window = mcd_power::TimePs::new(0);
+        ideal.sim.jitter_sigma_ps = 0.0;
+        let ideal_base = rs.baseline(name, &ideal);
+        let mut c = cfg.clone();
+        c.sim.sync_model = model;
+        c.sim.sync_window = mcd_power::TimePs::new(window);
+        c.sim.jitter_sigma_ps = 0.0;
+        let base = rs.baseline(name, &c);
+        let adaptive = rs.run(name, Scheme::Adaptive, &c);
+        [
+            label.to_string(),
+            name.to_string(),
+            pct(base.sim_time.as_secs() / ideal_base.sim_time.as_secs() - 1.0),
+            pct(adaptive.edp_improvement_vs(&base)),
+        ]
+    });
     let mut t = Table::new([
         "interface",
         "benchmark",
         "time vs ideal",
         "adaptive EDP gain",
     ]);
-    for name in ["gzip", "mpeg2_decode"] {
-        let mut ideal = cfg.clone();
-        ideal.sim.sync_window = mcd_power::TimePs::new(0);
-        ideal.sim.jitter_sigma_ps = 0.0;
-        let ideal_base = run_sim(name, Scheme::Baseline, &ideal);
-        for (label, model, window) in [
-            ("arbitration 300ps", SyncModel::Arbitration, 300u64),
-            ("token-ring FIFO", SyncModel::TokenRing, 300),
-            ("ideal (no sync)", SyncModel::Arbitration, 0),
-        ] {
-            let mut c = cfg.clone();
-            c.sim.sync_model = model;
-            c.sim.sync_window = mcd_power::TimePs::new(window);
-            c.sim.jitter_sigma_ps = 0.0;
-            let base = run_sim(name, Scheme::Baseline, &c);
-            let adaptive = run_sim(name, Scheme::Adaptive, &c);
-            t.row([
-                label.to_string(),
-                name.to_string(),
-                pct(base.sim_time.as_secs() / ideal_base.sim_time.as_secs() - 1.0),
-                pct(adaptive.edp_improvement_vs(&base)),
-            ]);
-        }
+    for row in rows {
+        t.row(row);
     }
     format!(
         "Extension: synchronization-interface families (Section 2)\n\n{}",
@@ -109,7 +133,26 @@ pub fn run_sync(cfg: &RunConfig) -> String {
 
 /// The centralized-control extension (the paper's future work): shared
 /// blackboard vetoing down-steps while another domain is the bottleneck.
-pub fn run_centralized(cfg: &RunConfig) -> String {
+pub fn run_centralized(rs: &RunSet, cfg: &RunConfig) -> String {
+    let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
+        .iter()
+        .map(|s| s.name)
+        .collect();
+    let pairs = rs.par(names, |name| {
+        let spec = registry::by_name(name).expect("registered");
+        let base = rs.baseline(name, cfg);
+        let dec = Outcome::versus(&rs.run(name, Scheme::Adaptive, cfg), &base);
+        let cen_result = rs.run_custom(|| {
+            Machine::new(
+                cfg.sim.clone(),
+                TraceGenerator::new(&spec, cfg.ops, cfg.seed),
+            )
+            .with_controllers(coordinated_controllers())
+            .run()
+        });
+        let cen = Outcome::versus(&cen_result, &base);
+        (name, dec, cen)
+    });
     let mut t = Table::new([
         "Benchmark",
         "decentralized E",
@@ -119,23 +162,9 @@ pub fn run_centralized(cfg: &RunConfig) -> String {
         "centralized T",
         "centralized EDP",
     ]);
-    let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
-        .iter()
-        .map(|s| s.name)
-        .collect();
     let mut dec_all = Vec::new();
     let mut cen_all = Vec::new();
-    for name in names {
-        let spec = registry::by_name(name).expect("registered");
-        let base = run_sim(name, Scheme::Baseline, cfg);
-        let dec = Outcome::versus(&run_sim(name, Scheme::Adaptive, cfg), &base);
-        let cen_result = Machine::new(
-            cfg.sim.clone(),
-            TraceGenerator::new(&spec, cfg.ops, cfg.seed),
-        )
-        .with_controllers(coordinated_controllers())
-        .run();
-        let cen = Outcome::versus(&cen_result, &base);
+    for (name, dec, cen) in pairs {
         t.row([
             name.to_string(),
             pct(dec.energy_savings),
@@ -162,25 +191,17 @@ pub fn run_centralized(cfg: &RunConfig) -> String {
 /// Static per-domain scaling bound: the best fixed operating point found
 /// by a per-domain coarse search (what an oracle *static* assignment
 /// achieves, contrasting with dynamic control).
-pub fn run_static(cfg: &RunConfig) -> String {
+pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> String {
     let grid = [0u16, 80, 160, 240, 320];
-    let mut t = Table::new([
-        "Benchmark",
-        "best static (INT/FP/LS idx)",
-        "static EDP",
-        "adaptive EDP",
-    ]);
-    for name in ["adpcm_encode", "gzip", "wupwise", "mpeg2_decode"] {
+    // The greedy search is inherently sequential per benchmark (each
+    // domain's winner feeds the next domain's sweep), so the benchmarks
+    // themselves are the parallel work items.
+    let names = ["adpcm_encode", "gzip", "wupwise", "mpeg2_decode"];
+    let rows = rs.par(names.to_vec(), |name| {
         let spec = registry::by_name(name).expect("registered");
-        let base = run_sim(name, Scheme::Baseline, cfg);
-        // Greedy per-domain search (domains are weakly coupled, Section 3).
-        let mut best = [OpIndex(320); 3];
-        for &d in &DomainId::BACKEND {
-            let mut best_edp = f64::MIN;
-            let mut best_idx = OpIndex(320);
-            for &idx in &grid {
-                let mut points = best;
-                points[d.backend_index()] = OpIndex(idx);
+        let base = rs.baseline(name, cfg);
+        let run_at = |points: [OpIndex; 3]| {
+            rs.run_custom(|| {
                 let mut m = Machine::new(
                     cfg.sim.clone(),
                     TraceGenerator::new(&spec, cfg.ops, cfg.seed),
@@ -191,7 +212,18 @@ pub fn run_static(cfg: &RunConfig) -> String {
                         Box::new(FixedOperatingPoint(points[dd.backend_index()])),
                     );
                 }
-                let edp = m.run().edp_improvement_vs(&base);
+                m.run()
+            })
+        };
+        // Greedy per-domain search (domains are weakly coupled, Section 3).
+        let mut best = [OpIndex(320); 3];
+        for &d in &DomainId::BACKEND {
+            let mut best_edp = f64::MIN;
+            let mut best_idx = OpIndex(320);
+            for &idx in &grid {
+                let mut points = best;
+                points[d.backend_index()] = OpIndex(idx);
+                let edp = run_at(points).edp_improvement_vs(&base);
                 if edp > best_edp {
                     best_edp = edp;
                     best_idx = OpIndex(idx);
@@ -199,21 +231,23 @@ pub fn run_static(cfg: &RunConfig) -> String {
             }
             best[d.backend_index()] = best_idx;
         }
-        let mut m = Machine::new(
-            cfg.sim.clone(),
-            TraceGenerator::new(&spec, cfg.ops, cfg.seed),
-        );
-        for &dd in &DomainId::BACKEND {
-            m = m.with_controller(dd, Box::new(FixedOperatingPoint(best[dd.backend_index()])));
-        }
-        let static_edp = m.run().edp_improvement_vs(&base);
-        let adaptive_edp = run_sim(name, Scheme::Adaptive, cfg).edp_improvement_vs(&base);
-        t.row([
+        let static_edp = run_at(best).edp_improvement_vs(&base);
+        let adaptive_edp = rs.run(name, Scheme::Adaptive, cfg).edp_improvement_vs(&base);
+        [
             name.to_string(),
             format!("{}/{}/{}", best[0].0, best[1].0, best[2].0),
             pct(static_edp),
             pct(adaptive_edp),
-        ]);
+        ]
+    });
+    let mut t = Table::new([
+        "Benchmark",
+        "best static (INT/FP/LS idx)",
+        "static EDP",
+        "adaptive EDP",
+    ]);
+    for row in rows {
+        t.row(row);
     }
     format!(
         "Extension: best static per-domain operating points vs dynamic adaptive control\n\n{}",
@@ -222,11 +256,14 @@ pub fn run_static(cfg: &RunConfig) -> String {
 }
 
 /// Per-domain, per-category energy breakdown: where the savings come from.
-pub fn run_energy_breakdown(cfg: &RunConfig) -> String {
+pub fn run_energy_breakdown(rs: &RunSet, cfg: &RunConfig) -> String {
+    let results = rs.par(vec!["adpcm_encode", "swim"], |name| {
+        let base = rs.baseline(name, cfg);
+        let adap = rs.run(name, Scheme::Adaptive, cfg);
+        (name, base, adap)
+    });
     let mut out = String::from("Extension: per-domain energy breakdown (baseline vs adaptive)\n");
-    for name in ["adpcm_encode", "swim"] {
-        let base = run_sim(name, Scheme::Baseline, cfg);
-        let adap = run_sim(name, Scheme::Adaptive, cfg);
+    for (name, base, adap) in results {
         out.push_str(&format!("\n{name}:\n"));
         let mut t = Table::new([
             "domain",
@@ -266,7 +303,8 @@ mod tests {
 
     #[test]
     fn sync_experiment_lists_all_interfaces() {
-        let out = run_sync(&RunConfig::quick().with_ops(10_000));
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run_sync(&rs, &RunConfig::quick().with_ops(10_000));
         assert!(out.contains("arbitration 300ps"));
         assert!(out.contains("token-ring FIFO"));
         assert!(out.contains("ideal (no sync)"));
@@ -274,13 +312,15 @@ mod tests {
 
     #[test]
     fn centralized_experiment_renders() {
-        let out = run_centralized(&RunConfig::quick().with_ops(10_000));
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run_centralized(&rs, &RunConfig::quick().with_ops(10_000));
         assert!(out.contains("centralized EDP"));
     }
 
     #[test]
     fn energy_breakdown_covers_all_domains() {
-        let out = run_energy_breakdown(&RunConfig::quick().with_ops(10_000));
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run_energy_breakdown(&rs, &RunConfig::quick().with_ops(10_000));
         for d in ["front-end", "INT", "FP", "LS"] {
             assert!(out.contains(d), "missing {d}");
         }

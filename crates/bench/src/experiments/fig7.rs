@@ -9,15 +9,15 @@
 
 use mcd_sim::DomainId;
 
-use crate::runner::{run as run_sim, RunConfig, Scheme};
+use crate::runner::{RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// The decimated frequency series: (instructions ×1000, relative
 /// frequency).
-pub fn series(cfg: &RunConfig) -> Vec<(f64, f64)> {
+pub fn series(rs: &RunSet, cfg: &RunConfig) -> Vec<(f64, f64)> {
     let mut run_cfg = cfg.clone();
     run_cfg.traces = true;
-    let result = run_sim("epic_decode", Scheme::Adaptive, &run_cfg);
+    let result = rs.run("epic_decode", Scheme::Adaptive, &run_cfg);
     let bi = DomainId::Fp.backend_index();
     let freq = &result.metrics.frequency[bi];
     let retired = &result.metrics.retired_trace;
@@ -31,10 +31,10 @@ pub fn series(cfg: &RunConfig) -> Vec<(f64, f64)> {
 
 /// Renders the Figure 7 series over the whole program (one full pass of
 /// epic_decode's phase list, ≈1 M instructions).
-pub fn run(cfg: &RunConfig) -> String {
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
     let spec = mcd_workloads::registry::by_name("epic_decode").expect("known benchmark");
     let cfg = cfg.clone().with_ops(cfg.ops.max(spec.cycle_length()));
-    let pts = series(&cfg);
+    let pts = series(rs, &cfg);
     let mut t = Table::new(["insts (thousands)", "relative frequency", ""]);
     for (k, f) in &pts {
         let bar_len = ((f - 0.2) / 0.8 * 40.0).round().max(0.0) as usize;
@@ -55,7 +55,7 @@ mod tests {
         // Full-length run (1M instructions) is exercised in the
         // integration suite; here a scaled run checks the first dip.
         let cfg = RunConfig::quick().with_ops(250_000);
-        let pts = series(&cfg);
+        let pts = series(&RunSet::new(1), &cfg);
         assert!(!pts.is_empty());
         // Starts at f_max.
         assert!(pts[0].1 > 0.9);

@@ -5,15 +5,15 @@ use mcd_analysis::spectrum::multitaper;
 use mcd_analysis::WorkloadClassifier;
 use mcd_sim::DomainId;
 
-use crate::runner::{run as run_sim, RunConfig, Scheme};
+use crate::runner::{RunConfig, RunSet};
 use crate::table::Table;
 
 /// The log-spaced spectrum series: (wavelength in sampling periods,
 /// variance density in entries²/Hz-equivalent units).
-pub fn series(cfg: &RunConfig) -> Vec<(f64, f64)> {
+pub fn series(rs: &RunSet, cfg: &RunConfig) -> Vec<(f64, f64)> {
     let mut run_cfg = cfg.clone();
     run_cfg.traces = true;
-    let result = run_sim("epic_decode", Scheme::Baseline, &run_cfg);
+    let result = rs.baseline("epic_decode", &run_cfg);
     let occupancy = result
         .metrics
         .occupancy_series(DomainId::Int.backend_index());
@@ -42,8 +42,8 @@ pub fn series(cfg: &RunConfig) -> Vec<(f64, f64)> {
 }
 
 /// Renders the Figure 8 spectrum.
-pub fn run(cfg: &RunConfig) -> String {
-    let pts = series(cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
+    let pts = series(rs, cfg);
     let classifier = WorkloadClassifier::default();
     let max_d = pts.iter().map(|p| p.1).fold(f64::MIN_POSITIVE, f64::max);
     let mut t = Table::new(["wavelength (samples)", "variance density", "", "band"]);
@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn spectrum_series_is_log_spaced_and_positive() {
-        let pts = series(&RunConfig::quick().with_ops(60_000));
+        let pts = series(&RunSet::new(1), &RunConfig::quick().with_ops(60_000));
         assert!(pts.len() > 10);
         for w in pts.windows(2) {
             assert!(w[1].0 > w[0].0, "wavelengths must increase");

@@ -6,28 +6,25 @@
 
 use mcd_workloads::registry;
 
-use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// Per-benchmark adaptive-vs-baseline outcomes.
-pub fn outcomes(cfg: &RunConfig) -> Vec<(&'static str, String, Outcome)> {
-    registry::all()
-        .iter()
-        .map(|spec| {
-            let base = run_sim(spec.name, Scheme::Baseline, cfg);
-            let adaptive = run_sim(spec.name, Scheme::Adaptive, cfg);
-            (
-                spec.name,
-                spec.suite.to_string(),
-                Outcome::versus(&adaptive, &base),
-            )
-        })
-        .collect()
+pub fn outcomes(rs: &RunSet, cfg: &RunConfig) -> Vec<(&'static str, String, Outcome)> {
+    rs.par(registry::all(), |spec| {
+        let base = rs.baseline(spec.name, cfg);
+        let adaptive = rs.run(spec.name, Scheme::Adaptive, cfg);
+        (
+            spec.name,
+            spec.suite.to_string(),
+            Outcome::versus(&adaptive, &base),
+        )
+    })
 }
 
 /// Renders Figure 9.
-pub fn run(cfg: &RunConfig) -> String {
-    let rows = outcomes(cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
+    let rows = outcomes(rs, cfg);
     let mut t = Table::new([
         "Benchmark",
         "Suite",
@@ -76,7 +73,8 @@ mod tests {
 
     #[test]
     fn quick_headline_covers_all_benchmarks() {
-        let rows = outcomes(&RunConfig::quick().with_ops(20_000));
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let rows = outcomes(&rs, &RunConfig::quick().with_ops(20_000));
         assert_eq!(rows.len(), 17);
         for (name, _, o) in &rows {
             assert!(o.energy_savings.is_finite(), "{name}");

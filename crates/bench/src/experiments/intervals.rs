@@ -8,46 +8,56 @@
 
 use mcd_workloads::{registry, VariabilityClass};
 
-use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// The interval lengths swept (instructions).
 pub const INTERVALS: [u64; 5] = [2_500, 5_000, 10_000, 25_000, 100_000];
 
 /// Mean outcomes on the fast group for each PID interval, plus adaptive.
-pub fn sweep(cfg: &RunConfig) -> (Vec<(u64, Outcome)>, Outcome) {
+pub fn sweep(rs: &RunSet, cfg: &RunConfig) -> (Vec<(u64, Outcome)>, Outcome) {
     let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
         .iter()
         .map(|s| s.name)
         .collect();
-    let baselines: Vec<_> = names
-        .iter()
-        .map(|&n| (n, run_sim(n, Scheme::Baseline, cfg)))
-        .collect();
 
-    let mean_for = |scheme: Scheme, cfg: &RunConfig| {
-        let os: Vec<Outcome> = baselines
-            .iter()
-            .map(|(n, b)| Outcome::versus(&run_sim(n, scheme, cfg), b))
-            .collect();
-        Outcome::mean(&os)
-    };
+    // One task per (interval, benchmark) pair, plus the adaptive row.
+    // Every task normalizes against the shared memoized baseline, so the
+    // whole sweep simulates each benchmark's baseline exactly once.
+    let mut tasks: Vec<(Option<u64>, &'static str)> = Vec::new();
+    for &interval in &INTERVALS {
+        for &n in &names {
+            tasks.push((Some(interval), n));
+        }
+    }
+    for &n in &names {
+        tasks.push((None, n));
+    }
+    let outcomes = rs.par(tasks, |(interval, n)| {
+        let base = rs.baseline(n, cfg);
+        match interval {
+            Some(iv) => {
+                let mut c = cfg.clone();
+                c.pid_interval = iv;
+                Outcome::versus(&rs.run(n, Scheme::Pid, &c), &base)
+            }
+            None => Outcome::versus(&rs.run(n, Scheme::Adaptive, cfg), &base),
+        }
+    });
 
+    let per_interval = outcomes.chunks_exact(names.len());
     let pid_rows = INTERVALS
         .iter()
-        .map(|&interval| {
-            let mut c = cfg.clone();
-            c.pid_interval = interval;
-            (interval, mean_for(Scheme::Pid, &c))
-        })
+        .zip(per_interval.clone())
+        .map(|(&interval, os)| (interval, Outcome::mean(os)))
         .collect();
-    let adaptive = mean_for(Scheme::Adaptive, cfg);
+    let adaptive = Outcome::mean(&outcomes[INTERVALS.len() * names.len()..]);
     (pid_rows, adaptive)
 }
 
 /// Renders Table 3.
-pub fn run(cfg: &RunConfig) -> String {
-    let (pid_rows, adaptive) = sweep(cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
+    let (pid_rows, adaptive) = sweep(rs, cfg);
     let mut t = Table::new(["Scheme", "Energy savings", "Perf degradation", "EDP gain"]);
     for (interval, o) in &pid_rows {
         t.row([
@@ -83,7 +93,8 @@ mod tests {
     #[test]
     fn sweep_produces_all_intervals() {
         let cfg = RunConfig::quick().with_ops(15_000);
-        let (rows, adaptive) = sweep(&cfg);
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let (rows, adaptive) = sweep(&rs, &cfg);
         assert_eq!(rows.len(), INTERVALS.len());
         assert!(adaptive.energy_savings.is_finite());
     }

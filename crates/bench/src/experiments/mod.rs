@@ -12,7 +12,7 @@ pub mod stability;
 pub mod table1;
 pub mod table2;
 
-use crate::runner::RunConfig;
+use crate::runner::{RunConfig, RunSet};
 
 /// Every experiment id accepted by the `repro` binary.
 pub const ALL: [&str; 20] = [
@@ -38,33 +38,44 @@ pub const ALL: [&str; 20] = [
     "energy-breakdown",
 ];
 
-/// Runs the experiment named `id` and returns its report.
+/// Runs the experiment named `id` on the process-wide [`RunSet`] and
+/// returns its report.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id (the CLI validates first).
 pub fn run(id: &str, cfg: &RunConfig) -> String {
+    run_on(RunSet::global(), id, cfg)
+}
+
+/// Runs the experiment named `id` on an explicit [`RunSet`] — the entry
+/// point for tests that compare worker counts or isolate caches.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates first).
+pub fn run_on(rs: &RunSet, id: &str, cfg: &RunConfig) -> String {
     match id {
         "table1" => table1::run(cfg),
-        "table2" => table2::run(cfg),
-        "fig7" => fig7::run(cfg),
-        "fig8" => fig8::run(cfg),
-        "fig9" => headline::run(cfg),
-        "fig10" => schemes::run(cfg),
-        "fig11" => schemes::run_fast_group(cfg),
-        "table3" => intervals::run(cfg),
+        "table2" => table2::run(rs, cfg),
+        "fig7" => fig7::run(rs, cfg),
+        "fig8" => fig8::run(rs, cfg),
+        "fig9" => headline::run(rs, cfg),
+        "fig10" => schemes::run(rs, cfg),
+        "fig11" => schemes::run_fast_group(rs, cfg),
+        "table3" => intervals::run(rs, cfg),
         "stability" => stability::run_roots(),
         "overshoot" => stability::run_overshoot(),
         "sampling" => stability::run_sampling(),
         "bandwidth" => stability::run_bandwidth(),
         "hardware" => hardware::run(),
-        "ablate-qref" => ablations::run_qref(cfg),
-        "ablate-step" => ablations::run_step(cfg),
-        "ablate-wavelength" => extensions::run_wavelength(cfg),
-        "ablate-sync" => extensions::run_sync(cfg),
-        "ablate-static" => extensions::run_static(cfg),
-        "ext-centralized" => extensions::run_centralized(cfg),
-        "energy-breakdown" => extensions::run_energy_breakdown(cfg),
+        "ablate-qref" => ablations::run_qref(rs, cfg),
+        "ablate-step" => ablations::run_step(rs, cfg),
+        "ablate-wavelength" => extensions::run_wavelength(rs, cfg),
+        "ablate-sync" => extensions::run_sync(rs, cfg),
+        "ablate-static" => extensions::run_static(rs, cfg),
+        "ext-centralized" => extensions::run_centralized(rs, cfg),
+        "energy-breakdown" => extensions::run_energy_breakdown(rs, cfg),
         other => panic!("unknown experiment id {other}"),
     }
 }

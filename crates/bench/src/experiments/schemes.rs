@@ -4,22 +4,32 @@
 
 use mcd_workloads::{registry, VariabilityClass};
 
-use crate::runner::{pct, run as run_sim, Outcome, RunConfig, Scheme};
+use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// Per-benchmark outcomes for every controlled scheme:
 /// `(name, [adaptive, pid, attack/decay])`.
-pub fn outcomes(cfg: &RunConfig, names: &[&'static str]) -> Vec<(&'static str, [Outcome; 3])> {
+pub fn outcomes(
+    rs: &RunSet,
+    cfg: &RunConfig,
+    names: &[&'static str],
+) -> Vec<(&'static str, [Outcome; 3])> {
+    // One work item per (benchmark, scheme) pair so a slow benchmark's
+    // three runs spread over the pool instead of serializing.
+    let mut tasks = Vec::with_capacity(names.len() * Scheme::CONTROLLED.len());
+    for &name in names {
+        for &scheme in &Scheme::CONTROLLED {
+            tasks.push((name, scheme));
+        }
+    }
+    let results = rs.par(tasks, |(name, scheme)| {
+        let base = rs.baseline(name, cfg);
+        Outcome::versus(&rs.run(name, scheme, cfg), &base)
+    });
     names
         .iter()
-        .map(|&name| {
-            let base = run_sim(name, Scheme::Baseline, cfg);
-            let os: Vec<Outcome> = Scheme::CONTROLLED
-                .iter()
-                .map(|&s| Outcome::versus(&run_sim(name, s, cfg), &base))
-                .collect();
-            (name, [os[0], os[1], os[2]])
-        })
+        .zip(results.chunks_exact(Scheme::CONTROLLED.len()))
+        .map(|(&name, os)| (name, [os[0], os[1], os[2]]))
         .collect()
 }
 
@@ -70,9 +80,9 @@ fn render(title: &str, rows: &[(&'static str, [Outcome; 3])]) -> String {
 }
 
 /// Figure 10: all benchmarks.
-pub fn run(cfg: &RunConfig) -> String {
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
     let names: Vec<&'static str> = registry::all().iter().map(|s| s.name).collect();
-    let rows = outcomes(cfg, &names);
+    let rows = outcomes(rs, cfg, &names);
     render(
         "Figure 10 (reconstructed): EDP improvement by scheme, all benchmarks",
         &rows,
@@ -81,12 +91,12 @@ pub fn run(cfg: &RunConfig) -> String {
 
 /// Figure 11: the fast-varying group only (paper: adaptive ≈8 % better
 /// than PID and ≈3× attack/decay there).
-pub fn run_fast_group(cfg: &RunConfig) -> String {
+pub fn run_fast_group(rs: &RunSet, cfg: &RunConfig) -> String {
     let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
         .iter()
         .map(|s| s.name)
         .collect();
-    let rows = outcomes(cfg, &names);
+    let rows = outcomes(rs, cfg, &names);
     render(
         "Figure 11 (reconstructed): fast-varying group (short-wavelength workloads)",
         &rows,
@@ -100,7 +110,8 @@ mod tests {
     #[test]
     fn outcomes_cover_requested_benchmarks() {
         let cfg = RunConfig::quick().with_ops(15_000);
-        let rows = outcomes(&cfg, &["adpcm_encode", "swim"]);
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let rows = outcomes(&rs, &cfg, &["adpcm_encode", "swim"]);
         assert_eq!(rows.len(), 2);
         let text = render("t", &rows);
         assert!(text.contains("adpcm_encode") && text.contains("swim"));

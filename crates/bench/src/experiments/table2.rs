@@ -12,7 +12,7 @@ use mcd_analysis::WorkloadClassifier;
 use mcd_sim::DomainId;
 use mcd_workloads::registry;
 
-use crate::runner::{run as run_sim, RunConfig, Scheme};
+use crate::runner::{RunConfig, RunSet};
 use crate::table::Table;
 
 /// One classified benchmark row.
@@ -31,35 +31,32 @@ pub struct Row {
 }
 
 /// Classifies every benchmark; returns the rows (used by Figure 11 too).
-pub fn classify_all(cfg: &RunConfig) -> Vec<Row> {
+pub fn classify_all(rs: &RunSet, cfg: &RunConfig) -> Vec<Row> {
     let classifier = WorkloadClassifier::default();
-    registry::all()
-        .iter()
-        .map(|spec| {
-            let mut run_cfg = cfg.clone();
-            run_cfg.traces = true;
-            let result = run_sim(spec.name, Scheme::Baseline, &run_cfg);
-            let fast_variance = DomainId::BACKEND
-                .iter()
-                .map(|d| {
-                    let series = result.metrics.occupancy_series(d.backend_index());
-                    classifier.classify(&series).fast_variance
-                })
-                .fold(0.0f64, f64::max);
-            Row {
-                name: spec.name,
-                suite: spec.suite.to_string(),
-                fast_variance,
-                classified_fast: fast_variance >= classifier.variance_threshold,
-                designed_fast: spec.expected_variability == mcd_workloads::VariabilityClass::Fast,
-            }
-        })
-        .collect()
+    rs.par(registry::all(), |spec| {
+        let mut run_cfg = cfg.clone();
+        run_cfg.traces = true;
+        let result = rs.baseline(spec.name, &run_cfg);
+        let fast_variance = DomainId::BACKEND
+            .iter()
+            .map(|d| {
+                let series = result.metrics.occupancy_series(d.backend_index());
+                classifier.classify(&series).fast_variance
+            })
+            .fold(0.0f64, f64::max);
+        Row {
+            name: spec.name,
+            suite: spec.suite.to_string(),
+            fast_variance,
+            classified_fast: fast_variance >= classifier.variance_threshold,
+            designed_fast: spec.expected_variability == mcd_workloads::VariabilityClass::Fast,
+        }
+    })
 }
 
 /// Renders Table 2.
-pub fn run(cfg: &RunConfig) -> String {
-    let rows = classify_all(cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
+    let rows = classify_all(rs, cfg);
     let mut t = Table::new([
         "Benchmark",
         "Suite",
@@ -97,7 +94,8 @@ mod tests {
     fn classification_covers_all_benchmarks() {
         // Quick config: classification quality is checked in the
         // integration suite with longer runs; here we check plumbing.
-        let rows = classify_all(&RunConfig::quick());
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let rows = classify_all(&rs, &RunConfig::quick());
         assert_eq!(rows.len(), 17);
         assert!(rows.iter().all(|r| r.fast_variance.is_finite()));
     }

@@ -24,8 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 pub mod runner;
 pub mod table;
 
-pub use runner::{RunConfig, Scheme};
+pub use runner::{RunConfig, RunSet, Scheme};
 pub use table::Table;

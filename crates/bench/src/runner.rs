@@ -1,5 +1,9 @@
 //! Shared run plumbing: schemes × benchmarks × configurations.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
 use mcd_baselines::{AttackDecayController, PidConfig, PidController};
 use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
@@ -130,6 +134,151 @@ pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
         }
     }
     machine.run()
+}
+
+/// Counters accumulated by a [`RunSet`] — the raw material for the
+/// machine-readable benchmark report (`repro --bench-out`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Simulations actually executed (cache hits excluded).
+    pub runs: u64,
+    /// Dynamic instructions simulated across those runs.
+    pub instructions: u64,
+    /// Baseline requests answered from the memo cache.
+    pub baseline_hits: u64,
+}
+
+/// A family of simulation runs sharing a worker pool and a memoized
+/// full-speed-baseline cache.
+///
+/// Every figure/table normalizes against the same per-benchmark baseline
+/// run; without memoization `repro all` re-simulates those baselines for
+/// fig9, fig10, fig11, table3, and each ablation. A `RunSet` computes
+/// each distinct baseline once (keyed by everything that can change its
+/// result) and hands out shared copies.
+///
+/// Each simulation stays single-threaded and deterministic; the set
+/// fans independent runs across up to `jobs` threads via
+/// [`RunSet::par`], returning results in input order, so reports are
+/// byte-identical whatever the worker count.
+#[derive(Debug)]
+pub struct RunSet {
+    jobs: usize,
+    baselines: Mutex<HashMap<String, Arc<OnceLock<Arc<SimResult>>>>>,
+    runs: AtomicU64,
+    instructions: AtomicU64,
+    baseline_hits: AtomicU64,
+}
+
+static GLOBAL_RUN_SET: OnceLock<RunSet> = OnceLock::new();
+
+impl RunSet {
+    /// Creates a run set with `jobs` worker threads (1 = fully serial).
+    pub fn new(jobs: usize) -> Self {
+        RunSet {
+            jobs: jobs.max(1),
+            baselines: Mutex::new(HashMap::new()),
+            runs: AtomicU64::new(0),
+            instructions: AtomicU64::new(0),
+            baseline_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide run set used by the `repro` binary, created on
+    /// first use with one worker per available core.
+    pub fn global() -> &'static RunSet {
+        GLOBAL_RUN_SET.get_or_init(|| RunSet::new(crate::parallel::default_jobs()))
+    }
+
+    /// Initializes the process-wide run set with an explicit worker
+    /// count. A no-op if [`RunSet::global`] was already touched — call
+    /// this before any experiment runs (the `repro` binary does so right
+    /// after argument parsing).
+    pub fn init_global(jobs: usize) -> &'static RunSet {
+        GLOBAL_RUN_SET.get_or_init(|| RunSet::new(jobs))
+    }
+
+    /// The worker count this set fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            runs: self.runs.load(Ordering::Relaxed),
+            instructions: self.instructions.load(Ordering::Relaxed),
+            baseline_hits: self.baseline_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, result: SimResult) -> SimResult {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(result.instructions, Ordering::Relaxed);
+        result
+    }
+
+    /// Everything that can change a *baseline* run's result. The
+    /// controller-only knobs (`pid_interval`, `q_ref_scale`) are
+    /// deliberately absent: the baseline attaches no controller, so
+    /// interval and q_ref sweeps all share one baseline per benchmark.
+    fn baseline_key(benchmark: &str, cfg: &RunConfig) -> String {
+        format!(
+            "{benchmark}|{}|{}|{}|{:?}",
+            cfg.ops, cfg.seed, cfg.traces, cfg.sim
+        )
+    }
+
+    /// The full-speed baseline for `benchmark` under `cfg`, memoized.
+    ///
+    /// Concurrent requests for the same key simulate it exactly once
+    /// (later arrivals block on the in-flight computation).
+    pub fn baseline(&self, benchmark: &str, cfg: &RunConfig) -> Arc<SimResult> {
+        let cell = {
+            let mut map = self.baselines.lock().expect("baseline cache poisoned");
+            map.entry(Self::baseline_key(benchmark, cfg))
+                .or_default()
+                .clone()
+        };
+        let mut computed = false;
+        let result = cell
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(self.count(run(benchmark, Scheme::Baseline, cfg)))
+            })
+            .clone();
+        if !computed {
+            self.baseline_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Runs `benchmark` under `scheme`, counting it toward the set's
+    /// statistics. Baseline requests are answered from the memo cache.
+    pub fn run(&self, benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+        if scheme == Scheme::Baseline {
+            return (*self.baseline(benchmark, cfg)).clone();
+        }
+        self.count(run(benchmark, scheme, cfg))
+    }
+
+    /// Runs a caller-built simulation (custom controllers, synthetic
+    /// specs) so it still counts toward the set's statistics.
+    pub fn run_custom(&self, simulate: impl FnOnce() -> SimResult) -> SimResult {
+        self.count(simulate())
+    }
+
+    /// Maps `f` over `items` on this set's worker pool; results are in
+    /// input order (see [`crate::parallel::par_map`]).
+    pub fn par<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        crate::parallel::par_map(self.jobs, items, f)
+    }
 }
 
 /// One benchmark's scheme-vs-baseline outcome.

@@ -1,0 +1,72 @@
+//! The harness's parallelism must be observably free: every simulation is
+//! single-threaded and deterministic, so fanning runs across workers can
+//! change only wall-clock time, never a result. These tests pin that down
+//! to the bit.
+
+use mcd_bench::parallel::par_map;
+use mcd_bench::{RunConfig, RunSet, Scheme};
+
+/// The same (benchmark, scheme) runs through a serial and a 4-worker
+/// `par_map` produce bit-identical simulation results.
+#[test]
+fn parallel_runs_match_serial_runs_bit_for_bit() {
+    let cfg = RunConfig::quick().with_ops(20_000);
+    let tasks: Vec<&str> = vec!["gzip", "swim"];
+    let run_all = |jobs: usize| {
+        par_map(jobs, tasks.clone(), |name| {
+            mcd_bench::runner::run(name, Scheme::Adaptive, &cfg)
+        })
+    };
+    let serial = run_all(1);
+    let parallel = run_all(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (name, (s, p)) in tasks.iter().zip(serial.iter().zip(&parallel)) {
+        assert_eq!(s.sim_time, p.sim_time, "{name}: sim_time diverged");
+        assert_eq!(
+            s.instructions, p.instructions,
+            "{name}: instruction count diverged"
+        );
+        assert_eq!(
+            s.total_energy().as_joules().to_bits(),
+            p.total_energy().as_joules().to_bits(),
+            "{name}: total energy diverged"
+        );
+    }
+}
+
+/// A full experiment report is byte-identical whatever the worker count:
+/// `par_map` returns results in input order, and the baseline memo cache
+/// only changes *when* a baseline is simulated, not its result.
+#[test]
+fn headline_report_is_byte_identical_across_worker_counts() {
+    let cfg = RunConfig::quick().with_ops(10_000);
+    let serial = mcd_bench::experiments::run_on(&RunSet::new(1), "fig9", &cfg);
+    let parallel = mcd_bench::experiments::run_on(&RunSet::new(8), "fig9", &cfg);
+    assert_eq!(serial, parallel);
+}
+
+/// The baseline memo cache answers repeated requests without re-running,
+/// and cached results are shared, not recomputed.
+#[test]
+fn baseline_cache_dedupes_repeat_requests() {
+    let cfg = RunConfig::quick().with_ops(5_000);
+    let rs = RunSet::new(4);
+    let first = rs.baseline("gzip", &cfg);
+    let again = rs.baseline("gzip", &cfg);
+    assert_eq!(first.sim_time, again.sim_time);
+    let stats = rs.stats();
+    assert_eq!(stats.runs, 1, "second request must hit the cache");
+    assert_eq!(stats.baseline_hits, 1);
+
+    // A controller-only knob must not split the cache key...
+    let mut pid_cfg = cfg.clone();
+    pid_cfg.pid_interval *= 2;
+    let _ = rs.baseline("gzip", &pid_cfg);
+    assert_eq!(rs.stats().runs, 1, "pid_interval must not split the key");
+
+    // ...but anything that changes the simulated machine must.
+    let mut traced = cfg.clone();
+    traced.traces = true;
+    let _ = rs.baseline("gzip", &traced);
+    assert_eq!(rs.stats().runs, 2, "traces flag must split the key");
+}

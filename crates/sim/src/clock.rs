@@ -21,6 +21,23 @@ pub struct DomainClock {
     sigma_ps: f64,
     rng: StdRng,
     edges: u64,
+    /// Frequency/voltage/period snapshot, valid while no transition is in
+    /// flight. Domains sit at a steady operating point for almost every
+    /// edge, so this spares the regulator interpolation and unit
+    /// conversions on the simulator's hottest path. Holds exactly the
+    /// values the per-call computation returns (never recomputed through a
+    /// different formula), and is dropped whenever the regulator could be
+    /// retargeted ([`DomainClock::regulator_mut`]).
+    steady: Option<Steady>,
+}
+
+/// Cached steady-state (non-transitioning) clock properties.
+#[derive(Debug, Clone, Copy)]
+struct Steady {
+    freq: Frequency,
+    voltage: Voltage,
+    period_ps: f64,
+    one_cycle: TimePs,
 }
 
 impl DomainClock {
@@ -42,6 +59,38 @@ impl DomainClock {
             sigma_ps,
             rng: StdRng::seed_from_u64(seed),
             edges: 0,
+            steady: None,
+        }
+    }
+
+    /// The cached steady-state snapshot, if valid at `now`; refreshes the
+    /// cache when the regulator has settled.
+    fn steady_at(&mut self, now: TimePs) -> Option<Steady> {
+        if self.regulator.is_transitioning(now) {
+            return None;
+        }
+        if let Some(s) = self.steady {
+            return Some(s);
+        }
+        let freq = self.regulator.frequency_at(now);
+        let period_ps = freq.period_ps();
+        let s = Steady {
+            freq,
+            voltage: self.regulator.voltage_at(now),
+            period_ps,
+            one_cycle: TimePs::ZERO.advance_f64(period_ps),
+        };
+        self.steady = Some(s);
+        Some(s)
+    }
+
+    /// Read-only variant of [`DomainClock::steady_at`] for `&self`
+    /// accessors: uses the cache only if [`DomainClock::tick`] already
+    /// filled it.
+    fn steady_ro(&self, now: TimePs) -> Option<Steady> {
+        match self.steady {
+            Some(s) if !self.regulator.is_transitioning(now) => Some(s),
+            _ => None,
         }
     }
 
@@ -60,19 +109,27 @@ impl DomainClock {
         &self.regulator
     }
 
-    /// Mutable access to the regulator (for DVFS retargeting).
+    /// Mutable access to the regulator (for DVFS retargeting). Drops the
+    /// steady-state cache, since the caller may start a transition.
     pub fn regulator_mut(&mut self) -> &mut Regulator {
+        self.steady = None;
         &mut self.regulator
     }
 
     /// Effective frequency at `now`.
     pub fn frequency_at(&self, now: TimePs) -> Frequency {
-        self.regulator.frequency_at(now)
+        match self.steady_ro(now) {
+            Some(s) => s.freq,
+            None => self.regulator.frequency_at(now),
+        }
     }
 
     /// Supply voltage at `now`.
     pub fn voltage_at(&self, now: TimePs) -> Voltage {
-        self.regulator.voltage_at(now)
+        match self.steady_ro(now) {
+            Some(s) => s.voltage,
+            None => self.regulator.voltage_at(now),
+        }
     }
 
     /// Consumes the pending edge and schedules the next one.
@@ -86,7 +143,11 @@ impl DomainClock {
     pub fn tick(&mut self) -> TimePs {
         let edge = self.next_edge;
         self.edges += 1;
-        let period = self.regulator.frequency_at(edge).period_ps() + self.frac_carry;
+        let nominal = match self.steady_at(edge) {
+            Some(s) => s.period_ps,
+            None => self.regulator.frequency_at(edge).period_ps(),
+        };
+        let period = nominal + self.frac_carry;
         let whole = period.floor();
         self.frac_carry = period - whole;
         let jitter = self.sample_jitter();
@@ -99,8 +160,16 @@ impl DomainClock {
     /// Local cycles that elapse per `duration` at the current frequency
     /// (used to convert latency-in-cycles to absolute times).
     pub fn cycles_to_time(&self, cycles: u32, now: TimePs) -> TimePs {
-        let period = self.regulator.frequency_at(now).period_ps();
-        TimePs::ZERO.advance_f64(period * cycles as f64)
+        match self.steady_ro(now) {
+            // `period * 1.0 == period`, so the cached one-cycle time is
+            // exactly what the computation below rounds to.
+            Some(s) if cycles == 1 => s.one_cycle,
+            Some(s) => TimePs::ZERO.advance_f64(s.period_ps * cycles as f64),
+            None => {
+                let period = self.regulator.frequency_at(now).period_ps();
+                TimePs::ZERO.advance_f64(period * cycles as f64)
+            }
+        }
     }
 
     /// Box–Muller normal sample, clamped to ±3σ.

@@ -1,6 +1,5 @@
 //! The MCD machine: event loop, pipeline stages, and DVFS plumbing.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use mcd_power::{ActivityEvent, DomainEnergyMeter, Energy, EnergyModel, LeakageModel, TimePs};
@@ -17,12 +16,22 @@ use crate::queue::{IqEntry, IssueQueue};
 use crate::regfile::FreeList;
 use crate::result::{DomainResult, SimResult};
 use crate::rob::{Rob, RobEntry};
+use crate::scoreboard::{AddrMap, SeqScoreboard};
 
 /// Where and when an instruction finished executing.
 #[derive(Debug, Clone, Copy)]
 struct Completion {
     at: TimePs,
     domain: DomainId,
+}
+
+impl Default for Completion {
+    fn default() -> Self {
+        Completion {
+            at: TimePs::ZERO,
+            domain: DomainId::FrontEnd,
+        }
+    }
 }
 
 /// A pool of identical functional units, each free again at a known time.
@@ -94,8 +103,16 @@ pub struct Machine<T> {
     iqs: [IssueQueue; 3],
     int_regs: FreeList,
     fp_regs: FreeList,
-    completed: HashMap<u64, Completion>,
-    store_map: HashMap<u64, u64>,
+    // Completion records live from issue to retirement, so the live keys
+    // span at most a ROB's worth of sequence numbers — the window the
+    // ring scoreboard is sized by. The store map is pruned at retirement
+    // (see `retire`), bounding it the same way.
+    completed: SeqScoreboard<Completion>,
+    store_map: AddrMap,
+    // Per-tick scratch reused across calls so the issue loop never
+    // allocates; always left empty between ticks.
+    issue_cand: Vec<(usize, IqEntry)>,
+    issued_idx: Vec<usize>,
 
     int_alus: FuPool,
     int_muls: FuPool,
@@ -167,8 +184,10 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             ],
             int_regs: FreeList::new(cfg.int_regs),
             fp_regs: FreeList::new(cfg.fp_regs),
-            completed: HashMap::new(),
-            store_map: HashMap::new(),
+            completed: SeqScoreboard::new(cfg.rob_size),
+            store_map: AddrMap::new(),
+            issue_cand: Vec::with_capacity(cfg.issue_width as usize),
+            issued_idx: Vec::with_capacity(cfg.issue_width as usize),
             int_alus: FuPool::new(cfg.int_alus),
             int_muls: FuPool::new(cfg.int_muls),
             fp_alus: FuPool::new(cfg.fp_alus),
@@ -260,7 +279,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         if src < self.retired {
             return true; // architecturally committed long ago
         }
-        match self.completed.get(&src) {
+        match self.completed.get(src) {
             None => false,
             Some(c) => {
                 let cross = c.domain != consumer;
@@ -313,61 +332,74 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             return;
         }
 
-        // Select ready entries in age order, bounded by issue width.
-        let width = self.cfg.issue_width as usize;
-        let mut candidates: Vec<usize> = Vec::with_capacity(width);
-        for (i, e) in self.iqs[bi].iter().enumerate() {
-            if candidates.len() >= width {
-                break;
+        // Idle fast path: with nothing queued there is nothing to select
+        // or issue — only the cycle-energy accounting below still applies
+        // (units can stay busy from earlier multi-cycle issues).
+        if !self.iqs[bi].is_empty() {
+            // Select ready entries in age order, bounded by issue width.
+            // The single scan records each candidate's index *and* a copy
+            // of the entry, so the issue loop below never re-walks the
+            // queue (previously an O(width × occupancy) `iter().nth`
+            // per candidate). The scratch vectors are reused across
+            // ticks to keep this loop allocation-free.
+            let width = self.cfg.issue_width as usize;
+            let mut candidates = std::mem::take(&mut self.issue_cand);
+            for (i, e) in self.iqs[bi].iter().enumerate() {
+                if candidates.len() >= width {
+                    break;
+                }
+                if self.entry_ready(e, edge, d) {
+                    candidates.push((i, *e));
+                }
             }
-            if self.entry_ready(e, edge, d) {
-                candidates.push(i);
+
+            // Try to claim functional units and compute completion times.
+            let mut issued = std::mem::take(&mut self.issued_idx);
+            for &(idx, entry) in &candidates {
+                let op = entry.op;
+                let (lat, pipelined) = latency_cycles(op.class);
+                let lat_time = self.clocks[di].cycles_to_time(lat, edge);
+                let one_cycle = self.clocks[di].cycles_to_time(1, edge);
+
+                let (pool, completion): (&mut FuPool, TimePs) = match op.class {
+                    OpClass::IntAlu | OpClass::Branch => (&mut self.int_alus, edge + lat_time),
+                    OpClass::IntMul => (&mut self.int_muls, edge + lat_time),
+                    OpClass::FpAlu => (&mut self.fp_alus, edge + lat_time),
+                    OpClass::FpMul | OpClass::FpDiv => (&mut self.fp_muls, edge + lat_time),
+                    OpClass::Load | OpClass::Store => (&mut self.ls_ports, edge + lat_time),
+                };
+                let busy_until = if pipelined {
+                    edge + one_cycle
+                } else {
+                    completion
+                };
+                if !pool.try_issue(edge, busy_until) {
+                    continue; // structural hazard; try younger ops
+                }
+
+                // Memory ops get their real completion from the hierarchy.
+                let completion = if op.class.is_mem() {
+                    self.execute_mem(&op, edge, v)
+                } else {
+                    self.charge_exec_energy(op.class, di, v);
+                    completion
+                };
+                self.meters[di].charge_event(ActivityEvent::Issue, v);
+                self.completed.insert(
+                    op.seq,
+                    Completion {
+                        at: completion,
+                        domain: d,
+                    },
+                );
+                issued.push(idx);
             }
+            self.iqs[bi].remove_issued(&issued);
+            candidates.clear();
+            issued.clear();
+            self.issue_cand = candidates;
+            self.issued_idx = issued;
         }
-
-        // Try to claim functional units and compute completion times.
-        let mut issued: Vec<usize> = Vec::with_capacity(candidates.len());
-        for &idx in &candidates {
-            let entry = *self.iqs[bi].iter().nth(idx).expect("candidate index valid");
-            let op = entry.op;
-            let (lat, pipelined) = latency_cycles(op.class);
-            let lat_time = self.clocks[di].cycles_to_time(lat, edge);
-            let one_cycle = self.clocks[di].cycles_to_time(1, edge);
-
-            let (pool, completion): (&mut FuPool, TimePs) = match op.class {
-                OpClass::IntAlu | OpClass::Branch => (&mut self.int_alus, edge + lat_time),
-                OpClass::IntMul => (&mut self.int_muls, edge + lat_time),
-                OpClass::FpAlu => (&mut self.fp_alus, edge + lat_time),
-                OpClass::FpMul | OpClass::FpDiv => (&mut self.fp_muls, edge + lat_time),
-                OpClass::Load | OpClass::Store => (&mut self.ls_ports, edge + lat_time),
-            };
-            let busy_until = if pipelined {
-                edge + one_cycle
-            } else {
-                completion
-            };
-            if !pool.try_issue(edge, busy_until) {
-                continue; // structural hazard; try younger ops
-            }
-
-            // Memory ops get their real completion from the hierarchy.
-            let completion = if op.class.is_mem() {
-                self.execute_mem(&op, edge, v)
-            } else {
-                self.charge_exec_energy(op.class, di, v);
-                completion
-            };
-            self.meters[di].charge_event(ActivityEvent::Issue, v);
-            self.completed.insert(
-                op.seq,
-                Completion {
-                    at: completion,
-                    domain: d,
-                },
-            );
-            issued.push(idx);
-        }
-        self.iqs[bi].remove_issued(&issued);
 
         // Cycle energy at the fraction of busy units.
         let (busy, total) = match d {
@@ -475,7 +507,16 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             } else if entry.holds_fp_reg() {
                 self.fp_regs.release();
             }
-            self.completed.remove(&seq);
+            self.completed.remove(seq);
+            // A committing store leaves the in-flight window: drop its
+            // store-map entry (unless a younger store already took over
+            // the address) so the map tracks the pipeline, not the whole
+            // address footprint. Observably free: a load depending on a
+            // retired store sees `seq < retired` and is ready instantly,
+            // exactly as if the entry were still present.
+            if let Some(addr) = entry.addr {
+                self.store_map.remove_if(addr, seq);
+            }
             self.retired += 1;
             retired_now += 1;
             self.meters[DomainId::FrontEnd.index()].charge_event(ActivityEvent::Commit, v);
@@ -584,11 +625,12 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             self.rob.push(RobEntry {
                 seq: op.seq,
                 class: op.class,
+                addr: (op.class == OpClass::Store).then(|| op.addr).flatten(),
             });
             let mem_dep = match op.class {
                 OpClass::Load => op
                     .addr
-                    .and_then(|a| self.store_map.get(&a).copied())
+                    .and_then(|a| self.store_map.get(a))
                     .filter(|&s| s < op.seq),
                 _ => None,
             };

@@ -49,6 +49,7 @@ pub mod queue;
 pub mod regfile;
 pub mod result;
 pub mod rob;
+pub mod scoreboard;
 
 pub use clock::DomainClock;
 pub use config::{DomainId, SimConfig, SyncModel};

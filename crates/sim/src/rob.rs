@@ -11,6 +11,9 @@ pub struct RobEntry {
     pub seq: u64,
     /// Operation class (decides which register pool it holds).
     pub class: OpClass,
+    /// Data address for stores, so retirement can prune the engine's
+    /// store-forwarding map; `None` for everything else.
+    pub addr: Option<u64>,
 }
 
 impl RobEntry {
@@ -97,6 +100,7 @@ mod tests {
             rob.push(RobEntry {
                 seq: i,
                 class: OpClass::IntAlu,
+                addr: None,
             });
         }
         assert_eq!(rob.head().map(|e| e.seq), Some(0));
@@ -112,10 +116,12 @@ mod tests {
         rob.push(RobEntry {
             seq: 0,
             class: OpClass::Load,
+            addr: None,
         });
         rob.push(RobEntry {
             seq: 1,
             class: OpClass::Store,
+            addr: None,
         });
         assert!(rob.is_full());
     }
@@ -125,22 +131,27 @@ mod tests {
         let int = RobEntry {
             seq: 0,
             class: OpClass::IntAlu,
+            addr: None,
         };
         let fp = RobEntry {
             seq: 1,
             class: OpClass::FpMul,
+            addr: None,
         };
         let ld = RobEntry {
             seq: 2,
             class: OpClass::Load,
+            addr: None,
         };
         let st = RobEntry {
             seq: 3,
             class: OpClass::Store,
+            addr: None,
         };
         let br = RobEntry {
             seq: 4,
             class: OpClass::Branch,
+            addr: None,
         };
         assert!(int.holds_int_reg() && !int.holds_fp_reg());
         assert!(fp.holds_fp_reg() && !fp.holds_int_reg());
@@ -156,10 +167,12 @@ mod tests {
         rob.push(RobEntry {
             seq: 0,
             class: OpClass::IntAlu,
+            addr: None,
         });
         rob.push(RobEntry {
             seq: 1,
             class: OpClass::IntAlu,
+            addr: None,
         });
     }
 

@@ -2,7 +2,7 @@
 //! moderate run lengths (the full-size numbers live in EXPERIMENTS.md).
 
 use mcd_bench::experiments::{fig7, table2};
-use mcd_bench::runner::{run, Outcome, RunConfig, Scheme};
+use mcd_bench::runner::{run, Outcome, RunConfig, RunSet, Scheme};
 use mcd_workloads::registry;
 
 /// Figure 7's shape: under adaptive DVFS, epic_decode's FP domain drops to
@@ -12,7 +12,7 @@ use mcd_workloads::registry;
 fn fig7_fp_frequency_trace_has_the_paper_shape() {
     let spec = registry::by_name("epic_decode").expect("known benchmark");
     let cfg = RunConfig::full().with_ops(spec.cycle_length());
-    let pts = fig7::series(&cfg);
+    let pts = fig7::series(RunSet::global(), &cfg);
     assert!(pts.len() > 50);
 
     let value_at = |kilo_insts: f64| -> f64 {
@@ -90,7 +90,7 @@ fn headline_savings_land_in_the_papers_ballpark() {
 #[test]
 fn spectral_classification_matches_designed_classes() {
     let cfg = RunConfig::full().with_ops(300_000);
-    let rows = table2::classify_all(&cfg);
+    let rows = table2::classify_all(RunSet::global(), &cfg);
     let agree = rows
         .iter()
         .filter(|r| r.classified_fast == r.designed_fast)

@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace points
+//! `criterion = "0.5"` at this minimal timing harness implementing the
+//! subset the benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Reporting is plain text (median of the sample runs, plus throughput
+//! when declared). Passing `--test` (as `cargo test --benches` does) runs
+//! every closure exactly once for a smoke check. No statistics machinery,
+//! no HTML reports, no baselines-on-disk.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
+        // One warmup iteration, then timed samples.
+        black_box(body());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(body());
+            self.measured.push(t0.elapsed());
+        }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Registers a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(&id.into().label, sample_size, test_mode, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(
+            &label,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is immediate; nothing is buffered).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    test_mode: bool,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        test_mode,
+        measured: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    if bencher.measured.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    bencher.measured.sort();
+    let median = bencher.measured[bencher.measured.len() / 2];
+    let line = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!(
+                "{label}: median {} ({:.3} Melem/s)",
+                fmt_duration(median),
+                per_sec / 1e6
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!(
+                "{label}: median {} ({:.3} MiB/s)",
+                fmt_duration(median),
+                per_sec / (1024.0 * 1024.0)
+            )
+        }
+        None => format!("{label}: median {}", fmt_duration(median)),
+    };
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(100));
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("f", 1), &41u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                black_box(x + 1)
+            })
+        });
+        group.finish();
+        assert!(runs >= 3, "warmup + samples should run, got {runs}");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 1024).label, "fft/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}
