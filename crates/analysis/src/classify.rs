@@ -83,7 +83,7 @@ mod tests {
     fn square(n: usize, period: usize, low: f64, high: f64) -> Vec<f64> {
         (0..n)
             .map(|i| {
-                if (i / (period / 2)) % 2 == 0 {
+                if (i / (period / 2)).is_multiple_of(2) {
                     high
                 } else {
                     low

@@ -44,7 +44,7 @@ impl Mat2 {
     };
 
     /// Matrix product `self · rhs`.
-    pub fn mul(self, rhs: Mat2) -> Mat2 {
+    pub fn matmul(self, rhs: Mat2) -> Mat2 {
         Mat2 {
             a: self.a * rhs.a + self.b * rhs.c,
             b: self.a * rhs.b + self.b * rhs.d,
@@ -120,13 +120,13 @@ impl Mat2 {
         let mut term = Mat2::IDENTITY;
         let mut sum = Mat2::IDENTITY;
         for k in 1..=12 {
-            term = term.mul(scaled).scaled(1.0 / k as f64);
+            term = term.matmul(scaled).scaled(1.0 / k as f64);
             sum = sum.plus(term);
         }
         // Square back up.
         let mut result = sum;
         for _ in 0..squarings {
-            result = result.mul(result);
+            result = result.matmul(result);
         }
         result
     }
@@ -199,7 +199,7 @@ mod tests {
             d: 4.0,
         };
         let i = Mat2::IDENTITY;
-        assert_eq!(m.mul(i), m);
+        assert_eq!(m.matmul(i), m);
         assert_eq!(m.trace(), 5.0);
         assert_eq!(m.det(), -2.0);
         let s = m.scaled(2.0);

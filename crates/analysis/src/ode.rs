@@ -222,7 +222,7 @@ mod tests {
         };
         // Violent square-wave load.
         let traj = m.simulate(init, 0.05, 100_000, |t| {
-            if (t / 50.0) as u64 % 2 == 0 {
+            if ((t / 50.0) as u64).is_multiple_of(2) {
                 4.0
             } else {
                 0.05

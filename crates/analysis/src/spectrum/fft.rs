@@ -34,7 +34,7 @@ fn transform(re: &mut [f64], im: &mut [f64], inverse: bool) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             re.swap(i, j);
             im.swap(i, j);

@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn wavelength_and_frequency_invert() {
-        let s = periodogram(&vec![1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0]);
+        let s = periodogram(&[1.0, 2.0, 3.0, 2.0, 1.0, 2.0, 3.0, 2.0]);
         assert_eq!(s.wavelength(0), f64::INFINITY);
         let k = 2;
         assert!((s.wavelength(k) * s.frequency(k) - 1.0).abs() < 1e-12);

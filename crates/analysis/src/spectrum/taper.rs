@@ -45,8 +45,8 @@ pub fn multitaper(x: &[f64], k_tapers: usize) -> Spectrum {
         // Orthonormal taper ⇒ Σ_f |X|²·df = Σ_t (x·w)² ≈ var(x).
         let power = |i: usize| re[i] * re[i] + im[i] * im[i];
         acc[0] += power(0);
-        for i in 1..half {
-            acc[i] += power(i) + power(m - i);
+        for (i, a) in acc.iter_mut().enumerate().take(half).skip(1) {
+            *a += power(i) + power(m - i);
         }
         acc[half] += power(half);
     }

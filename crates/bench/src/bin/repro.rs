@@ -1,8 +1,9 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--ops N] [--quick] [--seed S] [--jobs N] [--out DIR] [--bench-out FILE]
-//! repro all [--ops N] [--jobs N] [--out DIR] [--bench-out FILE]
+//! repro <experiment> [--ops N] [--quick] [--seed S] [--jobs N] [--out DIR]
+//!                    [--bench-out FILE] [--trace-out FILE]
+//! repro all [--ops N] [--jobs N] [--out DIR] [--bench-out FILE] [--trace-out FILE]
 //! repro list
 //! ```
 //!
@@ -13,27 +14,37 @@
 //!
 //! With `--out DIR`, each experiment's report is also written to
 //! `DIR/<experiment>.txt`. With `--bench-out FILE`, a machine-readable
-//! JSON record of per-experiment wall-clock time and simulation
-//! throughput is written to `FILE`.
+//! JSON record of per-experiment wall-clock time, simulation throughput
+//! and aggregate controller activity is written to `FILE` (and a
+//! human-readable controller-activity table is appended to stdout).
+//! With `--trace-out FILE`, every controller decision in every
+//! simulation is written to `FILE` as JSON lines, one event per line,
+//! tagged with the run that produced it.
 
+use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mcd_bench::experiments;
-use mcd_bench::runner::{RunConfig, RunSet};
+use mcd_bench::runner::{ControllerActivity, RunConfig, RunSet};
+use mcd_bench::table::Table;
 
 fn usage() -> String {
     format!(
         "usage: repro <experiment|all|list> [--ops N] [--quick] [--seed S] [--jobs N] \
-         [--out DIR] [--bench-out FILE]\n\
+         [--out DIR] [--bench-out FILE] [--trace-out FILE]\n\
          experiments: {}",
         experiments::ALL.join(", ")
     )
 }
 
+/// Backend-domain display names, indexed like [`ControllerActivity`].
+const DOMAINS: [&str; 3] = ["INT", "FP", "LS"];
+
 /// One experiment's timing record for the `--bench-out` report.
 struct BenchRecord {
     id: &'static str,
+    kind: experiments::Kind,
     wall_s: f64,
     runs: u64,
     instructions: u64,
@@ -51,9 +62,10 @@ impl BenchRecord {
 
     fn to_json(&self) -> String {
         format!(
-            "    {{\"experiment\": \"{}\", \"wall_s\": {:.3}, \"runs\": {}, \
+            "    {{\"experiment\": \"{}\", \"kind\": \"{}\", \"wall_s\": {:.3}, \"runs\": {}, \
              \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {:.2}}}",
             self.id,
+            self.kind.label(),
             self.wall_s,
             self.runs,
             self.instructions,
@@ -63,12 +75,95 @@ impl BenchRecord {
     }
 }
 
-fn bench_report(jobs: usize, total_wall_s: f64, records: &[BenchRecord]) -> String {
+/// Formats an optional float as JSON (`null` when absent).
+fn json_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v:.3}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn activity_json(a: &ControllerActivity) -> String {
+    let per_domain: Vec<String> = (0..3)
+        .map(|i| {
+            format!(
+                "    {{\"domain\": \"{}\", \"relay_arms\": {}, \"relay_fires\": {}, \
+                 \"relay_resets\": {}, \"freq_steps_up\": {}, \"freq_steps_down\": {}, \
+                 \"mean_reaction_ns\": {}, \"sync_enqueues\": {}, \"fmin_cycles\": {}, \
+                 \"fmax_cycles\": {}, \"transition_time_ps\": {}}}",
+                DOMAINS[i],
+                a.relay_arms[i],
+                a.relay_fires[i],
+                a.relay_resets[i],
+                a.freq_steps_up[i],
+                a.freq_steps_down[i],
+                json_opt(a.mean_reaction_time_ns(i)),
+                a.sync_enqueues[i],
+                a.fmin_cycles[i],
+                a.fmax_cycles[i],
+                a.transition_time_ps[i],
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", per_domain.join(",\n"))
+}
+
+/// Renders the human-readable controller-activity summary (printed to
+/// stdout only when `--bench-out` is given).
+fn activity_table(a: &ControllerActivity) -> String {
+    let mut t = Table::new([
+        "domain",
+        "relay arms",
+        "fires",
+        "resets",
+        "steps up",
+        "steps down",
+        "mean reaction",
+        "sync stalls",
+        "slew time",
+    ]);
+    for (i, domain) in DOMAINS.iter().enumerate() {
+        let reaction = match a.mean_reaction_time_ns(i) {
+            Some(ns) => format!("{ns:.1} ns"),
+            None => "-".to_string(),
+        };
+        t.row([
+            domain.to_string(),
+            a.relay_arms[i].to_string(),
+            a.relay_fires[i].to_string(),
+            a.relay_resets[i].to_string(),
+            a.freq_steps_up[i].to_string(),
+            a.freq_steps_down[i].to_string(),
+            reaction,
+            a.sync_enqueues[i].to_string(),
+            format!("{:.1} us", a.transition_time_ps[i] as f64 / 1e6),
+        ]);
+    }
+    format!(
+        "Controller activity (aggregate over all simulations):\n\n{}",
+        t.render()
+    )
+}
+
+fn bench_report(
+    jobs: usize,
+    total_wall_s: f64,
+    records: &[BenchRecord],
+    activity: &ControllerActivity,
+) -> String {
     let runs: u64 = records.iter().map(|r| r.runs).sum();
     let instructions: u64 = records.iter().map(|r| r.instructions).sum();
     let hits: u64 = records.iter().map(|r| r.baseline_hits).sum();
-    let mips = if total_wall_s > 0.0 {
-        instructions as f64 / total_wall_s / 1e6
+    // Aggregate throughput is meaningful only over the experiments that
+    // actually simulate; analysis experiments contribute zero
+    // instructions in epsilon wall-clock and would only add noise.
+    let sim_wall_s: f64 = records
+        .iter()
+        .filter(|r| r.kind == experiments::Kind::Simulation)
+        .map(|r| r.wall_s)
+        .sum();
+    let mips = if sim_wall_s > 0.0 {
+        instructions as f64 / sim_wall_s / 1e6
     } else {
         0.0
     };
@@ -77,9 +172,44 @@ fn bench_report(jobs: usize, total_wall_s: f64, records: &[BenchRecord]) -> Stri
         "{{\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_wall_s:.3},\n  \
          \"total_runs\": {runs},\n  \"total_instructions\": {instructions},\n  \
          \"total_baseline_cache_hits\": {hits},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
+         \"controller_activity\": {},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
+        activity_json(activity),
         body.join(",\n")
     )
+}
+
+/// Escapes a run label for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes collected event traces as JSON lines: one event per line,
+/// each tagged with the run label that produced it.
+fn write_traces(
+    path: &std::path::Path,
+    traces: &[(String, Vec<mcd_sim::TraceEvent>)],
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for (label, events) in traces {
+        let run = json_escape(label);
+        for ev in events {
+            let body = ev.to_json();
+            // Splice the run tag into the event object: {"run":"...",...}.
+            writeln!(w, "{{\"run\": \"{run}\", {}", &body[1..])?;
+        }
+    }
+    w.flush()
 }
 
 fn main() -> ExitCode {
@@ -103,6 +233,7 @@ fn main() -> ExitCode {
     let mut cfg = RunConfig::full();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut bench_out: Option<std::path::PathBuf> = None;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut jobs = mcd_bench::parallel::default_jobs();
     let mut i = 1;
     while i < args.len() {
@@ -123,6 +254,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 bench_out = Some(std::path::PathBuf::from(file));
+            }
+            "--trace-out" => {
+                i += 1;
+                let Some(file) = args.get(i) else {
+                    eprintln!("--trace-out needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                trace_out = Some(std::path::PathBuf::from(file));
             }
             "--jobs" => {
                 i += 1;
@@ -176,7 +315,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let rs = RunSet::init_global(jobs);
+    let rs = RunSet::init_global(jobs, trace_out.is_some());
     let mut records = Vec::with_capacity(ids.len());
     let all_start = Instant::now();
     for (n, id) in ids.iter().enumerate() {
@@ -190,6 +329,7 @@ fn main() -> ExitCode {
         let after = rs.stats();
         records.push(BenchRecord {
             id,
+            kind: experiments::kind(id),
             wall_s,
             runs: after.runs - before.runs,
             instructions: after.instructions - before.instructions,
@@ -204,6 +344,13 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &trace_out {
+        let traces = rs.drain_traces().unwrap_or_default();
+        if let Err(e) = write_traces(path, &traces) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(path) = &bench_out {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -213,7 +360,15 @@ fn main() -> ExitCode {
                 }
             }
         }
-        let json = bench_report(rs.jobs(), all_start.elapsed().as_secs_f64(), &records);
+        let activity = rs.activity();
+        println!("\n{}\n", "=".repeat(78));
+        println!("{}", activity_table(&activity));
+        let json = bench_report(
+            rs.jobs(),
+            all_start.elapsed().as_secs_f64(),
+            &records,
+            &activity,
+        );
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;

@@ -87,7 +87,11 @@ pub fn run_step(rs: &RunSet, cfg: &RunConfig) -> String {
                 .with_delays(50.0 * step as f64, 8.0 * step as f64);
             m = m.with_controller(d, Box::new(AdaptiveDvfsController::new(acfg)));
         }
-        Outcome::versus(&rs.run_custom(|| m.run()), &base)
+        let label = format!(
+            "ablate-step|{n}|style={style:?}|step={step}|ops={}|seed={}",
+            c.ops, c.seed
+        );
+        Outcome::versus(&rs.run_custom(&label, |sink| m.run_traced(sink)), &base)
     });
 
     let mut t = Table::new([

@@ -12,7 +12,12 @@ use crate::runner::{controller_for, pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// Runs a spec (not necessarily registered) under a scheme.
-fn run_spec(spec: &mcd_workloads::BenchmarkSpec, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+fn run_spec(
+    spec: &mcd_workloads::BenchmarkSpec,
+    scheme: Scheme,
+    cfg: &RunConfig,
+    sink: &mut dyn mcd_sim::TraceSink,
+) -> SimResult {
     let mut machine = Machine::new(
         cfg.sim.clone(),
         TraceGenerator::new(spec, cfg.ops, cfg.seed),
@@ -22,7 +27,7 @@ fn run_spec(spec: &mcd_workloads::BenchmarkSpec, scheme: Scheme, cfg: &RunConfig
             machine = machine.with_controller(d, c);
         }
     }
-    machine.run()
+    machine.run_traced(sink)
 }
 
 /// Wavelength sweep: how each scheme's EDP gain depends on the workload's
@@ -32,9 +37,7 @@ fn run_spec(spec: &mcd_workloads::BenchmarkSpec, scheme: Scheme, cfg: &RunConfig
 /// adaptive advantage concentrates where the wavelength is comparable to
 /// (or shorter than) the fixed interval.
 pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> String {
-    const PERIODS: [u64; 7] = [
-        5_000, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000,
-    ];
+    const PERIODS: [u64; 7] = [5_000, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000];
     // Synthetic specs are not registry-backed, so the baseline memo cache
     // does not apply; each period is one work item running its own
     // baseline plus the three controlled schemes.
@@ -43,9 +46,20 @@ pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> String {
         let ops = cfg.ops.max(period * 3); // at least three full periods
         let mut c = cfg.clone();
         c.ops = ops;
-        let base = rs.run_custom(|| run_spec(&spec, Scheme::Baseline, &c));
+        let label = |scheme: Scheme| {
+            format!(
+                "wavelength|{period}|{}|ops={}|seed={}",
+                scheme.name(),
+                c.ops,
+                c.seed
+            )
+        };
+        let base = rs.run_custom(&label(Scheme::Baseline), |sink| {
+            run_spec(&spec, Scheme::Baseline, &c, sink)
+        });
         let edp = |scheme| {
-            Outcome::versus(&rs.run_custom(|| run_spec(&spec, scheme, &c)), &base).edp_improvement
+            let run = rs.run_custom(&label(scheme), |sink| run_spec(&spec, scheme, &c, sink));
+            Outcome::versus(&run, &base).edp_improvement
         };
         (
             period,
@@ -142,13 +156,14 @@ pub fn run_centralized(rs: &RunSet, cfg: &RunConfig) -> String {
         let spec = registry::by_name(name).expect("registered");
         let base = rs.baseline(name, cfg);
         let dec = Outcome::versus(&rs.run(name, Scheme::Adaptive, cfg), &base);
-        let cen_result = rs.run_custom(|| {
+        let label = format!("centralized|{name}|ops={}|seed={}", cfg.ops, cfg.seed);
+        let cen_result = rs.run_custom(&label, |sink| {
             Machine::new(
                 cfg.sim.clone(),
                 TraceGenerator::new(&spec, cfg.ops, cfg.seed),
             )
             .with_controllers(coordinated_controllers())
-            .run()
+            .run_traced(sink)
         });
         let cen = Outcome::versus(&cen_result, &base);
         (name, dec, cen)
@@ -201,7 +216,11 @@ pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> String {
         let spec = registry::by_name(name).expect("registered");
         let base = rs.baseline(name, cfg);
         let run_at = |points: [OpIndex; 3]| {
-            rs.run_custom(|| {
+            let label = format!(
+                "static|{name}|{}/{}/{}|ops={}|seed={}",
+                points[0].0, points[1].0, points[2].0, cfg.ops, cfg.seed
+            );
+            rs.run_custom(&label, |sink| {
                 let mut m = Machine::new(
                     cfg.sim.clone(),
                     TraceGenerator::new(&spec, cfg.ops, cfg.seed),
@@ -212,7 +231,7 @@ pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> String {
                         Box::new(FixedOperatingPoint(points[dd.backend_index()])),
                     );
                 }
-                m.run()
+                m.run_traced(sink)
             })
         };
         // Greedy per-domain search (domains are weakly coupled, Section 3).
@@ -232,7 +251,9 @@ pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> String {
             best[d.backend_index()] = best_idx;
         }
         let static_edp = run_at(best).edp_improvement_vs(&base);
-        let adaptive_edp = rs.run(name, Scheme::Adaptive, cfg).edp_improvement_vs(&base);
+        let adaptive_edp = rs
+            .run(name, Scheme::Adaptive, cfg)
+            .edp_improvement_vs(&base);
         [
             name.to_string(),
             format!("{}/{}/{}", best[0].0, best[1].0, best[2].0),

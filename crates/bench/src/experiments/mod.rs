@@ -38,6 +38,45 @@ pub const ALL: [&str; 20] = [
     "energy-breakdown",
 ];
 
+/// What an experiment does with the machine: drives cycle-level
+/// simulations, or evaluates closed-form / tabulated analysis only.
+///
+/// The benchmark-regression gate keys off this: analysis experiments run
+/// zero simulations, so their throughput numbers are meaningless and
+/// their wall-clock is pure formatting noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Runs cycle-level simulations on the [`RunSet`].
+    Simulation,
+    /// Closed-form or tabulated analysis; no simulations.
+    Analysis,
+}
+
+impl Kind {
+    /// Lower-case label used in the bench JSON record.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Simulation => "simulation",
+            Kind::Analysis => "analysis",
+        }
+    }
+}
+
+/// Classifies an experiment id (see [`Kind`]).
+///
+/// # Panics
+///
+/// Panics on an unknown id (the CLI validates first).
+pub fn kind(id: &str) -> Kind {
+    match id {
+        "table1" | "stability" | "overshoot" | "sampling" | "bandwidth" | "hardware" => {
+            Kind::Analysis
+        }
+        other if ALL.contains(&other) => Kind::Simulation,
+        other => panic!("unknown experiment id {other}"),
+    }
+}
+
 /// Runs the experiment named `id` on the process-wide [`RunSet`] and
 /// returns its report.
 ///

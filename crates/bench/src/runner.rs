@@ -6,6 +6,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
 use mcd_baselines::{AttackDecayController, PidConfig, PidController};
+use mcd_sim::metrics::Metrics;
+use mcd_sim::trace::{NullSink, TraceEvent, TraceSink, VecSink};
 use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
 use mcd_workloads::{registry, TraceGenerator};
 
@@ -120,6 +122,21 @@ pub fn controller_for(
 ///
 /// Panics if `benchmark` is not in the registry.
 pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+    run_traced(benchmark, scheme, cfg, &mut NullSink)
+}
+
+/// Runs `benchmark` under `scheme`, streaming observability events into
+/// `sink`. Bit-identical to [`run`] for any sink.
+///
+/// # Panics
+///
+/// Panics if `benchmark` is not in the registry.
+pub fn run_traced(
+    benchmark: &str,
+    scheme: Scheme,
+    cfg: &RunConfig,
+    sink: &mut dyn TraceSink,
+) -> SimResult {
     let spec =
         registry::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
     let mut sim = cfg.sim.clone();
@@ -133,7 +150,7 @@ pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
             machine = machine.with_controller(d, c);
         }
     }
-    machine.run()
+    machine.run_traced(sink)
 }
 
 /// Counters accumulated by a [`RunSet`] — the raw material for the
@@ -147,6 +164,78 @@ pub struct RunStats {
     /// Baseline requests answered from the memo cache.
     pub baseline_hits: u64,
 }
+
+/// Controller-activity counters aggregated over every simulation a
+/// [`RunSet`] executed, per backend domain (0 = INT, 1 = FP, 2 = LS).
+///
+/// This is the run-level summary of the observability layer: how often
+/// the time-delay relays fired, how many frequency steps resulted, and —
+/// the paper's central quantity — the mean reaction time from deviation
+/// onset to the first answering frequency step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerActivity {
+    /// Time-delay relay arms.
+    pub relay_arms: [u64; 3],
+    /// Time-delay relay firings.
+    pub relay_fires: [u64; 3],
+    /// Time-delay relay resets (noise filtered, flipped, cancelled or
+    /// acted).
+    pub relay_resets: [u64; 3],
+    /// Upward frequency steps issued.
+    pub freq_steps_up: [u64; 3],
+    /// Downward frequency steps issued.
+    pub freq_steps_down: [u64; 3],
+    /// Sum of deviation-onset→frequency-step reaction times, ps.
+    pub reaction_sum_ps: [u64; 3],
+    /// Reaction times accumulated.
+    pub reaction_count: [u64; 3],
+    /// Enqueues delayed past the consumer's next edge by the
+    /// synchronization window.
+    pub sync_enqueues: [u64; 3],
+    /// Local cycles settled at the minimum operating point.
+    pub fmin_cycles: [u64; 3],
+    /// Local cycles settled at the maximum operating point.
+    pub fmax_cycles: [u64; 3],
+    /// Regulator slew time, ps.
+    pub transition_time_ps: [u64; 3],
+}
+
+impl ControllerActivity {
+    /// Folds one finished run's metrics into the aggregate.
+    pub fn absorb(&mut self, m: &Metrics) {
+        for i in 0..3 {
+            self.relay_arms[i] += m.relay_arms[i];
+            self.relay_fires[i] += m.relay_fires[i];
+            self.relay_resets[i] += m.relay_resets[i];
+            self.freq_steps_up[i] += m.freq_steps_up[i];
+            self.freq_steps_down[i] += m.freq_steps_down[i];
+            self.reaction_sum_ps[i] += m.reaction_sum_ps[i];
+            self.reaction_count[i] += m.reaction_count[i];
+            self.sync_enqueues[i] += m.sync_enqueues[i];
+            self.fmin_cycles[i] += m.fmin_cycles[i];
+            self.fmax_cycles[i] += m.fmax_cycles[i];
+            self.transition_time_ps[i] += m.transition_time_ps[i];
+        }
+    }
+
+    /// Total frequency steps (both directions) for backend domain `idx`.
+    pub fn freq_steps(&self, idx: usize) -> u64 {
+        self.freq_steps_up[idx] + self.freq_steps_down[idx]
+    }
+
+    /// Mean reaction time for backend domain `idx`, in nanoseconds, or
+    /// `None` if no reaction completed.
+    pub fn mean_reaction_time_ns(&self, idx: usize) -> Option<f64> {
+        if self.reaction_count[idx] == 0 {
+            None
+        } else {
+            Some(self.reaction_sum_ps[idx] as f64 / self.reaction_count[idx] as f64 / 1000.0)
+        }
+    }
+}
+
+/// One executed simulation's event stream, tagged with its run label.
+pub type LabeledTrace = (String, Vec<TraceEvent>);
 
 /// A family of simulation runs sharing a worker pool and a memoized
 /// full-speed-baseline cache.
@@ -168,12 +257,18 @@ pub struct RunSet {
     runs: AtomicU64,
     instructions: AtomicU64,
     baseline_hits: AtomicU64,
+    activity: Mutex<ControllerActivity>,
+    /// When tracing is on, each executed simulation's labeled event
+    /// stream lands here (`None` = tracing disabled, simulations run
+    /// through the zero-cost [`NullSink`]).
+    tracing: Option<Mutex<Vec<LabeledTrace>>>,
 }
 
 static GLOBAL_RUN_SET: OnceLock<RunSet> = OnceLock::new();
 
 impl RunSet {
-    /// Creates a run set with `jobs` worker threads (1 = fully serial).
+    /// Creates a run set with `jobs` worker threads (1 = fully serial),
+    /// tracing disabled.
     pub fn new(jobs: usize) -> Self {
         RunSet {
             jobs: jobs.max(1),
@@ -181,7 +276,16 @@ impl RunSet {
             runs: AtomicU64::new(0),
             instructions: AtomicU64::new(0),
             baseline_hits: AtomicU64::new(0),
+            activity: Mutex::new(ControllerActivity::default()),
+            tracing: None,
         }
+    }
+
+    /// Enables event-trace collection: every simulation this set executes
+    /// records its full event stream (for `repro --trace-out`).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = Some(Mutex::new(Vec::new()));
+        self
     }
 
     /// The process-wide run set used by the `repro` binary, created on
@@ -191,11 +295,18 @@ impl RunSet {
     }
 
     /// Initializes the process-wide run set with an explicit worker
-    /// count. A no-op if [`RunSet::global`] was already touched — call
-    /// this before any experiment runs (the `repro` binary does so right
-    /// after argument parsing).
-    pub fn init_global(jobs: usize) -> &'static RunSet {
-        GLOBAL_RUN_SET.get_or_init(|| RunSet::new(jobs))
+    /// count (and optionally tracing). A no-op if [`RunSet::global`] was
+    /// already touched — call this before any experiment runs (the
+    /// `repro` binary does so right after argument parsing).
+    pub fn init_global(jobs: usize, tracing: bool) -> &'static RunSet {
+        GLOBAL_RUN_SET.get_or_init(|| {
+            let rs = RunSet::new(jobs);
+            if tracing {
+                rs.with_tracing()
+            } else {
+                rs
+            }
+        })
     }
 
     /// The worker count this set fans out to.
@@ -212,11 +323,57 @@ impl RunSet {
         }
     }
 
+    /// Controller-activity aggregate over every simulation executed so
+    /// far.
+    pub fn activity(&self) -> ControllerActivity {
+        *self.activity.lock().expect("activity aggregate poisoned")
+    }
+
     fn count(&self, result: SimResult) -> SimResult {
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.instructions
             .fetch_add(result.instructions, Ordering::Relaxed);
+        self.activity
+            .lock()
+            .expect("activity aggregate poisoned")
+            .absorb(&result.metrics);
         result
+    }
+
+    /// Executes one simulation through the set's sink policy: a
+    /// [`NullSink`] when tracing is off (zero overhead), a collected
+    /// [`VecSink`] when on. Counts the run either way.
+    fn simulate(
+        &self,
+        label: &str,
+        simulate: impl FnOnce(&mut dyn TraceSink) -> SimResult,
+    ) -> SimResult {
+        let result = match &self.tracing {
+            None => simulate(&mut NullSink),
+            Some(collector) => {
+                let mut sink = VecSink::new();
+                let result = simulate(&mut sink);
+                collector
+                    .lock()
+                    .expect("trace collector poisoned")
+                    .push((label.to_string(), sink.into_events()));
+                result
+            }
+        };
+        self.count(result)
+    }
+
+    /// All event traces collected so far (tracing must be enabled),
+    /// sorted by label then serialized content so the output is
+    /// deterministic whatever the worker scheduling.
+    pub fn drain_traces(&self) -> Option<Vec<LabeledTrace>> {
+        let collector = self.tracing.as_ref()?;
+        let mut traces = std::mem::take(&mut *collector.lock().expect("trace collector poisoned"));
+        traces.sort_by_cached_key(|(label, events)| {
+            let body: String = events.iter().map(TraceEvent::to_json).collect();
+            (label.clone(), body)
+        });
+        Some(traces)
     }
 
     /// Everything that can change a *baseline* run's result. The
@@ -227,6 +384,18 @@ impl RunSet {
         format!(
             "{benchmark}|{}|{}|{}|{:?}",
             cfg.ops, cfg.seed, cfg.traces, cfg.sim
+        )
+    }
+
+    /// A stable label for one (benchmark, scheme) run's event trace.
+    fn run_label(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> String {
+        format!(
+            "{benchmark}|{}|ops={}|seed={}|pid={}|qref={}",
+            scheme.name(),
+            cfg.ops,
+            cfg.seed,
+            cfg.pid_interval,
+            cfg.q_ref_scale
         )
     }
 
@@ -245,7 +414,10 @@ impl RunSet {
         let result = cell
             .get_or_init(|| {
                 computed = true;
-                Arc::new(self.count(run(benchmark, Scheme::Baseline, cfg)))
+                let label = Self::run_label(benchmark, Scheme::Baseline, cfg);
+                Arc::new(self.simulate(&label, |sink| {
+                    run_traced(benchmark, Scheme::Baseline, cfg, sink)
+                }))
             })
             .clone();
         if !computed {
@@ -260,13 +432,20 @@ impl RunSet {
         if scheme == Scheme::Baseline {
             return (*self.baseline(benchmark, cfg)).clone();
         }
-        self.count(run(benchmark, scheme, cfg))
+        let label = Self::run_label(benchmark, scheme, cfg);
+        self.simulate(&label, |sink| run_traced(benchmark, scheme, cfg, sink))
     }
 
     /// Runs a caller-built simulation (custom controllers, synthetic
-    /// specs) so it still counts toward the set's statistics.
-    pub fn run_custom(&self, simulate: impl FnOnce() -> SimResult) -> SimResult {
-        self.count(simulate())
+    /// specs) so it still counts toward the set's statistics; the closure
+    /// receives the sink to thread into [`Machine::run_traced`], and
+    /// `label` names the run's event trace.
+    pub fn run_custom(
+        &self,
+        label: &str,
+        simulate: impl FnOnce(&mut dyn TraceSink) -> SimResult,
+    ) -> SimResult {
+        self.simulate(label, simulate)
     }
 
     /// Maps `f` over `items` on this set's worker pool; results are in

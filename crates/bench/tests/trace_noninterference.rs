@@ -1,0 +1,78 @@
+//! The observability layer must be a pure observer: running with event
+//! tracing enabled must leave every report byte-identical, and the traces
+//! it produces must be well-formed and complete (every relay firing and
+//! frequency step the counters saw appears in the event stream).
+
+use mcd_bench::experiments;
+use mcd_bench::runner::{RunConfig, RunSet};
+use mcd_sim::{CtrlEvent, TraceEvent};
+
+#[test]
+fn tracing_leaves_reports_byte_identical() {
+    let cfg = RunConfig::quick().with_ops(20_000);
+    let plain = RunSet::new(2);
+    let traced = RunSet::new(2).with_tracing();
+    for id in ["fig9", "ablate-qref"] {
+        let a = experiments::run_on(&plain, id, &cfg);
+        let b = experiments::run_on(&traced, id, &cfg);
+        assert_eq!(a, b, "{id} report changed under tracing");
+    }
+    // The always-on counters are sink-independent too.
+    assert_eq!(plain.stats(), traced.stats());
+    assert_eq!(plain.activity(), traced.activity());
+    // And the untraced set has no trace stream at all.
+    assert!(plain.drain_traces().is_none());
+}
+
+#[test]
+fn traces_are_wellformed_and_cover_all_firings_and_steps() {
+    let cfg = RunConfig::quick().with_ops(20_000);
+    let rs = RunSet::new(2).with_tracing();
+    experiments::run_on(&rs, "fig9", &cfg);
+    let activity = rs.activity();
+    let traces = rs.drain_traces().expect("tracing enabled");
+    assert!(!traces.is_empty());
+
+    let mut fires = 0u64;
+    let mut steps = 0u64;
+    for (label, events) in &traces {
+        assert!(!label.is_empty());
+        for ev in events {
+            let json = ev.to_json();
+            assert!(
+                json.starts_with('{') && json.ends_with('}') && json.contains("\"domain\":"),
+                "malformed event line: {json}"
+            );
+            match ev {
+                TraceEvent::Controller {
+                    event: CtrlEvent::RelayFire { .. },
+                    ..
+                } => fires += 1,
+                TraceEvent::FreqStep { .. } => steps += 1,
+                _ => {}
+            }
+        }
+    }
+    let counted_fires: u64 = activity.relay_fires.iter().sum();
+    let counted_steps: u64 = (0..3).map(|i| activity.freq_steps(i)).sum();
+    assert!(counted_fires > 0, "expected controller activity in fig9");
+    assert_eq!(fires, counted_fires, "relay firings missing from trace");
+    assert_eq!(steps, counted_steps, "frequency steps missing from trace");
+}
+
+#[test]
+fn drain_traces_is_deterministic_across_worker_counts() {
+    let cfg = RunConfig::quick().with_ops(20_000);
+    let render = |jobs: usize| {
+        let rs = RunSet::new(jobs).with_tracing();
+        experiments::run_on(&rs, "fig9", &cfg);
+        let mut out = String::new();
+        for (label, events) in rs.drain_traces().expect("tracing enabled") {
+            for ev in events {
+                out.push_str(&format!("{label} {}\n", ev.to_json()));
+            }
+        }
+        out
+    };
+    assert_eq!(render(1), render(4));
+}

@@ -1,17 +1,114 @@
 //! The complete adaptive DVFS controller (one per controlled domain).
 
-use mcd_sim::{ControllerCtx, DvfsAction, DvfsController, QueueSample};
+use mcd_power::TimePs;
+use mcd_sim::{
+    ControllerCtx, CtrlEvent, DvfsAction, DvfsController, QueueSample, ResetReason, SignalKind,
+    StepDir,
+};
 
 use crate::config::AdaptiveConfig;
-use crate::fsm::SignalFsm;
+use crate::fsm::{Direction, SignalFsm, TriggerState};
 use crate::scheduler::{resolve, Resolution};
 use crate::signals::QueueSignals;
+
+/// Cap on buffered decision events between drains, so a controller driven
+/// without a draining machine (standalone harnesses) stays bounded.
+const EVENT_CAP: usize = 65_536;
+
+fn dir_of(d: Direction) -> StepDir {
+    match d {
+        Direction::Up => StepDir::Up,
+        Direction::Down => StepDir::Down,
+    }
+}
+
+/// One signal's observation this sample, for event derivation.
+struct SignalObs {
+    signal: SignalKind,
+    value: f64,
+    occupancy: u32,
+}
+
+/// Derives decision events for one signal's FSM step by comparing the
+/// pre-step counting direction with the post-step state and trigger.
+/// Events are recorded only on state *transitions*, so steady samples
+/// (the overwhelming majority) record nothing.
+fn trace_signal_step(
+    events: &mut Vec<CtrlEvent>,
+    at: TimePs,
+    obs: SignalObs,
+    was: Option<Direction>,
+    fsm: &SignalFsm,
+    trigger: TriggerState,
+) {
+    let arm = |events: &mut Vec<CtrlEvent>, dir: Direction| {
+        events.push(CtrlEvent::WindowEnter {
+            at,
+            signal: obs.signal,
+            value: obs.value,
+            occupancy: obs.occupancy,
+            dir: dir_of(dir),
+        });
+        events.push(CtrlEvent::RelayArm {
+            at,
+            signal: obs.signal,
+            dir: dir_of(dir),
+            remaining: fsm.remaining(),
+        });
+    };
+    match trigger {
+        TriggerState::Fired(d) => {
+            if was != Some(d) {
+                if was.is_some() {
+                    events.push(CtrlEvent::RelayReset {
+                        at,
+                        signal: obs.signal,
+                        why: ResetReason::SideFlip,
+                    });
+                }
+                arm(events, d);
+            }
+            events.push(CtrlEvent::RelayFire {
+                at,
+                signal: obs.signal,
+                dir: dir_of(d),
+            });
+        }
+        TriggerState::Idle => match (was, fsm.direction()) {
+            (None, Some(d)) => arm(events, d),
+            (Some(d1), Some(d2)) if d1 != d2 => {
+                events.push(CtrlEvent::RelayReset {
+                    at,
+                    signal: obs.signal,
+                    why: ResetReason::SideFlip,
+                });
+                arm(events, d2);
+            }
+            (Some(_), None) => {
+                events.push(CtrlEvent::WindowExit {
+                    at,
+                    signal: obs.signal,
+                    value: obs.value,
+                    occupancy: obs.occupancy,
+                });
+                events.push(CtrlEvent::RelayReset {
+                    at,
+                    signal: obs.signal,
+                    why: ResetReason::BackInside,
+                });
+            }
+            _ => {}
+        },
+    }
+}
 
 /// The paper's event-driven adaptive DVFS controller.
 ///
 /// Wires together the two queue signals, their deviation-window/time-delay
 /// FSMs, and the action scheduler, and exposes the result as a
-/// [`DvfsController`] the simulator can drive.
+/// [`DvfsController`] the simulator can drive. Every state transition of
+/// either relay is recorded as a [`CtrlEvent`] and handed to the machine
+/// through [`DvfsController::drain_events`].
 #[derive(Debug)]
 pub struct AdaptiveDvfsController {
     cfg: AdaptiveConfig,
@@ -20,6 +117,7 @@ pub struct AdaptiveDvfsController {
     delta_fsm: SignalFsm,
     actions: u64,
     cancellations: u64,
+    events: Vec<CtrlEvent>,
 }
 
 impl AdaptiveDvfsController {
@@ -32,6 +130,7 @@ impl AdaptiveDvfsController {
             cfg,
             actions: 0,
             cancellations: 0,
+            events: Vec::new(),
         }
     }
 
@@ -48,6 +147,11 @@ impl AdaptiveDvfsController {
     /// Simultaneous opposite triggers cancelled so far.
     pub fn cancellations(&self) -> u64 {
         self.cancellations
+    }
+
+    /// Decision events recorded since the last drain.
+    pub fn pending_events(&self) -> &[CtrlEvent] {
+        &self.events
     }
 }
 
@@ -69,22 +173,58 @@ impl DvfsController for AdaptiveDvfsController {
         let scale_for = |signal: f64, m: f64| if signal < 0.0 { m * down_scale } else { m };
 
         let occ = values.occupancy_error;
+        let was_occ = self.occupancy_fsm.direction();
         let t_occ = self
             .occupancy_fsm
             .step(occ, scale_for(occ, self.cfg.m_occupancy), ctx.now);
+        trace_signal_step(
+            &mut self.events,
+            ctx.now,
+            SignalObs {
+                signal: SignalKind::Occupancy,
+                value: occ,
+                occupancy: sample.occupancy,
+            },
+            was_occ,
+            &self.occupancy_fsm,
+            t_occ,
+        );
         let t_delta = match values.delta {
-            Some(d) => self
-                .delta_fsm
-                .step(d, scale_for(d, self.cfg.m_delta), ctx.now),
-            None => crate::fsm::TriggerState::Idle,
+            Some(d) => {
+                let was_delta = self.delta_fsm.direction();
+                let t = self
+                    .delta_fsm
+                    .step(d, scale_for(d, self.cfg.m_delta), ctx.now);
+                trace_signal_step(
+                    &mut self.events,
+                    ctx.now,
+                    SignalObs {
+                        signal: SignalKind::Delta,
+                        value: d,
+                        occupancy: sample.occupancy,
+                    },
+                    was_delta,
+                    &self.delta_fsm,
+                    t,
+                );
+                t
+            }
+            None => TriggerState::Idle,
         };
 
-        match resolve(t_occ, t_delta) {
+        let action = match resolve(t_occ, t_delta) {
             Resolution::None => None,
             Resolution::Cancelled => {
                 self.occupancy_fsm.cancel();
                 self.delta_fsm.cancel();
                 self.cancellations += 1;
+                for signal in [SignalKind::Occupancy, SignalKind::Delta] {
+                    self.events.push(CtrlEvent::RelayReset {
+                        at: ctx.now,
+                        signal,
+                        why: ResetReason::Cancelled,
+                    });
+                }
                 None
             }
             Resolution::Action {
@@ -92,22 +232,38 @@ impl DvfsController for AdaptiveDvfsController {
                 magnitude,
             } => {
                 let until = ctx.now + ctx.single_step_time;
-                if matches!(t_occ, crate::fsm::TriggerState::Fired(_)) {
+                if matches!(t_occ, TriggerState::Fired(_)) {
                     self.occupancy_fsm.confirm(until);
+                    self.events.push(CtrlEvent::RelayReset {
+                        at: ctx.now,
+                        signal: SignalKind::Occupancy,
+                        why: ResetReason::Acted,
+                    });
                 }
-                if matches!(t_delta, crate::fsm::TriggerState::Fired(_)) {
+                if matches!(t_delta, TriggerState::Fired(_)) {
                     self.delta_fsm.confirm(until);
+                    self.events.push(CtrlEvent::RelayReset {
+                        at: ctx.now,
+                        signal: SignalKind::Delta,
+                        why: ResetReason::Acted,
+                    });
                 }
                 self.actions += 1;
                 Some(DvfsAction::Step(
                     direction.sign() * self.cfg.step * magnitude as i32,
                 ))
             }
-        }
+        };
+        self.events.truncate(EVENT_CAP);
+        action
     }
 
     fn name(&self) -> &'static str {
         "adaptive"
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<CtrlEvent>) {
+        out.append(&mut self.events);
     }
 }
 

@@ -47,6 +47,11 @@ impl DelayCounter {
         self.accum >= self.t_d0
     }
 
+    /// Delay still to accumulate before the threshold (never negative).
+    pub fn remaining(&self) -> f64 {
+        (self.t_d0 - self.accum).max(0.0)
+    }
+
     /// Resets the accumulated count to zero.
     pub fn reset(&mut self) {
         self.accum = 0.0;
@@ -97,6 +102,16 @@ mod tests {
         c.reset();
         assert_eq!(c.accum(), 0.0);
         assert!(!c.advance(1.5));
+    }
+
+    #[test]
+    fn remaining_tracks_progress_and_clamps() {
+        let mut c = DelayCounter::new(3.0);
+        assert_eq!(c.remaining(), 3.0);
+        c.advance(1.0);
+        assert_eq!(c.remaining(), 2.0);
+        c.advance(5.0);
+        assert_eq!(c.remaining(), 0.0);
     }
 
     #[test]

@@ -78,6 +78,20 @@ impl SignalFsm {
         matches!(self.state, State::Counting(_))
     }
 
+    /// The direction being counted toward (`None` unless counting).
+    pub fn direction(&self) -> Option<Direction> {
+        match self.state {
+            State::Counting(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Delay still to accumulate before the relay fires, in basic-delay
+    /// units (sampling periods at unit signal).
+    pub fn remaining(&self) -> f64 {
+        self.counter.remaining()
+    }
+
     /// Feeds one sample.
     ///
     /// * `signal` — the queue signal value;
@@ -265,5 +279,18 @@ mod tests {
     fn direction_signs() {
         assert_eq!(Direction::Up.sign(), 1);
         assert_eq!(Direction::Down.sign(), -1);
+    }
+
+    #[test]
+    fn direction_and_remaining_expose_relay_progress() {
+        let mut fsm = SignalFsm::new(1.0, 5.0);
+        assert_eq!(fsm.direction(), None);
+        assert_eq!(fsm.remaining(), 5.0);
+        fsm.step(2.0, 1.0, at(0));
+        assert_eq!(fsm.direction(), Some(Direction::Up));
+        assert_eq!(fsm.remaining(), 3.0);
+        fsm.step(0.0, 1.0, at(1)); // back inside → reset
+        assert_eq!(fsm.direction(), None);
+        assert_eq!(fsm.remaining(), 5.0);
     }
 }

@@ -1,0 +1,137 @@
+//! Scripted-trace observability: feeding the adaptive controller a known
+//! occupancy sequence must produce the exact decision-event walk of
+//! Figure 3's FSM — window entry, relay arm, relay fire — ending in the
+//! frequency-step action the scheduler confirms.
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_power::{OpIndex, TimePs, VfCurve};
+use mcd_sim::{
+    ControllerCtx, CtrlEvent, DomainId, DvfsAction, DvfsController, QueueSample, ResetReason,
+    SignalKind, StepDir,
+};
+
+/// A controller with `q_ref` = 6 whose occupancy relay needs two samples
+/// of a +6 signal to fire, and whose Δq window is wide enough that the
+/// delta relay never participates.
+fn scripted_controller() -> AdaptiveDvfsController {
+    let mut cfg = AdaptiveConfig::for_domain(DomainId::Int);
+    cfg.t_m0 = 6.0; // |signal| 6 × m 0.5 = 3 per sample → fires on the 2nd
+    cfg.dw_delta = 100.0; // keep the Δq relay out of the script
+    AdaptiveDvfsController::new(cfg)
+}
+
+fn ctx(curve: &VfCurve, sample: u64) -> ControllerCtx<'_> {
+    ControllerCtx {
+        now: TimePs::from_ns(4) * sample,
+        domain: DomainId::Int,
+        current: OpIndex(160),
+        curve,
+        in_transition: false,
+        single_step_time: TimePs::from_us(10),
+        sample_period: TimePs::from_ns(4),
+        retired: 0,
+    }
+}
+
+/// Feeds `occupancies` one sample apart; returns every drained event and
+/// each sample's returned action.
+fn drive(occupancies: &[u32]) -> (Vec<CtrlEvent>, Vec<Option<DvfsAction>>) {
+    let curve = VfCurve::mcd_default();
+    let mut ctrl = scripted_controller();
+    let mut events = Vec::new();
+    let mut actions = Vec::new();
+    for (i, &occ) in occupancies.iter().enumerate() {
+        let action = ctrl.on_sample(
+            &ctx(&curve, i as u64),
+            QueueSample {
+                occupancy: occ,
+                capacity: 20,
+            },
+        );
+        actions.push(action);
+        ctrl.drain_events(&mut events);
+    }
+    (events, actions)
+}
+
+#[test]
+fn persistent_deviation_walks_enter_arm_fire_step() {
+    // Occupancy 12 against q_ref 6: the +6 error leaves the ±1 window at
+    // once, arms the relay, and fires it one sample later.
+    let (events, actions) = drive(&[12, 12]);
+    assert_eq!(
+        events,
+        vec![
+            CtrlEvent::WindowEnter {
+                at: TimePs::ZERO,
+                signal: SignalKind::Occupancy,
+                value: 6.0,
+                occupancy: 12,
+                dir: StepDir::Up,
+            },
+            CtrlEvent::RelayArm {
+                at: TimePs::ZERO,
+                signal: SignalKind::Occupancy,
+                dir: StepDir::Up,
+                remaining: 3.0,
+            },
+            CtrlEvent::RelayFire {
+                at: TimePs::from_ns(4),
+                signal: SignalKind::Occupancy,
+                dir: StepDir::Up,
+            },
+            CtrlEvent::RelayReset {
+                at: TimePs::from_ns(4),
+                signal: SignalKind::Occupancy,
+                why: ResetReason::Acted,
+            },
+        ]
+    );
+    // The fired relay becomes a frequency step: one point up.
+    assert_eq!(actions, vec![None, Some(DvfsAction::Step(1))]);
+}
+
+#[test]
+fn transient_deviation_resets_without_acting() {
+    // One noisy sample outside the window, then back to q_ref: the relay
+    // arms and is reset by the noise filter; no action ever fires.
+    let (events, actions) = drive(&[12, 6]);
+    assert_eq!(
+        events,
+        vec![
+            CtrlEvent::WindowEnter {
+                at: TimePs::ZERO,
+                signal: SignalKind::Occupancy,
+                value: 6.0,
+                occupancy: 12,
+                dir: StepDir::Up,
+            },
+            CtrlEvent::RelayArm {
+                at: TimePs::ZERO,
+                signal: SignalKind::Occupancy,
+                dir: StepDir::Up,
+                remaining: 3.0,
+            },
+            CtrlEvent::WindowExit {
+                at: TimePs::from_ns(4),
+                signal: SignalKind::Occupancy,
+                value: 0.0,
+                occupancy: 6,
+            },
+            CtrlEvent::RelayReset {
+                at: TimePs::from_ns(4),
+                signal: SignalKind::Occupancy,
+                why: ResetReason::BackInside,
+            },
+        ]
+    );
+    assert_eq!(actions, vec![None, None]);
+}
+
+#[test]
+fn steady_samples_record_nothing() {
+    // Occupancy pinned at q_ref: no window crossing, no events, ever.
+    let (events, actions) = drive(&[6, 6, 6, 6]);
+    assert!(events.is_empty(), "{events:?}");
+    assert!(actions.iter().all(Option::is_none));
+}

@@ -96,6 +96,9 @@ pub struct Regulator {
     transition: Option<Transition>,
     switching_energy: Energy,
     transitions_started: u64,
+    /// Slew time of every *finished* transition; the in-flight one (if
+    /// any) is added by [`Regulator::total_transition_time`].
+    completed_transition_time: TimePs,
     /// Effective output capacitance of the (dual-phase) regulator, used for
     /// the `½·C·|V₁²−V₀²|` switching-energy estimate. Small, per Section 3.
     vr_capacitance_farads: f64,
@@ -115,6 +118,7 @@ impl Regulator {
             transition: None,
             switching_energy: Energy::ZERO,
             transitions_started: 0,
+            completed_transition_time: TimePs::ZERO,
             vr_capacitance_farads: 10e-9,
         }
     }
@@ -156,7 +160,7 @@ impl Regulator {
             target.0 <= self.curve.max_index().0,
             "target index out of range"
         );
-        if target == self.target && self.transition.map_or(true, |t| now >= t.end) {
+        if target == self.target && self.transition.is_none_or(|t| now >= t.end) {
             return now;
         }
         if target == self.target {
@@ -164,6 +168,11 @@ impl Regulator {
             return self.transition.expect("checked above").end;
         }
         let from = self.frequency_at(now);
+        // The transition being replaced (finished or re-aimed) stops
+        // contributing at `now`; bank the time it actually spent slewing.
+        if let Some(t) = self.transition.take() {
+            self.completed_transition_time += t.end.min(now).saturating_sub(t.start);
+        }
         let to = self.curve.point(target).frequency;
         let delta_mhz = (to.as_mhz() - from.as_mhz()).abs();
         let dur_ps = delta_mhz * self.style.ns_per_mhz() * 1e3;
@@ -224,6 +233,17 @@ impl Regulator {
     pub fn single_step_time(&self) -> TimePs {
         let dur_ps = self.curve.freq_step().as_mhz() * self.style.ns_per_mhz() * 1e3;
         TimePs::ZERO.advance_f64(dur_ps)
+    }
+
+    /// Total time this regulator has spent slewing between operating
+    /// points as of `now` (finished transitions plus the elapsed part of
+    /// an in-flight one).
+    pub fn total_transition_time(&self, now: TimePs) -> TimePs {
+        let in_flight = match self.transition {
+            Some(t) => t.end.min(now).saturating_sub(t.start),
+            None => TimePs::ZERO,
+        };
+        self.completed_transition_time + in_flight
     }
 }
 
@@ -326,6 +346,25 @@ mod tests {
         assert!(e1.as_joules() > 0.0);
         // ½ · 10nF · (1.2² − 0.65²) ≈ 5.09 nJ
         assert!((e1.as_nj() - 5.0875).abs() < 0.01, "got {e1}");
+    }
+
+    #[test]
+    fn transition_time_accumulates_across_retargets() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        assert_eq!(r.total_transition_time(TimePs::ZERO), TimePs::ZERO);
+        let end = r.request(OpIndex(0), TimePs::ZERO);
+        // Mid-flight: only the elapsed part counts.
+        let mid = TimePs::new(end.as_ps() / 2);
+        assert_eq!(r.total_transition_time(mid), mid);
+        // Re-aim halfway: the first transition banks `mid` of slew, and
+        // the new one accrues on top.
+        let max = r.curve().max_index();
+        let end2 = r.request(max, mid);
+        assert_eq!(r.total_transition_time(mid), mid);
+        let total = r.total_transition_time(end2);
+        assert_eq!(total, mid + (end2 - mid));
+        // After settling, time stops accruing.
+        assert_eq!(r.total_transition_time(end2 + TimePs::from_us(1)), total);
     }
 
     #[test]

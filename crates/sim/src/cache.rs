@@ -30,7 +30,10 @@ impl Cache {
             "line size must be a power of two"
         );
         let lines = size_bytes / line_bytes;
-        assert!(lines >= assoc && lines % assoc == 0, "size/assoc mismatch");
+        assert!(
+            lines >= assoc && lines.is_multiple_of(assoc),
+            "size/assoc mismatch"
+        );
         let n_sets = lines / assoc;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Cache {

@@ -8,6 +8,7 @@
 use mcd_power::{OpIndex, TimePs, VfCurve};
 
 use crate::config::DomainId;
+use crate::trace::CtrlEvent;
 
 /// One occupancy observation of a domain's interface queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,11 @@ pub trait DvfsController: std::fmt::Debug {
 
     /// Short scheme name for reports (e.g. `"adaptive"`, `"pid"`).
     fn name(&self) -> &'static str;
+
+    /// Moves any decision events recorded since the last drain into
+    /// `out`. Controllers without internal structure worth tracing (the
+    /// fixed-interval baselines) keep the default no-op.
+    fn drain_events(&mut self, _out: &mut Vec<CtrlEvent>) {}
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 
 use std::collections::VecDeque;
 
-use mcd_power::{ActivityEvent, DomainEnergyMeter, Energy, EnergyModel, LeakageModel, TimePs};
+use mcd_power::{
+    ActivityEvent, DomainEnergyMeter, Energy, EnergyModel, LeakageModel, OpIndex, TimePs,
+};
 use mcd_workloads::{MicroOp, OpClass};
 
 use crate::bpred::BranchPredictor;
@@ -17,6 +19,12 @@ use crate::regfile::FreeList;
 use crate::result::{DomainResult, SimResult};
 use crate::rob::{Rob, RobEntry};
 use crate::scoreboard::{AddrMap, SeqScoreboard};
+use crate::trace::{CtrlEvent, NullSink, TraceEvent, TraceSink};
+
+/// Sampling periods between cumulative queue-occupancy histogram
+/// snapshots emitted to an enabled trace sink (≈16 µs of simulated time
+/// at the Table 1 sampling rate).
+const HIST_SNAPSHOT_SAMPLES: u64 = 4096;
 
 /// Where and when an instruction finished executing.
 #[derive(Debug, Clone, Copy)]
@@ -129,6 +137,12 @@ pub struct Machine<T> {
     next_sample: TimePs,
     metrics: Metrics,
     retired: u64,
+    // Controller-event scratch reused across samples so draining never
+    // allocates in the steady state; always left empty between ticks.
+    ctrl_events: Vec<CtrlEvent>,
+    // Earliest unanswered deviation onset per backend domain and signal
+    // (0 = occupancy, 1 = delta), for reaction-time measurement.
+    onsets: [[Option<TimePs>; 2]; 3],
 }
 
 impl<T> std::fmt::Debug for Machine<T> {
@@ -199,8 +213,17 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             memory: MainMemory::new(cfg.mem_first_chunk, cfg.mem_inter_chunk, cfg.mem_chunks),
             bpred: BranchPredictor::table1(),
             next_sample: cfg.sample_period,
-            metrics: Metrics::default(),
+            metrics: Metrics {
+                occupancy_hist: [
+                    vec![0; cfg.int_queue + 1],
+                    vec![0; cfg.fp_queue + 1],
+                    vec![0; cfg.ls_queue + 1],
+                ],
+                ..Metrics::default()
+            },
             retired: 0,
+            ctrl_events: Vec::new(),
+            onsets: [[None; 2]; 3],
             cfg,
         }
     }
@@ -240,11 +263,29 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
     /// Runs the machine until the trace is drained and the pipeline is
     /// empty, then returns the accumulated results.
     ///
+    /// Equivalent to [`Machine::run_traced`] with a [`NullSink`]: the
+    /// sink's disabled flag compiles the event-construction sites out of
+    /// the sampling path, so this is exactly as fast as before the
+    /// observability layer existed.
+    ///
     /// # Panics
     ///
     /// Panics if simulated time exceeds `cfg.max_sim_time` (a livelock
     /// guard — a correct configuration always terminates).
-    pub fn run(mut self) -> SimResult {
+    pub fn run(self) -> SimResult {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// Runs the machine, streaming [`TraceEvent`]s into `sink`.
+    ///
+    /// The result is bit-identical to [`Machine::run`] for any sink: the
+    /// sink only observes, it never feeds back into simulation state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if simulated time exceeds `cfg.max_sim_time` (a livelock
+    /// guard — a correct configuration always terminates).
+    pub fn run_traced<S: TraceSink + ?Sized>(mut self, sink: &mut S) -> SimResult {
         while !(self.trace_done && self.fetch_buf.is_empty() && self.rob.is_empty()) {
             let mut t = self.next_sample;
             let mut which = 4usize;
@@ -265,7 +306,20 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 1 => self.tick_backend(DomainId::Int),
                 2 => self.tick_backend(DomainId::Fp),
                 3 => self.tick_backend(DomainId::Ls),
-                _ => self.tick_sample(),
+                _ => self.tick_sample(sink),
+            }
+        }
+        // Final cumulative histogram snapshot, so every traced run ends
+        // with the complete occupancy distribution per domain.
+        if sink.enabled() {
+            for &d in &DomainId::BACKEND {
+                let bi = d.backend_index();
+                sink.record(&TraceEvent::QueueHistogram {
+                    at: self.now,
+                    domain: d,
+                    samples: self.metrics.samples,
+                    counts: self.metrics.occupancy_hist[bi].clone(),
+                });
             }
         }
         self.build_result()
@@ -325,6 +379,19 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         // periods lengthen, so leakage energy tracks wall-clock time.
         let period = self.clocks[di].cycles_to_time(1, edge);
         self.meters[di].charge_leakage(self.leakage.energy(d.class(), period, v));
+
+        // Range-saturation accounting: cycles the domain spends settled
+        // at the extremes of the operating range (where the controller
+        // has no headroom left in that direction).
+        let reg = self.clocks[di].regulator();
+        if !reg.is_transitioning(edge) {
+            let target = reg.target();
+            if target.0 == 0 {
+                self.metrics.fmin_cycles[bi] += 1;
+            } else if target == self.cfg.vf_curve.max_index() {
+                self.metrics.fmax_cycles[bi] += 1;
+            }
+        }
 
         // Transmeta-style transitions stall the whole domain.
         if self.clocks[di].regulator().stall_until(edge).is_some() {
@@ -625,7 +692,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             self.rob.push(RobEntry {
                 seq: op.seq,
                 class: op.class,
-                addr: (op.class == OpClass::Store).then(|| op.addr).flatten(),
+                addr: (op.class == OpClass::Store).then_some(op.addr).flatten(),
             });
             let mem_dep = match op.class {
                 OpClass::Load => op
@@ -653,6 +720,12 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                     }
                 }
             };
+            // A synchronization stall: the window pushed visibility past
+            // the consumer's next clock edge, costing it (at least) one
+            // issue opportunity.
+            if visible_at > self.clocks[1 + bi].next_edge() {
+                self.metrics.sync_enqueues[bi] += 1;
+            }
             self.iqs[bi].push(IqEntry {
                 op,
                 visible_at,
@@ -673,7 +746,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
 
     // ----- sampling & DVFS ------------------------------------------------
 
-    fn tick_sample(&mut self) {
+    fn tick_sample<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
         let t = self.next_sample;
         self.now = t;
         self.next_sample = t + self.cfg.sample_period;
@@ -688,6 +761,11 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             let bi = d.backend_index();
             let occupancy = self.iqs[bi].len() as u32;
             self.metrics.occupancy_sum[bi] += occupancy as u64;
+            {
+                let hist = &mut self.metrics.occupancy_hist[bi];
+                let slot = (occupancy as usize).min(hist.len() - 1);
+                hist[slot] += 1;
+            }
             if self.cfg.record_occupancy {
                 self.metrics.occupancy[bi].push(occupancy.min(u8::MAX as u32) as u8);
             }
@@ -702,6 +780,8 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             let current = self.clocks[di].regulator().target();
             let in_transition = self.clocks[di].regulator().is_transitioning(t);
             let single_step_time = self.clocks[di].regulator().single_step_time();
+            let mut action = None;
+            let mut events = std::mem::take(&mut self.ctrl_events);
             if let Some(ctrl) = self.controllers[bi].as_mut() {
                 let ctx = ControllerCtx {
                     now: t,
@@ -717,20 +797,122 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                     occupancy,
                     capacity: self.iqs[bi].capacity() as u32,
                 };
-                if let Some(action) = ctrl.on_sample(&ctx, sample) {
-                    let target = action.resolve(current, &self.cfg.vf_curve);
-                    if target != current {
-                        self.clocks[di].regulator_mut().request(target, t);
-                        self.metrics.dvfs_actions[bi] += 1;
-                    }
+                action = ctrl.on_sample(&ctx, sample);
+                ctrl.drain_events(&mut events);
+            }
+            // Observe decision events *before* applying the action, so a
+            // relay that fires the same sample its window was entered
+            // still has its onset on record for reaction timing.
+            for ev in &events {
+                self.observe_ctrl_event(bi, d, ev, sink);
+            }
+            events.clear();
+            self.ctrl_events = events;
+
+            if let Some(action) = action {
+                let target = action.resolve(current, &self.cfg.vf_curve);
+                if target != current {
+                    self.clocks[di].regulator_mut().request(target, t);
+                    self.metrics.dvfs_actions[bi] += 1;
+                    self.note_freq_step(t, d, current, target, sink);
                 }
             }
+        }
+
+        if sink.enabled() && self.metrics.samples.is_multiple_of(HIST_SNAPSHOT_SAMPLES) {
+            for &d in &DomainId::BACKEND {
+                let bi = d.backend_index();
+                sink.record(&TraceEvent::QueueHistogram {
+                    at: t,
+                    domain: d,
+                    samples: self.metrics.samples,
+                    counts: self.metrics.occupancy_hist[bi].clone(),
+                });
+            }
+        }
+    }
+
+    /// Folds one controller decision event into the always-on counters
+    /// and (when the sink is enabled) forwards it as a trace event.
+    fn observe_ctrl_event<S: TraceSink + ?Sized>(
+        &mut self,
+        bi: usize,
+        d: DomainId,
+        ev: &CtrlEvent,
+        sink: &mut S,
+    ) {
+        match *ev {
+            CtrlEvent::WindowEnter { at, signal, .. } => {
+                let slot = &mut self.onsets[bi][signal.index()];
+                if slot.is_none() {
+                    *slot = Some(at);
+                }
+            }
+            CtrlEvent::WindowExit { signal, .. } => {
+                self.onsets[bi][signal.index()] = None;
+            }
+            CtrlEvent::RelayArm { .. } => self.metrics.relay_arms[bi] += 1,
+            CtrlEvent::RelayFire { .. } => self.metrics.relay_fires[bi] += 1,
+            CtrlEvent::RelayReset { .. } => self.metrics.relay_resets[bi] += 1,
+        }
+        if sink.enabled() {
+            sink.record(&TraceEvent::Controller {
+                domain: d,
+                event: *ev,
+            });
+        }
+    }
+
+    /// Accounts for an applied frequency retarget: step direction
+    /// counters, reaction time from the earliest pending deviation onset,
+    /// and (when enabled) a [`TraceEvent::FreqStep`].
+    fn note_freq_step<S: TraceSink + ?Sized>(
+        &mut self,
+        t: TimePs,
+        d: DomainId,
+        from: OpIndex,
+        to: OpIndex,
+        sink: &mut S,
+    ) {
+        let bi = d.backend_index();
+        if to.0 > from.0 {
+            self.metrics.freq_steps_up[bi] += 1;
+        } else {
+            self.metrics.freq_steps_down[bi] += 1;
+        }
+        let onset = match (self.onsets[bi][0], self.onsets[bi][1]) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(on) = onset {
+            self.metrics.reaction_sum_ps[bi] += (t - on).as_ps();
+            self.metrics.reaction_count[bi] += 1;
+            self.onsets[bi] = [None, None];
+        }
+        if sink.enabled() {
+            let curve = &self.cfg.vf_curve;
+            sink.record(&TraceEvent::FreqStep {
+                at: t,
+                domain: d,
+                from,
+                to,
+                from_mhz: curve.point(from).frequency.as_mhz(),
+                to_mhz: curve.point(to).frequency.as_mhz(),
+                from_mv: curve.point(from).voltage.as_mv(),
+                to_mv: curve.point(to).voltage.as_mv(),
+            });
         }
     }
 
     // ----- results ---------------------------------------------------------
 
-    fn build_result(self) -> SimResult {
+    fn build_result(mut self) -> SimResult {
+        for &d in &DomainId::BACKEND {
+            self.metrics.transition_time_ps[d.backend_index()] = self.clocks[d.index()]
+                .regulator()
+                .total_transition_time(self.now)
+                .as_ps();
+        }
         let f_max_hz = self.cfg.vf_curve.max().frequency.as_hz() as f64;
         let secs = self.now.as_secs();
         let mut domains = Vec::with_capacity(4);
@@ -935,8 +1117,10 @@ mod tests {
     fn leakage_energy_accrues_with_time_not_frequency() {
         let spec = registry::by_name("adpcm_encode").expect("exists");
         let with = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, 10_000, 1)).run();
-        let mut cfg0 = SimConfig::default();
-        cfg0.leakage_scale = 0.0;
+        let cfg0 = SimConfig {
+            leakage_scale: 0.0,
+            ..SimConfig::default()
+        };
         let without = Machine::new(cfg0, TraceGenerator::new(&spec, 10_000, 1)).run();
         for &d in &DomainId::ALL {
             assert!(
@@ -958,8 +1142,10 @@ mod tests {
     #[test]
     fn token_ring_sync_is_cheaper_than_arbitration() {
         let spec = registry::by_name("gzip").expect("exists");
-        let mut arb = SimConfig::default();
-        arb.jitter_sigma_ps = 0.0;
+        let arb = SimConfig {
+            jitter_sigma_ps: 0.0,
+            ..SimConfig::default()
+        };
         let mut ring = arb.clone();
         ring.sync_model = crate::config::SyncModel::TokenRing;
         let a = Machine::new(arb, TraceGenerator::new(&spec, 20_000, 1)).run();

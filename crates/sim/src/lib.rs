@@ -50,6 +50,7 @@ pub mod regfile;
 pub mod result;
 pub mod rob;
 pub mod scoreboard;
+pub mod trace;
 
 pub use clock::DomainClock;
 pub use config::{DomainId, SimConfig, SyncModel};
@@ -57,3 +58,6 @@ pub use controller::{ControllerCtx, DvfsAction, DvfsController, QueueSample};
 pub use engine::Machine;
 pub use metrics::{FreqTracePoint, Metrics};
 pub use result::{DomainResult, SimResult};
+pub use trace::{
+    CtrlEvent, NullSink, ResetReason, SignalKind, StepDir, TraceEvent, TraceSink, VecSink,
+};

@@ -91,6 +91,38 @@ pub struct Metrics {
     /// [`StallCause::index`]; counted on front-end cycles where at least
     /// one instruction was waiting but none dispatched).
     pub dispatch_stalls: [u64; 6],
+    /// Enqueues per backend domain whose visibility was pushed past the
+    /// consumer's next clock edge by the synchronization interface (the
+    /// inter-domain communication cost of Section 2).
+    pub sync_enqueues: [u64; 3],
+    /// Local cycles each backend domain spent settled at the lowest
+    /// operating point.
+    pub fmin_cycles: [u64; 3],
+    /// Local cycles each backend domain spent settled at the highest
+    /// operating point.
+    pub fmax_cycles: [u64; 3],
+    /// Time each backend domain's regulator spent slewing between
+    /// operating points.
+    pub transition_time_ps: [u64; 3],
+    /// Time-delay relay arms per backend domain (both signals).
+    pub relay_arms: [u64; 3],
+    /// Time-delay relay firings per backend domain (both signals).
+    pub relay_fires: [u64; 3],
+    /// Time-delay relay resets per backend domain (both signals).
+    pub relay_resets: [u64; 3],
+    /// Upward frequency steps issued per backend domain.
+    pub freq_steps_up: [u64; 3],
+    /// Downward frequency steps issued per backend domain.
+    pub freq_steps_down: [u64; 3],
+    /// Sum of reaction times (deviation onset to the frequency step that
+    /// answered it) per backend domain, in ps.
+    pub reaction_sum_ps: [u64; 3],
+    /// Number of reaction times accumulated per backend domain.
+    pub reaction_count: [u64; 3],
+    /// Queue-occupancy histograms per backend domain: `hist[d][q]` counts
+    /// sampling periods that observed occupancy `q` (length capacity + 1;
+    /// always collected — one add per sample).
+    pub occupancy_hist: [Vec<u64>; 3],
 }
 
 impl Metrics {
@@ -114,6 +146,22 @@ impl Metrics {
     /// analysis).
     pub fn occupancy_series(&self, idx: usize) -> Vec<f64> {
         self.occupancy[idx].iter().map(|&q| q as f64).collect()
+    }
+
+    /// Mean reaction time of backend domain `idx` — deviation-window
+    /// onset to the frequency step that answered it — in nanoseconds, or
+    /// `None` if the domain's controller never completed a reaction.
+    pub fn mean_reaction_time_ns(&self, idx: usize) -> Option<f64> {
+        if self.reaction_count[idx] == 0 {
+            None
+        } else {
+            Some(self.reaction_sum_ps[idx] as f64 / self.reaction_count[idx] as f64 / 1000.0)
+        }
+    }
+
+    /// Total frequency steps (both directions) of backend domain `idx`.
+    pub fn freq_steps(&self, idx: usize) -> u64 {
+        self.freq_steps_up[idx] + self.freq_steps_down[idx]
     }
 }
 
@@ -151,9 +199,33 @@ mod tests {
 
     #[test]
     fn total_dispatch_stalls_sums() {
-        let mut m = Metrics::default();
-        m.dispatch_stalls = [1, 2, 3, 4, 5, 6];
+        let m = Metrics {
+            dispatch_stalls: [1, 2, 3, 4, 5, 6],
+            ..Metrics::default()
+        };
         assert_eq!(m.total_dispatch_stalls(), 21);
+    }
+
+    #[test]
+    fn mean_reaction_time_requires_reactions() {
+        let mut m = Metrics::default();
+        assert_eq!(m.mean_reaction_time_ns(0), None);
+        m.reaction_sum_ps = [24_000, 0, 0];
+        m.reaction_count = [3, 0, 0];
+        assert_eq!(m.mean_reaction_time_ns(0), Some(8.0));
+        assert_eq!(m.mean_reaction_time_ns(1), None);
+    }
+
+    #[test]
+    fn freq_steps_sum_both_directions() {
+        let m = Metrics {
+            freq_steps_up: [2, 0, 1],
+            freq_steps_down: [3, 0, 0],
+            ..Metrics::default()
+        };
+        assert_eq!(m.freq_steps(0), 5);
+        assert_eq!(m.freq_steps(1), 0);
+        assert_eq!(m.freq_steps(2), 1);
     }
 
     #[test]

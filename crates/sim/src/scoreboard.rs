@@ -404,7 +404,7 @@ mod tests {
         // reference implementation the engine used to rely on.
         let mut m = AddrMap::new();
         let mut reference: HashMap<u64, u64> = HashMap::new();
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEFu64;
         for round in 0..50_000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
             let key = (state >> 33) % 4096 * 8;

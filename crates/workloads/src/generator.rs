@@ -164,7 +164,7 @@ impl TraceGenerator {
                 })
                 .collect();
             for &(c, q, _) in &quotas {
-                map.extend(std::iter::repeat(c).take(q));
+                map.extend(std::iter::repeat_n(c, q));
             }
             quotas.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("fractions are finite"));
             let mut i = 0;

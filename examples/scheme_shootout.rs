@@ -32,7 +32,8 @@ fn main() {
 
     let baseline = simulate(benchmark, ops, None);
 
-    let schemes: Vec<(&str, Box<dyn Fn(DomainId) -> Box<dyn DvfsController>>)> = vec![
+    type ControllerFactory = Box<dyn Fn(DomainId) -> Box<dyn DvfsController>>;
+    let schemes: Vec<(&str, ControllerFactory)> = vec![
         (
             "adaptive (this paper)",
             Box::new(|d| {

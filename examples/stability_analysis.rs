@@ -51,7 +51,7 @@ fn main() {
         f: 1.0,
     };
     let traj = model.simulate(init, 0.05, 40_000, |t| {
-        if (t / 250.0) as u64 % 2 == 0 {
+        if ((t / 250.0) as u64).is_multiple_of(2) {
             0.85
         } else {
             0.45

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate.
+
+Compares a freshly produced `repro all --quick --bench-out` record against
+the checked-in reference (results/bench_sim.json).
+
+Exact comparisons — these are deterministic counts, so any drift means the
+workload actually changed:
+  * total_runs, total_instructions, total_baseline_cache_hits
+  * per-experiment runs, instructions, baseline_cache_hits and kind
+  * analysis-kind experiments must report zero runs
+
+Wall-clock is compared within a generous tolerance (CI machines vary
+wildly); the default allows the fresh run to take up to WALL_TOLERANCE
+times the reference total.
+
+Usage: bench_gate.py REFERENCE FRESH
+"""
+
+import json
+import os
+import sys
+
+WALL_TOLERANCE = float(os.environ.get("WALL_TOLERANCE", "4.0"))
+
+EXACT_TOTALS = ["total_runs", "total_instructions", "total_baseline_cache_hits"]
+EXACT_FIELDS = ["kind", "runs", "instructions", "baseline_cache_hits"]
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} REFERENCE FRESH")
+    ref = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    errors = []
+
+    for key in EXACT_TOTALS:
+        if ref[key] != fresh[key]:
+            errors.append(f"{key}: reference {ref[key]} != fresh {fresh[key]}")
+
+    ref_exps = {e["experiment"]: e for e in ref["experiments"]}
+    fresh_exps = {e["experiment"]: e for e in fresh["experiments"]}
+    if set(ref_exps) != set(fresh_exps):
+        errors.append(
+            f"experiment sets differ: only-reference={sorted(set(ref_exps) - set(fresh_exps))} "
+            f"only-fresh={sorted(set(fresh_exps) - set(ref_exps))}"
+        )
+    for name in sorted(set(ref_exps) & set(fresh_exps)):
+        r, f = ref_exps[name], fresh_exps[name]
+        for key in EXACT_FIELDS:
+            if r[key] != f[key]:
+                errors.append(f"{name}.{key}: reference {r[key]!r} != fresh {f[key]!r}")
+        if f["kind"] == "analysis" and f["runs"] != 0:
+            errors.append(f"{name}: analysis experiment reports {f['runs']} runs")
+
+    budget = ref["total_wall_s"] * WALL_TOLERANCE
+    if fresh["total_wall_s"] > budget:
+        errors.append(
+            f"total_wall_s {fresh['total_wall_s']:.3f}s exceeds "
+            f"{WALL_TOLERANCE:.1f}x reference ({budget:.3f}s)"
+        )
+
+    if errors:
+        print("bench gate: FAIL", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"bench gate: OK ({fresh['total_runs']} runs, "
+        f"{fresh['total_instructions']} instructions, "
+        f"wall {fresh['total_wall_s']:.1f}s <= {budget:.1f}s budget)"
+    )
+
+
+if __name__ == "__main__":
+    main()

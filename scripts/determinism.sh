@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Determinism gate: the headline experiment's report must be
+# byte-identical whatever the worker count — each simulation is
+# single-threaded and deterministic; parallelism only reorders wall-clock.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=target/release/repro
+if [[ ! -x "$bin" ]]; then
+  cargo build --release --workspace
+fi
+
+ref=$(mktemp)
+other=$(mktemp)
+trap 'rm -f "$ref" "$other"' EXIT
+
+"$bin" headline --quick --jobs 1 > "$ref"
+for jobs in 2 8; do
+  "$bin" headline --quick --jobs "$jobs" > "$other"
+  if ! cmp "$ref" "$other"; then
+    echo "determinism: headline --quick differs between --jobs 1 and --jobs $jobs" >&2
+    exit 1
+  fi
+done
+echo "determinism: OK (headline --quick byte-identical at 1, 2 and 8 jobs)"

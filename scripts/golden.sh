@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Golden-report gate: the checked-in quick reports under results/golden/
+# must match what the current tree produces, byte for byte.
+#
+#   scripts/golden.sh --check   regenerate into a temp dir and diff (CI)
+#   scripts/golden.sh --bless   regenerate results/golden/ in place
+#
+# Bless workflow: when a change intentionally alters a report, run
+# `scripts/golden.sh --bless`, eyeball `git diff results/golden/`, and
+# commit the new snapshots together with the change that caused them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:---check}"
+bin=target/release/repro
+
+if [[ ! -x "$bin" ]]; then
+  cargo build --release --workspace
+fi
+
+case "$mode" in
+  --bless)
+    rm -rf results/golden
+    "$bin" all --quick --jobs 4 --out results/golden > /dev/null
+    echo "golden: blessed $(ls results/golden | wc -l) reports into results/golden/"
+    ;;
+  --check)
+    fresh=$(mktemp -d)
+    trap 'rm -rf "$fresh"' EXIT
+    "$bin" all --quick --jobs 4 --out "$fresh" > /dev/null
+    if ! diff -ru results/golden "$fresh"; then
+      echo "golden: MISMATCH — if intentional, run scripts/golden.sh --bless and commit" >&2
+      exit 1
+    fi
+    echo "golden: OK ($(ls results/golden | wc -l) reports byte-identical)"
+    ;;
+  *)
+    echo "usage: scripts/golden.sh [--check|--bless]" >&2
+    exit 2
+    ;;
+esac

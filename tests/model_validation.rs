@@ -10,8 +10,10 @@ use mcd_workloads::{registry, TraceGenerator};
 /// the INT domain pinned at `idx` and everything else at maximum.
 fn mips_at(idx: OpIndex, ops: u64) -> (f64, f64) {
     let spec = registry::by_name("adpcm_decode").expect("registered");
-    let mut cfg = SimConfig::default();
-    cfg.jitter_sigma_ps = 0.0;
+    let cfg = SimConfig {
+        jitter_sigma_ps: 0.0,
+        ..SimConfig::default()
+    };
     let r = Machine::new(cfg, TraceGenerator::new(&spec, ops, 1))
         .with_controller(DomainId::Int, Box::new(FixedOperatingPoint(idx)))
         .run();
