@@ -1,9 +1,10 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--ops N] [--quick] [--seed S] [--jobs N] [--out DIR]
-//!                    [--bench-out FILE] [--trace-out FILE]
-//! repro all [--ops N] [--jobs N] [--out DIR] [--bench-out FILE] [--trace-out FILE]
+//! repro <experiment>... [--ops N] [--quick] [--seed S] [--jobs N] [--out DIR]
+//!                       [--bench-out FILE] [--trace-out FILE]
+//!                       [--checkpoint DIR] [--resume] [--run-timeout SECS]
+//! repro all [same flags]
 //! repro list
 //! ```
 //!
@@ -20,19 +21,31 @@
 //! With `--trace-out FILE`, every controller decision in every
 //! simulation is written to `FILE` as JSON lines, one event per line,
 //! tagged with the run that produced it.
+//!
+//! The sweep is fault-isolated: an experiment that panics, reports a
+//! typed error, or (with `--run-timeout SECS`) exceeds its wall-clock
+//! budget does not stop the others. Transient failures (panics and
+//! timeouts) are retried once. The sweep finishes everything it can,
+//! prints a failure table naming what it could not, and exits nonzero if
+//! anything failed. With `--checkpoint DIR`, each completed experiment is
+//! recorded on the spot; `--resume` replays recorded entries instead of
+//! re-running them, regenerating byte-identical reports (DESIGN.md §7).
 
-use std::io::Write;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use mcd_bench::checkpoint::{write_file, CheckpointDir, CompletedRun};
+use mcd_bench::error::RunError;
 use mcd_bench::experiments;
+use mcd_bench::parallel::par_try_map;
 use mcd_bench::runner::{ControllerActivity, RunConfig, RunSet};
 use mcd_bench::table::Table;
 
 fn usage() -> String {
     format!(
-        "usage: repro <experiment|all|list> [--ops N] [--quick] [--seed S] [--jobs N] \
-         [--out DIR] [--bench-out FILE] [--trace-out FILE]\n\
+        "usage: repro <experiment>...|all|list [--ops N] [--quick] [--seed S] [--jobs N] \
+         [--out DIR] [--bench-out FILE] [--trace-out FILE] \
+         [--checkpoint DIR] [--resume] [--run-timeout SECS]\n\
          experiments: {}",
         experiments::ALL.join(", ")
     )
@@ -40,40 +53,6 @@ fn usage() -> String {
 
 /// Backend-domain display names, indexed like [`ControllerActivity`].
 const DOMAINS: [&str; 3] = ["INT", "FP", "LS"];
-
-/// One experiment's timing record for the `--bench-out` report.
-struct BenchRecord {
-    id: &'static str,
-    kind: experiments::Kind,
-    wall_s: f64,
-    runs: u64,
-    instructions: u64,
-    baseline_hits: u64,
-}
-
-impl BenchRecord {
-    fn simulated_mips(&self) -> f64 {
-        if self.wall_s > 0.0 {
-            self.instructions as f64 / self.wall_s / 1e6
-        } else {
-            0.0
-        }
-    }
-
-    fn to_json(&self) -> String {
-        format!(
-            "    {{\"experiment\": \"{}\", \"kind\": \"{}\", \"wall_s\": {:.3}, \"runs\": {}, \
-             \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {:.2}}}",
-            self.id,
-            self.kind.label(),
-            self.wall_s,
-            self.runs,
-            self.instructions,
-            self.baseline_hits,
-            self.simulated_mips()
-        )
-    }
-}
 
 /// Formats an optional float as JSON (`null` when absent).
 fn json_opt(x: Option<f64>) -> String {
@@ -148,26 +127,29 @@ fn activity_table(a: &ControllerActivity) -> String {
 fn bench_report(
     jobs: usize,
     total_wall_s: f64,
-    records: &[BenchRecord],
+    records: &[(&'static str, CompletedRun)],
     activity: &ControllerActivity,
 ) -> String {
-    let runs: u64 = records.iter().map(|r| r.runs).sum();
-    let instructions: u64 = records.iter().map(|r| r.instructions).sum();
-    let hits: u64 = records.iter().map(|r| r.baseline_hits).sum();
+    let runs: u64 = records.iter().map(|(_, r)| r.runs).sum();
+    let instructions: u64 = records.iter().map(|(_, r)| r.instructions).sum();
+    let hits: u64 = records.iter().map(|(_, r)| r.baseline_hits).sum();
     // Aggregate throughput is meaningful only over the experiments that
     // actually simulate; analysis experiments contribute zero
     // instructions in epsilon wall-clock and would only add noise.
     let sim_wall_s: f64 = records
         .iter()
-        .filter(|r| r.kind == experiments::Kind::Simulation)
-        .map(|r| r.wall_s)
+        .filter(|(_, r)| r.kind == experiments::Kind::Simulation.label())
+        .map(|(_, r)| r.wall_s)
         .sum();
     let mips = if sim_wall_s > 0.0 {
         instructions as f64 / sim_wall_s / 1e6
     } else {
         0.0
     };
-    let body: Vec<String> = records.iter().map(BenchRecord::to_json).collect();
+    let body: Vec<String> = records
+        .iter()
+        .map(|(id, r)| format!("    {}", r.record_json(id)))
+        .collect();
     format!(
         "{{\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_wall_s:.3},\n  \
          \"total_runs\": {runs},\n  \"total_instructions\": {instructions},\n  \
@@ -193,23 +175,32 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Writes collected event traces as JSON lines: one event per line,
+/// Renders collected event traces as JSON lines: one event per line,
 /// each tagged with the run label that produced it.
-fn write_traces(
-    path: &std::path::Path,
-    traces: &[(String, Vec<mcd_sim::TraceEvent>)],
-) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    let mut w = std::io::BufWriter::new(file);
+fn render_traces(traces: &[(String, Vec<mcd_sim::TraceEvent>)]) -> String {
+    let mut out = String::new();
     for (label, events) in traces {
         let run = json_escape(label);
         for ev in events {
             let body = ev.to_json();
             // Splice the run tag into the event object: {"run":"...",...}.
-            writeln!(w, "{{\"run\": \"{run}\", {}", &body[1..])?;
+            out.push_str(&format!("{{\"run\": \"{run}\", {}\n", &body[1..]));
         }
     }
-    w.flush()
+    out
+}
+
+/// Renders the end-of-sweep failure table.
+fn failure_table(failures: &[(&'static str, RunError)], total: usize) -> String {
+    let mut t = Table::new(["experiment", "class", "error"]);
+    for (id, e) in failures {
+        t.row([id.to_string(), e.kind().to_string(), e.to_string()]);
+    }
+    format!(
+        "FAILURES: {} of {total} experiments failed\n\n{}",
+        failures.len(),
+        t.render()
+    )
 }
 
 fn main() -> ExitCode {
@@ -218,27 +209,51 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     }
-    // "headline" is a friendlier alias for the reconstructed Figure 9.
-    let id = match args[0].as_str() {
-        "headline" => "fig9",
-        other => other,
-    };
-    if id == "list" {
+    if args[0] == "list" {
         for e in experiments::ALL {
             println!("{e}");
         }
         return ExitCode::SUCCESS;
     }
 
+    // Leading non-flag arguments are experiment ids ("headline" is a
+    // friendlier alias for the reconstructed Figure 9).
+    let mut ids: Vec<&'static str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() && !args[i].starts_with("--") {
+        let id = match args[i].as_str() {
+            "headline" => "fig9",
+            other => other,
+        };
+        if id == "all" {
+            ids.extend(experiments::ALL);
+        } else if let Some(&known) = experiments::ALL.iter().find(|&&e| e == id) {
+            if !ids.contains(&known) {
+                ids.push(known);
+            }
+        } else {
+            eprintln!("unknown experiment {id}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments named\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
     let mut cfg = RunConfig::full();
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut bench_out: Option<std::path::PathBuf> = None;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut run_timeout: Option<Duration> = None;
     let mut jobs = mcd_bench::parallel::default_jobs();
-    let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = RunConfig::quick(),
+            "--resume" => resume = true,
             "--out" => {
                 i += 1;
                 let Some(dir) = args.get(i) else {
@@ -262,6 +277,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 trace_out = Some(std::path::PathBuf::from(file));
+            }
+            "--checkpoint" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--checkpoint needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--run-timeout" => {
+                i += 1;
+                let Some(secs) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--run-timeout needs seconds\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("--run-timeout needs positive seconds\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                run_timeout = Some(Duration::from_secs_f64(secs));
             }
             "--jobs" => {
                 i += 1;
@@ -298,68 +333,108 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-
-    let ids: Vec<&'static str> = if id == "all" {
-        experiments::ALL.to_vec()
-    } else if let Some(&known) = experiments::ALL.iter().find(|&&e| e == id) {
-        vec![known]
-    } else {
-        eprintln!("unknown experiment {id}\n{}", usage());
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume needs --checkpoint DIR\n{}", usage());
         return ExitCode::FAILURE;
-    };
-
-    if let Some(dir) = &out_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
-        }
     }
 
+    let checkpoint = match &checkpoint_dir {
+        Some(dir) => match CheckpointDir::open(dir, &CheckpointDir::fingerprint(&cfg)) {
+            Ok(ck) => Some(ck),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let rs = RunSet::init_global(jobs, trace_out.is_some());
-    let mut records = Vec::with_capacity(ids.len());
     let all_start = Instant::now();
-    for (n, id) in ids.iter().enumerate() {
-        if n > 0 {
-            println!("\n{}\n", "=".repeat(78));
+
+    // Replay checkpointed entries, then run what is left. One ordered
+    // outcome slot per experiment either way.
+    let mut outcomes: Vec<Option<Result<CompletedRun, RunError>>> = Vec::new();
+    outcomes.resize_with(ids.len(), || None);
+    if resume {
+        let ck = checkpoint.as_ref().expect("checked above");
+        for (slot, id) in outcomes.iter_mut().zip(&ids) {
+            if let Some(run) = ck.load(id) {
+                *slot = Some(Ok(run));
+            }
         }
+    }
+    let pending: Vec<(usize, &'static str)> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_none())
+        .map(|(n, _)| (n, ids[n]))
+        .collect();
+
+    // The experiments themselves parallelize *inside* a run via the
+    // RunSet worker pool; the sweep over experiments runs one at a time
+    // (jobs=1) so per-experiment counter deltas stay attributable. The
+    // isolation lives in par_try_map: panic capture, the optional
+    // per-run wall-clock budget, and one retry for transient failures.
+    let sweep_cfg = cfg.clone();
+    let sweep_ck = checkpoint.clone();
+    let results = par_try_map(1, pending.clone(), run_timeout, move |(_, id)| {
         let before = rs.stats();
         let start = Instant::now();
-        let report = experiments::run(id, &cfg);
+        let report = experiments::run_on(rs, id, &sweep_cfg)?;
         let wall_s = start.elapsed().as_secs_f64();
         let after = rs.stats();
-        records.push(BenchRecord {
-            id,
-            kind: experiments::kind(id),
+        let run = CompletedRun {
+            report,
+            kind: experiments::kind(id)
+                .expect("ids are validated against ALL")
+                .label()
+                .to_string(),
             wall_s,
             runs: after.runs - before.runs,
             instructions: after.instructions - before.instructions,
             baseline_hits: after.baseline_hits - before.baseline_hits,
-        });
-        println!("{report}");
-        if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{id}.txt"));
-            if let Err(e) = std::fs::write(&path, &report) {
-                eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
+        };
+        if let Some(ck) = &sweep_ck {
+            ck.store(id, &run)?;
+        }
+        Ok(run)
+    });
+    for ((n, _), result) in pending.into_iter().zip(results) {
+        outcomes[n] = Some(result);
+    }
+
+    // Reports in request order; failures collected for the table.
+    let mut records: Vec<(&'static str, CompletedRun)> = Vec::new();
+    let mut failures: Vec<(&'static str, RunError)> = Vec::new();
+    let mut exit = ExitCode::SUCCESS;
+    for (id, outcome) in ids.iter().zip(outcomes) {
+        match outcome.expect("every slot is replayed or run") {
+            Ok(run) => {
+                if !records.is_empty() {
+                    println!("\n{}\n", "=".repeat(78));
+                }
+                println!("{}", run.report);
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.txt"));
+                    if let Err(e) = write_file(&path, run.report.as_bytes()) {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                records.push((id, run));
             }
+            Err(e) => failures.push((id, e)),
         }
     }
     if let Some(path) = &trace_out {
         let traces = rs.drain_traces().unwrap_or_default();
-        if let Err(e) = write_traces(path, &traces) {
-            eprintln!("cannot write {}: {e}", path.display());
+        if let Err(e) = write_file(path, render_traces(&traces).as_bytes()) {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
     if let Some(path) = &bench_out {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                if let Err(e) = std::fs::create_dir_all(parent) {
-                    eprintln!("cannot create {}: {e}", parent.display());
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
         let activity = rs.activity();
         println!("\n{}\n", "=".repeat(78));
         println!("{}", activity_table(&activity));
@@ -369,10 +444,18 @@ fn main() -> ExitCode {
             &records,
             &activity,
         );
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("cannot write {}: {e}", path.display());
+        if let Err(e) = write_file(path, json.as_bytes()) {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
-    ExitCode::SUCCESS
+    if !failures.is_empty() {
+        println!("\n{}\n", "=".repeat(78));
+        println!("{}", failure_table(&failures, ids.len()));
+        if checkpoint.is_some() && !resume {
+            println!("completed experiments are checkpointed; re-run with --resume to retry only the failures");
+        }
+        exit = ExitCode::FAILURE;
+    }
+    exit
 }

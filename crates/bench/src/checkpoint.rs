@@ -1,0 +1,266 @@
+//! Resumable sweep checkpoints (`repro --checkpoint DIR`, DESIGN.md §7).
+//!
+//! A checkpoint directory records each completed experiment as two files,
+//! written the moment the experiment finishes so a killed sweep loses at
+//! most the run in flight:
+//!
+//! * `<id>.report.txt` — the rendered report, byte-exact;
+//! * `<id>.record.json` — the bench record (wall-clock, run and
+//!   instruction counters) in the same shape as one `--bench-out` entry.
+//!
+//! `manifest.json` pins the configuration fingerprint (ops, seed, PID
+//! interval, q_ref scale). Resuming against a directory recorded under a
+//! different configuration is refused — mixing reports from two
+//! configurations would silently corrupt the regenerated output.
+//! Reports are deterministic for a fixed configuration, so an entry
+//! replayed from the checkpoint is byte-identical to re-running it.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::RunError;
+use crate::runner::RunConfig;
+
+/// Maps an `std::io::Error` at `path` onto the typed taxonomy.
+fn io_err(path: &Path, e: std::io::Error) -> RunError {
+    RunError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Writes `contents` to `path`, creating missing parent directories.
+/// Every file the harness emits (`--out`, `--bench-out`, `--trace-out`,
+/// checkpoints) goes through here so path handling and error reporting
+/// are uniform.
+pub fn write_file(path: &Path, contents: &[u8]) -> Result<(), RunError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| io_err(path, e))
+}
+
+/// One completed experiment as recorded in (or replayed from) a
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRun {
+    /// The rendered report, byte-exact.
+    pub report: String,
+    /// Experiment kind label (`simulation` / `analysis`).
+    pub kind: String,
+    /// Wall-clock seconds the original run took.
+    pub wall_s: f64,
+    /// Simulations the run executed.
+    pub runs: u64,
+    /// Instructions simulated.
+    pub instructions: u64,
+    /// Baseline-cache hits.
+    pub baseline_hits: u64,
+}
+
+impl CompletedRun {
+    /// Renders the `--bench-out`-shaped record line.
+    pub fn record_json(&self, id: &str) -> String {
+        let mips = if self.wall_s > 0.0 {
+            self.instructions as f64 / self.wall_s / 1e6
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"experiment\": \"{id}\", \"kind\": \"{}\", \"wall_s\": {:.3}, \"runs\": {}, \
+             \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {mips:.2}}}",
+            self.kind, self.wall_s, self.runs, self.instructions, self.baseline_hits,
+        )
+    }
+}
+
+/// Finds the raw text of `"key": <value>` in a flat JSON object. Values
+/// here are numbers or simple quoted labels — never nested objects or
+/// strings containing commas.
+fn raw_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn str_field(json: &str, key: &str) -> Option<String> {
+    let raw = raw_field(json, key)?;
+    Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
+}
+
+fn u64_field(json: &str, key: &str) -> Option<u64> {
+    raw_field(json, key)?.parse().ok()
+}
+
+fn f64_field(json: &str, key: &str) -> Option<f64> {
+    raw_field(json, key)?.parse().ok()
+}
+
+/// An open checkpoint directory with a verified configuration manifest.
+#[derive(Debug, Clone)]
+pub struct CheckpointDir {
+    dir: PathBuf,
+}
+
+impl CheckpointDir {
+    /// The configuration fingerprint recorded in the manifest: everything
+    /// a `repro` sweep lets the user vary that changes report bytes.
+    pub fn fingerprint(cfg: &RunConfig) -> String {
+        format!(
+            "ops={};seed={};pid_interval={};q_ref_scale={}",
+            cfg.ops, cfg.seed, cfg.pid_interval, cfg.q_ref_scale
+        )
+    }
+
+    /// Opens (creating if needed) `dir` for the configuration described
+    /// by `fingerprint`. Refuses a directory recorded under a different
+    /// fingerprint.
+    pub fn open(dir: impl Into<PathBuf>, fingerprint: &str) -> Result<Self, RunError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let manifest = dir.join("manifest.json");
+        match std::fs::read_to_string(&manifest) {
+            Ok(text) => {
+                let recorded = str_field(&text, "fingerprint").ok_or_else(|| RunError::Io {
+                    path: manifest.display().to_string(),
+                    message: "manifest has no fingerprint field".into(),
+                })?;
+                if recorded != fingerprint {
+                    return Err(RunError::Config(format!(
+                        "checkpoint {} was recorded under a different configuration \
+                         ({recorded}) than the one requested ({fingerprint}); \
+                         use a fresh directory",
+                        dir.display()
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                write_file(
+                    &manifest,
+                    format!("{{\"version\": 1, \"fingerprint\": \"{fingerprint}\"}}\n").as_bytes(),
+                )?;
+            }
+            Err(e) => return Err(io_err(&manifest, e)),
+        }
+        Ok(CheckpointDir { dir })
+    }
+
+    fn report_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.report.txt"))
+    }
+
+    fn record_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.record.json"))
+    }
+
+    /// Records a completed experiment. The report is written before the
+    /// record, so a crash between the two leaves an entry [`Self::load`]
+    /// treats as incomplete.
+    pub fn store(&self, id: &str, run: &CompletedRun) -> Result<(), RunError> {
+        write_file(&self.report_path(id), run.report.as_bytes())?;
+        let mut record = run.record_json(id);
+        record.push('\n');
+        write_file(&self.record_path(id), record.as_bytes())
+    }
+
+    /// Replays a completed experiment, or `None` if the entry is absent,
+    /// partial, or unreadable (those simply re-run).
+    pub fn load(&self, id: &str) -> Option<CompletedRun> {
+        let report = std::fs::read_to_string(self.report_path(id)).ok()?;
+        let record = std::fs::read_to_string(self.record_path(id)).ok()?;
+        Some(CompletedRun {
+            report,
+            kind: str_field(&record, "kind")?,
+            wall_s: f64_field(&record, "wall_s")?,
+            runs: u64_field(&record, "runs")?,
+            instructions: u64_field(&record, "instructions")?,
+            baseline_hits: u64_field(&record, "baseline_cache_hits")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn scratch_dir() -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        std::env::temp_dir().join(format!(
+            "mcd-checkpoint-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample() -> CompletedRun {
+        CompletedRun {
+            report: "Figure N\n\nline one\nline two\n".into(),
+            kind: "simulation".into(),
+            wall_s: 1.25,
+            runs: 7,
+            instructions: 123_456,
+            baseline_hits: 3,
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = scratch_dir();
+        let ck = CheckpointDir::open(&dir, "ops=1;seed=1").expect("open");
+        assert_eq!(ck.load("fig9"), None, "empty checkpoint has no entries");
+        ck.store("fig9", &sample()).expect("store");
+        let back = ck.load("fig9").expect("entry present");
+        assert_eq!(back, sample());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_refused() {
+        let dir = scratch_dir();
+        CheckpointDir::open(&dir, "ops=600000;seed=1").expect("create");
+        let err = CheckpointDir::open(&dir, "ops=40000;seed=1").unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+        assert!(err.to_string().contains("different configuration"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_entries_do_not_resume() {
+        let dir = scratch_dir();
+        let ck = CheckpointDir::open(&dir, "fp").expect("open");
+        // Report written but no record (simulated crash between the two).
+        write_file(&dir.join("fig7.report.txt"), b"partial").expect("write");
+        assert_eq!(ck.load("fig7"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_file_creates_parents() {
+        let dir = scratch_dir();
+        let deep = dir.join("a/b/c.txt");
+        write_file(&deep, b"x").expect("nested write");
+        assert_eq!(std::fs::read(&deep).expect("read back"), b"x");
+        let err = write_file(&dir.join("a/b"), b"clobber a directory").unwrap_err();
+        assert_eq!(err.kind(), "io");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_report_shaping_knobs() {
+        let full = RunConfig::full();
+        let mut other = RunConfig::full();
+        other.q_ref_scale = 1.5;
+        assert_ne!(
+            CheckpointDir::fingerprint(&full),
+            CheckpointDir::fingerprint(&other)
+        );
+        assert_ne!(
+            CheckpointDir::fingerprint(&full),
+            CheckpointDir::fingerprint(&RunConfig::quick())
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed errors for experiment runs (DESIGN.md §7).
+//!
+//! A sweep over many (benchmark, scheme, configuration) runs must not die
+//! on the first bad run: the harness distinguishes *permanent* failures
+//! (a configuration that can never work, a workload that does not exist)
+//! from *transient* ones (a panic in a worker, a run that blew its
+//! wall-clock budget) so it can retry the latter once, finish everything
+//! else, and report a structured failure table at the end.
+
+use mcd_power::TimePs;
+use mcd_sim::SimError;
+
+/// Why one experiment run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The simulator or run configuration is structurally invalid — the
+    /// run can never succeed, whatever the retry policy.
+    Config(String),
+    /// The benchmark is unknown or its workload specification is
+    /// unusable.
+    Workload(String),
+    /// The simulation exceeded `max_sim_time` before retiring its
+    /// instruction budget — the livelock guard fired.
+    Diverged {
+        /// Simulated time when the guard fired.
+        at: TimePs,
+        /// Instructions retired by then.
+        retired: u64,
+    },
+    /// The run exceeded its wall-clock budget (`repro --run-timeout`).
+    Timeout {
+        /// The budget that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The worker thread panicked; the payload message is preserved.
+    Panicked(String),
+    /// A filesystem operation (checkpoint, report, trace output) failed.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying error's message.
+        message: String,
+    },
+}
+
+impl RunError {
+    /// Short machine-readable class label, as used in the failure table
+    /// and the checkpoint records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Config(_) => "config-invalid",
+            RunError::Workload(_) => "workload-invalid",
+            RunError::Diverged { .. } => "sim-diverged",
+            RunError::Timeout { .. } => "timeout",
+            RunError::Panicked(_) => "panicked",
+            RunError::Io { .. } => "io",
+        }
+    }
+
+    /// Whether a retry could plausibly succeed. Panics and timeouts are
+    /// environmental (a wedged thread, a loaded machine); everything else
+    /// is deterministic and would fail identically.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunError::Timeout { .. } | RunError::Panicked(_))
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(why) => write!(f, "invalid configuration: {why}"),
+            RunError::Workload(why) => write!(f, "invalid workload: {why}"),
+            RunError::Diverged { at, retired } => write!(
+                f,
+                "simulation diverged: exceeded max_sim_time at {at} with {retired} retired"
+            ),
+            RunError::Timeout { limit_ms } => {
+                write!(f, "run exceeded its {limit_ms} ms wall-clock budget")
+            }
+            RunError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            RunError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::InvalidConfig(why) => RunError::Config(why),
+            SimError::InvalidWorkload(why) => RunError::Workload(why),
+            SimError::Diverged { at, retired } => RunError::Diverged { at, retired },
+        }
+    }
+}
+
+/// Extracts a printable message from a `catch_unwind` payload. Panic
+/// payloads are almost always `&str` or `String`; anything else gets a
+/// placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        let cases: [(RunError, &str); 6] = [
+            (RunError::Config("x".into()), "config-invalid"),
+            (RunError::Workload("x".into()), "workload-invalid"),
+            (
+                RunError::Diverged {
+                    at: TimePs::new(1),
+                    retired: 0,
+                },
+                "sim-diverged",
+            ),
+            (RunError::Timeout { limit_ms: 5 }, "timeout"),
+            (RunError::Panicked("x".into()), "panicked"),
+            (
+                RunError::Io {
+                    path: "p".into(),
+                    message: "m".into(),
+                },
+                "io",
+            ),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_panics_and_timeouts_are_transient() {
+        assert!(RunError::Timeout { limit_ms: 1 }.is_transient());
+        assert!(RunError::Panicked("boom".into()).is_transient());
+        assert!(!RunError::Config("bad".into()).is_transient());
+        assert!(!RunError::Workload("bad".into()).is_transient());
+        assert!(!RunError::Diverged {
+            at: TimePs::new(1),
+            retired: 0
+        }
+        .is_transient());
+        assert!(!RunError::Io {
+            path: "p".into(),
+            message: "m".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn sim_errors_map_onto_run_errors() {
+        let e: RunError = SimError::InvalidConfig("w".into()).into();
+        assert_eq!(e, RunError::Config("w".into()));
+        let e: RunError = SimError::InvalidWorkload("w".into()).into();
+        assert_eq!(e, RunError::Workload("w".into()));
+        let e: RunError = SimError::Diverged {
+            at: TimePs::new(7),
+            retired: 3,
+        }
+        .into();
+        assert_eq!(e.kind(), "sim-diverged");
+    }
+}

@@ -8,6 +8,7 @@ use mcd_power::OpIndex;
 use mcd_sim::{DomainId, Machine, SimResult, SyncModel};
 use mcd_workloads::{registry, synthetic, TraceGenerator, VariabilityClass};
 
+use crate::error::RunError;
 use crate::runner::{controller_for, pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
@@ -17,17 +18,15 @@ fn run_spec(
     scheme: Scheme,
     cfg: &RunConfig,
     sink: &mut dyn mcd_sim::TraceSink,
-) -> SimResult {
-    let mut machine = Machine::new(
-        cfg.sim.clone(),
-        TraceGenerator::new(spec, cfg.ops, cfg.seed),
-    );
+) -> Result<SimResult, RunError> {
+    let trace = TraceGenerator::try_new(spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
+    let mut machine = Machine::try_new(cfg.sim.clone(), trace)?;
     for &d in &DomainId::BACKEND {
         if let Some(c) = controller_for(scheme, d, cfg) {
             machine = machine.with_controller(d, c);
         }
     }
-    machine.run_traced(sink)
+    Ok(machine.try_run_traced(sink)?)
 }
 
 /// Wavelength sweep: how each scheme's EDP gain depends on the workload's
@@ -36,38 +35,42 @@ fn run_spec(
 /// This is the design space behind the paper's fast/slow split: the
 /// adaptive advantage concentrates where the wavelength is comparable to
 /// (or shorter than) the fixed interval.
-pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> String {
+pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     const PERIODS: [u64; 7] = [5_000, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000];
     // Synthetic specs are not registry-backed, so the baseline memo cache
     // does not apply; each period is one work item running its own
     // baseline plus the three controlled schemes.
-    let rows = rs.par(PERIODS.to_vec(), |period| {
-        let spec = synthetic::square_wave(period, 0.4);
-        let ops = cfg.ops.max(period * 3); // at least three full periods
-        let mut c = cfg.clone();
-        c.ops = ops;
-        let label = |scheme: Scheme| {
-            format!(
-                "wavelength|{period}|{}|ops={}|seed={}",
-                scheme.name(),
-                c.ops,
-                c.seed
-            )
-        };
-        let base = rs.run_custom(&label(Scheme::Baseline), |sink| {
-            run_spec(&spec, Scheme::Baseline, &c, sink)
-        });
-        let edp = |scheme| {
-            let run = rs.run_custom(&label(scheme), |sink| run_spec(&spec, scheme, &c, sink));
-            Outcome::versus(&run, &base).edp_improvement
-        };
-        (
-            period,
-            edp(Scheme::Adaptive),
-            edp(Scheme::Pid),
-            edp(Scheme::AttackDecay),
-        )
-    });
+    let rows = rs
+        .par(PERIODS.to_vec(), |period| {
+            let spec = synthetic::square_wave(period, 0.4);
+            let ops = cfg.ops.max(period * 3); // at least three full periods
+            let mut c = cfg.clone();
+            c.ops = ops;
+            let label = |scheme: Scheme| {
+                format!(
+                    "wavelength|{period}|{}|ops={}|seed={}",
+                    scheme.name(),
+                    c.ops,
+                    c.seed
+                )
+            };
+            let base = rs.run_custom(&label(Scheme::Baseline), |sink| {
+                run_spec(&spec, Scheme::Baseline, &c, sink)
+            })?;
+            let edp = |scheme| -> Result<f64, RunError> {
+                let run =
+                    rs.run_custom(&label(scheme), |sink| run_spec(&spec, scheme, &c, sink))?;
+                Ok(Outcome::versus(&run, &base).edp_improvement)
+            };
+            Ok((
+                period,
+                edp(Scheme::Adaptive)?,
+                edp(Scheme::Pid)?,
+                edp(Scheme::AttackDecay)?,
+            ))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
     let mut t = Table::new([
         "wavelength (insts)",
         "adaptive EDP",
@@ -82,7 +85,7 @@ pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> String {
             pct(attack_decay),
         ]);
     }
-    format!(
+    Ok(format!(
         "Extension: EDP gain vs workload-variation wavelength (square-wave FP/INT)\n\n{}\n\
          Reading guide: at wavelengths near 2x the fixed interval (20k insts) the\n\
          PID averages away the swing it is riding — the paper's motivating\n\
@@ -93,12 +96,12 @@ pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> String {
          fixed-interval schemes recover late because their instruction-framed\n\
          intervals stretch in wall-clock time exactly when the domain is slow.\n",
         t.render()
-    )
+    ))
 }
 
 /// Synchronization-interface comparison (Section 2's two families):
 /// arbitration window vs token-ring FIFO vs an ideal zero-cost interface.
-pub fn run_sync(rs: &RunSet, cfg: &RunConfig) -> String {
+pub fn run_sync(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     const INTERFACES: [(&str, SyncModel, u64); 3] = [
         ("arbitration 300ps", SyncModel::Arbitration, 300),
         ("token-ring FIFO", SyncModel::TokenRing, 300),
@@ -110,26 +113,29 @@ pub fn run_sync(rs: &RunSet, cfg: &RunConfig) -> String {
             tasks.push((name, interface));
         }
     }
-    let rows = rs.par(tasks, |(name, (label, model, window))| {
-        // The ideal baseline doubles as the "ideal (no sync)" row's own
-        // baseline, so the memo cache collapses the two.
-        let mut ideal = cfg.clone();
-        ideal.sim.sync_window = mcd_power::TimePs::new(0);
-        ideal.sim.jitter_sigma_ps = 0.0;
-        let ideal_base = rs.baseline(name, &ideal);
-        let mut c = cfg.clone();
-        c.sim.sync_model = model;
-        c.sim.sync_window = mcd_power::TimePs::new(window);
-        c.sim.jitter_sigma_ps = 0.0;
-        let base = rs.baseline(name, &c);
-        let adaptive = rs.run(name, Scheme::Adaptive, &c);
-        [
-            label.to_string(),
-            name.to_string(),
-            pct(base.sim_time.as_secs() / ideal_base.sim_time.as_secs() - 1.0),
-            pct(adaptive.edp_improvement_vs(&base)),
-        ]
-    });
+    let rows = rs
+        .par(tasks, |(name, (label, model, window))| {
+            // The ideal baseline doubles as the "ideal (no sync)" row's own
+            // baseline, so the memo cache collapses the two.
+            let mut ideal = cfg.clone();
+            ideal.sim.sync_window = mcd_power::TimePs::new(0);
+            ideal.sim.jitter_sigma_ps = 0.0;
+            let ideal_base = rs.baseline(name, &ideal)?;
+            let mut c = cfg.clone();
+            c.sim.sync_model = model;
+            c.sim.sync_window = mcd_power::TimePs::new(window);
+            c.sim.jitter_sigma_ps = 0.0;
+            let base = rs.baseline(name, &c)?;
+            let adaptive = rs.run(name, Scheme::Adaptive, &c)?;
+            Ok([
+                label.to_string(),
+                name.to_string(),
+                pct(base.sim_time.as_secs() / ideal_base.sim_time.as_secs() - 1.0),
+                pct(adaptive.edp_improvement_vs(&base)),
+            ])
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
     let mut t = Table::new([
         "interface",
         "benchmark",
@@ -139,35 +145,38 @@ pub fn run_sync(rs: &RunSet, cfg: &RunConfig) -> String {
     for row in rows {
         t.row(row);
     }
-    format!(
+    Ok(format!(
         "Extension: synchronization-interface families (Section 2)\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// The centralized-control extension (the paper's future work): shared
 /// blackboard vetoing down-steps while another domain is the bottleneck.
-pub fn run_centralized(rs: &RunSet, cfg: &RunConfig) -> String {
+pub fn run_centralized(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
         .iter()
         .map(|s| s.name)
         .collect();
-    let pairs = rs.par(names, |name| {
-        let spec = registry::by_name(name).expect("registered");
-        let base = rs.baseline(name, cfg);
-        let dec = Outcome::versus(&rs.run(name, Scheme::Adaptive, cfg), &base);
-        let label = format!("centralized|{name}|ops={}|seed={}", cfg.ops, cfg.seed);
-        let cen_result = rs.run_custom(&label, |sink| {
-            Machine::new(
-                cfg.sim.clone(),
-                TraceGenerator::new(&spec, cfg.ops, cfg.seed),
-            )
-            .with_controllers(coordinated_controllers())
-            .run_traced(sink)
-        });
-        let cen = Outcome::versus(&cen_result, &base);
-        (name, dec, cen)
-    });
+    let pairs = rs
+        .par(names, |name| {
+            let spec = registry::by_name(name)
+                .ok_or_else(|| RunError::Workload(format!("unknown benchmark {name}")))?;
+            let base = rs.baseline(name, cfg)?;
+            let dec = Outcome::versus(&rs.run(name, Scheme::Adaptive, cfg)?, &base);
+            let label = format!("centralized|{name}|ops={}|seed={}", cfg.ops, cfg.seed);
+            let cen_result = rs.run_custom(&label, |sink| {
+                let trace = TraceGenerator::try_new(&spec, cfg.ops, cfg.seed)
+                    .map_err(RunError::Workload)?;
+                Ok(Machine::try_new(cfg.sim.clone(), trace)?
+                    .with_controllers(coordinated_controllers())
+                    .try_run_traced(sink)?)
+            })?;
+            let cen = Outcome::versus(&cen_result, &base);
+            Ok((name, dec, cen))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
     let mut t = Table::new([
         "Benchmark",
         "decentralized E",
@@ -194,73 +203,76 @@ pub fn run_centralized(rs: &RunSet, cfg: &RunConfig) -> String {
     }
     let dm = Outcome::mean(&dec_all);
     let cm = Outcome::mean(&cen_all);
-    format!(
+    Ok(format!(
         "Extension: centralized coordination (paper's future work), fast group\n\n{}\n\
          Mean: decentralized EDP {} vs centralized EDP {}\n",
         t.render(),
         pct(dm.edp_improvement),
         pct(cm.edp_improvement)
-    )
+    ))
 }
 
 /// Static per-domain scaling bound: the best fixed operating point found
 /// by a per-domain coarse search (what an oracle *static* assignment
 /// achieves, contrasting with dynamic control).
-pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> String {
+pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     let grid = [0u16, 80, 160, 240, 320];
     // The greedy search is inherently sequential per benchmark (each
     // domain's winner feeds the next domain's sweep), so the benchmarks
     // themselves are the parallel work items.
     let names = ["adpcm_encode", "gzip", "wupwise", "mpeg2_decode"];
-    let rows = rs.par(names.to_vec(), |name| {
-        let spec = registry::by_name(name).expect("registered");
-        let base = rs.baseline(name, cfg);
-        let run_at = |points: [OpIndex; 3]| {
-            let label = format!(
-                "static|{name}|{}/{}/{}|ops={}|seed={}",
-                points[0].0, points[1].0, points[2].0, cfg.ops, cfg.seed
-            );
-            rs.run_custom(&label, |sink| {
-                let mut m = Machine::new(
-                    cfg.sim.clone(),
-                    TraceGenerator::new(&spec, cfg.ops, cfg.seed),
+    let rows = rs
+        .par(names.to_vec(), |name| {
+            let spec = registry::by_name(name)
+                .ok_or_else(|| RunError::Workload(format!("unknown benchmark {name}")))?;
+            let base = rs.baseline(name, cfg)?;
+            let run_at = |points: [OpIndex; 3]| -> Result<SimResult, RunError> {
+                let label = format!(
+                    "static|{name}|{}/{}/{}|ops={}|seed={}",
+                    points[0].0, points[1].0, points[2].0, cfg.ops, cfg.seed
                 );
-                for &dd in &DomainId::BACKEND {
-                    m = m.with_controller(
-                        dd,
-                        Box::new(FixedOperatingPoint(points[dd.backend_index()])),
-                    );
+                rs.run_custom(&label, |sink| {
+                    let trace = TraceGenerator::try_new(&spec, cfg.ops, cfg.seed)
+                        .map_err(RunError::Workload)?;
+                    let mut m = Machine::try_new(cfg.sim.clone(), trace)?;
+                    for &dd in &DomainId::BACKEND {
+                        m = m.with_controller(
+                            dd,
+                            Box::new(FixedOperatingPoint(points[dd.backend_index()])),
+                        );
+                    }
+                    Ok(m.try_run_traced(sink)?)
+                })
+            };
+            // Greedy per-domain search (domains are weakly coupled, Section 3).
+            let mut best = [OpIndex(320); 3];
+            for &d in &DomainId::BACKEND {
+                let mut best_edp = f64::MIN;
+                let mut best_idx = OpIndex(320);
+                for &idx in &grid {
+                    let mut points = best;
+                    points[d.backend_index()] = OpIndex(idx);
+                    let edp = run_at(points)?.edp_improvement_vs(&base);
+                    if edp > best_edp {
+                        best_edp = edp;
+                        best_idx = OpIndex(idx);
+                    }
                 }
-                m.run_traced(sink)
-            })
-        };
-        // Greedy per-domain search (domains are weakly coupled, Section 3).
-        let mut best = [OpIndex(320); 3];
-        for &d in &DomainId::BACKEND {
-            let mut best_edp = f64::MIN;
-            let mut best_idx = OpIndex(320);
-            for &idx in &grid {
-                let mut points = best;
-                points[d.backend_index()] = OpIndex(idx);
-                let edp = run_at(points).edp_improvement_vs(&base);
-                if edp > best_edp {
-                    best_edp = edp;
-                    best_idx = OpIndex(idx);
-                }
+                best[d.backend_index()] = best_idx;
             }
-            best[d.backend_index()] = best_idx;
-        }
-        let static_edp = run_at(best).edp_improvement_vs(&base);
-        let adaptive_edp = rs
-            .run(name, Scheme::Adaptive, cfg)
-            .edp_improvement_vs(&base);
-        [
-            name.to_string(),
-            format!("{}/{}/{}", best[0].0, best[1].0, best[2].0),
-            pct(static_edp),
-            pct(adaptive_edp),
-        ]
-    });
+            let static_edp = run_at(best)?.edp_improvement_vs(&base);
+            let adaptive_edp = rs
+                .run(name, Scheme::Adaptive, cfg)?
+                .edp_improvement_vs(&base);
+            Ok([
+                name.to_string(),
+                format!("{}/{}/{}", best[0].0, best[1].0, best[2].0),
+                pct(static_edp),
+                pct(adaptive_edp),
+            ])
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
     let mut t = Table::new([
         "Benchmark",
         "best static (INT/FP/LS idx)",
@@ -270,19 +282,22 @@ pub fn run_static(rs: &RunSet, cfg: &RunConfig) -> String {
     for row in rows {
         t.row(row);
     }
-    format!(
+    Ok(format!(
         "Extension: best static per-domain operating points vs dynamic adaptive control\n\n{}",
         t.render()
-    )
+    ))
 }
 
 /// Per-domain, per-category energy breakdown: where the savings come from.
-pub fn run_energy_breakdown(rs: &RunSet, cfg: &RunConfig) -> String {
-    let results = rs.par(vec!["adpcm_encode", "swim"], |name| {
-        let base = rs.baseline(name, cfg);
-        let adap = rs.run(name, Scheme::Adaptive, cfg);
-        (name, base, adap)
-    });
+pub fn run_energy_breakdown(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let results = rs
+        .par(vec!["adpcm_encode", "swim"], |name| {
+            let base = rs.baseline(name, cfg)?;
+            let adap = rs.run(name, Scheme::Adaptive, cfg)?;
+            Ok((name, base, adap))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
     let mut out = String::from("Extension: per-domain energy breakdown (baseline vs adaptive)\n");
     for (name, base, adap) in results {
         out.push_str(&format!("\n{name}:\n"));
@@ -315,7 +330,7 @@ pub fn run_energy_breakdown(rs: &RunSet, cfg: &RunConfig) -> String {
         }
         out.push_str(&t.render());
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -325,7 +340,7 @@ mod tests {
     #[test]
     fn sync_experiment_lists_all_interfaces() {
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let out = run_sync(&rs, &RunConfig::quick().with_ops(10_000));
+        let out = run_sync(&rs, &RunConfig::quick().with_ops(10_000)).expect("valid sweep");
         assert!(out.contains("arbitration 300ps"));
         assert!(out.contains("token-ring FIFO"));
         assert!(out.contains("ideal (no sync)"));
@@ -334,14 +349,15 @@ mod tests {
     #[test]
     fn centralized_experiment_renders() {
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let out = run_centralized(&rs, &RunConfig::quick().with_ops(10_000));
+        let out = run_centralized(&rs, &RunConfig::quick().with_ops(10_000)).expect("valid sweep");
         assert!(out.contains("centralized EDP"));
     }
 
     #[test]
     fn energy_breakdown_covers_all_domains() {
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let out = run_energy_breakdown(&rs, &RunConfig::quick().with_ops(10_000));
+        let out =
+            run_energy_breakdown(&rs, &RunConfig::quick().with_ops(10_000)).expect("valid sweep");
         for d in ["front-end", "INT", "FP", "LS"] {
             assert!(out.contains(d), "missing {d}");
         }

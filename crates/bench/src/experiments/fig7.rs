@@ -9,41 +9,43 @@
 
 use mcd_sim::DomainId;
 
+use crate::error::RunError;
 use crate::runner::{RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// The decimated frequency series: (instructions ×1000, relative
 /// frequency).
-pub fn series(rs: &RunSet, cfg: &RunConfig) -> Vec<(f64, f64)> {
+pub fn series(rs: &RunSet, cfg: &RunConfig) -> Result<Vec<(f64, f64)>, RunError> {
     let mut run_cfg = cfg.clone();
     run_cfg.traces = true;
-    let result = rs.run("epic_decode", Scheme::Adaptive, &run_cfg);
+    let result = rs.run("epic_decode", Scheme::Adaptive, &run_cfg)?;
     let bi = DomainId::Fp.backend_index();
     let freq = &result.metrics.frequency[bi];
     let retired = &result.metrics.retired_trace;
     let n = freq.len().min(retired.len());
     let stride = (n / 120).max(1);
-    (0..n)
+    Ok((0..n)
         .step_by(stride)
         .map(|i| (retired[i] as f64 / 1e3, freq[i].rel_freq))
-        .collect()
+        .collect())
 }
 
 /// Renders the Figure 7 series over the whole program (one full pass of
 /// epic_decode's phase list, ≈1 M instructions).
-pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
-    let spec = mcd_workloads::registry::by_name("epic_decode").expect("known benchmark");
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let spec = mcd_workloads::registry::by_name("epic_decode")
+        .ok_or_else(|| RunError::Workload("unknown benchmark epic_decode".into()))?;
     let cfg = cfg.clone().with_ops(cfg.ops.max(spec.cycle_length()));
-    let pts = series(rs, &cfg);
+    let pts = series(rs, &cfg)?;
     let mut t = Table::new(["insts (thousands)", "relative frequency", ""]);
     for (k, f) in &pts {
         let bar_len = ((f - 0.2) / 0.8 * 40.0).round().max(0.0) as usize;
         t.row([format!("{k:.0}"), format!("{f:.3}"), "#".repeat(bar_len)]);
     }
-    format!(
+    Ok(format!(
         "Figure 7: frequency settings from adaptive DVFS in the FP domain, epic_decode\n\n{}",
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -55,7 +57,7 @@ mod tests {
         // Full-length run (1M instructions) is exercised in the
         // integration suite; here a scaled run checks the first dip.
         let cfg = RunConfig::quick().with_ops(250_000);
-        let pts = series(&RunSet::new(1), &cfg);
+        let pts = series(&RunSet::new(1), &cfg).expect("valid run");
         assert!(!pts.is_empty());
         // Starts at f_max.
         assert!(pts[0].1 > 0.9);

@@ -5,15 +5,16 @@ use mcd_analysis::spectrum::multitaper;
 use mcd_analysis::WorkloadClassifier;
 use mcd_sim::DomainId;
 
+use crate::error::RunError;
 use crate::runner::{RunConfig, RunSet};
 use crate::table::Table;
 
 /// The log-spaced spectrum series: (wavelength in sampling periods,
 /// variance density in entries²/Hz-equivalent units).
-pub fn series(rs: &RunSet, cfg: &RunConfig) -> Vec<(f64, f64)> {
+pub fn series(rs: &RunSet, cfg: &RunConfig) -> Result<Vec<(f64, f64)>, RunError> {
     let mut run_cfg = cfg.clone();
     run_cfg.traces = true;
-    let result = rs.baseline("epic_decode", &run_cfg);
+    let result = rs.baseline("epic_decode", &run_cfg)?;
     let occupancy = result
         .metrics
         .occupancy_series(DomainId::Int.backend_index());
@@ -38,12 +39,12 @@ pub fn series(rs: &RunSet, cfg: &RunConfig) -> Vec<(f64, f64)> {
         }
         lambda *= 1.3;
     }
-    points
+    Ok(points)
 }
 
 /// Renders the Figure 8 spectrum.
-pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
-    let pts = series(rs, cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let pts = series(rs, cfg)?;
     let classifier = WorkloadClassifier::default();
     let max_d = pts.iter().map(|p| p.1).fold(f64::MIN_POSITIVE, f64::max);
     let mut t = Table::new(["wavelength (samples)", "variance density", "", "band"]);
@@ -58,13 +59,13 @@ pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
             if in_band { "<- fast" } else { "" }.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "Figure 8: variance spectrum of INT-queue occupancy, epic_decode\n\
          (dotted band in the paper = wavelengths {:.0}-{:.0} samples)\n\n{}",
         classifier.fast_min_wavelength,
         classifier.fast_max_wavelength,
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -73,7 +74,7 @@ mod tests {
 
     #[test]
     fn spectrum_series_is_log_spaced_and_positive() {
-        let pts = series(&RunSet::new(1), &RunConfig::quick().with_ops(60_000));
+        let pts = series(&RunSet::new(1), &RunConfig::quick().with_ops(60_000)).expect("valid run");
         assert!(pts.len() > 10);
         for w in pts.windows(2) {
             assert!(w[1].0 > w[0].0, "wavelengths must increase");

@@ -6,25 +6,31 @@
 
 use mcd_workloads::registry;
 
+use crate::error::RunError;
 use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
 /// Per-benchmark adaptive-vs-baseline outcomes.
-pub fn outcomes(rs: &RunSet, cfg: &RunConfig) -> Vec<(&'static str, String, Outcome)> {
+pub fn outcomes(
+    rs: &RunSet,
+    cfg: &RunConfig,
+) -> Result<Vec<(&'static str, String, Outcome)>, RunError> {
     rs.par(registry::all(), |spec| {
-        let base = rs.baseline(spec.name, cfg);
-        let adaptive = rs.run(spec.name, Scheme::Adaptive, cfg);
-        (
+        let base = rs.baseline(spec.name, cfg)?;
+        let adaptive = rs.run(spec.name, Scheme::Adaptive, cfg)?;
+        Ok((
             spec.name,
             spec.suite.to_string(),
             Outcome::versus(&adaptive, &base),
-        )
+        ))
     })
+    .into_iter()
+    .collect()
 }
 
 /// Renders Figure 9.
-pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
-    let rows = outcomes(rs, cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let rows = outcomes(rs, cfg)?;
     let mut t = Table::new([
         "Benchmark",
         "Suite",
@@ -64,7 +70,7 @@ pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
             pct(m.edp_improvement)
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -74,7 +80,7 @@ mod tests {
     #[test]
     fn quick_headline_covers_all_benchmarks() {
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let rows = outcomes(&rs, &RunConfig::quick().with_ops(20_000));
+        let rows = outcomes(&rs, &RunConfig::quick().with_ops(20_000)).expect("valid sweep");
         assert_eq!(rows.len(), 17);
         for (name, _, o) in &rows {
             assert!(o.energy_savings.is_finite(), "{name}");

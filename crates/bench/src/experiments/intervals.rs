@@ -8,6 +8,7 @@
 
 use mcd_workloads::{registry, VariabilityClass};
 
+use crate::error::RunError;
 use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
@@ -15,7 +16,7 @@ use crate::table::Table;
 pub const INTERVALS: [u64; 5] = [2_500, 5_000, 10_000, 25_000, 100_000];
 
 /// Mean outcomes on the fast group for each PID interval, plus adaptive.
-pub fn sweep(rs: &RunSet, cfg: &RunConfig) -> (Vec<(u64, Outcome)>, Outcome) {
+pub fn sweep(rs: &RunSet, cfg: &RunConfig) -> Result<(Vec<(u64, Outcome)>, Outcome), RunError> {
     let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
         .iter()
         .map(|s| s.name)
@@ -33,17 +34,20 @@ pub fn sweep(rs: &RunSet, cfg: &RunConfig) -> (Vec<(u64, Outcome)>, Outcome) {
     for &n in &names {
         tasks.push((None, n));
     }
-    let outcomes = rs.par(tasks, |(interval, n)| {
-        let base = rs.baseline(n, cfg);
-        match interval {
-            Some(iv) => {
-                let mut c = cfg.clone();
-                c.pid_interval = iv;
-                Outcome::versus(&rs.run(n, Scheme::Pid, &c), &base)
-            }
-            None => Outcome::versus(&rs.run(n, Scheme::Adaptive, cfg), &base),
-        }
-    });
+    let outcomes = rs
+        .par(tasks, |(interval, n)| {
+            let base = rs.baseline(n, cfg)?;
+            Ok(match interval {
+                Some(iv) => {
+                    let mut c = cfg.clone();
+                    c.pid_interval = iv;
+                    Outcome::versus(&rs.run(n, Scheme::Pid, &c)?, &base)
+                }
+                None => Outcome::versus(&rs.run(n, Scheme::Adaptive, cfg)?, &base),
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
 
     let per_interval = outcomes.chunks_exact(names.len());
     let pid_rows = INTERVALS
@@ -52,12 +56,12 @@ pub fn sweep(rs: &RunSet, cfg: &RunConfig) -> (Vec<(u64, Outcome)>, Outcome) {
         .map(|(&interval, os)| (interval, Outcome::mean(os)))
         .collect();
     let adaptive = Outcome::mean(&outcomes[INTERVALS.len() * names.len()..]);
-    (pid_rows, adaptive)
+    Ok((pid_rows, adaptive))
 }
 
 /// Renders Table 3.
-pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
-    let (pid_rows, adaptive) = sweep(rs, cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let (pid_rows, adaptive) = sweep(rs, cfg)?;
     let mut t = Table::new(["Scheme", "Energy savings", "Perf degradation", "EDP gain"]);
     for (interval, o) in &pid_rows {
         t.row([
@@ -77,13 +81,13 @@ pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
         .iter()
         .map(|(_, o)| o.edp_improvement)
         .fold(f64::MIN, f64::max);
-    format!(
+    Ok(format!(
         "Table 3 (reconstructed): PID interval-length sweep on the fast-varying group\n\n{}\n\
          Best PID EDP gain {} vs adaptive {}\n",
         t.render(),
         pct(best_pid),
         pct(adaptive.edp_improvement)
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -94,7 +98,7 @@ mod tests {
     fn sweep_produces_all_intervals() {
         let cfg = RunConfig::quick().with_ops(15_000);
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let (rows, adaptive) = sweep(&rs, &cfg);
+        let (rows, adaptive) = sweep(&rs, &cfg).expect("valid sweep");
         assert_eq!(rows.len(), INTERVALS.len());
         assert!(adaptive.energy_savings.is_finite());
     }

@@ -12,6 +12,7 @@ pub mod stability;
 pub mod table1;
 pub mod table2;
 
+use crate::error::RunError;
 use crate::runner::{RunConfig, RunSet};
 
 /// Every experiment id accepted by the `repro` binary.
@@ -62,40 +63,30 @@ impl Kind {
     }
 }
 
-/// Classifies an experiment id (see [`Kind`]).
-///
-/// # Panics
-///
-/// Panics on an unknown id (the CLI validates first).
-pub fn kind(id: &str) -> Kind {
+/// Classifies an experiment id (see [`Kind`]); `None` for unknown ids.
+pub fn kind(id: &str) -> Option<Kind> {
     match id {
         "table1" | "stability" | "overshoot" | "sampling" | "bandwidth" | "hardware" => {
-            Kind::Analysis
+            Some(Kind::Analysis)
         }
-        other if ALL.contains(&other) => Kind::Simulation,
-        other => panic!("unknown experiment id {other}"),
+        other if ALL.contains(&other) => Some(Kind::Simulation),
+        _ => None,
     }
 }
 
 /// Runs the experiment named `id` on the process-wide [`RunSet`] and
-/// returns its report.
-///
-/// # Panics
-///
-/// Panics on an unknown id (the CLI validates first).
-pub fn run(id: &str, cfg: &RunConfig) -> String {
+/// returns its report, or a typed [`RunError`] describing why it could
+/// not be produced (unknown id, bad configuration, diverged run, …).
+pub fn run(id: &str, cfg: &RunConfig) -> Result<String, RunError> {
     run_on(RunSet::global(), id, cfg)
 }
 
 /// Runs the experiment named `id` on an explicit [`RunSet`] — the entry
 /// point for tests that compare worker counts or isolate caches.
-///
-/// # Panics
-///
-/// Panics on an unknown id (the CLI validates first).
-pub fn run_on(rs: &RunSet, id: &str, cfg: &RunConfig) -> String {
+pub fn run_on(rs: &RunSet, id: &str, cfg: &RunConfig) -> Result<String, RunError> {
+    crate::fault::injected_fault(id)?;
     match id {
-        "table1" => table1::run(cfg),
+        "table1" => Ok(table1::run(cfg)),
         "table2" => table2::run(rs, cfg),
         "fig7" => fig7::run(rs, cfg),
         "fig8" => fig8::run(rs, cfg),
@@ -103,11 +94,11 @@ pub fn run_on(rs: &RunSet, id: &str, cfg: &RunConfig) -> String {
         "fig10" => schemes::run(rs, cfg),
         "fig11" => schemes::run_fast_group(rs, cfg),
         "table3" => intervals::run(rs, cfg),
-        "stability" => stability::run_roots(),
-        "overshoot" => stability::run_overshoot(),
-        "sampling" => stability::run_sampling(),
-        "bandwidth" => stability::run_bandwidth(),
-        "hardware" => hardware::run(),
+        "stability" => Ok(stability::run_roots()),
+        "overshoot" => Ok(stability::run_overshoot()),
+        "sampling" => Ok(stability::run_sampling()),
+        "bandwidth" => Ok(stability::run_bandwidth()),
+        "hardware" => Ok(hardware::run()),
         "ablate-qref" => ablations::run_qref(rs, cfg),
         "ablate-step" => ablations::run_step(rs, cfg),
         "ablate-wavelength" => extensions::run_wavelength(rs, cfg),
@@ -115,6 +106,6 @@ pub fn run_on(rs: &RunSet, id: &str, cfg: &RunConfig) -> String {
         "ablate-static" => extensions::run_static(rs, cfg),
         "ext-centralized" => extensions::run_centralized(rs, cfg),
         "energy-breakdown" => extensions::run_energy_breakdown(rs, cfg),
-        other => panic!("unknown experiment id {other}"),
+        other => Err(RunError::Config(format!("unknown experiment id {other}"))),
     }
 }

@@ -4,6 +4,7 @@
 
 use mcd_workloads::{registry, VariabilityClass};
 
+use crate::error::RunError;
 use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
@@ -13,7 +14,7 @@ pub fn outcomes(
     rs: &RunSet,
     cfg: &RunConfig,
     names: &[&'static str],
-) -> Vec<(&'static str, [Outcome; 3])> {
+) -> Result<Vec<(&'static str, [Outcome; 3])>, RunError> {
     // One work item per (benchmark, scheme) pair so a slow benchmark's
     // three runs spread over the pool instead of serializing.
     let mut tasks = Vec::with_capacity(names.len() * Scheme::CONTROLLED.len());
@@ -22,15 +23,18 @@ pub fn outcomes(
             tasks.push((name, scheme));
         }
     }
-    let results = rs.par(tasks, |(name, scheme)| {
-        let base = rs.baseline(name, cfg);
-        Outcome::versus(&rs.run(name, scheme, cfg), &base)
-    });
-    names
+    let results = rs
+        .par(tasks, |(name, scheme)| {
+            let base = rs.baseline(name, cfg)?;
+            Ok(Outcome::versus(&rs.run(name, scheme, cfg)?, &base))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
+    Ok(names
         .iter()
         .zip(results.chunks_exact(Scheme::CONTROLLED.len()))
         .map(|(&name, os)| (name, [os[0], os[1], os[2]]))
-        .collect()
+        .collect())
 }
 
 fn render(title: &str, rows: &[(&'static str, [Outcome; 3])]) -> String {
@@ -80,27 +84,27 @@ fn render(title: &str, rows: &[(&'static str, [Outcome; 3])]) -> String {
 }
 
 /// Figure 10: all benchmarks.
-pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     let names: Vec<&'static str> = registry::all().iter().map(|s| s.name).collect();
-    let rows = outcomes(rs, cfg, &names);
-    render(
+    let rows = outcomes(rs, cfg, &names)?;
+    Ok(render(
         "Figure 10 (reconstructed): EDP improvement by scheme, all benchmarks",
         &rows,
-    )
+    ))
 }
 
 /// Figure 11: the fast-varying group only (paper: adaptive ≈8 % better
 /// than PID and ≈3× attack/decay there).
-pub fn run_fast_group(rs: &RunSet, cfg: &RunConfig) -> String {
+pub fn run_fast_group(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     let names: Vec<&'static str> = registry::by_variability(VariabilityClass::Fast)
         .iter()
         .map(|s| s.name)
         .collect();
-    let rows = outcomes(rs, cfg, &names);
-    render(
+    let rows = outcomes(rs, cfg, &names)?;
+    Ok(render(
         "Figure 11 (reconstructed): fast-varying group (short-wavelength workloads)",
         &rows,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -111,7 +115,7 @@ mod tests {
     fn outcomes_cover_requested_benchmarks() {
         let cfg = RunConfig::quick().with_ops(15_000);
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let rows = outcomes(&rs, &cfg, &["adpcm_encode", "swim"]);
+        let rows = outcomes(&rs, &cfg, &["adpcm_encode", "swim"]).expect("valid sweep");
         assert_eq!(rows.len(), 2);
         let text = render("t", &rows);
         assert!(text.contains("adpcm_encode") && text.contains("swim"));

@@ -12,6 +12,7 @@ use mcd_analysis::WorkloadClassifier;
 use mcd_sim::DomainId;
 use mcd_workloads::registry;
 
+use crate::error::RunError;
 use crate::runner::{RunConfig, RunSet};
 use crate::table::Table;
 
@@ -31,12 +32,12 @@ pub struct Row {
 }
 
 /// Classifies every benchmark; returns the rows (used by Figure 11 too).
-pub fn classify_all(rs: &RunSet, cfg: &RunConfig) -> Vec<Row> {
+pub fn classify_all(rs: &RunSet, cfg: &RunConfig) -> Result<Vec<Row>, RunError> {
     let classifier = WorkloadClassifier::default();
     rs.par(registry::all(), |spec| {
         let mut run_cfg = cfg.clone();
         run_cfg.traces = true;
-        let result = rs.baseline(spec.name, &run_cfg);
+        let result = rs.baseline(spec.name, &run_cfg)?;
         let fast_variance = DomainId::BACKEND
             .iter()
             .map(|d| {
@@ -44,19 +45,21 @@ pub fn classify_all(rs: &RunSet, cfg: &RunConfig) -> Vec<Row> {
                 classifier.classify(&series).fast_variance
             })
             .fold(0.0f64, f64::max);
-        Row {
+        Ok(Row {
             name: spec.name,
             suite: spec.suite.to_string(),
             fast_variance,
             classified_fast: fast_variance >= classifier.variance_threshold,
             designed_fast: spec.expected_variability == mcd_workloads::VariabilityClass::Fast,
-        }
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Renders Table 2.
-pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
-    let rows = classify_all(rs, cfg);
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let rows = classify_all(rs, cfg)?;
     let mut t = Table::new([
         "Benchmark",
         "Suite",
@@ -77,13 +80,13 @@ pub fn run(rs: &RunSet, cfg: &RunConfig) -> String {
             if r.designed_fast { "fast" } else { "slow" }.to_string(),
         ]);
     }
-    format!(
+    Ok(format!(
         "Table 2: Benchmark suite and workload-variability classification\n\
          (fast band: wavelengths 500-20000 sampling periods; multitaper spectrum)\n\n{}\n\
          Classifier agrees with the designed class on {agree}/{} benchmarks.\n",
         t.render(),
         rows.len()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -95,7 +98,7 @@ mod tests {
         // Quick config: classification quality is checked in the
         // integration suite with longer runs; here we check plumbing.
         let rs = RunSet::new(crate::parallel::default_jobs());
-        let rows = classify_all(&rs, &RunConfig::quick());
+        let rows = classify_all(&rs, &RunConfig::quick()).expect("valid sweep");
         assert_eq!(rows.len(), 17);
         assert!(rows.iter().all(|r| r.fast_variance.is_finite()));
     }

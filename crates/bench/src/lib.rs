@@ -16,17 +16,22 @@
 //! use mcd_bench::runner::{RunConfig, Scheme};
 //!
 //! let cfg = RunConfig::quick();
-//! let result = mcd_bench::runner::run("adpcm_encode", Scheme::Adaptive, &cfg);
+//! let result = mcd_bench::runner::run("adpcm_encode", Scheme::Adaptive, &cfg)
+//!     .expect("known benchmark under a valid configuration");
 //! assert!(result.instructions > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod parallel;
 pub mod runner;
 pub mod table;
 
+pub use error::RunError;
 pub use runner::{RunConfig, RunSet, Scheme};
 pub use table::Table;

@@ -11,6 +11,8 @@ use mcd_sim::trace::{NullSink, TraceEvent, TraceSink, VecSink};
 use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
 use mcd_workloads::{registry, TraceGenerator};
 
+use crate::error::RunError;
+
 /// The DVFS policy attached to the three back-end domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheme {
@@ -118,39 +120,36 @@ pub fn controller_for(
 
 /// Runs `benchmark` under `scheme`.
 ///
-/// # Panics
-///
-/// Panics if `benchmark` is not in the registry.
-pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+/// Returns a typed [`RunError`] instead of panicking: unknown benchmarks
+/// are [`RunError::Workload`], structurally invalid configurations are
+/// [`RunError::Config`], and a run tripping the livelock guard is
+/// [`RunError::Diverged`].
+pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> Result<SimResult, RunError> {
     run_traced(benchmark, scheme, cfg, &mut NullSink)
 }
 
 /// Runs `benchmark` under `scheme`, streaming observability events into
 /// `sink`. Bit-identical to [`run`] for any sink.
-///
-/// # Panics
-///
-/// Panics if `benchmark` is not in the registry.
 pub fn run_traced(
     benchmark: &str,
     scheme: Scheme,
     cfg: &RunConfig,
     sink: &mut dyn TraceSink,
-) -> SimResult {
-    let spec =
-        registry::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+) -> Result<SimResult, RunError> {
+    let spec = registry::by_name(benchmark)
+        .ok_or_else(|| RunError::Workload(format!("unknown benchmark {benchmark}")))?;
     let mut sim = cfg.sim.clone();
     if cfg.traces {
         sim = sim.with_traces();
     }
-    let trace = TraceGenerator::new(&spec, cfg.ops, cfg.seed);
-    let mut machine = Machine::new(sim, trace);
+    let trace = TraceGenerator::try_new(&spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
+    let mut machine = Machine::try_new(sim, trace)?;
     for &d in &DomainId::BACKEND {
         if let Some(c) = controller_for(scheme, d, cfg) {
             machine = machine.with_controller(d, c);
         }
     }
-    machine.run_traced(sink)
+    Ok(machine.try_run_traced(sink)?)
 }
 
 /// Counters accumulated by a [`RunSet`] — the raw material for the
@@ -237,6 +236,10 @@ impl ControllerActivity {
 /// One executed simulation's event stream, tagged with its run label.
 pub type LabeledTrace = (String, Vec<TraceEvent>);
 
+/// One memoized baseline slot: filled exactly once, shared by every
+/// requester, and remembering failure as faithfully as success.
+type BaselineSlot = Arc<OnceLock<Result<Arc<SimResult>, RunError>>>;
+
 /// A family of simulation runs sharing a worker pool and a memoized
 /// full-speed-baseline cache.
 ///
@@ -253,7 +256,7 @@ pub type LabeledTrace = (String, Vec<TraceEvent>);
 #[derive(Debug)]
 pub struct RunSet {
     jobs: usize,
-    baselines: Mutex<HashMap<String, Arc<OnceLock<Arc<SimResult>>>>>,
+    baselines: Mutex<HashMap<String, BaselineSlot>>,
     runs: AtomicU64,
     instructions: AtomicU64,
     baseline_hits: AtomicU64,
@@ -342,17 +345,18 @@ impl RunSet {
 
     /// Executes one simulation through the set's sink policy: a
     /// [`NullSink`] when tracing is off (zero overhead), a collected
-    /// [`VecSink`] when on. Counts the run either way.
+    /// [`VecSink`] when on. Counts the run on success; a failed run
+    /// contributes no counters and no trace.
     fn simulate(
         &self,
         label: &str,
-        simulate: impl FnOnce(&mut dyn TraceSink) -> SimResult,
-    ) -> SimResult {
+        simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError>,
+    ) -> Result<SimResult, RunError> {
         let result = match &self.tracing {
-            None => simulate(&mut NullSink),
+            None => simulate(&mut NullSink)?,
             Some(collector) => {
                 let mut sink = VecSink::new();
-                let result = simulate(&mut sink);
+                let result = simulate(&mut sink)?;
                 collector
                     .lock()
                     .expect("trace collector poisoned")
@@ -360,7 +364,7 @@ impl RunSet {
                 result
             }
         };
-        self.count(result)
+        Ok(self.count(result))
     }
 
     /// All event traces collected so far (tracing must be enabled),
@@ -402,8 +406,10 @@ impl RunSet {
     /// The full-speed baseline for `benchmark` under `cfg`, memoized.
     ///
     /// Concurrent requests for the same key simulate it exactly once
-    /// (later arrivals block on the in-flight computation).
-    pub fn baseline(&self, benchmark: &str, cfg: &RunConfig) -> Arc<SimResult> {
+    /// (later arrivals block on the in-flight computation). A failed
+    /// baseline is memoized too — the failure is deterministic, so every
+    /// requester sees the same typed error without re-simulating.
+    pub fn baseline(&self, benchmark: &str, cfg: &RunConfig) -> Result<Arc<SimResult>, RunError> {
         let cell = {
             let mut map = self.baselines.lock().expect("baseline cache poisoned");
             map.entry(Self::baseline_key(benchmark, cfg))
@@ -415,9 +421,10 @@ impl RunSet {
             .get_or_init(|| {
                 computed = true;
                 let label = Self::run_label(benchmark, Scheme::Baseline, cfg);
-                Arc::new(self.simulate(&label, |sink| {
+                self.simulate(&label, |sink| {
                     run_traced(benchmark, Scheme::Baseline, cfg, sink)
-                }))
+                })
+                .map(Arc::new)
             })
             .clone();
         if !computed {
@@ -428,9 +435,14 @@ impl RunSet {
 
     /// Runs `benchmark` under `scheme`, counting it toward the set's
     /// statistics. Baseline requests are answered from the memo cache.
-    pub fn run(&self, benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> SimResult {
+    pub fn run(
+        &self,
+        benchmark: &str,
+        scheme: Scheme,
+        cfg: &RunConfig,
+    ) -> Result<SimResult, RunError> {
         if scheme == Scheme::Baseline {
-            return (*self.baseline(benchmark, cfg)).clone();
+            return Ok((*self.baseline(benchmark, cfg)?).clone());
         }
         let label = Self::run_label(benchmark, scheme, cfg);
         self.simulate(&label, |sink| run_traced(benchmark, scheme, cfg, sink))
@@ -438,13 +450,13 @@ impl RunSet {
 
     /// Runs a caller-built simulation (custom controllers, synthetic
     /// specs) so it still counts toward the set's statistics; the closure
-    /// receives the sink to thread into [`Machine::run_traced`], and
+    /// receives the sink to thread into [`Machine::try_run_traced`], and
     /// `label` names the run's event trace.
     pub fn run_custom(
         &self,
         label: &str,
-        simulate: impl FnOnce(&mut dyn TraceSink) -> SimResult,
-    ) -> SimResult {
+        simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError>,
+    ) -> Result<SimResult, RunError> {
         self.simulate(label, simulate)
     }
 
@@ -509,7 +521,7 @@ mod tests {
     #[test]
     fn baseline_run_retires_all_instructions() {
         let cfg = RunConfig::quick().with_ops(5_000);
-        let r = run("adpcm_encode", Scheme::Baseline, &cfg);
+        let r = run("adpcm_encode", Scheme::Baseline, &cfg).expect("valid run");
         assert_eq!(r.instructions, 5_000);
     }
 
@@ -549,8 +561,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown benchmark")]
-    fn unknown_benchmark_panics() {
-        let _ = run("nope", Scheme::Baseline, &RunConfig::quick());
+    fn unknown_benchmark_is_a_workload_error() {
+        let err = run("nope", Scheme::Baseline, &RunConfig::quick()).unwrap_err();
+        assert_eq!(err, RunError::Workload("unknown benchmark nope".into()));
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn invalid_config_is_a_config_error() {
+        let mut cfg = RunConfig::quick();
+        cfg.sim.rob_size = 0;
+        let err = run("adpcm_encode", Scheme::Baseline, &cfg).unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+    }
+
+    #[test]
+    fn failed_baseline_is_memoized_without_rerunning() {
+        let rs = RunSet::new(1);
+        let mut cfg = RunConfig::quick();
+        cfg.sim.rob_size = 0;
+        let first = rs.baseline("adpcm_encode", &cfg).unwrap_err();
+        let second = rs.baseline("adpcm_encode", &cfg).unwrap_err();
+        assert_eq!(first, second);
+        assert_eq!(rs.stats().baseline_hits, 1, "second request hits the memo");
+        assert_eq!(rs.stats().runs, 0, "failed runs are not counted");
     }
 }

@@ -1,0 +1,170 @@
+//! End-to-end resilience tests for the `repro` sweep, driven through the
+//! real binary with deterministic injected faults (`MCD_FAULTS`, see
+//! `src/fault.rs`). Compiled only under the `fault-inject` feature; CI's
+//! `faults` job runs them with:
+//!
+//! ```text
+//! cargo test --release -p mcd-bench --features fault-inject
+//! ```
+#![cfg(feature = "fault-inject")]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Runs the `repro` binary (built with this test's feature set) with the
+/// given arguments and `MCD_FAULTS` value.
+fn repro(faults: &str, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("MCD_FAULTS", faults)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn scratch_dir() -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "mcd-fault-test-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The acceptance scenario: one experiment panics (on both attempts), one
+/// overruns its wall-clock budget; everything else completes, the failure
+/// table names both casualties with their error class, and the process
+/// exits nonzero.
+#[test]
+fn faulted_sweep_completes_everything_else_and_exits_nonzero() {
+    let out = repro(
+        "stability=panic,sampling=delay:5000",
+        &[
+            "table1",
+            "stability",
+            "overshoot",
+            "sampling",
+            "bandwidth",
+            "--quick",
+            "--run-timeout",
+            "0.5",
+        ],
+    );
+    assert!(
+        !out.status.success(),
+        "a sweep with failures must exit nonzero"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("FAILURES: 2 of 5"),
+        "missing failure summary:\n{text}"
+    );
+    // The table names both casualties with their class.
+    let failure_line = |id: &str| {
+        text.lines()
+            .find(|l| l.contains(id) && (l.contains("panicked") || l.contains("timeout")))
+            .unwrap_or_else(|| panic!("no failure-table line for {id}:\n{text}"))
+            .to_string()
+    };
+    assert!(failure_line("stability").contains("panicked"));
+    assert!(failure_line("sampling").contains("timeout"));
+    // The survivors' reports were still printed.
+    for report_header in ["Table 1", "overshoot", "bandwidth"] {
+        assert!(
+            text.to_lowercase().contains(&report_header.to_lowercase()),
+            "surviving report {report_header:?} missing:\n{text}"
+        );
+    }
+}
+
+/// A fault on the first attempt only (`panic-once`) is transient: the
+/// harness's single retry succeeds and the sweep exits zero.
+#[test]
+fn transient_panic_is_retried_and_the_sweep_succeeds() {
+    let out = repro("overshoot=panic-once", &["overshoot", "--quick"]);
+    assert!(
+        out.status.success(),
+        "transient failure should be absorbed by the retry: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(!text.contains("FAILURES"), "unexpected failures:\n{text}");
+    assert!(text.to_lowercase().contains("overshoot"));
+}
+
+/// Checkpoint + resume: a faulted sweep records its completed entries;
+/// resuming re-runs only the failure and regenerates byte-identical
+/// output. The resumed entries are provably *not* re-executed: the resume
+/// run injects a permanent panic into one of them, and still succeeds.
+#[test]
+fn resume_reruns_only_the_failures_and_output_is_byte_identical() {
+    let base = scratch_dir();
+    let ck = base.join("ck");
+    let first_out = base.join("first");
+    let resumed_out = base.join("resumed");
+    let fresh_out = base.join("fresh");
+    let args = |out_dir: &PathBuf, extra: &[&str]| {
+        let mut v: Vec<String> = ["table1", "stability", "overshoot", "--quick", "--out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        v.push(out_dir.display().to_string());
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    let ck_flag = ["--checkpoint".to_string(), ck.display().to_string()];
+
+    // 1. Faulted sweep: stability fails, the others complete + checkpoint.
+    let first = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args(&first_out, &[]))
+        .args(&ck_flag)
+        .env("MCD_FAULTS", "stability=panic")
+        .output()
+        .expect("spawn repro");
+    assert!(!first.status.success());
+    assert!(first_out.join("table1.txt").exists());
+    assert!(first_out.join("overshoot.txt").exists());
+    assert!(!first_out.join("stability.txt").exists());
+    assert!(
+        stdout(&first).contains("re-run with --resume"),
+        "checkpointed failure should suggest --resume"
+    );
+
+    // 2. Resume with the fault cleared — but table1 booby-trapped: if the
+    //    harness re-ran it instead of replaying the checkpoint, it would
+    //    panic and the sweep would fail.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args(&resumed_out, &["--resume"]))
+        .args(&ck_flag)
+        .env("MCD_FAULTS", "table1=panic")
+        .output()
+        .expect("spawn repro");
+    assert!(
+        resumed.status.success(),
+        "resume should only re-run the failed entry: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    // 3. A fresh fault-free sweep is the byte-identical reference.
+    let fresh = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args(&fresh_out, &[]))
+        .env("MCD_FAULTS", "")
+        .output()
+        .expect("spawn repro");
+    assert!(fresh.status.success());
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&fresh),
+        "resumed stdout must match a fresh run byte for byte"
+    );
+    for id in ["table1", "stability", "overshoot"] {
+        let a = std::fs::read(resumed_out.join(format!("{id}.txt"))).expect("resumed report");
+        let b = std::fs::read(fresh_out.join(format!("{id}.txt"))).expect("fresh report");
+        assert_eq!(a, b, "{id} report differs after resume");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

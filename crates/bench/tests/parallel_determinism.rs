@@ -14,7 +14,7 @@ fn parallel_runs_match_serial_runs_bit_for_bit() {
     let tasks: Vec<&str> = vec!["gzip", "swim"];
     let run_all = |jobs: usize| {
         par_map(jobs, tasks.clone(), |name| {
-            mcd_bench::runner::run(name, Scheme::Adaptive, &cfg)
+            mcd_bench::runner::run(name, Scheme::Adaptive, &cfg).expect("valid run")
         })
     };
     let serial = run_all(1);
@@ -51,8 +51,8 @@ fn headline_report_is_byte_identical_across_worker_counts() {
 fn baseline_cache_dedupes_repeat_requests() {
     let cfg = RunConfig::quick().with_ops(5_000);
     let rs = RunSet::new(4);
-    let first = rs.baseline("gzip", &cfg);
-    let again = rs.baseline("gzip", &cfg);
+    let first = rs.baseline("gzip", &cfg).expect("valid run");
+    let again = rs.baseline("gzip", &cfg).expect("valid run");
     assert_eq!(first.sim_time, again.sim_time);
     let stats = rs.stats();
     assert_eq!(stats.runs, 1, "second request must hit the cache");

@@ -28,7 +28,7 @@ fn tracing_leaves_reports_byte_identical() {
 fn traces_are_wellformed_and_cover_all_firings_and_steps() {
     let cfg = RunConfig::quick().with_ops(20_000);
     let rs = RunSet::new(2).with_tracing();
-    experiments::run_on(&rs, "fig9", &cfg);
+    experiments::run_on(&rs, "fig9", &cfg).expect("valid run");
     let activity = rs.activity();
     let traces = rs.drain_traces().expect("tracing enabled");
     assert!(!traces.is_empty());
@@ -65,7 +65,7 @@ fn drain_traces_is_deterministic_across_worker_counts() {
     let cfg = RunConfig::quick().with_ops(20_000);
     let render = |jobs: usize| {
         let rs = RunSet::new(jobs).with_tracing();
-        experiments::run_on(&rs, "fig9", &cfg);
+        experiments::run_on(&rs, "fig9", &cfg).expect("valid run");
         let mut out = String::new();
         for (label, events) in rs.drain_traces().expect("tracing enabled") {
             for ev in events {

@@ -41,9 +41,17 @@ impl DelayCounter {
 
     /// Advances the counter by `increment` (≥ 0); returns `true` when the
     /// threshold is reached (the relay fires).
+    ///
+    /// Negative or NaN increments are clamped to zero: the relay only
+    /// accumulates evidence, it never un-accumulates it (going *back*
+    /// inside the deviation window is what [`Self::reset`] is for). The
+    /// clamp holds in release builds too; debug builds additionally flag
+    /// the caller bug.
     pub fn advance(&mut self, increment: f64) -> bool {
         debug_assert!(increment >= 0.0, "counter increments are non-negative");
-        self.accum += increment;
+        if increment > 0.0 {
+            self.accum += increment;
+        }
         self.accum >= self.t_d0
     }
 
@@ -128,5 +136,25 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_delay_panics() {
         let _ = DelayCounter::new(0.0);
+    }
+
+    /// Release builds compile out the `debug_assert`, so the clamp is the
+    /// only thing standing between a buggy negative increment and a relay
+    /// that silently *retreats* from firing. This test carries the
+    /// `debug_assertions` guard inverted on purpose: under `cargo test`
+    /// (debug) the assert catches the bug loudly, and under
+    /// `cargo test --release` the clamp must hold.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-negative"))]
+    fn negative_increments_never_roll_the_counter_back() {
+        let mut c = DelayCounter::new(3.0);
+        c.advance(2.5);
+        c.advance(-10.0);
+        assert_eq!(c.accum(), 2.5, "negative increment must be ignored");
+        assert!(c.advance(0.5), "progress made before the bad call stands");
+
+        let mut n = DelayCounter::new(3.0);
+        n.advance(f64::NAN);
+        assert_eq!(n.accum(), 0.0, "NaN must not poison the accumulator");
     }
 }

@@ -367,6 +367,78 @@ mod tests {
         assert_eq!(r.total_transition_time(end2 + TimePs::from_us(1)), total);
     }
 
+    /// A transition that already finished before being replaced must bank
+    /// exactly its own duration — `min(end, now)` — not the full stretch
+    /// up to the preempting request. Double-counting here would inflate
+    /// the slew-time share reported in the energy breakdown.
+    #[test]
+    fn settled_then_replaced_transition_banks_only_its_own_span() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let end1 = r.request(OpIndex(0), TimePs::ZERO);
+        // Sit at the settled point for a long idle gap, then re-target.
+        let later = end1 + TimePs::from_us(500);
+        let max = r.curve().max_index();
+        let end2 = r.request(max, later);
+        // The idle gap must not be attributed to slewing.
+        assert_eq!(
+            r.total_transition_time(later),
+            end1,
+            "idle time between transitions leaked into the total"
+        );
+        assert_eq!(r.total_transition_time(end2), end1 + (end2 - later));
+    }
+
+    /// Across an arbitrary preemption chain (mid-flight re-aims and
+    /// settled re-targets mixed), the reported total equals the sum of
+    /// the disjoint spans each transition was actually in flight.
+    #[test]
+    fn preemption_chain_total_is_the_sum_of_disjoint_spans() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let max = r.curve().max_index();
+        // (target, request time as a fraction of the previous span).
+        let mut expected = TimePs::ZERO;
+        let mut prev_start = TimePs::ZERO;
+        let mut prev_end = r.request(OpIndex(0), TimePs::ZERO);
+        for (i, target) in [max, OpIndex(40), OpIndex(200), max, OpIndex(0)]
+            .into_iter()
+            .enumerate()
+        {
+            // Alternate preempting mid-flight and waiting out the slew.
+            let now = if i % 2 == 0 {
+                TimePs::new(prev_start.as_ps() + (prev_end - prev_start).as_ps() / 3)
+            } else {
+                prev_end + TimePs::from_us(7)
+            };
+            expected += prev_end.min(now).saturating_sub(prev_start);
+            prev_start = now;
+            prev_end = r.request(target, now);
+        }
+        expected += prev_end - prev_start;
+        let settle = prev_end + TimePs::from_us(3);
+        assert_eq!(r.total_transition_time(settle), expected);
+        // Sanity: slew time can never exceed elapsed wall-clock.
+        assert!(r.total_transition_time(settle) <= settle);
+    }
+
+    /// `total_transition_time` is non-decreasing in `now` through starts,
+    /// preemptions and settles alike.
+    #[test]
+    fn transition_time_is_monotone_in_now() {
+        let mut r = reg_at_max(DvfsStyle::XScale);
+        let end1 = r.request(OpIndex(100), TimePs::ZERO);
+        let mid = TimePs::new(end1.as_ps() / 2);
+        let end2 = r.request(OpIndex(300), mid);
+        let horizon = end2 + TimePs::from_us(5);
+        let mut last = TimePs::ZERO;
+        let step = horizon.as_ps() / 200;
+        for k in 0..=200u64 {
+            let now = TimePs::new(k * step);
+            let t = r.total_transition_time(now);
+            assert!(t >= last, "total went backwards at {now}");
+            last = t;
+        }
+    }
+
     #[test]
     fn single_step_time_is_about_172ns() {
         let r = reg_at_max(DvfsStyle::XScale);

@@ -2,6 +2,8 @@
 
 use mcd_power::{DomainClass, DvfsStyle, TimePs, VfCurve};
 
+use crate::error::SimError;
+
 /// Identity of one of the four on-chip clock domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DomainId {
@@ -223,6 +225,78 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Structural validation: every width, capacity and latency the
+    /// engine divides by or indexes with must be usable. Returns the
+    /// first problem found, phrased for an error report.
+    ///
+    /// [`crate::Machine::try_new`] calls this, so a malformed
+    /// configuration surfaces as [`SimError::InvalidConfig`] instead of a
+    /// panic deep inside construction or the run loop.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let bad = |why: String| Err(SimError::InvalidConfig(why));
+        if self.decode_width == 0 || self.issue_width == 0 || self.retire_width == 0 {
+            return bad(format!(
+                "pipeline widths must be positive (decode {}, issue {}, retire {})",
+                self.decode_width, self.issue_width, self.retire_width
+            ));
+        }
+        if self.rob_size == 0 {
+            return bad("reorder buffer needs at least one entry".into());
+        }
+        if self.int_queue == 0 || self.fp_queue == 0 || self.ls_queue == 0 {
+            return bad(format!(
+                "issue queues need at least one entry (INT {}, FP {}, LS {})",
+                self.int_queue, self.fp_queue, self.ls_queue
+            ));
+        }
+        if self.int_regs == 0 || self.fp_regs == 0 {
+            return bad("register files need at least one physical register".into());
+        }
+        if self.int_alus == 0 || self.fp_alus == 0 || self.ls_ports == 0 {
+            return bad("each domain needs at least one functional unit/port".into());
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return bad(format!(
+                "cache line size must be a positive power of two, got {}",
+                self.line_bytes
+            ));
+        }
+        for (what, bytes, assoc) in [
+            ("L1I", self.l1i_bytes, self.l1i_assoc),
+            ("L1D", self.l1d_bytes, self.l1d_assoc),
+            ("L2", self.l2_bytes, self.l2_assoc),
+        ] {
+            if assoc == 0 || bytes < self.line_bytes * assoc {
+                return bad(format!(
+                    "{what} cache of {bytes} B cannot hold {assoc} way(s) of {} B lines",
+                    self.line_bytes
+                ));
+            }
+        }
+        if self.mem_chunks == 0 {
+            return bad("memory transfers need at least one chunk per line".into());
+        }
+        if self.sample_period <= TimePs::ZERO {
+            return bad("controller sample period must be positive".into());
+        }
+        if !self.jitter_sigma_ps.is_finite() || self.jitter_sigma_ps < 0.0 {
+            return bad(format!(
+                "jitter sigma must be finite and non-negative, got {}",
+                self.jitter_sigma_ps
+            ));
+        }
+        if !self.leakage_scale.is_finite() || self.leakage_scale < 0.0 {
+            return bad(format!(
+                "leakage scale must be finite and non-negative, got {}",
+                self.leakage_scale
+            ));
+        }
+        if self.max_sim_time <= TimePs::ZERO {
+            return bad("max_sim_time must be positive (it is the livelock guard)".into());
+        }
+        Ok(())
+    }
+
     /// Queue capacity of a back-end domain's interface queue.
     pub fn queue_capacity(&self, d: DomainId) -> usize {
         match d {

@@ -12,6 +12,7 @@ use crate::cache::Cache;
 use crate::clock::DomainClock;
 use crate::config::{DomainId, SimConfig};
 use crate::controller::{ControllerCtx, DvfsController, QueueSample};
+use crate::error::SimError;
 use crate::memory::MainMemory;
 use crate::metrics::{FreqTracePoint, Metrics};
 use crate::queue::{IqEntry, IssueQueue};
@@ -159,7 +160,19 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
     /// Builds a machine over `trace` with configuration `cfg`. All domains
     /// start at the maximum operating point with no controllers attached
     /// (the study's full-speed baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`SimConfig::validate`]; use
+    /// [`Machine::try_new`] to handle that as a typed error.
     pub fn new(cfg: SimConfig, trace: T) -> Self {
+        Self::try_new(cfg, trace).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible sibling of [`Machine::new`]: validates `cfg` first and
+    /// returns [`SimError::InvalidConfig`] instead of panicking.
+    pub fn try_new(cfg: SimConfig, trace: T) -> Result<Self, SimError> {
+        cfg.validate()?;
         let curve = cfg.vf_curve.clone();
         let max = curve.max_index();
         let model = EnergyModel::new(curve.max().voltage);
@@ -179,7 +192,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             DomainEnergyMeter::new(DomainId::Fp.class(), model.clone()),
             DomainEnergyMeter::new(DomainId::Ls.class(), model),
         ];
-        Machine {
+        Ok(Machine {
             now: TimePs::ZERO,
             clocks,
             meters,
@@ -225,7 +238,39 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             ctrl_events: Vec::new(),
             onsets: [[None; 2]; 3],
             cfg,
-        }
+        })
+    }
+
+    /// Parks `domain`'s clock at operating point `idx` before the run
+    /// starts, instead of the default maximum. The domain begins the run
+    /// already settled there — no initial max→target transition — which is
+    /// what a pinned-frequency measurement (e.g. fitting the μ–f model of
+    /// equation 9) needs: with the default start, a short run's mean
+    /// frequency and throughput are contaminated by up to ~55 µs of
+    /// regulator slew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` exceeds the configured curve's maximum index.
+    pub fn with_initial_operating_point(
+        mut self,
+        domain: DomainId,
+        idx: mcd_power::OpIndex,
+    ) -> Self {
+        assert!(
+            idx.0 <= self.cfg.vf_curve.max_index().0,
+            "operating point {} out of range",
+            idx.0
+        );
+        let i = domain.index();
+        self.clocks[i] = DomainClock::new(
+            self.cfg.vf_curve.clone(),
+            self.cfg.dvfs_style,
+            idx,
+            self.cfg.jitter_sigma_ps,
+            self.cfg.jitter_seed.wrapping_add(i as u64 * 0x9e37),
+        );
+        self
     }
 
     /// Attaches a DVFS controller to a back-end domain.
@@ -284,8 +329,20 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
     /// # Panics
     ///
     /// Panics if simulated time exceeds `cfg.max_sim_time` (a livelock
-    /// guard — a correct configuration always terminates).
-    pub fn run_traced<S: TraceSink + ?Sized>(mut self, sink: &mut S) -> SimResult {
+    /// guard — a correct configuration always terminates). Use
+    /// [`Machine::try_run_traced`] to get that as [`SimError::Diverged`]
+    /// instead.
+    pub fn run_traced<S: TraceSink + ?Sized>(self, sink: &mut S) -> SimResult {
+        self.try_run_traced(sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible sibling of [`Machine::run_traced`]: the livelock guard
+    /// surfaces as [`SimError::Diverged`] instead of a panic, so a sweep
+    /// harness can report one divergent run and keep going.
+    pub fn try_run_traced<S: TraceSink + ?Sized>(
+        mut self,
+        sink: &mut S,
+    ) -> Result<SimResult, SimError> {
         while !(self.trace_done && self.fetch_buf.is_empty() && self.rob.is_empty()) {
             let mut t = self.next_sample;
             let mut which = 4usize;
@@ -296,11 +353,12 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                     which = i;
                 }
             }
-            assert!(
-                t <= self.cfg.max_sim_time,
-                "simulation exceeded max_sim_time at {t} with {} retired — livelock?",
-                self.retired
-            );
+            if t > self.cfg.max_sim_time {
+                return Err(SimError::Diverged {
+                    at: t,
+                    retired: self.retired,
+                });
+            }
             match which {
                 0 => self.tick_frontend(),
                 1 => self.tick_backend(DomainId::Int),
@@ -322,7 +380,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 });
             }
         }
-        self.build_result()
+        Ok(self.build_result())
     }
 
     // ----- readiness ---------------------------------------------------

@@ -1,0 +1,42 @@
+//! Typed simulator errors.
+//!
+//! The constructors and run loop historically panicked on bad input; the
+//! experiment harness needs to distinguish "this configuration can never
+//! work" from "this run went off the rails" so a sweep can report one bad
+//! run and keep going (DESIGN.md §7). The panicking entry points remain
+//! as thin wrappers for callers that prefer to crash.
+
+use mcd_power::TimePs;
+
+/// Why a simulation could not be constructed or did not finish.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The [`crate::SimConfig`] fails structural validation (zero widths,
+    /// empty queues, degenerate caches, …).
+    InvalidConfig(String),
+    /// The workload trace is unusable (no phases, zero instructions, …).
+    InvalidWorkload(String),
+    /// Simulated time exceeded `max_sim_time` before the pipeline drained
+    /// — the livelock guard fired.
+    Diverged {
+        /// Simulated time when the guard fired.
+        at: TimePs,
+        /// Instructions retired by then.
+        retired: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig(why) => write!(f, "invalid simulator configuration: {why}"),
+            SimError::InvalidWorkload(why) => write!(f, "invalid workload: {why}"),
+            SimError::Diverged { at, retired } => write!(
+                f,
+                "simulation exceeded max_sim_time at {at} with {retired} retired — livelock?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

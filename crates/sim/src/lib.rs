@@ -43,6 +43,7 @@ pub mod clock;
 pub mod config;
 pub mod controller;
 pub mod engine;
+pub mod error;
 pub mod memory;
 pub mod metrics;
 pub mod queue;
@@ -56,6 +57,7 @@ pub use clock::DomainClock;
 pub use config::{DomainId, SimConfig, SyncModel};
 pub use controller::{ControllerCtx, DvfsAction, DvfsController, QueueSample};
 pub use engine::Machine;
+pub use error::SimError;
 pub use metrics::{FreqTracePoint, Metrics};
 pub use result::{DomainResult, SimResult};
 pub use trace::{

@@ -72,10 +72,27 @@ impl TraceGenerator {
     ///
     /// # Panics
     ///
-    /// Panics if the spec has no phases or `total_ops` is zero.
+    /// Panics if the spec has no phases or `total_ops` is zero; use
+    /// [`TraceGenerator::try_new`] to handle that as an error.
     pub fn new(spec: &BenchmarkSpec, total_ops: u64, seed: u64) -> Self {
-        assert!(!spec.phases.is_empty(), "benchmark has no phases");
-        assert!(total_ops > 0, "trace must contain at least one op");
+        Self::try_new(spec, total_ops, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible sibling of [`TraceGenerator::new`]: returns a description
+    /// of what makes the workload unusable instead of panicking.
+    pub fn try_new(spec: &BenchmarkSpec, total_ops: u64, seed: u64) -> Result<Self, String> {
+        if spec.phases.is_empty() {
+            return Err(format!("benchmark {} has no phases", spec.name));
+        }
+        if total_ops == 0 {
+            return Err("trace must contain at least one op".to_string());
+        }
+        if let Some(p) = spec.phases.iter().find(|p| p.len_ops == 0) {
+            return Err(format!(
+                "benchmark {} has a zero-length phase ({})",
+                spec.name, p.name
+            ));
+        }
         // Mix the benchmark name into the seed so different benchmarks
         // with the same user seed do not share random streams.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -84,7 +101,7 @@ impl TraceGenerator {
         }
         let first_len = spec.phases[0].len_ops;
         let n_phases = spec.phases.len();
-        TraceGenerator {
+        Ok(TraceGenerator {
             rng: StdRng::seed_from_u64(seed ^ h),
             phases: spec.phases.clone(),
             class_maps: vec![None; n_phases],
@@ -101,7 +118,7 @@ impl TraceGenerator {
             warm_pos: 0,
             cold_pos: 0,
             loop_counters: HashMap::new(),
-        }
+        })
     }
 
     /// The phase currently being generated.

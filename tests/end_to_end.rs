@@ -15,7 +15,7 @@ fn every_benchmark_runs_under_every_scheme() {
             Scheme::Pid,
             Scheme::AttackDecay,
         ] {
-            let r = run(spec.name, scheme, &cfg);
+            let r = run(spec.name, scheme, &cfg).expect("valid run");
             assert_eq!(r.instructions, 8_000, "{} under {:?}", spec.name, scheme);
             assert!(r.total_energy().as_joules() > 0.0);
             assert!(
@@ -42,8 +42,8 @@ fn every_benchmark_runs_under_every_scheme() {
 fn schemes_are_deterministic_across_repeats() {
     let cfg = RunConfig::quick().with_ops(20_000);
     for scheme in [Scheme::Adaptive, Scheme::Pid] {
-        let a = run("mpeg2_decode", scheme, &cfg);
-        let b = run("mpeg2_decode", scheme, &cfg);
+        let a = run("mpeg2_decode", scheme, &cfg).expect("valid run");
+        let b = run("mpeg2_decode", scheme, &cfg).expect("valid run");
         assert_eq!(a.sim_time, b.sim_time, "{scheme:?}");
         assert_eq!(
             a.total_energy().as_joules().to_bits(),
@@ -59,8 +59,8 @@ fn different_seeds_change_the_run_but_not_its_invariants() {
     let base_cfg = RunConfig::quick().with_ops(20_000);
     let mut other = base_cfg.clone();
     other.seed = 99;
-    let a = run("swim", Scheme::Adaptive, &base_cfg);
-    let b = run("swim", Scheme::Adaptive, &other);
+    let a = run("swim", Scheme::Adaptive, &base_cfg).expect("valid run");
+    let b = run("swim", Scheme::Adaptive, &other).expect("valid run");
     assert_ne!(
         a.sim_time, b.sim_time,
         "different seeds should perturb timing"
@@ -89,8 +89,8 @@ fn mcd_baseline_sync_overhead_is_small_but_real() {
     no_sync.sim.sync_window = mcd_power::TimePs::new(0);
     with_sync.sim.jitter_sigma_ps = 0.0;
     no_sync.sim.jitter_sigma_ps = 0.0;
-    let a = run("gzip", Scheme::Baseline, &with_sync);
-    let b = run("gzip", Scheme::Baseline, &no_sync);
+    let a = run("gzip", Scheme::Baseline, &with_sync).expect("valid run");
+    let b = run("gzip", Scheme::Baseline, &no_sync).expect("valid run");
     let overhead = a.sim_time.as_secs() / b.sim_time.as_secs() - 1.0;
     assert!(
         (0.0..0.10).contains(&overhead),

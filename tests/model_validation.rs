@@ -8,13 +8,23 @@ use mcd_workloads::{registry, TraceGenerator};
 
 /// Measured throughput (million instructions per simulated second) with
 /// the INT domain pinned at `idx` and everything else at maximum.
+///
+/// Two measurement details matter for the fit quality:
+///
+/// * The INT clock *starts* at `idx` (not just targets it). Otherwise the
+///   regulator spends the first ~55 us of a max-to-min request slewing, which
+///   at 60 k ops is longer than the whole run — every "pinned" point would be
+///   contaminated by the transient and f_rel would never reach its target.
+/// * Clock jitter stays at its default (the paper's ±10 ps). With perfectly
+///   deterministic edges, frequencies at small rational ratios of the front
+///   end (e.g. 625 MHz = 5:8 of 1 GHz) lock into a fixed edge alignment with
+///   the synchronization window, producing resonant throughput bumps that the
+///   smooth mu(f) model cannot capture. Jitter is seeded, so the measurement
+///   is still deterministic.
 fn mips_at(idx: OpIndex, ops: u64) -> (f64, f64) {
     let spec = registry::by_name("adpcm_decode").expect("registered");
-    let cfg = SimConfig {
-        jitter_sigma_ps: 0.0,
-        ..SimConfig::default()
-    };
-    let r = Machine::new(cfg, TraceGenerator::new(&spec, ops, 1))
+    let r = Machine::new(SimConfig::default(), TraceGenerator::new(&spec, ops, 1))
+        .with_initial_operating_point(DomainId::Int, idx)
         .with_controller(DomainId::Int, Box::new(FixedOperatingPoint(idx)))
         .run();
     let f_rel = r.domain(DomainId::Int).mean_rel_freq;
@@ -58,14 +68,13 @@ fn mu_f_model_fits_simulated_throughput() {
         );
     }
 
-    // Held-out check at an intermediate frequency. The fit error at a
-    // point outside the training set varies with the stochastic trace
-    // stream (a fixed 5% bound sits right on the observed error for
-    // some RNG streams), so allow a slightly wider margin than for the
-    // fitted points above.
+    // Held-out check at an intermediate frequency, same bound as the
+    // fitted points. (The bound was temporarily loosened to 8% while the
+    // measurement still included the regulator's initial slew transient;
+    // see `mips_at` for the root cause.)
     let (f_mid, mips_mid) = mips_at(OpIndex(160), ops);
     let err = (fit.mu(f_mid) - mips_mid).abs() / mips_mid;
-    assert!(err < 0.08, "held-out point error {err}");
+    assert!(err < 0.05, "held-out point error {err}");
 }
 
 /// Throughput must be monotone in the INT frequency for INT-bound code —

@@ -12,7 +12,7 @@ use mcd_workloads::registry;
 fn fig7_fp_frequency_trace_has_the_paper_shape() {
     let spec = registry::by_name("epic_decode").expect("known benchmark");
     let cfg = RunConfig::full().with_ops(spec.cycle_length());
-    let pts = fig7::series(RunSet::global(), &cfg);
+    let pts = fig7::series(RunSet::global(), &cfg).expect("valid run");
     assert!(pts.len() > 50);
 
     let value_at = |kilo_insts: f64| -> f64 {
@@ -63,8 +63,8 @@ fn headline_savings_land_in_the_papers_ballpark() {
     let cfg = RunConfig::full().with_ops(250_000);
     let mut outcomes = Vec::new();
     for spec in registry::all() {
-        let base = run(spec.name, Scheme::Baseline, &cfg);
-        let adaptive = run(spec.name, Scheme::Adaptive, &cfg);
+        let base = run(spec.name, Scheme::Baseline, &cfg).expect("valid run");
+        let adaptive = run(spec.name, Scheme::Adaptive, &cfg).expect("valid run");
         outcomes.push(Outcome::versus(&adaptive, &base));
     }
     let mean = Outcome::mean(&outcomes);
@@ -90,7 +90,7 @@ fn headline_savings_land_in_the_papers_ballpark() {
 #[test]
 fn spectral_classification_matches_designed_classes() {
     let cfg = RunConfig::full().with_ops(300_000);
-    let rows = table2::classify_all(RunSet::global(), &cfg);
+    let rows = table2::classify_all(RunSet::global(), &cfg).expect("valid sweep");
     let agree = rows
         .iter()
         .filter(|r| r.classified_fast == r.designed_fast)
@@ -117,11 +117,17 @@ fn conclusions_are_seed_stable() {
         let mut adaptive_gain = 0.0;
         let mut ad_gain = 0.0;
         for name in ["mpeg2_decode", "swim", "applu"] {
-            let base = run(name, Scheme::Baseline, &cfg);
-            adaptive_gain +=
-                Outcome::versus(&run(name, Scheme::Adaptive, &cfg), &base).edp_improvement;
-            ad_gain +=
-                Outcome::versus(&run(name, Scheme::AttackDecay, &cfg), &base).edp_improvement;
+            let base = run(name, Scheme::Baseline, &cfg).expect("valid run");
+            adaptive_gain += Outcome::versus(
+                &run(name, Scheme::Adaptive, &cfg).expect("valid run"),
+                &base,
+            )
+            .edp_improvement;
+            ad_gain += Outcome::versus(
+                &run(name, Scheme::AttackDecay, &cfg).expect("valid run"),
+                &base,
+            )
+            .edp_improvement;
         }
         assert!(
             adaptive_gain > 0.0,
@@ -144,10 +150,19 @@ fn fast_group_ordering_holds() {
     let mut pid_gain = 0.0;
     let mut ad_gain = 0.0;
     for name in fast {
-        let base = run(name, Scheme::Baseline, &cfg);
-        adaptive_gain += Outcome::versus(&run(name, Scheme::Adaptive, &cfg), &base).edp_improvement;
-        pid_gain += Outcome::versus(&run(name, Scheme::Pid, &cfg), &base).edp_improvement;
-        ad_gain += Outcome::versus(&run(name, Scheme::AttackDecay, &cfg), &base).edp_improvement;
+        let base = run(name, Scheme::Baseline, &cfg).expect("valid run");
+        adaptive_gain += Outcome::versus(
+            &run(name, Scheme::Adaptive, &cfg).expect("valid run"),
+            &base,
+        )
+        .edp_improvement;
+        pid_gain += Outcome::versus(&run(name, Scheme::Pid, &cfg).expect("valid run"), &base)
+            .edp_improvement;
+        ad_gain += Outcome::versus(
+            &run(name, Scheme::AttackDecay, &cfg).expect("valid run"),
+            &base,
+        )
+        .edp_improvement;
     }
     assert!(
         adaptive_gain > ad_gain + 0.05,

@@ -330,6 +330,18 @@ pub mod test_runner {
             }
         }
 
+        /// Rebuilds the generator from a seed reported in a failure
+        /// message, replaying the exact value stream of that case.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The seed that regenerates this stream via [`Self::from_seed`]
+        /// (valid before any draws).
+        pub fn seed(&self) -> u64 {
+            self.state
+        }
+
         /// Next 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -380,9 +392,16 @@ macro_rules! __proptest_impl {
                         concat!(module_path!(), "::", stringify!($name)),
                         case,
                     );
+                    let __seed = __rng.seed();
                     $(
                         let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
                     )+
+                    // Rendered before the body can move the values; a
+                    // failure report without the generating inputs (and
+                    // the seed that regenerates them) is useless.
+                    let __inputs: ::std::vec::Vec<::std::string::String> = ::std::vec![
+                        $(::std::format!("{} = {:?}", stringify!($arg), &$arg)),+
+                    ];
                     let outcome: $crate::test_runner::TestCaseResult = (|| {
                         $body
                         #[allow(unreachable_code)]
@@ -390,10 +409,12 @@ macro_rules! __proptest_impl {
                     })();
                     if let Err(e) = outcome {
                         panic!(
-                            "property {} failed at case {}/{}: {}",
+                            "property {} failed at case {}/{} (rng seed 0x{:016x}):\n  inputs: {}\n  {}",
                             stringify!($name),
                             case,
                             config.cases,
+                            __seed,
+                            __inputs.join(", "),
                             e
                         );
                     }
@@ -501,5 +522,49 @@ mod tests {
         let mut r1 = crate::test_runner::TestRng::for_case("t", 3);
         let mut r2 = crate::test_runner::TestRng::for_case("t", 3);
         assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    // A property that fails on its very first case, used (without a
+    // `#[test]` attribute) by the meta-test below.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        fn doomed_property(x in 10u32..20, flag in any::<bool>()) {
+            let _ = flag;
+            prop_assert!(x < 10, "x was {}", x);
+        }
+    }
+
+    /// Meta-test: a `prop_assert!` failure must report the generating
+    /// seed and the drawn input values, and the seed must actually
+    /// replay those inputs through `TestRng::from_seed`.
+    #[test]
+    fn failures_report_seed_and_inputs() {
+        let payload =
+            std::panic::catch_unwind(doomed_property).expect_err("doomed_property cannot pass");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message")
+            .clone();
+        assert!(
+            msg.contains("doomed_property failed at case 0/8"),
+            "missing case header: {msg}"
+        );
+        assert!(msg.contains("x was 1"), "user message lost: {msg}");
+
+        // The seed in the report regenerates the reported inputs.
+        let seed_hex = msg
+            .split("rng seed 0x")
+            .nth(1)
+            .and_then(|rest| rest.split(')').next())
+            .unwrap_or_else(|| panic!("no seed in report: {msg}"));
+        let seed = u64::from_str_radix(seed_hex, 16).expect("seed parses");
+        let mut rng = crate::test_runner::TestRng::from_seed(seed);
+        let x = Strategy::new_value(&(10u32..20), &mut rng);
+        let flag = Strategy::new_value(&any::<bool>(), &mut rng);
+        assert!(
+            msg.contains(&format!("inputs: x = {x:?}, flag = {flag:?}")),
+            "seed 0x{seed:016x} does not replay the reported inputs: {msg}"
+        );
     }
 }
