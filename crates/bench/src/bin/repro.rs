@@ -52,40 +52,7 @@ fn usage() -> String {
 }
 
 /// Backend-domain display names, indexed like [`ControllerActivity`].
-const DOMAINS: [&str; 3] = ["INT", "FP", "LS"];
-
-/// Formats an optional float as JSON (`null` when absent).
-fn json_opt(x: Option<f64>) -> String {
-    match x {
-        Some(v) if v.is_finite() => format!("{v:.3}"),
-        _ => "null".to_string(),
-    }
-}
-
-fn activity_json(a: &ControllerActivity) -> String {
-    let per_domain: Vec<String> = (0..3)
-        .map(|i| {
-            format!(
-                "    {{\"domain\": \"{}\", \"relay_arms\": {}, \"relay_fires\": {}, \
-                 \"relay_resets\": {}, \"freq_steps_up\": {}, \"freq_steps_down\": {}, \
-                 \"mean_reaction_ns\": {}, \"sync_enqueues\": {}, \"fmin_cycles\": {}, \
-                 \"fmax_cycles\": {}, \"transition_time_ps\": {}}}",
-                DOMAINS[i],
-                a.relay_arms[i],
-                a.relay_fires[i],
-                a.relay_resets[i],
-                a.freq_steps_up[i],
-                a.freq_steps_down[i],
-                json_opt(a.mean_reaction_time_ns(i)),
-                a.sync_enqueues[i],
-                a.fmin_cycles[i],
-                a.fmax_cycles[i],
-                a.transition_time_ps[i],
-            )
-        })
-        .collect();
-    format!("[\n{}\n  ]", per_domain.join(",\n"))
-}
+const DOMAINS: [&str; 3] = ControllerActivity::DOMAINS;
 
 /// Renders the human-readable controller-activity summary (printed to
 /// stdout only when `--bench-out` is given).
@@ -156,7 +123,7 @@ fn bench_report(
          \"total_baseline_cache_hits\": {hits},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
          \"controller_activity\": {},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
-        activity_json(activity),
+        activity.to_json(),
         body.join(",\n")
     )
 }

@@ -9,11 +9,21 @@
 //!   instruction counters) in the same shape as one `--bench-out` entry.
 //!
 //! `manifest.json` pins the configuration fingerprint (ops, seed, PID
-//! interval, q_ref scale). Resuming against a directory recorded under a
-//! different configuration is refused — mixing reports from two
-//! configurations would silently corrupt the regenerated output.
-//! Reports are deterministic for a fixed configuration, so an entry
-//! replayed from the checkpoint is byte-identical to re-running it.
+//! interval, q_ref scale) *and* a fingerprint of the code that rendered
+//! the reports (crate version plus a hash of the experiment registry —
+//! see [`code_fingerprint`]). Resuming against a directory recorded
+//! under a different configuration — or by a different binary version —
+//! is refused: mixing reports from two configurations would silently
+//! corrupt the regenerated output, and a stale directory left by an
+//! older binary would silently serve reports the current code no longer
+//! produces. Reports are deterministic for a fixed configuration and
+//! code version, so an entry replayed from the checkpoint is
+//! byte-identical to re-running it.
+//!
+//! The same format backs the `mcd-serve` result cache: the service
+//! flushes its content-addressed cache as checkpoint entries on graceful
+//! shutdown and warm-loads them on restart, with the code fingerprint
+//! rejecting caches flushed by an older binary.
 
 use std::path::{Path, PathBuf};
 
@@ -61,16 +71,24 @@ pub struct CompletedRun {
 
 impl CompletedRun {
     /// Renders the `--bench-out`-shaped record line.
+    ///
+    /// `wall_s` is quantized to the printed millisecond resolution
+    /// *before* the derived MIPS figure is computed, so rendering is
+    /// idempotent across a store/load round-trip: a record re-rendered
+    /// from its parsed fields is byte-identical to the file it came
+    /// from. `mcd-serve` relies on this for byte-identical warm-cache
+    /// responses across restarts.
     pub fn record_json(&self, id: &str) -> String {
-        let mips = if self.wall_s > 0.0 {
-            self.instructions as f64 / self.wall_s / 1e6
+        let wall_s = (self.wall_s * 1000.0).round() / 1000.0;
+        let mips = if wall_s > 0.0 {
+            self.instructions as f64 / wall_s / 1e6
         } else {
             0.0
         };
         format!(
-            "{{\"experiment\": \"{id}\", \"kind\": \"{}\", \"wall_s\": {:.3}, \"runs\": {}, \
+            "{{\"experiment\": \"{id}\", \"kind\": \"{}\", \"wall_s\": {wall_s:.3}, \"runs\": {}, \
              \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {mips:.2}}}",
-            self.kind, self.wall_s, self.runs, self.instructions, self.baseline_hits,
+            self.kind, self.runs, self.instructions, self.baseline_hits,
         )
     }
 }
@@ -86,17 +104,60 @@ fn raw_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim())
 }
 
-fn str_field(json: &str, key: &str) -> Option<String> {
+/// Extracts a quoted string field from a flat JSON object (no escape
+/// handling — values here are simple labels). `None` if absent or not a
+/// string. Shared with `mcd-serve`, whose request bodies are the same
+/// flat shape as the records written here.
+pub fn str_field(json: &str, key: &str) -> Option<String> {
     let raw = raw_field(json, key)?;
     Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_string())
 }
 
-fn u64_field(json: &str, key: &str) -> Option<u64> {
+/// Extracts an unsigned integer field from a flat JSON object.
+pub fn u64_field(json: &str, key: &str) -> Option<u64> {
     raw_field(json, key)?.parse().ok()
 }
 
-fn f64_field(json: &str, key: &str) -> Option<f64> {
+/// Extracts a float field from a flat JSON object.
+pub fn f64_field(json: &str, key: &str) -> Option<f64> {
     raw_field(json, key)?.parse().ok()
+}
+
+/// 64-bit FNV-1a, folded over `bytes` starting from `h` (chain calls
+/// with the previous result; seed with [`FNV_OFFSET`]).
+pub(crate) fn fnv1a64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fingerprint of the *code* that renders reports: the crate version
+/// plus a hash of the experiment registry (every id and its kind). Two
+/// binaries that disagree on either produce incomparable reports, so a
+/// checkpoint or warm-cache directory recorded by one is rejected by the
+/// other instead of being replayed stale.
+pub fn code_fingerprint() -> String {
+    code_fingerprint_for(env!("CARGO_PKG_VERSION"))
+}
+
+/// [`code_fingerprint`] with an explicit version label — the test
+/// surface for proving that flipping the version invalidates a stale
+/// cache instead of serving it.
+pub fn code_fingerprint_for(version: &str) -> String {
+    let mut h = FNV_OFFSET;
+    for id in crate::experiments::ALL {
+        h = fnv1a64(h, id.as_bytes());
+        let kind = crate::experiments::kind(id)
+            .expect("every registry id classifies")
+            .label();
+        h = fnv1a64(h, kind.as_bytes());
+    }
+    format!("v{version}+x{h:016x}")
 }
 
 /// An open checkpoint directory with a verified configuration manifest.
@@ -106,11 +167,20 @@ pub struct CheckpointDir {
 }
 
 impl CheckpointDir {
-    /// The configuration fingerprint recorded in the manifest: everything
-    /// a `repro` sweep lets the user vary that changes report bytes.
+    /// The fingerprint recorded in the manifest: everything a `repro`
+    /// sweep lets the user vary that changes report bytes, prefixed by
+    /// the [`code_fingerprint`] of the binary that wrote it — so a
+    /// checkpoint recorded by an older binary is refused, not replayed.
     pub fn fingerprint(cfg: &RunConfig) -> String {
+        Self::fingerprint_for(cfg, &code_fingerprint())
+    }
+
+    /// [`Self::fingerprint`] under an explicit code fingerprint (see
+    /// [`code_fingerprint_for`]); tests use this to simulate a version
+    /// flip.
+    pub fn fingerprint_for(cfg: &RunConfig, code: &str) -> String {
         format!(
-            "ops={};seed={};pid_interval={};q_ref_scale={}",
+            "{code};ops={};seed={};pid_interval={};q_ref_scale={}",
             cfg.ops, cfg.seed, cfg.pid_interval, cfg.q_ref_scale
         )
     }
@@ -164,6 +234,29 @@ impl CheckpointDir {
         let mut record = run.record_json(id);
         record.push('\n');
         write_file(&self.record_path(id), record.as_bytes())
+    }
+
+    /// The directory this checkpoint lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Ids of every *complete* entry (report and record both present),
+    /// sorted. Partial entries — a crash between the two writes — are
+    /// skipped, exactly as [`Self::load`] would skip them.
+    pub fn ids(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<String> = entries
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().into_string().ok()?;
+                let id = name.strip_suffix(".record.json")?;
+                self.report_path(id).exists().then(|| id.to_string())
+            })
+            .collect();
+        ids.sort();
+        ids
     }
 
     /// Replays a completed experiment, or `None` if the entry is absent,
@@ -262,5 +355,47 @@ mod tests {
             CheckpointDir::fingerprint(&full),
             CheckpointDir::fingerprint(&RunConfig::quick())
         );
+    }
+
+    #[test]
+    fn fingerprint_tracks_code_version() {
+        let cfg = RunConfig::quick();
+        let current = CheckpointDir::fingerprint(&cfg);
+        let old = CheckpointDir::fingerprint_for(&cfg, &code_fingerprint_for("0.0.0-old"));
+        assert_ne!(current, old, "a version flip must change the fingerprint");
+        assert!(
+            current.starts_with(&format!("v{}+x", env!("CARGO_PKG_VERSION"))),
+            "fingerprint names the recording version: {current}"
+        );
+    }
+
+    /// The regression the service depends on: a checkpoint (or warm
+    /// cache) recorded by an older binary must be refused on open — a
+    /// stale entry is a miss, never a hit.
+    #[test]
+    fn stale_code_version_is_refused_not_served() {
+        let dir = scratch_dir();
+        let cfg = RunConfig::quick();
+        let old = CheckpointDir::fingerprint_for(&cfg, &code_fingerprint_for("0.0.0-old"));
+        let ck = CheckpointDir::open(&dir, &old).expect("record under the old version");
+        ck.store("fig9", &sample()).expect("store");
+        let err = CheckpointDir::open(&dir, &CheckpointDir::fingerprint(&cfg)).unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+        assert!(err.to_string().contains("different configuration"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ids_lists_complete_entries_only() {
+        let dir = scratch_dir();
+        let ck = CheckpointDir::open(&dir, "fp").expect("open");
+        assert!(ck.ids().is_empty());
+        ck.store("fig9", &sample()).expect("store");
+        ck.store("table2", &sample()).expect("store");
+        // A partial entry (record without report) is not listed.
+        write_file(&dir.join("fig7.record.json"), b"{}").expect("write");
+        assert_eq!(ck.ids(), vec!["fig9".to_string(), "table2".to_string()]);
+        assert_eq!(ck.dir(), dir.as_path());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -200,6 +200,61 @@ pub struct ControllerActivity {
 }
 
 impl ControllerActivity {
+    /// Backend-domain display names, indexed like the counter arrays.
+    pub const DOMAINS: [&'static str; 3] = ["INT", "FP", "LS"];
+
+    /// Folds another aggregate into this one (used by the service to
+    /// accumulate per-request run sets into a process-wide total).
+    pub fn merge(&mut self, other: &ControllerActivity) {
+        for i in 0..3 {
+            self.relay_arms[i] += other.relay_arms[i];
+            self.relay_fires[i] += other.relay_fires[i];
+            self.relay_resets[i] += other.relay_resets[i];
+            self.freq_steps_up[i] += other.freq_steps_up[i];
+            self.freq_steps_down[i] += other.freq_steps_down[i];
+            self.reaction_sum_ps[i] += other.reaction_sum_ps[i];
+            self.reaction_count[i] += other.reaction_count[i];
+            self.sync_enqueues[i] += other.sync_enqueues[i];
+            self.fmin_cycles[i] += other.fmin_cycles[i];
+            self.fmax_cycles[i] += other.fmax_cycles[i];
+            self.transition_time_ps[i] += other.transition_time_ps[i];
+        }
+    }
+
+    /// Renders the per-domain counters as a JSON array, one object per
+    /// backend domain — the shape embedded in `--bench-out` records and
+    /// in the service's `/metrics` response.
+    pub fn to_json(&self) -> String {
+        fn opt(x: Option<f64>) -> String {
+            match x {
+                Some(v) if v.is_finite() => format!("{v:.3}"),
+                _ => "null".to_string(),
+            }
+        }
+        let per_domain: Vec<String> = (0..3)
+            .map(|i| {
+                format!(
+                    "    {{\"domain\": \"{}\", \"relay_arms\": {}, \"relay_fires\": {}, \
+                     \"relay_resets\": {}, \"freq_steps_up\": {}, \"freq_steps_down\": {}, \
+                     \"mean_reaction_ns\": {}, \"sync_enqueues\": {}, \"fmin_cycles\": {}, \
+                     \"fmax_cycles\": {}, \"transition_time_ps\": {}}}",
+                    Self::DOMAINS[i],
+                    self.relay_arms[i],
+                    self.relay_fires[i],
+                    self.relay_resets[i],
+                    self.freq_steps_up[i],
+                    self.freq_steps_down[i],
+                    opt(self.mean_reaction_time_ns(i)),
+                    self.sync_enqueues[i],
+                    self.fmin_cycles[i],
+                    self.fmax_cycles[i],
+                    self.transition_time_ps[i],
+                )
+            })
+            .collect();
+        format!("[\n{}\n  ]", per_domain.join(",\n"))
+    }
+
     /// Folds one finished run's metrics into the aggregate.
     pub fn absorb(&mut self, m: &Metrics) {
         for i in 0..3 {

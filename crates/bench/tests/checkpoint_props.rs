@@ -1,0 +1,110 @@
+//! Property tests for the checkpoint layer: fingerprint injectivity on
+//! every swept configuration field, byte-exact record round-trips, and
+//! version pinning of the code fingerprint.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mcd_bench::checkpoint::{code_fingerprint, code_fingerprint_for, CheckpointDir, CompletedRun};
+use mcd_bench::runner::RunConfig;
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+fn scratch_dir() -> std::path::PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "mcd-bench-ckpt-props-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The swept knobs as a tuple (tuples print nicely in failure reports).
+fn knobs() -> impl Strategy<Value = (u64, u64, u64, f64)> {
+    (
+        1u64..2_000_000,
+        0u64..1_000,
+        1u64..100_000,
+        sample::select(vec![0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0]),
+    )
+}
+
+fn cfg_from((ops, seed, pid_interval, q_ref_scale): (u64, u64, u64, f64)) -> RunConfig {
+    let mut cfg = RunConfig::quick();
+    cfg.ops = ops;
+    cfg.seed = seed;
+    cfg.pid_interval = pid_interval;
+    cfg.q_ref_scale = q_ref_scale;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Two configurations collide in fingerprint space iff they agree on
+    /// every swept field — the property that makes the fingerprint safe
+    /// as a cache/coalescing content address.
+    #[test]
+    fn fingerprint_is_injective_on_swept_fields(a in knobs(), b in knobs()) {
+        let fa = CheckpointDir::fingerprint(&cfg_from(a));
+        let fb = CheckpointDir::fingerprint(&cfg_from(b));
+        if a == b {
+            prop_assert_eq!(fa, fb, "equal configs must share a fingerprint");
+        } else {
+            prop_assert!(fa != fb, "distinct configs {:?} vs {:?} collided on {}", a, b, fa);
+        }
+    }
+
+    /// Changing only the code version changes the fingerprint — the
+    /// stale-warm-cache guard — while the current-version fingerprint is
+    /// stable across calls.
+    #[test]
+    fn fingerprint_tracks_the_code_version(k in knobs()) {
+        let cfg = cfg_from(k);
+        let current = CheckpointDir::fingerprint(&cfg);
+        prop_assert!(current.starts_with(&code_fingerprint()));
+        prop_assert_eq!(&current, &CheckpointDir::fingerprint(&cfg), "stable");
+        let old = CheckpointDir::fingerprint_for(&cfg, &code_fingerprint_for("0.0.0-old"));
+        prop_assert!(current != old, "a version flip must change the address: {}", current);
+    }
+
+    /// Store → load round-trips the record exactly, and the bytes on
+    /// disk are precisely `record_json` plus a trailing newline — the
+    /// contract the serve cache relies on for byte-identical warm hits.
+    #[test]
+    fn records_roundtrip_byte_exact(
+        lines in collection::vec(0u32..1_000_000, 1..8),
+        wall_ms in 0u64..3_600_000,
+        runs in 0u64..500,
+        instructions in 0u64..50_000_000_000,
+        baseline_hits in 0u64..500,
+        kind in sample::select(vec!["simulation", "analysis"]),
+    ) {
+        let run = CompletedRun {
+            report: lines
+                .iter()
+                .map(|n| format!("metric line {n}\n"))
+                .collect::<String>(),
+            kind: kind.to_string(),
+            // Milliseconds keep `{:.3}` rendering lossless, matching how
+            // real wall times are only meaningful to the millisecond.
+            wall_s: wall_ms as f64 / 1000.0,
+            runs,
+            instructions,
+            baseline_hits,
+        };
+        let dir = scratch_dir();
+        let ck = CheckpointDir::open(&dir, "prop-fingerprint").expect("open");
+        ck.store("case", &run).expect("store");
+
+        let loaded = ck.load("case").expect("stored entries load");
+        prop_assert_eq!(&loaded, &run, "round-trip must be lossless");
+
+        let on_disk = std::fs::read_to_string(dir.join("case.record.json")).expect("record file");
+        let mut rendered = loaded.record_json("case");
+        rendered.push('\n');
+        prop_assert_eq!(on_disk, rendered, "disk bytes == re-rendered record");
+
+        prop_assert_eq!(ck.ids(), vec!["case".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

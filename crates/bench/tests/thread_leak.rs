@@ -1,0 +1,108 @@
+//! Regression test for `par_try_map`'s detached overrunners.
+//!
+//! When an attempt overruns its wall-clock budget, the harness returns
+//! `RunError::Timeout` immediately and deliberately leaves the stuck
+//! attempt thread behind (there is no safe way to cancel it). That is
+//! fine for a one-shot sweep binary — but a long-lived process (the
+//! `mcd-serve` service) must be able to rely on those threads *exiting
+//! on their own* once their work completes, rather than accumulating.
+//!
+//! This suite pins that contract via `/proc/self/task`: after a batch of
+//! deliberate overruns, the process thread count returns to its
+//! pre-batch baseline. Everything lives in ONE `#[test]` function (its
+//! own integration binary) so no concurrent test perturbs the count.
+
+use std::time::{Duration, Instant};
+
+use mcd_bench::error::RunError;
+use mcd_bench::parallel::par_try_map;
+
+/// Threads currently alive in this process (Linux).
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|entries| entries.count())
+        .expect("/proc/self/task readable on Linux")
+}
+
+/// Polls until the thread count drops back to `baseline` (the detached
+/// sleepers exiting), failing after `patience`.
+fn await_baseline(baseline: usize, patience: Duration, what: &str) {
+    let deadline = Instant::now() + patience;
+    loop {
+        let now = thread_count();
+        if now <= baseline {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what}: thread count stuck at {now}, baseline {baseline} — detached \
+             overrunners leaked"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn detached_overrunners_exit_and_the_thread_count_returns_to_baseline() {
+    let baseline = thread_count();
+
+    // Phase 1: plain overrunners. Six items, each sleeping well past the
+    // 50 ms budget; the timeout is transient so each is retried once —
+    // up to twelve detached threads in flight right after the call.
+    let results = par_try_map(
+        3,
+        (0..6u64).collect(),
+        Some(Duration::from_millis(50)),
+        |i| {
+            std::thread::sleep(Duration::from_millis(400));
+            Ok::<u64, RunError>(i)
+        },
+    );
+    assert_eq!(
+        results.len(),
+        6,
+        "one ordered slot per item, even on timeout"
+    );
+    for r in &results {
+        assert!(
+            matches!(r, Err(RunError::Timeout { .. })),
+            "every overrunner times out: {r:?}"
+        );
+    }
+    await_baseline(baseline, Duration::from_secs(10), "plain overrunners");
+
+    // Phase 2: the same contract with the failure injected through the
+    // harness's own MCD_FAULTS hook, end to end through a real
+    // experiment. Only compiled under the `faults` CI job.
+    #[cfg(feature = "fault-inject")]
+    {
+        use mcd_bench::experiments;
+        use mcd_bench::runner::{RunConfig, RunSet};
+
+        let baseline = thread_count();
+        std::env::set_var("MCD_FAULTS", "fig8=delay:300");
+        let mut cfg = RunConfig::quick();
+        cfg.ops = 4000;
+        let results = par_try_map(
+            2,
+            vec![("fig8", cfg.clone()), ("fig8", cfg)],
+            Some(Duration::from_millis(60)),
+            |(id, cfg)| {
+                let rs = RunSet::new(1);
+                experiments::run_on(&rs, id, &cfg).map(|_| ())
+            },
+        );
+        std::env::remove_var("MCD_FAULTS");
+        for r in &results {
+            assert!(
+                matches!(r, Err(RunError::Timeout { .. })),
+                "the injected delay must trip the budget: {r:?}"
+            );
+        }
+        await_baseline(
+            baseline,
+            Duration::from_secs(15),
+            "fault-injected overrunners",
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! `mcd-serve` binary: run the simulation service from the command line.
+//!
+//! ```text
+//! mcd-serve --addr 127.0.0.1:7979 --workers 4 --warm /tmp/mcd-warm
+//! curl -s localhost:7979/run -d '{"experiment": "fig8", "ops": 40000}'
+//! ```
+//!
+//! Shutdown paths (all graceful — drain, then flush):
+//! - `POST /shutdown` over HTTP;
+//! - `--shutdown-after <secs>` deadline;
+//! - `--stdin-control`: reading `shutdown` (or EOF) on stdin.
+
+use std::time::Duration;
+
+use mcd_bench::runner::RunConfig;
+use mcd_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mcd-serve [options]\n\
+         \n\
+         --addr HOST:PORT       bind address (default 127.0.0.1:7979; port 0 = ephemeral)\n\
+         --workers N            connection worker threads (default 4)\n\
+         --queue-cap N          bounded accept queue; beyond it requests are shed (default 32)\n\
+         --cache-cap N          result-cache entries, LRU-evicted (default 256)\n\
+         --jobs N               inner simulation threads per run (default 2)\n\
+         --run-timeout SECS     wall-clock budget per run attempt (default 60)\n\
+         --retry-after SECS     Retry-After advertised on shed 503s (default 1)\n\
+         --warm DIR             warm-load DIR at start, flush cache there on shutdown\n\
+         --ops N                base dynamic-operation count per benchmark (default quick)\n\
+         --seed N               base workload seed\n\
+         --full                 start from the full paper-scale configuration\n\
+         --shutdown-after SECS  trigger graceful shutdown after SECS\n\
+         --stdin-control        shut down on the line 'shutdown' (or EOF) from stdin"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match v.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            eprintln!("error: bad value {v:?} for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7979".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut shutdown_after: Option<u64> = None;
+    let mut stdin_control = false;
+    let mut full = false;
+    let mut ops: Option<u64> = None;
+    let mut seed: Option<u64> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse(&arg, argv.next()),
+            "--workers" => cfg.workers = parse(&arg, argv.next()),
+            "--queue-cap" => cfg.queue_cap = parse(&arg, argv.next()),
+            "--cache-cap" => cfg.cache_cap = parse(&arg, argv.next()),
+            "--jobs" => cfg.inner_jobs = parse(&arg, argv.next()),
+            "--run-timeout" => {
+                cfg.run_timeout = Duration::from_secs(parse(&arg, argv.next()));
+            }
+            "--retry-after" => cfg.retry_after_s = parse(&arg, argv.next()),
+            "--warm" => cfg.warm_dir = Some(parse::<String>(&arg, argv.next()).into()),
+            "--ops" => ops = Some(parse(&arg, argv.next())),
+            "--seed" => seed = Some(parse(&arg, argv.next())),
+            "--full" => full = true,
+            "--shutdown-after" => shutdown_after = Some(parse(&arg, argv.next())),
+            "--stdin-control" => stdin_control = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+
+    cfg.base_cfg = if full {
+        RunConfig::full()
+    } else {
+        RunConfig::quick()
+    };
+    if let Some(ops) = ops {
+        if ops == 0 {
+            eprintln!("error: --ops must be positive");
+            usage();
+        }
+        cfg.base_cfg.ops = ops;
+    }
+    if let Some(seed) = seed {
+        cfg.base_cfg.seed = seed;
+    }
+
+    let handle = match Server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let warm = handle.warm();
+    if warm.stale_rejected {
+        eprintln!("warm cache was written by a different binary version; discarded");
+    } else if warm.loaded > 0 {
+        eprintln!("warm-loaded {} cached result(s)", warm.loaded);
+    }
+    println!("listening on http://{}", handle.addr());
+
+    let app = std::sync::Arc::clone(handle.app());
+    if let Some(secs) = shutdown_after {
+        let app = std::sync::Arc::clone(&app);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(secs));
+            eprintln!("shutdown deadline reached; draining");
+            app.trigger_shutdown();
+        });
+    }
+    if stdin_control {
+        let app = std::sync::Arc::clone(&app);
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) if line.trim() == "shutdown" => break,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            eprintln!("stdin control requested shutdown; draining");
+            app.trigger_shutdown();
+        });
+    }
+
+    // Blocks until some path (HTTP, deadline, stdin) triggers shutdown,
+    // then drains in-flight work and flushes the cache.
+    match handle.finish() {
+        Ok(report) => {
+            if report.flushed > 0 {
+                eprintln!("flushed {} cached result(s)", report.flushed);
+            }
+            eprintln!("shutdown complete");
+        }
+        Err(e) => {
+            eprintln!("error during shutdown: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal HTTP/1.1 framing over `std::net` — exactly the subset the
+//! service needs.
+//!
+//! One request per connection (`Connection: close` on every response),
+//! no chunked bodies, no TLS, no keep-alive. The simplicity is a
+//! correctness feature: every response is a single write of a fully
+//! rendered byte buffer, which is what makes "duplicate requests receive
+//! byte-identical responses" a checkable property rather than a hope.
+//!
+//! Parsing is bounded everywhere (request line, header count, body
+//! size), so a malformed or hostile client costs a worker at most
+//! [`MAX_BODY`] bytes and one read-timeout.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body; larger requests get 413.
+pub const MAX_BODY: usize = 64 * 1024;
+/// Largest accepted request line or header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Most header lines read before the request is rejected.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, path, and body (headers are consumed; only
+/// `Content-Length` matters to this service).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request (maps to 400).
+    Malformed(String),
+    /// Body or line over the configured bound (maps to 413).
+    TooLarge,
+    /// The connection died mid-read; nothing to answer.
+    Io(std::io::Error),
+}
+
+/// Reads one line (through `\n`), byte-at-a-time against the stream,
+/// bounded by [`MAX_LINE`]. Byte-wise reads are fine here: request lines
+/// and headers are tiny, and the body below is read in one `read_exact`.
+fn read_line(stream: &mut TcpStream) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(HttpError::TooLarge);
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let request_line = read_line(stream)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(stream)?;
+        if line.is_empty() {
+            let mut body = vec![0u8; content_length];
+            stream.read_exact(&mut body).map_err(HttpError::Io)?;
+            return Ok(Request {
+                method: method.to_ascii_uppercase(),
+                path,
+                body,
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+            if n > MAX_BODY {
+                return Err(HttpError::TooLarge);
+            }
+            content_length = n;
+        }
+    }
+    Err(HttpError::TooLarge)
+}
+
+/// A fully rendered response, written to the wire in one shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always `application/json` in this service).
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds, set on load-shedding 503s.
+    pub retry_after: Option<u64>,
+}
+
+/// Reason phrase for the status codes this service emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A structured error body: `{"error": <kind>, "message": <msg>}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{{\"error\": \"{}\", \"message\": \"{}\"}}\n",
+                json_escape(kind),
+                json_escape(message)
+            ),
+        )
+    }
+
+    /// The load-shedding response: 503 plus `Retry-After`.
+    pub fn shed(retry_after_s: u64) -> Response {
+        let mut r = Response::error(
+            503,
+            "overloaded",
+            "accept queue full; retry after the indicated delay",
+        );
+        r.retry_after = Some(retry_after_s);
+        r
+    }
+
+    /// Serializes status line, headers, and body onto `stream`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len(),
+        );
+        if let Some(s) = self.retry_after {
+            head.push_str(&format!("Retry-After: {s}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_controls_and_passthrough() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("l1\nl2\tt"), "l1\\nl2\\tt");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn error_responses_are_flat_json() {
+        let r = Response::error(400, "bad-request", "missing \"experiment\"");
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"error\": \"bad-request\""));
+        assert!(body.contains("missing \\\"experiment\\\""));
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let r = Response::shed(2);
+        assert_eq!(r.status, 503);
+        assert_eq!(r.retry_after, Some(2));
+    }
+
+    #[test]
+    fn status_text_is_stable() {
+        for s in [200, 400, 404, 405, 413, 422, 500, 503, 504] {
+            assert_ne!(status_text(s), "Unknown");
+        }
+        assert_eq!(status_text(418), "Unknown");
+    }
+}

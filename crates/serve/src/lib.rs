@@ -1,0 +1,292 @@
+//! `mcd-serve`: a load-shedding simulation service over the `mcd-bench`
+//! harness.
+//!
+//! A small std-only HTTP/1.1 server (no async runtime, no external
+//! crates) that exposes the experiment registry as a service:
+//!
+//! | Endpoint           | Behaviour                                           |
+//! |--------------------|-----------------------------------------------------|
+//! | `POST /run`        | Validate → cache → coalesce → execute an experiment |
+//! | `GET /experiments` | The registry with each experiment's kind            |
+//! | `GET /metrics`     | Service + simulation counters (DESIGN.md §6)        |
+//! | `GET /healthz`     | `ok` / `draining`                                   |
+//! | `POST /shutdown`   | Begin graceful drain                                |
+//!
+//! Three properties the test suite proves (DESIGN.md §8):
+//!
+//! - **Coalescing**: concurrent identical requests share one simulation
+//!   and receive byte-identical responses.
+//! - **Shedding**: when the bounded accept queue is full, excess
+//!   requests get an immediate 503 with `Retry-After` — and every
+//!   request that *was* accepted still completes.
+//! - **Graceful shutdown**: in-flight work drains, new connections are
+//!   refused, and the result cache flushes to a checkpoint-format
+//!   directory so a restarted server starts warm. A warm directory
+//!   flushed by an older binary is rejected, never served.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mcd_bench::error::RunError;
+use mcd_bench::runner::RunConfig;
+
+use cache::WarmReport;
+use http::{read_request, HttpError, Response};
+use pool::{Pool, SubmitError};
+use router::App;
+
+/// Everything that shapes a server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded queue depth; connections beyond it are shed with 503.
+    pub queue_cap: usize,
+    /// Result-cache capacity (entries, LRU-evicted).
+    pub cache_cap: usize,
+    /// Inner simulation parallelism per run ([`RunConfig`] fan-out).
+    pub inner_jobs: usize,
+    /// Wall-clock budget per run attempt (`par_try_map` retries
+    /// transient failures once, so worst case is twice this).
+    pub run_timeout: Duration,
+    /// Base run configuration; `/run` bodies override its swept knobs.
+    pub base_cfg: RunConfig,
+    /// Checkpoint-format directory: warm-loaded at start, flushed on
+    /// graceful shutdown. `None` disables persistence.
+    pub warm_dir: Option<PathBuf>,
+    /// Seconds advertised in `Retry-After` on shed responses.
+    pub retry_after_s: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 32,
+            cache_cap: 256,
+            inner_jobs: 2,
+            run_timeout: Duration::from_secs(60),
+            base_cfg: RunConfig::quick(),
+            warm_dir: None,
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// How a graceful shutdown went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShutdownReport {
+    /// Cache entries flushed to the warm directory (0 when disabled).
+    pub flushed: usize,
+}
+
+/// A running server. Obtain with [`Server::start`]; stop with
+/// [`ServerHandle::shutdown`] (or [`ServerHandle::finish`] if shutdown
+/// was already triggered over HTTP). Dropping the handle without calling
+/// either leaks the accept and worker threads — always shut down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    app: Arc<App>,
+    warm: WarmReport,
+    warm_dir: Option<PathBuf>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<Pool<TcpStream>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What the warm load found at startup.
+    pub fn warm(&self) -> WarmReport {
+        self.warm
+    }
+
+    /// Shared application state (metrics, shutdown trigger) — mainly
+    /// for tests; clients should use the HTTP surface.
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Triggers graceful shutdown and waits for it to complete.
+    pub fn shutdown(self) -> Result<ShutdownReport, RunError> {
+        self.app.trigger_shutdown();
+        self.finish()
+    }
+
+    /// Waits for an already-triggered shutdown (e.g. `POST /shutdown`
+    /// or a deadline inside the binary) to complete: joins the accept
+    /// loop, drains the pool, flushes the cache.
+    pub fn finish(mut self) -> Result<ShutdownReport, RunError> {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // The listener died with the accept loop, so new connections are
+        // already refused; everything accepted drains to completion.
+        if let Some(p) = self.pool.take() {
+            p.close_and_drain();
+        }
+        let mut flushed = 0;
+        if let Some(dir) = &self.warm_dir {
+            flushed = self.app.cache.flush(dir)?;
+        }
+        Ok(ShutdownReport { flushed })
+    }
+}
+
+/// The server constructor namespace.
+pub struct Server;
+
+impl Server {
+    /// Binds, warm-loads the cache, spawns the worker pool and accept
+    /// loop, and returns a handle.
+    pub fn start(cfg: ServeConfig) -> Result<ServerHandle, RunError> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| RunError::Io {
+            path: cfg.addr.clone(),
+            message: format!("bind failed: {e}"),
+        })?;
+        let addr = listener.local_addr().map_err(|e| RunError::Io {
+            path: cfg.addr.clone(),
+            message: format!("no local addr: {e}"),
+        })?;
+
+        // The pool's handler needs the App, and the App needs the
+        // pool's handle for its gauges; a OnceLock slot breaks the
+        // cycle — the slot is filled before any connection can arrive.
+        let app_slot: Arc<OnceLock<Arc<App>>> = Arc::new(OnceLock::new());
+        let handler_slot = Arc::clone(&app_slot);
+        let pool = Pool::new(cfg.workers, cfg.queue_cap, move |stream: TcpStream| {
+            if let Some(app) = handler_slot.get() {
+                handle_connection(app, stream);
+            }
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let app = Arc::new(App::new(
+            cfg.cache_cap,
+            cfg.base_cfg.clone(),
+            cfg.run_timeout,
+            cfg.inner_jobs,
+            pool.handle(),
+            Arc::clone(&stop),
+        ));
+        app.set_poke_addr(addr);
+        let _ = app_slot.set(Arc::clone(&app));
+
+        let mut warm = WarmReport::default();
+        if let Some(dir) = &cfg.warm_dir {
+            warm = app.cache.warm_load(dir)?;
+        }
+
+        let accept = {
+            let app = Arc::clone(&app);
+            let handle = pool.handle();
+            let stop = Arc::clone(&stop);
+            let retry_after = cfg.retry_after_s;
+            std::thread::Builder::new()
+                .name("mcd-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, &app, &handle, &stop, retry_after))
+                .map_err(|e| RunError::Io {
+                    path: "accept thread".to_string(),
+                    message: e.to_string(),
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            app,
+            warm,
+            warm_dir: cfg.warm_dir,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+}
+
+/// Accepts connections until `stop` flips, dispatching each onto the
+/// pool and shedding with an immediate 503 when the queue refuses. The
+/// listener is dropped when this returns, so post-shutdown connection
+/// attempts fail at the TCP layer.
+fn accept_loop(
+    listener: TcpListener,
+    app: &Arc<App>,
+    handle: &pool::PoolHandle<TcpStream>,
+    stop: &AtomicBool,
+    retry_after_s: u64,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The shutdown poke (or a client racing it) — drop unanswered.
+            return;
+        }
+        app.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        match handle.submit(stream) {
+            Ok(()) => {}
+            Err((SubmitError::Full, stream)) => {
+                app.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                // Answer on a short-lived thread so a slow client can
+                // never stall the accept loop. Bursts bound the thread
+                // count: each shed lives at most a few seconds.
+                let _ = std::thread::Builder::new()
+                    .name("mcd-serve-shed".to_string())
+                    .spawn(move || shed_connection(stream, retry_after_s));
+            }
+            Err((SubmitError::Closed, _)) => return,
+        }
+    }
+}
+
+/// Answers a shed connection with 503 + `Retry-After`. The client's
+/// request is drained first: closing a socket with unread bytes makes
+/// the kernel send RST, which would destroy the 503 in flight.
+fn shed_connection(mut stream: TcpStream, retry_after_s: u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = read_request(&mut stream);
+    let _ = Response::shed(retry_after_s).write_to(&mut stream);
+}
+
+/// Reads one request off the connection, routes it, writes the response.
+fn handle_connection(app: &App, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    match read_request(&mut stream) {
+        Ok(req) => {
+            let response = app.handle(&req);
+            let _ = response.write_to(&mut stream);
+        }
+        Err(HttpError::Malformed(m)) => {
+            let _ = Response::error(400, "malformed", &m).write_to(&mut stream);
+        }
+        Err(HttpError::TooLarge) => {
+            let _ = Response::error(413, "too-large", "request exceeds service bounds")
+                .write_to(&mut stream);
+        }
+        Err(HttpError::Io(_)) => {}
+    }
+}

@@ -1,0 +1,156 @@
+//! Service counters surfaced by `GET /metrics`.
+//!
+//! Two layers in one response: the *service* counters (accepts, sheds,
+//! coalesced followers, cache hits, executions, failures — everything
+//! the load-shedding and coalescing machinery decides), and the
+//! *simulation* counters from the observability layer (DESIGN.md §6):
+//! runs, instructions, baseline-cache hits, and the per-domain
+//! controller-activity aggregate including mean reaction time, folded in
+//! from every run set the service has executed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mcd_bench::runner::{ControllerActivity, RunStats};
+
+/// Simulation-side totals, merged from per-request run sets.
+#[derive(Default)]
+struct SimTotals {
+    runs: u64,
+    instructions: u64,
+    baseline_hits: u64,
+    activity: ControllerActivity,
+}
+
+/// All service counters. Every field is monotonic except the gauges
+/// passed into [`ServeMetrics::to_json`] at render time.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// Connections accepted off the listener.
+    pub accepted: AtomicU64,
+    /// Connections answered 503 because the accept queue was full.
+    pub shed: AtomicU64,
+    /// Requests successfully parsed.
+    pub requests: AtomicU64,
+    /// `POST /run` requests.
+    pub run_requests: AtomicU64,
+    /// Run requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Run requests answered by another request's in-flight run.
+    pub coalesced: AtomicU64,
+    /// Leader executions — exactly one per distinct fingerprint.
+    pub runs_executed: AtomicU64,
+    /// Leader executions that returned a typed error.
+    pub run_failures: AtomicU64,
+    sim: Mutex<SimTotals>,
+}
+
+impl ServeMetrics {
+    /// Folds one executed request's run-set counters into the totals.
+    pub fn absorb_run(&self, stats: RunStats, activity: &ControllerActivity) {
+        let mut sim = self.sim.lock().expect("sim totals poisoned");
+        sim.runs += stats.runs;
+        sim.instructions += stats.instructions;
+        sim.baseline_hits += stats.baseline_hits;
+        sim.activity.merge(activity);
+    }
+
+    /// Renders the `/metrics` response body. `queue_depth` and
+    /// `in_flight` are read from the worker pool at render time;
+    /// `cache_entries` from the result cache; `draining` flips once
+    /// shutdown begins.
+    pub fn to_json(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        cache_entries: usize,
+        draining: bool,
+    ) -> String {
+        let sim = self.sim.lock().expect("sim totals poisoned");
+        format!(
+            "{{\n  \"service\": {{\"accepted\": {}, \"shed\": {}, \"requests\": {}, \
+             \"run_requests\": {}, \"cache_hits\": {}, \"coalesced\": {}, \
+             \"runs_executed\": {}, \"run_failures\": {}, \"queue_depth\": {queue_depth}, \
+             \"in_flight\": {in_flight}, \"cache_entries\": {cache_entries}, \
+             \"draining\": {draining}}},\n  \
+             \"simulation\": {{\"runs\": {}, \"instructions\": {}, \"baseline_cache_hits\": {}}},\n  \
+             \"controller_activity\": {}\n}}\n",
+            self.accepted.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.requests.load(Ordering::Relaxed),
+            self.run_requests.load(Ordering::Relaxed),
+            self.cache_hits.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.runs_executed.load(Ordering::Relaxed),
+            self.run_failures.load(Ordering::Relaxed),
+            sim.runs,
+            sim.instructions,
+            sim.baseline_hits,
+            sim.activity.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_bench::checkpoint::{f64_field, u64_field};
+
+    #[test]
+    fn counters_land_in_the_rendered_json() {
+        let m = ServeMetrics::default();
+        m.accepted.store(5, Ordering::Relaxed);
+        m.shed.store(2, Ordering::Relaxed);
+        m.runs_executed.store(3, Ordering::Relaxed);
+        m.absorb_run(
+            RunStats {
+                runs: 4,
+                instructions: 123,
+                baseline_hits: 1,
+            },
+            &ControllerActivity::default(),
+        );
+        let json = m.to_json(7, 1, 9, false);
+        assert_eq!(u64_field(&json, "accepted"), Some(5));
+        assert_eq!(u64_field(&json, "shed"), Some(2));
+        assert_eq!(u64_field(&json, "runs_executed"), Some(3));
+        assert_eq!(u64_field(&json, "queue_depth"), Some(7));
+        assert_eq!(u64_field(&json, "cache_entries"), Some(9));
+        assert_eq!(u64_field(&json, "instructions"), Some(123));
+        assert!(json.contains("\"draining\": false"));
+        assert!(
+            json.contains("\"domain\": \"INT\""),
+            "per-domain counters present"
+        );
+    }
+
+    #[test]
+    fn absorb_accumulates_across_runs() {
+        let m = ServeMetrics::default();
+        let mut a = ControllerActivity::default();
+        a.relay_fires[0] = 2;
+        m.absorb_run(
+            RunStats {
+                runs: 1,
+                instructions: 10,
+                baseline_hits: 0,
+            },
+            &a,
+        );
+        m.absorb_run(
+            RunStats {
+                runs: 2,
+                instructions: 30,
+                baseline_hits: 1,
+            },
+            &a,
+        );
+        let json = m.to_json(0, 0, 0, true);
+        assert_eq!(u64_field(&json, "runs"), Some(3));
+        assert_eq!(u64_field(&json, "instructions"), Some(40));
+        assert_eq!(u64_field(&json, "relay_fires"), Some(4));
+        assert!(json.contains("\"draining\": true"));
+        // Reaction time is null with no completed reactions.
+        assert_eq!(f64_field(&json, "mean_reaction_ns"), None);
+    }
+}

@@ -1,0 +1,456 @@
+//! Request routing and the `/run` execution path.
+//!
+//! The `/run` pipeline, in order:
+//!
+//! 1. **Validate** the JSON body against the experiment registry and the
+//!    [`RunError`] taxonomy (unknown ids and bad knobs are 400s before
+//!    any work happens).
+//! 2. **Cache**: the request fingerprint ([`CheckpointDir::fingerprint`]
+//!    + experiment id) is looked up in the bounded result cache.
+//! 3. **Coalesce**: on a miss, join the flight for the fingerprint. One
+//!    request leads and executes; concurrent duplicates follow and wait
+//!    for the leader's bytes.
+//! 4. **Execute** (leader only): the run goes through
+//!    [`mcd_bench::parallel::par_try_map`] — panic isolation, a
+//!    per-request wall-clock budget, one retry for transient failures —
+//!    on a fresh per-request [`RunSet`], so counters attribute cleanly
+//!    under concurrency and reports stay deterministic.
+//! 5. **Publish**: the leader fills the cache, then publishes one shared
+//!    response to every follower. Duplicates are byte-identical because
+//!    they are literally the same buffer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use mcd_bench::checkpoint::{f64_field, str_field, u64_field, CheckpointDir, CompletedRun};
+use mcd_bench::error::RunError;
+use mcd_bench::experiments;
+use mcd_bench::parallel::par_try_map;
+use mcd_bench::runner::{ControllerActivity, RunConfig, RunSet, RunStats};
+
+use crate::cache::{CachedRun, ResultCache};
+use crate::coalesce::{Coalescer, Ticket};
+use crate::http::{json_escape, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::pool::PoolHandle;
+
+/// Shared application state: everything a worker needs to answer a
+/// request. Lives behind an `Arc`, one instance per server.
+pub struct App {
+    /// Service counters (`GET /metrics`).
+    pub metrics: ServeMetrics,
+    pub(crate) cache: ResultCache,
+    coalescer: Coalescer<Response>,
+    pool: PoolHandle<std::net::TcpStream>,
+    base_cfg: RunConfig,
+    run_timeout: Duration,
+    inner_jobs: usize,
+    draining: AtomicBool,
+    stop: Arc<AtomicBool>,
+    poke_addr: OnceLock<std::net::SocketAddr>,
+}
+
+impl App {
+    /// Builds the application state. `stop` is shared with the accept
+    /// loop; [`App::trigger_shutdown`] sets it and pokes the listener.
+    pub fn new(
+        cache_cap: usize,
+        base_cfg: RunConfig,
+        run_timeout: Duration,
+        inner_jobs: usize,
+        pool: PoolHandle<std::net::TcpStream>,
+        stop: Arc<AtomicBool>,
+    ) -> App {
+        App {
+            metrics: ServeMetrics::default(),
+            cache: ResultCache::new(cache_cap),
+            coalescer: Coalescer::default(),
+            pool,
+            base_cfg,
+            run_timeout,
+            inner_jobs: inner_jobs.max(1),
+            draining: AtomicBool::new(false),
+            stop,
+            poke_addr: OnceLock::new(),
+        }
+    }
+
+    /// Records the bound listener address (used to poke the accept loop
+    /// out of its blocking `accept` on shutdown).
+    pub fn set_poke_addr(&self, addr: std::net::SocketAddr) {
+        let _ = self.poke_addr.set(addr);
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins graceful shutdown: flips the draining flag, signals the
+    /// accept loop to stop, and unblocks it with a loopback connection.
+    pub fn trigger_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.poke_addr.get() {
+            let _ = std::net::TcpStream::connect_timeout(addr, Duration::from_millis(500));
+        }
+    }
+
+    /// Routes one parsed request to its handler.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                let status = if self.is_draining() { "draining" } else { "ok" };
+                Response::json(200, format!("{{\"status\": \"{status}\"}}\n"))
+            }
+            ("GET", "/metrics") => Response::json(
+                200,
+                self.metrics.to_json(
+                    self.pool.depth(),
+                    self.pool.in_flight(),
+                    self.cache.len(),
+                    self.is_draining(),
+                ),
+            ),
+            ("GET", "/experiments") => Response::json(200, experiments_json()),
+            ("POST", "/run") => self.run(req),
+            ("POST", "/shutdown") => {
+                self.trigger_shutdown();
+                Response::json(200, "{\"status\": \"draining\"}\n".to_string())
+            }
+            (_, "/healthz" | "/metrics" | "/experiments" | "/run" | "/shutdown") => {
+                Response::error(
+                    405,
+                    "method-not-allowed",
+                    "see README for the endpoint table",
+                )
+            }
+            _ => Response::error(404, "not-found", "unknown path"),
+        }
+    }
+
+    /// The `/run` pipeline described in the module docs.
+    fn run(&self, req: &Request) -> Response {
+        self.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
+        let (id, cfg) = match parse_run_request(&req.body, &self.base_cfg) {
+            Ok(parsed) => parsed,
+            Err(e) => return error_response(&e),
+        };
+        let key = format!("{};experiment={id}", CheckpointDir::fingerprint(&cfg));
+        if let Some(hit) = self.cache.get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return render_run(&hit);
+        }
+        match self.coalescer.join(&key) {
+            Ticket::Follower(flight) => {
+                self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                // The leader gets two attempts of `run_timeout` each
+                // (par_try_map retries transient failures once); give it
+                // that plus slack before giving up on the flight.
+                let budget = self.run_timeout * 2 + Duration::from_secs(5);
+                match flight.wait(budget) {
+                    Some(shared) => (*shared).clone(),
+                    None => Response::error(
+                        500,
+                        "coalesce-timeout",
+                        "the coalesced run did not complete in time",
+                    ),
+                }
+            }
+            Ticket::Leader => {
+                // Publish *whatever* happens, so followers never hang on
+                // a leader that failed in an unforeseen way.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.execute_as_leader(id, &cfg, &key)
+                }))
+                .unwrap_or_else(|_| {
+                    Response::error(500, "internal", "run execution panicked outside isolation")
+                });
+                self.coalescer.publish(&key, Arc::new(response.clone()));
+                response
+            }
+        }
+    }
+
+    /// Executes the run, fills the cache on success, and renders the
+    /// response the whole flight will share.
+    fn execute_as_leader(&self, id: &'static str, cfg: &RunConfig, key: &str) -> Response {
+        self.metrics.runs_executed.fetch_add(1, Ordering::Relaxed);
+        match run_experiment(id, cfg.clone(), self.inner_jobs, self.run_timeout) {
+            Ok(bundle) => {
+                self.metrics.absorb_run(bundle.stats, &bundle.activity);
+                let entry = CachedRun {
+                    id: id.to_string(),
+                    key: key.to_string(),
+                    run: bundle.run,
+                };
+                let response = render_run(&entry);
+                // Cache before publishing: a request arriving after the
+                // flight retires must hit the cache, never re-run.
+                self.cache.put(key, entry);
+                response
+            }
+            Err(e) => {
+                self.metrics.run_failures.fetch_add(1, Ordering::Relaxed);
+                error_response(&e)
+            }
+        }
+    }
+}
+
+/// A completed execution plus the counters its private run set gathered.
+#[derive(Debug)]
+struct Bundle {
+    run: CompletedRun,
+    stats: RunStats,
+    activity: ControllerActivity,
+}
+
+/// Runs `id` under `cfg` with `par_try_map` semantics: panic isolation,
+/// a wall-clock budget per attempt, one retry for transient failures.
+/// Each execution gets a fresh [`RunSet`] so counter deltas attribute to
+/// this request even when other requests run concurrently.
+fn run_experiment(
+    id: &'static str,
+    cfg: RunConfig,
+    jobs: usize,
+    timeout: Duration,
+) -> Result<Bundle, RunError> {
+    let slots = par_try_map(1, vec![(id, cfg)], Some(timeout), move |(id, cfg)| {
+        let rs = RunSet::new(jobs);
+        let start = Instant::now();
+        let report = experiments::run_on(&rs, id, &cfg)?;
+        let wall_s = start.elapsed().as_secs_f64();
+        let stats = rs.stats();
+        Ok(Bundle {
+            run: CompletedRun {
+                report,
+                kind: experiments::kind(id)
+                    .expect("id validated against the registry")
+                    .label()
+                    .to_string(),
+                wall_s,
+                runs: stats.runs,
+                instructions: stats.instructions,
+                baseline_hits: stats.baseline_hits,
+            },
+            stats,
+            activity: rs.activity(),
+        })
+    });
+    slots
+        .into_iter()
+        .next()
+        .expect("one item in, one ordered slot out")
+}
+
+/// Renders the shared 200 body for a completed run: the checkpoint
+/// record plus the report, addressed by fingerprint.
+fn render_run(entry: &CachedRun) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"experiment\": \"{}\", \"fingerprint\": \"{}\", \"record\": {}, \"report\": \"{}\"}}\n",
+            entry.id,
+            json_escape(&entry.key),
+            entry.run.record_json(&entry.id),
+            json_escape(&entry.run.report),
+        ),
+    )
+}
+
+/// Maps the typed taxonomy onto HTTP statuses: caller errors are 4xx,
+/// budget overruns 504, everything environmental 500.
+fn error_response(e: &RunError) -> Response {
+    let status = match e {
+        RunError::Config(_) | RunError::Workload(_) => 400,
+        RunError::Diverged { .. } => 422,
+        RunError::Timeout { .. } => 504,
+        RunError::Panicked(_) | RunError::Io { .. } => 500,
+    };
+    Response::error(status, e.kind(), &e.to_string())
+}
+
+/// `GET /experiments`: the registry with each experiment's kind.
+fn experiments_json() -> String {
+    let rows: Vec<String> = experiments::ALL
+        .iter()
+        .map(|id| {
+            let kind = experiments::kind(id)
+                .expect("registry ids classify")
+                .label();
+            format!("  {{\"id\": \"{id}\", \"kind\": \"{kind}\"}}")
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Parses an optional unsigned field, distinguishing "absent" (fine)
+/// from "present but not an unsigned integer" (a `Config` error).
+fn opt_u64(text: &str, key: &str) -> Result<Option<u64>, RunError> {
+    if !text.contains(&format!("\"{key}\"")) {
+        return Ok(None);
+    }
+    match u64_field(text, key) {
+        Some(v) => Ok(Some(v)),
+        None => Err(RunError::Config(format!(
+            "{key} must be an unsigned integer"
+        ))),
+    }
+}
+
+/// [`opt_u64`] for floats.
+fn opt_f64(text: &str, key: &str) -> Result<Option<f64>, RunError> {
+    if !text.contains(&format!("\"{key}\"")) {
+        return Ok(None);
+    }
+    match f64_field(text, key) {
+        Some(v) => Ok(Some(v)),
+        None => Err(RunError::Config(format!("{key} must be a number"))),
+    }
+}
+
+/// Validates a `/run` body into an experiment id and run configuration.
+/// The body is a flat JSON object: `experiment` (required; `headline`
+/// aliases `fig9`) plus optional `ops`, `seed`, `pid_interval`,
+/// `q_ref_scale` overrides on the server's base configuration — the
+/// exact knobs the checkpoint fingerprint covers.
+fn parse_run_request(body: &[u8], base: &RunConfig) -> Result<(&'static str, RunConfig), RunError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| RunError::Config("request body is not UTF-8".into()))?;
+    if text.trim().is_empty() {
+        return Err(RunError::Config(
+            "empty request body; expected {\"experiment\": \"<id>\", ...}".into(),
+        ));
+    }
+    let requested = str_field(text, "experiment")
+        .ok_or_else(|| RunError::Config("missing \"experiment\" field".into()))?;
+    let requested = if requested == "headline" {
+        "fig9".to_string()
+    } else {
+        requested
+    };
+    let id = experiments::ALL
+        .iter()
+        .copied()
+        .find(|e| *e == requested)
+        .ok_or_else(|| RunError::Config(format!("unknown experiment id {requested}")))?;
+
+    let mut cfg = base.clone();
+    if let Some(ops) = opt_u64(text, "ops")? {
+        if ops == 0 {
+            return Err(RunError::Config("ops must be positive".into()));
+        }
+        cfg.ops = ops;
+    }
+    if let Some(seed) = opt_u64(text, "seed")? {
+        cfg.seed = seed;
+    }
+    if let Some(interval) = opt_u64(text, "pid_interval")? {
+        if interval == 0 {
+            return Err(RunError::Config("pid_interval must be positive".into()));
+        }
+        cfg.pid_interval = interval;
+    }
+    if let Some(scale) = opt_f64(text, "q_ref_scale")? {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(RunError::Config(
+                "q_ref_scale must be a positive finite number".into(),
+            ));
+        }
+        cfg.q_ref_scale = scale;
+    }
+    Ok((id, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> RunConfig {
+        RunConfig::quick()
+    }
+
+    #[test]
+    fn parse_accepts_overrides_and_alias() {
+        let (id, cfg) = parse_run_request(
+            br#"{"experiment": "headline", "ops": 5000, "seed": 9, "pid_interval": 2000, "q_ref_scale": 1.5}"#,
+            &base(),
+        )
+        .expect("valid request");
+        assert_eq!(id, "fig9");
+        assert_eq!(cfg.ops, 5000);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.pid_interval, 2000);
+        assert!((cfg.q_ref_scale - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_defaults_come_from_the_base_config() {
+        let (id, cfg) = parse_run_request(br#"{"experiment": "table1"}"#, &base()).expect("valid");
+        assert_eq!(id, "table1");
+        assert_eq!(cfg.ops, base().ops);
+        assert_eq!(cfg.seed, base().seed);
+    }
+
+    #[test]
+    fn parse_rejects_bad_requests_with_config_errors() {
+        let cases: [&[u8]; 7] = [
+            b"",
+            b"{\"ops\": 100}",
+            br#"{"experiment": "nope"}"#,
+            br#"{"experiment": "fig9", "ops": 0}"#,
+            br#"{"experiment": "fig9", "ops": -5}"#,
+            br#"{"experiment": "fig9", "pid_interval": 0}"#,
+            br#"{"experiment": "fig9", "q_ref_scale": -1.0}"#,
+        ];
+        for body in cases {
+            let err = parse_run_request(body, &base()).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                "config-invalid",
+                "{:?}",
+                String::from_utf8_lossy(body)
+            );
+        }
+    }
+
+    #[test]
+    fn error_statuses_follow_the_taxonomy() {
+        assert_eq!(error_response(&RunError::Config("x".into())).status, 400);
+        assert_eq!(error_response(&RunError::Workload("x".into())).status, 400);
+        assert_eq!(
+            error_response(&RunError::Timeout { limit_ms: 1 }).status,
+            504
+        );
+        assert_eq!(error_response(&RunError::Panicked("x".into())).status, 500);
+    }
+
+    #[test]
+    fn experiments_json_lists_the_whole_registry() {
+        let json = experiments_json();
+        for id in experiments::ALL {
+            assert!(json.contains(&format!("\"id\": \"{id}\"")), "{id} missing");
+        }
+        assert!(json.contains("\"kind\": \"analysis\""));
+        assert!(json.contains("\"kind\": \"simulation\""));
+    }
+
+    #[test]
+    fn run_experiment_returns_typed_errors_for_bad_ids() {
+        // Unknown ids are caught at parse time, but run_on also guards —
+        // and its typed error must surface through the isolation layer.
+        let err = run_experiment("bogus", base(), 1, Duration::from_secs(30)).unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+    }
+
+    #[test]
+    fn analysis_experiment_executes_end_to_end() {
+        let bundle = run_experiment("table1", base(), 1, Duration::from_secs(30)).expect("runs");
+        assert_eq!(bundle.run.kind, "analysis");
+        assert_eq!(bundle.stats.runs, 0, "analysis runs no simulations");
+        assert!(bundle.run.report.contains("Table 1"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the bounded result cache: under arbitrary
+//! interleavings of put/get/overwrite/evict, the cache never serves
+//! bytes that do not belong to the requested fingerprint, never exceeds
+//! its capacity, and always returns the *latest* value stored for a key.
+
+use std::collections::HashMap;
+
+use mcd_bench::checkpoint::CompletedRun;
+use mcd_serve::cache::{CachedRun, ResultCache};
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+/// A distinguishable entry: the report encodes both the key and a
+/// version stamp, so any cross-key or stale-version mixup is visible in
+/// the served bytes.
+fn entry(key: &str, version: u64) -> CachedRun {
+    CachedRun {
+        id: "fig8".to_string(),
+        key: key.to_string(),
+        run: CompletedRun {
+            report: format!("body for {key} v{version}\n"),
+            kind: "simulation".to_string(),
+            wall_s: version as f64 / 1000.0,
+            runs: version,
+            instructions: 10 * version,
+            baseline_hits: 0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_interleaves_never_serve_wrong_bytes(
+        cap in 1usize..6,
+        ops in collection::vec((0u8..2, 0u8..12), 1..250),
+    ) {
+        let cache = ResultCache::new(cap);
+        // Model: the last version written per key. The cache may forget
+        // (eviction is allowed); it may never lie.
+        let mut model: HashMap<String, u64> = HashMap::new();
+        let mut version = 0u64;
+
+        for (op, k) in ops {
+            let key = format!("key-{k}");
+            match op {
+                0 => {
+                    version += 1;
+                    cache.put(&key, entry(&key, version));
+                    model.insert(key.clone(), version);
+                }
+                _ => {
+                    if let Some(served) = cache.get(&key) {
+                        let expected = model.get(&key).copied().unwrap_or_else(|| {
+                            panic!("cache served a key that was never put: {key}")
+                        });
+                        prop_assert_eq!(&served.key, &key, "wrong-key entry served");
+                        prop_assert_eq!(
+                            &served.run.report,
+                            &format!("body for {key} v{expected}\n"),
+                            "stale or foreign bytes served for {}", key
+                        );
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= cap, "occupancy {} over cap {}", cache.len(), cap);
+        }
+    }
+
+    #[test]
+    fn a_full_cache_still_serves_the_hot_key(
+        cap in 2usize..6,
+        churn in collection::vec(0u8..40, 20..120),
+        hot in sample::select(vec!["hot-a", "hot-b"]),
+    ) {
+        // Re-touch one key between churn inserts: LRU must keep it
+        // resident through arbitrary eviction pressure.
+        let cache = ResultCache::new(cap);
+        cache.put(hot, entry(hot, 1));
+        for (i, k) in churn.iter().enumerate() {
+            let got = cache.get(hot).unwrap_or_else(|| panic!("hot key evicted at step {i}"));
+            prop_assert_eq!(&got.run.report, &format!("body for {hot} v1\n"));
+            cache.put(&format!("churn-{k}-{i}"), entry(&format!("churn-{k}-{i}"), 2));
+        }
+        prop_assert!(cache.get(hot).is_some(), "hot key survives the whole churn");
+    }
+}

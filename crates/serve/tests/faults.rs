@@ -1,0 +1,91 @@
+//! Fault-injection suite (`--features fault-inject`): drives the
+//! harness's deterministic MCD_FAULTS hook through the full service
+//! stack and checks that failures are typed, shared across a coalesced
+//! flight, never cached, and never poison the server.
+
+#![cfg(feature = "fault-inject")]
+
+mod util;
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use mcd_serve::{ServeConfig, Server};
+use util::{metric, request, run};
+
+/// One test function: MCD_FAULTS is process-global, so sequencing within
+/// a single `#[test]` (this file is its own test binary) keeps the
+/// environment deterministic.
+#[test]
+fn injected_timeouts_surface_as_504_and_the_server_recovers() {
+    // A 500 ms injected delay against a 100 ms budget: both the attempt
+    // and its retry time out, so the leader answers 504.
+    std::env::set_var("MCD_FAULTS", "fig8=delay:500");
+
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_cap: 16,
+        run_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    const CLIENTS: usize = 3;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                run(
+                    addr,
+                    "{\"experiment\": \"fig8\", \"ops\": 4000, \"seed\": 11}",
+                )
+                .expect("answered even under injected faults")
+            })
+        })
+        .collect();
+    let replies: Vec<_> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client survives"))
+        .collect();
+
+    for r in &replies {
+        assert_eq!(r.status, 504, "injected delay must map to 504: {}", r.body);
+        assert!(r.body.contains("\"error\": \"timeout\""), "{}", r.body);
+        assert_eq!(
+            r.body, replies[0].body,
+            "a coalesced flight shares one failure body"
+        );
+    }
+    let failures = metric(addr, "run_failures");
+    assert_eq!(
+        metric(addr, "runs_executed"),
+        failures,
+        "every execution under the fault failed"
+    );
+    assert!(failures >= 1, "at least the leader executed and failed");
+    assert_eq!(metric(addr, "cache_hits"), 0, "failures are never cached");
+
+    // The server itself stays healthy while the experiment is faulty.
+    let health = request(addr, "GET", "/healthz", b"").expect("healthz answers");
+    assert_eq!(health.status, 200);
+
+    // Lift the fault: the same request now re-executes (no poisoned
+    // cache entry, no stuck flight) and succeeds.
+    std::env::remove_var("MCD_FAULTS");
+    let recovered = run(
+        addr,
+        "{\"experiment\": \"fig8\", \"ops\": 4000, \"seed\": 11}",
+    )
+    .expect("answered after recovery");
+    assert_eq!(
+        recovered.status, 200,
+        "the fingerprint must not be poisoned by earlier failures: {}",
+        recovered.body
+    );
+    assert_eq!(metric(addr, "run_failures"), failures, "no new failures");
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -1,0 +1,83 @@
+//! Shared HTTP client helper for the integration suites: a raw
+//! `TcpStream` client (one request per connection, mirroring the
+//! server's `Connection: close` contract) plus small metric readers.
+
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Body bytes (after the blank line), as a string.
+    pub body: String,
+    /// `Retry-After` header, when present.
+    pub retry_after: Option<u64>,
+}
+
+/// Sends one request and reads the full response. Errors are connection
+/// errors; any complete HTTP exchange yields `Ok`.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> std::io::Result<Reply> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    // Runs can take a while; the read deadline only guards against a
+    // genuinely hung server.
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let Some((headers, body)) = text.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("no header/body split in {text:?}"),
+        ));
+    };
+    let status: u16 = headers
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line in {headers:?}"),
+            )
+        })?;
+    let retry_after = headers.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    });
+    Ok(Reply {
+        status,
+        body: body.to_string(),
+        retry_after,
+    })
+}
+
+/// POSTs a `/run` body.
+pub fn run(addr: SocketAddr, body: &str) -> std::io::Result<Reply> {
+    request(addr, "POST", "/run", body.as_bytes())
+}
+
+/// Reads one unsigned counter out of `GET /metrics`.
+pub fn metric(addr: SocketAddr, field: &str) -> u64 {
+    let reply = request(addr, "GET", "/metrics", b"").expect("metrics endpoint answers");
+    assert_eq!(reply.status, 200, "metrics must be 200: {}", reply.body);
+    mcd_bench::checkpoint::u64_field(&reply.body, field)
+        .unwrap_or_else(|| panic!("no field {field} in {}", reply.body))
+}
