@@ -6,6 +6,8 @@
 //!                       [--checkpoint DIR] [--resume] [--run-timeout SECS]
 //! repro all [same flags]
 //! repro list
+//! repro trace analyze FILE [--out FILE]
+//! repro profile <experiment>... [--ops N] [--quick] [--seed S] [--jobs N]
 //! ```
 //!
 //! Each simulation is single-threaded and deterministic; `--jobs N` sets
@@ -30,6 +32,13 @@
 //! anything failed. With `--checkpoint DIR`, each completed experiment is
 //! recorded on the spot; `--resume` replays recorded entries instead of
 //! re-running them, regenerating byte-identical reports (DESIGN.md §7).
+//!
+//! `repro trace analyze FILE` consumes a `--trace-out` file offline
+//! (deviation episodes, reaction-time distributions, a per-domain
+//! timeline — DESIGN.md §9); its report is a pure function of the trace
+//! bytes. `repro profile <ids>` re-runs experiments with the span
+//! profiler and distribution telemetry enabled and prints where the
+//! wall time went.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -40,12 +49,16 @@ use mcd_bench::experiments;
 use mcd_bench::parallel::par_try_map;
 use mcd_bench::runner::{ControllerActivity, RunConfig, RunSet};
 use mcd_bench::table::Table;
+use mcd_bench::trace_analyze;
+use mcd_sim::SimTelemetry;
 
 fn usage() -> String {
     format!(
         "usage: repro <experiment>...|all|list [--ops N] [--quick] [--seed S] [--jobs N] \
          [--out DIR] [--bench-out FILE] [--trace-out FILE] \
          [--checkpoint DIR] [--resume] [--run-timeout SECS]\n\
+         \x20      repro trace analyze FILE [--out FILE]\n\
+         \x20      repro profile <experiment>... [--ops N] [--quick] [--seed S] [--jobs N]\n\
          experiments: {}",
         experiments::ALL.join(", ")
     )
@@ -96,6 +109,7 @@ fn bench_report(
     total_wall_s: f64,
     records: &[(&'static str, CompletedRun)],
     activity: &ControllerActivity,
+    telemetry: Option<&SimTelemetry>,
 ) -> String {
     let runs: u64 = records.iter().map(|(_, r)| r.runs).sum();
     let instructions: u64 = records.iter().map(|(_, r)| r.instructions).sum();
@@ -117,44 +131,81 @@ fn bench_report(
         .iter()
         .map(|(id, r)| format!("    {}", r.record_json(id)))
         .collect();
+    let telemetry_block = match telemetry {
+        Some(tel) => format!("  \"telemetry\": {},\n", telemetry_json(tel)),
+        None => String::new(),
+    };
     format!(
         "{{\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_wall_s:.3},\n  \
          \"total_runs\": {runs},\n  \"total_instructions\": {instructions},\n  \
          \"total_baseline_cache_hits\": {hits},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
-         \"controller_activity\": {},\n  \
+         \"controller_activity\": {},\n{telemetry_block}  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         activity.to_json(),
         body.join(",\n")
     )
 }
 
-/// Escapes a run label for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+/// Renders the per-domain reaction-time and occupancy distributions
+/// (printed alongside the activity table when telemetry is enabled).
+fn telemetry_table(tel: &SimTelemetry) -> String {
+    let mut t = Table::new([
+        "domain",
+        "reactions",
+        "p50",
+        "p90",
+        "p99",
+        "max",
+        "occ samples",
+        "occ p99",
+        "occ max",
+    ]);
+    for (i, domain) in DOMAINS.iter().enumerate() {
+        let r = tel.reaction_ps[i].snapshot();
+        let o = tel.occupancy[i].snapshot();
+        let ns = |ps: u64| format!("{:.1} ns", ps as f64 / 1e3);
+        t.row([
+            domain.to_string(),
+            r.count().to_string(),
+            ns(r.p50()),
+            ns(r.p90()),
+            ns(r.p99()),
+            ns(r.max()),
+            o.count().to_string(),
+            o.p99().to_string(),
+            o.max().to_string(),
+        ]);
     }
-    out
+    format!(
+        "Reaction-time and queue-occupancy distributions (aggregate):\n\n{}",
+        t.render()
+    )
 }
 
-/// Renders collected event traces as JSON lines: one event per line,
-/// each tagged with the run label that produced it.
-fn render_traces(traces: &[(String, Vec<mcd_sim::TraceEvent>)]) -> String {
-    let mut out = String::new();
-    for (label, events) in traces {
-        let run = json_escape(label);
-        for ev in events {
-            let body = ev.to_json();
-            // Splice the run tag into the event object: {"run":"...",...}.
-            out.push_str(&format!("{{\"run\": \"{run}\", {}\n", &body[1..]));
-        }
-    }
-    out
+/// JSON block of per-domain distribution summaries for `--bench-out`.
+fn telemetry_json(tel: &SimTelemetry) -> String {
+    let domains: Vec<String> = DOMAINS
+        .iter()
+        .enumerate()
+        .map(|(i, domain)| {
+            let r = tel.reaction_ps[i].snapshot();
+            let o = tel.occupancy[i].snapshot();
+            format!(
+                "{{\"domain\": \"{domain}\", \"reactions\": {}, \
+                 \"reaction_p50_ns\": {:.1}, \"reaction_p99_ns\": {:.1}, \
+                 \"reaction_max_ns\": {:.1}, \"occupancy_samples\": {}, \
+                 \"occupancy_p99\": {}, \"occupancy_max\": {}}}",
+                r.count(),
+                r.p50() as f64 / 1e3,
+                r.p99() as f64 / 1e3,
+                r.max() as f64 / 1e3,
+                o.count(),
+                o.p99(),
+                o.max()
+            )
+        })
+        .collect();
+    format!("[{}]", domains.join(", "))
 }
 
 /// Renders the end-of-sweep failure table.
@@ -170,6 +221,172 @@ fn failure_table(failures: &[(&'static str, RunError)], total: usize) -> String 
     )
 }
 
+/// `repro trace analyze FILE [--out FILE]`: offline analysis of a
+/// `--trace-out` JSONL file. The report is a pure function of the trace
+/// bytes, so it can be golden-gated.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) != Some("analyze") {
+        eprintln!("trace subcommands: analyze FILE [--out FILE]\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let Some(file) = args.get(1) else {
+        eprintln!("trace analyze needs a FILE\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out = Some(std::path::PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let jsonl = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match trace_analyze::analyze(&jsonl) {
+        Ok(analysis) => analysis.report(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{report}");
+    if let Some(path) = &out {
+        if let Err(e) = write_file(path, report.as_bytes()) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro profile <ids>`: re-runs experiments with the span profiler and
+/// distribution telemetry enabled and prints a per-experiment phase
+/// breakdown. Wall readings vary run to run, so this output is never
+/// golden-gated.
+fn profile_cmd(args: &[String]) -> ExitCode {
+    let mut ids: Vec<&'static str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() && !args[i].starts_with("--") {
+        let id = match args[i].as_str() {
+            "headline" => "fig9",
+            other => other,
+        };
+        if id == "all" {
+            ids.extend(experiments::ALL);
+        } else if let Some(&known) = experiments::ALL.iter().find(|&&e| e == id) {
+            if !ids.contains(&known) {
+                ids.push(known);
+            }
+        } else {
+            eprintln!("unknown experiment {id}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments named\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let mut cfg = RunConfig::full();
+    let mut jobs = mcd_bench::parallel::default_jobs();
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = RunConfig::quick(),
+            "--ops" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--ops needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg = cfg.with_ops(n);
+            }
+            "--seed" => {
+                i += 1;
+                let Some(s) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg.seed = s;
+            }
+            "--jobs" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--jobs needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                jobs = n;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let rs = RunSet::new(jobs).with_telemetry().with_profiling();
+    for (n, id) in ids.iter().enumerate() {
+        let before = rs.profiler().snapshot();
+        let wall_before = rs.wall_snapshot();
+        let start = Instant::now();
+        if let Err(e) = experiments::run_on(&rs, id, &cfg) {
+            eprintln!("{id}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let wall_s = start.elapsed().as_secs_f64();
+        let phases = rs.profiler().snapshot().diff(&before);
+        let wall = rs.wall_snapshot().diff(&wall_before);
+        let mut t = Table::new(["phase", "calls", "wall", "share"]);
+        for p in &phases.phases {
+            // Share of the experiment's wall clock; nested paths (e.g.
+            // baseline/simulate) also count toward their parents, so
+            // shares need not sum to 100%.
+            let share = p.seconds() * 100.0 / wall_s.max(1e-9);
+            t.row([
+                p.path.clone(),
+                p.calls.to_string(),
+                format!("{:.3} s", p.seconds()),
+                format!("{share:.1}%"),
+            ]);
+        }
+        if n > 0 {
+            println!();
+        }
+        println!(
+            "{id}: {wall_s:.3} s wall, {} simulations (per-run p50 {:.3} s, p99 {:.3} s)\n\n{}",
+            wall.count(),
+            wall.p50() as f64 / 1e6,
+            wall.p99() as f64 / 1e6,
+            t.render()
+        );
+    }
+    if let Some(tel) = rs.telemetry() {
+        println!("\n{}", telemetry_table(tel));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -181,6 +398,12 @@ fn main() -> ExitCode {
             println!("{e}");
         }
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "trace" {
+        return trace_cmd(&args[1..]);
+    }
+    if args[0] == "profile" {
+        return profile_cmd(&args[1..]);
     }
 
     // Leading non-flag arguments are experiment ids ("headline" is a
@@ -316,7 +539,9 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let rs = RunSet::init_global(jobs, trace_out.is_some());
+    // Distribution telemetry rides along whenever a machine-readable
+    // benchmark record was asked for; the default path keeps NullSink.
+    let rs = RunSet::init_global(jobs, trace_out.is_some(), bench_out.is_some(), false);
     let all_start = Instant::now();
 
     // Replay checkpointed entries, then run what is left. One ordered
@@ -347,10 +572,14 @@ fn main() -> ExitCode {
     let sweep_ck = checkpoint.clone();
     let results = par_try_map(1, pending.clone(), run_timeout, move |(_, id)| {
         let before = rs.stats();
+        let wall_before = rs.wall_snapshot();
         let start = Instant::now();
         let report = experiments::run_on(rs, id, &sweep_cfg)?;
         let wall_s = start.elapsed().as_secs_f64();
         let after = rs.stats();
+        // Per-simulation wall-time distribution within this experiment;
+        // the sweep over experiments is serial, so the delta is ours.
+        let wall = rs.wall_snapshot().diff(&wall_before);
         let run = CompletedRun {
             report,
             kind: experiments::kind(id)
@@ -361,6 +590,8 @@ fn main() -> ExitCode {
             runs: after.runs - before.runs,
             instructions: after.instructions - before.instructions,
             baseline_hits: after.baseline_hits - before.baseline_hits,
+            run_wall_p50_s: wall.p50() as f64 / 1e6,
+            run_wall_p99_s: wall.p99() as f64 / 1e6,
         };
         if let Some(ck) = &sweep_ck {
             ck.store(id, &run)?;
@@ -396,7 +627,7 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &trace_out {
         let traces = rs.drain_traces().unwrap_or_default();
-        if let Err(e) = write_file(path, render_traces(&traces).as_bytes()) {
+        if let Err(e) = write_file(path, trace_analyze::render_traces(&traces).as_bytes()) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
@@ -405,11 +636,15 @@ fn main() -> ExitCode {
         let activity = rs.activity();
         println!("\n{}\n", "=".repeat(78));
         println!("{}", activity_table(&activity));
+        if let Some(tel) = rs.telemetry() {
+            println!("\n{}", telemetry_table(tel));
+        }
         let json = bench_report(
             rs.jobs(),
             all_start.elapsed().as_secs_f64(),
             &records,
             &activity,
+            rs.telemetry(),
         );
         if let Err(e) = write_file(path, json.as_bytes()) {
             eprintln!("{e}");

@@ -67,6 +67,11 @@ pub struct CompletedRun {
     pub instructions: u64,
     /// Baseline-cache hits.
     pub baseline_hits: u64,
+    /// Median per-simulation wall time within this experiment, seconds
+    /// (0 when the experiment ran no simulations).
+    pub run_wall_p50_s: f64,
+    /// 99th-percentile per-simulation wall time, seconds.
+    pub run_wall_p99_s: f64,
 }
 
 impl CompletedRun {
@@ -85,9 +90,14 @@ impl CompletedRun {
         } else {
             0.0
         };
+        // Same quantize-before-render rule as wall_s, for the same
+        // idempotency reason.
+        let p50 = (self.run_wall_p50_s * 1000.0).round() / 1000.0;
+        let p99 = (self.run_wall_p99_s * 1000.0).round() / 1000.0;
         format!(
             "{{\"experiment\": \"{id}\", \"kind\": \"{}\", \"wall_s\": {wall_s:.3}, \"runs\": {}, \
-             \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {mips:.2}}}",
+             \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {mips:.2}, \
+             \"run_wall_p50_s\": {p50:.3}, \"run_wall_p99_s\": {p99:.3}}}",
             self.kind, self.runs, self.instructions, self.baseline_hits,
         )
     }
@@ -271,6 +281,10 @@ impl CheckpointDir {
             runs: u64_field(&record, "runs")?,
             instructions: u64_field(&record, "instructions")?,
             baseline_hits: u64_field(&record, "baseline_cache_hits")?,
+            // Records written before these fields existed fail to load
+            // and simply re-run — the standard incomplete-entry path.
+            run_wall_p50_s: f64_field(&record, "run_wall_p50_s")?,
+            run_wall_p99_s: f64_field(&record, "run_wall_p99_s")?,
         })
     }
 }
@@ -297,6 +311,8 @@ mod tests {
             runs: 7,
             instructions: 123_456,
             baseline_hits: 3,
+            run_wall_p50_s: 0.125,
+            run_wall_p99_s: 0.5,
         }
     }
 

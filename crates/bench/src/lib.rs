@@ -31,6 +31,7 @@ pub mod fault;
 pub mod parallel;
 pub mod runner;
 pub mod table;
+pub mod trace_analyze;
 
 pub use error::RunError;
 pub use runner::{RunConfig, RunSet, Scheme};

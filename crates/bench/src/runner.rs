@@ -3,12 +3,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
 use mcd_baselines::{AttackDecayController, PidConfig, PidController};
 use mcd_sim::metrics::Metrics;
+use mcd_sim::telemetry::{SimTelemetry, TelemetrySink};
 use mcd_sim::trace::{NullSink, TraceEvent, TraceSink, VecSink};
 use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
+use mcd_telemetry::{Histogram, HistogramSnapshot, Profiler};
 use mcd_workloads::{registry, TraceGenerator};
 
 use crate::error::RunError;
@@ -320,6 +323,16 @@ pub struct RunSet {
     /// stream lands here (`None` = tracing disabled, simulations run
     /// through the zero-cost [`NullSink`]).
     tracing: Option<Mutex<Vec<LabeledTrace>>>,
+    /// When telemetry is on, per-domain reaction-time and occupancy
+    /// distributions accumulate here via a [`TelemetrySink`] wrapped
+    /// around each run's sink (`None` = runs keep the zero-cost
+    /// [`NullSink`] path).
+    telemetry: Option<SimTelemetry>,
+    /// Wall time of every executed simulation, microseconds. Always on:
+    /// one `Instant` pair per run, never rendered into report bytes.
+    wall_us: Histogram,
+    /// Phase profiler (disabled by default; `repro profile` enables it).
+    profiler: Profiler,
 }
 
 static GLOBAL_RUN_SET: OnceLock<RunSet> = OnceLock::new();
@@ -336,6 +349,9 @@ impl RunSet {
             baseline_hits: AtomicU64::new(0),
             activity: Mutex::new(ControllerActivity::default()),
             tracing: None,
+            telemetry: None,
+            wall_us: Histogram::new(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -346,6 +362,21 @@ impl RunSet {
         self
     }
 
+    /// Enables distribution telemetry: every simulation streams its
+    /// events through a [`TelemetrySink`], accumulating per-domain
+    /// reaction-time and queue-occupancy histograms (for
+    /// `repro --bench-out` and `repro profile`).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = Some(SimTelemetry::new());
+        self
+    }
+
+    /// Enables span profiling (per-phase wall time and call counts).
+    pub fn with_profiling(mut self) -> Self {
+        self.profiler = Profiler::enabled();
+        self
+    }
+
     /// The process-wide run set used by the `repro` binary, created on
     /// first use with one worker per available core.
     pub fn global() -> &'static RunSet {
@@ -353,17 +384,28 @@ impl RunSet {
     }
 
     /// Initializes the process-wide run set with an explicit worker
-    /// count (and optionally tracing). A no-op if [`RunSet::global`] was
-    /// already touched — call this before any experiment runs (the
-    /// `repro` binary does so right after argument parsing).
-    pub fn init_global(jobs: usize, tracing: bool) -> &'static RunSet {
+    /// count and optional tracing / telemetry / profiling. A no-op if
+    /// [`RunSet::global`] was already touched — call this before any
+    /// experiment runs (the `repro` binary does so right after argument
+    /// parsing).
+    pub fn init_global(
+        jobs: usize,
+        tracing: bool,
+        telemetry: bool,
+        profiling: bool,
+    ) -> &'static RunSet {
         GLOBAL_RUN_SET.get_or_init(|| {
-            let rs = RunSet::new(jobs);
+            let mut rs = RunSet::new(jobs);
             if tracing {
-                rs.with_tracing()
-            } else {
-                rs
+                rs = rs.with_tracing();
             }
+            if telemetry {
+                rs = rs.with_telemetry();
+            }
+            if profiling {
+                rs = rs.with_profiling();
+            }
+            rs
         })
     }
 
@@ -387,6 +429,23 @@ impl RunSet {
         *self.activity.lock().expect("activity aggregate poisoned")
     }
 
+    /// The distribution telemetry accumulators, when enabled.
+    pub fn telemetry(&self) -> Option<&SimTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Snapshot of the per-run wall-time histogram (microseconds).
+    /// Diff snapshots taken around an experiment to attribute its runs.
+    pub fn wall_snapshot(&self) -> HistogramSnapshot {
+        self.wall_us.snapshot()
+    }
+
+    /// The set's phase profiler (disabled unless
+    /// [`RunSet::with_profiling`] was called).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
     fn count(&self, result: SimResult) -> SimResult {
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.instructions
@@ -399,17 +458,20 @@ impl RunSet {
     }
 
     /// Executes one simulation through the set's sink policy: a
-    /// [`NullSink`] when tracing is off (zero overhead), a collected
-    /// [`VecSink`] when on. Counts the run on success; a failed run
-    /// contributes no counters and no trace.
+    /// [`NullSink`] when tracing and telemetry are both off (zero
+    /// overhead), a collected [`VecSink`] and/or a [`TelemetrySink`]
+    /// otherwise. Counts the run and its wall time on success; a failed
+    /// run contributes no counters, no trace and no telemetry.
     fn simulate(
         &self,
         label: &str,
         simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError>,
     ) -> Result<SimResult, RunError> {
-        let result = match &self.tracing {
-            None => simulate(&mut NullSink)?,
-            Some(collector) => {
+        let _span = self.profiler.span("simulate");
+        let start = Instant::now();
+        let result = match (&self.telemetry, &self.tracing) {
+            (None, None) => simulate(&mut NullSink)?,
+            (None, Some(collector)) => {
                 let mut sink = VecSink::new();
                 let result = simulate(&mut sink)?;
                 collector
@@ -418,7 +480,22 @@ impl RunSet {
                     .push((label.to_string(), sink.into_events()));
                 result
             }
+            (Some(tel), None) => {
+                let mut sink = TelemetrySink::new(tel, NullSink);
+                simulate(&mut sink)?
+            }
+            (Some(tel), Some(collector)) => {
+                let mut sink = TelemetrySink::new(tel, VecSink::new());
+                let result = simulate(&mut sink)?;
+                collector
+                    .lock()
+                    .expect("trace collector poisoned")
+                    .push((label.to_string(), sink.into_inner().into_events()));
+                result
+            }
         };
+        self.wall_us
+            .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         Ok(self.count(result))
     }
 
@@ -475,6 +552,7 @@ impl RunSet {
         let result = cell
             .get_or_init(|| {
                 computed = true;
+                let _span = self.profiler.span("baseline");
                 let label = Self::run_label(benchmark, Scheme::Baseline, cfg);
                 self.simulate(&label, |sink| {
                     run_traced(benchmark, Scheme::Baseline, cfg, sink)
@@ -628,6 +706,28 @@ mod tests {
         cfg.sim.rob_size = 0;
         let err = run("adpcm_encode", Scheme::Baseline, &cfg).unwrap_err();
         assert_eq!(err.kind(), "config-invalid");
+    }
+
+    #[test]
+    fn telemetry_distributions_match_the_counters_exactly() {
+        let rs = RunSet::new(1).with_telemetry();
+        let cfg = RunConfig::quick().with_ops(20_000);
+        rs.run("adpcm_encode", Scheme::Adaptive, &cfg).expect("run");
+        let activity = rs.activity();
+        let tel = rs.telemetry().expect("telemetry enabled");
+        let mut reactions = 0;
+        for i in 0..3 {
+            // The sink replays the engine's onset rule, so the
+            // distribution's count and sum equal the always-on counters
+            // — not just approximately, bit for bit.
+            let snap = tel.reaction_ps[i].snapshot();
+            assert_eq!(snap.count(), activity.reaction_count[i], "domain {i}");
+            assert_eq!(snap.sum(), activity.reaction_sum_ps[i], "domain {i}");
+            reactions += snap.count();
+        }
+        assert!(reactions > 0, "the adaptive run must react at least once");
+        assert!(tel.occupancy.iter().any(|h| !h.snapshot().is_empty()));
+        assert_eq!(rs.wall_snapshot().count(), rs.stats().runs);
     }
 
     #[test]

@@ -1,0 +1,628 @@
+//! Offline trace analysis: rendering and consuming `--trace-out` JSONL.
+//!
+//! `repro --trace-out FILE` writes one controller/machine event per line
+//! (see [`render_traces`]); `repro trace analyze FILE` reads those lines
+//! back and reconstructs what no single counter shows — deviation
+//! episodes, the *distribution* of reaction times (the paper's central
+//! quantity, HPCA 2005 §4–5), relay-reset reasons, queue-occupancy
+//! distributions, and an ASCII per-domain timeline of the busiest run.
+//!
+//! The report is deterministic: it is a pure function of the event
+//! lines, which the harness emits sorted by run label whatever the
+//! worker count, so `repro ... --jobs 1/2/8 --trace-out` feed
+//! byte-identical analyses. Reaction times are reconstructed with
+//! exactly the engine's onset rule (`observe_ctrl_event` /
+//! `note_freq_step` in `mcd-sim`), so the analyzer's per-domain mean
+//! equals the always-on counters' `mean_reaction_ns` to the picosecond.
+
+use std::collections::BTreeMap;
+
+use mcd_sim::TraceEvent;
+use mcd_telemetry::{Histogram, HistogramSnapshot};
+
+use crate::error::RunError;
+use crate::runner::ControllerActivity;
+use crate::table::Table;
+
+/// Escapes a run label for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders collected event traces as JSON lines: one event per line,
+/// each tagged with the run label that produced it.
+pub fn render_traces(traces: &[(String, Vec<TraceEvent>)]) -> String {
+    let mut out = String::new();
+    for (label, events) in traces {
+        let run = json_escape(label);
+        for ev in events {
+            let body = ev.to_json();
+            // Splice the run tag into the event object: {"run":"...",...}.
+            out.push_str(&format!("{{\"run\": \"{run}\", {}\n", &body[1..]));
+        }
+    }
+    out
+}
+
+/// The backend domains in report order, as serialized in events.
+const DOMAINS: [&str; 3] = ControllerActivity::DOMAINS;
+
+fn domain_index(name: &str) -> Option<usize> {
+    DOMAINS.iter().position(|&d| d == name)
+}
+
+fn signal_index(name: &str) -> Option<usize> {
+    match name {
+        "occupancy" => Some(0),
+        "delta" => Some(1),
+        _ => None,
+    }
+}
+
+/// One parsed trace line — only the fields the analysis needs.
+struct Line {
+    run: String,
+    domain: usize,
+    t_ps: u64,
+    kind: Kind,
+}
+
+enum Kind {
+    WindowEnter { signal: usize },
+    WindowExit { signal: usize },
+    RelayArm,
+    RelayFire,
+    RelayReset { why: String },
+    FreqStep { up: bool },
+    QueueHistogram { counts: Vec<u64> },
+}
+
+/// Extracts the `"counts":[...]` array (the one non-flat field in the
+/// trace schema).
+fn counts_field(json: &str) -> Option<Vec<u64>> {
+    let start = json.find("\"counts\":")? + "\"counts\":".len();
+    let rest = json[start..].trim_start().strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Line, RunError> {
+    use crate::checkpoint::{str_field, u64_field};
+    let err = |what: &str| {
+        RunError::Config(format!(
+            "trace line {line_no}: {what}: {}",
+            line.chars().take(120).collect::<String>()
+        ))
+    };
+    let run = str_field(line, "run").ok_or_else(|| err("no run label"))?;
+    let domain = str_field(line, "domain")
+        .and_then(|d| domain_index(&d))
+        .ok_or_else(|| err("no backend domain"))?;
+    let t_ps = u64_field(line, "t_ps").ok_or_else(|| err("no t_ps"))?;
+    let kind = str_field(line, "kind").ok_or_else(|| err("no kind"))?;
+    let signal = || {
+        str_field(line, "signal")
+            .and_then(|s| signal_index(&s))
+            .ok_or_else(|| err("no signal"))
+    };
+    let kind = match kind.as_str() {
+        "window_enter" => Kind::WindowEnter { signal: signal()? },
+        "window_exit" => Kind::WindowExit { signal: signal()? },
+        "relay_arm" => Kind::RelayArm,
+        "relay_fire" => Kind::RelayFire,
+        "relay_reset" => Kind::RelayReset {
+            why: str_field(line, "why").ok_or_else(|| err("no reset reason"))?,
+        },
+        "freq_step" => Kind::FreqStep {
+            up: str_field(line, "dir").ok_or_else(|| err("no step direction"))? == "up",
+        },
+        "queue_histogram" => Kind::QueueHistogram {
+            counts: counts_field(line).ok_or_else(|| err("bad counts array"))?,
+        },
+        other => return Err(err(&format!("unknown event kind {other:?}"))),
+    };
+    Ok(Line {
+        run,
+        domain,
+        t_ps,
+        kind,
+    })
+}
+
+/// Per-domain aggregates across every run in the trace.
+#[derive(Default)]
+struct DomainAgg {
+    reaction: Histogram,
+    reaction_sum_ps: u64,
+    arms: u64,
+    fires: u64,
+    resets: BTreeMap<String, u64>,
+    steps_up: u64,
+    steps_down: u64,
+    episodes_reacted: u64,
+    episodes_abandoned: u64,
+    occupancy: Histogram,
+}
+
+/// Everything the analyzer reconstructs from one trace file. Produced
+/// by [`analyze`]; render with [`TraceAnalysis::report`].
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    events: u64,
+    runs: u64,
+    domains: [DomainAggOut; 3],
+    timeline: Option<Timeline>,
+}
+
+/// Public per-domain view (snapshots instead of live histograms).
+#[derive(Debug)]
+struct DomainAggOut {
+    reaction: HistogramSnapshot,
+    reaction_sum_ps: u64,
+    arms: u64,
+    fires: u64,
+    resets: BTreeMap<String, u64>,
+    steps_up: u64,
+    steps_down: u64,
+    episodes_reacted: u64,
+    episodes_abandoned: u64,
+    occupancy: HistogramSnapshot,
+}
+
+#[derive(Debug)]
+struct Timeline {
+    run: String,
+    span_ps: u64,
+    rows: [String; 3],
+}
+
+/// Width of the ASCII timeline in bins.
+const TIMELINE_BINS: usize = 64;
+
+/// Rank of a timeline glyph; higher wins when events share a bin.
+fn glyph_priority(c: char) -> u8 {
+    match c {
+        'S' => 5,
+        'F' => 4,
+        'A' => 3,
+        '^' => 2,
+        'v' => 1,
+        _ => 0,
+    }
+}
+
+impl TraceAnalysis {
+    /// Mean reaction time for backend domain `idx` in nanoseconds, or
+    /// `None` if the trace shows no completed reaction — defined
+    /// exactly like [`ControllerActivity::mean_reaction_time_ns`].
+    pub fn mean_reaction_time_ns(&self, idx: usize) -> Option<f64> {
+        let d = &self.domains[idx];
+        if d.reaction.count() == 0 {
+            None
+        } else {
+            Some(d.reaction_sum_ps as f64 / d.reaction.count() as f64 / 1000.0)
+        }
+    }
+
+    /// Renders the deterministic report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Trace analysis\n==============\n\n");
+        out.push_str(&format!(
+            "{} events across {} runs\n\n",
+            self.events, self.runs
+        ));
+
+        let ns = |ps: u64| format!("{:.1} ns", ps as f64 / 1000.0);
+        let mut t = Table::new(["domain", "reactions", "mean", "p50", "p99", "max"]);
+        for (i, name) in DOMAINS.iter().enumerate() {
+            let d = &self.domains[i];
+            let (mean, p50, p99, max) = if d.reaction.count() == 0 {
+                ("-".into(), "-".into(), "-".into(), "-".to_string())
+            } else {
+                (
+                    format!("{:.1} ns", self.mean_reaction_time_ns(i).unwrap_or(0.0)),
+                    ns(d.reaction.p50()),
+                    ns(d.reaction.p99()),
+                    ns(d.reaction.max()),
+                )
+            };
+            t.row([
+                name.to_string(),
+                d.reaction.count().to_string(),
+                mean,
+                p50,
+                p99,
+                max,
+            ]);
+        }
+        out.push_str("Reaction time (deviation onset -> frequency step):\n\n");
+        out.push_str(&t.render());
+
+        let mut reasons: Vec<String> = Vec::new();
+        for d in &self.domains {
+            for why in d.resets.keys() {
+                if !reasons.contains(why) {
+                    reasons.push(why.clone());
+                }
+            }
+        }
+        reasons.sort();
+        let mut headers = vec![
+            "domain".to_string(),
+            "arms".to_string(),
+            "fires".to_string(),
+            "resets".to_string(),
+        ];
+        headers.extend(reasons.iter().cloned());
+        let mut t = Table::new(headers);
+        for (i, name) in DOMAINS.iter().enumerate() {
+            let d = &self.domains[i];
+            let mut row = vec![
+                name.to_string(),
+                d.arms.to_string(),
+                d.fires.to_string(),
+                d.resets.values().sum::<u64>().to_string(),
+            ];
+            for why in &reasons {
+                row.push(d.resets.get(why).copied().unwrap_or(0).to_string());
+            }
+            t.row(row);
+        }
+        out.push_str("\nRelay activity (resets broken down by reason):\n\n");
+        out.push_str(&t.render());
+
+        let mut t = Table::new([
+            "domain",
+            "episodes",
+            "reacted",
+            "abandoned",
+            "steps up",
+            "steps down",
+        ]);
+        for (i, name) in DOMAINS.iter().enumerate() {
+            let d = &self.domains[i];
+            t.row([
+                name.to_string(),
+                (d.episodes_reacted + d.episodes_abandoned).to_string(),
+                d.episodes_reacted.to_string(),
+                d.episodes_abandoned.to_string(),
+                d.steps_up.to_string(),
+                d.steps_down.to_string(),
+            ]);
+        }
+        out.push_str("\nDeviation episodes (onset -> step, or abandoned back inside):\n\n");
+        out.push_str(&t.render());
+
+        let mut t = Table::new(["domain", "samples", "p50", "p99", "max"]);
+        for (i, name) in DOMAINS.iter().enumerate() {
+            let d = &self.domains[i];
+            let (p50, p99, max) = if d.occupancy.count() == 0 {
+                ("-".into(), "-".into(), "-".to_string())
+            } else {
+                (
+                    d.occupancy.p50().to_string(),
+                    d.occupancy.p99().to_string(),
+                    d.occupancy.max().to_string(),
+                )
+            };
+            t.row([
+                name.to_string(),
+                d.occupancy.count().to_string(),
+                p50,
+                p99,
+                max,
+            ]);
+        }
+        out.push_str("\nQueue occupancy (entries, per controller sample):\n\n");
+        out.push_str(&t.render());
+
+        if let Some(tl) = &self.timeline {
+            out.push_str(&format!(
+                "\nTimeline of the busiest run ({} bins over {:.1} us):\n  {}\n  S=freq step  F=relay fire  A=relay arm  ^=window enter  v=window exit\n\n",
+                TIMELINE_BINS,
+                tl.span_ps as f64 / 1e6,
+                tl.run,
+            ));
+            for (i, name) in DOMAINS.iter().enumerate() {
+                out.push_str(&format!("  {:<4}|{}|\n", name, tl.rows[i]));
+            }
+        }
+        out
+    }
+}
+
+/// Analyzes `--trace-out` JSON lines. Blank lines are skipped; any
+/// malformed line is a typed error naming its line number.
+pub fn analyze(jsonl: &str) -> Result<TraceAnalysis, RunError> {
+    // Group lines by run label, preserving each run's in-file (time)
+    // order. The BTreeMap makes the analysis independent of run order
+    // in the file; within a run the events come from one simulation and
+    // are already time-ordered.
+    let mut by_run: BTreeMap<String, Vec<Line>> = BTreeMap::new();
+    let mut events = 0u64;
+    for (idx, raw) in jsonl.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = parse_line(raw, idx + 1)?;
+        events += 1;
+        by_run.entry(line.run.clone()).or_default().push(line);
+    }
+
+    let mut aggs: [DomainAgg; 3] = Default::default();
+    let mut busiest: Option<(usize, &String)> = None;
+    for (run, lines) in &by_run {
+        // More events wins; ties go to the lexicographically smaller
+        // label (BTreeMap iteration order makes `>` do exactly that).
+        if busiest.map(|(n, _)| lines.len() > n).unwrap_or(true) {
+            busiest = Some((lines.len(), run));
+        }
+        // Replay the engine's onset bookkeeping per domain.
+        let mut onsets: [[Option<u64>; 2]; 3] = [[None; 2]; 3];
+        let mut seen_occupancy: [Vec<u64>; 3] = Default::default();
+        for line in lines {
+            let bi = line.domain;
+            let agg = &mut aggs[bi];
+            match &line.kind {
+                Kind::WindowEnter { signal } => {
+                    let slot = &mut onsets[bi][*signal];
+                    if slot.is_none() {
+                        *slot = Some(line.t_ps);
+                    }
+                }
+                Kind::WindowExit { signal } => {
+                    let had_onset = onsets[bi].iter().any(Option::is_some);
+                    onsets[bi][*signal] = None;
+                    if had_onset && onsets[bi].iter().all(Option::is_none) {
+                        agg.episodes_abandoned += 1;
+                    }
+                }
+                Kind::RelayArm => agg.arms += 1,
+                Kind::RelayFire => agg.fires += 1,
+                Kind::RelayReset { why } => {
+                    *agg.resets.entry(why.clone()).or_insert(0) += 1;
+                }
+                Kind::FreqStep { up } => {
+                    if *up {
+                        agg.steps_up += 1;
+                    } else {
+                        agg.steps_down += 1;
+                    }
+                    let onset = match (onsets[bi][0], onsets[bi][1]) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    if let Some(on) = onset {
+                        let dt = line.t_ps - on;
+                        agg.reaction.record(dt);
+                        agg.reaction_sum_ps += dt;
+                        agg.episodes_reacted += 1;
+                        onsets[bi] = [None, None];
+                    }
+                }
+                Kind::QueueHistogram { counts } => {
+                    let seen = &mut seen_occupancy[bi];
+                    seen.resize(counts.len().max(seen.len()), 0);
+                    for (occ, (&now, prev)) in counts.iter().zip(seen.iter_mut()).enumerate() {
+                        let delta = now.saturating_sub(*prev);
+                        if delta > 0 {
+                            agg.occupancy.record_n(occ as u64, delta);
+                        }
+                        *prev = now;
+                    }
+                }
+            }
+        }
+    }
+
+    let timeline = busiest.map(|(_, run)| {
+        let lines = &by_run[run];
+        let span_ps = lines.iter().map(|l| l.t_ps).max().unwrap_or(0);
+        let mut rows: [Vec<char>; 3] = std::array::from_fn(|_| vec!['.'; TIMELINE_BINS]);
+        for line in lines {
+            let glyph = match &line.kind {
+                Kind::FreqStep { .. } => 'S',
+                Kind::RelayFire => 'F',
+                Kind::RelayArm => 'A',
+                Kind::WindowEnter { .. } => '^',
+                Kind::WindowExit { .. } => 'v',
+                _ => continue,
+            };
+            let bin = if span_ps == 0 {
+                0
+            } else {
+                ((line.t_ps as u128 * (TIMELINE_BINS as u128 - 1)) / span_ps as u128) as usize
+            };
+            let slot = &mut rows[line.domain][bin];
+            if glyph_priority(glyph) > glyph_priority(*slot) {
+                *slot = glyph;
+            }
+        }
+        Timeline {
+            run: run.clone(),
+            span_ps,
+            rows: rows.map(|r| r.into_iter().collect()),
+        }
+    });
+
+    Ok(TraceAnalysis {
+        events,
+        runs: by_run.len() as u64,
+        domains: aggs.map(|a| DomainAggOut {
+            reaction: a.reaction.snapshot(),
+            reaction_sum_ps: a.reaction_sum_ps,
+            arms: a.arms,
+            fires: a.fires,
+            resets: a.resets,
+            steps_up: a.steps_up,
+            steps_down: a.steps_down,
+            episodes_reacted: a.episodes_reacted,
+            episodes_abandoned: a.episodes_abandoned,
+            occupancy: a.occupancy.snapshot(),
+        }),
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::{OpIndex, TimePs};
+    use mcd_sim::{CtrlEvent, DomainId, SignalKind, StepDir};
+
+    fn sample_trace() -> String {
+        let events = vec![
+            TraceEvent::Controller {
+                domain: DomainId::Int,
+                event: CtrlEvent::WindowEnter {
+                    at: TimePs::from_ns(100),
+                    signal: SignalKind::Occupancy,
+                    value: 3.0,
+                    occupancy: 11,
+                    dir: StepDir::Up,
+                },
+            },
+            TraceEvent::Controller {
+                domain: DomainId::Int,
+                event: CtrlEvent::RelayArm {
+                    at: TimePs::from_ns(100),
+                    signal: SignalKind::Occupancy,
+                    dir: StepDir::Up,
+                    remaining: 2.0,
+                },
+            },
+            TraceEvent::Controller {
+                domain: DomainId::Int,
+                event: CtrlEvent::RelayFire {
+                    at: TimePs::from_ns(300),
+                    signal: SignalKind::Occupancy,
+                    dir: StepDir::Up,
+                },
+            },
+            TraceEvent::FreqStep {
+                at: TimePs::from_ns(300),
+                domain: DomainId::Int,
+                from: OpIndex(3),
+                to: OpIndex(4),
+                from_mhz: 255.0,
+                to_mhz: 257.5,
+                from_mv: 650.0,
+                to_mv: 652.0,
+            },
+            TraceEvent::Controller {
+                domain: DomainId::Fp,
+                event: CtrlEvent::WindowEnter {
+                    at: TimePs::from_ns(50),
+                    signal: SignalKind::Delta,
+                    value: -2.0,
+                    occupancy: 1,
+                    dir: StepDir::Down,
+                },
+            },
+            TraceEvent::Controller {
+                domain: DomainId::Fp,
+                event: CtrlEvent::WindowExit {
+                    at: TimePs::from_ns(90),
+                    signal: SignalKind::Delta,
+                    value: 0.0,
+                    occupancy: 4,
+                },
+            },
+            TraceEvent::QueueHistogram {
+                at: TimePs::from_ns(400),
+                domain: DomainId::Ls,
+                samples: 4,
+                counts: vec![1, 2, 1],
+            },
+        ];
+        render_traces(&[("bench|adaptive|ops=1".to_string(), events)])
+    }
+
+    #[test]
+    fn reconstructs_reactions_episodes_and_occupancy() {
+        let analysis = analyze(&sample_trace()).expect("valid trace");
+        assert_eq!(analysis.events, 7);
+        assert_eq!(analysis.runs, 1);
+        // INT: one reacted episode, 200ns reaction.
+        assert_eq!(analysis.domains[0].reaction.count(), 1);
+        assert_eq!(
+            analysis.mean_reaction_time_ns(0),
+            Some(200.0),
+            "onset at 100ns, step at 300ns"
+        );
+        assert_eq!(analysis.domains[0].episodes_reacted, 1);
+        assert_eq!(analysis.domains[0].arms, 1);
+        assert_eq!(analysis.domains[0].fires, 1);
+        // FP: one abandoned episode, no reaction.
+        assert_eq!(analysis.domains[1].episodes_abandoned, 1);
+        assert_eq!(analysis.mean_reaction_time_ns(1), None);
+        // LS: occupancy histogram from the cumulative snapshot.
+        assert_eq!(analysis.domains[2].occupancy.count(), 4);
+        assert_eq!(analysis.domains[2].occupancy.max(), 2);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let a = analyze(&sample_trace()).expect("valid").report();
+        let b = analyze(&sample_trace()).expect("valid").report();
+        assert_eq!(a, b);
+        for section in [
+            "Reaction time",
+            "Relay activity",
+            "Deviation episodes",
+            "Queue occupancy",
+            "Timeline of the busiest run",
+        ] {
+            assert!(a.contains(section), "missing {section} in:\n{a}");
+        }
+        assert!(a.contains("200.0 ns"));
+    }
+
+    #[test]
+    fn run_order_in_the_file_does_not_matter() {
+        let step = |domain| TraceEvent::FreqStep {
+            at: TimePs::from_ns(500),
+            domain,
+            from: OpIndex(4),
+            to: OpIndex(3),
+            from_mhz: 257.5,
+            to_mhz: 255.0,
+            from_mv: 652.0,
+            to_mv: 650.0,
+        };
+        let run_a = ("a|adaptive".to_string(), vec![step(DomainId::Int)]);
+        let run_b = ("b|PID".to_string(), vec![step(DomainId::Ls)]);
+        let forward = render_traces(&[run_a.clone(), run_b.clone()]);
+        let backward = render_traces(&[run_b, run_a]);
+        assert_ne!(forward, backward, "the files really differ");
+        let a = analyze(&forward).expect("valid").report();
+        let b = analyze(&backward).expect("valid").report();
+        assert_eq!(a, b, "run order in the file must not change the report");
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        let err = analyze("{\"run\": \"x\", \"oops\": 1}\n").unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+        assert!(err.to_string().contains("trace line 1"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -78,6 +78,8 @@ proptest! {
         instructions in 0u64..50_000_000_000,
         baseline_hits in 0u64..500,
         kind in sample::select(vec!["simulation", "analysis"]),
+        p50_ms in 0u64..60_000,
+        p99_ms in 0u64..60_000,
     ) {
         let run = CompletedRun {
             report: lines
@@ -91,6 +93,8 @@ proptest! {
             runs,
             instructions,
             baseline_hits,
+            run_wall_p50_s: p50_ms as f64 / 1000.0,
+            run_wall_p99_s: p99_ms as f64 / 1000.0,
         };
         let dir = scratch_dir();
         let ck = CheckpointDir::open(&dir, "prop-fingerprint").expect("open");

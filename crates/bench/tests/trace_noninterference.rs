@@ -1,7 +1,8 @@
 //! The observability layer must be a pure observer: running with event
-//! tracing enabled must leave every report byte-identical, and the traces
-//! it produces must be well-formed and complete (every relay firing and
-//! frequency step the counters saw appears in the event stream).
+//! tracing, distribution telemetry, or span profiling enabled must leave
+//! every report byte-identical, and the traces it produces must be
+//! well-formed and complete (every relay firing and frequency step the
+//! counters saw appears in the event stream).
 
 use mcd_bench::experiments;
 use mcd_bench::runner::{RunConfig, RunSet};
@@ -22,6 +23,27 @@ fn tracing_leaves_reports_byte_identical() {
     assert_eq!(plain.activity(), traced.activity());
     // And the untraced set has no trace stream at all.
     assert!(plain.drain_traces().is_none());
+}
+
+#[test]
+fn telemetry_and_profiling_leave_reports_byte_identical() {
+    let cfg = RunConfig::quick().with_ops(20_000);
+    let plain = RunSet::new(2);
+    let instrumented = RunSet::new(2).with_telemetry().with_profiling();
+    for id in ["fig9", "ablate-qref"] {
+        let a = experiments::run_on(&plain, id, &cfg);
+        let b = experiments::run_on(&instrumented, id, &cfg);
+        assert_eq!(a, b, "{id} report changed under telemetry + profiling");
+    }
+    assert_eq!(plain.stats(), instrumented.stats());
+    assert_eq!(plain.activity(), instrumented.activity());
+    // The instrumentation did observe the runs it rode along with...
+    let tel = instrumented.telemetry().expect("telemetry enabled");
+    assert!(tel.reaction_ps.iter().any(|h| h.snapshot().count() > 0));
+    assert!(instrumented.profiler().snapshot().total_nanos() > 0);
+    // ...while the plain set carries none of it.
+    assert!(plain.telemetry().is_none());
+    assert!(plain.profiler().snapshot().is_empty());
 }
 
 #[test]

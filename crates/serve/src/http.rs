@@ -29,8 +29,20 @@ pub struct Request {
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Raw query string after `?` (empty when none; no decoding).
+    pub query: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the query string contains the exact `key=value` pair
+    /// (the only query syntax this service speaks; no percent-decoding).
+    pub fn query_has(&self, key: &str, value: &str) -> bool {
+        self.query
+            .split('&')
+            .any(|pair| pair.split_once('=') == Some((key, value)))
+    }
 }
 
 /// Why a request could not be parsed.
@@ -89,7 +101,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("bad version {version:?}")));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut content_length = 0usize;
     for _ in 0..MAX_HEADERS {
@@ -100,6 +115,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             return Ok(Request {
                 method: method.to_ascii_uppercase(),
                 path,
+                query,
                 body,
             });
         }
@@ -125,8 +141,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes (always `application/json` in this service).
+    /// Body bytes.
     pub body: Vec<u8>,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
     /// `Retry-After` seconds, set on load-shedding 503s.
     pub retry_after: Option<u64>,
 }
@@ -153,6 +171,18 @@ impl Response {
         Response {
             status,
             body: body.into_bytes(),
+            content_type: "application/json",
+            retry_after: None,
+        }
+    }
+
+    /// A response with an explicit `Content-Type` (e.g. the Prometheus
+    /// text exposition format on `GET /metrics`).
+    pub fn text(status: u16, body: String, content_type: &'static str) -> Response {
+        Response {
+            status,
+            body: body.into_bytes(),
+            content_type,
             retry_after: None,
         }
     }
@@ -183,9 +213,10 @@ impl Response {
     /// Serializes status line, headers, and body onto `stream`.
     pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
         );
         if let Some(s) = self.retry_after {

@@ -252,9 +252,19 @@ fn accept_loop(
                 // Answer on a short-lived thread so a slow client can
                 // never stall the accept loop. Bursts bound the thread
                 // count: each shed lives at most a few seconds.
+                let app = Arc::clone(app);
                 let _ = std::thread::Builder::new()
                     .name("mcd-serve-shed".to_string())
-                    .spawn(move || shed_connection(stream, retry_after_s));
+                    .spawn(move || {
+                        let start = std::time::Instant::now();
+                        shed_connection(stream, retry_after_s);
+                        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        app.metrics.record_latency(
+                            metrics::Endpoint::Other,
+                            metrics::Outcome::Shed,
+                            micros,
+                        );
+                    });
             }
             Err((SubmitError::Closed, _)) => return,
         }

@@ -1,20 +1,129 @@
-//! Service counters surfaced by `GET /metrics`.
+//! Service counters and latency distributions surfaced by `GET /metrics`.
 //!
-//! Two layers in one response: the *service* counters (accepts, sheds,
+//! Three layers in one response: the *service* counters (accepts, sheds,
 //! coalesced followers, cache hits, executions, failures — everything
-//! the load-shedding and coalescing machinery decides), and the
-//! *simulation* counters from the observability layer (DESIGN.md §6):
-//! runs, instructions, baseline-cache hits, and the per-domain
-//! controller-activity aggregate including mean reaction time, folded in
-//! from every run set the service has executed.
+//! the load-shedding and coalescing machinery decides), the per-endpoint
+//! per-outcome *latency histograms*, and the *simulation* counters from
+//! the observability layer (DESIGN.md §6): runs, instructions,
+//! baseline-cache hits, and the per-domain controller-activity aggregate
+//! including mean reaction time, folded in from every run set the
+//! service has executed.
+//!
+//! Rendering goes through one [`MetricsSnapshot`]: every counter is
+//! loaded exactly once per request, and both the JSON and the Prometheus
+//! renderer read from that same struct, so the two views of a single
+//! scrape always agree with each other. The snapshot itself is *not* a
+//! consistent cut — each atomic is loaded `Relaxed` and independently,
+//! so a request landing mid-snapshot can make e.g. `requests` and
+//! `run_requests` differ by an in-flight increment. That staleness is
+//! bounded by the number of concurrently executing requests and is
+//! harmless for monotonic counters scraped at second granularity, which
+//! is why the service tolerates it instead of paying for a global lock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use mcd_bench::runner::{ControllerActivity, RunStats};
+use mcd_telemetry::prometheus::PromText;
+use mcd_telemetry::{Histogram, HistogramSnapshot};
+
+/// Request endpoints tracked by the latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /run`.
+    Run,
+    /// `GET /experiments`.
+    Experiments,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Healthz,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// Anything else (404s, wrong methods, shed connections).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in label order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Run,
+        Endpoint::Experiments,
+        Endpoint::Metrics,
+        Endpoint::Healthz,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The endpoint a request path routes to (method-agnostic: a 405 on
+    /// `/run` still counts against the run endpoint).
+    pub fn of_path(path: &str) -> Endpoint {
+        match path {
+            "/run" => Endpoint::Run,
+            "/experiments" => Endpoint::Experiments,
+            "/metrics" => Endpoint::Metrics,
+            "/healthz" => Endpoint::Healthz,
+            "/shutdown" => Endpoint::Shutdown,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Run => "run",
+            Endpoint::Experiments => "experiments",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// How a tracked request concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// 2xx on a non-`/run` endpoint.
+    Ok,
+    /// `/run` answered from the result cache.
+    Hit,
+    /// `/run` answered by another request's in-flight execution.
+    Coalesced,
+    /// `/run` executed as the flight leader.
+    Miss,
+    /// Connection answered 503 because the accept queue was full.
+    Shed,
+    /// Any 4xx/5xx conclusion.
+    Error,
+}
+
+impl Outcome {
+    /// Every outcome, in label order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Ok,
+        Outcome::Hit,
+        Outcome::Coalesced,
+        Outcome::Miss,
+        Outcome::Shed,
+        Outcome::Error,
+    ];
+
+    /// Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Hit => "hit",
+            Outcome::Coalesced => "coalesced",
+            Outcome::Miss => "miss",
+            Outcome::Shed => "shed",
+            Outcome::Error => "error",
+        }
+    }
+}
 
 /// Simulation-side totals, merged from per-request run sets.
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 struct SimTotals {
     runs: u64,
     instructions: u64,
@@ -23,7 +132,7 @@ struct SimTotals {
 }
 
 /// All service counters. Every field is monotonic except the gauges
-/// passed into [`ServeMetrics::to_json`] at render time.
+/// passed into [`ServeMetrics::snapshot`] at render time.
 #[derive(Default)]
 pub struct ServeMetrics {
     /// Connections accepted off the listener.
@@ -42,6 +151,8 @@ pub struct ServeMetrics {
     pub runs_executed: AtomicU64,
     /// Leader executions that returned a typed error.
     pub run_failures: AtomicU64,
+    /// Request latency in microseconds, by endpoint × outcome.
+    latency: [[Histogram; Outcome::ALL.len()]; Endpoint::ALL.len()],
     sim: Mutex<SimTotals>,
 }
 
@@ -55,10 +166,64 @@ impl ServeMetrics {
         sim.activity.merge(activity);
     }
 
-    /// Renders the `/metrics` response body. `queue_depth` and
-    /// `in_flight` are read from the worker pool at render time;
-    /// `cache_entries` from the result cache; `draining` flips once
-    /// shutdown begins.
+    /// Records one request's wall time into its endpoint × outcome
+    /// latency histogram.
+    pub fn record_latency(&self, endpoint: Endpoint, outcome: Outcome, micros: u64) {
+        let ei = Endpoint::ALL
+            .iter()
+            .position(|&e| e == endpoint)
+            .expect("exhaustive");
+        let oi = Outcome::ALL
+            .iter()
+            .position(|&o| o == outcome)
+            .expect("exhaustive");
+        self.latency[ei][oi].record(micros);
+    }
+
+    /// Captures one coherent view of every counter and histogram.
+    /// `queue_depth` and `in_flight` are read from the worker pool at
+    /// render time; `cache_entries` from the result cache; `draining`
+    /// flips once shutdown begins. See the module docs for the staleness
+    /// tolerance this snapshot provides (and what it does not).
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        cache_entries: usize,
+        draining: bool,
+    ) -> MetricsSnapshot {
+        let sim = *self.sim.lock().expect("sim totals poisoned");
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            run_requests: self.run_requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            runs_executed: self.runs_executed.load(Ordering::Relaxed),
+            run_failures: self.run_failures.load(Ordering::Relaxed),
+            queue_depth,
+            in_flight,
+            cache_entries,
+            draining,
+            latency: self
+                .latency
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(Histogram::snapshot)
+                        .collect::<Vec<_>>()
+                        .try_into()
+                        .expect("row length fixed")
+                })
+                .collect::<Vec<_>>()
+                .try_into()
+                .expect("grid length fixed"),
+            sim,
+        }
+    }
+
+    /// Renders the JSON `/metrics` body (see [`MetricsSnapshot::to_json`]).
     pub fn to_json(
         &self,
         queue_depth: usize,
@@ -66,28 +231,204 @@ impl ServeMetrics {
         cache_entries: usize,
         draining: bool,
     ) -> String {
-        let sim = self.sim.lock().expect("sim totals poisoned");
+        self.snapshot(queue_depth, in_flight, cache_entries, draining)
+            .to_json()
+    }
+}
+
+/// One coherent view of the service: all counters loaded once, all
+/// histograms snapshotted once. Both renderers read from here.
+pub struct MetricsSnapshot {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Connections answered 503 because the accept queue was full.
+    pub shed: u64,
+    /// Requests successfully parsed.
+    pub requests: u64,
+    /// `POST /run` requests.
+    pub run_requests: u64,
+    /// Run requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Run requests answered by another request's in-flight run.
+    pub coalesced: u64,
+    /// Leader executions.
+    pub runs_executed: u64,
+    /// Leader executions that returned a typed error.
+    pub run_failures: u64,
+    /// Worker-pool queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Requests executing at snapshot time.
+    pub in_flight: usize,
+    /// Result-cache entries at snapshot time.
+    pub cache_entries: usize,
+    /// Whether graceful shutdown has begun.
+    pub draining: bool,
+    latency: [[HistogramSnapshot; Outcome::ALL.len()]; Endpoint::ALL.len()],
+    sim: SimTotals,
+}
+
+impl MetricsSnapshot {
+    /// Renders the JSON view — the PR 4 schema, unchanged: `service`,
+    /// `simulation`, and `controller_activity` sections. The latency
+    /// histograms are Prometheus-only; JSON consumers get the counters.
+    pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"service\": {{\"accepted\": {}, \"shed\": {}, \"requests\": {}, \
              \"run_requests\": {}, \"cache_hits\": {}, \"coalesced\": {}, \
-             \"runs_executed\": {}, \"run_failures\": {}, \"queue_depth\": {queue_depth}, \
-             \"in_flight\": {in_flight}, \"cache_entries\": {cache_entries}, \
-             \"draining\": {draining}}},\n  \
+             \"runs_executed\": {}, \"run_failures\": {}, \"queue_depth\": {}, \
+             \"in_flight\": {}, \"cache_entries\": {}, \
+             \"draining\": {}}},\n  \
              \"simulation\": {{\"runs\": {}, \"instructions\": {}, \"baseline_cache_hits\": {}}},\n  \
              \"controller_activity\": {}\n}}\n",
-            self.accepted.load(Ordering::Relaxed),
-            self.shed.load(Ordering::Relaxed),
-            self.requests.load(Ordering::Relaxed),
-            self.run_requests.load(Ordering::Relaxed),
-            self.cache_hits.load(Ordering::Relaxed),
-            self.coalesced.load(Ordering::Relaxed),
-            self.runs_executed.load(Ordering::Relaxed),
-            self.run_failures.load(Ordering::Relaxed),
-            sim.runs,
-            sim.instructions,
-            sim.baseline_hits,
-            sim.activity.to_json(),
+            self.accepted,
+            self.shed,
+            self.requests,
+            self.run_requests,
+            self.cache_hits,
+            self.coalesced,
+            self.runs_executed,
+            self.run_failures,
+            self.queue_depth,
+            self.in_flight,
+            self.cache_entries,
+            self.draining,
+            self.sim.runs,
+            self.sim.instructions,
+            self.sim.baseline_hits,
+            self.sim.activity.to_json(),
         )
+    }
+
+    /// Renders the Prometheus text-exposition view of the same snapshot.
+    /// Latency histograms record microseconds and are exposed in seconds
+    /// (`scale = 1e-6`); empty endpoint × outcome series are omitted to
+    /// keep the page proportional to observed traffic.
+    pub fn to_prometheus(&self) -> String {
+        let mut page = PromText::new();
+        page.counter(
+            "mcd_serve_accepted_total",
+            "Connections accepted off the listener.",
+        )
+        .sample(&[], self.accepted);
+        page.counter(
+            "mcd_serve_shed_total",
+            "Connections answered 503 because the accept queue was full.",
+        )
+        .sample(&[], self.shed);
+        page.counter("mcd_serve_requests_total", "Requests successfully parsed.")
+            .sample(&[], self.requests);
+        page.counter("mcd_serve_run_requests_total", "POST /run requests.")
+            .sample(&[], self.run_requests);
+        page.counter(
+            "mcd_serve_cache_hits_total",
+            "Run requests answered from the result cache.",
+        )
+        .sample(&[], self.cache_hits);
+        page.counter(
+            "mcd_serve_coalesced_total",
+            "Run requests answered by another request's in-flight run.",
+        )
+        .sample(&[], self.coalesced);
+        page.counter(
+            "mcd_serve_runs_executed_total",
+            "Leader executions, one per distinct fingerprint.",
+        )
+        .sample(&[], self.runs_executed);
+        page.counter(
+            "mcd_serve_run_failures_total",
+            "Leader executions that returned a typed error.",
+        )
+        .sample(&[], self.run_failures);
+        page.gauge("mcd_serve_queue_depth", "Worker-pool queue depth.")
+            .sample(&[], self.queue_depth as u64);
+        page.gauge("mcd_serve_in_flight", "Requests executing right now.")
+            .sample(&[], self.in_flight as u64);
+        page.gauge("mcd_serve_cache_entries", "Result-cache entries.")
+            .sample(&[], self.cache_entries as u64);
+        page.gauge(
+            "mcd_serve_draining",
+            "1 once graceful shutdown has begun, else 0.",
+        )
+        .sample(&[], u64::from(self.draining));
+        {
+            let mut family = page.histogram(
+                "mcd_serve_request_seconds",
+                "Request wall time by endpoint and outcome.",
+            );
+            for (ei, endpoint) in Endpoint::ALL.iter().enumerate() {
+                for (oi, outcome) in Outcome::ALL.iter().enumerate() {
+                    let snap = &self.latency[ei][oi];
+                    if snap.count() == 0 {
+                        continue;
+                    }
+                    family.series(
+                        &[("endpoint", endpoint.label()), ("outcome", outcome.label())],
+                        snap,
+                        1e-6,
+                    );
+                }
+            }
+        }
+        page.counter("mcd_sim_runs_total", "Simulations executed.")
+            .sample(&[], self.sim.runs);
+        page.counter("mcd_sim_instructions_total", "Instructions simulated.")
+            .sample(&[], self.sim.instructions);
+        page.counter(
+            "mcd_sim_baseline_cache_hits_total",
+            "Baseline simulations answered from the memo cache.",
+        )
+        .sample(&[], self.sim.baseline_hits);
+
+        let a = &self.sim.activity;
+        let per_domain: [(&str, &str, &[u64; 3]); 8] = [
+            (
+                "mcd_ctrl_relay_arms_total",
+                "Time-delay relay arms.",
+                &a.relay_arms,
+            ),
+            (
+                "mcd_ctrl_relay_fires_total",
+                "Time-delay relay firings.",
+                &a.relay_fires,
+            ),
+            (
+                "mcd_ctrl_relay_resets_total",
+                "Time-delay relay resets.",
+                &a.relay_resets,
+            ),
+            (
+                "mcd_ctrl_freq_steps_up_total",
+                "Upward frequency steps issued.",
+                &a.freq_steps_up,
+            ),
+            (
+                "mcd_ctrl_freq_steps_down_total",
+                "Downward frequency steps issued.",
+                &a.freq_steps_down,
+            ),
+            (
+                "mcd_ctrl_reactions_total",
+                "Completed deviation-onset to frequency-step episodes.",
+                &a.reaction_count,
+            ),
+            (
+                "mcd_ctrl_reaction_time_picoseconds_total",
+                "Summed reaction time; divide by mcd_ctrl_reactions_total for the mean.",
+                &a.reaction_sum_ps,
+            ),
+            (
+                "mcd_ctrl_sync_stalls_total",
+                "Enqueues delayed by the synchronization window.",
+                &a.sync_enqueues,
+            ),
+        ];
+        for (name, help, values) in per_domain {
+            let mut family = page.counter(name, help);
+            for (i, domain) in ControllerActivity::DOMAINS.iter().enumerate() {
+                family.sample(&[("domain", domain)], values[i]);
+            }
+        }
+        page.finish()
     }
 }
 
@@ -95,6 +436,7 @@ impl ServeMetrics {
 mod tests {
     use super::*;
     use mcd_bench::checkpoint::{f64_field, u64_field};
+    use mcd_telemetry::prometheus::lint;
 
     #[test]
     fn counters_land_in_the_rendered_json() {
@@ -152,5 +494,49 @@ mod tests {
         assert!(json.contains("\"draining\": true"));
         // Reaction time is null with no completed reactions.
         assert_eq!(f64_field(&json, "mean_reaction_ns"), None);
+    }
+
+    #[test]
+    fn prometheus_page_lints_and_carries_latency_series() {
+        let m = ServeMetrics::default();
+        m.accepted.store(4, Ordering::Relaxed);
+        m.record_latency(Endpoint::Run, Outcome::Hit, 250);
+        m.record_latency(Endpoint::Run, Outcome::Hit, 900);
+        m.record_latency(Endpoint::Healthz, Outcome::Ok, 40);
+        m.record_latency(Endpoint::Other, Outcome::Shed, 1200);
+        let mut a = ControllerActivity::default();
+        a.relay_fires[1] = 7;
+        m.absorb_run(
+            RunStats {
+                runs: 1,
+                instructions: 10,
+                baseline_hits: 0,
+            },
+            &a,
+        );
+        let page = m.snapshot(3, 1, 2, false).to_prometheus();
+        lint(page.as_bytes()).unwrap_or_else(|e| panic!("lint failed: {e}\n{page}"));
+        assert!(page.contains("mcd_serve_accepted_total 4"));
+        assert!(
+            page.contains("mcd_serve_request_seconds_count{endpoint=\"run\",outcome=\"hit\"} 2")
+        );
+        assert!(page.contains("outcome=\"shed\""));
+        assert!(page.contains("mcd_ctrl_relay_fires_total{domain=\"FP\"} 7"));
+        assert!(
+            !page.contains("outcome=\"miss\""),
+            "empty series are omitted"
+        );
+    }
+
+    #[test]
+    fn json_and_prometheus_render_the_same_snapshot() {
+        let m = ServeMetrics::default();
+        m.requests.store(11, Ordering::Relaxed);
+        let snap = m.snapshot(0, 0, 0, false);
+        // One more request lands after the snapshot was taken...
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        // ...and both renderers still agree, because they read the cut.
+        assert_eq!(u64_field(&snap.to_json(), "requests"), Some(11));
+        assert!(snap.to_prometheus().contains("mcd_serve_requests_total 11"));
     }
 }

@@ -23,16 +23,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use mcd_bench::checkpoint::{f64_field, str_field, u64_field, CheckpointDir, CompletedRun};
+use mcd_bench::checkpoint::{
+    code_fingerprint, f64_field, str_field, u64_field, CheckpointDir, CompletedRun,
+};
 use mcd_bench::error::RunError;
 use mcd_bench::experiments;
 use mcd_bench::parallel::par_try_map;
 use mcd_bench::runner::{ControllerActivity, RunConfig, RunSet, RunStats};
+use mcd_telemetry::prometheus::CONTENT_TYPE;
 
 use crate::cache::{CachedRun, ResultCache};
 use crate::coalesce::{Coalescer, Ticket};
 use crate::http::{json_escape, Request, Response};
-use crate::metrics::ServeMetrics;
+use crate::metrics::{Endpoint, Outcome, ServeMetrics};
 use crate::pool::PoolHandle;
 
 /// Shared application state: everything a worker needs to answer a
@@ -49,6 +52,7 @@ pub struct App {
     draining: AtomicBool,
     stop: Arc<AtomicBool>,
     poke_addr: OnceLock<std::net::SocketAddr>,
+    started: Instant,
 }
 
 impl App {
@@ -73,6 +77,7 @@ impl App {
             draining: AtomicBool::new(false),
             stop,
             poke_addr: OnceLock::new(),
+            started: Instant::now(),
         }
     }
 
@@ -97,51 +102,92 @@ impl App {
         }
     }
 
-    /// Routes one parsed request to its handler.
+    /// Routes one parsed request to its handler, recording wall time
+    /// and outcome into the endpoint × outcome latency histograms.
     pub fn handle(&self, req: &Request) -> Response {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let (response, outcome) = self.route(req);
+        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.metrics
+            .record_latency(Endpoint::of_path(&req.path), outcome, micros);
+        response
+    }
+
+    fn route(&self, req: &Request) -> (Response, Outcome) {
         match (req.method.as_str(), req.path.as_str()) {
-            ("GET", "/healthz") => {
-                let status = if self.is_draining() { "draining" } else { "ok" };
-                Response::json(200, format!("{{\"status\": \"{status}\"}}\n"))
-            }
-            ("GET", "/metrics") => Response::json(
-                200,
-                self.metrics.to_json(
-                    self.pool.depth(),
-                    self.pool.in_flight(),
-                    self.cache.len(),
-                    self.is_draining(),
-                ),
-            ),
-            ("GET", "/experiments") => Response::json(200, experiments_json()),
+            ("GET", "/healthz") => (self.healthz(), Outcome::Ok),
+            ("GET", "/metrics") => (self.metrics_response(req), Outcome::Ok),
+            ("GET", "/experiments") => (Response::json(200, experiments_json()), Outcome::Ok),
             ("POST", "/run") => self.run(req),
             ("POST", "/shutdown") => {
                 self.trigger_shutdown();
-                Response::json(200, "{\"status\": \"draining\"}\n".to_string())
+                (
+                    Response::json(200, "{\"status\": \"draining\"}\n".to_string()),
+                    Outcome::Ok,
+                )
             }
-            (_, "/healthz" | "/metrics" | "/experiments" | "/run" | "/shutdown") => {
+            (_, "/healthz" | "/metrics" | "/experiments" | "/run" | "/shutdown") => (
                 Response::error(
                     405,
                     "method-not-allowed",
                     "see README for the endpoint table",
-                )
-            }
-            _ => Response::error(404, "not-found", "unknown path"),
+                ),
+                Outcome::Error,
+            ),
+            _ => (
+                Response::error(404, "not-found", "unknown path"),
+                Outcome::Error,
+            ),
+        }
+    }
+
+    /// `GET /healthz`: liveness plus enough identity to debug a fleet —
+    /// uptime, the running binary's code fingerprint, and the worker
+    /// pool's load at a glance.
+    fn healthz(&self) -> Response {
+        let status = if self.is_draining() { "draining" } else { "ok" };
+        Response::json(
+            200,
+            format!(
+                "{{\"status\": \"{status}\", \"uptime_s\": {:.3}, \
+                 \"code_fingerprint\": \"{}\", \"queue_depth\": {}, \"in_flight\": {}}}\n",
+                self.started.elapsed().as_secs_f64(),
+                json_escape(&code_fingerprint()),
+                self.pool.depth(),
+                self.pool.in_flight(),
+            ),
+        )
+    }
+
+    /// `GET /metrics`: Prometheus text exposition by default,
+    /// `?format=json` for the JSON schema. Both render from one
+    /// [`MetricsSnapshot`](crate::metrics::MetricsSnapshot).
+    fn metrics_response(&self, req: &Request) -> Response {
+        let snap = self.metrics.snapshot(
+            self.pool.depth(),
+            self.pool.in_flight(),
+            self.cache.len(),
+            self.is_draining(),
+        );
+        if req.query_has("format", "json") {
+            Response::json(200, snap.to_json())
+        } else {
+            Response::text(200, snap.to_prometheus(), CONTENT_TYPE)
         }
     }
 
     /// The `/run` pipeline described in the module docs.
-    fn run(&self, req: &Request) -> Response {
+    fn run(&self, req: &Request) -> (Response, Outcome) {
         self.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
         let (id, cfg) = match parse_run_request(&req.body, &self.base_cfg) {
             Ok(parsed) => parsed,
-            Err(e) => return error_response(&e),
+            Err(e) => return (error_response(&e), Outcome::Error),
         };
         let key = format!("{};experiment={id}", CheckpointDir::fingerprint(&cfg));
         if let Some(hit) = self.cache.get(&key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return render_run(&hit);
+            return (render_run(&hit), Outcome::Hit);
         }
         match self.coalescer.join(&key) {
             Ticket::Follower(flight) => {
@@ -151,11 +197,21 @@ impl App {
                 // that plus slack before giving up on the flight.
                 let budget = self.run_timeout * 2 + Duration::from_secs(5);
                 match flight.wait(budget) {
-                    Some(shared) => (*shared).clone(),
-                    None => Response::error(
-                        500,
-                        "coalesce-timeout",
-                        "the coalesced run did not complete in time",
+                    Some(shared) => {
+                        let outcome = if shared.status == 200 {
+                            Outcome::Coalesced
+                        } else {
+                            Outcome::Error
+                        };
+                        ((*shared).clone(), outcome)
+                    }
+                    None => (
+                        Response::error(
+                            500,
+                            "coalesce-timeout",
+                            "the coalesced run did not complete in time",
+                        ),
+                        Outcome::Error,
                     ),
                 }
             }
@@ -169,7 +225,12 @@ impl App {
                     Response::error(500, "internal", "run execution panicked outside isolation")
                 });
                 self.coalescer.publish(&key, Arc::new(response.clone()));
-                response
+                let outcome = if response.status == 200 {
+                    Outcome::Miss
+                } else {
+                    Outcome::Error
+                };
+                (response, outcome)
             }
         }
     }
@@ -224,6 +285,10 @@ fn run_experiment(
         let report = experiments::run_on(&rs, id, &cfg)?;
         let wall_s = start.elapsed().as_secs_f64();
         let stats = rs.stats();
+        // Fresh RunSet per request, so the whole histogram is ours.
+        let wall = rs.wall_snapshot();
+        let wall_p50_s = wall.p50() as f64 / 1e6;
+        let wall_p99_s = wall.p99() as f64 / 1e6;
         Ok(Bundle {
             run: CompletedRun {
                 report,
@@ -235,6 +300,8 @@ fn run_experiment(
                 runs: stats.runs,
                 instructions: stats.instructions,
                 baseline_hits: stats.baseline_hits,
+                run_wall_p50_s: wall_p50_s,
+                run_wall_p99_s: wall_p99_s,
             },
             stats,
             activity: rs.activity(),

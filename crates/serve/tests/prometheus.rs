@@ -1,0 +1,115 @@
+//! The telemetry surface end to end: `GET /metrics` serves a
+//! lint-clean Prometheus page by default, `?format=json` preserves the
+//! JSON schema, and `GET /healthz` reports uptime, the code
+//! fingerprint, and worker-pool load.
+
+mod util;
+
+use mcd_bench::checkpoint::{code_fingerprint, f64_field, str_field, u64_field};
+use mcd_serve::{ServeConfig, Server};
+use mcd_telemetry::prometheus::{lint, CONTENT_TYPE};
+use util::{metric, request, run};
+
+#[test]
+fn metrics_page_is_lint_clean_prometheus_with_latency_series() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+
+    // Generate one of each interesting outcome: a miss (leader
+    // execution), a cache hit, and some plain GETs.
+    let body = "{\"experiment\": \"table1\", \"seed\": 3}";
+    assert_eq!(run(addr, body).expect("run").status, 200);
+    assert_eq!(run(addr, body).expect("run").status, 200);
+    assert_eq!(
+        request(addr, "GET", "/healthz", b"").expect("ok").status,
+        200
+    );
+
+    let reply = request(addr, "GET", "/metrics", b"").expect("metrics answers");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.content_type.as_deref(), Some(CONTENT_TYPE));
+    lint(reply.body.as_bytes()).unwrap_or_else(|e| panic!("lint failed: {e}\n{}", reply.body));
+
+    assert!(reply
+        .body
+        .contains("# TYPE mcd_serve_request_seconds histogram"));
+    assert!(
+        reply
+            .body
+            .contains("mcd_serve_request_seconds_count{endpoint=\"run\",outcome=\"miss\"} 1"),
+        "one leader execution recorded:\n{}",
+        reply.body
+    );
+    assert!(
+        reply
+            .body
+            .contains("mcd_serve_request_seconds_count{endpoint=\"run\",outcome=\"hit\"} 1"),
+        "one cache hit recorded:\n{}",
+        reply.body
+    );
+    assert!(reply.body.contains("mcd_serve_cache_hits_total 1"));
+    assert!(reply.body.contains("mcd_serve_shed_total 0"));
+    assert!(reply
+        .body
+        .contains("mcd_ctrl_relay_arms_total{domain=\"INT\"}"));
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn format_json_preserves_the_json_schema() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+
+    assert_eq!(
+        run(addr, "{\"experiment\": \"table1\", \"seed\": 4}")
+            .expect("run")
+            .status,
+        200
+    );
+
+    let reply = request(addr, "GET", "/metrics?format=json", b"").expect("metrics answers");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.content_type.as_deref(), Some("application/json"));
+    for field in [
+        "accepted",
+        "shed",
+        "requests",
+        "run_requests",
+        "queue_depth",
+    ] {
+        assert!(
+            u64_field(&reply.body, field).is_some(),
+            "field {field} missing from {}",
+            reply.body
+        );
+    }
+    assert!(reply.body.contains("\"service\""));
+    assert!(reply.body.contains("\"simulation\""));
+    assert!(reply.body.contains("\"controller_activity\""));
+    // The util helper reads the same JSON view; both agree.
+    assert_eq!(metric(addr, "runs_executed"), 1);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn healthz_reports_uptime_fingerprint_and_pool_load() {
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+
+    let reply = request(addr, "GET", "/healthz", b"").expect("healthz answers");
+    assert_eq!(reply.status, 200);
+    assert_eq!(str_field(&reply.body, "status").as_deref(), Some("ok"));
+    assert_eq!(
+        str_field(&reply.body, "code_fingerprint"),
+        Some(code_fingerprint()),
+        "healthz names the running binary"
+    );
+    let uptime = f64_field(&reply.body, "uptime_s").expect("uptime present");
+    assert!(uptime >= 0.0, "uptime is non-negative: {uptime}");
+    assert!(u64_field(&reply.body, "queue_depth").is_some());
+    assert!(u64_field(&reply.body, "in_flight").is_some());
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -85,10 +85,7 @@ fn drain_completes_in_flight_work_and_restart_is_warm() {
         !warm.stale_rejected,
         "same binary version: nothing is stale"
     );
-    assert_eq!(
-        warm.loaded, report.flushed,
-        "every flushed entry loads"
-    );
+    assert_eq!(warm.loaded, report.flushed, "every flushed entry loads");
 
     let addr2 = restarted.addr();
     let replay = run(
@@ -154,6 +151,8 @@ fn stale_warm_dir_from_an_older_binary_is_discarded() {
             runs: 1,
             instructions: 1000,
             baseline_hits: 0,
+            run_wall_p50_s: 0.5,
+            run_wall_p99_s: 0.5,
         },
     )
     .expect("store stale entry");

@@ -15,6 +15,8 @@ pub struct Reply {
     pub status: u16,
     /// Body bytes (after the blank line), as a string.
     pub body: String,
+    /// `Content-Type` header, when present.
+    pub content_type: Option<String>,
     /// `Retry-After` header, when present.
     pub retry_after: Option<u64>,
 }
@@ -54,17 +56,22 @@ pub fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> std::
                 format!("bad status line in {headers:?}"),
             )
         })?;
-    let retry_after = headers.lines().find_map(|l| {
-        let (name, value) = l.split_once(':')?;
-        if name.trim().eq_ignore_ascii_case("retry-after") {
-            value.trim().parse().ok()
-        } else {
-            None
-        }
-    });
+    let header = |wanted: &str| {
+        headers.lines().find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            if name.trim().eq_ignore_ascii_case(wanted) {
+                Some(value.trim().to_string())
+            } else {
+                None
+            }
+        })
+    };
+    let retry_after = header("retry-after").and_then(|v| v.parse().ok());
+    let content_type = header("content-type");
     Ok(Reply {
         status,
         body: body.to_string(),
+        content_type,
         retry_after,
     })
 }
@@ -74,9 +81,11 @@ pub fn run(addr: SocketAddr, body: &str) -> std::io::Result<Reply> {
     request(addr, "POST", "/run", body.as_bytes())
 }
 
-/// Reads one unsigned counter out of `GET /metrics`.
+/// Reads one unsigned counter out of `GET /metrics?format=json` (the
+/// bare endpoint serves Prometheus text).
 pub fn metric(addr: SocketAddr, field: &str) -> u64 {
-    let reply = request(addr, "GET", "/metrics", b"").expect("metrics endpoint answers");
+    let reply =
+        request(addr, "GET", "/metrics?format=json", b"").expect("metrics endpoint answers");
     assert_eq!(reply.status, 200, "metrics must be 200: {}", reply.body);
     mcd_bench::checkpoint::u64_field(&reply.body, field)
         .unwrap_or_else(|| panic!("no field {field} in {}", reply.body))

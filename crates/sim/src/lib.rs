@@ -51,6 +51,7 @@ pub mod regfile;
 pub mod result;
 pub mod rob;
 pub mod scoreboard;
+pub mod telemetry;
 pub mod trace;
 
 pub use clock::DomainClock;
@@ -60,6 +61,7 @@ pub use engine::Machine;
 pub use error::SimError;
 pub use metrics::{FreqTracePoint, Metrics};
 pub use result::{DomainResult, SimResult};
+pub use telemetry::{SimTelemetry, TelemetrySink};
 pub use trace::{
     CtrlEvent, NullSink, ResetReason, SignalKind, StepDir, TraceEvent, TraceSink, VecSink,
 };

@@ -1,0 +1,393 @@
+//! Fixed-bucket, lock-free, log-scale histograms.
+//!
+//! The bucket layout is fixed at compile time (DESIGN.md §9): values
+//! `0..=15` get one exact bucket each, and every power-of-two octave
+//! above that is split into four log-linear sub-buckets, giving 256
+//! buckets total covering the full `u64` range with a worst-case
+//! relative error of 25% per recorded value. Fixed buckets are what
+//! make the type mergeable (bucket `i` means the same thing in every
+//! histogram) and lock-free (recording is one relaxed `fetch_add`).
+//!
+//! Determinism: a snapshot is a pure function of the recorded values,
+//! so any consumer that derives report bytes from snapshots of
+//! deterministic quantities (reaction times, queue occupancies) stays
+//! byte-deterministic. Wall-clock recordings are deterministic in
+//! *shape* (bucket bounds) but not in content; they only flow into
+//! surfaces that are not byte-gated (`--bench-out`, `/metrics`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in every [`Histogram`].
+pub const NUM_BUCKETS: usize = 256;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUBS: usize = 4;
+
+/// Values `0..=LINEAR_MAX` get one exact bucket each.
+const LINEAR_MAX: u64 = 15;
+
+/// First octave handled log-linearly (values `16..=31` live in octave 4).
+const FIRST_OCTAVE: u32 = 4;
+
+/// The bucket index `value` lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value <= LINEAR_MAX {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = ((value >> (octave - 2)) & 3) as usize;
+    (LINEAR_MAX as usize + 1) + (octave - FIRST_OCTAVE) as usize * SUBS + sub
+}
+
+/// Largest value that lands in bucket `index` (inclusive upper bound).
+///
+/// Bounds are strictly monotone in `index`; the last bucket's bound is
+/// `u64::MAX`.
+pub fn bucket_upper(index: usize) -> u64 {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    if index <= LINEAR_MAX as usize {
+        return index as u64;
+    }
+    let k = index - (LINEAR_MAX as usize + 1);
+    let octave = FIRST_OCTAVE + (k / SUBS) as u32;
+    let sub = (k % SUBS) as u128;
+    // Upper bound of sub-bucket `sub` in `octave`: the value just below
+    // the next sub-bucket's start. Computed in u128 because the top
+    // octave's bound overflows u64.
+    let next_start = (sub + SUBS as u128 + 1) << (octave - 2);
+    (next_start - 1).min(u64::MAX as u128) as u64
+}
+
+/// A lock-free log-scale histogram: 256 atomic buckets plus a running
+/// sum and max. All methods take `&self`; share freely across threads.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value` in one shot.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds every count in `other` into `self`. Counts are never lost:
+    /// each bucket moves by exactly `other`'s bucket count (as read at
+    /// the moment of the fold).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Individual bucket loads are
+    /// relaxed, so a snapshot taken concurrently with recording can lag
+    /// a few in-flight observations; counts already in a bucket are
+    /// never lost or double-counted.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+            count += *slot;
+        }
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s counters, with quantile and
+/// rendering helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the rank-`ceil(q·count)` observation, clamped to the
+    /// recorded max. Returns 0 when empty. Deterministic: a pure
+    /// function of the counts.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The observations recorded since `earlier` was taken (both
+    /// snapshots of the same monotonically-recorded histogram):
+    /// per-bucket saturating difference. The window's `max` cannot be
+    /// recovered from two cumulative snapshots, so the later snapshot's
+    /// max is kept — an upper bound that only affects quantile clamping.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Occupied buckets as `(inclusive upper bound, count)`, in
+    /// ascending bound order — the raw material for Prometheus
+    /// `le`-bucket rendering.
+    pub fn occupied(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..=15u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.sum(), (0..=15).sum::<u64>());
+        assert_eq!(s.max(), 15);
+        for v in 0..=15u64 {
+            assert_eq!(bucket_upper(bucket_index(v)), v, "value {v} exact");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_monotone() {
+        let mut prev = None;
+        for i in 0..NUM_BUCKETS {
+            let b = bucket_upper(i);
+            if let Some(p) = prev {
+                assert!(b > p, "bound not monotone at {i}: {b} <= {p}");
+            }
+            prev = Some(b);
+        }
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket_containing_it() {
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            19,
+            20,
+            31,
+            32,
+            1000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper(i), "{v} above its bucket bound");
+            if i > 0 {
+                assert!(v > bucket_upper(i - 1), "{v} below its bucket range");
+            }
+            // Relative bucket width is bounded: within 25% of the value.
+            let upper = bucket_upper(i);
+            if v > LINEAR_MAX && upper != u64::MAX {
+                assert!(
+                    (upper - v) as f64 <= 0.25 * v as f64 + 1.0,
+                    "bucket too wide at {v}: upper {upper}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics_of_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        let p50 = s.p50();
+        let p99 = s.p99();
+        // The rank-50 value is 50; its bucket upper bound is < 63.
+        assert!((50..63).contains(&p50), "p50 estimate {p50}");
+        assert!((99..=100).contains(&p99), "p99 estimate {p99}");
+        assert_eq!(s.quantile(1.0), 100, "max quantile clamps to max");
+        assert_eq!(s.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn merge_conserves_counts_and_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_n(7, 3);
+        b.record(1_000_000);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 21 + 1_000_000);
+        assert_eq!(s.max(), 1_000_000);
+    }
+
+    #[test]
+    fn diff_recovers_a_window() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(20);
+        h.record(30);
+        let window = h.snapshot().diff(&before);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum(), 50);
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_behaved() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.occupied().count(), 0);
+    }
+
+    #[test]
+    fn occupied_yields_ascending_bounds() {
+        let h = Histogram::new();
+        for &v in &[3u64, 3, 90, 4000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let got: Vec<(u64, u64)> = s.occupied().collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (3, 2));
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(got.iter().map(|&(_, c)| c).sum::<u64>(), s.count());
+    }
+}

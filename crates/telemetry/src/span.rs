@@ -1,0 +1,279 @@
+//! Lightweight span profiling: per-phase wall time and call counts.
+//!
+//! A [`Profiler`] is either disabled (the default — entering a span is
+//! one branch and allocates nothing) or enabled, in which case
+//! [`Span::enter`] pushes the phase name onto a thread-local stack and
+//! the drop records elapsed wall time under the "/"-joined path of the
+//! stack (`experiment/simulate/baseline`). Nested spans therefore form
+//! a tree keyed by path.
+//!
+//! Determinism contract: wall-clock readings are inherently
+//! nondeterministic, so profiler output must never flow into
+//! golden-gated report bytes. The harness only surfaces it through the
+//! `repro profile` table and `--bench-out` JSON, both of which already
+//! carry wall times. Call *counts* are deterministic and may be
+//! asserted on in tests.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+thread_local! {
+    /// The active span names on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Path → (calls, total nanoseconds). `BTreeMap` keeps snapshots in
+    /// a deterministic order.
+    phases: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+/// A handle to a (possibly disabled) profile accumulator. Cheap to
+/// clone; clones share the same accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Profiler {
+    /// A disabled profiler: spans cost one branch and record nothing.
+    pub fn disabled() -> Profiler {
+        Profiler { inner: None }
+    }
+
+    /// An enabled profiler with an empty accumulator.
+    pub fn enabled() -> Profiler {
+        Profiler {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// Whether spans record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name`. The span records its wall time under
+    /// the "/"-joined path of all open spans on this thread when it is
+    /// dropped; on a disabled profiler this is a no-op.
+    pub fn span(&self, name: &'static str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { live: None };
+        };
+        STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            live: Some(LiveSpan {
+                inner: Arc::clone(inner),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// A point-in-time copy of every phase recorded so far.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let phases = match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .phases
+                .lock()
+                .expect("profiler lock")
+                .iter()
+                .map(|(path, &(calls, nanos))| PhaseStat {
+                    path: path.clone(),
+                    calls,
+                    nanos,
+                })
+                .collect(),
+        };
+        ProfileSnapshot { phases }
+    }
+}
+
+struct LiveSpan {
+    inner: Arc<Inner>,
+    started: Instant,
+}
+
+/// An RAII guard for one profiled phase; records on drop.
+///
+/// Create via [`Profiler::span`] or the [`Span::enter`] convenience
+/// (which profiles against a caller-supplied profiler reference).
+#[must_use = "a span records its phase when dropped"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Span {
+    /// `profiler.span(name)` spelled the way the issue tracker
+    /// documents it: `Span::enter(&profiler, "phase")`.
+    pub fn enter(profiler: &Profiler, name: &'static str) -> Span {
+        profiler.span(name)
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("recording", &self.live.is_some())
+            .finish()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let nanos = live.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut phases = live.inner.phases.lock().expect("profiler lock");
+        let slot = phases.entry(path).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += nanos;
+    }
+}
+
+/// One phase in a [`ProfileSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// "/"-joined span path, e.g. `experiment/simulate`.
+    pub path: String,
+    /// Times the span completed.
+    pub calls: u64,
+    /// Total wall time across those calls, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl PhaseStat {
+    /// Total wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// An immutable copy of a profiler's accumulated phases, sorted by
+/// path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Recorded phases in path order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl ProfileSnapshot {
+    /// Whether any phase was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The phases recorded since `earlier` (both snapshots of the same
+    /// profiler): per-path difference of calls and nanos, dropping
+    /// paths that did not move.
+    pub fn diff(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
+        let old: BTreeMap<&str, (u64, u64)> = earlier
+            .phases
+            .iter()
+            .map(|p| (p.path.as_str(), (p.calls, p.nanos)))
+            .collect();
+        let phases = self
+            .phases
+            .iter()
+            .filter_map(|p| {
+                let (c0, n0) = old.get(p.path.as_str()).copied().unwrap_or((0, 0));
+                let calls = p.calls.saturating_sub(c0);
+                if calls == 0 {
+                    return None;
+                }
+                Some(PhaseStat {
+                    path: p.path.clone(),
+                    calls,
+                    nanos: p.nanos.saturating_sub(n0),
+                })
+            })
+            .collect();
+        ProfileSnapshot { phases }
+    }
+
+    /// Total wall time across all phases, in nanoseconds. Nested spans
+    /// overlap their parents, so this is an attribution total, not
+    /// elapsed time.
+    pub fn total_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let p = Profiler::disabled();
+        {
+            let _a = p.span("outer");
+            let _b = p.span("inner");
+        }
+        assert!(!p.is_enabled());
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let p = Profiler::enabled();
+        {
+            let _outer = Span::enter(&p, "outer");
+            {
+                let _inner = p.span("inner");
+            }
+            {
+                let _inner = p.span("inner");
+            }
+        }
+        let snap = p.snapshot();
+        let paths: Vec<(&str, u64)> = snap
+            .phases
+            .iter()
+            .map(|ph| (ph.path.as_str(), ph.calls))
+            .collect();
+        assert_eq!(paths, vec![("outer", 1), ("outer/inner", 2)]);
+    }
+
+    #[test]
+    fn diff_isolates_a_window() {
+        let p = Profiler::enabled();
+        {
+            let _s = p.span("phase");
+        }
+        let before = p.snapshot();
+        {
+            let _s = p.span("phase");
+        }
+        {
+            let _s = p.span("other");
+        }
+        let window = p.snapshot().diff(&before);
+        let calls: Vec<(&str, u64)> = window
+            .phases
+            .iter()
+            .map(|ph| (ph.path.as_str(), ph.calls))
+            .collect();
+        assert_eq!(calls, vec![("other", 1), ("phase", 1)]);
+    }
+
+    #[test]
+    fn clones_share_one_accumulator() {
+        let p = Profiler::enabled();
+        let q = p.clone();
+        {
+            let _s = q.span("shared");
+        }
+        assert_eq!(p.snapshot().phases[0].calls, 1);
+    }
+}

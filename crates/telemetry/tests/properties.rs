@@ -1,0 +1,186 @@
+//! Property tests for the telemetry histogram: no observation is ever
+//! lost across `record`/`merge`/`snapshot`, bucket bounds stay
+//! monotone, and quantiles behave like order statistics of the bucket
+//! bounds.
+
+use mcd_telemetry::histogram::{bucket_index, bucket_upper, NUM_BUCKETS};
+use mcd_telemetry::Histogram;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Values spanning the full u64 range with a bias toward realistic
+/// telemetry magnitudes (latencies in ns/us, occupancies).
+fn values() -> impl Strategy<Value = u64> {
+    (0u64..4, 0u64..=u64::MAX).prop_map(|(sel, raw)| match sel {
+        0 => raw % 64,
+        1 => raw % 100_000,
+        2 => raw % 10_000_000_000,
+        _ => raw,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every recorded observation lands in exactly one bucket, and the
+    /// snapshot's count/sum/max agree with the raw data.
+    #[test]
+    fn record_never_loses_counts(vals in collection::vec(values(), 0..200)) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), vals.len() as u64);
+        prop_assert_eq!(s.sum(), vals.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        prop_assert_eq!(s.max(), vals.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(s.occupied().map(|(_, c)| c).sum::<u64>(), s.count());
+    }
+
+    /// Merging histograms (and snapshots) conserves every count: the
+    /// merged snapshot equals the snapshot of recording both value sets
+    /// into one histogram.
+    #[test]
+    fn merge_conserves_counts(
+        a in collection::vec(values(), 0..100),
+        b in collection::vec(values(), 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let combined = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            combined.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            combined.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.snapshot(), combined.snapshot());
+
+        let mut sa = Histogram::new().snapshot();
+        for h in [&a, &b] {
+            let tmp = Histogram::new();
+            for &v in h {
+                tmp.record(v);
+            }
+            sa.merge(&tmp.snapshot());
+        }
+        prop_assert_eq!(sa, combined.snapshot());
+    }
+
+    /// Every value maps into a bucket whose range contains it, and the
+    /// bucket's relative width is bounded (quantile error bound).
+    #[test]
+    fn bucket_contains_its_value(v in values()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(v <= bucket_upper(i));
+        if i > 0 {
+            prop_assert!(v > bucket_upper(i - 1));
+        }
+        let upper = bucket_upper(i);
+        if v >= 16 && upper != u64::MAX {
+            prop_assert!((upper - v) as f64 <= 0.25 * v as f64 + 1.0);
+        }
+    }
+
+    /// Quantiles are monotone in q, never exceed the recorded max, and
+    /// never undershoot the true quantile's bucket lower bound.
+    #[test]
+    fn quantiles_are_monotone_and_clamped(
+        vals in collection::vec(values(), 1..200),
+        permille in collection::vec(0u64..=1000, 2..6),
+    ) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut qs: Vec<f64> = permille.iter().map(|&p| p as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let mut prev = 0u64;
+        for &q in &qs {
+            let est = s.quantile(q);
+            prop_assert!(est >= prev, "quantile not monotone at q={q}");
+            prop_assert!(est <= s.max());
+            prev = est;
+        }
+        // The estimate for a quantile is >= the true order statistic's
+        // bucket lower bound.
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = s.quantile(q);
+            let lower = match bucket_index(truth) {
+                0 => 0,
+                i => bucket_upper(i - 1) + 1,
+            };
+            prop_assert!(
+                est >= lower,
+                "quantile({q}) = {est} under true value {truth}'s bucket [{lower}, ..]"
+            );
+        }
+    }
+
+    /// diff(earlier) recovers exactly the counts recorded in between.
+    #[test]
+    fn diff_recovers_the_window(
+        early in collection::vec(values(), 0..100),
+        late in collection::vec(values(), 0..100),
+    ) {
+        let h = Histogram::new();
+        for &v in &early {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for &v in &late {
+            h.record(v);
+        }
+        let window = h.snapshot().diff(&before);
+        prop_assert_eq!(window.count(), late.len() as u64);
+        prop_assert_eq!(window.sum(), late.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        let expect = Histogram::new();
+        for &v in &late {
+            expect.record(v);
+        }
+        let expect = expect.snapshot();
+        prop_assert_eq!(
+            window.occupied().collect::<Vec<_>>(),
+            expect.occupied().collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Bounds are strictly monotone across the whole table — the lint's
+/// `le` monotonicity guarantee starts here.
+#[test]
+fn bucket_bounds_strictly_monotone() {
+    for i in 1..NUM_BUCKETS {
+        assert!(bucket_upper(i) > bucket_upper(i - 1), "at {i}");
+    }
+    assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+}
+
+/// Concurrent recording from multiple threads loses nothing.
+#[test]
+fn concurrent_recording_is_lossless() {
+    let h = std::sync::Arc::new(Histogram::new());
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let h = std::sync::Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1_000 + (i % 97));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(h.snapshot().count(), 40_000);
+}

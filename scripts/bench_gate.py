@@ -12,7 +12,10 @@ workload actually changed:
 
 Wall-clock is compared within a generous tolerance (CI machines vary
 wildly); the default allows the fresh run to take up to WALL_TOLERANCE
-times the reference total.
+times the reference total. The per-experiment wall-time quantiles
+(run_wall_p50_s / run_wall_p99_s) are informational — they are only
+sanity-checked for shape (present, non-negative, p50 <= p99), never
+compared against the reference.
 
 Usage: bench_gate.py REFERENCE FRESH
 """
@@ -57,6 +60,11 @@ def main():
                 errors.append(f"{name}.{key}: reference {r[key]!r} != fresh {f[key]!r}")
         if f["kind"] == "analysis" and f["runs"] != 0:
             errors.append(f"{name}: analysis experiment reports {f['runs']} runs")
+        p50, p99 = f.get("run_wall_p50_s"), f.get("run_wall_p99_s")
+        if p50 is None or p99 is None:
+            errors.append(f"{name}: missing run_wall_p50_s/run_wall_p99_s")
+        elif p50 < 0 or p99 < 0 or p50 > p99:
+            errors.append(f"{name}: malformed wall quantiles p50={p50} p99={p99}")
 
     budget = ref["total_wall_s"] * WALL_TOLERANCE
     if fresh["total_wall_s"] > budget:

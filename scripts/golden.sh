@@ -18,16 +18,30 @@ if [[ ! -x "$bin" ]]; then
   cargo build --release --workspace
 fi
 
+# Regenerates every golden artifact into $1: the per-experiment reports
+# plus the offline trace-analysis report (a pure function of the trace
+# bytes, so it is as deterministic as the reports themselves).
+regenerate() {
+  local dir="$1"
+  local trace
+  trace=$(mktemp)
+  "$bin" all --quick --jobs 4 --out "$dir" > /dev/null
+  "$bin" fig9 --quick --jobs 4 --trace-out "$trace" > /dev/null
+  "$bin" trace analyze "$trace" --out "$dir/trace-analyze.txt" > /dev/null
+  rm -f "$trace"
+}
+
 case "$mode" in
   --bless)
     rm -rf results/golden
-    "$bin" all --quick --jobs 4 --out results/golden > /dev/null
+    mkdir -p results/golden
+    regenerate results/golden
     echo "golden: blessed $(ls results/golden | wc -l) reports into results/golden/"
     ;;
   --check)
     fresh=$(mktemp -d)
     trap 'rm -rf "$fresh"' EXIT
-    "$bin" all --quick --jobs 4 --out "$fresh" > /dev/null
+    regenerate "$fresh"
     if ! diff -ru results/golden "$fresh"; then
       echo "golden: MISMATCH — if intentional, run scripts/golden.sh --bless and commit" >&2
       exit 1
