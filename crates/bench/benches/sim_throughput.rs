@@ -41,6 +41,38 @@ fn sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-driven core against the `cycle_stepping` debug path, in
+/// scheduler events per second. Each benchmark's throughput denominator
+/// is its own dispatched-event count (probed once up front), so the
+/// reported elements/sec reads directly as events/s; the probe also
+/// prints the skip leverage — cycles absorbed by steady-state replay or
+/// sample batching per dispatched event — which is exactly what the
+/// stepping path gives up.
+fn event_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_core");
+    let ops = 20_000u64;
+    group.sample_size(10);
+    for name in ["adpcm_encode", "mcf"] {
+        for (mode, stepping) in [("event-driven", false), ("cycle-stepping", true)] {
+            let mut cfg = RunConfig::quick().with_ops(ops);
+            cfg.sim.cycle_stepping = stepping;
+            let probe = run(name, Scheme::Adaptive, &cfg).expect("probe run");
+            let m = &probe.metrics;
+            println!(
+                "{name}/{mode}: {} events, {} cycles skipped ({:.2} skipped/event)",
+                m.events_processed,
+                m.cycles_skipped,
+                m.cycles_skipped as f64 / m.events_processed.max(1) as f64
+            );
+            group.throughput(Throughput::Elements(m.events_processed));
+            group.bench_with_input(BenchmarkId::new(name, mode), &cfg, |b, cfg| {
+                b.iter(|| run(name, Scheme::Adaptive, cfg));
+            });
+        }
+    }
+    group.finish();
+}
+
 fn harness_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("harness");
     let ops = 10_000u64;
@@ -70,5 +102,5 @@ fn harness_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sim_throughput, harness_throughput);
+criterion_group!(benches, sim_throughput, event_core, harness_throughput);
 criterion_main!(benches);

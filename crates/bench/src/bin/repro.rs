@@ -114,6 +114,8 @@ fn bench_report(
     let runs: u64 = records.iter().map(|(_, r)| r.runs).sum();
     let instructions: u64 = records.iter().map(|(_, r)| r.instructions).sum();
     let hits: u64 = records.iter().map(|(_, r)| r.baseline_hits).sum();
+    let events: u64 = records.iter().map(|(_, r)| r.events_processed).sum();
+    let skipped: u64 = records.iter().map(|(_, r)| r.cycles_skipped).sum();
     // Aggregate throughput is meaningful only over the experiments that
     // actually simulate; analysis experiments contribute zero
     // instructions in epsilon wall-clock and would only add noise.
@@ -139,6 +141,7 @@ fn bench_report(
         "{{\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_wall_s:.3},\n  \
          \"total_runs\": {runs},\n  \"total_instructions\": {instructions},\n  \
          \"total_baseline_cache_hits\": {hits},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
+         \"total_events_processed\": {events},\n  \"total_cycles_skipped\": {skipped},\n  \
          \"controller_activity\": {},\n{telemetry_block}  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         activity.to_json(),
@@ -590,6 +593,8 @@ fn main() -> ExitCode {
             runs: after.runs - before.runs,
             instructions: after.instructions - before.instructions,
             baseline_hits: after.baseline_hits - before.baseline_hits,
+            events_processed: after.events_processed - before.events_processed,
+            cycles_skipped: after.cycles_skipped - before.cycles_skipped,
             run_wall_p50_s: wall.p50() as f64 / 1e6,
             run_wall_p99_s: wall.p99() as f64 / 1e6,
         };

@@ -67,6 +67,12 @@ pub struct CompletedRun {
     pub instructions: u64,
     /// Baseline-cache hits.
     pub baseline_hits: u64,
+    /// Scheduler events the experiment's simulations dispatched.
+    pub events_processed: u64,
+    /// Clock edges and sampling periods the event-driven core absorbed
+    /// through steady-state replay or sample batching instead of
+    /// dispatching them individually.
+    pub cycles_skipped: u64,
     /// Median per-simulation wall time within this experiment, seconds
     /// (0 when the experiment ran no simulations).
     pub run_wall_p50_s: f64,
@@ -94,11 +100,21 @@ impl CompletedRun {
         // idempotency reason.
         let p50 = (self.run_wall_p50_s * 1000.0).round() / 1000.0;
         let p99 = (self.run_wall_p99_s * 1000.0).round() / 1000.0;
+        // Skipped-per-event is derived from the two integer counters, so
+        // it re-renders identically from a parsed record.
+        let skipped_per_event = if self.events_processed > 0 {
+            self.cycles_skipped as f64 / self.events_processed as f64
+        } else {
+            0.0
+        };
         format!(
             "{{\"experiment\": \"{id}\", \"kind\": \"{}\", \"wall_s\": {wall_s:.3}, \"runs\": {}, \
              \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {mips:.2}, \
+             \"events_processed\": {}, \"cycles_skipped\": {}, \
+             \"cycles_skipped_per_event\": {skipped_per_event:.2}, \
              \"run_wall_p50_s\": {p50:.3}, \"run_wall_p99_s\": {p99:.3}}}",
             self.kind, self.runs, self.instructions, self.baseline_hits,
+            self.events_processed, self.cycles_skipped,
         )
     }
 }
@@ -283,6 +299,8 @@ impl CheckpointDir {
             baseline_hits: u64_field(&record, "baseline_cache_hits")?,
             // Records written before these fields existed fail to load
             // and simply re-run — the standard incomplete-entry path.
+            events_processed: u64_field(&record, "events_processed")?,
+            cycles_skipped: u64_field(&record, "cycles_skipped")?,
             run_wall_p50_s: f64_field(&record, "run_wall_p50_s")?,
             run_wall_p99_s: f64_field(&record, "run_wall_p99_s")?,
         })
@@ -311,6 +329,8 @@ mod tests {
             runs: 7,
             instructions: 123_456,
             baseline_hits: 3,
+            events_processed: 9_876,
+            cycles_skipped: 54_321,
             run_wall_p50_s: 0.125,
             run_wall_p99_s: 0.5,
         }

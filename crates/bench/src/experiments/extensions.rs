@@ -37,37 +37,37 @@ fn run_spec(
 /// (or shorter than) the fixed interval.
 pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     const PERIODS: [u64; 7] = [5_000, 10_000, 20_000, 50_000, 100_000, 400_000, 1_600_000];
+    const SCHEMES: [Scheme; 4] = [
+        Scheme::Baseline,
+        Scheme::Adaptive,
+        Scheme::Pid,
+        Scheme::AttackDecay,
+    ];
     // Synthetic specs are not registry-backed, so the baseline memo cache
-    // does not apply; each period is one work item running its own
-    // baseline plus the three controlled schemes.
-    let rows = rs
-        .par(PERIODS.to_vec(), |period| {
+    // does not apply. The work items are the individual (period, scheme)
+    // runs — flattened rather than one item per period — so the long
+    // periods (the 1.6M-instruction point is ~60% of the sweep) spread
+    // their four runs across workers instead of serializing on one. The
+    // EDP comparison happens after the fan-out, on results regrouped in
+    // input order, so reports stay byte-identical for any worker count.
+    let mut items = Vec::with_capacity(PERIODS.len() * SCHEMES.len());
+    for period in PERIODS {
+        for scheme in SCHEMES {
+            items.push((period, scheme));
+        }
+    }
+    let runs = rs
+        .par(items, |(period, scheme)| {
             let spec = synthetic::square_wave(period, 0.4);
-            let ops = cfg.ops.max(period * 3); // at least three full periods
             let mut c = cfg.clone();
-            c.ops = ops;
-            let label = |scheme: Scheme| {
-                format!(
-                    "wavelength|{period}|{}|ops={}|seed={}",
-                    scheme.name(),
-                    c.ops,
-                    c.seed
-                )
-            };
-            let base = rs.run_custom(&label(Scheme::Baseline), |sink| {
-                run_spec(&spec, Scheme::Baseline, &c, sink)
-            })?;
-            let edp = |scheme| -> Result<f64, RunError> {
-                let run =
-                    rs.run_custom(&label(scheme), |sink| run_spec(&spec, scheme, &c, sink))?;
-                Ok(Outcome::versus(&run, &base).edp_improvement)
-            };
-            Ok((
-                period,
-                edp(Scheme::Adaptive)?,
-                edp(Scheme::Pid)?,
-                edp(Scheme::AttackDecay)?,
-            ))
+            c.ops = cfg.ops.max(period * 3); // at least three full periods
+            let label = format!(
+                "wavelength|{period}|{}|ops={}|seed={}",
+                scheme.name(),
+                c.ops,
+                c.seed
+            );
+            rs.run_custom(&label, |sink| run_spec(&spec, scheme, &c, sink))
         })
         .into_iter()
         .collect::<Result<Vec<_>, RunError>>()?;
@@ -77,13 +77,11 @@ pub fn run_wavelength(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> 
         "PID EDP",
         "atk/decay EDP",
     ]);
-    for (period, adaptive, pid, attack_decay) in rows {
-        t.row([
-            period.to_string(),
-            pct(adaptive),
-            pct(pid),
-            pct(attack_decay),
-        ]);
+    // Items are period-major with the baseline first in each chunk.
+    for (pi, &period) in PERIODS.iter().enumerate() {
+        let chunk = &runs[pi * SCHEMES.len()..(pi + 1) * SCHEMES.len()];
+        let edp = |si: usize| pct(Outcome::versus(&chunk[si], &chunk[0]).edp_improvement);
+        t.row([period.to_string(), edp(1), edp(2), edp(3)]);
     }
     Ok(format!(
         "Extension: EDP gain vs workload-variation wavelength (square-wave FP/INT)\n\n{}\n\

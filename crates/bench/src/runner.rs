@@ -165,6 +165,12 @@ pub struct RunStats {
     pub instructions: u64,
     /// Baseline requests answered from the memo cache.
     pub baseline_hits: u64,
+    /// Scheduler events dispatched across those runs (see
+    /// [`Metrics::events_processed`]).
+    pub events_processed: u64,
+    /// Clock edges and sampling periods absorbed by steady-state replay
+    /// or sample batching (see [`Metrics::cycles_skipped`]).
+    pub cycles_skipped: u64,
 }
 
 /// Controller-activity counters aggregated over every simulation a
@@ -318,6 +324,8 @@ pub struct RunSet {
     runs: AtomicU64,
     instructions: AtomicU64,
     baseline_hits: AtomicU64,
+    events_processed: AtomicU64,
+    cycles_skipped: AtomicU64,
     activity: Mutex<ControllerActivity>,
     /// When tracing is on, each executed simulation's labeled event
     /// stream lands here (`None` = tracing disabled, simulations run
@@ -347,6 +355,8 @@ impl RunSet {
             runs: AtomicU64::new(0),
             instructions: AtomicU64::new(0),
             baseline_hits: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+            cycles_skipped: AtomicU64::new(0),
             activity: Mutex::new(ControllerActivity::default()),
             tracing: None,
             telemetry: None,
@@ -420,6 +430,8 @@ impl RunSet {
             runs: self.runs.load(Ordering::Relaxed),
             instructions: self.instructions.load(Ordering::Relaxed),
             baseline_hits: self.baseline_hits.load(Ordering::Relaxed),
+            events_processed: self.events_processed.load(Ordering::Relaxed),
+            cycles_skipped: self.cycles_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -450,6 +462,10 @@ impl RunSet {
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.instructions
             .fetch_add(result.instructions, Ordering::Relaxed);
+        self.events_processed
+            .fetch_add(result.metrics.events_processed, Ordering::Relaxed);
+        self.cycles_skipped
+            .fetch_add(result.metrics.cycles_skipped, Ordering::Relaxed);
         self.activity
             .lock()
             .expect("activity aggregate poisoned")

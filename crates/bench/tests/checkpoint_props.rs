@@ -77,6 +77,8 @@ proptest! {
         runs in 0u64..500,
         instructions in 0u64..50_000_000_000,
         baseline_hits in 0u64..500,
+        events_processed in 0u64..10_000_000_000,
+        cycles_skipped in 0u64..10_000_000_000,
         kind in sample::select(vec!["simulation", "analysis"]),
         p50_ms in 0u64..60_000,
         p99_ms in 0u64..60_000,
@@ -93,6 +95,8 @@ proptest! {
             runs,
             instructions,
             baseline_hits,
+            events_processed,
+            cycles_skipped,
             run_wall_p50_s: p50_ms as f64 / 1000.0,
             run_wall_p99_s: p99_ms as f64 / 1000.0,
         };

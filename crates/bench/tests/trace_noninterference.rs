@@ -5,8 +5,31 @@
 //! counters saw appears in the event stream).
 
 use mcd_bench::experiments;
-use mcd_bench::runner::{RunConfig, RunSet};
+use mcd_bench::runner::{RunConfig, RunSet, RunStats};
 use mcd_sim::{CtrlEvent, TraceEvent};
+
+/// Counter equivalence modulo the scheduler's dispatch/batch split.
+///
+/// An enabled sink observes every sampling period, so the engine's
+/// sample-batching fast path legitimately turns itself off: periods the
+/// plain run absorbed as `cycles_skipped` are dispatched one event at a
+/// time instead. The simulated history is identical — same runs, same
+/// instructions, same total scheduler work (`events + skipped`) — only
+/// the split between the two counters moves.
+fn assert_stats_equivalent(plain: RunStats, observed: RunStats) {
+    assert_eq!(plain.runs, observed.runs);
+    assert_eq!(plain.instructions, observed.instructions);
+    assert_eq!(plain.baseline_hits, observed.baseline_hits);
+    assert_eq!(
+        plain.events_processed + plain.cycles_skipped,
+        observed.events_processed + observed.cycles_skipped,
+        "total scheduler work must be sink-independent"
+    );
+    assert!(
+        observed.cycles_skipped <= plain.cycles_skipped,
+        "an enabled sink can only reduce batching, never add to it"
+    );
+}
 
 #[test]
 fn tracing_leaves_reports_byte_identical() {
@@ -19,7 +42,7 @@ fn tracing_leaves_reports_byte_identical() {
         assert_eq!(a, b, "{id} report changed under tracing");
     }
     // The always-on counters are sink-independent too.
-    assert_eq!(plain.stats(), traced.stats());
+    assert_stats_equivalent(plain.stats(), traced.stats());
     assert_eq!(plain.activity(), traced.activity());
     // And the untraced set has no trace stream at all.
     assert!(plain.drain_traces().is_none());
@@ -35,7 +58,7 @@ fn telemetry_and_profiling_leave_reports_byte_identical() {
         let b = experiments::run_on(&instrumented, id, &cfg);
         assert_eq!(a, b, "{id} report changed under telemetry + profiling");
     }
-    assert_eq!(plain.stats(), instrumented.stats());
+    assert_stats_equivalent(plain.stats(), instrumented.stats());
     assert_eq!(plain.activity(), instrumented.activity());
     // The instrumentation did observe the runs it rode along with...
     let tel = instrumented.telemetry().expect("telemetry enabled");

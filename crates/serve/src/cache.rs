@@ -235,6 +235,8 @@ mod tests {
                 runs: 2,
                 instructions: 1000,
                 baseline_hits: 0,
+                events_processed: 40,
+                cycles_skipped: 160,
                 run_wall_p50_s: 0.125,
                 run_wall_p99_s: 0.25,
             },

@@ -449,6 +449,7 @@ mod tests {
                 runs: 4,
                 instructions: 123,
                 baseline_hits: 1,
+                ..RunStats::default()
             },
             &ControllerActivity::default(),
         );
@@ -476,6 +477,7 @@ mod tests {
                 runs: 1,
                 instructions: 10,
                 baseline_hits: 0,
+                ..RunStats::default()
             },
             &a,
         );
@@ -484,6 +486,7 @@ mod tests {
                 runs: 2,
                 instructions: 30,
                 baseline_hits: 1,
+                ..RunStats::default()
             },
             &a,
         );
@@ -511,6 +514,7 @@ mod tests {
                 runs: 1,
                 instructions: 10,
                 baseline_hits: 0,
+                ..RunStats::default()
             },
             &a,
         );

@@ -300,6 +300,8 @@ fn run_experiment(
                 runs: stats.runs,
                 instructions: stats.instructions,
                 baseline_hits: stats.baseline_hits,
+                events_processed: stats.events_processed,
+                cycles_skipped: stats.cycles_skipped,
                 run_wall_p50_s: wall_p50_s,
                 run_wall_p99_s: wall_p99_s,
             },

@@ -24,6 +24,8 @@ fn entry(key: &str, version: u64) -> CachedRun {
             runs: version,
             instructions: 10 * version,
             baseline_hits: 0,
+            events_processed: 4 * version,
+            cycles_skipped: 16 * version,
             run_wall_p50_s: version as f64 / 1000.0,
             run_wall_p99_s: version as f64 / 500.0,
         },

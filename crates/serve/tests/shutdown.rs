@@ -151,6 +151,8 @@ fn stale_warm_dir_from_an_older_binary_is_discarded() {
             runs: 1,
             instructions: 1000,
             baseline_hits: 0,
+            events_processed: 200,
+            cycles_skipped: 800,
             run_wall_p50_s: 0.5,
             run_wall_p99_s: 0.5,
         },

@@ -1,9 +1,8 @@
 //! Per-domain clock generation with jitter and DVFS-driven periods.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use mcd_power::{DvfsStyle, Frequency, OpIndex, Regulator, TimePs, VfCurve, Voltage};
+
+use crate::jitter::JitterCursor;
 
 /// An independently-generated domain clock.
 ///
@@ -19,7 +18,10 @@ pub struct DomainClock {
     /// runs do not accumulate rounding drift.
     frac_carry: f64,
     sigma_ps: f64,
-    rng: StdRng,
+    /// Cursor into the process-wide memoized normal stream for this
+    /// clock's seed; `None` for jitterless clocks, which never draw
+    /// (σ = 0 must not consume random numbers).
+    jitter: Option<JitterCursor>,
     edges: u64,
     /// Frequency/voltage/period snapshot, valid while no transition is in
     /// flight. Domains sit at a steady operating point for almost every
@@ -57,7 +59,7 @@ impl DomainClock {
             next_edge: TimePs::ZERO.advance_f64(period),
             frac_carry: 0.0,
             sigma_ps,
-            rng: StdRng::seed_from_u64(seed),
+            jitter: (sigma_ps != 0.0).then(|| JitterCursor::new(seed)),
             edges: 0,
             steady: None,
         }
@@ -173,14 +175,19 @@ impl DomainClock {
     }
 
     /// Box–Muller normal sample, clamped to ±3σ.
+    ///
+    /// The standard-normal variate comes from the shared per-seed stream
+    /// (see [`crate::jitter`]); only the σ scaling is per-clock. This is
+    /// the same value, bit for bit, that drawing and transforming inline
+    /// used to produce.
     fn sample_jitter(&mut self) -> f64 {
-        if self.sigma_ps == 0.0 {
-            return 0.0;
+        match self.jitter.as_mut() {
+            None => 0.0,
+            Some(cursor) => {
+                let z = cursor.next_z();
+                (z * self.sigma_ps).clamp(-3.0 * self.sigma_ps, 3.0 * self.sigma_ps)
+            }
         }
-        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
-        let u2: f64 = self.rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-        (z * self.sigma_ps).clamp(-3.0 * self.sigma_ps, 3.0 * self.sigma_ps)
     }
 }
 

@@ -177,6 +177,12 @@ pub struct SimConfig {
     pub record_frequency: bool,
     /// Safety valve: abort if simulated time exceeds this bound.
     pub max_sim_time: TimePs,
+    /// Debug/validation escape hatch: process every clock edge through the
+    /// per-event path instead of sleeping domains through provably
+    /// uneventful intervals (see `scheduler.rs`). Results are identical
+    /// either way — the equivalence is property-tested — so this exists
+    /// only to exercise the reference stepping path.
+    pub cycle_stepping: bool,
 }
 
 impl Default for SimConfig {
@@ -220,6 +226,7 @@ impl Default for SimConfig {
             record_occupancy: false,
             record_frequency: false,
             max_sim_time: TimePs::from_us(2_000_000), // 2 s of simulated time
+            cycle_stepping: false,
         }
     }
 }

@@ -14,11 +14,12 @@ use crate::config::{DomainId, SimConfig};
 use crate::controller::{ControllerCtx, DvfsController, QueueSample};
 use crate::error::SimError;
 use crate::memory::MainMemory;
-use crate::metrics::{FreqTracePoint, Metrics};
+use crate::metrics::{FreqTracePoint, Metrics, StallCause};
 use crate::queue::{IqEntry, IssueQueue};
 use crate::regfile::FreeList;
 use crate::result::{DomainResult, SimResult};
 use crate::rob::{Rob, RobEntry};
+use crate::scheduler::{self, DomainSlot, EventKind};
 use crate::scoreboard::{AddrMap, SeqScoreboard};
 use crate::trace::{CtrlEvent, NullSink, TraceEvent, TraceSink};
 
@@ -26,6 +27,41 @@ use crate::trace::{CtrlEvent, NullSink, TraceEvent, TraceSink};
 /// snapshots emitted to an enabled trace sink (≈16 µs of simulated time
 /// at the Table 1 sampling rate).
 const HIST_SNAPSHOT_SAMPLES: u64 = 4096;
+
+/// Wake deadline meaning "no timed wake — only an explicit signal".
+const NEVER: TimePs = TimePs::new(u64::MAX);
+
+/// Minimum sleep window worth entering. A sleep/replay round trip has a
+/// fixed cost (deadline computation, watch bookkeeping, replay-loop
+/// hoisting); a wake deadline closer than this is cheaper to reach by
+/// staying awake. Purely a wall-clock heuristic — sleeping is semantically
+/// free either way, so the threshold cannot affect results — but it is a
+/// deterministic function of simulation state, so runs remain reproducible
+/// event for event.
+const MIN_SLEEP: TimePs = TimePs::new(4_000);
+
+/// A domain's scheduling state (see `scheduler.rs` for the event model).
+///
+/// An awake domain contributes its next clock edge to the event
+/// population; a sleeping one contributes its wake deadline. Sleep is only
+/// entered when every local edge up to the wake point is *provably*
+/// uneventful — nothing to fetch/dispatch/retire for the front end,
+/// nothing issuable for a back end — so the skipped edges can be replayed
+/// in a closed loop (clock advance + energy accounting) with results
+/// bit-identical to stepping through them.
+#[derive(Debug, Clone, Copy)]
+enum Sleep {
+    Awake,
+    /// Asleep until `wake_at`, or until an explicit signal (a watched
+    /// completion, a queue enqueue, an issue that frees queue space, or a
+    /// controller retarget), whichever comes first. `stall` is the front
+    /// end's dispatch-stall cause, replayed into the stall counters for
+    /// every skipped edge exactly as the stepping core counted them.
+    Asleep {
+        wake_at: TimePs,
+        stall: Option<StallCause>,
+    },
+}
 
 /// Where and when an instruction finished executing.
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +174,17 @@ pub struct Machine<T> {
     next_sample: TimePs,
     metrics: Metrics,
     retired: u64,
+    // Event-scheduling state: per-domain sleep slots, the producer
+    // sequence numbers each sleeping domain is waiting on, and the
+    // back-end queue the front end needs space in (if any).
+    sleep: [Sleep; 4],
+    watch: [Vec<u64>; 4],
+    fe_iq_wait: Option<usize>,
+    // Sleep-evaluation backoff: when an evaluation finds a wake deadline
+    // too near to pay for the sleep/replay round trip, re-evaluating
+    // before that deadline cannot reach a different conclusion, so the
+    // evaluation itself is skipped until then.
+    no_sleep_until: [TimePs; 4],
     // Controller-event scratch reused across samples so draining never
     // allocates in the steady state; always left empty between ticks.
     ctrl_events: Vec<CtrlEvent>,
@@ -235,6 +282,10 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 ..Metrics::default()
             },
             retired: 0,
+            sleep: [Sleep::Awake; 4],
+            watch: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            fe_iq_wait: None,
+            no_sleep_until: [TimePs::ZERO; 4],
             ctrl_events: Vec::new(),
             onsets: [[None; 2]; 3],
             cfg,
@@ -344,28 +395,29 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         sink: &mut S,
     ) -> Result<SimResult, SimError> {
         while !(self.trace_done && self.fetch_buf.is_empty() && self.rob.is_empty()) {
-            let mut t = self.next_sample;
-            let mut which = 4usize;
-            for i in 0..4 {
-                let e = self.clocks[i].next_edge();
-                if e < t {
-                    t = e;
-                    which = i;
-                }
+            let ev = scheduler::pick_next(self.next_sample, &self.domain_slots());
+            if ev.time > self.cfg.max_sim_time {
+                return Err(self.diverged());
             }
-            if t > self.cfg.max_sim_time {
-                return Err(SimError::Diverged {
-                    at: t,
-                    retired: self.retired,
-                });
+            self.metrics.events_processed += 1;
+            match ev.kind {
+                EventKind::Sample => self.tick_sample(sink),
+                EventKind::Edge(DomainId::FrontEnd) => self.tick_frontend(),
+                EventKind::Edge(d) => self.tick_backend(d),
+                // A timed wake: replay the skipped edges strictly before
+                // the deadline and rejoin the edge population (the first
+                // edge at or past the deadline runs as a normal tick).
+                EventKind::Wake(d) => self.wake_domain(d.index(), ev.time, false),
             }
-            match which {
-                0 => self.tick_frontend(),
-                1 => self.tick_backend(DomainId::Int),
-                2 => self.tick_backend(DomainId::Fp),
-                3 => self.tick_backend(DomainId::Ls),
-                _ => self.tick_sample(sink),
-            }
+        }
+        // The loop exits right after the front-end tick that drained the
+        // pipeline. Sleeping domains still owe their skipped edges
+        // strictly before that instant; edges at exactly the exit time
+        // rank after the front end and were never processed by the
+        // stepping core either.
+        let t_exit = self.now;
+        for i in 0..4 {
+            self.wake_domain(i, t_exit, false);
         }
         // Final cumulative histogram snapshot, so every traced run ends
         // with the complete occupancy distribution per domain.
@@ -381,6 +433,325 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             }
         }
         Ok(self.build_result())
+    }
+
+    // ----- event scheduling ---------------------------------------------
+
+    /// The live event population for [`scheduler::pick_next`].
+    fn domain_slots(&self) -> [DomainSlot; 4] {
+        std::array::from_fn(|i| match self.sleep[i] {
+            Sleep::Awake => DomainSlot::Edge(self.clocks[i].next_edge()),
+            Sleep::Asleep { wake_at, .. } => DomainSlot::Wake(wake_at),
+        })
+    }
+
+    /// The earliest wake deadline if *every* domain is asleep (capped at
+    /// the divergence bound), or `None` while any domain is awake.
+    fn sleep_horizon(&self) -> Option<TimePs> {
+        let mut horizon = self.cfg.max_sim_time;
+        for s in &self.sleep {
+            match *s {
+                Sleep::Awake => return None,
+                Sleep::Asleep { wake_at, .. } => horizon = horizon.min(wake_at),
+            }
+        }
+        Some(horizon)
+    }
+
+    /// Reproduces the stepping core's divergence point exactly: it
+    /// processed every event with time within the bound before failing on
+    /// the first minimum beyond it, so settle the sleepers' debt through
+    /// the bound and report the true next-event time.
+    fn diverged(&mut self) -> SimError {
+        let max = self.cfg.max_sim_time;
+        for i in 0..4 {
+            self.wake_domain(i, max, true);
+        }
+        let mut at = self.next_sample;
+        for c in &self.clocks {
+            at = at.min(c.next_edge());
+        }
+        SimError::Diverged {
+            at,
+            retired: self.retired,
+        }
+    }
+
+    /// Ends domain `di`'s sleep (no-op when awake): replays its skipped
+    /// clock edges up to `limit` and returns it to the edge population.
+    ///
+    /// `inclusive` controls the edge exactly at `limit`. A waking signal
+    /// raised by an event that *outranks* the sleeper at equal timestamps
+    /// (a back-end issue waking the front end) must replay that edge too,
+    /// because in event order it fired — blocked — before the signal.
+    /// Signals from lower-ranked events (a front-end enqueue or a sample's
+    /// retarget waking a back end) leave it pending as a live event.
+    fn wake_domain(&mut self, di: usize, limit: TimePs, inclusive: bool) {
+        let Sleep::Asleep { stall, .. } = self.sleep[di] else {
+            return;
+        };
+        self.sleep[di] = Sleep::Awake;
+        self.watch[di].clear();
+        if di == DomainId::FrontEnd.index() {
+            self.fe_iq_wait = None;
+            self.replay_frontend(limit, inclusive, stall);
+        } else {
+            self.replay_backend(DomainId::ALL[di], limit, inclusive);
+        }
+    }
+
+    /// Replays the front end's skipped edges: each is exactly the
+    /// fully-blocked tick the stepping core executed — leakage, a
+    /// zero-utilization cycle charge, and (with instructions waiting) one
+    /// dispatch-stall count. Voltage and period are hoisted because the
+    /// front end's regulator never retargets.
+    fn replay_frontend(&mut self, limit: TimePs, inclusive: bool, stall: Option<StallCause>) {
+        let di = DomainId::FrontEnd.index();
+        let first = self.clocks[di].next_edge();
+        if first > limit || (!inclusive && first == limit) {
+            return;
+        }
+        let v = self.clocks[di].voltage_at(first);
+        let period = self.clocks[di].cycles_to_time(1, first);
+        let leak = self.leakage.energy(DomainId::FrontEnd.class(), period, v);
+        loop {
+            let e = self.clocks[di].next_edge();
+            if e > limit || (!inclusive && e == limit) {
+                break;
+            }
+            self.clocks[di].tick();
+            self.meters[di].charge_leakage(leak);
+            self.meters[di].charge_cycle(0.0, v);
+            if let Some(cause) = stall {
+                self.metrics.dispatch_stalls[cause.index()] += 1;
+            }
+            self.metrics.cycles_skipped += 1;
+        }
+    }
+
+    /// Replays a back-end domain's skipped edges: clock advance, leakage,
+    /// extreme-operating-point counters, and the cycle-energy charge at
+    /// the (known, monotonically draining) functional-unit utilization.
+    /// The regulator is settled across the whole window — sleep is never
+    /// entered mid-transition and a retarget always wakes first — so the
+    /// per-edge constants are hoisted.
+    fn replay_backend(&mut self, d: DomainId, limit: TimePs, inclusive: bool) {
+        let di = d.index();
+        let bi = d.backend_index();
+        let first = self.clocks[di].next_edge();
+        if first > limit || (!inclusive && first == limit) {
+            return;
+        }
+        debug_assert!(!self.clocks[di].regulator().is_transitioning(first));
+        let v = self.clocks[di].voltage_at(first);
+        let period = self.clocks[di].cycles_to_time(1, first);
+        let leak = self.leakage.energy(d.class(), period, v);
+        let target = self.clocks[di].regulator().target();
+        let at_min = target.0 == 0;
+        let at_max = target == self.cfg.vf_curve.max_index();
+        loop {
+            let e = self.clocks[di].next_edge();
+            if e > limit || (!inclusive && e == limit) {
+                break;
+            }
+            let edge = self.clocks[di].tick();
+            self.meters[di].charge_leakage(leak);
+            if at_min {
+                self.metrics.fmin_cycles[bi] += 1;
+            } else if at_max {
+                self.metrics.fmax_cycles[bi] += 1;
+            }
+            debug_assert!(self.clocks[di].regulator().stall_until(edge).is_none());
+            let (busy, total) = self.fu_usage(d, edge);
+            self.meters[di].charge_cycle(busy as f64 / total as f64, v);
+            self.metrics.cycles_skipped += 1;
+        }
+    }
+
+    /// Wakes any sleeper watching producer `seq`, which completed during
+    /// the back-end tick at `at`. The front end's replay is inclusive (its
+    /// edge at `at` fired, blocked, before this back-end tick in event
+    /// order); other back ends rank at their own index, and either way the
+    /// new completion — strictly in the future — cannot change their edge
+    /// at `at`, so exclusive replay keeps it as a live event.
+    fn note_completion(&mut self, seq: u64, at: TimePs) {
+        for di in 0..4 {
+            if !self.watch[di].is_empty() && self.watch[di].contains(&seq) {
+                self.wake_domain(di, at, di == DomainId::FrontEnd.index());
+            }
+        }
+    }
+
+    /// The synchronization penalty a result produced in `producer` pays
+    /// before `consumer` may use it (the same rule as
+    /// [`Machine::source_ready`]).
+    fn sync_penalty(&self, producer: DomainId, consumer: DomainId) -> TimePs {
+        match self.cfg.sync_model {
+            crate::config::SyncModel::Arbitration if producer != consumer => self.cfg.sync_window,
+            _ => TimePs::ZERO,
+        }
+    }
+
+    /// Decides whether the front end can sleep after the tick at `edge`
+    /// (`blocked` is that tick's dispatch obstacle, if any). It can when
+    /// fetch, dispatch, and retirement are all durably blocked; the wake
+    /// deadline is the earliest instant any of them can unblock, with
+    /// unknown completion times covered by watches and full queues by an
+    /// issue-space signal.
+    fn maybe_sleep_frontend(&mut self, edge: TimePs, blocked: Option<StallCause>) {
+        if self.cfg.cycle_stepping {
+            return;
+        }
+        let di = DomainId::FrontEnd.index();
+        if edge < self.no_sleep_until[di] {
+            return;
+        }
+        let cap = 4 * self.cfg.decode_width as usize;
+        let fetch_blocked = self.pending_redirect.is_some()
+            || self.trace_done
+            || self.fetch_buf.len() >= cap
+            || edge < self.fetch_stall_until;
+        if !fetch_blocked {
+            return;
+        }
+        if !self.fetch_buf.is_empty() && blocked.is_none() {
+            return;
+        }
+        if let Some(head) = self.rob.head() {
+            // A ready head retires on the very next edge: stay awake.
+            if self.source_ready(head.seq, edge, DomainId::FrontEnd) {
+                return;
+            }
+        }
+        let mut wake = NEVER;
+        debug_assert!(self.watch[di].is_empty());
+        let mut watch = std::mem::take(&mut self.watch[di]);
+        let mut track = |completed: &SeqScoreboard<Completion>, seq: u64| match completed.get(seq) {
+            Some(c) => Some(c.at + self.sync_penalty(c.domain, DomainId::FrontEnd)),
+            None => {
+                if !watch.contains(&seq) {
+                    watch.push(seq);
+                }
+                None
+            }
+        };
+        if let Some(head) = self.rob.head() {
+            if let Some(t) = track(&self.completed, head.seq) {
+                wake = wake.min(t);
+            }
+        }
+        if let Some(bseq) = self.pending_redirect {
+            if let Some(t) = track(&self.completed, bseq) {
+                wake = wake.min(t);
+            }
+        }
+        drop(track);
+        if self.pending_redirect.is_none() && !self.trace_done && edge < self.fetch_stall_until {
+            wake = wake.min(self.fetch_stall_until);
+        }
+        let iq_wait = match blocked {
+            Some(StallCause::IntQueueFull) => Some(0),
+            Some(StallCause::FpQueueFull) => Some(1),
+            Some(StallCause::LsQueueFull) => Some(2),
+            _ => None,
+        };
+        // Defensive: never sleep with no wake source at all.
+        if wake == NEVER && watch.is_empty() && iq_wait.is_none() {
+            self.watch[di] = watch;
+            return;
+        }
+        // Too-near wake: not worth the round trip (see `MIN_SLEEP`).
+        if wake < edge + MIN_SLEEP {
+            watch.clear();
+            self.watch[di] = watch;
+            self.no_sleep_until[di] = wake;
+            return;
+        }
+        self.fe_iq_wait = iq_wait;
+        self.watch[di] = watch;
+        let stall = if self.fetch_buf.is_empty() { None } else { blocked };
+        self.sleep[di] = Sleep::Asleep {
+            wake_at: wake,
+            stall,
+        };
+    }
+
+    /// Decides whether back end `d` can sleep after an edge that issued
+    /// nothing: computes the exact earliest instant any queued entry
+    /// becomes ready. Entries gated on in-flight completions contribute a
+    /// timed bound (readiness is fully determined by `visible_at` and
+    /// completion times); entries gated on unissued producers register a
+    /// watch. An empty queue sleeps on the enqueue signal alone.
+    fn maybe_sleep_backend(&mut self, d: DomainId, edge: TimePs) {
+        if self.cfg.cycle_stepping {
+            return;
+        }
+        let di = d.index();
+        if edge < self.no_sleep_until[di] {
+            return;
+        }
+        if self.clocks[di].regulator().is_transitioning(edge) {
+            return;
+        }
+        let bi = d.backend_index();
+        let mut wake = NEVER;
+        if !self.iqs[bi].is_empty() {
+            debug_assert!(self.watch[di].is_empty());
+            let mut watch = std::mem::take(&mut self.watch[di]);
+            {
+                let completed = &self.completed;
+                let retired = self.retired;
+                let sync_model = self.cfg.sync_model;
+                let sync_window = self.cfg.sync_window;
+                for e in self.iqs[bi].iter_mut() {
+                    match Self::entry_ready_time(completed, retired, sync_model, sync_window, d, e)
+                    {
+                        // Fully-known producers: an exact, monotone bound.
+                        Some(r) => wake = wake.min(r),
+                        // Some producer is unissued: watch it instead.
+                        None => {
+                            for src in e.op.sources().chain(e.mem_dep) {
+                                if src >= retired
+                                    && completed.get(src).is_none()
+                                    && !watch.contains(&src)
+                                {
+                                    watch.push(src);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Too-near wake: not worth the round trip (see `MIN_SLEEP`).
+            if wake < edge + MIN_SLEEP {
+                watch.clear();
+                self.watch[di] = watch;
+                self.no_sleep_until[di] = wake;
+                return;
+            }
+            self.watch[di] = watch;
+        }
+        self.sleep[di] = Sleep::Asleep {
+            wake_at: wake,
+            stall: None,
+        };
+    }
+
+    /// Busy and total functional units of `d` at `now` (cycle-energy
+    /// utilization).
+    fn fu_usage(&self, d: DomainId, now: TimePs) -> (usize, usize) {
+        match d {
+            DomainId::Int => (
+                self.int_alus.busy_count(now) + self.int_muls.busy_count(now),
+                self.int_alus.total() + self.int_muls.total(),
+            ),
+            DomainId::Fp => (
+                self.fp_alus.busy_count(now) + self.fp_muls.busy_count(now),
+                self.fp_alus.total() + self.fp_muls.total(),
+            ),
+            DomainId::Ls => (self.ls_ports.busy_count(now), self.ls_ports.total()),
+            DomainId::FrontEnd => unreachable!("front end handled separately"),
+        }
     }
 
     // ----- readiness ---------------------------------------------------
@@ -408,21 +779,42 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         }
     }
 
-    fn entry_ready(&self, e: &IqEntry, t: TimePs, consumer: DomainId) -> bool {
-        if e.visible_at > t {
-            return false;
+    /// The exact instant entry `e` becomes issue-ready, if every producer
+    /// is already completion-tracked — `None` while any producer is still
+    /// unissued. Caches the computed instant on the entry (see
+    /// [`IqEntry::ready_hint`]); an entry is ready at `t` iff this returns
+    /// `Some(r)` with `r <= t`.
+    ///
+    /// A free function over the borrowed pieces (not `&self`) so the scan
+    /// can hold `&mut` entries of one queue while reading the scoreboard.
+    fn entry_ready_time(
+        completed: &SeqScoreboard<Completion>,
+        retired: u64,
+        sync_model: crate::config::SyncModel,
+        sync_window: TimePs,
+        consumer: DomainId,
+        e: &mut IqEntry,
+    ) -> Option<TimePs> {
+        if e.ready_hint.is_some() {
+            return e.ready_hint;
         }
-        for src in e.op.sources() {
-            if !self.source_ready(src, t, consumer) {
-                return false;
+        let mut ready_at = e.visible_at;
+        for src in e.op.sources().chain(e.mem_dep) {
+            if src < retired {
+                continue; // architecturally committed long ago
             }
+            let c = completed.get(src)?;
+            let penalty = match sync_model {
+                // Arbitration checks every cross-domain transfer against
+                // the synchronization window; token-ring FIFOs forward
+                // results without one while the ring is flowing.
+                crate::config::SyncModel::Arbitration if c.domain != consumer => sync_window,
+                _ => TimePs::ZERO,
+            };
+            ready_at = ready_at.max(c.at + penalty);
         }
-        if let Some(dep) = e.mem_dep {
-            if !self.source_ready(dep, t, consumer) {
-                return false;
-            }
-        }
-        true
+        e.ready_hint = Some(ready_at);
+        Some(ready_at)
     }
 
     // ----- back-end domains ---------------------------------------------
@@ -460,6 +852,8 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         // Idle fast path: with nothing queued there is nothing to select
         // or issue — only the cycle-energy accounting below still applies
         // (units can stay busy from earlier multi-cycle issues).
+        let mut issued_any = false;
+        let mut struct_fail = false;
         if !self.iqs[bi].is_empty() {
             // Select ready entries in age order, bounded by issue width.
             // The single scan records each candidate's index *and* a copy
@@ -469,12 +863,20 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             // ticks to keep this loop allocation-free.
             let width = self.cfg.issue_width as usize;
             let mut candidates = std::mem::take(&mut self.issue_cand);
-            for (i, e) in self.iqs[bi].iter().enumerate() {
-                if candidates.len() >= width {
-                    break;
-                }
-                if self.entry_ready(e, edge, d) {
-                    candidates.push((i, *e));
+            {
+                let completed = &self.completed;
+                let retired = self.retired;
+                let sync_model = self.cfg.sync_model;
+                let sync_window = self.cfg.sync_window;
+                for (i, e) in self.iqs[bi].iter_mut().enumerate() {
+                    if candidates.len() >= width {
+                        break;
+                    }
+                    let ready =
+                        Self::entry_ready_time(completed, retired, sync_model, sync_window, d, e);
+                    if ready.is_some_and(|r| r <= edge) {
+                        candidates.push((i, *e));
+                    }
                 }
             }
 
@@ -499,6 +901,10 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                     completion
                 };
                 if !pool.try_issue(edge, busy_until) {
+                    // A ready entry denied by a structural hazard keeps the
+                    // domain awake: readiness alone no longer predicts the
+                    // next issue, so the next edge must re-evaluate.
+                    struct_fail = true;
                     continue; // structural hazard; try younger ops
                 }
 
@@ -517,9 +923,13 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                         domain: d,
                     },
                 );
+                // A sleeper watching this producer now has a known wake
+                // bound; settle its debt through the present.
+                self.note_completion(op.seq, edge);
                 issued.push(idx);
             }
             self.iqs[bi].remove_issued(&issued);
+            issued_any = !issued.is_empty();
             candidates.clear();
             issued.clear();
             self.issue_cand = candidates;
@@ -527,19 +937,19 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         }
 
         // Cycle energy at the fraction of busy units.
-        let (busy, total) = match d {
-            DomainId::Int => (
-                self.int_alus.busy_count(edge) + self.int_muls.busy_count(edge),
-                self.int_alus.total() + self.int_muls.total(),
-            ),
-            DomainId::Fp => (
-                self.fp_alus.busy_count(edge) + self.fp_muls.busy_count(edge),
-                self.fp_alus.total() + self.fp_muls.total(),
-            ),
-            DomainId::Ls => (self.ls_ports.busy_count(edge), self.ls_ports.total()),
-            DomainId::FrontEnd => unreachable!("front end handled separately"),
-        };
+        let (busy, total) = self.fu_usage(d, edge);
         self.meters[di].charge_cycle(busy as f64 / total as f64, v);
+
+        // Issuing from this queue frees the space a sleeping front end may
+        // be blocked on. Inclusive: the front end's edge at `edge` outranks
+        // this one and fired — still blocked — before the issue.
+        if issued_any && self.fe_iq_wait == Some(bi) {
+            self.wake_domain(DomainId::FrontEnd.index(), edge, true);
+        }
+
+        if !issued_any && !struct_fail {
+            self.maybe_sleep_backend(d, edge);
+        }
     }
 
     fn charge_exec_energy(&mut self, class: OpClass, di: usize, v: mcd_power::Voltage) {
@@ -610,12 +1020,14 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         }
 
         let fetched_now = self.fetch(edge, v);
-        let dispatched_now = self.dispatch(edge, v);
+        let (dispatched_now, blocked) = self.dispatch(edge, v);
 
         let width = self.cfg.decode_width as f64;
         let util = (fetched_now as f64 + dispatched_now as f64 + retired_now as f64)
             / (2.0 * width + self.cfg.retire_width as f64);
         self.meters[di].charge_cycle(util.min(1.0), v);
+
+        self.maybe_sleep_frontend(edge, blocked);
     }
 
     fn retire(&mut self, edge: TimePs, v: mcd_power::Voltage) -> u32 {
@@ -706,8 +1118,9 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         fetched
     }
 
-    fn dispatch(&mut self, edge: TimePs, v: mcd_power::Voltage) -> u32 {
-        use crate::metrics::StallCause;
+    /// Returns the dispatch count and the obstacle that ended the scan (if
+    /// any) — the latter feeds the front end's sleep evaluation.
+    fn dispatch(&mut self, edge: TimePs, v: mcd_power::Voltage) -> (u32, Option<StallCause>) {
         let di = DomainId::FrontEnd.index();
         let mut dispatched = 0;
         let mut blocked: Option<StallCause> = None;
@@ -763,6 +1176,14 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 let a = op.addr.expect("store carries an address");
                 self.store_map.insert(a, op.seq);
             }
+            // An enqueue is the signal an empty-queue sleeper waits on.
+            // Wake it *before* reading its clock below: the sync-stall
+            // comparison needs the consumer's true next edge. Exclusive —
+            // the consumer's edge at this instant ranks after the front
+            // end's and stays a live event.
+            if !matches!(self.sleep[1 + bi], Sleep::Awake) {
+                self.wake_domain(1 + bi, edge, false);
+            }
             let visible_at = match self.cfg.sync_model {
                 // Arbitration: every enqueue synchronizes across the
                 // boundary before the consumer may observe it.
@@ -788,6 +1209,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 op,
                 visible_at,
                 mem_dep,
+                ready_hint: None,
             });
             self.meters[di].charge_event(ActivityEvent::DecodeRename, v);
             self.meters[di].charge_event(ActivityEvent::Dispatch, v);
@@ -799,7 +1221,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 self.metrics.dispatch_stalls[cause.index()] += 1;
             }
         }
-        dispatched
+        (dispatched, blocked)
     }
 
     // ----- sampling & DVFS ------------------------------------------------
@@ -809,6 +1231,38 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         self.now = t;
         self.next_sample = t + self.cfg.sample_period;
         self.metrics.samples += 1;
+
+        // Sample batching: with every domain asleep and no per-sample
+        // observer attached (controllers, traces, an enabled sink), a
+        // sample's only effect is the always-on occupancy accounting of a
+        // *frozen* queue state — so all samples up to the earliest wake
+        // deadline collapse into closed-form bulk adds.
+        if !self.cfg.cycle_stepping
+            && !sink.enabled()
+            && !self.cfg.record_occupancy
+            && !self.cfg.record_frequency
+            && self.controllers.iter().all(|c| c.is_none())
+        {
+            if let Some(horizon) = self.sleep_horizon() {
+                let p = self.cfg.sample_period;
+                if horizon >= t + p {
+                    let k = (horizon - t).as_ps() / p.as_ps() + 1;
+                    self.metrics.samples += k - 1;
+                    self.metrics.cycles_skipped += k - 1;
+                    for &d in &DomainId::BACKEND {
+                        let bi = d.backend_index();
+                        let occupancy = self.iqs[bi].len() as u64;
+                        self.metrics.occupancy_sum[bi] += occupancy * k;
+                        let hist = &mut self.metrics.occupancy_hist[bi];
+                        let slot = (occupancy as usize).min(hist.len() - 1);
+                        hist[slot] += k;
+                    }
+                    self.now = t + p * (k - 1);
+                    self.next_sample = t + p * k;
+                    return;
+                }
+            }
+        }
 
         let f_max = self.cfg.vf_curve.max().frequency;
         if self.cfg.record_frequency {
@@ -870,6 +1324,10 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             if let Some(action) = action {
                 let target = action.resolve(current, &self.cfg.vf_curve);
                 if target != current {
+                    // Retargeting invalidates a sleeper's hoisted operating
+                    // point: settle its debt at the old settled point first.
+                    // Exclusive — its edge at `t` ranks after the sample.
+                    self.wake_domain(di, t, false);
                     self.clocks[di].regulator_mut().request(target, t);
                     self.metrics.dvfs_actions[bi] += 1;
                     self.note_freq_step(t, d, current, target, sink);

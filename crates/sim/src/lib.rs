@@ -44,12 +44,14 @@ pub mod config;
 pub mod controller;
 pub mod engine;
 pub mod error;
+mod jitter;
 pub mod memory;
 pub mod metrics;
 pub mod queue;
 pub mod regfile;
 pub mod result;
 pub mod rob;
+pub mod scheduler;
 pub mod scoreboard;
 pub mod telemetry;
 pub mod trace;

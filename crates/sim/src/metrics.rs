@@ -123,6 +123,14 @@ pub struct Metrics {
     /// sampling periods that observed occupancy `q` (length capacity + 1;
     /// always collected — one add per sample).
     pub occupancy_hist: [Vec<u64>; 3],
+    /// Events dispatched by the event-driven scheduler's main loop (clock
+    /// edges of awake domains, samples, and domain wake-ups).
+    pub events_processed: u64,
+    /// Clock edges and sampling periods absorbed by steady-state replay
+    /// or sample batching instead of the per-event path. The ratio
+    /// `cycles_skipped / events_processed` is the event core's leverage
+    /// on a given workload.
+    pub cycles_skipped: u64,
 }
 
 impl Metrics {

@@ -22,6 +22,12 @@ pub struct IqEntry {
     /// For loads: sequence number of the youngest older store to the same
     /// address, which must complete first.
     pub mem_dep: Option<u64>,
+    /// Cached exact readiness instant, filled by the issue scan once every
+    /// producer's completion time is known. Producers' completion times
+    /// and the synchronization penalty never change after they are
+    /// recorded, so the cached value stays exact for the entry's lifetime
+    /// — later scans compare one timestamp instead of re-walking sources.
+    pub ready_hint: Option<TimePs>,
 }
 
 /// A bounded issue/interface queue.
@@ -88,6 +94,12 @@ impl IssueQueue {
         self.entries.iter()
     }
 
+    /// Mutable iteration in age order — the issue scan uses this to fill
+    /// each entry's [`IqEntry::ready_hint`] cache in place.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, IqEntry> {
+        self.entries.iter_mut()
+    }
+
     /// Removes the entries at the given **sorted ascending** indices
     /// (as produced by an age-ordered select pass).
     ///
@@ -113,6 +125,7 @@ mod tests {
             op: MicroOp::compute(seq, OpClass::IntAlu, 0x400, None, None),
             visible_at: TimePs::ZERO,
             mem_dep: None,
+            ready_hint: None,
         }
     }
 

@@ -1,0 +1,214 @@
+//! Event-driven scheduler ≡ per-cycle stepping.
+//!
+//! The event core (sleep/replay + sample batching, `scheduler.rs`) is a
+//! pure wall-clock optimization: it must reproduce the stepping core's
+//! history *bit for bit*. These properties run the same simulation twice
+//! — event-driven (the default) and with [`SimConfig::cycle_stepping`]
+//! forcing every clock edge through the per-event path — and require:
+//!
+//! * an identical result fingerprint (instructions, simulated time,
+//!   per-domain cycle counts and energy breakdowns down to the f64 bit
+//!   pattern, stall/sync/relay counters, occupancy statistics), and
+//! * an identical trace-event stream when a sink is attached.
+//!
+//! The only quantities allowed to differ are the scheduler's own
+//! bookkeeping (`events_processed` / `cycles_skipped`): the event core
+//! dispatches fewer events precisely because it absorbs provably
+//! uneventful cycles into replays, while their *sum* stays the total
+//! scheduler work either way.
+
+use mcd_power::OpIndex;
+use mcd_sim::{
+    ControllerCtx, DomainId, DvfsAction, DvfsController, Machine, QueueSample, SimConfig,
+    SimResult, SyncModel, VecSink,
+};
+use mcd_workloads::{registry, TraceGenerator};
+use proptest::prelude::*;
+
+/// A deliberately twitchy bang-bang controller: retargets the regulator
+/// whenever occupancy crosses half capacity, so runs are full of
+/// transitions, wakes and relay-free frequency changes — the paths where
+/// the event core must re-join the stepping core exactly.
+#[derive(Debug)]
+struct BangBang;
+
+impl DvfsController for BangBang {
+    fn on_sample(&mut self, ctx: &ControllerCtx<'_>, sample: QueueSample) -> Option<DvfsAction> {
+        let want = if 2 * sample.occupancy >= sample.capacity {
+            OpIndex(320)
+        } else {
+            OpIndex(64)
+        };
+        (ctx.current != want).then_some(DvfsAction::Set(want))
+    }
+    fn name(&self) -> &'static str {
+        "bang-bang"
+    }
+}
+
+/// Exact bit-level fingerprint of everything a report can observe.
+fn fingerprint(r: &SimResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let f = |x: f64| x.to_bits();
+    writeln!(s, "instructions={} sim_time={}", r.instructions, r.sim_time.as_ps()).unwrap();
+    writeln!(s, "regulator_energy={}", f(r.regulator_energy.as_joules())).unwrap();
+    writeln!(
+        s,
+        "peaks={:?} l1d={} l2={} bpred={}",
+        r.queue_peaks,
+        f(r.l1d_miss_rate),
+        f(r.l2_miss_rate),
+        f(r.mispredict_rate)
+    )
+    .unwrap();
+    for d in &r.domains {
+        writeln!(
+            s,
+            "{} cycles={} clk={} cmp={} mem={} pipe={} leak={} freq={} trans={}",
+            d.domain,
+            d.cycles,
+            f(d.energy.clock.as_joules()),
+            f(d.energy.compute.as_joules()),
+            f(d.energy.memory.as_joules()),
+            f(d.energy.pipeline.as_joules()),
+            f(d.energy.leakage.as_joules()),
+            f(d.mean_rel_freq),
+            d.transitions
+        )
+        .unwrap();
+    }
+    let m = &r.metrics;
+    writeln!(
+        s,
+        "samples={} occ_sum={:?} stalls={:?} sync={:?} fmin={:?} fmax={:?} slew={:?}",
+        m.samples,
+        m.occupancy_sum,
+        m.dispatch_stalls,
+        m.sync_enqueues,
+        m.fmin_cycles,
+        m.fmax_cycles,
+        m.transition_time_ps
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "dvfs={:?} up={:?} down={:?} arms={:?} fires={:?} resets={:?} rsum={:?} rcnt={:?}",
+        m.dvfs_actions,
+        m.freq_steps_up,
+        m.freq_steps_down,
+        m.relay_arms,
+        m.relay_fires,
+        m.relay_resets,
+        m.reaction_sum_ps,
+        m.reaction_count
+    )
+    .unwrap();
+    writeln!(s, "hist={:?}", m.occupancy_hist).unwrap();
+    writeln!(s, "occ={:?} retired={:?}", m.occupancy, m.retired_trace).unwrap();
+    for bi in 0..3 {
+        for p in &m.frequency[bi] {
+            writeln!(s, "f[{bi}] {} {}", p.time.as_ps(), f(p.rel_freq)).unwrap();
+        }
+    }
+    s
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    name: &'static str,
+    ops: u64,
+    seed: u64,
+    jitter: bool,
+    sync: SyncModel,
+    traces: bool,
+    controlled: bool,
+}
+
+fn cases() -> impl Strategy<Value = Case> {
+    (
+        proptest::sample::select(vec![
+            "adpcm_encode",
+            "adpcm_decode",
+            "gzip",
+            "mcf",
+            "swim",
+            "epic_decode",
+        ]),
+        2_000u64..12_000,
+        0u64..64,
+        any::<bool>(),
+        proptest::sample::select(vec![SyncModel::Arbitration, SyncModel::TokenRing]),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, ops, seed, jitter, sync, traces, controlled)| Case {
+            name,
+            ops,
+            seed,
+            jitter,
+            sync,
+            traces,
+            controlled,
+        })
+}
+
+fn build(case: &Case, stepping: bool) -> Machine<TraceGenerator> {
+    let spec = registry::by_name(case.name).expect("registered benchmark");
+    let mut cfg = SimConfig::default();
+    cfg.cycle_stepping = stepping;
+    cfg.sync_model = case.sync;
+    if !case.jitter {
+        cfg.jitter_sigma_ps = 0.0;
+    }
+    if case.traces {
+        cfg = cfg.with_traces();
+    }
+    let mut m = Machine::new(cfg, TraceGenerator::new(&spec, case.ops, case.seed));
+    if case.controlled {
+        for &d in &DomainId::BACKEND {
+            m = m.with_controller(d, Box::new(BangBang));
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Untraced runs (the fast path, with sample batching live) produce
+    /// bit-identical observable results under both cores.
+    #[test]
+    fn event_core_matches_stepping_untraced(case in cases()) {
+        let event = build(&case, false).run();
+        let stepped = build(&case, true).run();
+        prop_assert_eq!(fingerprint(&event), fingerprint(&stepped), "case {:?}", case);
+        // The stepping core never batches or replays...
+        prop_assert_eq!(stepped.metrics.cycles_skipped, 0u64);
+        // ...and the two cores agree on the total scheduler work: every
+        // edge/sample the event core skipped, stepping dispatched, minus
+        // one dispatched Wake event per replay the event core ran.
+        prop_assert!(
+            event.metrics.events_processed + event.metrics.cycles_skipped
+                >= stepped.metrics.events_processed,
+            "event {} + skipped {} < stepped {}",
+            event.metrics.events_processed,
+            event.metrics.cycles_skipped,
+            stepped.metrics.events_processed
+        );
+    }
+
+    /// Traced runs stream the identical event sequence: same events, same
+    /// payloads, same order.
+    #[test]
+    fn event_core_matches_stepping_traced(case in cases()) {
+        let mut sink_event = VecSink::new();
+        let mut sink_stepped = VecSink::new();
+        let event = build(&case, false).run_traced(&mut sink_event);
+        let stepped = build(&case, true).run_traced(&mut sink_stepped);
+        prop_assert_eq!(fingerprint(&event), fingerprint(&stepped), "case {:?}", case);
+        let a: Vec<String> = sink_event.into_events().iter().map(|e| e.to_json()).collect();
+        let b: Vec<String> = sink_stepped.into_events().iter().map(|e| e.to_json()).collect();
+        prop_assert_eq!(a, b, "trace streams diverged for {:?}", case);
+    }
+}

@@ -7,15 +7,25 @@ the checked-in reference (results/bench_sim.json).
 Exact comparisons — these are deterministic counts, so any drift means the
 workload actually changed:
   * total_runs, total_instructions, total_baseline_cache_hits
-  * per-experiment runs, instructions, baseline_cache_hits and kind
+  * total_events_processed, total_cycles_skipped (the event-driven
+    scheduler dispatches a deterministic event sequence, so its dispatch
+    and skip counters are as reproducible as instruction counts)
+  * per-experiment runs, instructions, baseline_cache_hits, kind,
+    events_processed and cycles_skipped
   * analysis-kind experiments must report zero runs
 
 Wall-clock is compared within a generous tolerance (CI machines vary
 wildly); the default allows the fresh run to take up to WALL_TOLERANCE
-times the reference total. The per-experiment wall-time quantiles
-(run_wall_p50_s / run_wall_p99_s) are informational — they are only
-sanity-checked for shape (present, non-negative, p50 <= p99), never
-compared against the reference.
+times the reference total. Simulated throughput is gated the same way but
+as a ratio: aggregate_simulated_mips must stay above MIPS_FLOOR times the
+reference figure — an absolute MIPS threshold would encode one machine's
+speed, a ratio floor catches a real simulator slowdown on any machine.
+
+The per-experiment wall-time quantiles (run_wall_p50_s / run_wall_p99_s)
+are informational — they are only sanity-checked for shape (present,
+non-negative, p50 <= p99), never compared against the reference. The
+derived cycles_skipped_per_event field is checked for consistency with
+the two exact counters it is computed from.
 
 Usage: bench_gate.py REFERENCE FRESH
 """
@@ -25,9 +35,26 @@ import os
 import sys
 
 WALL_TOLERANCE = float(os.environ.get("WALL_TOLERANCE", "4.0"))
+# Regression floor on simulated MIPS, as a fraction of the reference
+# figure. The inverse of WALL_TOLERANCE by default: the two express the
+# same budget, one in wall time and one in throughput.
+MIPS_FLOOR = float(os.environ.get("MIPS_FLOOR", str(1.0 / WALL_TOLERANCE)))
 
-EXACT_TOTALS = ["total_runs", "total_instructions", "total_baseline_cache_hits"]
-EXACT_FIELDS = ["kind", "runs", "instructions", "baseline_cache_hits"]
+EXACT_TOTALS = [
+    "total_runs",
+    "total_instructions",
+    "total_baseline_cache_hits",
+    "total_events_processed",
+    "total_cycles_skipped",
+]
+EXACT_FIELDS = [
+    "kind",
+    "runs",
+    "instructions",
+    "baseline_cache_hits",
+    "events_processed",
+    "cycles_skipped",
+]
 
 
 def load(path):
@@ -65,6 +92,13 @@ def main():
             errors.append(f"{name}: missing run_wall_p50_s/run_wall_p99_s")
         elif p50 < 0 or p99 < 0 or p50 > p99:
             errors.append(f"{name}: malformed wall quantiles p50={p50} p99={p99}")
+        spe = f.get("cycles_skipped_per_event")
+        want = f["cycles_skipped"] / f["events_processed"] if f["events_processed"] else 0.0
+        if spe is None or abs(spe - want) > 0.005 + 1e-9:
+            errors.append(
+                f"{name}: cycles_skipped_per_event {spe} inconsistent with "
+                f"counters (expected ~{want:.2f})"
+            )
 
     budget = ref["total_wall_s"] * WALL_TOLERANCE
     if fresh["total_wall_s"] > budget:
@@ -73,15 +107,29 @@ def main():
             f"{WALL_TOLERANCE:.1f}x reference ({budget:.3f}s)"
         )
 
+    ref_mips = ref["aggregate_simulated_mips"]
+    fresh_mips = fresh["aggregate_simulated_mips"]
+    mips_ratio = fresh_mips / ref_mips if ref_mips > 0 else float("inf")
+    if mips_ratio < MIPS_FLOOR:
+        errors.append(
+            f"aggregate_simulated_mips {fresh_mips:.2f} is "
+            f"{mips_ratio:.2f}x the reference ({ref_mips:.2f}); "
+            f"floor is {MIPS_FLOOR:.2f}x"
+        )
+
     if errors:
         print("bench gate: FAIL", file=sys.stderr)
         for e in errors:
             print(f"  {e}", file=sys.stderr)
         sys.exit(1)
+    skipped = fresh["total_cycles_skipped"]
+    events = fresh["total_events_processed"]
     print(
         f"bench gate: OK ({fresh['total_runs']} runs, "
         f"{fresh['total_instructions']} instructions, "
-        f"wall {fresh['total_wall_s']:.1f}s <= {budget:.1f}s budget)"
+        f"wall {fresh['total_wall_s']:.1f}s <= {budget:.1f}s budget, "
+        f"{fresh_mips:.2f} MIPS = {mips_ratio:.2f}x reference, "
+        f"{skipped / max(events, 1):.2f} cycles skipped per event)"
     )
 
 
