@@ -1,0 +1,136 @@
+//! `mcd-bench-http` binary: drive a running `mcd-serve` instance with
+//! open-loop Poisson load and emit the JSON record the CI load gate
+//! compares against `results/bench_http.json`.
+//!
+//! ```text
+//! mcd-serve --addr 127.0.0.1:7979 &
+//! mcd-bench-http --addr 127.0.0.1:7979 --rate 200 --duration 10 --out bench_http.json
+//! ```
+
+use std::time::Duration;
+
+use mcd_bench_http::{render_record, run_phase, LoadConfig, Mode};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mcd-bench-http [options]\n\
+         \n\
+         --addr HOST:PORT    target server (default 127.0.0.1:7979)\n\
+         --rate RPS          offered Poisson arrival rate (default 200)\n\
+         --duration SECS     arrival window per phase (default 10)\n\
+         --connections N     worker/connection-pool size (default 8)\n\
+         --distinct N        distinct run fingerprints cycled (default 8)\n\
+         --ops N             dynamic operations per run body (default 6000)\n\
+         --seed N            arrival-process seed (default 1)\n\
+         --phases WHICH      keepalive | oneshot | both (default both)\n\
+         --out FILE          also write the JSON record to FILE"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match v.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            eprintln!("error: bad value {v:?} for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut phases = vec![Mode::KeepAlive, Mode::OneShot];
+    let mut out: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let raw: String = parse(&arg, argv.next());
+                cfg.addr = match raw.parse() {
+                    Ok(a) => a,
+                    Err(_) => {
+                        eprintln!("error: bad address {raw:?}");
+                        usage();
+                    }
+                };
+            }
+            "--rate" => cfg.rate = parse(&arg, argv.next()),
+            "--duration" => cfg.duration = Duration::from_secs(parse(&arg, argv.next())),
+            "--connections" => cfg.connections = parse(&arg, argv.next()),
+            "--distinct" => cfg.distinct = parse(&arg, argv.next()),
+            "--ops" => cfg.ops = parse(&arg, argv.next()),
+            "--seed" => cfg.seed = parse(&arg, argv.next()),
+            "--phases" => {
+                phases = match parse::<String>(&arg, argv.next()).as_str() {
+                    "keepalive" => vec![Mode::KeepAlive],
+                    "oneshot" => vec![Mode::OneShot],
+                    "both" => vec![Mode::KeepAlive, Mode::OneShot],
+                    other => {
+                        eprintln!("error: unknown phase set {other:?}");
+                        usage();
+                    }
+                };
+            }
+            "--out" => out = Some(parse(&arg, argv.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if !(cfg.rate.is_finite() && cfg.rate > 0.0) {
+        eprintln!("error: --rate must be positive");
+        usage();
+    }
+
+    let mut reports = Vec::new();
+    for mode in phases {
+        eprintln!(
+            "phase {}: {:.0} rps offered for {:.0}s over {} workers",
+            mode.name(),
+            cfg.rate,
+            cfg.duration.as_secs_f64(),
+            cfg.connections
+        );
+        let report = run_phase(&cfg, mode);
+        eprintln!(
+            "phase {}: {} requests ({} ok, {} shed, {} errors), \
+             p50 {:.1}ms p99 {:.1}ms, {:.1} rps achieved, reuse {:.1}x",
+            report.mode,
+            report.requests,
+            report.ok,
+            report.shed,
+            report.errors,
+            report.p50_us as f64 / 1000.0,
+            report.p99_us as f64 / 1000.0,
+            report.achieved_rps,
+            report.reuse_ratio,
+        );
+        reports.push(report);
+    }
+
+    let record = render_record(&cfg, &reports);
+    print!("{record}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &record) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Connection-level failures make the record unusable as a
+    // reference; fail loudly rather than letting a gate compare junk.
+    if reports
+        .iter()
+        .any(|r| r.errors > 0 || r.unexpected_status > 0)
+    {
+        eprintln!("error: connection errors or unexpected statuses during the run");
+        std::process::exit(1);
+    }
+}

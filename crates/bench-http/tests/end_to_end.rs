@@ -1,0 +1,70 @@
+//! The load generator against a real in-process server: a short
+//! keep-alive phase and a short one-shot phase, checking the report's
+//! invariants rather than machine-dependent absolute numbers.
+
+use std::time::Duration;
+
+use mcd_bench_http::{render_record, run_phase, LoadConfig, Mode};
+use mcd_serve::{ServeConfig, Server};
+
+#[test]
+fn both_phases_complete_cleanly_against_a_live_server() {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let cfg = LoadConfig {
+        addr: server.addr(),
+        rate: 150.0,
+        duration: Duration::from_secs(2),
+        connections: 4,
+        distinct: 4,
+        ops: 2000,
+        seed: 9,
+    };
+
+    let keepalive = run_phase(&cfg, Mode::KeepAlive);
+    let oneshot = run_phase(&cfg, Mode::OneShot);
+
+    for phase in [&keepalive, &oneshot] {
+        assert!(phase.requests > 50, "{}: too few requests", phase.mode);
+        assert_eq!(phase.errors, 0, "{}: connection errors", phase.mode);
+        assert_eq!(phase.resets, 0, "{}: connection resets", phase.mode);
+        assert_eq!(phase.unexpected_status, 0, "{}: bad statuses", phase.mode);
+        assert_eq!(
+            phase.ok + phase.shed,
+            phase.requests,
+            "{}: every request is 200 or 503",
+            phase.mode
+        );
+        assert!(phase.p50_us <= phase.p99_us, "{}: p50 > p99", phase.mode);
+        assert!(phase.p99_us <= phase.max_us, "{}: p99 > max", phase.mode);
+        assert!(phase.achieved_rps > 0.0);
+    }
+
+    // The disciplines must actually differ: pooled sockets amortize
+    // far past the 5x gate, one-shot cannot exceed one per connection.
+    assert!(
+        keepalive.reuse_ratio >= 5.0,
+        "keep-alive reuse {}x below the 5x bar",
+        keepalive.reuse_ratio
+    );
+    assert!(
+        oneshot.reuse_ratio <= 1.0 + 1e-9,
+        "one-shot reuse {}x should be at most 1x",
+        oneshot.reuse_ratio
+    );
+    assert!(
+        keepalive.connections_opened < oneshot.connections_opened,
+        "keep-alive must open fewer connections ({} vs {})",
+        keepalive.connections_opened,
+        oneshot.connections_opened
+    );
+
+    let record = render_record(&cfg, &[keepalive, oneshot]);
+    assert!(record.contains("\"mode\": \"keepalive\""));
+    assert!(record.contains("\"mode\": \"oneshot\""));
+    server.shutdown().expect("clean shutdown");
+}

@@ -113,8 +113,12 @@ impl CompletedRun {
              \"events_processed\": {}, \"cycles_skipped\": {}, \
              \"cycles_skipped_per_event\": {skipped_per_event:.2}, \
              \"run_wall_p50_s\": {p50:.3}, \"run_wall_p99_s\": {p99:.3}}}",
-            self.kind, self.runs, self.instructions, self.baseline_hits,
-            self.events_processed, self.cycles_skipped,
+            self.kind,
+            self.runs,
+            self.instructions,
+            self.baseline_hits,
+            self.events_processed,
+            self.cycles_skipped,
         )
     }
 }

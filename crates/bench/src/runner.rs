@@ -300,6 +300,63 @@ impl ControllerActivity {
 /// One executed simulation's event stream, tagged with its run label.
 pub type LabeledTrace = (String, Vec<TraceEvent>);
 
+/// A live observer of simulation events, consulted *per event* while a
+/// run executes — unlike [`RunSet::with_tracing`], which collects the
+/// whole stream for after-the-fact draining.
+///
+/// [`EventTap::wants`] is checked before each event is forwarded, so an
+/// implementation backed by a subscriber count pays one atomic load per
+/// event when nobody is listening and can gain/lose listeners mid-run
+/// (this is how `mcd-serve` streams controller activity to HTTP clients
+/// while the simulation is in flight). Taps observe only: report bytes
+/// are identical with or without one attached, exactly as for sinks
+/// (the trace_noninterference invariant).
+pub trait EventTap: Send + Sync {
+    /// Whether any listener currently wants events from the run with
+    /// this label. Called per event; keep it cheap.
+    fn wants(&self, label: &str) -> bool;
+    /// Delivers one event from the labeled run.
+    fn record(&self, label: &str, event: &TraceEvent);
+}
+
+/// Wraps the run's chosen sink so a tap sees every event the engine
+/// emits, without disturbing what the sink itself collects.
+struct TapSink<'a, S: TraceSink> {
+    inner: &'a mut S,
+    tap: &'a dyn EventTap,
+    label: &'a str,
+}
+
+impl<S: TraceSink> TraceSink for TapSink<'_, S> {
+    fn enabled(&self) -> bool {
+        // The engine checks this before *building* each event, so the
+        // zero-cost NullSink path survives: with no listeners and a
+        // disabled inner sink, event construction is still skipped.
+        self.inner.enabled() || self.tap.wants(self.label)
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        if self.tap.wants(self.label) {
+            self.tap.record(self.label, event);
+        }
+        if self.inner.enabled() {
+            self.inner.record(event);
+        }
+    }
+}
+
+/// [`std::fmt::Debug`]-friendly holder for the optional tap.
+struct TapSlot(Option<Arc<dyn EventTap>>);
+
+impl std::fmt::Debug for TapSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("EventTap(attached)"),
+            None => f.write_str("EventTap(none)"),
+        }
+    }
+}
+
 /// One memoized baseline slot: filled exactly once, shared by every
 /// requester, and remembering failure as faithfully as success.
 type BaselineSlot = Arc<OnceLock<Result<Arc<SimResult>, RunError>>>;
@@ -341,6 +398,9 @@ pub struct RunSet {
     wall_us: Histogram,
     /// Phase profiler (disabled by default; `repro profile` enables it).
     profiler: Profiler,
+    /// Optional live event observer (see [`EventTap`]); `None` keeps
+    /// every run on the exact pre-tap sink path.
+    tap: TapSlot,
 }
 
 static GLOBAL_RUN_SET: OnceLock<RunSet> = OnceLock::new();
@@ -362,7 +422,16 @@ impl RunSet {
             telemetry: None,
             wall_us: Histogram::new(),
             profiler: Profiler::disabled(),
+            tap: TapSlot(None),
         }
+    }
+
+    /// Attaches a live event tap: every simulation this set executes
+    /// offers its events to `tap`, gated per event on
+    /// [`EventTap::wants`]. Report bytes are unaffected.
+    pub fn with_event_tap(mut self, tap: Arc<dyn EventTap>) -> Self {
+        self.tap = TapSlot(Some(tap));
+        self
     }
 
     /// Enables event-trace collection: every simulation this set executes
@@ -485,11 +554,11 @@ impl RunSet {
     ) -> Result<SimResult, RunError> {
         let _span = self.profiler.span("simulate");
         let start = Instant::now();
+        let tap = self.tap.0.as_deref();
         let result = match (&self.telemetry, &self.tracing) {
-            (None, None) => simulate(&mut NullSink)?,
+            (None, None) => Self::drive(tap, label, NullSink, simulate)?.1,
             (None, Some(collector)) => {
-                let mut sink = VecSink::new();
-                let result = simulate(&mut sink)?;
+                let (sink, result) = Self::drive(tap, label, VecSink::new(), simulate)?;
                 collector
                     .lock()
                     .expect("trace collector poisoned")
@@ -497,12 +566,15 @@ impl RunSet {
                 result
             }
             (Some(tel), None) => {
-                let mut sink = TelemetrySink::new(tel, NullSink);
-                simulate(&mut sink)?
+                Self::drive(tap, label, TelemetrySink::new(tel, NullSink), simulate)?.1
             }
             (Some(tel), Some(collector)) => {
-                let mut sink = TelemetrySink::new(tel, VecSink::new());
-                let result = simulate(&mut sink)?;
+                let (sink, result) = Self::drive(
+                    tap,
+                    label,
+                    TelemetrySink::new(tel, VecSink::new()),
+                    simulate,
+                )?;
                 collector
                     .lock()
                     .expect("trace collector poisoned")
@@ -513,6 +585,29 @@ impl RunSet {
         self.wall_us
             .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
         Ok(self.count(result))
+    }
+
+    /// Runs the simulation against `sink`, interposing the tap (when
+    /// attached) so live listeners see the event stream while the sink
+    /// collects exactly what it always did.
+    fn drive<S: TraceSink>(
+        tap: Option<&dyn EventTap>,
+        label: &str,
+        mut sink: S,
+        simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError>,
+    ) -> Result<(S, SimResult), RunError> {
+        let result = match tap {
+            Some(tap) => {
+                let mut tapped = TapSink {
+                    inner: &mut sink,
+                    tap,
+                    label,
+                };
+                simulate(&mut tapped)?
+            }
+            None => simulate(&mut sink)?,
+        };
+        Ok((sink, result))
     }
 
     /// All event traces collected so far (tracing must be enabled),

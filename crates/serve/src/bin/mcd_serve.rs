@@ -26,6 +26,10 @@ fn usage() -> ! {
          --jobs N               inner simulation threads per run (default 2)\n\
          --run-timeout SECS     wall-clock budget per run attempt (default 60)\n\
          --retry-after SECS     Retry-After advertised on shed 503s (default 1)\n\
+         --read-timeout SECS    slow-loris bound: first byte to complete request (default 10)\n\
+         --idle-timeout SECS    idle keep-alive connections close after SECS (default 30)\n\
+         --write-timeout SECS   stalled response writes abandoned after SECS (default 10)\n\
+         --max-conns N          concurrent connections held; beyond N accepts shed (default 256)\n\
          --warm DIR             warm-load DIR at start, flush cache there on shutdown\n\
          --ops N                base dynamic-operation count per benchmark (default quick)\n\
          --seed N               base workload seed\n\
@@ -73,6 +77,16 @@ fn main() {
                 cfg.run_timeout = Duration::from_secs(parse(&arg, argv.next()));
             }
             "--retry-after" => cfg.retry_after_s = parse(&arg, argv.next()),
+            "--read-timeout" => {
+                cfg.read_timeout = Duration::from_secs(parse(&arg, argv.next()));
+            }
+            "--idle-timeout" => {
+                cfg.idle_timeout = Duration::from_secs(parse(&arg, argv.next()));
+            }
+            "--write-timeout" => {
+                cfg.write_timeout = Duration::from_secs(parse(&arg, argv.next()));
+            }
+            "--max-conns" => cfg.max_conns = parse(&arg, argv.next()),
             "--warm" => cfg.warm_dir = Some(parse::<String>(&arg, argv.next()).into()),
             "--ops" => ops = Some(parse(&arg, argv.next())),
             "--seed" => seed = Some(parse(&arg, argv.next())),

@@ -4,40 +4,56 @@
 //! A small std-only HTTP/1.1 server (no async runtime, no external
 //! crates) that exposes the experiment registry as a service:
 //!
-//! | Endpoint           | Behaviour                                           |
-//! |--------------------|-----------------------------------------------------|
-//! | `POST /run`        | Validate → cache → coalesce → execute an experiment |
-//! | `GET /experiments` | The registry with each experiment's kind            |
-//! | `GET /metrics`     | Service + simulation counters (DESIGN.md §6)        |
-//! | `GET /healthz`     | `ok` / `draining`                                   |
-//! | `POST /shutdown`   | Begin graceful drain                                |
+//! | Endpoint              | Behaviour                                           |
+//! |-----------------------|-----------------------------------------------------|
+//! | `POST /run`           | Validate → cache → coalesce → execute an experiment |
+//! | `POST /run?stream=1`  | Same, streaming live trace events over chunked NDJSON; the final line is the exact `/run` body |
+//! | `GET /watch/<fp>`     | Tail an in-flight run's event stream by fingerprint |
+//! | `GET /experiments`    | The registry with each experiment's kind            |
+//! | `GET /metrics`        | Service + simulation counters (DESIGN.md §6)        |
+//! | `GET /healthz`        | `ok` / `draining`                                   |
+//! | `POST /shutdown`      | Begin graceful drain                                |
 //!
-//! Three properties the test suite proves (DESIGN.md §8):
+//! Since the event-loop rebuild (DESIGN.md §11) all connections are
+//! multiplexed on one readiness-driven loop thread (epoll,
+//! level-triggered, std-only): HTTP/1.1 keep-alive and pipelining,
+//! per-connection read/idle/write deadlines, and bounded buffers —
+//! a slow or hostile client costs a buffer and a timer, never a
+//! thread. Simulations still execute on the bounded worker pool.
+//!
+//! Properties the test suite proves (DESIGN.md §8, §11):
 //!
 //! - **Coalescing**: concurrent identical requests share one simulation
 //!   and receive byte-identical responses.
-//! - **Shedding**: when the bounded accept queue is full, excess
-//!   requests get an immediate 503 with `Retry-After` — and every
-//!   request that *was* accepted still completes.
-//! - **Graceful shutdown**: in-flight work drains, new connections are
-//!   refused, and the result cache flushes to a checkpoint-format
-//!   directory so a restarted server starts warm. A warm directory
-//!   flushed by an older binary is rejected, never served.
+//! - **Shedding**: when the bounded queue is full, excess requests get
+//!   an immediate 503 with `Retry-After` on a connection that always
+//!   closes (`Connection: close`), and every request that *was*
+//!   admitted still completes.
+//! - **Streaming equals non-streaming**: a streamed run's final line is
+//!   byte-identical to the body an unstreamed run returns, and taps
+//!   never perturb report bytes (trace_noninterference).
+//! - **Graceful shutdown**: in-flight work and open streams drain, new
+//!   connections are refused, and the result cache flushes to a
+//!   checkpoint-format directory so a restarted server starts warm. A
+//!   warm directory flushed by an older binary is rejected, never
+//!   served.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod coalesce;
+mod event_loop;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod router;
+pub mod stream;
+mod sys;
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -45,18 +61,20 @@ use mcd_bench::error::RunError;
 use mcd_bench::runner::RunConfig;
 
 use cache::WarmReport;
-use http::{read_request, HttpError, Response};
-use pool::{Pool, SubmitError};
-use router::App;
+use event_loop::LoopConfig;
+use pool::Pool;
+use router::{App, Job};
+use stream::LoopSender;
+use sys::{Epoll, EPOLLIN};
 
 /// Everything that shapes a server instance.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Worker threads executing simulation runs.
     pub workers: usize,
-    /// Bounded queue depth; connections beyond it are shed with 503.
+    /// Bounded queue depth; run requests beyond it are shed with 503.
     pub queue_cap: usize,
     /// Result-cache capacity (entries, LRU-evicted).
     pub cache_cap: usize,
@@ -72,6 +90,14 @@ pub struct ServeConfig {
     pub warm_dir: Option<PathBuf>,
     /// Seconds advertised in `Retry-After` on shed responses.
     pub retry_after_s: u64,
+    /// Slow-loris bound: first byte of a request → complete parse.
+    pub read_timeout: Duration,
+    /// Idle keep-alive connections close after this long.
+    pub idle_timeout: Duration,
+    /// Pending output making no progress is abandoned after this long.
+    pub write_timeout: Duration,
+    /// Connections held concurrently; beyond this, accepts are shed.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +112,10 @@ impl Default for ServeConfig {
             base_cfg: RunConfig::quick(),
             warm_dir: None,
             retry_after_s: 1,
+            read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_conns: 256,
         }
     }
 }
@@ -100,14 +130,14 @@ pub struct ShutdownReport {
 /// A running server. Obtain with [`Server::start`]; stop with
 /// [`ServerHandle::shutdown`] (or [`ServerHandle::finish`] if shutdown
 /// was already triggered over HTTP). Dropping the handle without calling
-/// either leaks the accept and worker threads — always shut down.
+/// either leaks the loop and worker threads — always shut down.
 pub struct ServerHandle {
     addr: SocketAddr,
     app: Arc<App>,
     warm: WarmReport,
     warm_dir: Option<PathBuf>,
-    accept: Option<JoinHandle<()>>,
-    pool: Option<Pool<TcpStream>>,
+    loop_thread: Option<JoinHandle<()>>,
+    pool: Option<Pool<Job>>,
 }
 
 impl ServerHandle {
@@ -134,14 +164,16 @@ impl ServerHandle {
     }
 
     /// Waits for an already-triggered shutdown (e.g. `POST /shutdown`
-    /// or a deadline inside the binary) to complete: joins the accept
-    /// loop, drains the pool, flushes the cache.
+    /// or a deadline inside the binary) to complete: joins the event
+    /// loop (which exits once every connection has drained), drains the
+    /// pool, flushes the cache.
     pub fn finish(mut self) -> Result<ShutdownReport, RunError> {
-        if let Some(t) = self.accept.take() {
+        if let Some(t) = self.loop_thread.take() {
             let _ = t.join();
         }
-        // The listener died with the accept loop, so new connections are
-        // already refused; everything accepted drains to completion.
+        // The listener died inside the loop's drain, so new connections
+        // are already refused; any job still executing for a connection
+        // that disappeared finishes here.
         if let Some(p) = self.pool.take() {
             p.close_and_drain();
         }
@@ -157,38 +189,52 @@ impl ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Binds, warm-loads the cache, spawns the worker pool and accept
-    /// loop, and returns a handle.
+    /// Binds, warm-loads the cache, spawns the worker pool and the
+    /// event-loop thread, and returns a handle.
     pub fn start(cfg: ServeConfig) -> Result<ServerHandle, RunError> {
-        let listener = TcpListener::bind(&cfg.addr).map_err(|e| RunError::Io {
-            path: cfg.addr.clone(),
-            message: format!("bind failed: {e}"),
-        })?;
-        let addr = listener.local_addr().map_err(|e| RunError::Io {
-            path: cfg.addr.clone(),
-            message: format!("no local addr: {e}"),
-        })?;
+        let io_err = |path: &str, message: String| RunError::Io {
+            path: path.to_string(),
+            message,
+        };
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| io_err(&cfg.addr, format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err(&cfg.addr, format!("no local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err(&cfg.addr, format!("nonblocking listener: {e}")))?;
+
+        let epoll = Epoll::new().map_err(|e| io_err("epoll", e.to_string()))?;
+        let loop_tx = LoopSender::new().map_err(|e| io_err("eventfd", e.to_string()))?;
+        {
+            use std::os::unix::io::AsRawFd;
+            epoll
+                .add(listener.as_raw_fd(), EPOLLIN, event_loop::LISTENER)
+                .map_err(|e| io_err("epoll add listener", e.to_string()))?;
+            epoll
+                .add(loop_tx.wake_fd(), EPOLLIN, event_loop::WAKE)
+                .map_err(|e| io_err("epoll add eventfd", e.to_string()))?;
+        }
 
         // The pool's handler needs the App, and the App needs the
         // pool's handle for its gauges; a OnceLock slot breaks the
         // cycle — the slot is filled before any connection can arrive.
-        let app_slot: Arc<OnceLock<Arc<App>>> = Arc::new(OnceLock::new());
+        let app_slot: Arc<std::sync::OnceLock<Arc<App>>> = Arc::new(std::sync::OnceLock::new());
         let handler_slot = Arc::clone(&app_slot);
-        let pool = Pool::new(cfg.workers, cfg.queue_cap, move |stream: TcpStream| {
+        let pool = Pool::new(cfg.workers, cfg.queue_cap, move |job: Job| {
             if let Some(app) = handler_slot.get() {
-                handle_connection(app, stream);
+                app.execute_job(job);
             }
         });
-        let stop = Arc::new(AtomicBool::new(false));
         let app = Arc::new(App::new(
             cfg.cache_cap,
             cfg.base_cfg.clone(),
             cfg.run_timeout,
             cfg.inner_jobs,
             pool.handle(),
-            Arc::clone(&stop),
+            loop_tx.clone(),
         ));
-        app.set_poke_addr(addr);
         let _ = app_slot.set(Arc::clone(&app));
 
         let mut warm = WarmReport::default();
@@ -196,18 +242,19 @@ impl Server {
             warm = app.cache.warm_load(dir)?;
         }
 
-        let accept = {
+        let loop_thread = {
             let app = Arc::clone(&app);
-            let handle = pool.handle();
-            let stop = Arc::clone(&stop);
-            let retry_after = cfg.retry_after_s;
+            let loop_cfg = LoopConfig {
+                read_timeout: cfg.read_timeout,
+                idle_timeout: cfg.idle_timeout,
+                write_timeout: cfg.write_timeout,
+                max_conns: cfg.max_conns.max(1),
+                retry_after_s: cfg.retry_after_s,
+            };
             std::thread::Builder::new()
-                .name("mcd-serve-accept".to_string())
-                .spawn(move || accept_loop(listener, &app, &handle, &stop, retry_after))
-                .map_err(|e| RunError::Io {
-                    path: "accept thread".to_string(),
-                    message: e.to_string(),
-                })?
+                .name("mcd-serve-loop".to_string())
+                .spawn(move || event_loop::run(listener, epoll, app, loop_tx, loop_cfg))
+                .map_err(|e| io_err("loop thread", e.to_string()))?
         };
 
         Ok(ServerHandle {
@@ -215,88 +262,8 @@ impl Server {
             app,
             warm,
             warm_dir: cfg.warm_dir,
-            accept: Some(accept),
+            loop_thread: Some(loop_thread),
             pool: Some(pool),
         })
-    }
-}
-
-/// Accepts connections until `stop` flips, dispatching each onto the
-/// pool and shedding with an immediate 503 when the queue refuses. The
-/// listener is dropped when this returns, so post-shutdown connection
-/// attempts fail at the TCP layer.
-fn accept_loop(
-    listener: TcpListener,
-    app: &Arc<App>,
-    handle: &pool::PoolHandle<TcpStream>,
-    stop: &AtomicBool,
-    retry_after_s: u64,
-) {
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let (stream, _) = match listener.accept() {
-            Ok(pair) => pair,
-            Err(_) => continue,
-        };
-        if stop.load(Ordering::SeqCst) {
-            // The shutdown poke (or a client racing it) — drop unanswered.
-            return;
-        }
-        app.metrics.accepted.fetch_add(1, Ordering::Relaxed);
-        match handle.submit(stream) {
-            Ok(()) => {}
-            Err((SubmitError::Full, stream)) => {
-                app.metrics.shed.fetch_add(1, Ordering::Relaxed);
-                // Answer on a short-lived thread so a slow client can
-                // never stall the accept loop. Bursts bound the thread
-                // count: each shed lives at most a few seconds.
-                let app = Arc::clone(app);
-                let _ = std::thread::Builder::new()
-                    .name("mcd-serve-shed".to_string())
-                    .spawn(move || {
-                        let start = std::time::Instant::now();
-                        shed_connection(stream, retry_after_s);
-                        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                        app.metrics.record_latency(
-                            metrics::Endpoint::Other,
-                            metrics::Outcome::Shed,
-                            micros,
-                        );
-                    });
-            }
-            Err((SubmitError::Closed, _)) => return,
-        }
-    }
-}
-
-/// Answers a shed connection with 503 + `Retry-After`. The client's
-/// request is drained first: closing a socket with unread bytes makes
-/// the kernel send RST, which would destroy the 503 in flight.
-fn shed_connection(mut stream: TcpStream, retry_after_s: u64) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = read_request(&mut stream);
-    let _ = Response::shed(retry_after_s).write_to(&mut stream);
-}
-
-/// Reads one request off the connection, routes it, writes the response.
-fn handle_connection(app: &App, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    match read_request(&mut stream) {
-        Ok(req) => {
-            let response = app.handle(&req);
-            let _ = response.write_to(&mut stream);
-        }
-        Err(HttpError::Malformed(m)) => {
-            let _ = Response::error(400, "malformed", &m).write_to(&mut stream);
-        }
-        Err(HttpError::TooLarge) => {
-            let _ = Response::error(413, "too-large", "request exceeds service bounds")
-                .write_to(&mut stream);
-        }
-        Err(HttpError::Io(_)) => {}
     }
 }

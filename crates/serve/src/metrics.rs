@@ -151,6 +151,27 @@ pub struct ServeMetrics {
     pub runs_executed: AtomicU64,
     /// Leader executions that returned a typed error.
     pub run_failures: AtomicU64,
+    /// Requests served on an already-used keep-alive connection
+    /// (second and later requests per connection).
+    pub keepalive_reuses: AtomicU64,
+    /// Connections closed by a read/idle/write deadline.
+    pub deadline_closes: AtomicU64,
+    /// Chunked trace streams opened (`/run?stream=1` + `/watch`).
+    pub streams_opened: AtomicU64,
+    /// Event lines fanned out to stream subscribers (mirrored from the
+    /// broadcast registry at render time).
+    pub stream_events: AtomicU64,
+    /// Live stream subscriptions right now (mirrored gauge).
+    pub stream_subscribers: AtomicU64,
+    /// Fan-out rooms registered right now (mirrored gauge).
+    pub stream_rooms: AtomicU64,
+    /// File descriptors registered with the event loop (gauge, stored
+    /// by the loop each iteration).
+    pub loop_fds: AtomicU64,
+    /// Readiness events delivered by the last `epoll_wait` (gauge).
+    pub loop_ready: AtomicU64,
+    /// Event-loop iteration wall time, microseconds.
+    loop_iter_us: Histogram,
     /// Request latency in microseconds, by endpoint × outcome.
     latency: [[Histogram; Outcome::ALL.len()]; Endpoint::ALL.len()],
     sim: Mutex<SimTotals>,
@@ -164,6 +185,12 @@ impl ServeMetrics {
         sim.instructions += stats.instructions;
         sim.baseline_hits += stats.baseline_hits;
         sim.activity.merge(activity);
+    }
+
+    /// Records one event-loop iteration's wall time (called by the loop
+    /// thread, once per `epoll_wait` round).
+    pub fn record_loop_iteration(&self, micros: u64) {
+        self.loop_iter_us.record(micros);
     }
 
     /// Records one request's wall time into its endpoint × outcome
@@ -202,6 +229,15 @@ impl ServeMetrics {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             runs_executed: self.runs_executed.load(Ordering::Relaxed),
             run_failures: self.run_failures.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            deadline_closes: self.deadline_closes.load(Ordering::Relaxed),
+            streams_opened: self.streams_opened.load(Ordering::Relaxed),
+            stream_events: self.stream_events.load(Ordering::Relaxed),
+            stream_subscribers: self.stream_subscribers.load(Ordering::Relaxed),
+            stream_rooms: self.stream_rooms.load(Ordering::Relaxed),
+            loop_fds: self.loop_fds.load(Ordering::Relaxed),
+            loop_ready: self.loop_ready.load(Ordering::Relaxed),
+            loop_iter: self.loop_iter_us.snapshot(),
             queue_depth,
             in_flight,
             cache_entries,
@@ -255,6 +291,23 @@ pub struct MetricsSnapshot {
     pub runs_executed: u64,
     /// Leader executions that returned a typed error.
     pub run_failures: u64,
+    /// Requests served on an already-used keep-alive connection.
+    pub keepalive_reuses: u64,
+    /// Connections closed by a read/idle/write deadline.
+    pub deadline_closes: u64,
+    /// Chunked trace streams opened.
+    pub streams_opened: u64,
+    /// Event lines fanned out to stream subscribers.
+    pub stream_events: u64,
+    /// Live stream subscriptions at snapshot time.
+    pub stream_subscribers: u64,
+    /// Fan-out rooms registered at snapshot time.
+    pub stream_rooms: u64,
+    /// File descriptors registered with the event loop.
+    pub loop_fds: u64,
+    /// Readiness events delivered by the last `epoll_wait`.
+    pub loop_ready: u64,
+    loop_iter: HistogramSnapshot,
     /// Worker-pool queue depth at snapshot time.
     pub queue_depth: usize,
     /// Requests executing at snapshot time.
@@ -268,9 +321,11 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Renders the JSON view — the PR 4 schema, unchanged: `service`,
-    /// `simulation`, and `controller_activity` sections. The latency
-    /// histograms are Prometheus-only; JSON consumers get the counters.
+    /// Renders the JSON view. The PR 4 sections (`service`,
+    /// `simulation`, `controller_activity`) keep their exact keys;
+    /// the event-loop rebuild adds `streaming` and `event_loop`
+    /// sections alongside them. The latency histograms are
+    /// Prometheus-only; JSON consumers get the counters.
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"service\": {{\"accepted\": {}, \"shed\": {}, \"requests\": {}, \
@@ -278,6 +333,10 @@ impl MetricsSnapshot {
              \"runs_executed\": {}, \"run_failures\": {}, \"queue_depth\": {}, \
              \"in_flight\": {}, \"cache_entries\": {}, \
              \"draining\": {}}},\n  \
+             \"streaming\": {{\"streams_opened\": {}, \"stream_events\": {}, \
+             \"stream_subscribers\": {}, \"stream_rooms\": {}}},\n  \
+             \"event_loop\": {{\"keepalive_reuses\": {}, \"deadline_closes\": {}, \
+             \"loop_fds\": {}, \"loop_ready\": {}}},\n  \
              \"simulation\": {{\"runs\": {}, \"instructions\": {}, \"baseline_cache_hits\": {}}},\n  \
              \"controller_activity\": {}\n}}\n",
             self.accepted,
@@ -292,6 +351,14 @@ impl MetricsSnapshot {
             self.in_flight,
             self.cache_entries,
             self.draining,
+            self.streams_opened,
+            self.stream_events,
+            self.stream_subscribers,
+            self.stream_rooms,
+            self.keepalive_reuses,
+            self.deadline_closes,
+            self.loop_fds,
+            self.loop_ready,
             self.sim.runs,
             self.sim.instructions,
             self.sim.baseline_hits,
@@ -350,6 +417,53 @@ impl MetricsSnapshot {
             "1 once graceful shutdown has begun, else 0.",
         )
         .sample(&[], u64::from(self.draining));
+        page.counter(
+            "mcd_serve_keepalive_reuses_total",
+            "Requests served on an already-used keep-alive connection.",
+        )
+        .sample(&[], self.keepalive_reuses);
+        page.counter(
+            "mcd_serve_deadline_closes_total",
+            "Connections closed by a read/idle/write deadline.",
+        )
+        .sample(&[], self.deadline_closes);
+        page.counter(
+            "mcd_serve_streams_opened_total",
+            "Chunked trace streams opened (/run?stream=1 and /watch).",
+        )
+        .sample(&[], self.streams_opened);
+        page.counter(
+            "mcd_serve_stream_events_total",
+            "Event lines fanned out to stream subscribers.",
+        )
+        .sample(&[], self.stream_events);
+        page.gauge(
+            "mcd_serve_stream_subscribers",
+            "Live stream subscriptions across all fan-out rooms.",
+        )
+        .sample(&[], self.stream_subscribers);
+        page.gauge(
+            "mcd_serve_stream_rooms",
+            "Fan-out rooms currently registered.",
+        )
+        .sample(&[], self.stream_rooms);
+        page.gauge(
+            "mcd_serve_loop_fds",
+            "File descriptors registered with the event loop.",
+        )
+        .sample(&[], self.loop_fds);
+        page.gauge(
+            "mcd_serve_loop_ready",
+            "Readiness events delivered by the last epoll_wait.",
+        )
+        .sample(&[], self.loop_ready);
+        {
+            let mut family = page.histogram(
+                "mcd_serve_loop_iteration_seconds",
+                "Event-loop iteration wall time.",
+            );
+            family.series(&[], &self.loop_iter, 1e-6);
+        }
         {
             let mut family = page.histogram(
                 "mcd_serve_request_seconds",

@@ -20,7 +20,7 @@
 //!    they are literally the same buffer.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mcd_bench::checkpoint::{
@@ -29,7 +29,8 @@ use mcd_bench::checkpoint::{
 use mcd_bench::error::RunError;
 use mcd_bench::experiments;
 use mcd_bench::parallel::par_try_map;
-use mcd_bench::runner::{ControllerActivity, RunConfig, RunSet, RunStats};
+use mcd_bench::runner::{ControllerActivity, EventTap, RunConfig, RunSet, RunStats};
+use mcd_sim::trace::TraceEvent;
 use mcd_telemetry::prometheus::CONTENT_TYPE;
 
 use crate::cache::{CachedRun, ResultCache};
@@ -37,6 +38,17 @@ use crate::coalesce::{Coalescer, Ticket};
 use crate::http::{json_escape, Request, Response};
 use crate::metrics::{Endpoint, Outcome, ServeMetrics};
 use crate::pool::PoolHandle;
+use crate::stream::{Broadcast, LoopMsg, LoopSender, Room};
+
+/// One dispatched `POST /run`: the parsed request plus the event-loop
+/// token of the connection awaiting the answer. Workers pull these off
+/// the bounded pool and reply with [`LoopMsg`]s.
+pub struct Job {
+    /// Event-loop token of the requesting connection.
+    pub token: u64,
+    /// The parsed request (body and query intact).
+    pub request: Request,
+}
 
 /// Shared application state: everything a worker needs to answer a
 /// request. Lives behind an `Arc`, one instance per server.
@@ -45,46 +57,40 @@ pub struct App {
     pub metrics: ServeMetrics,
     pub(crate) cache: ResultCache,
     coalescer: Coalescer<Response>,
-    pool: PoolHandle<std::net::TcpStream>,
+    pool: PoolHandle<Job>,
+    broadcast: Arc<Broadcast>,
+    loop_tx: LoopSender,
     base_cfg: RunConfig,
     run_timeout: Duration,
     inner_jobs: usize,
     draining: AtomicBool,
-    stop: Arc<AtomicBool>,
-    poke_addr: OnceLock<std::net::SocketAddr>,
     started: Instant,
 }
 
 impl App {
-    /// Builds the application state. `stop` is shared with the accept
-    /// loop; [`App::trigger_shutdown`] sets it and pokes the listener.
-    pub fn new(
+    /// Builds the application state around the worker pool and the
+    /// worker→loop channel.
+    pub(crate) fn new(
         cache_cap: usize,
         base_cfg: RunConfig,
         run_timeout: Duration,
         inner_jobs: usize,
-        pool: PoolHandle<std::net::TcpStream>,
-        stop: Arc<AtomicBool>,
+        pool: PoolHandle<Job>,
+        loop_tx: LoopSender,
     ) -> App {
         App {
             metrics: ServeMetrics::default(),
             cache: ResultCache::new(cache_cap),
             coalescer: Coalescer::default(),
             pool,
+            broadcast: Arc::new(Broadcast::new(loop_tx.clone())),
+            loop_tx,
             base_cfg,
             run_timeout,
             inner_jobs: inner_jobs.max(1),
             draining: AtomicBool::new(false),
-            stop,
-            poke_addr: OnceLock::new(),
             started: Instant::now(),
         }
-    }
-
-    /// Records the bound listener address (used to poke the accept loop
-    /// out of its blocking `accept` on shutdown).
-    pub fn set_poke_addr(&self, addr: std::net::SocketAddr) {
-        let _ = self.poke_addr.set(addr);
     }
 
     /// Whether shutdown has begun.
@@ -92,19 +98,34 @@ impl App {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Begins graceful shutdown: flips the draining flag, signals the
-    /// accept loop to stop, and unblocks it with a loopback connection.
+    /// Begins graceful shutdown: flips the draining flag and tells the
+    /// event loop to drop the listener and drain.
     pub fn trigger_shutdown(&self) {
         self.draining.store(true, Ordering::SeqCst);
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(addr) = self.poke_addr.get() {
-            let _ = std::net::TcpStream::connect_timeout(addr, Duration::from_millis(500));
-        }
+        self.loop_tx.send(LoopMsg::Shutdown);
     }
 
-    /// Routes one parsed request to its handler, recording wall time
-    /// and outcome into the endpoint × outcome latency histograms.
-    pub fn handle(&self, req: &Request) -> Response {
+    /// The room registry (event-loop side: watch + teardown cleanup).
+    pub(crate) fn broadcast(&self) -> &Broadcast {
+        &self.broadcast
+    }
+
+    /// Attaches a watcher connection to an active flight's room.
+    pub(crate) fn watch(&self, key: &str, token: u64) -> bool {
+        self.broadcast.watch(key, token)
+    }
+
+    /// Queues a `/run` job on the worker pool. `Err(())` is the shed
+    /// signal: queue full, or the pool is already draining.
+    pub(crate) fn submit(&self, job: Job) -> Result<(), ()> {
+        self.pool.submit(job).map_err(|_| ())
+    }
+
+    /// Answers the endpoints cheap enough to serve on the event-loop
+    /// thread itself — everything except `POST /run`, which dispatches
+    /// to the worker pool before this is ever consulted. Records wall
+    /// time and outcome into the endpoint × outcome histograms.
+    pub fn handle_inline(&self, req: &Request) -> Response {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let (response, outcome) = self.route(req);
@@ -119,7 +140,12 @@ impl App {
             ("GET", "/healthz") => (self.healthz(), Outcome::Ok),
             ("GET", "/metrics") => (self.metrics_response(req), Outcome::Ok),
             ("GET", "/experiments") => (Response::json(200, experiments_json()), Outcome::Ok),
-            ("POST", "/run") => self.run(req),
+            ("POST", "/run") => (
+                // The event loop dispatches /run to the pool; reaching
+                // the inline path would be a routing bug, not a 404.
+                Response::error(500, "internal", "run requests dispatch to the worker pool"),
+                Outcome::Error,
+            ),
             ("POST", "/shutdown") => {
                 self.trigger_shutdown();
                 (
@@ -164,6 +190,17 @@ impl App {
     /// `?format=json` for the JSON schema. Both render from one
     /// [`MetricsSnapshot`](crate::metrics::MetricsSnapshot).
     fn metrics_response(&self, req: &Request) -> Response {
+        // Fan-out gauges live in the broadcast registry; mirror them
+        // into the metrics atomics so one snapshot covers everything.
+        self.metrics
+            .stream_subscribers
+            .store(self.broadcast.subscribers() as u64, Ordering::Relaxed);
+        self.metrics
+            .stream_rooms
+            .store(self.broadcast.rooms() as u64, Ordering::Relaxed);
+        self.metrics
+            .stream_events
+            .store(self.broadcast.events_published(), Ordering::Relaxed);
         let snap = self.metrics.snapshot(
             self.pool.depth(),
             self.pool.in_flight(),
@@ -177,19 +214,56 @@ impl App {
         }
     }
 
-    /// The `/run` pipeline described in the module docs.
-    fn run(&self, req: &Request) -> (Response, Outcome) {
+    /// Executes one dispatched `/run` job on a worker thread and replies
+    /// to the event loop: a single [`LoopMsg::Done`] for a plain run, or
+    /// a chunked stream (`?stream=1`) whose final line is the exact body
+    /// a plain run would have returned — streamed-equals-unstreamed is
+    /// by construction, not by comparison.
+    pub fn execute_job(&self, job: Job) {
+        let Job { token, request } = job;
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         self.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
-        let (id, cfg) = match parse_run_request(&req.body, &self.base_cfg) {
-            Ok(parsed) => parsed,
-            Err(e) => return (error_response(&e), Outcome::Error),
+        let start = Instant::now();
+        let wants_stream = request.query_has("stream", "1");
+        let mut streaming = false;
+        let (response, outcome) = match parse_run_request(&request.body, &self.base_cfg) {
+            Ok((id, cfg)) => {
+                let key = format!("{};experiment={id}", CheckpointDir::fingerprint(&cfg));
+                if wants_stream {
+                    // Subscribe before joining the flight so the
+                    // leader's earliest events reach this connection,
+                    // then commit to the chunked wire format.
+                    self.broadcast.subscribe(&key, token);
+                    self.loop_tx.send(LoopMsg::StreamStart { token });
+                    streaming = true;
+                }
+                self.run_keyed(id, &cfg, &key)
+            }
+            // Parse errors answer as a plain response even under
+            // ?stream=1: the stream head is only worth sending once a
+            // run is actually going to happen.
+            Err(e) => (error_response(&e), Outcome::Error),
         };
-        let key = format!("{};experiment={id}", CheckpointDir::fingerprint(&cfg));
-        if let Some(hit) = self.cache.get(&key) {
+        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.metrics.record_latency(Endpoint::Run, outcome, micros);
+        if streaming {
+            self.loop_tx.send(LoopMsg::StreamEnd {
+                token,
+                final_line: Some(String::from_utf8_lossy(&response.body).into_owned()),
+            });
+        } else {
+            self.loop_tx.send(LoopMsg::Done { token, response });
+        }
+    }
+
+    /// The cache → coalesce → execute pipeline described in the module
+    /// docs, addressed by a precomputed fingerprint key.
+    fn run_keyed(&self, id: &'static str, cfg: &RunConfig, key: &str) -> (Response, Outcome) {
+        if let Some(hit) = self.cache.get(key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             return (render_run(&hit), Outcome::Hit);
         }
-        match self.coalescer.join(&key) {
+        match self.coalescer.join(key) {
             Ticket::Follower(flight) => {
                 self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
                 // The leader gets two attempts of `run_timeout` each
@@ -216,15 +290,36 @@ impl App {
                 }
             }
             Ticket::Leader => {
+                // Double-checked cache read: between our miss above and
+                // winning leadership here, a previous leader for this
+                // key may have retired its flight — and it always fills
+                // the cache *before* retiring, so a second look now
+                // either hits (answer it, retire our flight) or this is
+                // genuinely fresh work. Without this, a duplicate
+                // landing exactly at leader completion re-runs the
+                // simulation.
+                if let Some(hit) = self.cache.get(key) {
+                    self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    let response = render_run(&hit);
+                    self.coalescer.publish(key, Arc::new(response.clone()));
+                    return (response, Outcome::Hit);
+                }
                 // Publish *whatever* happens, so followers never hang on
                 // a leader that failed in an unforeseen way.
                 let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.execute_as_leader(id, &cfg, &key)
+                    self.execute_as_leader(id, cfg, key)
                 }))
                 .unwrap_or_else(|_| {
                     Response::error(500, "internal", "run execution panicked outside isolation")
                 });
-                self.coalescer.publish(&key, Arc::new(response.clone()));
+                // Close the room before publishing the flight: every
+                // event line is already queued FIFO ahead of the
+                // watchers' final line, and followers can't send their
+                // StreamEnd until publish wakes them — so finals always
+                // trail the events they summarize.
+                self.broadcast
+                    .close(key, &String::from_utf8_lossy(&response.body));
+                self.coalescer.publish(key, Arc::new(response.clone()));
                 let outcome = if response.status == 200 {
                     Outcome::Miss
                 } else {
@@ -236,10 +331,24 @@ impl App {
     }
 
     /// Executes the run, fills the cache on success, and renders the
-    /// response the whole flight will share.
+    /// response the whole flight will share. Opens the fan-out room for
+    /// the flight and taps the simulation's event stream into it; when
+    /// nobody subscribes, the tap costs one relaxed atomic load per
+    /// event and the report bytes are identical either way.
     fn execute_as_leader(&self, id: &'static str, cfg: &RunConfig, key: &str) -> Response {
         self.metrics.runs_executed.fetch_add(1, Ordering::Relaxed);
-        match run_experiment(id, cfg.clone(), self.inner_jobs, self.run_timeout) {
+        let room = self.broadcast.open(key);
+        let tap: Arc<dyn EventTap> = Arc::new(RoomTap {
+            broadcast: Arc::clone(&self.broadcast),
+            room,
+        });
+        match run_experiment(
+            id,
+            cfg.clone(),
+            self.inner_jobs,
+            self.run_timeout,
+            Some(tap),
+        ) {
             Ok(bundle) => {
                 self.metrics.absorb_run(bundle.stats, &bundle.activity);
                 let entry = CachedRun {
@@ -261,6 +370,30 @@ impl App {
     }
 }
 
+/// Bridges the simulation's per-event tap into a fan-out room: one
+/// JSONL line per event, delivered to every subscriber via the loop
+/// channel. `wants` is the per-event gate — a single relaxed load when
+/// the room is empty, so unwatched runs keep the NullSink fast path.
+struct RoomTap {
+    broadcast: Arc<Broadcast>,
+    room: Arc<Room>,
+}
+
+impl EventTap for RoomTap {
+    fn wants(&self, _label: &str) -> bool {
+        self.room.is_watched()
+    }
+
+    fn record(&self, label: &str, event: &TraceEvent) {
+        let line = format!(
+            "{{\"label\": \"{}\", \"event\": {}}}\n",
+            json_escape(label),
+            event.to_json()
+        );
+        self.broadcast.publish(&self.room, &line);
+    }
+}
+
 /// A completed execution plus the counters its private run set gathered.
 #[derive(Debug)]
 struct Bundle {
@@ -272,15 +405,20 @@ struct Bundle {
 /// Runs `id` under `cfg` with `par_try_map` semantics: panic isolation,
 /// a wall-clock budget per attempt, one retry for transient failures.
 /// Each execution gets a fresh [`RunSet`] so counter deltas attribute to
-/// this request even when other requests run concurrently.
+/// this request even when other requests run concurrently; `tap`, when
+/// given, observes every simulation event live (streaming fan-out).
 fn run_experiment(
     id: &'static str,
     cfg: RunConfig,
     jobs: usize,
     timeout: Duration,
+    tap: Option<Arc<dyn EventTap>>,
 ) -> Result<Bundle, RunError> {
     let slots = par_try_map(1, vec![(id, cfg)], Some(timeout), move |(id, cfg)| {
-        let rs = RunSet::new(jobs);
+        let mut rs = RunSet::new(jobs);
+        if let Some(tap) = tap.clone() {
+            rs = rs.with_event_tap(tap);
+        }
         let start = Instant::now();
         let report = experiments::run_on(&rs, id, &cfg)?;
         let wall_s = start.elapsed().as_secs_f64();
@@ -511,13 +649,14 @@ mod tests {
     fn run_experiment_returns_typed_errors_for_bad_ids() {
         // Unknown ids are caught at parse time, but run_on also guards —
         // and its typed error must surface through the isolation layer.
-        let err = run_experiment("bogus", base(), 1, Duration::from_secs(30)).unwrap_err();
+        let err = run_experiment("bogus", base(), 1, Duration::from_secs(30), None).unwrap_err();
         assert_eq!(err.kind(), "config-invalid");
     }
 
     #[test]
     fn analysis_experiment_executes_end_to_end() {
-        let bundle = run_experiment("table1", base(), 1, Duration::from_secs(30)).expect("runs");
+        let bundle =
+            run_experiment("table1", base(), 1, Duration::from_secs(30), None).expect("runs");
         assert_eq!(bundle.run.kind, "analysis");
         assert_eq!(bundle.stats.runs, 0, "analysis runs no simulations");
         assert!(bundle.run.report.contains("Table 1"));

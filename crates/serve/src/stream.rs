@@ -1,0 +1,412 @@
+//! Live trace streaming: rooms, fan-out, and the worker→loop channel.
+//!
+//! Every leader execution opens a **room** keyed by the run's cache
+//! fingerprint and publishes each §6 trace event into it as one JSONL
+//! line. Two kinds of subscriber tap a room:
+//!
+//! - **Runners** — connections that asked `POST /run?stream=1`. They get
+//!   the event lines; their *final* result line is delivered by their
+//!   own job's completion (leader, follower, or cache hit — the normal
+//!   `/run` pipeline), never by the room. This is what makes a streamed
+//!   run's final bytes provably equal to an unstreamed run's body.
+//! - **Watchers** — `GET /watch/<fingerprint>` connections tailing a
+//!   flight someone else started. They get the event lines, then the
+//!   shared response body as a final line when the room closes.
+//!
+//! All delivery goes through [`LoopSender`]: a mutex-guarded FIFO plus
+//! an eventfd the event loop polls. One queue for every producer means
+//! event lines always precede the final line for any one connection —
+//! ordering is by construction, not by locking discipline.
+//!
+//! When nobody subscribes to a room, the tap's per-event check is a
+//! single relaxed atomic load ([`Room::sub_count`] via
+//! [`Broadcast::room_is_watched`]), preserving the zero-cost NullSink
+//! path end to end.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::http::Response;
+use crate::sys::EventFd;
+
+/// A message from a worker thread (or the shutdown path) to the event
+/// loop. `token` addresses the connection the message is for; a token
+/// whose connection has gone away is silently dropped.
+pub enum LoopMsg {
+    /// A dispatched request finished; write `response` on the connection.
+    Done {
+        /// Target connection.
+        token: u64,
+        /// The rendered-body response to write.
+        response: Response,
+    },
+    /// A streaming run was admitted: write the chunked stream head.
+    StreamStart {
+        /// Target connection.
+        token: u64,
+    },
+    /// One JSONL event line for an open stream.
+    StreamLine {
+        /// Target connection.
+        token: u64,
+        /// The line, newline-terminated.
+        line: Arc<str>,
+    },
+    /// A stream is complete: optionally write a final line, then the
+    /// terminating chunk, then close.
+    StreamEnd {
+        /// Target connection.
+        token: u64,
+        /// Final result line (the exact `/run` response body) for
+        /// runner streams; `None` for watcher streams, whose final line
+        /// arrives as a [`LoopMsg::StreamLine`] at room close.
+        final_line: Option<String>,
+    },
+    /// Begin graceful drain: stop accepting, finish in-flight work.
+    Shutdown,
+}
+
+struct LoopShared {
+    queue: Mutex<VecDeque<LoopMsg>>,
+    wake: EventFd,
+}
+
+/// Cloneable sending half of the worker→loop channel. The loop holds a
+/// clone too and drains it each time the eventfd reports readable.
+#[derive(Clone)]
+pub struct LoopSender {
+    shared: Arc<LoopShared>,
+}
+
+impl LoopSender {
+    /// Creates the channel (allocates the eventfd).
+    pub fn new() -> io::Result<LoopSender> {
+        Ok(LoopSender {
+            shared: Arc::new(LoopShared {
+                queue: Mutex::new(VecDeque::new()),
+                wake: EventFd::new()?,
+            }),
+        })
+    }
+
+    /// Enqueues a message and wakes the loop.
+    pub fn send(&self, msg: LoopMsg) {
+        self.shared
+            .queue
+            .lock()
+            .expect("loop queue poisoned")
+            .push_back(msg);
+        self.shared.wake.signal();
+    }
+
+    /// The eventfd the loop registers for `EPOLLIN`.
+    pub(crate) fn wake_fd(&self) -> std::os::unix::io::RawFd {
+        self.shared.wake.fd()
+    }
+
+    /// Drains everything queued (loop side). Resets the eventfd first so
+    /// a send racing the drain leaves the fd readable for the next wait.
+    pub(crate) fn drain(&self) -> VecDeque<LoopMsg> {
+        self.shared.wake.drain();
+        std::mem::take(&mut *self.shared.queue.lock().expect("loop queue poisoned"))
+    }
+}
+
+/// Which delivery contract a subscriber signed up for (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubKind {
+    /// A `POST /run?stream=1` connection: events only; final line comes
+    /// from its own job.
+    Runner,
+    /// A `GET /watch/...` connection: events, then the shared final
+    /// line and stream end at room close.
+    Watcher,
+}
+
+struct Sub {
+    token: u64,
+    kind: SubKind,
+}
+
+/// One in-flight execution's fan-out point.
+pub struct Room {
+    subs: Mutex<Vec<Sub>>,
+    /// Mirrors `subs.len()`, readable without the lock — this is the
+    /// per-event "anyone listening?" check on the simulation hot path.
+    sub_count: AtomicUsize,
+    /// True while a leader execution is feeding the room. Watch requests
+    /// only attach to active rooms; subscribing can race the close, in
+    /// which case the subscriber is cleaned up at connection teardown.
+    active: std::sync::atomic::AtomicBool,
+}
+
+impl Room {
+    fn new() -> Room {
+        Room {
+            subs: Mutex::new(Vec::new()),
+            sub_count: AtomicUsize::new(0),
+            active: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Whether anyone is subscribed right now (relaxed; hot path).
+    pub fn is_watched(&self) -> bool {
+        self.sub_count.load(Ordering::Relaxed) > 0
+    }
+
+    fn push(&self, token: u64, kind: SubKind) {
+        let mut subs = self.subs.lock().expect("room subs poisoned");
+        if subs.iter().any(|s| s.token == token) {
+            return;
+        }
+        subs.push(Sub { token, kind });
+        self.sub_count.store(subs.len(), Ordering::Relaxed);
+    }
+
+    fn remove(&self, token: u64) -> bool {
+        let mut subs = self.subs.lock().expect("room subs poisoned");
+        let before = subs.len();
+        subs.retain(|s| s.token != token);
+        self.sub_count.store(subs.len(), Ordering::Relaxed);
+        subs.len() != before
+    }
+}
+
+/// The room registry: one per server, shared by workers (open, publish,
+/// close) and the event loop (watch, unsubscribe-on-teardown).
+pub struct Broadcast {
+    rooms: Mutex<HashMap<String, Arc<Room>>>,
+    tx: LoopSender,
+    /// Event lines fanned out to subscribers, cumulative.
+    events_published: AtomicU64,
+}
+
+impl Broadcast {
+    /// Creates an empty registry delivering through `tx`.
+    pub fn new(tx: LoopSender) -> Broadcast {
+        Broadcast {
+            rooms: Mutex::new(HashMap::new()),
+            tx,
+            events_published: AtomicU64::new(0),
+        }
+    }
+
+    fn room(&self, key: &str) -> Arc<Room> {
+        let mut rooms = self.rooms.lock().expect("room registry poisoned");
+        Arc::clone(
+            rooms
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(Room::new())),
+        )
+    }
+
+    /// Opens (or reuses) the room for `key` and marks it active. Called
+    /// by the flight leader before execution starts.
+    pub fn open(&self, key: &str) -> Arc<Room> {
+        let room = self.room(key);
+        room.active.store(true, Ordering::SeqCst);
+        room
+    }
+
+    /// Subscribes a streaming-run connection to `key`'s room, creating
+    /// the room if the leader has not opened it yet (the leader's
+    /// `open` will then find it).
+    pub fn subscribe(&self, key: &str, token: u64) {
+        self.room(key).push(token, SubKind::Runner);
+    }
+
+    /// Attaches a watcher to `key`'s room **only if** a flight is
+    /// actively feeding it. Returns whether the subscription happened.
+    pub fn watch(&self, key: &str, token: u64) -> bool {
+        let room = {
+            let rooms = self.rooms.lock().expect("room registry poisoned");
+            rooms.get(key).cloned()
+        };
+        match room {
+            Some(room) if room.active.load(Ordering::SeqCst) => {
+                room.push(token, SubKind::Watcher);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fans one event line out to every subscriber of `room`.
+    pub fn publish(&self, room: &Room, line: &str) {
+        let subs = room.subs.lock().expect("room subs poisoned");
+        if subs.is_empty() {
+            return;
+        }
+        let line: Arc<str> = Arc::from(line);
+        self.events_published
+            .fetch_add(subs.len() as u64, Ordering::Relaxed);
+        for sub in subs.iter() {
+            self.tx.send(LoopMsg::StreamLine {
+                token: sub.token,
+                line: Arc::clone(&line),
+            });
+        }
+    }
+
+    /// Closes `key`'s room: watchers receive `final_line` and a stream
+    /// end; runner subscriptions are dropped (their own jobs deliver
+    /// their finals). The room leaves the registry, so late watch
+    /// requests see 404 rather than a stream that will never move.
+    pub fn close(&self, key: &str, final_line: &str) {
+        let room = {
+            let mut rooms = self.rooms.lock().expect("room registry poisoned");
+            rooms.remove(key)
+        };
+        let Some(room) = room else { return };
+        room.active.store(false, Ordering::SeqCst);
+        let mut subs = room.subs.lock().expect("room subs poisoned");
+        for sub in subs.drain(..) {
+            if sub.kind == SubKind::Watcher {
+                self.tx.send(LoopMsg::StreamLine {
+                    token: sub.token,
+                    line: Arc::from(final_line),
+                });
+                self.tx.send(LoopMsg::StreamEnd {
+                    token: sub.token,
+                    final_line: None,
+                });
+            }
+        }
+        room.sub_count.store(0, Ordering::Relaxed);
+    }
+
+    /// Removes `token` from every room (connection teardown) and
+    /// garbage-collects rooms that are inactive and empty — the
+    /// "no leaked fan-out registrations" invariant.
+    pub fn unsubscribe(&self, token: u64) {
+        let mut rooms = self.rooms.lock().expect("room registry poisoned");
+        rooms.retain(|_, room| {
+            room.remove(token);
+            room.active.load(Ordering::SeqCst) || room.sub_count.load(Ordering::Relaxed) > 0
+        });
+    }
+
+    /// Total live subscriptions across all rooms (gauge).
+    pub fn subscribers(&self) -> usize {
+        let rooms = self.rooms.lock().expect("room registry poisoned");
+        rooms
+            .values()
+            .map(|r| r.sub_count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Rooms currently registered (gauge).
+    pub fn rooms(&self) -> usize {
+        self.rooms.lock().expect("room registry poisoned").len()
+    }
+
+    /// Event lines fanned out so far (counter).
+    pub fn events_published(&self) -> u64 {
+        self.events_published.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_tokens(tx: &LoopSender) -> Vec<(u64, &'static str)> {
+        tx.drain()
+            .into_iter()
+            .map(|m| match m {
+                LoopMsg::StreamLine { token, .. } => (token, "line"),
+                LoopMsg::StreamEnd { token, .. } => (token, "end"),
+                LoopMsg::Done { token, .. } => (token, "done"),
+                LoopMsg::StreamStart { token } => (token, "start"),
+                LoopMsg::Shutdown => (0, "shutdown"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_reaches_every_subscriber_and_close_ends_watchers_only() {
+        let tx = LoopSender::new().expect("eventfd");
+        let b = Broadcast::new(tx.clone());
+        let room = b.open("k");
+        assert!(!room.is_watched(), "empty room is unwatched");
+        b.subscribe("k", 10); // runner
+        assert!(b.watch("k", 20), "active room accepts watchers");
+        assert!(room.is_watched());
+        assert_eq!(b.subscribers(), 2);
+
+        b.publish(&room, "{\"e\":1}\n");
+        let msgs = drain_tokens(&tx);
+        assert!(msgs.contains(&(10, "line")) && msgs.contains(&(20, "line")));
+        assert_eq!(b.events_published(), 2, "one line × two subscribers");
+
+        b.close("k", "{\"final\":true}\n");
+        let msgs = drain_tokens(&tx);
+        // Watcher 20 gets final line + end; runner 10 gets nothing more.
+        assert!(msgs.contains(&(20, "line")) && msgs.contains(&(20, "end")));
+        assert!(!msgs.iter().any(|(t, _)| *t == 10));
+        assert_eq!(b.rooms(), 0, "closed rooms leave the registry");
+        assert!(!b.watch("k", 30), "closed rooms refuse watchers");
+    }
+
+    #[test]
+    fn unsubscribe_garbage_collects_inactive_rooms() {
+        let tx = LoopSender::new().expect("eventfd");
+        let b = Broadcast::new(tx);
+        // A runner subscribing before the leader opened the room — then
+        // the leader never comes (e.g. its flight hit the cache).
+        b.subscribe("orphan", 7);
+        assert_eq!(b.rooms(), 1);
+        b.unsubscribe(7);
+        assert_eq!(b.rooms(), 0, "empty inactive room collected");
+        assert_eq!(b.subscribers(), 0);
+
+        // An active room survives losing its last subscriber.
+        let room = b.open("live");
+        b.subscribe("live", 8);
+        b.unsubscribe(8);
+        assert_eq!(b.rooms(), 1, "active room persists for the leader");
+        assert!(!room.is_watched());
+        b.close("live", "x\n");
+        assert_eq!(b.rooms(), 0);
+    }
+
+    #[test]
+    fn duplicate_subscriptions_collapse() {
+        let tx = LoopSender::new().expect("eventfd");
+        let b = Broadcast::new(tx.clone());
+        let room = b.open("k");
+        b.subscribe("k", 5);
+        b.subscribe("k", 5);
+        assert_eq!(b.subscribers(), 1);
+        b.publish(&room, "x\n");
+        assert_eq!(drain_tokens(&tx).len(), 1);
+        b.close("k", "f\n");
+    }
+
+    #[test]
+    fn sender_queue_is_fifo() {
+        let tx = LoopSender::new().expect("eventfd");
+        tx.send(LoopMsg::StreamStart { token: 1 });
+        tx.send(LoopMsg::StreamLine {
+            token: 1,
+            line: Arc::from("a\n"),
+        });
+        tx.send(LoopMsg::StreamEnd {
+            token: 1,
+            final_line: None,
+        });
+        let kinds: Vec<&str> = tx
+            .drain()
+            .into_iter()
+            .map(|m| match m {
+                LoopMsg::StreamStart { .. } => "start",
+                LoopMsg::StreamLine { .. } => "line",
+                LoopMsg::StreamEnd { .. } => "end",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, ["start", "line", "end"]);
+    }
+}

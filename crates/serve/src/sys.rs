@@ -1,0 +1,261 @@
+//! Thin, std-only wrapper over the three `epoll` syscalls plus
+//! `eventfd` — the entire OS surface the event loop needs.
+//!
+//! No `libc` crate: the standard library already links the platform C
+//! library on Linux, so the handful of symbols the readiness loop needs
+//! are declared directly. This is the one module in the crate allowed
+//! to use `unsafe`; everything it exports is a safe, owned handle
+//! (`Epoll`, `EventFd`) whose file descriptor is closed on drop.
+//!
+//! The wrapper is deliberately level-triggered only: level-triggered
+//! readiness makes the connection state machine re-entrant (a partially
+//! drained socket simply reports ready again), which removes the whole
+//! class of "forgot to re-arm after EAGAIN" bugs edge-triggered loops
+//! are famous for.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+
+// Values from <sys/epoll.h> / <sys/eventfd.h> on Linux. They are ABI
+// constants, stable since epoll was introduced in 2.5.44.
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// Readiness: data available to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: socket writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup: both directions closed (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One readiness record, ABI-compatible with `struct epoll_event`
+/// (packed on x86-64, which is why the layout is spelled out here).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for the `wait` buffer.
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness bits reported for this slot.
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The caller-chosen token registered with the fd.
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; a valid flag word is
+        // the entire contract.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest bits and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest bits for an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Removes `fd` from the interest set.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // A zeroed event for portability with pre-2.6.9 kernels, per the
+        // epoll_ctl man page.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks for readiness, up to `timeout_ms` (`-1` = forever). Fills
+    /// `events` from the front and returns how many slots are valid.
+    /// EINTR is retried internally so callers never see it.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the buffer pointer/length pair describes `events`,
+            // which lives across the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(c_int::MAX as usize) as c_int,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is owned by this handle and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// An owned, nonblocking eventfd: the cross-thread wakeup primitive.
+/// Worker threads [`EventFd::signal`] it after enqueuing a completion;
+/// the loop registers it for `EPOLLIN` and [`EventFd::drain`]s on wake.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a nonblocking, close-on-exec eventfd with counter 0.
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: eventfd takes no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(EventFd { fd })
+    }
+
+    /// The raw descriptor, for epoll registration.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, waking any epoll waiting on it. Failure
+    /// (counter saturated) is ignored: a saturated counter is already a
+    /// pending wakeup, which is all a signal needs to guarantee.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly the 8 bytes eventfd requires, from a
+        // local that outlives the call.
+        unsafe { write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+    }
+
+    /// Resets the counter to 0 (nonblocking; a clean miss is fine).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads into an 8-byte local buffer.
+        unsafe { read(self.fd, buf.as_mut_ptr().cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is owned by this handle and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+// SAFETY: both handles are plain file descriptors; the kernel
+// synchronizes every operation on them.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+unsafe impl Send for EventFd {}
+unsafe impl Sync for EventFd {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readable_sockets_and_honors_timeouts() {
+        let ep = Epoll::new().expect("epoll_create1");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        ep.add(listener.as_raw_fd(), EPOLLIN, 7).expect("add");
+
+        let mut events = [EpollEvent::zeroed(); 8];
+        // Nothing pending: a zero timeout returns immediately with 0.
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0);
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"x").expect("write");
+        let n = ep.wait(&mut events, 2000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        ep.delete(listener.as_raw_fd()).expect("del");
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0, "deregistered");
+    }
+
+    #[test]
+    fn eventfd_signal_wakes_epoll_and_drain_resets() {
+        let ep = Epoll::new().expect("epoll");
+        let efd = EventFd::new().expect("eventfd");
+        ep.add(efd.fd(), EPOLLIN, 42).expect("add");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0);
+
+        efd.signal();
+        efd.signal();
+        let n = ep.wait(&mut events, 2000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+
+        efd.drain();
+        // Level-triggered: once drained, the fd stops reporting ready.
+        assert_eq!(ep.wait(&mut events, 0).expect("wait"), 0);
+    }
+}

@@ -7,10 +7,11 @@
 //! - every response is 200 or 503 (shed) — anything else fails the run;
 //! - for each distinct run configuration, every 200 body observed over
 //!   the soak carries identical simulation content (coalescing, cache
-//!   and deterministic simulation end to end). Only the two wall-clock
-//!   fields (`wall_s`, `simulated_mips`) are scrubbed before comparing:
-//!   the small cache forces evicted fingerprints to re-execute, and a
-//!   re-execution legitimately takes a different wall time;
+//!   and deterministic simulation end to end). Only the wall-clock
+//!   fields (`wall_s`, `simulated_mips`, `run_wall_p50_s`,
+//!   `run_wall_p99_s`) are scrubbed before comparing: the small cache
+//!   forces evicted fingerprints to re-execute, and a re-execution
+//!   legitimately takes a different wall time;
 //! - the server still drains cleanly afterwards.
 
 mod util;
@@ -52,7 +53,14 @@ fn scrub(body: &str, key: &str) -> String {
 
 /// The deterministic portion of a `/run` response body.
 fn canonical_body(body: &str) -> String {
-    scrub(&scrub(body, "wall_s"), "simulated_mips")
+    [
+        "wall_s",
+        "simulated_mips",
+        "run_wall_p50_s",
+        "run_wall_p99_s",
+    ]
+    .iter()
+    .fold(body.to_string(), |b, key| scrub(&b, key))
 }
 
 #[test]

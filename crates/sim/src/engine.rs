@@ -626,26 +626,29 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         let mut wake = NEVER;
         debug_assert!(self.watch[di].is_empty());
         let mut watch = std::mem::take(&mut self.watch[di]);
-        let mut track = |completed: &SeqScoreboard<Completion>, seq: u64| match completed.get(seq) {
-            Some(c) => Some(c.at + self.sync_penalty(c.domain, DomainId::FrontEnd)),
-            None => {
-                if !watch.contains(&seq) {
-                    watch.push(seq);
+        {
+            // Scoped so the closure's borrow of `watch` ends here.
+            let mut track =
+                |completed: &SeqScoreboard<Completion>, seq: u64| match completed.get(seq) {
+                    Some(c) => Some(c.at + self.sync_penalty(c.domain, DomainId::FrontEnd)),
+                    None => {
+                        if !watch.contains(&seq) {
+                            watch.push(seq);
+                        }
+                        None
+                    }
+                };
+            if let Some(head) = self.rob.head() {
+                if let Some(t) = track(&self.completed, head.seq) {
+                    wake = wake.min(t);
                 }
-                None
             }
-        };
-        if let Some(head) = self.rob.head() {
-            if let Some(t) = track(&self.completed, head.seq) {
-                wake = wake.min(t);
-            }
-        }
-        if let Some(bseq) = self.pending_redirect {
-            if let Some(t) = track(&self.completed, bseq) {
-                wake = wake.min(t);
+            if let Some(bseq) = self.pending_redirect {
+                if let Some(t) = track(&self.completed, bseq) {
+                    wake = wake.min(t);
+                }
             }
         }
-        drop(track);
         if self.pending_redirect.is_none() && !self.trace_done && edge < self.fetch_stall_until {
             wake = wake.min(self.fetch_stall_until);
         }
@@ -669,7 +672,11 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         }
         self.fe_iq_wait = iq_wait;
         self.watch[di] = watch;
-        let stall = if self.fetch_buf.is_empty() { None } else { blocked };
+        let stall = if self.fetch_buf.is_empty() {
+            None
+        } else {
+            blocked
+        };
         self.sleep[di] = Sleep::Asleep {
             wake_at: wake,
             stall,

@@ -69,7 +69,9 @@ fn stream_for(seed: u64) -> Arc<Stream> {
     static STREAMS: OnceLock<Mutex<HashMap<u64, Arc<Stream>>>> = OnceLock::new();
     let map = STREAMS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut g = map.lock().expect("jitter registry poisoned");
-    g.entry(seed).or_insert_with(|| Arc::new(Stream::new(seed))).clone()
+    g.entry(seed)
+        .or_insert_with(|| Arc::new(Stream::new(seed)))
+        .clone()
 }
 
 /// A clock's private read position in a shared seed stream.

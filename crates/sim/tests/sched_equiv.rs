@@ -51,7 +51,13 @@ fn fingerprint(r: &SimResult) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let f = |x: f64| x.to_bits();
-    writeln!(s, "instructions={} sim_time={}", r.instructions, r.sim_time.as_ps()).unwrap();
+    writeln!(
+        s,
+        "instructions={} sim_time={}",
+        r.instructions,
+        r.sim_time.as_ps()
+    )
+    .unwrap();
     writeln!(s, "regulator_energy={}", f(r.regulator_energy.as_joules())).unwrap();
     writeln!(
         s,
@@ -155,9 +161,11 @@ fn cases() -> impl Strategy<Value = Case> {
 
 fn build(case: &Case, stepping: bool) -> Machine<TraceGenerator> {
     let spec = registry::by_name(case.name).expect("registered benchmark");
-    let mut cfg = SimConfig::default();
-    cfg.cycle_stepping = stepping;
-    cfg.sync_model = case.sync;
+    let mut cfg = SimConfig {
+        cycle_stepping: stepping,
+        sync_model: case.sync,
+        ..SimConfig::default()
+    };
     if !case.jitter {
         cfg.jitter_sigma_ps = 0.0;
     }

@@ -27,7 +27,25 @@ non-negative, p50 <= p99), never compared against the reference. The
 derived cycles_skipped_per_event field is checked for consistency with
 the two exact counters it is computed from.
 
+With --http, the inputs are instead mcd-bench-http records (the
+checked-in reference is results/bench_http.json) and the gate shifts
+from simulation counters to serving SLOs:
+
+Hard invariants on the fresh record — machine-independent, any failure
+means the serving path broke:
+  * every phase: errors == 0, resets == 0, unexpected_status == 0
+  * the phase set matches the reference (keepalive + oneshot)
+  * keepalive reuse_ratio >= REUSE_FLOOR (connections actually persist)
+  * oneshot reuse_ratio <= 1 (the baseline stayed a baseline)
+
+Tolerance comparisons — CI machines vary, so these are ratios/slack
+against the reference, overridable via environment:
+  * p99_us <= reference p99 * HTTP_P99_TOLERANCE   (default 5.0)
+  * shed_rate <= reference shed_rate + HTTP_SHED_SLACK (default 0.10)
+  * achieved_rps >= reference achieved_rps * HTTP_RPS_FLOOR (default 0.5)
+
 Usage: bench_gate.py REFERENCE FRESH
+       bench_gate.py --http REFERENCE FRESH
 """
 
 import json
@@ -39,6 +57,11 @@ WALL_TOLERANCE = float(os.environ.get("WALL_TOLERANCE", "4.0"))
 # figure. The inverse of WALL_TOLERANCE by default: the two express the
 # same budget, one in wall time and one in throughput.
 MIPS_FLOOR = float(os.environ.get("MIPS_FLOOR", str(1.0 / WALL_TOLERANCE)))
+
+HTTP_P99_TOLERANCE = float(os.environ.get("HTTP_P99_TOLERANCE", "5.0"))
+HTTP_SHED_SLACK = float(os.environ.get("HTTP_SHED_SLACK", "0.10"))
+HTTP_RPS_FLOOR = float(os.environ.get("HTTP_RPS_FLOOR", "0.5"))
+REUSE_FLOOR = float(os.environ.get("REUSE_FLOOR", "5.0"))
 
 EXACT_TOTALS = [
     "total_runs",
@@ -62,9 +85,86 @@ def load(path):
         return json.load(f)
 
 
+def gate_http(ref, fresh):
+    """SLO gate over two mcd-bench-http records; returns error strings."""
+    errors = []
+    ref_phases = {p["mode"]: p for p in ref["phases"]}
+    fresh_phases = {p["mode"]: p for p in fresh["phases"]}
+    if set(ref_phases) != set(fresh_phases):
+        errors.append(
+            f"phase sets differ: reference={sorted(ref_phases)} "
+            f"fresh={sorted(fresh_phases)}"
+        )
+
+    for mode in sorted(set(ref_phases) & set(fresh_phases)):
+        r, f = ref_phases[mode], fresh_phases[mode]
+        if f["requests"] == 0:
+            errors.append(f"{mode}: zero requests completed")
+            continue
+        for hard in ("errors", "resets", "unexpected_status"):
+            if f[hard] != 0:
+                errors.append(f"{mode}: {hard} = {f[hard]} (must be 0)")
+        p99_budget = r["p99_us"] * HTTP_P99_TOLERANCE
+        if f["p99_us"] > p99_budget:
+            errors.append(
+                f"{mode}: p99 {f['p99_us']}us exceeds "
+                f"{HTTP_P99_TOLERANCE:.1f}x reference ({p99_budget:.0f}us)"
+            )
+        shed_budget = r["shed_rate"] + HTTP_SHED_SLACK
+        if f["shed_rate"] > shed_budget:
+            errors.append(
+                f"{mode}: shed_rate {f['shed_rate']:.4f} exceeds "
+                f"reference + slack ({shed_budget:.4f})"
+            )
+        rps_floor = r["achieved_rps"] * HTTP_RPS_FLOOR
+        if f["achieved_rps"] < rps_floor:
+            errors.append(
+                f"{mode}: achieved {f['achieved_rps']:.1f} rps below "
+                f"{HTTP_RPS_FLOOR:.2f}x reference ({rps_floor:.1f} rps)"
+            )
+
+    keepalive = fresh_phases.get("keepalive")
+    if keepalive and keepalive["reuse_ratio"] < REUSE_FLOOR:
+        errors.append(
+            f"keepalive: reuse_ratio {keepalive['reuse_ratio']:.2f} below "
+            f"the {REUSE_FLOOR:.1f}x floor — connections are not persisting"
+        )
+    oneshot = fresh_phases.get("oneshot")
+    if oneshot and oneshot["reuse_ratio"] > 1.0 + 1e-9:
+        errors.append(
+            f"oneshot: reuse_ratio {oneshot['reuse_ratio']:.2f} above 1 — "
+            f"the baseline phase reused connections"
+        )
+    return errors
+
+
+def main_http(ref_path, fresh_path):
+    ref = load(ref_path)
+    fresh = load(fresh_path)
+    errors = gate_http(ref, fresh)
+    if errors:
+        print("load gate: FAIL", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        sys.exit(1)
+    phases = {p["mode"]: p for p in fresh["phases"]}
+    summary = ", ".join(
+        f"{mode} {p['requests']} reqs p99 {p['p99_us'] / 1000.0:.1f}ms "
+        f"shed {p['shed_rate']:.2%} reuse {p['reuse_ratio']:.1f}x"
+        for mode, p in sorted(phases.items())
+    )
+    print(f"load gate: OK ({summary})")
+
+
 def main():
+    args = sys.argv[1:]
+    if args and args[0] == "--http":
+        if len(args) != 3:
+            sys.exit(f"usage: {sys.argv[0]} --http REFERENCE FRESH")
+        main_http(args[1], args[2])
+        return
     if len(sys.argv) != 3:
-        sys.exit(f"usage: {sys.argv[0]} REFERENCE FRESH")
+        sys.exit(f"usage: {sys.argv[0]} [--http] REFERENCE FRESH")
     ref = load(sys.argv[1])
     fresh = load(sys.argv[2])
     errors = []

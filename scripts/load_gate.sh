@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Load gate: launch mcd-serve, drive it with mcd-bench-http at the
+# pinned reference rate, and hold the fresh record to the SLOs in
+# results/bench_http.json via bench_gate.py --http.
+#
+# The server is controlled over a FIFO on --stdin-control: writing
+# "shutdown" drains in-flight work and exits cleanly, so the gate never
+# leaves a stray listener behind (and a hung server is killed by the
+# trap instead of hanging CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:7991}"
+RATE="${RATE:-200}"
+DURATION="${DURATION:-10}"
+FRESH="${FRESH:-bench_http_fresh.json}"
+REFERENCE="${REFERENCE:-results/bench_http.json}"
+
+serve=target/release/mcd-serve
+bench=target/release/mcd-bench-http
+if [[ ! -x "$serve" || ! -x "$bench" ]]; then
+  cargo build --release -p mcd-serve -p mcd-bench-http
+fi
+
+ctl=$(mktemp -u)
+mkfifo "$ctl"
+serve_log=$(mktemp)
+cleanup() {
+  if [[ -n "${serve_pid:-}" ]] && kill -0 "$serve_pid" 2>/dev/null; then
+    kill "$serve_pid" 2>/dev/null || true
+  fi
+  rm -f "$ctl" "$serve_log"
+}
+trap cleanup EXIT
+
+"$serve" --addr "$ADDR" --workers 4 --stdin-control < "$ctl" > "$serve_log" 2>&1 &
+serve_pid=$!
+# Keep the FIFO's write end open for the server's whole life.
+exec 9> "$ctl"
+
+for _ in $(seq 50); do
+  if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+if ! curl -sf "http://$ADDR/healthz" > /dev/null; then
+  echo "load gate: server did not come up; log follows" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+
+"$bench" --addr "$ADDR" --rate "$RATE" --duration "$DURATION" \
+  --connections 8 --distinct 8 --ops 6000 --seed 1 --out "$FRESH" > /dev/null
+
+echo "shutdown" >&9
+exec 9>&-
+wait "$serve_pid"
+serve_pid=
+
+python3 scripts/bench_gate.py --http "$REFERENCE" "$FRESH"
