@@ -106,6 +106,28 @@ impl DvfsController for AttackDecayController {
     fn name(&self) -> &'static str {
         "attack-decay"
     }
+
+    fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.framer.save_state(w);
+        w.put_bool(self.prev_util.is_some());
+        if let Some(u) = self.prev_util {
+            w.put_f64(u);
+        }
+        w.put_f64(self.carry);
+        w.put_u64(self.intervals);
+    }
+
+    fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.framer.load_state(r)?;
+        self.prev_util = if r.take_bool()? {
+            Some(r.take_f64()?)
+        } else {
+            None
+        };
+        self.carry = r.take_f64()?;
+        self.intervals = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

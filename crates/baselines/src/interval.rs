@@ -66,6 +66,22 @@ impl IntervalFramer {
         }
         Some(summary)
     }
+
+    /// Serializes the in-flight interval (the interval length is
+    /// configuration).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.next_boundary);
+        w.put_f64(self.sum);
+        w.put_u64(self.n);
+    }
+
+    /// Restores state captured by [`IntervalFramer::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.next_boundary = r.take_u64()?;
+        self.sum = r.take_f64()?;
+        self.n = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

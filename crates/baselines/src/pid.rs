@@ -145,6 +145,30 @@ impl DvfsController for PidController {
     fn name(&self) -> &'static str {
         "pid"
     }
+
+    fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.framer.save_state(w);
+        for v in [self.e1, self.e2, self.setting] {
+            w.put_bool(v.is_some());
+            if let Some(v) = v {
+                w.put_f64(v);
+            }
+        }
+        w.put_u64(self.intervals);
+    }
+
+    fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.framer.load_state(r)?;
+        for slot in [&mut self.e1, &mut self.e2, &mut self.setting] {
+            *slot = if r.take_bool()? {
+                Some(r.take_f64()?)
+            } else {
+                None
+            };
+        }
+        self.intervals = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

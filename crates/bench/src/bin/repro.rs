@@ -55,14 +55,22 @@ use mcd_sim::SimTelemetry;
 fn usage() -> String {
     format!(
         "usage: repro <experiment>...|all|list [--ops N] [--quick] [--seed S] [--jobs N] \
-         [--out DIR] [--bench-out FILE] [--trace-out FILE] \
+         [--shard-ops N] [--shard-secs S] [--out DIR] [--bench-out FILE] [--trace-out FILE] \
          [--checkpoint DIR] [--resume] [--run-timeout SECS]\n\
          \x20      repro trace analyze FILE [--out FILE]\n\
          \x20      repro profile <experiment>... [--ops N] [--quick] [--seed S] [--jobs N]\n\
-         experiments: {}",
+         experiments: {}\n\
+         --shard-ops N splits each simulation into N-instruction segments at snapshot\n\
+         boundaries (0 disables; reports are byte-identical either way);\n\
+         --shard-secs S picks the shard length from a target segment wall time.",
         experiments::ALL.join(", ")
     )
 }
+
+/// Calibration for `--shard-secs`: simulated instructions per wall
+/// second on a typical core (order-of-magnitude; sharding only needs the
+/// segment length to land near the requested duration).
+const SHARD_OPS_PER_SEC: f64 = 1_500_000.0;
 
 /// Backend-domain display names, indexed like [`ControllerActivity`].
 const DOMAINS: [&str; 3] = ControllerActivity::DOMAINS;
@@ -107,25 +115,21 @@ fn activity_table(a: &ControllerActivity) -> String {
 fn bench_report(
     jobs: usize,
     total_wall_s: f64,
+    stats: &mcd_bench::runner::RunStats,
+    compute_s: f64,
     records: &[(&'static str, CompletedRun)],
     activity: &ControllerActivity,
     telemetry: Option<&SimTelemetry>,
 ) -> String {
-    let runs: u64 = records.iter().map(|(_, r)| r.runs).sum();
-    let instructions: u64 = records.iter().map(|(_, r)| r.instructions).sum();
-    let hits: u64 = records.iter().map(|(_, r)| r.baseline_hits).sum();
-    let events: u64 = records.iter().map(|(_, r)| r.events_processed).sum();
-    let skipped: u64 = records.iter().map(|(_, r)| r.cycles_skipped).sum();
-    // Aggregate throughput is meaningful only over the experiments that
-    // actually simulate; analysis experiments contribute zero
-    // instructions in epsilon wall-clock and would only add noise.
-    let sim_wall_s: f64 = records
-        .iter()
-        .filter(|(_, r)| r.kind == experiments::Kind::Simulation.label())
-        .map(|(_, r)| r.wall_s)
-        .sum();
-    let mips = if sim_wall_s > 0.0 {
-        instructions as f64 / sim_wall_s / 1e6
+    // Totals come from the RunSet's global counters rather than summing
+    // the per-experiment records: under shared-pool attribution the
+    // memoized baseline computes are charged globally only (whichever
+    // experiment happens to trigger them is a scheduling accident), and
+    // under --resume the replayed records describe a *previous*
+    // invocation's work. The totals therefore count exactly what this
+    // invocation simulated.
+    let mips = if compute_s > 0.0 {
+        stats.instructions as f64 / compute_s / 1e6
     } else {
         0.0
     };
@@ -139,11 +143,16 @@ fn bench_report(
     };
     format!(
         "{{\n  \"jobs\": {jobs},\n  \"total_wall_s\": {total_wall_s:.3},\n  \
-         \"total_runs\": {runs},\n  \"total_instructions\": {instructions},\n  \
-         \"total_baseline_cache_hits\": {hits},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
-         \"total_events_processed\": {events},\n  \"total_cycles_skipped\": {skipped},\n  \
+         \"total_runs\": {},\n  \"total_instructions\": {},\n  \
+         \"total_baseline_requests\": {},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
+         \"total_events_processed\": {},\n  \"total_cycles_skipped\": {},\n  \
          \"controller_activity\": {},\n{telemetry_block}  \
          \"experiments\": [\n{}\n  ]\n}}\n",
+        stats.runs,
+        stats.instructions,
+        stats.baseline_requests,
+        stats.events_processed,
+        stats.cycles_skipped,
         activity.to_json(),
         body.join(",\n")
     )
@@ -519,6 +528,26 @@ fn main() -> ExitCode {
                 };
                 cfg.seed = s;
             }
+            "--shard-ops" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--shard-ops needs an integer (0 disables)\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                cfg = cfg.with_shard_ops(n);
+            }
+            "--shard-secs" => {
+                i += 1;
+                let Some(secs) = args.get(i).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--shard-secs needs seconds\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("--shard-secs needs positive seconds\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                cfg = cfg.with_shard_ops((secs * SHARD_OPS_PER_SEC).max(1.0) as u64);
+            }
             other => {
                 eprintln!("unknown flag {other}\n{}", usage());
                 return ExitCode::FAILURE;
@@ -566,37 +595,46 @@ fn main() -> ExitCode {
         .map(|(n, _)| (n, ids[n]))
         .collect();
 
-    // The experiments themselves parallelize *inside* a run via the
-    // RunSet worker pool; the sweep over experiments runs one at a time
-    // (jobs=1) so per-experiment counter deltas stay attributable. The
-    // isolation lives in par_try_map: panic capture, the optional
-    // per-run wall-clock budget, and one retry for transient failures.
+    // Experiments submit their runs to one process-wide work-stealing
+    // pool (capped at --jobs workers), so the sweep drives several
+    // experiments concurrently without oversubscribing: an experiment's
+    // long tail run no longer strands the other cores. Per-experiment
+    // numbers come from tag attribution, not counter deltas, so they
+    // stay honest while experiments interleave. The isolation lives in
+    // par_try_map: panic capture, the optional per-run wall-clock
+    // budget, and one retry for transient failures (reset_tag keeps a
+    // retried attempt from double-charging its first try).
     let sweep_cfg = cfg.clone();
     let sweep_ck = checkpoint.clone();
-    let results = par_try_map(1, pending.clone(), run_timeout, move |(_, id)| {
-        let before = rs.stats();
-        let wall_before = rs.wall_snapshot();
+    let drivers = jobs.min(pending.len()).max(1);
+    let results = par_try_map(drivers, pending.clone(), run_timeout, move |(_, id)| {
+        rs.reset_tag(id);
         let start = Instant::now();
-        let report = experiments::run_on(rs, id, &sweep_cfg)?;
-        let wall_s = start.elapsed().as_secs_f64();
-        let after = rs.stats();
-        // Per-simulation wall-time distribution within this experiment;
-        // the sweep over experiments is serial, so the delta is ours.
-        let wall = rs.wall_snapshot().diff(&wall_before);
+        let report = rs.with_tag(id, || experiments::run_on(rs, id, &sweep_cfg))?;
+        let driver_wall_s = start.elapsed().as_secs_f64();
+        let kind = experiments::kind(id).expect("ids are validated against ALL");
+        let tag = rs.tag_stats(id);
+        // Simulation experiments report the machine time their runs
+        // actually consumed (the driver's elapsed clock would include
+        // other experiments' runs interleaving on the shared pool);
+        // analysis experiments do no pool work, so the driver clock is
+        // the honest figure.
+        let wall_s = if kind == experiments::Kind::Simulation && tag.compute_us > 0 {
+            tag.wall_s()
+        } else {
+            driver_wall_s
+        };
         let run = CompletedRun {
             report,
-            kind: experiments::kind(id)
-                .expect("ids are validated against ALL")
-                .label()
-                .to_string(),
+            kind: kind.label().to_string(),
             wall_s,
-            runs: after.runs - before.runs,
-            instructions: after.instructions - before.instructions,
-            baseline_hits: after.baseline_hits - before.baseline_hits,
-            events_processed: after.events_processed - before.events_processed,
-            cycles_skipped: after.cycles_skipped - before.cycles_skipped,
-            run_wall_p50_s: wall.p50() as f64 / 1e6,
-            run_wall_p99_s: wall.p99() as f64 / 1e6,
+            runs: tag.runs,
+            instructions: tag.instructions,
+            baseline_requests: tag.baseline_requests,
+            events_processed: tag.events_processed,
+            cycles_skipped: tag.cycles_skipped,
+            run_wall_p50_s: tag.run_wall_p50_s(),
+            run_wall_p99_s: tag.run_wall_p99_s(),
         };
         if let Some(ck) = &sweep_ck {
             ck.store(id, &run)?;
@@ -647,6 +685,8 @@ fn main() -> ExitCode {
         let json = bench_report(
             rs.jobs(),
             all_start.elapsed().as_secs_f64(),
+            &rs.stats(),
+            rs.wall_snapshot().sum() as f64 / 1e6,
             &records,
             &activity,
             rs.telemetry(),

@@ -38,17 +38,32 @@ fn io_err(path: &Path, e: std::io::Error) -> RunError {
     }
 }
 
-/// Writes `contents` to `path`, creating missing parent directories.
-/// Every file the harness emits (`--out`, `--bench-out`, `--trace-out`,
-/// checkpoints) goes through here so path handling and error reporting
-/// are uniform.
+/// Writes `contents` to `path` atomically, creating missing parent
+/// directories. Every file the harness emits (`--out`, `--bench-out`,
+/// `--trace-out`, checkpoints, warm snapshots) goes through here so path
+/// handling and error reporting are uniform.
+///
+/// The write lands in a temporary sibling first and is renamed into
+/// place, so a reader — including `--resume` after the writer was killed
+/// mid-write — sees the old contents or the new contents, never a
+/// truncated mix. (The rename is atomic on the POSIX filesystems the
+/// harness targets because the temporary lives in the same directory.)
 pub fn write_file(path: &Path, contents: &[u8]) -> Result<(), RunError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).map_err(|e| io_err(parent, e))?;
         }
     }
-    std::fs::write(path, contents).map_err(|e| io_err(path, e))
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        // Leave no stray temporary behind a failed rename (e.g. the
+        // destination is a directory).
+        std::fs::remove_file(&tmp).ok();
+        io_err(path, e)
+    })
 }
 
 /// One completed experiment as recorded in (or replayed from) a
@@ -65,8 +80,10 @@ pub struct CompletedRun {
     pub runs: u64,
     /// Instructions simulated.
     pub instructions: u64,
-    /// Baseline-cache hits.
-    pub baseline_hits: u64,
+    /// Baseline lookups the experiment issued (hits and computes alike —
+    /// see `RunStats::baseline_requests` for why requests, not hits, are
+    /// the deterministic quantity).
+    pub baseline_requests: u64,
     /// Scheduler events the experiment's simulations dispatched.
     pub events_processed: u64,
     /// Clock edges and sampling periods the event-driven core absorbed
@@ -109,14 +126,14 @@ impl CompletedRun {
         };
         format!(
             "{{\"experiment\": \"{id}\", \"kind\": \"{}\", \"wall_s\": {wall_s:.3}, \"runs\": {}, \
-             \"instructions\": {}, \"baseline_cache_hits\": {}, \"simulated_mips\": {mips:.2}, \
+             \"instructions\": {}, \"baseline_requests\": {}, \"simulated_mips\": {mips:.2}, \
              \"events_processed\": {}, \"cycles_skipped\": {}, \
              \"cycles_skipped_per_event\": {skipped_per_event:.2}, \
              \"run_wall_p50_s\": {p50:.3}, \"run_wall_p99_s\": {p99:.3}}}",
             self.kind,
             self.runs,
             self.instructions,
-            self.baseline_hits,
+            self.baseline_requests,
             self.events_processed,
             self.cycles_skipped,
         )
@@ -300,9 +317,13 @@ impl CheckpointDir {
             wall_s: f64_field(&record, "wall_s")?,
             runs: u64_field(&record, "runs")?,
             instructions: u64_field(&record, "instructions")?,
-            baseline_hits: u64_field(&record, "baseline_cache_hits")?,
-            // Records written before these fields existed fail to load
-            // and simply re-run — the standard incomplete-entry path.
+            // Renamed from "baseline_cache_hits" when the counter became
+            // request-granular: records written under the old name (or
+            // before a field existed) fail to load and simply re-run —
+            // the standard incomplete-entry path, which also covers any
+            // truncated file an unclean kill might have left before
+            // writes became atomic.
+            baseline_requests: u64_field(&record, "baseline_requests")?,
             events_processed: u64_field(&record, "events_processed")?,
             cycles_skipped: u64_field(&record, "cycles_skipped")?,
             run_wall_p50_s: f64_field(&record, "run_wall_p50_s")?,
@@ -332,7 +353,7 @@ mod tests {
             wall_s: 1.25,
             runs: 7,
             instructions: 123_456,
-            baseline_hits: 3,
+            baseline_requests: 3,
             events_processed: 9_876,
             cycles_skipped: 54_321,
             run_wall_p50_s: 0.125,
@@ -379,6 +400,66 @@ mod tests {
         assert_eq!(std::fs::read(&deep).expect("read back"), b"x");
         let err = write_file(&dir.join("a/b"), b"clobber a directory").unwrap_err();
         assert_eq!(err.kind(), "io");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_file_leaves_no_temporaries_behind() {
+        let dir = scratch_dir();
+        write_file(&dir.join("out.txt"), b"payload").expect("write");
+        // Failed rename (destination is a directory) cleans up too.
+        std::fs::create_dir_all(dir.join("taken")).expect("mkdir");
+        write_file(&dir.join("taken"), b"clobber").unwrap_err();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temporaries: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The kill-mid-write regression: a record truncated at any byte —
+    /// what a non-atomic writer could leave when killed — must read as
+    /// "incomplete, re-run", never as a resumable entry. With atomic
+    /// writes the file can no longer *be* truncated, but `--resume` must
+    /// also survive directories written by older binaries or mangled by
+    /// the filesystem.
+    #[test]
+    fn truncated_record_is_rerun_not_trusted() {
+        let dir = scratch_dir();
+        let ck = CheckpointDir::open(&dir, "fp").expect("open");
+        ck.store("fig9", &sample()).expect("store");
+        let record_path = dir.join("fig9.record.json");
+        let full = std::fs::read(&record_path).expect("read record");
+        for cut in [1, full.len() / 2, full.len() - 10] {
+            std::fs::write(&record_path, &full[..cut]).expect("truncate");
+            assert_eq!(
+                ck.load("fig9"),
+                None,
+                "a record cut at byte {cut} must not resume"
+            );
+        }
+        // Restoring the full bytes resumes again — load keys off content,
+        // not some side channel.
+        std::fs::write(&record_path, &full).expect("restore");
+        assert_eq!(ck.load("fig9"), Some(sample()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Records written under the pre-rename schema (`baseline_cache_hits`)
+    /// re-run instead of resuming with a garbage counter.
+    #[test]
+    fn old_schema_records_rerun() {
+        let dir = scratch_dir();
+        let ck = CheckpointDir::open(&dir, "fp").expect("open");
+        ck.store("fig9", &sample()).expect("store");
+        let record_path = dir.join("fig9.record.json");
+        let new_schema = std::fs::read_to_string(&record_path).expect("read");
+        let old_schema = new_schema.replace("baseline_requests", "baseline_cache_hits");
+        assert_ne!(new_schema, old_schema);
+        std::fs::write(&record_path, old_schema).expect("rewrite");
+        assert_eq!(ck.load("fig9"), None, "old-schema records must re-run");
         std::fs::remove_dir_all(&dir).ok();
     }
 

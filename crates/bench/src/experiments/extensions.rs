@@ -12,21 +12,32 @@ use crate::error::RunError;
 use crate::runner::{controller_for, pct, Outcome, RunConfig, RunSet, Scheme};
 use crate::table::Table;
 
-/// Runs a spec (not necessarily registered) under a scheme.
+/// Runs a spec (not necessarily registered) under a scheme, sharded at
+/// `cfg.shard_ops` snapshot boundaries like every registry-backed run —
+/// this is what lets the wavelength sweep's 4.8 M-instruction points
+/// contribute segment-sized wall samples instead of one monster sample.
 fn run_spec(
     spec: &mcd_workloads::BenchmarkSpec,
     scheme: Scheme,
     cfg: &RunConfig,
     sink: &mut dyn mcd_sim::TraceSink,
 ) -> Result<SimResult, RunError> {
-    let trace = TraceGenerator::try_new(spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
-    let mut machine = Machine::try_new(cfg.sim.clone(), trace)?;
-    for &d in &DomainId::BACKEND {
-        if let Some(c) = controller_for(scheme, d, cfg) {
-            machine = machine.with_controller(d, c);
-        }
-    }
-    Ok(machine.try_run_traced(sink)?)
+    crate::runner::run_sharded(
+        cfg.shard_ops,
+        None,
+        || {
+            let trace =
+                TraceGenerator::try_new(spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
+            let mut machine = Machine::try_new(cfg.sim.clone(), trace)?;
+            for &d in &DomainId::BACKEND {
+                if let Some(c) = controller_for(scheme, d, cfg) {
+                    machine = machine.with_controller(d, c);
+                }
+            }
+            Ok(machine)
+        },
+        sink,
+    )
 }
 
 /// Wavelength sweep: how each scheme's EDP gain depends on the workload's

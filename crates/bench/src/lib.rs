@@ -21,7 +21,10 @@
 //! assert!(result.instructions > 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the work-stealing pool (`steal`) needs
+// one documented lifetime erasure and opts in module-locally, exactly
+// as `mcd-serve` does for its syscall shims.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checkpoint;
@@ -30,6 +33,8 @@ pub mod experiments;
 pub mod fault;
 pub mod parallel;
 pub mod runner;
+pub mod snapstore;
+pub mod steal;
 pub mod table;
 pub mod trace_analyze;
 

@@ -1,5 +1,6 @@
 //! Shared run plumbing: schemes × benchmarks × configurations.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -10,11 +11,13 @@ use mcd_baselines::{AttackDecayController, PidConfig, PidController};
 use mcd_sim::metrics::Metrics;
 use mcd_sim::telemetry::{SimTelemetry, TelemetrySink};
 use mcd_sim::trace::{NullSink, TraceEvent, TraceSink, VecSink};
-use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult};
+use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult, SnapshotSource};
 use mcd_telemetry::{Histogram, HistogramSnapshot, Profiler};
-use mcd_workloads::{registry, TraceGenerator};
+use mcd_workloads::{registry, MicroOp, TraceGenerator};
 
 use crate::error::RunError;
+use crate::snapstore::SnapStore;
+use crate::steal::{self, StealPool};
 
 /// The DVFS policy attached to the three back-end domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +63,18 @@ pub struct RunConfig {
     /// Adaptive-controller configuration factory knob: reference-occupancy
     /// scale (1.0 = the paper's 6/4/4).
     pub q_ref_scale: f64,
+    /// Shard length in retired instructions: a run pauses at each
+    /// multiple, round-trips the engine through a serialized snapshot,
+    /// and continues — byte-identical to an uninterrupted run (the
+    /// shard-equivalence invariant), so this is purely a scheduling
+    /// knob: per-segment wall samples keep the run-wall tail honest and
+    /// give warm starts their resume points. `None` disables sharding.
+    pub shard_ops: Option<u64>,
+    /// Warm-start snapshot directory (see [`crate::snapstore`]): runs
+    /// resume from their latest stored shard boundary and store new
+    /// boundaries as they pass. `None` (the default, and what `repro`
+    /// uses) runs everything cold.
+    pub warm_dir: Option<std::path::PathBuf>,
     /// Simulator configuration.
     pub sim: SimConfig,
 }
@@ -73,6 +88,8 @@ impl RunConfig {
             traces: false,
             pid_interval: 10_000,
             q_ref_scale: 1.0,
+            shard_ops: Some(600_000),
+            warm_dir: None,
             sim: SimConfig::default(),
         }
     }
@@ -95,6 +112,17 @@ impl RunConfig {
     /// Enables trace recording.
     pub fn with_traces(mut self) -> Self {
         self.traces = true;
+        self
+    }
+
+    /// Overrides the shard length (`0` disables sharding). Reports are
+    /// byte-identical for every setting; see [`RunConfig::shard_ops`].
+    pub fn with_shard_ops(mut self, shard_ops: u64) -> Self {
+        self.shard_ops = if shard_ops == 0 {
+            None
+        } else {
+            Some(shard_ops)
+        };
         self
     }
 }
@@ -132,27 +160,139 @@ pub fn run(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> Result<SimResult
 }
 
 /// Runs `benchmark` under `scheme`, streaming observability events into
-/// `sink`. Bit-identical to [`run`] for any sink.
+/// `sink`. Bit-identical to [`run`] for any sink, any `shard_ops`, and
+/// warm or cold start (the shard-equivalence invariant).
 pub fn run_traced(
     benchmark: &str,
     scheme: Scheme,
     cfg: &RunConfig,
     sink: &mut dyn TraceSink,
 ) -> Result<SimResult, RunError> {
-    let spec = registry::by_name(benchmark)
+    registry::by_name(benchmark)
         .ok_or_else(|| RunError::Workload(format!("unknown benchmark {benchmark}")))?;
-    let mut sim = cfg.sim.clone();
-    if cfg.traces {
-        sim = sim.with_traces();
-    }
-    let trace = TraceGenerator::try_new(&spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
-    let mut machine = Machine::try_new(sim, trace)?;
-    for &d in &DomainId::BACKEND {
-        if let Some(c) = controller_for(scheme, d, cfg) {
-            machine = machine.with_controller(d, c);
+    let store = match &cfg.warm_dir {
+        Some(dir) => Some(SnapStore::open(dir)?),
+        None => None,
+    };
+    let warm_key = warm_key(benchmark, scheme, cfg);
+    run_sharded(
+        cfg.shard_ops,
+        store.as_ref().map(|s| (s, warm_key.as_str())),
+        || {
+            let spec = registry::by_name(benchmark)
+                .ok_or_else(|| RunError::Workload(format!("unknown benchmark {benchmark}")))?;
+            let mut sim = cfg.sim.clone();
+            if cfg.traces {
+                sim = sim.with_traces();
+            }
+            let trace =
+                TraceGenerator::try_new(&spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
+            let mut machine = Machine::try_new(sim, trace)?;
+            for &d in &DomainId::BACKEND {
+                if let Some(c) = controller_for(scheme, d, cfg) {
+                    machine = machine.with_controller(d, c);
+                }
+            }
+            Ok(machine)
+        },
+        sink,
+    )
+}
+
+/// The warm-store identity of one run: every knob that shapes the
+/// result. `shard_ops` is deliberately absent (it cannot change bytes)
+/// and `warm_dir` is the store itself.
+fn warm_key(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> String {
+    format!(
+        "{benchmark}|{}|ops={}|seed={}|traces={}|pid={}|qref={}|{:?}",
+        scheme.name(),
+        cfg.ops,
+        cfg.seed,
+        cfg.traces,
+        cfg.pid_interval,
+        cfg.q_ref_scale,
+        cfg.sim
+    )
+}
+
+thread_local! {
+    /// Per-segment wall samples (µs) of the run currently executing on
+    /// this thread, filled by [`run_sharded`] and drained by the
+    /// [`RunSet`] into its wall-time histogram. Sharding thus turns one
+    /// long wall sample into one per segment — the p99 the benchmark
+    /// gate watches measures *scheduling granules*, which is what a core
+    /// is actually blocked on.
+    static SEGMENT_WALLS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records one completed segment's wall time.
+fn record_segment(start: Instant) {
+    let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    SEGMENT_WALLS.with(|w| w.borrow_mut().push(us));
+}
+
+/// Runs a machine to completion in `shard_ops`-instruction segments,
+/// round-tripping the full engine state through a serialized snapshot at
+/// every boundary. The result and the event stream written to `sink` are
+/// byte-identical to an uninterrupted run.
+///
+/// `build` constructs the machine fresh (same configuration, same
+/// controllers); each boundary snapshot restores into a *new* machine
+/// from `build`, which is exactly the restore contract the engine
+/// documents — and exactly what a warm start across processes does.
+/// With `warm` set, the run first tries to resume from the store's
+/// latest boundary for its key and saves each boundary it passes; warm
+/// resume is skipped when `sink` is live, since events before the resume
+/// point would be missing from the stream.
+pub fn run_sharded<T, F>(
+    shard_ops: Option<u64>,
+    warm: Option<(&SnapStore, &str)>,
+    build: F,
+    sink: &mut dyn TraceSink,
+) -> Result<SimResult, RunError>
+where
+    T: Iterator<Item = MicroOp> + SnapshotSource,
+    F: Fn() -> Result<Machine<T>, RunError>,
+{
+    let Some(shard) = shard_ops.filter(|&s| s > 0) else {
+        let start = Instant::now();
+        let result = build()?.try_run_traced(sink)?;
+        record_segment(start);
+        return Ok(result);
+    };
+    let mut machine = build()?;
+    if let Some((store, key)) = warm {
+        if !sink.enabled() {
+            if let Some(bytes) = store.load(key) {
+                // A snapshot that fails the engine's framing checks is
+                // stale state on disk, not a caller error: start cold.
+                if machine.restore(&bytes).is_err() {
+                    machine = build()?;
+                }
+            }
         }
     }
-    Ok(machine.try_run_traced(sink)?)
+    loop {
+        let start = Instant::now();
+        let boundary = machine.retired() + shard;
+        if machine.try_advance_traced(boundary, sink)? {
+            let result = machine.finish_traced(sink);
+            record_segment(start);
+            return Ok(result);
+        }
+        let snapshot = machine.snapshot();
+        if let Some((store, key)) = warm {
+            if !sink.enabled() {
+                // Best-effort: a full disk must not fail the run.
+                let _ = store.save(key, &snapshot);
+            }
+        }
+        machine = build()?;
+        machine.restore(&snapshot).map_err(|e| {
+            RunError::Config(format!("shard-boundary snapshot failed to restore: {e}"))
+        })?;
+        record_segment(start);
+    }
 }
 
 /// Counters accumulated by a [`RunSet`] — the raw material for the
@@ -163,14 +303,72 @@ pub struct RunStats {
     pub runs: u64,
     /// Dynamic instructions simulated across those runs.
     pub instructions: u64,
-    /// Baseline requests answered from the memo cache.
-    pub baseline_hits: u64,
+    /// Baseline lookups issued against the memo cache (hits *and* the
+    /// one compute per key). Counted per request rather than per hit so
+    /// the number is deterministic under concurrent experiments — which
+    /// requester pays the compute is a scheduling race, how many ask is
+    /// not.
+    pub baseline_requests: u64,
     /// Scheduler events dispatched across those runs (see
     /// [`Metrics::events_processed`]).
     pub events_processed: u64,
     /// Clock edges and sampling periods absorbed by steady-state replay
     /// or sample batching (see [`Metrics::cycles_skipped`]).
     pub cycles_skipped: u64,
+}
+
+/// Per-experiment attribution: everything one tag's runs consumed, kept
+/// separately from the global counters so concurrent experiments report
+/// honest per-record numbers (see [`RunSet::with_tag`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExpStats {
+    /// Simulations executed under this tag.
+    pub runs: u64,
+    /// Dynamic instructions simulated under this tag.
+    pub instructions: u64,
+    /// Baseline lookups issued from under this tag. The memoized compute
+    /// itself is charged globally only (whoever loses the race would
+    /// otherwise inflate one arbitrary experiment).
+    pub baseline_requests: u64,
+    /// Scheduler events dispatched under this tag.
+    pub events_processed: u64,
+    /// Clock edges absorbed by steady-state replay under this tag.
+    pub cycles_skipped: u64,
+    /// Total simulation compute under this tag, µs — the sum over
+    /// segments, which under work stealing is the honest "how much
+    /// machine time did this experiment cost" (driver-observed elapsed
+    /// time includes other experiments' runs interleaving).
+    pub compute_us: u64,
+    /// Per-segment wall samples, µs (see [`run_sharded`]).
+    pub wall_samples_us: Vec<u64>,
+}
+
+impl ExpStats {
+    /// Total simulation compute in seconds.
+    pub fn wall_s(&self) -> f64 {
+        self.compute_us as f64 / 1e6
+    }
+
+    /// Median per-segment wall time, seconds.
+    pub fn run_wall_p50_s(&self) -> f64 {
+        percentile_us(&self.wall_samples_us, 50.0)
+    }
+
+    /// 99th-percentile per-segment wall time, seconds.
+    pub fn run_wall_p99_s(&self) -> f64 {
+        percentile_us(&self.wall_samples_us, 99.0)
+    }
+}
+
+/// Nearest-rank percentile of µs samples, in seconds (0.0 when empty).
+fn percentile_us(samples: &[u64], pct: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((pct / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64 / 1e6
 }
 
 /// Controller-activity counters aggregated over every simulation a
@@ -371,18 +569,25 @@ type BaselineSlot = Arc<OnceLock<Result<Arc<SimResult>, RunError>>>;
 /// result) and hands out shared copies.
 ///
 /// Each simulation stays single-threaded and deterministic; the set
-/// fans independent runs across up to `jobs` threads via
-/// [`RunSet::par`], returning results in input order, so reports are
-/// byte-identical whatever the worker count.
+/// fans independent runs across one process-wide [`StealPool`] of `jobs`
+/// workers via [`RunSet::par`], returning results in input order, so
+/// reports are byte-identical whatever the worker count. Work stealing
+/// is run-granular: every experiment's runs land in one shared queue, so
+/// a long tail run never strands the other cores, and concurrent
+/// experiments never oversubscribe the machine.
 #[derive(Debug)]
 pub struct RunSet {
     jobs: usize,
+    pool: StealPool,
     baselines: Mutex<HashMap<String, BaselineSlot>>,
     runs: AtomicU64,
     instructions: AtomicU64,
-    baseline_hits: AtomicU64,
+    baseline_requests: AtomicU64,
     events_processed: AtomicU64,
     cycles_skipped: AtomicU64,
+    /// Per-experiment attribution, keyed by the tag installed with
+    /// [`RunSet::with_tag`].
+    per_tag: Mutex<HashMap<&'static str, ExpStats>>,
     activity: Mutex<ControllerActivity>,
     /// When tracing is on, each executed simulation's labeled event
     /// stream lands here (`None` = tracing disabled, simulations run
@@ -411,12 +616,14 @@ impl RunSet {
     pub fn new(jobs: usize) -> Self {
         RunSet {
             jobs: jobs.max(1),
+            pool: StealPool::new(jobs.max(1)),
             baselines: Mutex::new(HashMap::new()),
             runs: AtomicU64::new(0),
             instructions: AtomicU64::new(0),
-            baseline_hits: AtomicU64::new(0),
+            baseline_requests: AtomicU64::new(0),
             events_processed: AtomicU64::new(0),
             cycles_skipped: AtomicU64::new(0),
+            per_tag: Mutex::new(HashMap::new()),
             activity: Mutex::new(ControllerActivity::default()),
             tracing: None,
             telemetry: None,
@@ -498,10 +705,47 @@ impl RunSet {
         RunStats {
             runs: self.runs.load(Ordering::Relaxed),
             instructions: self.instructions.load(Ordering::Relaxed),
-            baseline_hits: self.baseline_hits.load(Ordering::Relaxed),
+            baseline_requests: self.baseline_requests.load(Ordering::Relaxed),
             events_processed: self.events_processed.load(Ordering::Relaxed),
             cycles_skipped: self.cycles_skipped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Runs `f` with `tag` installed as this thread's experiment tag:
+    /// every simulation `f` starts — directly or through [`RunSet::par`],
+    /// whose workers inherit the submitter's tag per stolen item — is
+    /// charged to `tag` in the per-experiment attribution (see
+    /// [`RunSet::tag_stats`]). The previous tag is restored even if `f`
+    /// panics.
+    pub fn with_tag<R>(&self, tag: &'static str, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<&'static str>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                steal::set_current_tag(self.0);
+            }
+        }
+        let _restore = Restore(steal::set_current_tag(Some(tag)));
+        f()
+    }
+
+    /// Clears `tag`'s attribution. The drivers call this before each
+    /// attempt of an experiment so a timed-out or panicked first attempt
+    /// does not double-charge the retry.
+    pub fn reset_tag(&self, tag: &str) {
+        self.per_tag
+            .lock()
+            .expect("per-tag attribution poisoned")
+            .remove(tag);
+    }
+
+    /// `tag`'s attribution so far (zeroed default if it never ran).
+    pub fn tag_stats(&self, tag: &str) -> ExpStats {
+        self.per_tag
+            .lock()
+            .expect("per-tag attribution poisoned")
+            .get(tag)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Controller-activity aggregate over every simulation executed so
@@ -527,7 +771,10 @@ impl RunSet {
         &self.profiler
     }
 
-    fn count(&self, result: SimResult) -> SimResult {
+    /// Folds a finished run into the global counters and — when a tag is
+    /// installed — its experiment's attribution, along with the run's
+    /// per-segment wall samples and total compute time.
+    fn count(&self, result: SimResult, segments: &[u64], compute_us: u64) -> SimResult {
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.instructions
             .fetch_add(result.instructions, Ordering::Relaxed);
@@ -539,20 +786,63 @@ impl RunSet {
             .lock()
             .expect("activity aggregate poisoned")
             .absorb(&result.metrics);
+        if let Some(tag) = steal::current_tag() {
+            let mut map = self.per_tag.lock().expect("per-tag attribution poisoned");
+            let exp = map.entry(tag).or_default();
+            exp.runs += 1;
+            exp.instructions += result.instructions;
+            exp.events_processed += result.metrics.events_processed;
+            exp.cycles_skipped += result.metrics.cycles_skipped;
+            exp.compute_us += compute_us;
+            exp.wall_samples_us.extend_from_slice(segments);
+        }
+        result
+    }
+
+    /// Executes one simulation, routing it through the work-stealing
+    /// pool when called from outside it — so `jobs` caps *every*
+    /// concurrently executing simulation in the process, including ones
+    /// driven directly (not via [`RunSet::par`]). On a pool worker the
+    /// body runs inline.
+    fn simulate(
+        &self,
+        label: &str,
+        simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError> + Send,
+    ) -> Result<SimResult, RunError> {
+        if steal::on_worker() {
+            return self.simulate_inner(label, simulate);
+        }
+        let simulate = Mutex::new(Some(simulate));
+        let slot = Mutex::new(None);
+        self.pool.scope(1, steal::current_tag(), &|_| {
+            let f = simulate
+                .lock()
+                .expect("simulate slot poisoned")
+                .take()
+                .expect("single-item batch runs once");
+            *slot.lock().expect("result slot poisoned") = Some(self.simulate_inner(label, f));
+        });
+        let result = slot
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("pool batch completed");
         result
     }
 
     /// Executes one simulation through the set's sink policy: a
     /// [`NullSink`] when tracing and telemetry are both off (zero
     /// overhead), a collected [`VecSink`] and/or a [`TelemetrySink`]
-    /// otherwise. Counts the run and its wall time on success; a failed
-    /// run contributes no counters, no trace and no telemetry.
-    fn simulate(
+    /// otherwise. Counts the run and its per-segment wall times on
+    /// success; a failed run contributes no counters, no trace and no
+    /// telemetry.
+    fn simulate_inner(
         &self,
         label: &str,
         simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError>,
     ) -> Result<SimResult, RunError> {
         let _span = self.profiler.span("simulate");
+        SEGMENT_WALLS.with(|w| w.borrow_mut().clear());
         let start = Instant::now();
         let tap = self.tap.0.as_deref();
         let result = match (&self.telemetry, &self.tracing) {
@@ -582,9 +872,17 @@ impl RunSet {
                 result
             }
         };
-        self.wall_us
-            .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
-        Ok(self.count(result))
+        let compute_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let mut segments = SEGMENT_WALLS.with(|w| std::mem::take(&mut *w.borrow_mut()));
+        if segments.is_empty() {
+            // Custom runs that bypass `run_sharded` contribute one
+            // whole-run sample, exactly the pre-sharding behavior.
+            segments.push(compute_us);
+        }
+        for &s in &segments {
+            self.wall_us.record(s);
+        }
+        Ok(self.count(result, &segments, compute_us))
     }
 
     /// Runs the simulation against `sink`, interposing the tap (when
@@ -652,29 +950,44 @@ impl RunSet {
     /// (later arrivals block on the in-flight computation). A failed
     /// baseline is memoized too — the failure is deterministic, so every
     /// requester sees the same typed error without re-simulating.
+    ///
+    /// Every call counts one `baseline_request`, globally and against
+    /// the caller's tag; the memoized compute itself is charged to the
+    /// global counters only — *which* requester loses the race and pays
+    /// is a scheduling accident, so attributing it to that requester's
+    /// experiment would make per-record numbers nondeterministic.
     pub fn baseline(&self, benchmark: &str, cfg: &RunConfig) -> Result<Arc<SimResult>, RunError> {
+        self.baseline_requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(tag) = steal::current_tag() {
+            self.per_tag
+                .lock()
+                .expect("per-tag attribution poisoned")
+                .entry(tag)
+                .or_default()
+                .baseline_requests += 1;
+        }
         let cell = {
             let mut map = self.baselines.lock().expect("baseline cache poisoned");
             map.entry(Self::baseline_key(benchmark, cfg))
                 .or_default()
                 .clone()
         };
-        let mut computed = false;
-        let result = cell
-            .get_or_init(|| {
-                computed = true;
-                let _span = self.profiler.span("baseline");
-                let label = Self::run_label(benchmark, Scheme::Baseline, cfg);
-                self.simulate(&label, |sink| {
-                    run_traced(benchmark, Scheme::Baseline, cfg, sink)
-                })
-                .map(Arc::new)
+        cell.get_or_init(|| {
+            struct Restore(Option<&'static str>);
+            impl Drop for Restore {
+                fn drop(&mut self) {
+                    steal::set_current_tag(self.0);
+                }
+            }
+            let _untagged = Restore(steal::set_current_tag(None));
+            let _span = self.profiler.span("baseline");
+            let label = Self::run_label(benchmark, Scheme::Baseline, cfg);
+            self.simulate(&label, |sink| {
+                run_traced(benchmark, Scheme::Baseline, cfg, sink)
             })
-            .clone();
-        if !computed {
-            self.baseline_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        result
+            .map(Arc::new)
+        })
+        .clone()
     }
 
     /// Runs `benchmark` under `scheme`, counting it toward the set's
@@ -699,20 +1012,43 @@ impl RunSet {
     pub fn run_custom(
         &self,
         label: &str,
-        simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError>,
+        simulate: impl FnOnce(&mut dyn TraceSink) -> Result<SimResult, RunError> + Send,
     ) -> Result<SimResult, RunError> {
         self.simulate(label, simulate)
     }
 
-    /// Maps `f` over `items` on this set's worker pool; results are in
-    /// input order (see [`crate::parallel::par_map`]).
+    /// Maps `f` over `items` on the process-wide work-stealing pool;
+    /// results are in input order, so callers are byte-identical
+    /// whatever the worker count or steal order. Called from a pool
+    /// worker (an item fanning out again), the batch runs inline.
     pub fn par<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> R + Sync,
     {
-        crate::parallel::par_map(self.jobs, items, f)
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let outputs: Vec<Mutex<Option<R>>> = inputs.iter().map(|_| Mutex::new(None)).collect();
+        self.pool.scope(inputs.len(), steal::current_tag(), &|i| {
+            let item = inputs[i]
+                .lock()
+                .expect("par input slot poisoned")
+                .take()
+                .expect("each index claimed once");
+            *outputs[i].lock().expect("par output slot poisoned") = Some(f(item));
+        });
+        outputs
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("par output slot poisoned")
+                    .expect("batch completed every index")
+            })
+            .collect()
     }
 }
 
@@ -849,7 +1185,136 @@ mod tests {
         let first = rs.baseline("adpcm_encode", &cfg).unwrap_err();
         let second = rs.baseline("adpcm_encode", &cfg).unwrap_err();
         assert_eq!(first, second);
-        assert_eq!(rs.stats().baseline_hits, 1, "second request hits the memo");
+        assert_eq!(
+            rs.stats().baseline_requests,
+            2,
+            "every lookup counts, memoized or not"
+        );
         assert_eq!(rs.stats().runs, 0, "failed runs are not counted");
+    }
+
+    /// Bit-stable fingerprint of a result: `Debug` renders `f64` as its
+    /// shortest round-trip form, so equal strings mean equal bits.
+    fn fingerprint(r: &SimResult) -> String {
+        format!("{r:?}")
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_unsharded() {
+        let base = RunConfig::quick().with_ops(30_000).with_shard_ops(0);
+        let whole = run("gzip", Scheme::Adaptive, &base).expect("unsharded");
+        for shard in [7_000, 10_000, 30_000] {
+            let sharded = run(
+                "gzip",
+                Scheme::Adaptive,
+                &base.clone().with_shard_ops(shard),
+            )
+            .expect("sharded");
+            assert_eq!(
+                fingerprint(&whole),
+                fingerprint(&sharded),
+                "shard_ops={shard} must not change the result"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_trace_stream_stitches_byte_identically() {
+        let base = RunConfig::quick().with_ops(24_000).with_traces();
+        let render = |cfg: &RunConfig| {
+            let mut sink = VecSink::new();
+            run_traced("adpcm_encode", Scheme::Pid, cfg, &mut sink).expect("run");
+            sink.into_events()
+                .iter()
+                .map(TraceEvent::to_json)
+                .collect::<String>()
+        };
+        assert_eq!(
+            render(&base.clone().with_shard_ops(0)),
+            render(&base.clone().with_shard_ops(5_000)),
+            "the stitched event stream must equal the uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn warm_start_resumes_byte_identically_and_rejects_stale_code() {
+        let dir = std::env::temp_dir().join(format!("mcd-warm-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cold_cfg = RunConfig::quick().with_ops(20_000).with_shard_ops(6_000);
+        let cold = run("swim", Scheme::Adaptive, &cold_cfg).expect("cold");
+        let mut warm_cfg = cold_cfg.clone();
+        warm_cfg.warm_dir = Some(dir.clone());
+        // First warm run populates the store; second resumes from the
+        // last boundary. Both must match the cold run exactly.
+        let first = run("swim", Scheme::Adaptive, &warm_cfg).expect("populate");
+        let second = run("swim", Scheme::Adaptive, &warm_cfg).expect("resume");
+        assert_eq!(fingerprint(&cold), fingerprint(&first));
+        assert_eq!(fingerprint(&cold), fingerprint(&second));
+        assert!(
+            std::fs::read_dir(&dir).expect("store dir").next().is_some(),
+            "the store must hold at least one boundary snapshot"
+        );
+        // A store written by a different binary is ignored, not trusted:
+        // corrupt every entry's fingerprint line and re-run.
+        for entry in std::fs::read_dir(&dir).expect("store dir") {
+            let path = entry.expect("entry").path();
+            let bytes = std::fs::read(&path).expect("read");
+            // Header layout: "msnap 1\n<code>\n<key>\n" — swap line two.
+            let nl =
+                |from: usize| from + bytes[from..].iter().position(|&b| b == b'\n').unwrap() + 1;
+            let (code_start, code_end) = (nl(0), nl(nl(0)));
+            let mut mangled = bytes[..code_start].to_vec();
+            mangled.extend_from_slice(b"stale-code\n");
+            mangled.extend_from_slice(&bytes[code_end..]);
+            std::fs::write(&path, mangled).expect("mangle");
+        }
+        let stale = run("swim", Scheme::Adaptive, &warm_cfg).expect("stale store");
+        assert_eq!(
+            fingerprint(&cold),
+            fingerprint(&stale),
+            "a stale store must fall back to a byte-identical cold run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tags_attribute_runs_to_their_experiment() {
+        let rs = RunSet::new(2);
+        let cfg = RunConfig::quick().with_ops(10_000);
+        rs.with_tag("exp-a", || {
+            rs.baseline("adpcm_encode", &cfg).expect("baseline");
+            rs.par(vec![0u32, 1], |_| {
+                rs.run("adpcm_encode", Scheme::Adaptive, &cfg).expect("run");
+            });
+        });
+        rs.with_tag("exp-b", || {
+            rs.run("gzip", Scheme::Pid, &cfg).expect("run");
+        });
+        let a = rs.tag_stats("exp-a");
+        let b = rs.tag_stats("exp-b");
+        assert_eq!(a.runs, 2, "workers inherit the submitter's tag");
+        assert_eq!(a.baseline_requests, 1);
+        assert_eq!(a.instructions, 20_000);
+        assert_eq!(b.runs, 1);
+        assert_eq!(b.baseline_requests, 0);
+        assert!(a.compute_us > 0 && !a.wall_samples_us.is_empty());
+        // The baseline *compute* is charged globally, not to exp-a.
+        assert_eq!(rs.stats().runs, 4);
+        let global_instr = rs.stats().instructions;
+        assert_eq!(global_instr, 40_000);
+        rs.reset_tag("exp-a");
+        assert_eq!(rs.tag_stats("exp-a").runs, 0, "reset clears attribution");
+        assert_eq!(rs.tag_stats("exp-b").runs, 1, "other tags untouched");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let stats = ExpStats {
+            wall_samples_us: vec![4_000_000, 1_000_000, 3_000_000, 2_000_000],
+            ..ExpStats::default()
+        };
+        assert_eq!(stats.run_wall_p50_s(), 2.0);
+        assert_eq!(stats.run_wall_p99_s(), 4.0);
+        assert_eq!(ExpStats::default().run_wall_p99_s(), 0.0);
     }
 }

@@ -76,7 +76,7 @@ proptest! {
         wall_ms in 0u64..3_600_000,
         runs in 0u64..500,
         instructions in 0u64..50_000_000_000,
-        baseline_hits in 0u64..500,
+        baseline_requests in 0u64..500,
         events_processed in 0u64..10_000_000_000,
         cycles_skipped in 0u64..10_000_000_000,
         kind in sample::select(vec!["simulation", "analysis"]),
@@ -94,7 +94,7 @@ proptest! {
             wall_s: wall_ms as f64 / 1000.0,
             runs,
             instructions,
-            baseline_hits,
+            baseline_requests,
             events_processed,
             cycles_skipped,
             run_wall_p50_s: p50_ms as f64 / 1000.0,

@@ -56,7 +56,10 @@ fn baseline_cache_dedupes_repeat_requests() {
     assert_eq!(first.sim_time, again.sim_time);
     let stats = rs.stats();
     assert_eq!(stats.runs, 1, "second request must hit the cache");
-    assert_eq!(stats.baseline_hits, 1);
+    assert_eq!(
+        stats.baseline_requests, 2,
+        "every lookup counts as a request"
+    );
 
     // A controller-only knob must not split the cache key...
     let mut pid_cfg = cfg.clone();

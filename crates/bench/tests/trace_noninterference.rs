@@ -19,7 +19,7 @@ use mcd_sim::{CtrlEvent, TraceEvent};
 fn assert_stats_equivalent(plain: RunStats, observed: RunStats) {
     assert_eq!(plain.runs, observed.runs);
     assert_eq!(plain.instructions, observed.instructions);
-    assert_eq!(plain.baseline_hits, observed.baseline_hits);
+    assert_eq!(plain.baseline_requests, observed.baseline_requests);
     assert_eq!(
         plain.events_processed + plain.cycles_skipped,
         observed.events_processed + observed.cycles_skipped,

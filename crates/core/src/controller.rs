@@ -265,6 +265,27 @@ impl DvfsController for AdaptiveDvfsController {
     fn drain_events(&mut self, out: &mut Vec<CtrlEvent>) {
         out.append(&mut self.events);
     }
+
+    fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.signals.save_state(w);
+        self.occupancy_fsm.save_state(w);
+        self.delta_fsm.save_state(w);
+        w.put_u64(self.actions);
+        w.put_u64(self.cancellations);
+    }
+
+    fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.signals.load_state(r)?;
+        self.occupancy_fsm.load_state(r)?;
+        self.delta_fsm.load_state(r)?;
+        self.actions = r.take_u64()?;
+        self.cancellations = r.take_u64()?;
+        // Decision events are not part of a snapshot: a traced machine
+        // drains them every sample (so they are empty between events), and
+        // an untraced one never observes them.
+        self.events.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -14,8 +14,7 @@
 //! down on that evidence forces an expensive re-ramp the moment the
 //! bottleneck clears; the veto suppresses exactly those spurious descents.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mcd_sim::{ControllerCtx, DomainId, DvfsAction, DvfsController, QueueSample};
 
@@ -23,6 +22,12 @@ use crate::config::AdaptiveConfig;
 use crate::controller::AdaptiveDvfsController;
 
 /// Shared blackboard of the three domains' latest queue utilizations.
+///
+/// Shared via `Arc<Mutex<_>>` rather than `Rc<RefCell<_>>`: controllers
+/// must be `Send` so a machine can migrate between worker threads at
+/// run-granularity work-steal and shard boundaries. The three controllers
+/// of one machine still only ever run on one thread at a time, so the
+/// lock is uncontended.
 #[derive(Debug)]
 pub struct Blackboard {
     utilization: [f64; 3],
@@ -37,12 +42,12 @@ impl Blackboard {
     /// # Panics
     ///
     /// Panics unless `saturation` is in `(0, 1]`.
-    pub fn new(saturation: f64) -> Rc<RefCell<Blackboard>> {
+    pub fn new(saturation: f64) -> Arc<Mutex<Blackboard>> {
         assert!(
             saturation > 0.0 && saturation <= 1.0,
             "saturation out of range"
         );
-        Rc::new(RefCell::new(Blackboard {
+        Arc::new(Mutex::new(Blackboard {
             utilization: [0.0; 3],
             saturation,
         }))
@@ -55,20 +60,25 @@ impl Blackboard {
             .enumerate()
             .any(|(i, &u)| i != slot && u >= self.saturation)
     }
+
+    /// Sets one domain slot's posted utilization (test hook).
+    pub fn post(&mut self, slot: usize, utilization: f64) {
+        self.utilization[slot] = utilization;
+    }
 }
 
 /// A per-domain adaptive controller that consults the shared blackboard.
 #[derive(Debug)]
 pub struct CoordinatedController {
     inner: AdaptiveDvfsController,
-    shared: Rc<RefCell<Blackboard>>,
+    shared: Arc<Mutex<Blackboard>>,
     slot: usize,
     vetoes: u64,
 }
 
 impl CoordinatedController {
     /// Wraps an adaptive controller for `domain` around `shared`.
-    pub fn new(cfg: AdaptiveConfig, domain: DomainId, shared: Rc<RefCell<Blackboard>>) -> Self {
+    pub fn new(cfg: AdaptiveConfig, domain: DomainId, shared: Arc<Mutex<Blackboard>>) -> Self {
         CoordinatedController {
             inner: AdaptiveDvfsController::new(cfg),
             shared,
@@ -85,13 +95,20 @@ impl CoordinatedController {
 
 impl DvfsController for CoordinatedController {
     fn on_sample(&mut self, ctx: &ControllerCtx<'_>, sample: QueueSample) -> Option<DvfsAction> {
-        self.shared.borrow_mut().utilization[self.slot] = sample.utilization();
+        self.shared.lock().expect("blackboard poisoned").utilization[self.slot] =
+            sample.utilization();
         let action = self.inner.on_sample(ctx, sample)?;
         let is_down = match action {
             DvfsAction::Step(s) => s < 0,
             DvfsAction::Set(target) => target < ctx.current,
         };
-        if is_down && self.shared.borrow().other_domain_saturated(self.slot) {
+        if is_down
+            && self
+                .shared
+                .lock()
+                .expect("blackboard poisoned")
+                .other_domain_saturated(self.slot)
+        {
             self.vetoes += 1;
             return None;
         }
@@ -111,7 +128,7 @@ pub fn coordinated_controllers() -> impl FnMut(DomainId) -> Box<dyn DvfsControll
         Box::new(CoordinatedController::new(
             AdaptiveConfig::for_domain(domain),
             domain,
-            Rc::clone(&shared),
+            Arc::clone(&shared),
         ))
     }
 }
@@ -141,9 +158,12 @@ mod tests {
         let mut fp = CoordinatedController::new(
             AdaptiveConfig::for_domain(DomainId::Fp),
             DomainId::Fp,
-            Rc::clone(&shared),
+            Arc::clone(&shared),
         );
-        shared.borrow_mut().utilization[DomainId::Int.backend_index()] = int_util;
+        shared
+            .lock()
+            .unwrap()
+            .post(DomainId::Int.backend_index(), int_util);
         let curve = VfCurve::mcd_default();
         let mut now = TimePs::ZERO;
         let mut actions = 0;
@@ -164,7 +184,10 @@ mod tests {
             }
             // Keep the INT pressure posted (the FP sample overwrote only
             // its own slot).
-            shared.borrow_mut().utilization[DomainId::Int.backend_index()] = int_util;
+            shared
+                .lock()
+                .unwrap()
+                .post(DomainId::Int.backend_index(), int_util);
         }
         (actions, fp.vetoes())
     }
@@ -186,7 +209,7 @@ mod tests {
     #[test]
     fn up_steps_never_vetoed() {
         let shared = Blackboard::new(0.75);
-        shared.borrow_mut().utilization[0] = 1.0;
+        shared.lock().unwrap().post(0, 1.0);
         let mut fp = CoordinatedController::new(
             AdaptiveConfig::for_domain(DomainId::Fp)
                 .with_windows(0.0, 0.0)
@@ -221,10 +244,10 @@ mod tests {
     #[test]
     fn blackboard_saturation_logic() {
         let b = Blackboard::new(0.75);
-        b.borrow_mut().utilization = [0.8, 0.1, 0.1];
-        assert!(b.borrow().other_domain_saturated(1));
-        assert!(b.borrow().other_domain_saturated(2));
-        assert!(!b.borrow().other_domain_saturated(0));
+        b.lock().unwrap().utilization = [0.8, 0.1, 0.1];
+        assert!(b.lock().unwrap().other_domain_saturated(1));
+        assert!(b.lock().unwrap().other_domain_saturated(2));
+        assert!(!b.lock().unwrap().other_domain_saturated(0));
     }
 
     #[test]

@@ -65,6 +65,17 @@ impl DelayCounter {
         self.accum = 0.0;
     }
 
+    /// Serializes the accumulated count (the threshold is configuration).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_f64(self.accum);
+    }
+
+    /// Restores state captured by [`DelayCounter::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.accum = r.take_f64()?;
+        Ok(())
+    }
+
     /// Effective number of samples until firing at a constant `increment`.
     pub fn samples_to_fire(&self, increment: f64) -> f64 {
         if increment <= 0.0 {

@@ -162,6 +162,52 @@ impl SignalFsm {
         self.state = State::Wait;
         self.counter.reset();
     }
+
+    /// Serializes the FSM's evolving state (the deviation window is
+    /// configuration; the counter and the state tag evolve).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.counter.save_state(w);
+        match self.state {
+            State::Wait => w.put_u8(0),
+            State::Counting(dir) => {
+                w.put_u8(1);
+                w.put_u8(match dir {
+                    Direction::Up => 0,
+                    Direction::Down => 1,
+                });
+            }
+            State::Acting { until } => {
+                w.put_u8(2);
+                w.put_u64(until.as_ps());
+            }
+        }
+    }
+
+    /// Restores state captured by [`SignalFsm::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.counter.load_state(r)?;
+        self.state = match r.take_u8()? {
+            0 => State::Wait,
+            1 => State::Counting(match r.take_u8()? {
+                0 => Direction::Up,
+                1 => Direction::Down,
+                d => {
+                    return Err(mcd_snap::SnapError::Mismatch(format!(
+                        "bad relay direction tag {d}"
+                    )))
+                }
+            }),
+            2 => State::Acting {
+                until: TimePs::new(r.take_u64()?),
+            },
+            t => {
+                return Err(mcd_snap::SnapError::Mismatch(format!(
+                    "bad relay state tag {t}"
+                )))
+            }
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

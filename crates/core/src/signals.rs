@@ -43,6 +43,24 @@ impl QueueSignals {
     pub fn reset(&mut self) {
         self.prev = None;
     }
+
+    /// Serializes the previous-sample history.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_bool(self.prev.is_some());
+        if let Some(p) = self.prev {
+            w.put_f64(p);
+        }
+    }
+
+    /// Restores state captured by [`QueueSignals::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.prev = if r.take_bool()? {
+            Some(r.take_f64()?)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,25 @@ impl EnergyBreakdown {
             leakage: self.leakage + other.leakage,
         }
     }
+
+    /// Serializes every category total bit-exactly.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_f64(self.clock.as_joules());
+        w.put_f64(self.compute.as_joules());
+        w.put_f64(self.memory.as_joules());
+        w.put_f64(self.pipeline.as_joules());
+        w.put_f64(self.leakage.as_joules());
+    }
+
+    /// Restores state captured by [`EnergyBreakdown::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.clock = Energy::from_joules(r.take_f64()?);
+        self.compute = Energy::from_joules(r.take_f64()?);
+        self.memory = Energy::from_joules(r.take_f64()?);
+        self.pipeline = Energy::from_joules(r.take_f64()?);
+        self.leakage = Energy::from_joules(r.take_f64()?);
+        Ok(())
+    }
 }
 
 /// Accumulates the energy spent by one clock domain.
@@ -184,6 +203,23 @@ impl DomainEnergyMeter {
     /// Structure accesses charged.
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Serializes the meter's evolving state (energy totals and counters);
+    /// the class and energy model come from construction.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.breakdown.save_state(w);
+        w.put_u64(self.cycles);
+        w.put_u64(self.events);
+    }
+
+    /// Restores state captured by [`DomainEnergyMeter::save_state`] into a
+    /// meter built with the same class and model.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.breakdown.load_state(r)?;
+        self.cycles = r.take_u64()?;
+        self.events = r.take_u64()?;
+        Ok(())
     }
 }
 

@@ -245,6 +245,55 @@ impl Regulator {
         };
         self.completed_transition_time + in_flight
     }
+
+    /// Serializes the regulator's evolving state (target, in-flight
+    /// transition, energy and slew accounting). The curve, style, and
+    /// capacitance come from construction and are not written — a restore
+    /// target must be built over the same configuration.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u16(self.target.0);
+        match self.transition {
+            None => w.put_bool(false),
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u64(t.from.as_hz());
+                w.put_u64(t.to.as_hz());
+                w.put_u64(t.start.as_ps());
+                w.put_u64(t.end.as_ps());
+            }
+        }
+        w.put_f64(self.switching_energy.as_joules());
+        w.put_u64(self.transitions_started);
+        w.put_u64(self.completed_transition_time.as_ps());
+    }
+
+    /// Restores state captured by [`Regulator::save_state`] into a
+    /// regulator built over the same curve and style.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let target = OpIndex(r.take_u16()?);
+        if target.0 > self.curve.max_index().0 {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "regulator target {} exceeds curve maximum {}",
+                target.0,
+                self.curve.max_index().0
+            )));
+        }
+        self.target = target;
+        self.transition = if r.take_bool()? {
+            Some(Transition {
+                from: Frequency::from_hz(r.take_u64()?),
+                to: Frequency::from_hz(r.take_u64()?),
+                start: TimePs::new(r.take_u64()?),
+                end: TimePs::new(r.take_u64()?),
+            })
+        } else {
+            None
+        };
+        self.switching_energy = Energy::from_joules(r.take_f64()?);
+        self.transitions_started = r.take_u64()?;
+        self.completed_transition_time = TimePs::new(r.take_u64()?);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

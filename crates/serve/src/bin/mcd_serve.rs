@@ -30,7 +30,9 @@ fn usage() -> ! {
          --idle-timeout SECS    idle keep-alive connections close after SECS (default 30)\n\
          --write-timeout SECS   stalled response writes abandoned after SECS (default 10)\n\
          --max-conns N          concurrent connections held; beyond N accepts shed (default 256)\n\
-         --warm DIR             warm-load DIR at start, flush cache there on shutdown\n\
+         --warm DIR             warm-load DIR at start, flush cache there on shutdown;\n\
+        \u{20}                       also stores mid-run snapshots under DIR/snapshots so\n\
+        \u{20}                       uncached runs resume from their last shard boundary\n\
          --ops N                base dynamic-operation count per benchmark (default quick)\n\
          --seed N               base workload seed\n\
          --full                 start from the full paper-scale configuration\n\

@@ -234,7 +234,7 @@ mod tests {
                 wall_s: 0.25,
                 runs: 2,
                 instructions: 1000,
-                baseline_hits: 0,
+                baseline_requests: 0,
                 events_processed: 40,
                 cycles_skipped: 160,
                 run_wall_p50_s: 0.125,

@@ -227,9 +227,18 @@ impl Server {
                 app.execute_job(job);
             }
         });
+        // The warm dir also hosts a snapshot store: runs whose result is
+        // not yet cached resume from their latest stored shard boundary
+        // instead of simulating from instruction zero (see
+        // `mcd_bench::snapstore`). Results stay byte-identical — the
+        // shard-equivalence invariant — so this only moves wall time.
+        let mut base_cfg = cfg.base_cfg.clone();
+        if base_cfg.warm_dir.is_none() {
+            base_cfg.warm_dir = cfg.warm_dir.as_ref().map(|d| d.join("snapshots"));
+        }
         let app = Arc::new(App::new(
             cfg.cache_cap,
-            cfg.base_cfg.clone(),
+            base_cfg,
             cfg.run_timeout,
             cfg.inner_jobs,
             pool.handle(),

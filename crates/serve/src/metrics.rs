@@ -127,7 +127,7 @@ impl Outcome {
 struct SimTotals {
     runs: u64,
     instructions: u64,
-    baseline_hits: u64,
+    baseline_requests: u64,
     activity: ControllerActivity,
 }
 
@@ -183,7 +183,7 @@ impl ServeMetrics {
         let mut sim = self.sim.lock().expect("sim totals poisoned");
         sim.runs += stats.runs;
         sim.instructions += stats.instructions;
-        sim.baseline_hits += stats.baseline_hits;
+        sim.baseline_requests += stats.baseline_requests;
         sim.activity.merge(activity);
     }
 
@@ -337,7 +337,7 @@ impl MetricsSnapshot {
              \"stream_subscribers\": {}, \"stream_rooms\": {}}},\n  \
              \"event_loop\": {{\"keepalive_reuses\": {}, \"deadline_closes\": {}, \
              \"loop_fds\": {}, \"loop_ready\": {}}},\n  \
-             \"simulation\": {{\"runs\": {}, \"instructions\": {}, \"baseline_cache_hits\": {}}},\n  \
+             \"simulation\": {{\"runs\": {}, \"instructions\": {}, \"baseline_requests\": {}}},\n  \
              \"controller_activity\": {}\n}}\n",
             self.accepted,
             self.shed,
@@ -361,7 +361,7 @@ impl MetricsSnapshot {
             self.loop_ready,
             self.sim.runs,
             self.sim.instructions,
-            self.sim.baseline_hits,
+            self.sim.baseline_requests,
             self.sim.activity.to_json(),
         )
     }
@@ -488,10 +488,10 @@ impl MetricsSnapshot {
         page.counter("mcd_sim_instructions_total", "Instructions simulated.")
             .sample(&[], self.sim.instructions);
         page.counter(
-            "mcd_sim_baseline_cache_hits_total",
-            "Baseline simulations answered from the memo cache.",
+            "mcd_sim_baseline_requests_total",
+            "Baseline lookups issued against the memo cache (hits and computes).",
         )
-        .sample(&[], self.sim.baseline_hits);
+        .sample(&[], self.sim.baseline_requests);
 
         let a = &self.sim.activity;
         let per_domain: [(&str, &str, &[u64; 3]); 8] = [
@@ -562,7 +562,7 @@ mod tests {
             RunStats {
                 runs: 4,
                 instructions: 123,
-                baseline_hits: 1,
+                baseline_requests: 1,
                 ..RunStats::default()
             },
             &ControllerActivity::default(),
@@ -590,7 +590,7 @@ mod tests {
             RunStats {
                 runs: 1,
                 instructions: 10,
-                baseline_hits: 0,
+                baseline_requests: 0,
                 ..RunStats::default()
             },
             &a,
@@ -599,7 +599,7 @@ mod tests {
             RunStats {
                 runs: 2,
                 instructions: 30,
-                baseline_hits: 1,
+                baseline_requests: 1,
                 ..RunStats::default()
             },
             &a,
@@ -627,7 +627,7 @@ mod tests {
             RunStats {
                 runs: 1,
                 instructions: 10,
-                baseline_hits: 0,
+                baseline_requests: 0,
                 ..RunStats::default()
             },
             &a,

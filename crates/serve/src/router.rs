@@ -437,7 +437,7 @@ fn run_experiment(
                 wall_s,
                 runs: stats.runs,
                 instructions: stats.instructions,
-                baseline_hits: stats.baseline_hits,
+                baseline_requests: stats.baseline_requests,
                 events_processed: stats.events_processed,
                 cycles_skipped: stats.cycles_skipped,
                 run_wall_p50_s: wall_p50_s,

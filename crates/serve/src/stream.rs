@@ -130,11 +130,31 @@ struct Sub {
     kind: SubKind,
 }
 
+/// Most-recent event lines a room retains for late subscribers. Bounded
+/// so a watched multi-million-event run holds a window, not the whole
+/// stream: a watcher attaching mid-flight sees the recent past and then
+/// follows live, exactly like `tail -f`.
+pub const BACKLOG_CAP: usize = 256;
+
+/// Everything that must stay mutually consistent under one lock: who is
+/// subscribed, and which lines they have already been sent. Replaying
+/// the backlog to a new watcher happens under this same lock, so a
+/// concurrent publish is either fully before the attach (line is in the
+/// backlog, replayed) or fully after (subscriber is registered,
+/// delivered live) — never both, never neither.
+struct RoomState {
+    subs: Vec<Sub>,
+    backlog: VecDeque<Arc<str>>,
+}
+
 /// One in-flight execution's fan-out point.
 pub struct Room {
-    subs: Mutex<Vec<Sub>>,
-    /// Mirrors `subs.len()`, readable without the lock — this is the
-    /// per-event "anyone listening?" check on the simulation hot path.
+    state: Mutex<RoomState>,
+    /// Mirrors `state.subs.len()`, readable without the lock — this is
+    /// the per-event "anyone listening?" check on the simulation hot
+    /// path. (It also gates event serialization, so the backlog only
+    /// accumulates while someone subscribes: unwatched runs keep the
+    /// zero-cost NullSink path and retain nothing.)
     sub_count: AtomicUsize,
     /// True while a leader execution is feeding the room. Watch requests
     /// only attach to active rooms; subscribing can race the close, in
@@ -145,7 +165,10 @@ pub struct Room {
 impl Room {
     fn new() -> Room {
         Room {
-            subs: Mutex::new(Vec::new()),
+            state: Mutex::new(RoomState {
+                subs: Vec::new(),
+                backlog: VecDeque::new(),
+            }),
             sub_count: AtomicUsize::new(0),
             active: std::sync::atomic::AtomicBool::new(false),
         }
@@ -157,20 +180,20 @@ impl Room {
     }
 
     fn push(&self, token: u64, kind: SubKind) {
-        let mut subs = self.subs.lock().expect("room subs poisoned");
-        if subs.iter().any(|s| s.token == token) {
+        let mut st = self.state.lock().expect("room state poisoned");
+        if st.subs.iter().any(|s| s.token == token) {
             return;
         }
-        subs.push(Sub { token, kind });
-        self.sub_count.store(subs.len(), Ordering::Relaxed);
+        st.subs.push(Sub { token, kind });
+        self.sub_count.store(st.subs.len(), Ordering::Relaxed);
     }
 
     fn remove(&self, token: u64) -> bool {
-        let mut subs = self.subs.lock().expect("room subs poisoned");
-        let before = subs.len();
-        subs.retain(|s| s.token != token);
-        self.sub_count.store(subs.len(), Ordering::Relaxed);
-        subs.len() != before
+        let mut st = self.state.lock().expect("room state poisoned");
+        let before = st.subs.len();
+        st.subs.retain(|s| s.token != token);
+        self.sub_count.store(st.subs.len(), Ordering::Relaxed);
+        st.subs.len() != before
     }
 }
 
@@ -219,6 +242,12 @@ impl Broadcast {
 
     /// Attaches a watcher to `key`'s room **only if** a flight is
     /// actively feeding it. Returns whether the subscription happened.
+    ///
+    /// A successful attach immediately replays the room's backlog — the
+    /// most recent [`BACKLOG_CAP`] event lines published while the room
+    /// was watched — to the new token, *under the same lock `publish`
+    /// takes*, so the replayed prefix and the live tail form one gapless,
+    /// duplicate-free stream.
     pub fn watch(&self, key: &str, token: u64) -> bool {
         let room = {
             let rooms = self.rooms.lock().expect("room registry poisoned");
@@ -226,23 +255,43 @@ impl Broadcast {
         };
         match room {
             Some(room) if room.active.load(Ordering::SeqCst) => {
-                room.push(token, SubKind::Watcher);
+                let mut st = room.state.lock().expect("room state poisoned");
+                if !st.subs.iter().any(|s| s.token == token) {
+                    st.subs.push(Sub {
+                        token,
+                        kind: SubKind::Watcher,
+                    });
+                    room.sub_count.store(st.subs.len(), Ordering::Relaxed);
+                    self.events_published
+                        .fetch_add(st.backlog.len() as u64, Ordering::Relaxed);
+                    for line in st.backlog.iter() {
+                        self.tx.send(LoopMsg::StreamLine {
+                            token,
+                            line: Arc::clone(line),
+                        });
+                    }
+                }
                 true
             }
             _ => false,
         }
     }
 
-    /// Fans one event line out to every subscriber of `room`.
+    /// Fans one event line out to every subscriber of `room` and appends
+    /// it to the room's bounded replay backlog for late watchers.
     pub fn publish(&self, room: &Room, line: &str) {
-        let subs = room.subs.lock().expect("room subs poisoned");
-        if subs.is_empty() {
+        let mut st = room.state.lock().expect("room state poisoned");
+        let line: Arc<str> = Arc::from(line);
+        if st.backlog.len() == BACKLOG_CAP {
+            st.backlog.pop_front();
+        }
+        st.backlog.push_back(Arc::clone(&line));
+        if st.subs.is_empty() {
             return;
         }
-        let line: Arc<str> = Arc::from(line);
         self.events_published
-            .fetch_add(subs.len() as u64, Ordering::Relaxed);
-        for sub in subs.iter() {
+            .fetch_add(st.subs.len() as u64, Ordering::Relaxed);
+        for sub in st.subs.iter() {
             self.tx.send(LoopMsg::StreamLine {
                 token: sub.token,
                 line: Arc::clone(&line),
@@ -261,8 +310,9 @@ impl Broadcast {
         };
         let Some(room) = room else { return };
         room.active.store(false, Ordering::SeqCst);
-        let mut subs = room.subs.lock().expect("room subs poisoned");
-        for sub in subs.drain(..) {
+        let mut st = room.state.lock().expect("room state poisoned");
+        st.backlog.clear();
+        for sub in st.subs.drain(..) {
             if sub.kind == SubKind::Watcher {
                 self.tx.send(LoopMsg::StreamLine {
                     token: sub.token,
@@ -370,6 +420,50 @@ mod tests {
         assert!(!room.is_watched());
         b.close("live", "x\n");
         assert_eq!(b.rooms(), 0);
+    }
+
+    fn drain_lines_for(tx: &LoopSender, token: u64) -> Vec<String> {
+        tx.drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                LoopMsg::StreamLine { token: t, line } if t == token => Some(line.to_string()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn late_watchers_replay_the_bounded_backlog_then_follow_live() {
+        let tx = LoopSender::new().expect("eventfd");
+        let b = Broadcast::new(tx.clone());
+        let room = b.open("k");
+        b.subscribe("k", 1); // a runner keeps the room watched
+        for i in 0..300 {
+            b.publish(&room, &format!("{i}\n"));
+        }
+        tx.drain();
+
+        // The late watcher gets exactly the newest BACKLOG_CAP lines, in
+        // publish order, as its replayed prefix.
+        assert!(b.watch("k", 2));
+        let replayed = drain_lines_for(&tx, 2);
+        assert_eq!(replayed.len(), BACKLOG_CAP);
+        assert_eq!(replayed.first().map(String::as_str), Some("44\n"));
+        assert_eq!(replayed.last().map(String::as_str), Some("299\n"));
+
+        // A duplicate attach neither re-subscribes nor re-replays.
+        assert!(b.watch("k", 2));
+        assert!(drain_lines_for(&tx, 2).is_empty());
+        assert_eq!(b.subscribers(), 2);
+
+        // Live lines resume after the replayed prefix with no gap or dup.
+        b.publish(&room, "live\n");
+        assert_eq!(drain_lines_for(&tx, 2), ["live\n"]);
+
+        // Close still ends watchers with the final line; the backlog is
+        // not replayed again to anyone.
+        b.close("k", "final\n");
+        assert_eq!(drain_lines_for(&tx, 2), ["final\n"]);
     }
 
     #[test]

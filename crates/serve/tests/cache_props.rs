@@ -23,7 +23,7 @@ fn entry(key: &str, version: u64) -> CachedRun {
             wall_s: version as f64 / 1000.0,
             runs: version,
             instructions: 10 * version,
-            baseline_hits: 0,
+            baseline_requests: 0,
             events_processed: 4 * version,
             cycles_skipped: 16 * version,
             run_wall_p50_s: version as f64 / 1000.0,

@@ -150,7 +150,7 @@ fn stale_warm_dir_from_an_older_binary_is_discarded() {
             wall_s: 0.5,
             runs: 1,
             instructions: 1000,
-            baseline_hits: 0,
+            baseline_requests: 0,
             events_processed: 200,
             cycles_skipped: 800,
             run_wall_p50_s: 0.5,

@@ -138,6 +138,48 @@ impl BranchPredictor {
             self.mispredicts as f64 / self.lookups as f64
         }
     }
+
+    /// Serializes all counter tables, the global history, and the stat
+    /// counters (table geometry comes from construction).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        for table in [&self.bimodal, &self.pattern, &self.chooser] {
+            w.put_seq(table, |w, c| w.put_u8(c.0));
+        }
+        w.put_u16(self.history);
+        w.put_u64(self.lookups);
+        w.put_u64(self.mispredicts);
+    }
+
+    /// Restores state captured by [`BranchPredictor::save_state`] into a
+    /// predictor of the same geometry.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        for (name, table) in [
+            ("bimodal", &mut self.bimodal),
+            ("pattern", &mut self.pattern),
+            ("chooser", &mut self.chooser),
+        ] {
+            let counters: Vec<u8> = r.take_seq(|r| r.take_u8())?;
+            if counters.len() != table.len() {
+                return Err(mcd_snap::SnapError::Mismatch(format!(
+                    "{name} table holds {} counters, predictor has {}",
+                    counters.len(),
+                    table.len()
+                )));
+            }
+            for (slot, v) in table.iter_mut().zip(counters) {
+                if v > 3 {
+                    return Err(mcd_snap::SnapError::Mismatch(format!(
+                        "{name} counter value {v} exceeds saturation"
+                    )));
+                }
+                *slot = Counter2(v);
+            }
+        }
+        self.history = r.take_u16()?;
+        self.lookups = r.take_u64()?;
+        self.mispredicts = r.take_u64()?;
+        Ok(())
+    }
 }
 
 impl Default for BranchPredictor {

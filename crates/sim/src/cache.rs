@@ -100,6 +100,35 @@ impl Cache {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Serializes the tag stacks and access counters (geometry comes from
+    /// construction). LRU order within each set is preserved exactly.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        for set in &self.sets {
+            w.put_seq(set, |w, &tag| w.put_u64(tag));
+        }
+        w.put_u64(self.accesses);
+        w.put_u64(self.misses);
+    }
+
+    /// Restores state captured by [`Cache::save_state`] into a cache of
+    /// the same geometry.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        for set in &mut self.sets {
+            let ways: Vec<u64> = r.take_seq(|r| r.take_u64())?;
+            if ways.len() > self.assoc {
+                return Err(mcd_snap::SnapError::Mismatch(format!(
+                    "cache set holds {} ways, associativity is {}",
+                    ways.len(),
+                    self.assoc
+                )));
+            }
+            *set = ways;
+        }
+        self.accesses = r.take_u64()?;
+        self.misses = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

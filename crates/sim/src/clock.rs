@@ -174,6 +174,48 @@ impl DomainClock {
         }
     }
 
+    /// Serializes the clock's evolving state. The VF curve, DVFS style, σ
+    /// and jitter seed come from construction; the steady-state cache is a
+    /// pure function of the regulator and is rebuilt lazily after restore.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.regulator.save_state(w);
+        w.put_u64(self.next_edge.as_ps());
+        w.put_f64(self.frac_carry);
+        w.put_u64(self.edges);
+        match &self.jitter {
+            None => w.put_bool(false),
+            Some(cursor) => {
+                w.put_bool(true);
+                let (chunk_idx, pos) = cursor.position();
+                w.put_u64(chunk_idx);
+                w.put_u64(pos);
+            }
+        }
+    }
+
+    /// Restores state captured by [`DomainClock::save_state`] into a clock
+    /// built with the same construction parameters.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.regulator.load_state(r)?;
+        self.next_edge = TimePs::new(r.take_u64()?);
+        self.frac_carry = r.take_f64()?;
+        self.edges = r.take_u64()?;
+        let has_jitter = r.take_bool()?;
+        if has_jitter != self.jitter.is_some() {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "jitter cursor presence mismatch: snapshot {has_jitter}, clock {}",
+                self.jitter.is_some()
+            )));
+        }
+        if let Some(cursor) = self.jitter.as_mut() {
+            let chunk_idx = r.take_u64()?;
+            let pos = r.take_u64()?;
+            cursor.seek(chunk_idx, pos)?;
+        }
+        self.steady = None;
+        Ok(())
+    }
+
     /// Box–Muller normal sample, clamped to ±3σ.
     ///
     /// The standard-normal variate comes from the shared per-seed stream

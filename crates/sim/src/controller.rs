@@ -84,7 +84,12 @@ impl DvfsAction {
 /// Implementations live in `mcd-adaptive` (the paper's contribution) and
 /// `mcd-baselines` (attack/decay, PID). A domain with no controller runs
 /// at the maximum operating point, which is also the study's baseline.
-pub trait DvfsController: std::fmt::Debug {
+///
+/// `Send` is required so a machine (which owns its controllers) can
+/// migrate between worker threads at run-granularity work-steal and
+/// shard boundaries; controllers are still driven from exactly one
+/// thread at a time.
+pub trait DvfsController: std::fmt::Debug + Send {
     /// Called once per sampling period with the domain's queue sample.
     /// Returns a frequency-change request, or `None` to leave the clock
     /// alone.
@@ -97,6 +102,18 @@ pub trait DvfsController: std::fmt::Debug {
     /// `out`. Controllers without internal structure worth tracing (the
     /// fixed-interval baselines) keep the default no-op.
     fn drain_events(&mut self, _out: &mut Vec<CtrlEvent>) {}
+
+    /// Serializes the controller's evolving decision state into a machine
+    /// snapshot. Stateless controllers keep the default no-op; stateful
+    /// ones must override both this and [`DvfsController::load_state`] so
+    /// a restored run replays the same decisions.
+    fn save_state(&self, _w: &mut mcd_snap::SnapWriter) {}
+
+    /// Restores state captured by [`DvfsController::save_state`] into a
+    /// freshly-constructed controller of the same configuration.
+    fn load_state(&mut self, _r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

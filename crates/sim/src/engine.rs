@@ -109,6 +109,23 @@ impl FuPool {
     fn total(&self) -> usize {
         self.free_at.len()
     }
+
+    fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_seq(&self.free_at, |w, t| w.put_u64(t.as_ps()));
+    }
+
+    fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let free_at: Vec<u64> = r.take_seq(|r| r.take_u64())?;
+        if free_at.len() != self.free_at.len() {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "FU pool holds {} units, snapshot has {}",
+                self.free_at.len(),
+                free_at.len()
+            )));
+        }
+        self.free_at = free_at.into_iter().map(TimePs::new).collect();
+        Ok(())
+    }
 }
 
 /// Execution latency of `class` in consumer-domain cycles, and whether the
@@ -394,7 +411,29 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
         mut self,
         sink: &mut S,
     ) -> Result<SimResult, SimError> {
+        let done = self.try_advance_traced(u64::MAX, sink)?;
+        debug_assert!(done, "no boundary can precede u64::MAX retirements");
+        Ok(self.finish_traced(sink))
+    }
+
+    /// Advances the event loop until either the trace drains (`Ok(true)`)
+    /// or at least `boundary` instructions have retired (`Ok(false)`,
+    /// paused *between* events with no transient state in flight — the
+    /// instant [`Machine::snapshot`] captures).
+    ///
+    /// Segmenting a run at any boundaries and resuming each segment (in
+    /// the same machine or via snapshot/restore into a fresh one) is
+    /// bit-identical to one uninterrupted run, including the order of
+    /// events streamed into `sink`.
+    pub fn try_advance_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        boundary: u64,
+        sink: &mut S,
+    ) -> Result<bool, SimError> {
         while !(self.trace_done && self.fetch_buf.is_empty() && self.rob.is_empty()) {
+            if self.retired >= boundary {
+                return Ok(false);
+            }
             let ev = scheduler::pick_next(self.next_sample, &self.domain_slots());
             if ev.time > self.cfg.max_sim_time {
                 return Err(self.diverged());
@@ -410,11 +449,18 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 EventKind::Wake(d) => self.wake_domain(d.index(), ev.time, false),
             }
         }
-        // The loop exits right after the front-end tick that drained the
-        // pipeline. Sleeping domains still owe their skipped edges
-        // strictly before that instant; edges at exactly the exit time
-        // rank after the front end and were never processed by the
-        // stepping core either.
+        Ok(true)
+    }
+
+    /// Settles end-of-run debts after [`Machine::try_advance_traced`]
+    /// returned `Ok(true)` and builds the result.
+    ///
+    /// The event loop exits right after the front-end tick that drained
+    /// the pipeline. Sleeping domains still owe their skipped edges
+    /// strictly before that instant; edges at exactly the exit time rank
+    /// after the front end and were never processed by the stepping core
+    /// either.
+    pub fn finish_traced<S: TraceSink + ?Sized>(mut self, sink: &mut S) -> SimResult {
         let t_exit = self.now;
         for i in 0..4 {
             self.wake_domain(i, t_exit, false);
@@ -432,7 +478,7 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
                 });
             }
         }
-        Ok(self.build_result())
+        self.build_result()
     }
 
     // ----- event scheduling ---------------------------------------------
@@ -1468,6 +1514,256 @@ impl<T: Iterator<Item = MicroOp>> Machine<T> {
             l2_miss_rate: self.l2.miss_rate(),
             mispredict_rate: self.bpred.mispredict_rate(),
         }
+    }
+}
+
+impl<T: Iterator<Item = MicroOp> + crate::snapshot::SnapshotSource> Machine<T> {
+    /// Serializes the machine's complete evolving state (see
+    /// [`crate::snapshot`] for the format). Must be called between events
+    /// — i.e. on a machine paused by [`Machine::try_advance_traced`] or
+    /// never run — when the per-tick scratch buffers are empty.
+    pub fn snapshot(&self) -> Vec<u8> {
+        debug_assert!(self.issue_cand.is_empty(), "snapshot mid-tick");
+        debug_assert!(self.issued_idx.is_empty(), "snapshot mid-tick");
+        debug_assert!(self.ctrl_events.is_empty(), "snapshot mid-sample");
+        let mut w = mcd_snap::SnapWriter::new();
+        w.put_u32(crate::snapshot::SNAPSHOT_MAGIC);
+        w.put_u32(crate::snapshot::SNAPSHOT_FORMAT_VERSION);
+        w.put_u64(crate::snapshot::config_hash(&self.cfg));
+
+        w.put_u64(self.now.as_ps());
+        w.put_u64(self.next_sample.as_ps());
+        w.put_u64(self.retired);
+        w.put_bool(self.trace_done);
+        w.put_u64(self.fetch_stall_until.as_ps());
+        w.put_opt_u64(self.pending_redirect);
+
+        for clock in &self.clocks {
+            clock.save_state(&mut w);
+        }
+        for meter in &self.meters {
+            meter.save_state(&mut w);
+        }
+
+        w.put_usize(self.fetch_buf.len());
+        for op in &self.fetch_buf {
+            op.save_state(&mut w);
+        }
+        self.rob.save_state(&mut w);
+        for iq in &self.iqs {
+            iq.save_state(&mut w);
+        }
+        self.int_regs.save_state(&mut w);
+        self.fp_regs.save_state(&mut w);
+        self.completed.save_state(&mut w, |w, c| {
+            w.put_u64(c.at.as_ps());
+            w.put_u8(c.domain.index() as u8);
+        });
+        self.store_map.save_state(&mut w);
+        for pool in [
+            &self.int_alus,
+            &self.int_muls,
+            &self.fp_alus,
+            &self.fp_muls,
+            &self.ls_ports,
+        ] {
+            pool.save_state(&mut w);
+        }
+        self.icache.save_state(&mut w);
+        self.dcache.save_state(&mut w);
+        self.l2.save_state(&mut w);
+        self.memory.save_state(&mut w);
+        self.bpred.save_state(&mut w);
+        self.metrics.save_state(&mut w);
+
+        for s in &self.sleep {
+            match *s {
+                Sleep::Awake => w.put_u8(0),
+                Sleep::Asleep { wake_at, stall } => {
+                    w.put_u8(1);
+                    w.put_u64(wake_at.as_ps());
+                    w.put_opt_u64(stall.map(|c| c.index() as u64));
+                }
+            }
+        }
+        for watch in &self.watch {
+            w.put_seq(watch, |w, &seq| w.put_u64(seq));
+        }
+        w.put_opt_u64(self.fe_iq_wait.map(|i| i as u64));
+        for &t in &self.no_sleep_until {
+            w.put_u64(t.as_ps());
+        }
+        for row in &self.onsets {
+            for &onset in row {
+                w.put_opt_u64(onset.map(TimePs::as_ps));
+            }
+        }
+
+        // Controllers: presence, name, and a length-prefixed state blob,
+        // so a stateless default (empty blob) and a stateful override
+        // both round-trip without the machine knowing the difference.
+        for ctrl in &self.controllers {
+            match ctrl {
+                None => w.put_bool(false),
+                Some(c) => {
+                    w.put_bool(true);
+                    w.put_str(c.name());
+                    let mut sub = mcd_snap::SnapWriter::new();
+                    c.save_state(&mut sub);
+                    w.put_bytes(&sub.into_bytes());
+                }
+            }
+        }
+
+        // The trace source, length-prefixed for the same reason.
+        let mut sub = mcd_snap::SnapWriter::new();
+        crate::snapshot::SnapshotSource::save_state(&self.trace, &mut sub);
+        w.put_bytes(&sub.into_bytes());
+
+        w.into_bytes()
+    }
+
+    /// Restores state captured by [`Machine::snapshot`] into a machine
+    /// freshly built with the same configuration, controllers of the same
+    /// types, and a trace source of the same specification. After a
+    /// successful restore, continuing the run is bit-identical to the
+    /// machine the snapshot was taken from.
+    pub fn restore(&mut self, bytes: &[u8]) -> mcd_snap::SnapResult<()> {
+        use mcd_snap::SnapError;
+        let mut r = mcd_snap::SnapReader::new(bytes);
+        r.expect_u32(crate::snapshot::SNAPSHOT_MAGIC, "snapshot magic")?;
+        r.expect_u32(
+            crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+            "snapshot format version",
+        )?;
+        r.expect_u64(crate::snapshot::config_hash(&self.cfg), "config hash")?;
+
+        self.now = TimePs::new(r.take_u64()?);
+        self.next_sample = TimePs::new(r.take_u64()?);
+        self.retired = r.take_u64()?;
+        self.trace_done = r.take_bool()?;
+        self.fetch_stall_until = TimePs::new(r.take_u64()?);
+        self.pending_redirect = r.take_opt_u64()?;
+
+        for clock in &mut self.clocks {
+            clock.load_state(&mut r)?;
+        }
+        for meter in &mut self.meters {
+            meter.load_state(&mut r)?;
+        }
+
+        let fetch_len = r.take_usize()?;
+        self.fetch_buf.clear();
+        for _ in 0..fetch_len {
+            self.fetch_buf.push_back(MicroOp::load_state(&mut r)?);
+        }
+        self.rob.load_state(&mut r)?;
+        for iq in &mut self.iqs {
+            iq.load_state(&mut r)?;
+        }
+        self.int_regs.load_state(&mut r)?;
+        self.fp_regs.load_state(&mut r)?;
+        self.completed.load_state(&mut r, |r| {
+            let at = TimePs::new(r.take_u64()?);
+            let di = r.take_u8()? as usize;
+            let domain = DomainId::ALL.get(di).copied().ok_or_else(|| {
+                SnapError::Mismatch(format!("completion domain index {di} out of range"))
+            })?;
+            Ok(Completion { at, domain })
+        })?;
+        self.store_map.load_state(&mut r)?;
+        for pool in [
+            &mut self.int_alus,
+            &mut self.int_muls,
+            &mut self.fp_alus,
+            &mut self.fp_muls,
+            &mut self.ls_ports,
+        ] {
+            pool.load_state(&mut r)?;
+        }
+        self.icache.load_state(&mut r)?;
+        self.dcache.load_state(&mut r)?;
+        self.l2.load_state(&mut r)?;
+        self.memory.load_state(&mut r)?;
+        self.bpred.load_state(&mut r)?;
+        self.metrics.load_state(&mut r)?;
+
+        for s in &mut self.sleep {
+            *s = match r.take_u8()? {
+                0 => Sleep::Awake,
+                1 => {
+                    let wake_at = TimePs::new(r.take_u64()?);
+                    let stall = match r.take_opt_u64()? {
+                        None => None,
+                        Some(i) => Some(StallCause::from_index(i as usize).ok_or_else(|| {
+                            SnapError::Mismatch(format!("stall cause index {i} out of range"))
+                        })?),
+                    };
+                    Sleep::Asleep { wake_at, stall }
+                }
+                tag => {
+                    return Err(SnapError::Mismatch(format!(
+                        "sleep state tag {tag} invalid"
+                    )));
+                }
+            };
+        }
+        for watch in &mut self.watch {
+            *watch = r.take_seq(|r| r.take_u64())?;
+        }
+        self.fe_iq_wait = match r.take_opt_u64()? {
+            None => None,
+            Some(i) if i < 3 => Some(i as usize),
+            Some(i) => {
+                return Err(SnapError::Mismatch(format!(
+                    "front-end queue wait index {i} out of range"
+                )));
+            }
+        };
+        for t in &mut self.no_sleep_until {
+            *t = TimePs::new(r.take_u64()?);
+        }
+        for row in &mut self.onsets {
+            for onset in row {
+                *onset = r.take_opt_u64()?.map(TimePs::new);
+            }
+        }
+
+        for (bi, ctrl) in self.controllers.iter_mut().enumerate() {
+            let present = r.take_bool()?;
+            if present != ctrl.is_some() {
+                return Err(SnapError::Mismatch(format!(
+                    "controller presence mismatch for backend {bi}: snapshot {present}, machine {}",
+                    ctrl.is_some()
+                )));
+            }
+            if let Some(c) = ctrl {
+                let name = r.take_str()?;
+                if name != c.name() {
+                    return Err(SnapError::Mismatch(format!(
+                        "controller mismatch for backend {bi}: snapshot '{name}', machine '{}'",
+                        c.name()
+                    )));
+                }
+                let blob = r.take_bytes()?;
+                let mut sub = mcd_snap::SnapReader::new(blob);
+                c.load_state(&mut sub)?;
+                sub.finish()?;
+            }
+        }
+
+        let blob = r.take_bytes()?;
+        let mut sub = mcd_snap::SnapReader::new(blob);
+        crate::snapshot::SnapshotSource::load_state(&mut self.trace, &mut sub)?;
+        sub.finish()?;
+
+        r.finish()?;
+        // Per-tick scratch is empty by the snapshot contract; clear it in
+        // case the restore target was paused mid-run itself.
+        self.issue_cand.clear();
+        self.issued_idx.clear();
+        self.ctrl_events.clear();
+        Ok(())
     }
 }
 

@@ -108,6 +108,27 @@ impl JitterCursor {
         }
     }
 
+    /// The cursor's read position as `(chunk_idx, pos)` for snapshots.
+    pub(crate) fn position(&self) -> (u64, u64) {
+        (self.chunk_idx as u64, self.pos as u64)
+    }
+
+    /// Repositions the cursor (chunks regenerate forward on demand, so any
+    /// position is reachable from a fresh cursor). `pos == CHUNK` is legal:
+    /// it is the transient state right before a refill.
+    pub(crate) fn seek(&mut self, chunk_idx: u64, pos: u64) -> mcd_snap::SnapResult<()> {
+        let (chunk_idx, pos) = (chunk_idx as usize, pos as usize);
+        if pos > CHUNK {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "jitter cursor pos {pos} exceeds chunk size {CHUNK}"
+            )));
+        }
+        self.chunk = self.stream.chunk(chunk_idx);
+        self.chunk_idx = chunk_idx;
+        self.pos = pos;
+        Ok(())
+    }
+
     /// The next standard-normal value in the stream.
     #[inline]
     pub(crate) fn next_z(&mut self) -> f64 {
@@ -153,6 +174,21 @@ mod tests {
             assert_eq!(a.next_z().to_bits(), b.next_z().to_bits());
         }
         assert!(Arc::ptr_eq(&a.stream, &b.stream));
+    }
+
+    #[test]
+    fn seek_restores_an_arbitrary_position() {
+        let mut a = JitterCursor::new(0xabcd);
+        for _ in 0..(CHUNK + 37) {
+            a.next_z();
+        }
+        let (ci, p) = a.position();
+        let mut b = JitterCursor::new(0xabcd);
+        b.seek(ci, p).unwrap();
+        for i in 0..200 {
+            assert_eq!(a.next_z().to_bits(), b.next_z().to_bits(), "draw {i}");
+        }
+        assert!(b.seek(0, CHUNK as u64 + 1).is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod result;
 pub mod rob;
 pub mod scheduler;
 pub mod scoreboard;
+pub mod snapshot;
 pub mod telemetry;
 pub mod trace;
 
@@ -63,6 +64,7 @@ pub use engine::Machine;
 pub use error::SimError;
 pub use metrics::{FreqTracePoint, Metrics};
 pub use result::{DomainResult, SimResult};
+pub use snapshot::{SnapshotSource, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use telemetry::{SimTelemetry, TelemetrySink};
 pub use trace::{
     CtrlEvent, NullSink, ResetReason, SignalKind, StepDir, TraceEvent, TraceSink, VecSink,

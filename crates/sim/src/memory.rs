@@ -48,6 +48,17 @@ impl MainMemory {
     pub fn accesses(&self) -> u64 {
         self.accesses
     }
+
+    /// Serializes the access counter (latencies come from construction).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.accesses);
+    }
+
+    /// Restores state captured by [`MainMemory::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.accesses = r.take_u64()?;
+        Ok(())
+    }
 }
 
 impl Default for MainMemory {

@@ -31,6 +31,12 @@ impl StallCause {
         StallCause::FpRegs,
     ];
 
+    /// Inverse of [`StallCause::index`], rejecting out-of-range values
+    /// (the snapshot decoding).
+    pub fn from_index(i: usize) -> Option<StallCause> {
+        StallCause::ALL.get(i).copied()
+    }
+
     /// Dense index for counter arrays.
     pub fn index(self) -> usize {
         match self {
@@ -137,6 +143,86 @@ impl Metrics {
     /// Total dispatch-stall cycles across all causes.
     pub fn total_dispatch_stalls(&self) -> u64 {
         self.dispatch_stalls.iter().sum()
+    }
+
+    /// Serializes every metric, including the full trace series, so a
+    /// restored run continues appending to bit-identical history.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        for d in 0..3 {
+            w.put_seq(&self.occupancy[d], |w, &q| w.put_u8(q));
+            w.put_seq(&self.frequency[d], |w, p| {
+                w.put_u64(p.time.as_ps());
+                w.put_f64(p.rel_freq);
+            });
+            w.put_seq(&self.occupancy_hist[d], |w, &n| w.put_u64(n));
+        }
+        w.put_seq(&self.retired_trace, |w, &n| w.put_u64(n));
+        w.put_u64(self.samples);
+        for arr in [
+            &self.dvfs_actions,
+            &self.occupancy_sum,
+            &self.sync_enqueues,
+            &self.fmin_cycles,
+            &self.fmax_cycles,
+            &self.transition_time_ps,
+            &self.relay_arms,
+            &self.relay_fires,
+            &self.relay_resets,
+            &self.freq_steps_up,
+            &self.freq_steps_down,
+            &self.reaction_sum_ps,
+            &self.reaction_count,
+        ] {
+            for &v in arr.iter() {
+                w.put_u64(v);
+            }
+        }
+        for &v in &self.dispatch_stalls {
+            w.put_u64(v);
+        }
+        w.put_u64(self.events_processed);
+        w.put_u64(self.cycles_skipped);
+    }
+
+    /// Restores state captured by [`Metrics::save_state`].
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        for d in 0..3 {
+            self.occupancy[d] = r.take_seq(|r| r.take_u8())?;
+            self.frequency[d] = r.take_seq(|r| {
+                Ok(FreqTracePoint {
+                    time: TimePs::new(r.take_u64()?),
+                    rel_freq: r.take_f64()?,
+                })
+            })?;
+            self.occupancy_hist[d] = r.take_seq(|r| r.take_u64())?;
+        }
+        self.retired_trace = r.take_seq(|r| r.take_u64())?;
+        self.samples = r.take_u64()?;
+        for arr in [
+            &mut self.dvfs_actions,
+            &mut self.occupancy_sum,
+            &mut self.sync_enqueues,
+            &mut self.fmin_cycles,
+            &mut self.fmax_cycles,
+            &mut self.transition_time_ps,
+            &mut self.relay_arms,
+            &mut self.relay_fires,
+            &mut self.relay_resets,
+            &mut self.freq_steps_up,
+            &mut self.freq_steps_down,
+            &mut self.reaction_sum_ps,
+            &mut self.reaction_count,
+        ] {
+            for v in arr.iter_mut() {
+                *v = r.take_u64()?;
+            }
+        }
+        for v in &mut self.dispatch_stalls {
+            *v = r.take_u64()?;
+        }
+        self.events_processed = r.take_u64()?;
+        self.cycles_skipped = r.take_u64()?;
+        Ok(())
     }
 }
 

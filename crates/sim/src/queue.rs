@@ -113,6 +113,54 @@ impl IssueQueue {
             self.entries.remove(idx);
         }
     }
+
+    /// Serializes the queue's entries and peak (capacity comes from
+    /// construction).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            e.save_state(w);
+        }
+        w.put_u64(self.peak as u64);
+    }
+
+    /// Restores state captured by [`IssueQueue::save_state`] into a queue
+    /// of the same capacity.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let len = r.take_usize()?;
+        if len > self.capacity {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "issue queue length {len} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..len {
+            self.entries.push(IqEntry::load_state(r)?);
+        }
+        self.peak = r.take_usize()?;
+        Ok(())
+    }
+}
+
+impl IqEntry {
+    /// Serializes the entry for a state snapshot.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.op.save_state(w);
+        w.put_u64(self.visible_at.as_ps());
+        w.put_opt_u64(self.mem_dep);
+        w.put_opt_u64(self.ready_hint.map(TimePs::as_ps));
+    }
+
+    /// Decodes an entry written by [`IqEntry::save_state`].
+    pub fn load_state(r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<IqEntry> {
+        Ok(IqEntry {
+            op: MicroOp::load_state(r)?,
+            visible_at: TimePs::new(r.take_u64()?),
+            mem_dep: r.take_opt_u64()?,
+            ready_hint: r.take_opt_u64()?.map(TimePs::new),
+        })
+    }
 }
 
 #[cfg(test)]

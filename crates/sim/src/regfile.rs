@@ -50,6 +50,25 @@ impl FreeList {
         assert!(self.free < self.capacity, "free-list overflow");
         self.free += 1;
     }
+
+    /// Serializes the free count (capacity comes from construction).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.free as u64);
+    }
+
+    /// Restores state captured by [`FreeList::save_state`] into a list of
+    /// the same capacity.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let free = r.take_usize()?;
+        if free > self.capacity {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "free list count {free} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.free = free;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

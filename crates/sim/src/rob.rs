@@ -87,6 +87,39 @@ impl Rob {
     pub fn retire_head(&mut self) -> RobEntry {
         self.entries.pop_front().expect("retire from empty ROB")
     }
+
+    /// Serializes the in-flight entries (capacity comes from construction).
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.put_u64(e.seq);
+            w.put_u8(e.class.index());
+            w.put_opt_u64(e.addr);
+        }
+    }
+
+    /// Restores state captured by [`Rob::save_state`] into a ROB of the
+    /// same capacity.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let len = r.take_usize()?;
+        if len > self.capacity {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "ROB length {len} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..len {
+            let seq = r.take_u64()?;
+            let class_idx = r.take_u8()?;
+            let class = OpClass::from_index(class_idx).ok_or_else(|| {
+                mcd_snap::SnapError::Mismatch(format!("ROB op class index {class_idx} invalid"))
+            })?;
+            let addr = r.take_opt_u64()?;
+            self.entries.push_back(RobEntry { seq, class, addr });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -109,6 +109,43 @@ impl<V: Copy + Default> SeqScoreboard<V> {
             self.seqs[i] = EMPTY;
         }
     }
+
+    /// Serializes the raw slot arrays (`save_val` encodes each live value),
+    /// preserving the exact layout so a restore is indistinguishable from
+    /// the original — empty slots keep stale values, which are never read.
+    pub fn save_state(
+        &self,
+        w: &mut mcd_snap::SnapWriter,
+        mut save_val: impl FnMut(&mut mcd_snap::SnapWriter, &V),
+    ) {
+        w.put_u64(self.seqs.len() as u64);
+        for (i, &seq) in self.seqs.iter().enumerate() {
+            w.put_u64(seq);
+            if seq != EMPTY {
+                save_val(w, &self.vals[i]);
+            }
+        }
+    }
+
+    /// Restores state captured by [`SeqScoreboard::save_state`] into a
+    /// scoreboard of the same capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut mcd_snap::SnapReader<'_>,
+        mut load_val: impl FnMut(&mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<V>,
+    ) -> mcd_snap::SnapResult<()> {
+        r.expect_u64(self.seqs.len() as u64, "scoreboard capacity")?;
+        for i in 0..self.seqs.len() {
+            let seq = r.take_u64()?;
+            self.seqs[i] = seq;
+            self.vals[i] = if seq != EMPTY {
+                load_val(r)?
+            } else {
+                V::default()
+            };
+        }
+        Ok(())
+    }
 }
 
 impl<V> fmt::Debug for SeqScoreboard<V> {
@@ -264,6 +301,51 @@ impl AddrMap {
         }
         self.keys[i] = EMPTY;
         self.len -= 1;
+    }
+
+    /// Serializes the raw table arrays. Capacity and probe-chain layout are
+    /// preserved exactly, so lookups and deletions after a restore walk the
+    /// same slots the original table would have.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64((self.mask + 1) as u64);
+        w.put_u64(self.len as u64);
+        for i in 0..=self.mask {
+            w.put_u64(self.keys[i]);
+            w.put_u64(self.vals[i]);
+        }
+    }
+
+    /// Restores a table captured by [`AddrMap::save_state`], replacing
+    /// `self` entirely (the capacity comes from the snapshot, since the
+    /// table grows dynamically).
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let cap = r.take_usize()?;
+        if !cap.is_power_of_two() {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "addr map capacity {cap} is not a power of two"
+            )));
+        }
+        let len = r.take_usize()?;
+        if len > cap {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "addr map length {len} exceeds capacity {cap}"
+            )));
+        }
+        // A corrupt capacity must fail before allocation: cap slots occupy
+        // 16 bytes each in the snapshot, so they must fit what remains.
+        if cap > r.remaining() / 16 {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "addr map capacity {cap} exceeds remaining snapshot bytes"
+            )));
+        }
+        let mut fresh = Self::with_capacity_pow2(cap);
+        for i in 0..cap {
+            fresh.keys[i] = r.take_u64()?;
+            fresh.vals[i] = r.take_u64()?;
+        }
+        fresh.len = len;
+        *self = fresh;
+        Ok(())
     }
 
     fn grow(&mut self) {

@@ -1,0 +1,420 @@
+//! Minimal binary encoding for deterministic state snapshots.
+//!
+//! The simulator's snapshot format (DESIGN.md §12) needs exactly three
+//! properties, and nothing a general serialization framework offers on
+//! top of them:
+//!
+//! * **bit-exactness** — every `f64` travels as its `to_bits` pattern, so
+//!   a restored machine resumes with the *identical* values, not a
+//!   round-tripped decimal approximation;
+//! * **self-delimiting reads** — a reader can never run past the end of a
+//!   truncated buffer silently; every take is bounds-checked and surfaces
+//!   [`SnapError::Truncated`];
+//! * **zero dependencies** — snapshots cross crate layers from
+//!   `mcd-power` up through `mcd-bench`, so the encoding lives below all
+//!   of them.
+//!
+//! The encoding is little-endian fixed-width integers; `Option` is a
+//! one-byte tag (0/1) followed by the value; sequences are a `u64` length
+//! followed by the items. There is no schema in the bytes themselves —
+//! writers and readers are the paired `save`/`load` methods of one code
+//! version, and the [`Machine`](../mcd_sim/struct.Machine.html) header
+//! (magic, format version, config hash) plus the harness's
+//! `code_fingerprint()` stamp reject any cross-version read before field
+//! decoding starts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Errors surfaced while decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer ended before the value being read.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        at: usize,
+    },
+    /// A one-byte tag (bool / option) held neither 0 nor 1.
+    BadTag {
+        /// The offending byte.
+        tag: u8,
+        /// Byte offset of the tag.
+        at: usize,
+    },
+    /// A structural check failed (magic, version, hash, length bound, or
+    /// a field invariant the loader verifies). The message names the
+    /// field and both values.
+    Mismatch(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { at } => {
+                write!(f, "snapshot truncated at byte {at}")
+            }
+            SnapError::BadTag { tag, at } => {
+                write!(f, "snapshot tag byte {tag:#04x} at byte {at} is not 0/1")
+            }
+            SnapError::Mismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Shorthand for snapshot-decoding results.
+pub type SnapResult<T> = Result<T, SnapError>;
+
+/// Append-only encoder for one snapshot buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (platform-independent width).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes a bool as a 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes an optional `u64`: tag byte then the value if present.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a length prefix followed by each item through `f`.
+    pub fn put_seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.put_usize(items.len());
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Bounds-checked decoder over one snapshot buffer.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset (for error context).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> SnapResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated { at: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one raw byte.
+    pub fn take_u8(&mut self) -> SnapResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> SnapResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> SnapResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> SnapResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `usize` written by [`SnapWriter::put_usize`]; rejects
+    /// values that do not fit the platform's `usize`.
+    pub fn take_usize(&mut self) -> SnapResult<usize> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Mismatch(format!("length {v} exceeds usize")))
+    }
+
+    /// Reads a 0/1 tag byte as a bool.
+    pub fn take_bool(&mut self) -> SnapResult<bool> {
+        let at = self.pos;
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(SnapError::BadTag { tag, at }),
+        }
+    }
+
+    /// Reads an `f64` from its exact bit pattern.
+    pub fn take_f64(&mut self) -> SnapResult<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads an optional `u64` written by [`SnapWriter::put_opt_u64`].
+    pub fn take_opt_u64(&mut self) -> SnapResult<Option<u64>> {
+        if self.take_bool()? {
+            Ok(Some(self.take_u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn take_bytes(&mut self) -> SnapResult<&'a [u8]> {
+        let n = self.take_usize()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> SnapResult<String> {
+        let bytes = self.take_bytes()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapError::Mismatch("non-UTF-8 string field".into()))
+    }
+
+    /// Reads a sequence written by [`SnapWriter::put_seq`]. The length is
+    /// sanity-bounded by the remaining bytes (each item is at least one
+    /// byte) so a corrupt length cannot trigger a huge allocation.
+    pub fn take_seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> SnapResult<T>,
+    ) -> SnapResult<Vec<T>> {
+        let n = self.take_usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Mismatch(format!(
+                "sequence length {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts the buffer is fully consumed — a loader's final check that
+    /// writer and reader agreed on every field.
+    pub fn finish(self) -> SnapResult<()> {
+        if self.remaining() != 0 {
+            return Err(SnapError::Mismatch(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Checks a `u32` field equals `expect`, naming `what` on mismatch.
+    pub fn expect_u32(&mut self, expect: u32, what: &str) -> SnapResult<()> {
+        let got = self.take_u32()?;
+        if got != expect {
+            return Err(SnapError::Mismatch(format!(
+                "{what}: found {got:#010x}, expected {expect:#010x}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Checks a `u64` field equals `expect`, naming `what` on mismatch.
+    pub fn expect_u64(&mut self, expect: u64, what: &str) -> SnapResult<()> {
+        let got = self.take_u64()?;
+        if got != expect {
+            return Err(SnapError::Mismatch(format!(
+                "{what}: found {got:#018x}, expected {expect:#018x}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_is_exact() {
+        let mut w = SnapWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(12345);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_f64(1.0 / 3.0);
+        w.put_opt_u64(None);
+        w.put_opt_u64(Some(77));
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xAB);
+        assert_eq!(r.take_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_usize().unwrap(), 12345);
+        assert!(r.take_bool().unwrap());
+        assert!(!r.take_bool().unwrap());
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.take_f64().unwrap().to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(r.take_opt_u64().unwrap(), None);
+        assert_eq!(r.take_opt_u64().unwrap(), Some(77));
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn sequence_roundtrip() {
+        let mut w = SnapWriter::new();
+        let items = vec![(1u64, 2.5f64), (3, -0.5), (u64::MAX, f64::INFINITY)];
+        w.put_seq(&items, |w, &(a, b)| {
+            w.put_u64(a);
+            w.put_f64(b);
+        });
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = r.take_seq(|r| Ok((r.take_u64()?, r.take_f64()?))).unwrap();
+        assert_eq!(back, items);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected_not_read_past() {
+        let mut w = SnapWriter::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert_eq!(r.take_u64(), Err(SnapError::Truncated { at: 0 }));
+        }
+    }
+
+    #[test]
+    fn bad_bool_tag_is_rejected() {
+        let bytes = [7u8];
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take_bool(), Err(SnapError::BadTag { tag: 7, at: 0 }));
+    }
+
+    #[test]
+    fn corrupt_sequence_length_does_not_allocate() {
+        let mut w = SnapWriter::new();
+        w.put_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            r.take_seq(|r| r.take_u8()),
+            Err(SnapError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut w = SnapWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.take_u8().unwrap();
+        assert!(matches!(r.finish(), Err(SnapError::Mismatch(_))));
+    }
+
+    #[test]
+    fn expect_helpers_name_the_field() {
+        let mut w = SnapWriter::new();
+        w.put_u32(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let err = r.expect_u32(2, "format version").unwrap_err();
+        assert!(err.to_string().contains("format version"), "{err}");
+    }
+}

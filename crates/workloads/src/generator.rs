@@ -131,6 +131,69 @@ impl TraceGenerator {
         self.total_left
     }
 
+    /// Serializes the generator's evolving state: RNG position, phase
+    /// cursor, producer windows, address cursors, and branch-site pattern
+    /// counters. The phase specs, loop flag, and derived seed come from
+    /// construction and are not written; `class_maps` are omitted because
+    /// each is a pure function of the seed and phase index and rebuilds
+    /// identically on demand.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_usize(self.phase_idx);
+        w.put_u64(self.ops_left_in_phase);
+        w.put_u64(self.total_left);
+        w.put_u64(self.seq);
+        for window in [&self.recent_int, &self.recent_fp, &self.recent_load] {
+            w.put_seq(window, |w, &s| w.put_u64(s));
+        }
+        w.put_u64(self.code_pos);
+        w.put_u64(self.warm_pos);
+        w.put_u64(self.cold_pos);
+        // HashMap iteration order is nondeterministic: serialize the
+        // branch-site counters sorted by pc so identical states produce
+        // identical bytes.
+        let mut counters: Vec<(u64, u32)> =
+            self.loop_counters.iter().map(|(&k, &v)| (k, v)).collect();
+        counters.sort_unstable_by_key(|&(pc, _)| pc);
+        w.put_seq(&counters, |w, &(pc, n)| {
+            w.put_u64(pc);
+            w.put_u32(n);
+        });
+    }
+
+    /// Restores state captured by [`TraceGenerator::save_state`] into a
+    /// generator built from the same spec, total ops, and seed. The
+    /// restored generator continues the exact op stream of the saved one.
+    pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        let mut words = [0u64; 4];
+        for word in &mut words {
+            *word = r.take_u64()?;
+        }
+        self.rng = StdRng::from_state(words);
+        let phase_idx = r.take_usize()?;
+        if phase_idx >= self.phases.len() {
+            return Err(mcd_snap::SnapError::Mismatch(format!(
+                "phase index {phase_idx} out of range ({} phases)",
+                self.phases.len()
+            )));
+        }
+        self.phase_idx = phase_idx;
+        self.ops_left_in_phase = r.take_u64()?;
+        self.total_left = r.take_u64()?;
+        self.seq = r.take_u64()?;
+        self.recent_int = r.take_seq(|r| r.take_u64())?;
+        self.recent_fp = r.take_seq(|r| r.take_u64())?;
+        self.recent_load = r.take_seq(|r| r.take_u64())?;
+        self.code_pos = r.take_u64()?;
+        self.warm_pos = r.take_u64()?;
+        self.cold_pos = r.take_u64()?;
+        let counters = r.take_seq(|r| Ok((r.take_u64()?, r.take_u32()?)))?;
+        self.loop_counters = counters.into_iter().collect();
+        Ok(())
+    }
+
     fn advance_phase(&mut self) {
         if self.phase_idx + 1 < self.phases.len() {
             self.phase_idx += 1;

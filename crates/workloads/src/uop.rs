@@ -59,6 +59,19 @@ impl OpClass {
     pub fn is_fp(self) -> bool {
         matches!(self, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv)
     }
+
+    /// Position of this class in [`OpClass::ALL`] (the snapshot encoding).
+    pub fn index(self) -> u8 {
+        OpClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every class is in ALL") as u8
+    }
+
+    /// Inverse of [`OpClass::index`], rejecting out-of-range bytes.
+    pub fn from_index(i: u8) -> Option<OpClass> {
+        OpClass::ALL.get(i as usize).copied()
+    }
 }
 
 impl fmt::Display for OpClass {
@@ -181,6 +194,35 @@ impl MicroOp {
     /// Iterator over this op's producer sequence numbers.
     pub fn sources(&self) -> impl Iterator<Item = u64> + '_ {
         self.src1.into_iter().chain(self.src2)
+    }
+
+    /// Serializes the op for a state snapshot.
+    pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.seq);
+        w.put_u8(self.class.index());
+        w.put_opt_u64(self.src1);
+        w.put_opt_u64(self.src2);
+        w.put_opt_u64(self.addr);
+        w.put_u64(self.pc);
+        w.put_bool(self.taken);
+    }
+
+    /// Decodes an op written by [`MicroOp::save_state`].
+    pub fn load_state(r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<MicroOp> {
+        let seq = r.take_u64()?;
+        let class_idx = r.take_u8()?;
+        let class = OpClass::from_index(class_idx).ok_or_else(|| {
+            mcd_snap::SnapError::Mismatch(format!("op class index {class_idx} out of range"))
+        })?;
+        Ok(MicroOp {
+            seq,
+            class,
+            src1: r.take_opt_u64()?,
+            src2: r.take_opt_u64()?,
+            addr: r.take_opt_u64()?,
+            pc: r.take_u64()?,
+            taken: r.take_bool()?,
+        })
     }
 }
 

@@ -6,11 +6,11 @@ the checked-in reference (results/bench_sim.json).
 
 Exact comparisons — these are deterministic counts, so any drift means the
 workload actually changed:
-  * total_runs, total_instructions, total_baseline_cache_hits
+  * total_runs, total_instructions, total_baseline_requests
   * total_events_processed, total_cycles_skipped (the event-driven
     scheduler dispatches a deterministic event sequence, so its dispatch
     and skip counters are as reproducible as instruction counts)
-  * per-experiment runs, instructions, baseline_cache_hits, kind,
+  * per-experiment runs, instructions, baseline_requests, kind,
     events_processed and cycles_skipped
   * analysis-kind experiments must report zero runs
 
@@ -20,12 +20,21 @@ times the reference total. Simulated throughput is gated the same way but
 as a ratio: aggregate_simulated_mips must stay above MIPS_FLOOR times the
 reference figure — an absolute MIPS threshold would encode one machine's
 speed, a ratio floor catches a real simulator slowdown on any machine.
+The sweep wall tail is gated the same way: each simulation experiment's
+run_wall_p99_s must stay under WALL_P99_TOLERANCE times the reference
+figure, so a change that serializes runs or bloats one run's wall time
+(the thing run-granularity sharding exists to cut) fails loudly even
+when the aggregate stays within budget.
 
-The per-experiment wall-time quantiles (run_wall_p50_s / run_wall_p99_s)
-are informational — they are only sanity-checked for shape (present,
-non-negative, p50 <= p99), never compared against the reference. The
-derived cycles_skipped_per_event field is checked for consistency with
-the two exact counters it is computed from.
+The per-experiment wall quantiles are also sanity-checked for shape
+(present, non-negative, p50 <= p99). The derived
+cycles_skipped_per_event field is checked for consistency with the two
+exact counters it is computed from.
+
+A record missing a gated field (e.g. a reference written by an older
+binary, before a schema rename) is a hard, named failure — never a
+Python traceback, and never silently passed over: the fix is to
+re-baseline the reference, and the message says so.
 
 With --http, the inputs are instead mcd-bench-http records (the
 checked-in reference is results/bench_http.json) and the gate shifts
@@ -57,6 +66,10 @@ WALL_TOLERANCE = float(os.environ.get("WALL_TOLERANCE", "4.0"))
 # figure. The inverse of WALL_TOLERANCE by default: the two express the
 # same budget, one in wall time and one in throughput.
 MIPS_FLOOR = float(os.environ.get("MIPS_FLOOR", str(1.0 / WALL_TOLERANCE)))
+# Ceiling on each simulation experiment's run_wall_p99_s, as a multiple
+# of the reference figure. Shares WALL_TOLERANCE's default: the same
+# machine-variance budget, applied to the tail instead of the total.
+WALL_P99_TOLERANCE = float(os.environ.get("WALL_P99_TOLERANCE", str(WALL_TOLERANCE)))
 
 HTTP_P99_TOLERANCE = float(os.environ.get("HTTP_P99_TOLERANCE", "5.0"))
 HTTP_SHED_SLACK = float(os.environ.get("HTTP_SHED_SLACK", "0.10"))
@@ -66,7 +79,7 @@ REUSE_FLOOR = float(os.environ.get("REUSE_FLOOR", "5.0"))
 EXACT_TOTALS = [
     "total_runs",
     "total_instructions",
-    "total_baseline_cache_hits",
+    "total_baseline_requests",
     "total_events_processed",
     "total_cycles_skipped",
 ]
@@ -74,9 +87,23 @@ EXACT_FIELDS = [
     "kind",
     "runs",
     "instructions",
-    "baseline_cache_hits",
+    "baseline_requests",
     "events_processed",
     "cycles_skipped",
+]
+
+# Every field the HTTP gate reads from a phase record. Checked up front
+# so an old-schema record fails with its missing fields named instead of
+# a KeyError traceback mid-comparison.
+HTTP_PHASE_FIELDS = [
+    "requests",
+    "errors",
+    "resets",
+    "unexpected_status",
+    "p99_us",
+    "shed_rate",
+    "achieved_rps",
+    "reuse_ratio",
 ]
 
 
@@ -85,11 +112,23 @@ def load(path):
         return json.load(f)
 
 
+def missing_fields(record, fields):
+    return [k for k in fields if k not in record]
+
+
 def gate_http(ref, fresh):
     """SLO gate over two mcd-bench-http records; returns error strings."""
     errors = []
-    ref_phases = {p["mode"]: p for p in ref["phases"]}
-    fresh_phases = {p["mode"]: p for p in fresh["phases"]}
+    for label, rec in (("reference", ref), ("fresh", fresh)):
+        if not isinstance(rec.get("phases"), list):
+            errors.append(
+                f"{label} record has no 'phases' list — not an "
+                f"mcd-bench-http record (old schema? re-baseline it)"
+            )
+    if errors:
+        return errors
+    ref_phases = {p["mode"]: p for p in ref["phases"] if "mode" in p}
+    fresh_phases = {p["mode"]: p for p in fresh["phases"] if "mode" in p}
     if set(ref_phases) != set(fresh_phases):
         errors.append(
             f"phase sets differ: reference={sorted(ref_phases)} "
@@ -98,12 +137,33 @@ def gate_http(ref, fresh):
 
     for mode in sorted(set(ref_phases) & set(fresh_phases)):
         r, f = ref_phases[mode], fresh_phases[mode]
+        bad_schema = False
+        for label, rec in (("reference", r), ("fresh", f)):
+            missing = missing_fields(rec, HTTP_PHASE_FIELDS)
+            if missing:
+                errors.append(
+                    f"{mode}: {label} phase is missing {missing} — "
+                    f"old-schema record; re-baseline it"
+                )
+                bad_schema = True
+        if bad_schema:
+            continue
         if f["requests"] == 0:
             errors.append(f"{mode}: zero requests completed")
             continue
         for hard in ("errors", "resets", "unexpected_status"):
             if f[hard] != 0:
                 errors.append(f"{mode}: {hard} = {f[hard]} (must be 0)")
+        # A zero-throughput reference can't anchor a ratio: every p99
+        # passes a 0-based budget and every rps clears a 0 floor. That is
+        # a broken baseline, not a pass.
+        if r["p99_us"] <= 0 or r["achieved_rps"] <= 0:
+            errors.append(
+                f"{mode}: reference p99_us={r['p99_us']} "
+                f"achieved_rps={r['achieved_rps']} — a zero-throughput "
+                f"reference cannot anchor ratio gates; re-baseline it"
+            )
+            continue
         p99_budget = r["p99_us"] * HTTP_P99_TOLERANCE
         if f["p99_us"] > p99_budget:
             errors.append(
@@ -169,6 +229,19 @@ def main():
     fresh = load(sys.argv[2])
     errors = []
 
+    for label, rec in (("reference", ref), ("fresh", fresh)):
+        missing = missing_fields(
+            rec, EXACT_TOTALS + ["total_wall_s", "aggregate_simulated_mips"]
+        )
+        if missing:
+            print("bench gate: FAIL", file=sys.stderr)
+            print(
+                f"  {label} record is missing {missing} — old-schema "
+                f"record; re-baseline it (repro all --quick --bench-out)",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+
     for key in EXACT_TOTALS:
         if ref[key] != fresh[key]:
             errors.append(f"{key}: reference {ref[key]} != fresh {fresh[key]}")
@@ -182,6 +255,17 @@ def main():
         )
     for name in sorted(set(ref_exps) & set(fresh_exps)):
         r, f = ref_exps[name], fresh_exps[name]
+        bad_schema = False
+        for label, rec in (("reference", r), ("fresh", f)):
+            missing = missing_fields(rec, EXACT_FIELDS)
+            if missing:
+                errors.append(
+                    f"{name}: {label} record is missing {missing} — "
+                    f"old-schema record; re-baseline it"
+                )
+                bad_schema = True
+        if bad_schema:
+            continue
         for key in EXACT_FIELDS:
             if r[key] != f[key]:
                 errors.append(f"{name}.{key}: reference {r[key]!r} != fresh {f[key]!r}")
@@ -192,6 +276,19 @@ def main():
             errors.append(f"{name}: missing run_wall_p50_s/run_wall_p99_s")
         elif p50 < 0 or p99 < 0 or p50 > p99:
             errors.append(f"{name}: malformed wall quantiles p50={p50} p99={p99}")
+        elif f["kind"] == "simulation":
+            # The tail gate: sharding splits long runs into segments, so
+            # the per-run (per-segment) wall p99 must stay in the same
+            # ballpark as the reference. A reference tail of 0 (a run too
+            # fast to measure) can't anchor a ratio and is skipped.
+            ref_p99 = r.get("run_wall_p99_s")
+            if ref_p99 is not None and ref_p99 > 0:
+                p99_budget = ref_p99 * WALL_P99_TOLERANCE
+                if p99 > p99_budget:
+                    errors.append(
+                        f"{name}: run_wall_p99_s {p99:.3f}s exceeds "
+                        f"{WALL_P99_TOLERANCE:.1f}x reference ({p99_budget:.3f}s)"
+                    )
         spe = f.get("cycles_skipped_per_event")
         want = f["cycles_skipped"] / f["events_processed"] if f["events_processed"] else 0.0
         if spe is None or abs(spe - want) > 0.005 + 1e-9:

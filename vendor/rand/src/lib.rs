@@ -173,6 +173,22 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's internal state words, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by
+        /// [`StdRng::state`]; the restored generator continues the exact
+        /// same output stream. The state must not be all zeros (xoshiro's
+        /// one forbidden point, which `state()` can never produce).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "xoshiro256** state must be nonzero");
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> Self {
             let mut sm = state;
