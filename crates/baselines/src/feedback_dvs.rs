@@ -1,0 +1,347 @@
+//! Control-theoretic DVS feedback controller, after Xia, Sun, Dong and
+//! Wang, *Control-theoretic dynamic voltage scaling for embedded
+//! controllers* (arXiv:0806.0132).
+//!
+//! Where the PID baseline regulates an **absolute occupancy** toward a
+//! reference entry count, this scheme closes the loop on **utilization**
+//! — occupancy as a fraction of queue capacity — with a PI law, a
+//! deadband, and integrator anti-windup:
+//!
+//! ```text
+//! e_k = ū_k − U_ref
+//! I_k = clamp(I_{k−1} + e_k, ±I_max)          (anti-windup)
+//! Δf  = (K_P e_k + K_I I_k) · range           (skipped when |e_k| ≤ δ)
+//! ```
+//!
+//! The three control-theoretic ingredients are the point of the
+//! baseline, and each earns its keep on the adversarial workloads: the
+//! deadband keeps a near-reference domain from dithering between
+//! adjacent operating points (regulator energy), the anti-windup clamp
+//! bounds the overshoot after a long saturated stretch (a storm phase
+//! pinning the queue empty or full), and the utilization framing makes
+//! the gains meaningful as fractions-of-range rather than entries.
+
+use mcd_power::OpIndex;
+use mcd_sim::{ControllerCtx, DomainId, DvfsAction, DvfsController, QueueSample};
+
+use crate::interval::IntervalFramer;
+
+/// Feedback-DVS controller parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackDvsConfig {
+    /// Interval length in committed instructions.
+    pub interval_insts: u64,
+    /// Utilization setpoint (fraction of queue capacity).
+    pub u_ref: f64,
+    /// Proportional gain, in fractions of the curve range per unit
+    /// utilization error.
+    pub kp: f64,
+    /// Integral gain, in fractions of the curve range per unit
+    /// accumulated error.
+    pub ki: f64,
+    /// Deadband half-width: utilization errors at or below this take no
+    /// action (and leave the integrator untouched).
+    pub deadband: f64,
+    /// Anti-windup clamp on the accumulated error.
+    pub i_max: f64,
+}
+
+impl FeedbackDvsConfig {
+    /// Per-domain defaults: setpoints chosen so the scheme pursues the
+    /// same operating region as the adaptive and PID schemes (reference
+    /// occupancy over typical queue capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is the front end.
+    pub fn for_domain(domain: DomainId) -> Self {
+        let u_ref = match domain {
+            DomainId::Int => 0.30,
+            DomainId::Fp | DomainId::Ls => 0.25,
+            DomainId::FrontEnd => panic!("the front end is not DVFS-controlled"),
+        };
+        FeedbackDvsConfig {
+            interval_insts: 10_000,
+            u_ref,
+            kp: 1.2,
+            ki: 0.4,
+            deadband: 0.02,
+            i_max: 2.0,
+        }
+    }
+
+    /// Overrides the interval length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_insts` is zero.
+    pub fn with_interval(mut self, interval_insts: u64) -> Self {
+        assert!(interval_insts > 0, "interval length must be positive");
+        self.interval_insts = interval_insts;
+        self
+    }
+
+    /// Overrides the PI gains.
+    pub fn with_gains(mut self, kp: f64, ki: f64) -> Self {
+        self.kp = kp;
+        self.ki = ki;
+        self
+    }
+}
+
+/// The control-theoretic feedback-DVS controller for one domain.
+#[derive(Debug)]
+pub struct FeedbackDvsController {
+    cfg: FeedbackDvsConfig,
+    framer: IntervalFramer,
+    /// Accumulated (clamped) utilization error.
+    integral: f64,
+    /// Continuous frequency setting in curve steps (carries fractions).
+    setting: Option<f64>,
+    intervals: u64,
+}
+
+impl FeedbackDvsController {
+    /// Builds a controller with explicit parameters.
+    pub fn new(cfg: FeedbackDvsConfig) -> Self {
+        FeedbackDvsController {
+            framer: IntervalFramer::new(cfg.interval_insts),
+            cfg,
+            integral: 0.0,
+            setting: None,
+            intervals: 0,
+        }
+    }
+
+    /// Builds the default configuration for `domain`.
+    pub fn for_domain(domain: DomainId) -> Self {
+        FeedbackDvsController::new(FeedbackDvsConfig::for_domain(domain))
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &FeedbackDvsConfig {
+        &self.cfg
+    }
+
+    /// Completed decision intervals so far.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+}
+
+impl DvfsController for FeedbackDvsController {
+    fn on_sample(&mut self, ctx: &ControllerCtx<'_>, sample: QueueSample) -> Option<DvfsAction> {
+        let summary = self.framer.observe(sample.occupancy as f64, ctx.retired)?;
+        self.intervals += 1;
+
+        let util = (summary.mean_occupancy / sample.capacity as f64).clamp(0.0, 1.0);
+        let e = util - self.cfg.u_ref;
+        if e.abs() <= self.cfg.deadband {
+            return None;
+        }
+        self.integral = (self.integral + e).clamp(-self.cfg.i_max, self.cfg.i_max);
+
+        let range = ctx.curve.max_index().0 as f64;
+        let du = (self.cfg.kp * e + self.cfg.ki * self.integral) * range;
+        let setting = self.setting.get_or_insert(ctx.current.0 as f64);
+        *setting = (*setting + du).clamp(0.0, range);
+        let target = OpIndex(setting.round() as u16);
+        (target != ctx.current).then_some(DvfsAction::Set(target))
+    }
+
+    fn name(&self) -> &'static str {
+        "feedback-dvs"
+    }
+
+    fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        self.framer.save_state(w);
+        w.put_f64(self.integral);
+        w.put_bool(self.setting.is_some());
+        if let Some(s) = self.setting {
+            w.put_f64(s);
+        }
+        w.put_u64(self.intervals);
+    }
+
+    fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        self.framer.load_state(r)?;
+        self.integral = r.take_f64()?;
+        self.setting = if r.take_bool()? {
+            Some(r.take_f64()?)
+        } else {
+            None
+        };
+        self.intervals = r.take_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::{TimePs, VfCurve};
+
+    struct Harness {
+        curve: VfCurve,
+        retired: u64,
+        now: TimePs,
+        current: OpIndex,
+        ctrl: FeedbackDvsController,
+    }
+
+    impl Harness {
+        fn new(ctrl: FeedbackDvsController) -> Self {
+            let curve = VfCurve::mcd_default();
+            Harness {
+                current: curve.max_index(),
+                curve,
+                retired: 0,
+                now: TimePs::ZERO,
+                ctrl,
+            }
+        }
+
+        fn interval(&mut self, occupancy: u32) -> Option<DvfsAction> {
+            let mut out = None;
+            for _ in 0..10 {
+                self.retired += 1_000;
+                self.now += TimePs::from_ns(4);
+                let ctx = ControllerCtx {
+                    now: self.now,
+                    domain: DomainId::Fp,
+                    current: self.current,
+                    curve: &self.curve,
+                    in_transition: false,
+                    single_step_time: TimePs::from_ns(172),
+                    sample_period: TimePs::from_ns(4),
+                    retired: self.retired,
+                };
+                if let Some(a) = self.ctrl.on_sample(
+                    &ctx,
+                    QueueSample {
+                        occupancy,
+                        capacity: 16,
+                    },
+                ) {
+                    self.current = a.resolve(self.current, &self.curve);
+                    out = Some(a);
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn inside_the_deadband_no_action() {
+        let mut h = Harness::new(FeedbackDvsController::for_domain(DomainId::Fp));
+        for _ in 0..50 {
+            // u_ref = 0.25 with capacity 16 → 4 entries; e = 0.
+            assert_eq!(h.interval(4), None);
+        }
+        assert_eq!(h.current, h.curve.max_index());
+        assert_eq!(h.ctrl.intervals(), 50);
+    }
+
+    #[test]
+    fn empty_queue_drives_to_minimum() {
+        let mut h = Harness::new(FeedbackDvsController::for_domain(DomainId::Fp));
+        for _ in 0..60 {
+            h.interval(0);
+        }
+        assert_eq!(h.current, OpIndex(0));
+    }
+
+    #[test]
+    fn overfull_queue_recovers_to_maximum() {
+        let mut h = Harness::new(FeedbackDvsController::for_domain(DomainId::Fp));
+        h.current = OpIndex(0);
+        for _ in 0..60 {
+            h.interval(16);
+        }
+        assert_eq!(h.current, h.curve.max_index());
+    }
+
+    #[test]
+    fn anti_windup_bounds_the_turnaround() {
+        // A long saturated stretch must not wind the integrator so far
+        // that the turnaround takes forever: after 100 empty intervals,
+        // a persistently overfull queue recovers within a bounded number
+        // of intervals.
+        let mut h = Harness::new(FeedbackDvsController::for_domain(DomainId::Fp));
+        for _ in 0..100 {
+            h.interval(0);
+        }
+        assert_eq!(h.current, OpIndex(0));
+        let mut recovered = None;
+        for k in 0..40 {
+            h.interval(16);
+            if h.current == h.curve.max_index() {
+                recovered = Some(k);
+                break;
+            }
+        }
+        let k = recovered.expect("must recover within 40 intervals");
+        assert!(k <= 20, "took {k} intervals to turn around");
+    }
+
+    #[test]
+    fn utilization_framing_ignores_capacity_scale() {
+        // Same utilization at different capacities → identical decisions.
+        let decide = |capacity: u32, occupancy: u32| {
+            let curve = VfCurve::mcd_default();
+            let mut ctrl = FeedbackDvsController::for_domain(DomainId::Fp);
+            let mut out = Vec::new();
+            for i in 1..=30u64 {
+                let ctx = ControllerCtx {
+                    now: TimePs::from_ns(4 * i),
+                    domain: DomainId::Fp,
+                    current: curve.max_index(),
+                    curve: &curve,
+                    in_transition: false,
+                    single_step_time: TimePs::from_ns(172),
+                    sample_period: TimePs::from_ns(4),
+                    retired: i * 1_000,
+                };
+                out.push(ctrl.on_sample(
+                    &ctx,
+                    QueueSample {
+                        occupancy,
+                        capacity,
+                    },
+                ));
+            }
+            out
+        };
+        assert_eq!(decide(16, 2), decide(32, 4));
+    }
+
+    #[test]
+    fn reports_name() {
+        assert_eq!(
+            FeedbackDvsController::for_domain(DomainId::Int).name(),
+            "feedback-dvs"
+        );
+    }
+
+    #[test]
+    fn state_round_trips_through_snapshot() {
+        let mut h = Harness::new(FeedbackDvsController::for_domain(DomainId::Fp));
+        for occ in [0, 0, 9, 14, 1] {
+            h.interval(occ);
+        }
+        let mut w = mcd_snap::SnapWriter::new();
+        h.ctrl.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = FeedbackDvsController::for_domain(DomainId::Fp);
+        let mut r = mcd_snap::SnapReader::new(&bytes);
+        restored.load_state(&mut r).expect("round-trip");
+        r.finish().expect("no trailing bytes");
+        let mut other = Harness::new(restored);
+        other.current = h.current;
+        other.retired = h.retired;
+        other.now = h.now;
+        for occ in [7, 0, 16, 3, 12] {
+            assert_eq!(h.interval(occ), other.interval(occ), "diverged at {occ}");
+        }
+    }
+}

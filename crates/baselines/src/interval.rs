@@ -67,16 +67,28 @@ impl IntervalFramer {
         Some(summary)
     }
 
-    /// Serializes the in-flight interval (the interval length is
-    /// configuration).
+    /// Serializes the in-flight interval, led by the configured interval
+    /// length so a restore into a differently-framed controller fails by
+    /// name instead of silently adopting the donor's boundaries.
     pub fn save_state(&self, w: &mut mcd_snap::SnapWriter) {
+        w.put_u64(self.interval_insts);
         w.put_u64(self.next_boundary);
         w.put_f64(self.sum);
         w.put_u64(self.n);
     }
 
     /// Restores state captured by [`IntervalFramer::save_state`].
+    ///
+    /// The engine's snapshot header hashes the *machine* configuration,
+    /// not the controllers attached after construction — so without this
+    /// check, a snapshot taken under one interval length would restore
+    /// into a controller configured with another and keep the donor's
+    /// `next_boundary`, silently misframing every interval from then on
+    /// (the integrator state would be bit-exact but mean the wrong
+    /// thing). Mismatched interval lengths are rejected as
+    /// [`mcd_snap::SnapError::Mismatch`].
     pub fn load_state(&mut self, r: &mut mcd_snap::SnapReader<'_>) -> mcd_snap::SnapResult<()> {
+        r.expect_u64(self.interval_insts, "controller interval length")?;
         self.next_boundary = r.take_u64()?;
         self.sum = r.take_f64()?;
         self.n = r.take_u64()?;
@@ -128,5 +140,37 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_interval_panics() {
         let _ = IntervalFramer::new(0);
+    }
+
+    #[test]
+    fn state_round_trips_mid_interval() {
+        let mut f = IntervalFramer::new(100);
+        f.observe(4.0, 30);
+        f.observe(6.0, 60);
+        let mut w = mcd_snap::SnapWriter::new();
+        f.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut g = IntervalFramer::new(100);
+        let mut r = mcd_snap::SnapReader::new(&bytes);
+        g.load_state(&mut r).expect("same interval restores");
+        assert_eq!(f, g);
+        let s = g.observe(8.0, 100).expect("boundary crossed");
+        assert_eq!(s.mean_occupancy, 6.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn restore_into_a_different_interval_fails_by_name() {
+        let f = IntervalFramer::new(10_000);
+        let mut w = mcd_snap::SnapWriter::new();
+        f.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut g = IntervalFramer::new(5_000);
+        let mut r = mcd_snap::SnapReader::new(&bytes);
+        let err = g.load_state(&mut r).expect_err("interval must gate");
+        assert!(
+            err.to_string().contains("controller interval length"),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -12,7 +12,16 @@
 //!   (ASPLOS 2004), the paper's reference \[23\]: per interval, a PID law on
 //!   the average-occupancy error computes a new frequency setting.
 //!
-//! Both observe exactly the same queue samples as the adaptive scheme, so
+//! Two further baselines map the design space the wider literature
+//! explores, for the controller bake-off matrix:
+//!
+//! * [`IntegralGainController`] — the adjustable-gain integral power
+//!   regulator of Chen, Wardi and Yalamanchili (arXiv:1709.04859).
+//! * [`FeedbackDvsController`] — the control-theoretic feedback DVS
+//!   scheme of Xia et al. (arXiv:0806.0132): PI on utilization with a
+//!   deadband and integrator anti-windup.
+//!
+//! All observe exactly the same queue samples as the adaptive scheme, so
 //! comparisons isolate the *decision policy*. [`FixedOperatingPoint`] pins
 //! a domain to one point (for ablations and the full-speed baseline).
 //!
@@ -34,11 +43,15 @@
 #![warn(missing_docs)]
 
 pub mod attack_decay;
+pub mod feedback_dvs;
 pub mod fixed;
+pub mod integral;
 pub mod interval;
 pub mod pid;
 
 pub use attack_decay::{AttackDecayConfig, AttackDecayController};
+pub use feedback_dvs::{FeedbackDvsConfig, FeedbackDvsController};
 pub use fixed::FixedOperatingPoint;
+pub use integral::{IntegralGainConfig, IntegralGainController};
 pub use interval::IntervalFramer;
 pub use pid::{PidConfig, PidController};

@@ -303,4 +303,64 @@ mod tests {
     fn reports_name() {
         assert_eq!(PidController::for_domain(DomainId::Ls).name(), "pid");
     }
+
+    /// Regression: the integrator state (`setting`, the error history,
+    /// and the in-flight interval frame) must survive the engine's
+    /// controller sub-blob. Snapshot the machine *mid-transient and
+    /// mid-interval* — while the setting carries a fraction and the
+    /// framer holds partial sums — restore into a fresh machine, and
+    /// byte-compare both the continued trace stream and the final
+    /// result against an uninterrupted run.
+    #[test]
+    fn snapshot_mid_transient_continues_byte_identically() {
+        use mcd_sim::{Machine, SimConfig, VecSink};
+        use mcd_workloads::{synthetic, TraceGenerator};
+
+        // A square wave shorter than the PID interval keeps the
+        // controller permanently in transient: every interval lands on a
+        // different blend of burst and quiet.
+        let spec = synthetic::square_wave(6_000, 0.5);
+        let build = || {
+            Machine::new(
+                SimConfig::default().with_traces(),
+                TraceGenerator::new(&spec, 24_000, 3),
+            )
+            .with_controllers(|d| Box::new(PidController::for_domain(d)))
+        };
+
+        let mut whole_sink = VecSink::new();
+        let whole = build().run_traced(&mut whole_sink);
+
+        let mut seg_sink = VecSink::new();
+        let mut m = build();
+        // Boundaries deliberately avoid the 10k interval frame.
+        for b in [3_500u64, 7_321, 13_333] {
+            let done = m
+                .try_advance_traced(b, &mut seg_sink)
+                .expect("no divergence");
+            assert!(!done, "run pauses at {b}");
+            let snapshot = m.snapshot();
+            m = build();
+            m.restore(&snapshot)
+                .expect("mid-transient snapshot restores");
+        }
+        let done = m
+            .try_advance_traced(u64::MAX, &mut seg_sink)
+            .expect("no divergence");
+        assert!(done);
+        let segmented = m.finish_traced(&mut seg_sink);
+
+        assert_eq!(
+            format!("{whole:?}"),
+            format!("{segmented:?}"),
+            "results diverged across the snapshot"
+        );
+        let a: Vec<String> = whole_sink
+            .into_events()
+            .iter()
+            .map(|e| e.to_json())
+            .collect();
+        let b: Vec<String> = seg_sink.into_events().iter().map(|e| e.to_json()).collect();
+        assert_eq!(a, b, "trace streams diverged across the snapshot");
+    }
 }

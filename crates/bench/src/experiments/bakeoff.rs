@@ -1,0 +1,291 @@
+//! The controller bake-off matrix and the μ–f resonance sweep.
+//!
+//! `repro bakeoff` runs every controlled scheme — the paper's three plus
+//! the two wider-literature baselines ([`Scheme::BAKEOFF`]) — against a
+//! workload set that includes the adversarial generators built to hurt
+//! them: the phase-change storm straddling the relay's filtering delays,
+//! the resonant-burst pattern locked to the 5:8 domain-frequency ratio,
+//! and the multi-program interleave. Each cell is normalized against the
+//! same workload's full-speed baseline; a ranked table aggregates the
+//! schemes across workloads by mean EDP improvement and mean reaction
+//! time.
+//!
+//! `repro resonance` is the companion micro-measurement: the flat
+//! [`synthetic::resonance_probe`] workload pinned at a frequency grid,
+//! with and without clock jitter, exposing the rational-ratio resonance
+//! (625 MHz = 5:8 of the 1 GHz front end) that jitter normally breaks up.
+
+use mcd_adaptive::AdaptiveConfig;
+use mcd_baselines::FixedOperatingPoint;
+use mcd_power::OpIndex;
+use mcd_sim::{DomainId, Machine, SimResult};
+use mcd_workloads::{adversarial, registry, synthetic, BenchmarkSpec, TraceGenerator};
+
+use crate::error::RunError;
+use crate::experiments::extensions::run_spec;
+use crate::runner::{pct, Outcome, RunConfig, RunSet, Scheme};
+use crate::table::Table;
+
+/// The bake-off workload set: two representative registry benchmarks
+/// (integer-bursty and FP-steady), the three adversarial generators, and
+/// the mid-wavelength square wave. The storm is parameterized on the INT
+/// domain's actual relay delays, so it tracks `AdaptiveConfig` tuning.
+fn workloads() -> Vec<BenchmarkSpec> {
+    let relay = AdaptiveConfig::for_domain(DomainId::Int);
+    vec![
+        registry::by_name("gzip").expect("registered"),
+        registry::by_name("swim").expect("registered"),
+        adversarial::phase_storm(relay.t_m0, relay.t_l0),
+        adversarial::resonant_burst_default(),
+        adversarial::interleaved_mix_default(),
+        synthetic::square_wave(20_000, 0.4),
+    ]
+}
+
+/// Mean deviation-onset→frequency-step reaction time of one run, over
+/// all backend domains, in nanoseconds; `None` if nothing reacted.
+fn reaction_ns(r: &SimResult) -> Option<f64> {
+    let sum: u64 = r.metrics.reaction_sum_ps.iter().sum();
+    let count: u64 = r.metrics.reaction_count.iter().sum();
+    (count > 0).then(|| sum as f64 / count as f64 / 1000.0)
+}
+
+/// The scheme × workload bake-off matrix, normalized per workload and
+/// ranked by mean EDP improvement.
+pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let specs = workloads();
+    // One flattened item per (workload, scheme) cell, workload-major with
+    // the baseline first in each chunk — the same fan-out shape as the
+    // wavelength sweep, so the long adversarial runs spread across
+    // workers while results regroup in input order (byte-identical
+    // reports whatever the worker count).
+    let mut schemes = vec![Scheme::Baseline];
+    schemes.extend(Scheme::BAKEOFF);
+    let mut items = Vec::with_capacity(specs.len() * schemes.len());
+    for spec in &specs {
+        for &scheme in &schemes {
+            items.push((spec.clone(), scheme));
+        }
+    }
+    let runs = rs
+        .par(items, |(spec, scheme)| {
+            let label = format!(
+                "bakeoff|{}|{}|ops={}|seed={}",
+                spec.name,
+                scheme.name(),
+                cfg.ops,
+                cfg.seed
+            );
+            rs.run_custom(&label, |sink| run_spec(&spec, scheme, cfg, sink))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
+
+    // Per-workload matrix: one EDP column per controlled scheme.
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(Scheme::BAKEOFF.iter().map(|s| format!("{} EDP", s.name())));
+    let mut t = Table::new(headers);
+    // Per-scheme accumulators for the ranked aggregate.
+    let mut agg: Vec<(Scheme, Vec<Outcome>, Vec<f64>)> = Scheme::BAKEOFF
+        .iter()
+        .map(|&s| (s, Vec::new(), Vec::new()))
+        .collect();
+    for (wi, spec) in specs.iter().enumerate() {
+        let chunk = &runs[wi * schemes.len()..(wi + 1) * schemes.len()];
+        let baseline = &chunk[0];
+        let mut row = vec![spec.name.to_string()];
+        for (si, slot) in agg.iter_mut().enumerate() {
+            let result = &chunk[si + 1];
+            let outcome = Outcome::versus(result, baseline);
+            row.push(pct(outcome.edp_improvement));
+            slot.1.push(outcome);
+            if let Some(ns) = reaction_ns(result) {
+                slot.2.push(ns);
+            }
+        }
+        t.row(row);
+    }
+
+    // Ranked aggregate: best mean EDP first. f64 ties are impossible to
+    // break stably with partial_cmp alone; total_cmp keeps the ordering
+    // deterministic bit-for-bit.
+    let mut ranked: Vec<(Scheme, Outcome, Option<f64>)> = agg
+        .into_iter()
+        .map(|(s, outcomes, reactions)| {
+            let mean = Outcome::mean(&outcomes);
+            let reaction = (!reactions.is_empty())
+                .then(|| reactions.iter().sum::<f64>() / reactions.len() as f64);
+            (s, mean, reaction)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.edp_improvement.total_cmp(&a.1.edp_improvement));
+    let mut r = Table::new([
+        "rank",
+        "scheme",
+        "mean energy",
+        "mean slowdown",
+        "mean EDP",
+        "mean reaction",
+    ]);
+    for (i, (scheme, mean, reaction)) in ranked.iter().enumerate() {
+        r.row([
+            format!("{}", i + 1),
+            scheme.name().to_string(),
+            pct(mean.energy_savings),
+            pct(mean.perf_degradation),
+            pct(mean.edp_improvement),
+            match reaction {
+                Some(ns) => format!("{ns:.0}ns"),
+                None => "n/a".to_string(),
+            },
+        ]);
+    }
+    Ok(format!(
+        "Bake-off: every controlled scheme x adversarial workload matrix\n\n{}\n\
+         Ranked aggregate (mean over the workload set, best EDP first):\n\n{}\n\
+         Reading guide: the storm phases straddle the adaptive relay's T_m0/T_l0\n\
+         filtering delays, the resonant burst locks its duty pattern to the 5:8\n\
+         ratio of 625 MHz to the 1 GHz front end, and the interleave context-\n\
+         switches three programs at quantum granularity. Fixed-interval schemes\n\
+         alias the storm into their interval averages; the adaptive scheme pays\n\
+         for its relay delays only when deviations sit just past them.\n",
+        t.render(),
+        r.render()
+    ))
+}
+
+/// The frequency grid of the resonance sweep: minimum, quartiles, and
+/// the maximum of the default curve. Index 160 is 625 MHz — the 5:8
+/// rational ratio under test.
+const GRID: [u16; 5] = [0, 80, 160, 240, 320];
+
+/// Throughput vs pinned INT frequency, with and without clock jitter:
+/// the μ–f resonance measurement promoted from the model-validation
+/// suite into a named experiment.
+pub fn run_resonance(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
+    let spec = synthetic::resonance_probe();
+    let mut items = Vec::with_capacity(GRID.len() * 2);
+    for idx in GRID {
+        for jitter in [true, false] {
+            items.push((idx, jitter));
+        }
+    }
+    let runs = rs
+        .par(items, |(idx, jitter)| {
+            let mut c = cfg.clone();
+            if !jitter {
+                c.sim.jitter_sigma_ps = 0.0;
+            }
+            let label = format!(
+                "resonance|idx={idx}|jitter={jitter}|ops={}|seed={}",
+                c.ops, c.seed
+            );
+            rs.run_custom(&label, |sink| {
+                crate::runner::run_sharded(
+                    c.shard_ops,
+                    None,
+                    || {
+                        let trace = TraceGenerator::try_new(&spec, c.ops, c.seed)
+                            .map_err(RunError::Workload)?;
+                        // Pin the INT domain: start *at* the grid point
+                        // (otherwise the regulator's ~55 us slew from max
+                        // contaminates short runs) and hold it there.
+                        Ok(Machine::try_new(c.sim.clone(), trace)?
+                            .with_initial_operating_point(DomainId::Int, OpIndex(idx))
+                            .with_controller(
+                                DomainId::Int,
+                                Box::new(FixedOperatingPoint(OpIndex(idx))),
+                            ))
+                    },
+                    sink,
+                )
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, RunError>>()?;
+
+    let mips = |r: &SimResult| r.instructions as f64 / r.sim_time.as_secs() / 1e6;
+    let mut t = Table::new([
+        "INT idx",
+        "f (MHz)",
+        "MIPS (jitter on)",
+        "MIPS (jitter off)",
+        "resonance delta",
+    ]);
+    let curve = cfg.sim.vf_curve.clone();
+    for (gi, &idx) in GRID.iter().enumerate() {
+        let on = mips(&runs[gi * 2]);
+        let off = mips(&runs[gi * 2 + 1]);
+        t.row([
+            idx.to_string(),
+            format!("{:.0}", curve.point(OpIndex(idx)).frequency.as_mhz()),
+            format!("{on:.1}"),
+            format!("{off:.1}"),
+            pct(off / on - 1.0),
+        ]);
+    }
+    Ok(format!(
+        "Resonance: throughput vs pinned INT frequency, jittered vs deterministic clocks\n\n{}\n\
+         Reading guide: with deterministic clock edges, frequencies at small\n\
+         rational ratios of the 1 GHz front end (index 160 = 625 MHz = 5:8) lock\n\
+         into a fixed edge alignment with the synchronization window, so the\n\
+         jitter-off column picks up throughput structure the smooth mu(f) model\n\
+         cannot capture. The paper's +-10 ps seeded jitter (the on column)\n\
+         breaks the lock, which is why the headline experiments keep it enabled.\n",
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_set_is_well_formed() {
+        let specs = workloads();
+        assert_eq!(specs.len(), 6);
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        for adversary in [
+            "adversarial_phase_storm",
+            "adversarial_resonant_burst",
+            "adversarial_interleave",
+        ] {
+            assert!(names.contains(&adversary), "missing {adversary}");
+        }
+        for spec in &specs {
+            assert!(!spec.phases.is_empty());
+        }
+    }
+
+    #[test]
+    fn bakeoff_ranks_every_scheme() {
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run(&rs, &RunConfig::quick().with_ops(12_000)).expect("valid matrix");
+        for scheme in Scheme::BAKEOFF {
+            assert!(out.contains(scheme.name()), "missing {}", scheme.name());
+        }
+        for workload in ["adversarial_phase_storm", "adversarial_resonant_burst"] {
+            assert!(out.contains(workload), "missing {workload}");
+        }
+        assert!(out.contains("Ranked aggregate"));
+    }
+
+    #[test]
+    fn bakeoff_report_is_identical_across_worker_counts() {
+        let cfg = RunConfig::quick().with_ops(8_000);
+        let serial = run(&RunSet::new(1), &cfg).expect("serial");
+        let parallel = run(&RunSet::new(4), &cfg).expect("parallel");
+        assert_eq!(serial, parallel, "worker count changed report bytes");
+    }
+
+    #[test]
+    fn resonance_covers_the_grid() {
+        let rs = RunSet::new(crate::parallel::default_jobs());
+        let out = run_resonance(&rs, &RunConfig::quick().with_ops(10_000)).expect("valid sweep");
+        assert!(out.contains("625"), "the 5:8 point must be on the grid");
+        assert!(out.contains("jitter on"));
+        for idx in GRID {
+            assert!(out.contains(&idx.to_string()), "missing grid point {idx}");
+        }
+    }
+}

@@ -16,7 +16,7 @@ use crate::table::Table;
 /// `cfg.shard_ops` snapshot boundaries like every registry-backed run —
 /// this is what lets the wavelength sweep's 4.8 M-instruction points
 /// contribute segment-sized wall samples instead of one monster sample.
-fn run_spec(
+pub(crate) fn run_spec(
     spec: &mcd_workloads::BenchmarkSpec,
     scheme: Scheme,
     cfg: &RunConfig,

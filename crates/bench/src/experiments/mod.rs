@@ -1,6 +1,7 @@
 //! One module per reproduced artifact (see DESIGN.md §3 for the index).
 
 pub mod ablations;
+pub mod bakeoff;
 pub mod extensions;
 pub mod fig7;
 pub mod fig8;
@@ -16,7 +17,7 @@ use crate::error::RunError;
 use crate::runner::{RunConfig, RunSet};
 
 /// Every experiment id accepted by the `repro` binary.
-pub const ALL: [&str; 20] = [
+pub const ALL: [&str; 22] = [
     "table1",
     "table2",
     "fig7",
@@ -37,6 +38,8 @@ pub const ALL: [&str; 20] = [
     "ablate-static",
     "ext-centralized",
     "energy-breakdown",
+    "bakeoff",
+    "resonance",
 ];
 
 /// What an experiment does with the machine: drives cycle-level
@@ -106,6 +109,8 @@ pub fn run_on(rs: &RunSet, id: &str, cfg: &RunConfig) -> Result<String, RunError
         "ablate-static" => extensions::run_static(rs, cfg),
         "ext-centralized" => extensions::run_centralized(rs, cfg),
         "energy-breakdown" => extensions::run_energy_breakdown(rs, cfg),
+        "bakeoff" => bakeoff::run(rs, cfg),
+        "resonance" => bakeoff::run_resonance(rs, cfg),
         other => Err(RunError::Config(format!("unknown experiment id {other}"))),
     }
 }

@@ -7,7 +7,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
-use mcd_baselines::{AttackDecayController, PidConfig, PidController};
+use mcd_baselines::{
+    AttackDecayController, FeedbackDvsController, IntegralGainController, PidConfig, PidController,
+};
 use mcd_sim::metrics::Metrics;
 use mcd_sim::telemetry::{SimTelemetry, TelemetrySink};
 use mcd_sim::trace::{NullSink, TraceEvent, TraceSink, VecSink};
@@ -31,12 +33,28 @@ pub enum Scheme {
     Pid,
     /// The attack/decay fixed-interval baseline \[9\].
     AttackDecay,
+    /// The adjustable-gain integral power regulator (arXiv:1709.04859).
+    IntegralGain,
+    /// The control-theoretic feedback DVS scheme (arXiv:0806.0132).
+    FeedbackDvs,
 }
 
 impl Scheme {
-    /// The three DVFS schemes under comparison (everything but the
-    /// baseline).
+    /// The three DVFS schemes of the paper's own comparison (everything
+    /// but the baseline). The headline figures and tables enumerate
+    /// exactly these; the wider literature baselines live in
+    /// [`Scheme::BAKEOFF`].
     pub const CONTROLLED: [Scheme; 3] = [Scheme::Adaptive, Scheme::Pid, Scheme::AttackDecay];
+
+    /// Every controlled scheme in the bake-off matrix: the paper's three
+    /// plus the two wider-literature baselines.
+    pub const BAKEOFF: [Scheme; 5] = [
+        Scheme::Adaptive,
+        Scheme::Pid,
+        Scheme::AttackDecay,
+        Scheme::IntegralGain,
+        Scheme::FeedbackDvs,
+    ];
 
     /// Scheme name as printed in reports.
     pub fn name(self) -> &'static str {
@@ -45,6 +63,8 @@ impl Scheme {
             Scheme::Adaptive => "adaptive",
             Scheme::Pid => "PID",
             Scheme::AttackDecay => "attack/decay",
+            Scheme::IntegralGain => "integral-gain",
+            Scheme::FeedbackDvs => "feedback-DVS",
         }
     }
 }
@@ -146,6 +166,8 @@ pub fn controller_for(
             PidConfig::for_domain(domain).with_interval(cfg.pid_interval),
         ))),
         Scheme::AttackDecay => Some(Box::new(AttackDecayController::for_domain(domain))),
+        Scheme::IntegralGain => Some(Box::new(IntegralGainController::for_domain(domain))),
+        Scheme::FeedbackDvs => Some(Box::new(FeedbackDvsController::for_domain(domain))),
     }
 }
 
@@ -1108,11 +1130,14 @@ mod tests {
     #[test]
     fn every_scheme_builds_controllers() {
         let cfg = RunConfig::quick();
-        for scheme in Scheme::CONTROLLED {
+        for scheme in Scheme::BAKEOFF {
             for &d in &DomainId::BACKEND {
                 assert!(controller_for(scheme, d, &cfg).is_some(), "{scheme:?} {d}");
             }
             assert!(!scheme.name().is_empty());
+        }
+        for scheme in Scheme::CONTROLLED {
+            assert!(Scheme::BAKEOFF.contains(&scheme), "{scheme:?}");
         }
         assert!(controller_for(Scheme::Baseline, DomainId::Int, &cfg).is_none());
     }

@@ -1,0 +1,350 @@
+//! The controller contract: trait invariants every shipped DVFS
+//! controller must satisfy, pinned for the whole registry at once.
+//!
+//! `DvfsController` implementations come from two crates above the
+//! engine (`mcd-adaptive`, `mcd-baselines`; dev-dependencies here — a
+//! legal cycle, since they depend on `mcd-sim` only normally), yet the
+//! engine's guarantees are per-trait, not per-implementation:
+//!
+//! * **Bounds** — whatever the controller returns, the resolved
+//!   operating point stays on the curve, so every recorded relative
+//!   frequency lies in `[f_min/f_max, 1]`.
+//! * **Snapshot continuity** — pausing *mid-decision* (between a
+//!   controller's interval boundaries), serializing the machine,
+//!   restoring into a freshly built one and continuing is bit-identical
+//!   to an uninterrupted run: same result fingerprint, same stitched
+//!   trace stream. This is the sub-blob contract the sharded sweeps and
+//!   warm starts stand on.
+//! * **Determinism** — running the same build twice yields identical
+//!   bytes (no hidden global state in any controller).
+//! * **Trace non-interference** — the sink is an observer: a run
+//!   streaming into a collecting sink reports exactly the bytes of a
+//!   run driven through the [`NullSink`].
+//!
+//! A new controller only has to register a factory here to inherit the
+//! whole suite; the bake-off matrix (`repro bakeoff`) assumes every
+//! scheme it enumerates passes it.
+
+use mcd_adaptive::{AdaptiveConfig, AdaptiveDvfsController};
+use mcd_baselines::{
+    AttackDecayController, FeedbackDvsController, FixedOperatingPoint, IntegralGainController,
+    PidController,
+};
+use mcd_power::OpIndex;
+use mcd_sim::{
+    DomainId, DvfsController, Machine, NullSink, SimConfig, SimResult, TraceSink, VecSink,
+};
+use mcd_workloads::{adversarial, registry, TraceGenerator};
+use proptest::prelude::*;
+
+type Factory = fn(DomainId) -> Box<dyn DvfsController>;
+
+/// Every shipped controller, by display name. The fixed pin rides along
+/// as the degenerate policy (never acts), which keeps the suite honest:
+/// invariants must hold for controllers that do nothing as well as for
+/// ones that act every interval.
+fn controllers() -> Vec<(&'static str, Factory)> {
+    vec![
+        ("adaptive", |d| {
+            Box::new(AdaptiveDvfsController::new(AdaptiveConfig::for_domain(d)))
+        }),
+        ("pid", |d| Box::new(PidController::for_domain(d))),
+        ("attack-decay", |d| {
+            Box::new(AttackDecayController::for_domain(d))
+        }),
+        ("integral-gain", |d| {
+            Box::new(IntegralGainController::for_domain(d))
+        }),
+        ("feedback-dvs", |d| {
+            Box::new(FeedbackDvsController::for_domain(d))
+        }),
+        ("fixed", |_| Box::new(FixedOperatingPoint(OpIndex(160)))),
+    ]
+}
+
+/// One contract case: a controller from the registry driving a workload
+/// hostile enough to exercise real decisions.
+#[derive(Debug, Clone)]
+struct Case {
+    controller: usize,
+    workload: &'static str,
+    ops: u64,
+    seed: u64,
+    traces: bool,
+}
+
+/// The storm is generated (not registered), so spec lookup goes through
+/// this helper everywhere.
+fn spec_for(workload: &'static str) -> mcd_workloads::BenchmarkSpec {
+    match workload {
+        "storm" => adversarial::phase_storm(50.0, 8.0),
+        "resonant" => adversarial::resonant_burst_default(),
+        name => registry::by_name(name).expect("registered benchmark"),
+    }
+}
+
+fn build(case: &Case) -> Machine<TraceGenerator> {
+    let spec = spec_for(case.workload);
+    let mut cfg = SimConfig::default();
+    if case.traces {
+        cfg = cfg.with_traces();
+    }
+    let (_, factory) = controllers()[case.controller];
+    let mut m = Machine::new(cfg, TraceGenerator::new(&spec, case.ops, case.seed));
+    for &d in &DomainId::BACKEND {
+        m = m.with_controller(d, factory(d));
+    }
+    m
+}
+
+/// Exact bit-level fingerprint of everything a report can observe (kept
+/// in lockstep with `shard_equiv.rs` / `sched_equiv.rs`).
+fn fingerprint(r: &SimResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let f = |x: f64| x.to_bits();
+    writeln!(
+        s,
+        "instructions={} sim_time={}",
+        r.instructions,
+        r.sim_time.as_ps()
+    )
+    .unwrap();
+    writeln!(s, "regulator_energy={}", f(r.regulator_energy.as_joules())).unwrap();
+    writeln!(
+        s,
+        "peaks={:?} l1d={} l2={} bpred={}",
+        r.queue_peaks,
+        f(r.l1d_miss_rate),
+        f(r.l2_miss_rate),
+        f(r.mispredict_rate)
+    )
+    .unwrap();
+    for d in &r.domains {
+        writeln!(
+            s,
+            "{} cycles={} clk={} cmp={} mem={} pipe={} leak={} freq={} trans={}",
+            d.domain,
+            d.cycles,
+            f(d.energy.clock.as_joules()),
+            f(d.energy.compute.as_joules()),
+            f(d.energy.memory.as_joules()),
+            f(d.energy.pipeline.as_joules()),
+            f(d.energy.leakage.as_joules()),
+            f(d.mean_rel_freq),
+            d.transitions
+        )
+        .unwrap();
+    }
+    let m = &r.metrics;
+    writeln!(
+        s,
+        "samples={} events={} skipped={} occ_sum={:?} stalls={:?} sync={:?} fmin={:?} fmax={:?} slew={:?}",
+        m.samples,
+        m.events_processed,
+        m.cycles_skipped,
+        m.occupancy_sum,
+        m.dispatch_stalls,
+        m.sync_enqueues,
+        m.fmin_cycles,
+        m.fmax_cycles,
+        m.transition_time_ps
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "dvfs={:?} up={:?} down={:?} arms={:?} fires={:?} resets={:?} rsum={:?} rcnt={:?}",
+        m.dvfs_actions,
+        m.freq_steps_up,
+        m.freq_steps_down,
+        m.relay_arms,
+        m.relay_fires,
+        m.relay_resets,
+        m.reaction_sum_ps,
+        m.reaction_count
+    )
+    .unwrap();
+    writeln!(s, "hist={:?}", m.occupancy_hist).unwrap();
+    writeln!(s, "occ={:?} retired={:?}", m.occupancy, m.retired_trace).unwrap();
+    for bi in 0..3 {
+        for p in &m.frequency[bi] {
+            writeln!(s, "f[{bi}] {} {}", p.time.as_ps(), f(p.rel_freq)).unwrap();
+        }
+    }
+    s
+}
+
+/// Runs `case` segmented at `boundaries`, restoring each snapshot into a
+/// freshly built machine (the shard lifecycle).
+fn run_segmented(case: &Case, boundaries: &[u64], sink: &mut dyn TraceSink) -> SimResult {
+    let mut machine = build(case);
+    for &b in boundaries {
+        match machine.try_advance_traced(b, sink).expect("no divergence") {
+            true => return machine.finish_traced(sink),
+            false => {
+                let snapshot = machine.snapshot();
+                machine = build(case);
+                machine.restore(&snapshot).expect("round-trip restores");
+            }
+        }
+    }
+    let done = machine
+        .try_advance_traced(u64::MAX, sink)
+        .expect("no divergence");
+    assert!(done, "no boundary can precede u64::MAX retirements");
+    machine.finish_traced(sink)
+}
+
+fn base_case(controller: usize) -> Case {
+    Case {
+        controller,
+        workload: "storm",
+        ops: 9_000,
+        seed: 5,
+        traces: false,
+    }
+}
+
+#[test]
+fn registry_names_are_unique_and_reported() {
+    let reg = controllers();
+    let mut names: Vec<&str> = reg
+        .iter()
+        .map(|(name, factory)| {
+            let built = factory(DomainId::Int);
+            assert_eq!(built.name(), *name, "registry name drifted from name()");
+            *name
+        })
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), reg.len(), "duplicate controller names");
+}
+
+/// Every recorded relative frequency stays inside the curve's span, for
+/// every controller, on the relay-hostile storm: whatever the policy
+/// returns, `DvfsAction::resolve` clamps to the curve.
+#[test]
+fn frequencies_stay_on_the_curve() {
+    let curve = mcd_power::VfCurve::mcd_default();
+    let span = curve.min().frequency.as_ghz() / curve.max().frequency.as_ghz();
+    for (ci, (name, _)) in controllers().iter().enumerate() {
+        let mut case = base_case(ci);
+        case.traces = true;
+        let r = build(&case).run();
+        let mut points = 0usize;
+        for bi in 0..3 {
+            for p in &r.metrics.frequency[bi] {
+                assert!(
+                    p.rel_freq >= span - 1e-12 && p.rel_freq <= 1.0 + 1e-12,
+                    "{name}: rel_freq {} escaped [{span}, 1] in domain {bi}",
+                    p.rel_freq
+                );
+                points += 1;
+            }
+        }
+        assert!(
+            points > 0,
+            "{name}: traced run recorded no frequency points"
+        );
+    }
+}
+
+/// Mid-decision snapshot continuity for every controller: boundaries are
+/// chosen away from the 10 k-instruction interval frames (and include a
+/// zero-progress duplicate), so the snapshot lands while framers hold
+/// partial sums and integrators carry fractions.
+#[test]
+fn every_controller_survives_mid_decision_snapshots() {
+    for (ci, (name, _)) in controllers().iter().enumerate() {
+        let case = base_case(ci);
+        let whole = build(&case).run();
+        let segmented = run_segmented(&case, &[1_500, 2_500, 2_500, 6_000], &mut NullSink);
+        assert_eq!(
+            fingerprint(&whole),
+            fingerprint(&segmented),
+            "{name}: segmented run diverged"
+        );
+    }
+}
+
+/// Trace streams stitch identically across restores, and the collected
+/// stream does not perturb the result (sink non-interference), for every
+/// controller.
+#[test]
+fn traces_stitch_and_do_not_interfere() {
+    for (ci, (name, _)) in controllers().iter().enumerate() {
+        let mut case = base_case(ci);
+        case.traces = true;
+        let mut whole_sink = VecSink::new();
+        let whole = build(&case).run_traced(&mut whole_sink);
+        let mut seg_sink = VecSink::new();
+        let segmented = run_segmented(&case, &[2_200, 4_444, 7_001], &mut seg_sink);
+        assert_eq!(
+            fingerprint(&whole),
+            fingerprint(&segmented),
+            "{name}: traced segmented run diverged"
+        );
+        let a: Vec<String> = whole_sink
+            .into_events()
+            .iter()
+            .map(|e| e.to_json())
+            .collect();
+        let b: Vec<String> = seg_sink.into_events().iter().map(|e| e.to_json()).collect();
+        assert_eq!(a, b, "{name}: trace streams diverged across restores");
+
+        // Non-interference: the NullSink run of the same build reports
+        // the identical bytes.
+        let silent = build(&case).run();
+        assert_eq!(
+            fingerprint(&whole),
+            fingerprint(&silent),
+            "{name}: collecting a trace changed the result"
+        );
+    }
+}
+
+/// Same build, run twice: identical bytes. Controllers must not consult
+/// hidden global state (clocks, statics, thread identity).
+#[test]
+fn repeated_runs_are_deterministic() {
+    for (ci, (name, _)) in controllers().iter().enumerate() {
+        let case = base_case(ci);
+        assert_eq!(
+            fingerprint(&build(&case).run()),
+            fingerprint(&build(&case).run()),
+            "{name}: two identical builds produced different bytes"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full contract, randomized: any registered controller, on
+    /// registry or adversarial workloads, segmented at arbitrary
+    /// (possibly duplicate) boundaries, equals the uninterrupted run.
+    #[test]
+    fn contract_holds_for_random_cases(
+        controller in 0usize..6,
+        workload in proptest::sample::select(vec![
+            "storm", "resonant", "gzip", "swim", "mcf",
+        ]),
+        ops in 2_000u64..10_000,
+        seed in 0u64..64,
+        cuts in proptest::collection::vec(1u64..20_000, 1..5),
+    ) {
+        let case = Case { controller, workload, ops, seed, traces: false };
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        let whole = build(&case).run();
+        let segmented = run_segmented(&case, &cuts, &mut NullSink);
+        prop_assert_eq!(
+            fingerprint(&whole),
+            fingerprint(&segmented),
+            "case {:?} cuts {:?}",
+            case,
+            cuts
+        );
+    }
+}

@@ -17,6 +17,7 @@
 //! uneventful cycles into replays, while their *sum* stays the total
 //! scheduler work either way.
 
+use mcd_baselines::{FeedbackDvsController, IntegralGainController};
 use mcd_power::OpIndex;
 use mcd_sim::{
     ControllerCtx, DomainId, DvfsAction, DvfsController, Machine, QueueSample, SimConfig,
@@ -128,7 +129,11 @@ struct Case {
     jitter: bool,
     sync: SyncModel,
     traces: bool,
-    controlled: bool,
+    /// Which backend controller drives the run: 0 = uncontrolled,
+    /// 1 = the test-local [`BangBang`], 2 = the shipped integral-gain
+    /// regulator, 3 = the shipped feedback-DVS scheme. The shipped
+    /// controllers must re-join the stepping core exactly too.
+    controller: u8,
 }
 
 fn cases() -> impl Strategy<Value = Case> {
@@ -146,16 +151,16 @@ fn cases() -> impl Strategy<Value = Case> {
         any::<bool>(),
         proptest::sample::select(vec![SyncModel::Arbitration, SyncModel::TokenRing]),
         any::<bool>(),
-        any::<bool>(),
+        0u8..4,
     )
-        .prop_map(|(name, ops, seed, jitter, sync, traces, controlled)| Case {
+        .prop_map(|(name, ops, seed, jitter, sync, traces, controller)| Case {
             name,
             ops,
             seed,
             jitter,
             sync,
             traces,
-            controlled,
+            controller,
         })
 }
 
@@ -173,10 +178,14 @@ fn build(case: &Case, stepping: bool) -> Machine<TraceGenerator> {
         cfg = cfg.with_traces();
     }
     let mut m = Machine::new(cfg, TraceGenerator::new(&spec, case.ops, case.seed));
-    if case.controlled {
-        for &d in &DomainId::BACKEND {
-            m = m.with_controller(d, Box::new(BangBang));
-        }
+    for &d in &DomainId::BACKEND {
+        m = match case.controller {
+            0 => return m,
+            1 => m.with_controller(d, Box::new(BangBang)),
+            2 => m.with_controller(d, Box::new(IntegralGainController::for_domain(d))),
+            3 => m.with_controller(d, Box::new(FeedbackDvsController::for_domain(d))),
+            other => panic!("unknown controller selector {other}"),
+        };
     }
     m
 }

@@ -19,6 +19,7 @@
 //! restoring machine — or whose bytes were truncated — must fail with a
 //! structural error, never restore into silently wrong state.
 
+use mcd_baselines::{FeedbackDvsController, IntegralGainController};
 use mcd_power::OpIndex;
 use mcd_sim::{
     ControllerCtx, DomainId, DvfsAction, DvfsController, Machine, QueueSample, SimConfig,
@@ -144,7 +145,25 @@ struct Case {
     jitter: bool,
     sync: SyncModel,
     traces: bool,
-    controlled: bool,
+    /// Which backend controller drives the run: 0 = uncontrolled,
+    /// 1 = the test-local [`Integrator`], 2 = the shipped integral-gain
+    /// regulator, 3 = the shipped feedback-DVS scheme. Shipped
+    /// controllers ride the same equivalence properties as the
+    /// adversarially stateful one.
+    controller: u8,
+}
+
+fn attach_controllers(mut m: Machine<TraceGenerator>, controller: u8) -> Machine<TraceGenerator> {
+    for &d in &DomainId::BACKEND {
+        m = match controller {
+            0 => return m,
+            1 => m.with_controller(d, Box::new(Integrator { acc: 0 })),
+            2 => m.with_controller(d, Box::new(IntegralGainController::for_domain(d))),
+            3 => m.with_controller(d, Box::new(FeedbackDvsController::for_domain(d))),
+            other => panic!("unknown controller selector {other}"),
+        };
+    }
+    m
 }
 
 fn cases() -> impl Strategy<Value = Case> {
@@ -162,16 +181,16 @@ fn cases() -> impl Strategy<Value = Case> {
         any::<bool>(),
         proptest::sample::select(vec![SyncModel::Arbitration, SyncModel::TokenRing]),
         any::<bool>(),
-        any::<bool>(),
+        0u8..4,
     )
-        .prop_map(|(name, ops, seed, jitter, sync, traces, controlled)| Case {
+        .prop_map(|(name, ops, seed, jitter, sync, traces, controller)| Case {
             name,
             ops,
             seed,
             jitter,
             sync,
             traces,
-            controlled,
+            controller,
         })
 }
 
@@ -187,13 +206,8 @@ fn build(case: &Case) -> Machine<TraceGenerator> {
     if case.traces {
         cfg = cfg.with_traces();
     }
-    let mut m = Machine::new(cfg, TraceGenerator::new(&spec, case.ops, case.seed));
-    if case.controlled {
-        for &d in &DomainId::BACKEND {
-            m = m.with_controller(d, Box::new(Integrator { acc: 0 }));
-        }
-    }
-    m
+    let m = Machine::new(cfg, TraceGenerator::new(&spec, case.ops, case.seed));
+    attach_controllers(m, case.controller)
 }
 
 /// Runs `case` segmented at `boundaries` (retired-instruction counts, in
@@ -279,7 +293,7 @@ fn controlled_case() -> Case {
         jitter: true,
         sync: SyncModel::Arbitration,
         traces: false,
-        controlled: true,
+        controller: 1,
     }
 }
 

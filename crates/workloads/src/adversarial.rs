@@ -1,0 +1,327 @@
+//! Adversarial workloads: phase programs built to hurt DVFS controllers.
+//!
+//! The named benchmarks model real programs and the [`crate::synthetic`]
+//! constructors give clean wavelengths; the generators here are tuned
+//! against the *controllers themselves* — the time-delay relay's
+//! filtering delays, the synchronization interface's rational-ratio
+//! resonances, and the interval framers' assumption that one program's
+//! phases arrive contiguously. They are the hostile half of the bake-off
+//! matrix (`repro bakeoff`).
+//!
+//! Everything here is an ordinary [`BenchmarkSpec`]: seeding and
+//! determinism come from [`crate::TraceGenerator`] exactly as for every
+//! other workload (same `(spec, total_ops, seed)` → identical micro-op
+//! stream).
+
+use crate::benchmarks::{BenchmarkSpec, Suite, VariabilityClass};
+use crate::mix::InstructionMix;
+use crate::phase::PhaseSpec;
+use crate::registry;
+
+/// Committed instructions per controller sampling period at full speed,
+/// used to convert the relay delays (counted in sampling periods) into
+/// phase lengths. The sampling period is 4 ns and the core retires about
+/// one micro-op per nanosecond at the maximum operating point, so this
+/// is an *approximate* full-speed calibration — which is all a storm
+/// needs: its deviations merely have to straddle the delay, not hit it
+/// exactly.
+pub const INSTS_PER_SAMPLE: f64 = 4.0;
+
+/// A phase-change storm tuned to the time-delay relay: FP surges and
+/// integer lulls whose durations straddle the relay's filtering delays
+/// (`t_m0` and `t_l0`, both in sampling periods — the
+/// `AdaptiveConfig::t_m0`/`t_l0` knobs, paper defaults 50 and 8).
+///
+/// The schedule interleaves four duration regimes per delay: deviations
+/// just *short* of the delay arm the relay and then reset it (maximum
+/// filtering churn, zero useful actions), deviations just *past* it fire
+/// the relay at the worst moment (the workload reverts as the frequency
+/// step lands), and long confirmations keep the controller from simply
+/// ignoring the signal. Fixed-interval schemes see the same storm as
+/// aliased interval averages.
+///
+/// # Panics
+///
+/// Panics unless both delays are positive.
+pub fn phase_storm(t_m0: f64, t_l0: f64) -> BenchmarkSpec {
+    assert!(t_m0 > 0.0, "t_m0 must be positive");
+    assert!(t_l0 > 0.0, "t_l0 must be positive");
+    let len = |samples: f64| ((samples * INSTS_PER_SAMPLE).round() as u64).max(50);
+    let surge = |ops: u64| {
+        PhaseSpec::new("storm-surge", InstructionMix::fp_burst(), ops)
+            .with_dep_mean(8.0)
+            .with_misses(0.03, 0.2)
+    };
+    let lull = |ops: u64| {
+        PhaseSpec::new("storm-lull", InstructionMix::integer_kernel(), ops)
+            .with_dep_mean(4.0)
+            .with_misses(0.02, 0.2)
+    };
+    BenchmarkSpec {
+        name: "adversarial_phase_storm",
+        suite: Suite::MediaBench,
+        description: "FP/INT deviations straddling the relay's T_m0/T_l0 delays",
+        phases: vec![
+            // Sub-delay deviations: armed, then reset as noise.
+            surge(len(0.8 * t_m0)),
+            lull(len(0.8 * t_l0)),
+            // Just-past-delay deviations: the relay fires exactly as the
+            // workload reverts.
+            surge(len(1.5 * t_m0)),
+            lull(len(1.5 * t_l0)),
+            // Asymmetric pair: confirmed lull after a filtered surge.
+            surge(len(0.8 * t_m0)),
+            lull(len(3.0 * t_l0)),
+            // Confirmed surge after a filtered lull.
+            surge(len(3.0 * t_m0)),
+            lull(len(0.8 * t_l0)),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+/// A burst generator locked to a rational domain-frequency ratio: burst
+/// and quiet phase lengths in the exact `num : den` proportion, so the
+/// workload's duty pattern mirrors the clock-edge coincidence pattern of
+/// a back-end domain running at `num/den` of the front-end frequency.
+///
+/// At the default 5:8 — the ratio of 625 MHz (operating point 160 on the
+/// default curve) to the 1 GHz front end, the resonance PR 3 root-caused
+/// — a controller that settles the INT domain near 625 MHz sees its
+/// queue refill cadence beat against the synchronization window at the
+/// same rational period the workload itself oscillates at.
+/// `ops_per_beat` scales the whole pattern without changing the ratio.
+///
+/// # Panics
+///
+/// Panics unless `num` and `den` are coprime-free positive values with
+/// `num < den`, and `ops_per_beat` is positive.
+pub fn resonant_burst(num: u32, den: u32, ops_per_beat: u64) -> BenchmarkSpec {
+    assert!(num > 0 && den > 0, "ratio terms must be positive");
+    assert!(num < den, "ratio must be proper (num < den)");
+    assert!(ops_per_beat > 0, "ops_per_beat must be positive");
+    let burst = (num as u64 * ops_per_beat).max(50);
+    let quiet = (den as u64 * ops_per_beat).max(50);
+    BenchmarkSpec {
+        name: "adversarial_resonant_burst",
+        suite: Suite::MediaBench,
+        description: "bursts locked to a rational domain-frequency ratio (default 5:8)",
+        phases: vec![
+            PhaseSpec::new("beat-burst", InstructionMix::fp_burst(), burst)
+                .with_dep_mean(8.0)
+                .with_misses(0.03, 0.2),
+            PhaseSpec::new("beat-quiet", InstructionMix::integer_kernel(), quiet)
+                .with_dep_mean(4.0)
+                .with_misses(0.02, 0.2),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    }
+}
+
+/// The default resonant burst: 5:8 at 125 ops per beat unit — the
+/// 625 MHz : 1 GHz ratio of the μ–f resonance, with a 1 625-instruction
+/// full period.
+pub fn resonant_burst_default() -> BenchmarkSpec {
+    resonant_burst(5, 8, 125)
+}
+
+/// A multi-program interleaving mixer: round-robin context switching
+/// over registry benchmarks at a fixed quantum, as an OS scheduler would
+/// produce. Each program keeps its own position in its (cyclic) phase
+/// schedule across its turns, so the interleaved stream presents every
+/// controller with phase changes at *quantum* granularity whose contents
+/// drift as the underlying programs advance — the aliasing case interval
+/// framers are worst at.
+///
+/// The schedule is one full round of slices covering every program's
+/// complete phase cycle at least once (capped at 240 slices), then
+/// loops. Non-looping programs are cycled anyway: the mixer models
+/// re-dispatch, not completion.
+///
+/// Returns an error for an empty program list, an unknown benchmark
+/// name, or a zero quantum.
+pub fn interleaved_mix(names: &[&str], quantum_ops: u64) -> Result<BenchmarkSpec, String> {
+    if names.is_empty() {
+        return Err("interleaved mix needs at least one program".to_string());
+    }
+    if quantum_ops == 0 {
+        return Err("quantum must be positive".to_string());
+    }
+    let programs: Vec<BenchmarkSpec> = names
+        .iter()
+        .map(|n| registry::by_name(n).ok_or_else(|| format!("unknown benchmark {n}")))
+        .collect::<Result<_, _>>()?;
+
+    // Slices until the slowest program has seen its whole cycle.
+    let max_cycle = programs
+        .iter()
+        .map(BenchmarkSpec::cycle_length)
+        .max()
+        .expect("at least one program");
+    let rounds = max_cycle.div_ceil(quantum_ops);
+    let slices = (rounds * programs.len() as u64).clamp(programs.len() as u64, 240) as usize;
+
+    // Per-program cursor into its cyclic phase schedule, advanced one
+    // quantum per turn; each slice reuses the template of the phase the
+    // cursor currently sits in, truncated to the quantum.
+    let mut offsets = vec![0u64; programs.len()];
+    let phase_at = |prog: &BenchmarkSpec, offset: u64| -> PhaseSpec {
+        let pos = offset % prog.cycle_length();
+        let mut acc = 0u64;
+        for p in &prog.phases {
+            acc += p.len_ops;
+            if pos < acc {
+                return p.clone();
+            }
+        }
+        unreachable!("pos is reduced modulo the cycle length");
+    };
+    let mut phases = Vec::with_capacity(slices);
+    for s in 0..slices {
+        let i = s % programs.len();
+        let mut p = phase_at(&programs[i], offsets[i]);
+        p.len_ops = quantum_ops;
+        phases.push(p);
+        offsets[i] += quantum_ops;
+    }
+    Ok(BenchmarkSpec {
+        name: "adversarial_interleave",
+        suite: Suite::MediaBench,
+        description: "round-robin multi-program interleaving at quantum granularity",
+        phases,
+        loops: true,
+        expected_variability: VariabilityClass::Fast,
+    })
+}
+
+/// The default interleaving: gzip (integer, bursty), swim (FP, steady)
+/// and mcf (memory-bound) at a 2 000-instruction quantum.
+///
+/// # Panics
+///
+/// Panics if the default programs are missing from the registry (a
+/// programming error, pinned by tests).
+pub fn interleaved_mix_default() -> BenchmarkSpec {
+    interleaved_mix(&["gzip", "swim", "mcf"], 2_000).expect("default programs are registered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn phase_storm_straddles_the_delays() {
+        let b = phase_storm(50.0, 8.0);
+        assert!(b.loops);
+        assert_eq!(b.phases.len(), 8);
+        // 0.8 × 50 samples × 4 insts/sample = 160; 1.5 × 50 × 4 = 300.
+        assert_eq!(b.phases[0].len_ops, 160);
+        assert_eq!(b.phases[2].len_ops, 300);
+        // Lull lengths floor at 50 ops (0.8 × 8 × 4 ≈ 26 → 50).
+        assert_eq!(b.phases[1].len_ops, 50);
+        // Surges are FP, lulls are not.
+        assert!(b.phases[0].mix.fp_fraction() > 0.3);
+        assert!(b.phases[1].mix.fp_fraction() < 0.05);
+    }
+
+    #[test]
+    fn phase_storm_scales_with_the_delays() {
+        let short = phase_storm(10.0, 4.0);
+        let long = phase_storm(100.0, 40.0);
+        assert!(long.cycle_length() > short.cycle_length());
+    }
+
+    #[test]
+    #[should_panic(expected = "t_m0 must be positive")]
+    fn phase_storm_rejects_zero_delay() {
+        let _ = phase_storm(0.0, 8.0);
+    }
+
+    #[test]
+    fn resonant_burst_keeps_the_exact_ratio() {
+        let b = resonant_burst(5, 8, 125);
+        assert_eq!(b.phases[0].len_ops, 625);
+        assert_eq!(b.phases[1].len_ops, 1_000);
+        assert_eq!(b.cycle_length(), 1_625);
+        assert!(b.loops);
+        let d = resonant_burst_default();
+        assert_eq!(d.cycle_length(), b.cycle_length());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be proper")]
+    fn resonant_burst_rejects_improper_ratio() {
+        let _ = resonant_burst(8, 5, 100);
+    }
+
+    #[test]
+    fn resonant_burst_alternates_fp() {
+        let b = resonant_burst_default();
+        let ops: Vec<_> = TraceGenerator::new(&b, 1_625, 1).collect();
+        let burst = TraceStats::from_trace(&ops[..625]);
+        let quiet = TraceStats::from_trace(&ops[625..]);
+        assert!(burst.fp_fraction() > 0.3);
+        assert!(quiet.fp_fraction() < 0.05);
+    }
+
+    #[test]
+    fn interleave_round_robins_the_programs() {
+        let b = interleaved_mix(&["gzip", "swim"], 1_000).expect("valid");
+        assert!(b.loops);
+        assert!(b.phases.len() >= 2);
+        for p in &b.phases {
+            assert_eq!(p.len_ops, 1_000);
+        }
+        // Swim turns are FP-heavy, gzip turns are not: the slices keep
+        // their source program's character.
+        let gzip_slice = &b.phases[0];
+        let swim_slice = &b.phases[1];
+        assert!(gzip_slice.mix.fp_fraction() < swim_slice.mix.fp_fraction());
+    }
+
+    #[test]
+    fn interleave_advances_each_program_cursor() {
+        // With a quantum bigger than gzip's first phase, the second gzip
+        // turn must come from a later phase of the program.
+        let gzip = registry::by_name("gzip").expect("registered");
+        let quantum = gzip.phases[0].len_ops + 1;
+        let b = interleaved_mix(&["gzip"], quantum).expect("valid");
+        assert_ne!(
+            b.phases[0].name, b.phases[1].name,
+            "cursor must have crossed into the next phase"
+        );
+    }
+
+    #[test]
+    fn interleave_rejects_bad_input() {
+        assert!(interleaved_mix(&[], 1_000).is_err());
+        assert!(interleaved_mix(&["gzip"], 0).is_err());
+        assert!(interleaved_mix(&["nope"], 1_000)
+            .unwrap_err()
+            .contains("unknown benchmark nope"));
+    }
+
+    #[test]
+    fn interleave_default_is_bounded() {
+        let b = interleaved_mix_default();
+        assert!(b.phases.len() <= 240);
+        assert!(!b.phases.is_empty());
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        for spec in [
+            phase_storm(50.0, 8.0),
+            resonant_burst_default(),
+            interleaved_mix_default(),
+        ] {
+            let a: Vec<_> = TraceGenerator::new(&spec, 3_000, 11).collect();
+            let b: Vec<_> = TraceGenerator::new(&spec, 3_000, 11).collect();
+            assert_eq!(a, b, "{} must be seed-deterministic", spec.name);
+        }
+    }
+}

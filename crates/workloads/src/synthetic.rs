@@ -66,6 +66,31 @@ pub fn step_workload(at_ops: u64) -> BenchmarkSpec {
     }
 }
 
+/// The μ–f resonance probe: one steady integer-bound phase with a fixed
+/// dependency structure, used to measure throughput against pinned
+/// operating points (the `repro resonance` experiment).
+///
+/// A *flat* workload is the point: with no phase variation, any
+/// throughput structure observed while sweeping the pinned back-end
+/// frequency comes from the synchronization interface itself — the
+/// clock-edge coincidence patterns at rational frequency ratios (5:8 at
+/// 625 MHz on the default curve) that the PR 3 investigation root-caused
+/// and the default ±10 ps clock jitter normally breaks up.
+pub fn resonance_probe() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "synthetic_resonance",
+        suite: Suite::MediaBench,
+        description: "steady integer phase for rational-ratio resonance sweeps",
+        phases: vec![
+            PhaseSpec::new("steady", InstructionMix::integer_typical(), 10_000)
+                .with_dep_mean(4.0)
+                .with_misses(0.01, 0.2),
+        ],
+        loops: true,
+        expected_variability: VariabilityClass::Slow,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +143,21 @@ mod tests {
     #[should_panic(expected = "duty must be inside")]
     fn bad_duty_panics() {
         let _ = square_wave(10_000, 1.0);
+    }
+
+    #[test]
+    fn resonance_probe_is_flat() {
+        let b = resonance_probe();
+        assert!(b.loops, "the probe must sustain any measurement length");
+        assert_eq!(
+            b.phases.len(),
+            1,
+            "phase variation would confound the sweep"
+        );
+        let ops: Vec<_> = TraceGenerator::new(&b, 20_000, 1).collect();
+        let first = TraceStats::from_trace(&ops[..10_000]);
+        let second = TraceStats::from_trace(&ops[10_000..]);
+        assert!(first.fp_fraction() < 0.05);
+        assert!((first.fp_fraction() - second.fp_fraction()).abs() < 0.02);
     }
 }

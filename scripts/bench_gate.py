@@ -92,6 +92,15 @@ EXACT_FIELDS = [
     "cycles_skipped",
 ]
 
+# The controller bake-off matrix and its companion resonance sweep are
+# shape-checked only: their record blocks must exist (with the same
+# EXACT_FIELDS every experiment gets), but no matrix-specific value is
+# ever gated — rankings shift whenever a controller is tuned, and that
+# is the matrix doing its job, not a regression. A reference written
+# before the matrix existed fails here by name instead of drowning in
+# set-difference noise.
+MATRIX_EXPERIMENTS = ["bakeoff", "resonance"]
+
 # Every field the HTTP gate reads from a phase record. Checked up front
 # so an old-schema record fails with its missing fields named instead of
 # a KeyError traceback mid-comparison.
@@ -248,6 +257,14 @@ def main():
 
     ref_exps = {e["experiment"]: e for e in ref["experiments"]}
     fresh_exps = {e["experiment"]: e for e in fresh["experiments"]}
+    for name in MATRIX_EXPERIMENTS:
+        for label, exps in (("reference", ref_exps), ("fresh", fresh_exps)):
+            if name not in exps:
+                errors.append(
+                    f"{name}: {label} record has no block for it — "
+                    f"old-schema record (pre-bakeoff matrix); re-baseline "
+                    f"it (repro all --quick --bench-out)"
+                )
     if set(ref_exps) != set(fresh_exps):
         errors.append(
             f"experiment sets differ: only-reference={sorted(set(ref_exps) - set(fresh_exps))} "

@@ -55,6 +55,43 @@ pub mod strategy {
         }
     }
 
+    /// Chooses uniformly among several strategies sharing a value type
+    /// (what [`crate::prop_oneof!`] builds; upstream's `Union` without
+    /// weights).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "union over no strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`Union`], letting inference unify the value
+    /// types of [`crate::prop_oneof!`] arms (an `as Box<dyn …>` cast
+    /// would pin each arm's type before unification).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
     /// A strategy that always yields a clone of one value.
     #[derive(Debug, Clone)]
     pub struct Just<T: Clone>(pub T);
@@ -364,7 +401,20 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Chooses uniformly among several strategies with a common value type
+/// (upstream's unweighted `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -514,6 +564,15 @@ mod tests {
             for v in a {
                 prop_assert!((0.0..1.0).contains(&v));
             }
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(x in prop_oneof![
+            0u64..10,
+            (50u64..55).prop_map(|v| v * 2),
+            Just(1_000u64),
+        ]) {
+            prop_assert!(x < 10 || (100..110).contains(&x) || x == 1_000);
         }
     }
 
