@@ -6,7 +6,9 @@
 //!                       [--checkpoint DIR] [--resume] [--run-timeout SECS]
 //! repro all [same flags]
 //! repro list
-//! repro trace analyze FILE [--out FILE]
+//! repro trace analyze FILE [--out FILE] [--episodes] [--worst N]
+//! repro trace convert FILE --out FILE
+//! repro trace replay FILE.mcdt --episode K
 //! repro profile <experiment>... [--ops N] [--quick] [--seed S] [--jobs N]
 //! ```
 //!
@@ -22,7 +24,10 @@
 //! human-readable controller-activity table is appended to stdout).
 //! With `--trace-out FILE`, every controller decision in every
 //! simulation is written to `FILE` as JSON lines, one event per line,
-//! tagged with the run that produced it.
+//! tagged with the run that produced it — or, when `FILE` ends in
+//! `.mcdt`, as the compact binary flight-recorder format (DESIGN.md
+//! §14), which additionally carries shard-boundary machine snapshots
+//! and an episode seek index for `trace replay`.
 //!
 //! The sweep is fault-isolated: an experiment that panics, reports a
 //! typed error, or (with `--run-timeout SECS`) exceeds its wall-clock
@@ -36,9 +41,13 @@
 //! `repro trace analyze FILE` consumes a `--trace-out` file offline
 //! (deviation episodes, reaction-time distributions, a per-domain
 //! timeline — DESIGN.md §9); its report is a pure function of the trace
-//! bytes. `repro profile <ids>` re-runs experiments with the span
-//! profiler and distribution telemetry enabled and prints where the
-//! wall time went.
+//! bytes. `--episodes`/`--worst N` switch to the episode-catalog view.
+//! `repro trace convert` moves a trace between the JSONL and `.mcdt`
+//! forms losslessly, and `repro trace replay FILE.mcdt --episode K`
+//! re-simulates one catalogued episode from the nearest snapshot anchor
+//! and verifies it byte-for-byte against the recording (DESIGN.md §14).
+//! `repro profile <ids>` re-runs experiments with the span profiler and
+//! distribution telemetry enabled and prints where the wall time went.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -57,14 +66,23 @@ fn usage() -> String {
         "usage: repro <experiment>...|all|list [--ops N] [--quick] [--seed S] [--jobs N] \
          [--shard-ops N] [--shard-secs S] [--out DIR] [--bench-out FILE] [--trace-out FILE] \
          [--checkpoint DIR] [--resume] [--run-timeout SECS]\n\
-         \x20      repro trace analyze FILE [--out FILE]\n\
+         \x20      repro trace analyze FILE [--out FILE] [--episodes] [--worst N]\n\
+         \x20      repro trace convert FILE --out FILE\n\
+         \x20      repro trace replay FILE.mcdt --episode K\n\
          \x20      repro profile <experiment>... [--ops N] [--quick] [--seed S] [--jobs N]\n\
          experiments: {}\n\
          --shard-ops N splits each simulation into N-instruction segments at snapshot\n\
          boundaries (0 disables; reports are byte-identical either way);\n\
-         --shard-secs S picks the shard length from a target segment wall time.",
+         --shard-secs S picks the shard length from a target segment wall time.\n\
+         --trace-out writes JSON lines, or the binary flight-recorder format when the\n\
+         file ends in .mcdt (anchors for `trace replay` need sharding, e.g. --shard-ops).",
         experiments::ALL.join(", ")
     )
+}
+
+/// Whether a path names the binary flight-recorder format.
+fn is_mcdt(path: &std::path::Path) -> bool {
+    path.extension().and_then(|e| e.to_str()) == Some("mcdt")
 }
 
 /// Calibration for `--shard-secs`: simulated instructions per wall
@@ -112,6 +130,44 @@ fn activity_table(a: &ControllerActivity) -> String {
     )
 }
 
+/// Flight-recorder cost figures for `--bench-out` (zeros when tracing
+/// was off): how many events and episodes were captured, and what each
+/// encoding costs in bytes and in wall time per event.
+#[derive(Default)]
+struct RecorderStats {
+    events: u64,
+    episodes: u64,
+    jsonl_bytes: u64,
+    mcdt_bytes: u64,
+    jsonl_encode_ns_per_event: f64,
+    mcdt_encode_ns_per_event: f64,
+}
+
+impl RecorderStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"events\": {}, \"episodes\": {}, \"jsonl_bytes\": {}, \
+             \"mcdt_bytes\": {}, \"jsonl_encode_ns_per_event\": {:.1}, \
+             \"mcdt_encode_ns_per_event\": {:.1}}}",
+            self.events,
+            self.episodes,
+            self.jsonl_bytes,
+            self.mcdt_bytes,
+            self.jsonl_encode_ns_per_event,
+            self.mcdt_encode_ns_per_event,
+        )
+    }
+}
+
+fn per_event_ns(elapsed: Duration, events: u64) -> f64 {
+    if events == 0 {
+        0.0
+    } else {
+        elapsed.as_nanos() as f64 / events as f64
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn bench_report(
     jobs: usize,
     total_wall_s: f64,
@@ -120,6 +176,7 @@ fn bench_report(
     records: &[(&'static str, CompletedRun)],
     activity: &ControllerActivity,
     telemetry: Option<&SimTelemetry>,
+    recorder: &RecorderStats,
 ) -> String {
     // Totals come from the RunSet's global counters rather than summing
     // the per-experiment records: under shared-pool attribution the
@@ -147,6 +204,7 @@ fn bench_report(
          \"total_baseline_requests\": {},\n  \"aggregate_simulated_mips\": {mips:.2},\n  \
          \"total_events_processed\": {},\n  \"total_cycles_skipped\": {},\n  \
          \"controller_activity\": {},\n{telemetry_block}  \
+         \"trace_recorder\": {},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         stats.runs,
         stats.instructions,
@@ -154,6 +212,7 @@ fn bench_report(
         stats.events_processed,
         stats.cycles_skipped,
         activity.to_json(),
+        recorder.to_json(),
         body.join(",\n")
     )
 }
@@ -233,20 +292,163 @@ fn failure_table(failures: &[(&'static str, RunError)], total: usize) -> String 
     )
 }
 
-/// `repro trace analyze FILE [--out FILE]`: offline analysis of a
-/// `--trace-out` JSONL file. The report is a pure function of the trace
-/// bytes, so it can be golden-gated.
+/// `repro trace <analyze|convert|replay>`: offline consumers of
+/// `--trace-out` files, in either the JSONL or binary `.mcdt` form.
 fn trace_cmd(args: &[String]) -> ExitCode {
-    if args.first().map(String::as_str) != Some("analyze") {
-        eprintln!("trace subcommands: analyze FILE [--out FILE]\n{}", usage());
-        return ExitCode::FAILURE;
+    match args.first().map(String::as_str) {
+        Some("analyze") => trace_analyze_cmd(&args[1..]),
+        Some("convert") => trace_convert_cmd(&args[1..]),
+        Some("replay") => trace_replay_cmd(&args[1..]),
+        _ => {
+            eprintln!(
+                "trace subcommands: analyze FILE [--out FILE] [--episodes] [--worst N] | \
+                 convert FILE --out FILE | replay FILE.mcdt --episode K\n{}",
+                usage()
+            );
+            ExitCode::FAILURE
+        }
     }
-    let Some(file) = args.get(1) else {
+}
+
+/// `repro trace analyze FILE [--out FILE] [--episodes] [--worst N]`:
+/// offline analysis of a trace in either format. The report is a pure
+/// function of the trace bytes, so it can be golden-gated. `--episodes`
+/// switches to the episode-catalog view; on a `.mcdt` file it reads only
+/// the trailing seek index, never the event stream.
+fn trace_analyze_cmd(args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
         eprintln!("trace analyze needs a FILE\n{}", usage());
         return ExitCode::FAILURE;
     };
     let mut out: Option<std::path::PathBuf> = None;
-    let mut i = 2;
+    let mut episodes = false;
+    let mut worst = 20usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out = Some(std::path::PathBuf::from(path));
+            }
+            "--episodes" => episodes = true,
+            "--worst" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--worst needs a count\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                episodes = true;
+                worst = n;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let path = std::path::Path::new(file);
+    let report = if is_mcdt(path) {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if episodes {
+            // O(index): decode only the trailing index block.
+            match mcd_trace::read_index(&bytes) {
+                Ok(index) => {
+                    let runs: Vec<(String, Vec<mcd_trace::Episode>)> = index
+                        .runs
+                        .iter()
+                        .map(|r| (r.label.clone(), r.episodes.clone()))
+                        .collect();
+                    trace_analyze::episodes_report(&runs, worst)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            let decoded = match mcd_trace::read_mcdt(&bytes) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let jsonl = trace_analyze::render_recordings(&decoded.runs);
+            match trace_analyze::analyze(&jsonl) {
+                Ok(analysis) => analysis.report(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        let jsonl = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if episodes {
+            match mcd_trace::parse_jsonl(&jsonl) {
+                Ok(runs) => {
+                    let catalogs: Vec<(String, Vec<mcd_trace::Episode>)> = runs
+                        .iter()
+                        .map(|r| (r.label.clone(), mcd_trace::catalog_episodes(&r.events)))
+                        .collect();
+                    trace_analyze::episodes_report(&catalogs, worst)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match trace_analyze::analyze(&jsonl) {
+                Ok(analysis) => analysis.report(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    print!("{report}");
+    if let Some(path) = &out {
+        if let Err(e) = write_file(path, report.as_bytes()) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro trace convert FILE --out FILE`: lossless conversion between
+/// the JSONL and `.mcdt` trace forms — the direction is inferred from
+/// the extensions. `.mcdt -> .jsonl` renders exactly the bytes a direct
+/// `--trace-out FILE.jsonl` run would have written; the reverse embeds
+/// the events in fresh frames (JSONL carries no anchors or replay
+/// specs, so a converted file analyzes identically but cannot replay).
+fn trace_convert_cmd(args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
+        eprintln!("trace convert needs a FILE\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
@@ -264,28 +466,123 @@ fn trace_cmd(args: &[String]) -> ExitCode {
         }
         i += 1;
     }
-    let jsonl = match std::fs::read_to_string(file) {
-        Ok(s) => s,
+    let Some(out) = out else {
+        eprintln!("trace convert needs --out FILE\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let input = std::path::Path::new(file);
+    let encoded: Vec<u8> = match (is_mcdt(input), is_mcdt(&out)) {
+        (true, false) => {
+            let bytes = match std::fs::read(input) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match mcd_trace::read_mcdt(&bytes) {
+                Ok(decoded) => trace_analyze::render_recordings(&decoded.runs).into_bytes(),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (false, true) => {
+            let jsonl = match std::fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match mcd_trace::parse_jsonl(&jsonl) {
+                Ok(recordings) => mcd_trace::write_mcdt(&recordings),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "trace convert needs exactly one .mcdt side (got {} -> {})\n{}",
+                file,
+                out.display(),
+                usage()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_file(&out, &encoded) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} bytes to {}", encoded.len(), out.display());
+    ExitCode::SUCCESS
+}
+
+/// `repro trace replay FILE.mcdt --episode K`: restores the nearest
+/// anchor snapshot and re-simulates just the segment around catalogued
+/// episode `K`, verifying the replayed events against the original
+/// recording byte for byte. Exits nonzero on divergence.
+fn trace_replay_cmd(args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
+        eprintln!("trace replay needs a FILE.mcdt\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut episode: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--episode" => {
+                i += 1;
+                let Some(k) = args.get(i).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--episode needs an ordinal\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                episode = Some(k);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(k) = episode else {
+        eprintln!(
+            "trace replay needs --episode K (see trace analyze --episodes)\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    };
+    let path = std::path::Path::new(file);
+    if !is_mcdt(path) {
+        eprintln!("trace replay needs a .mcdt recording (JSONL carries no anchors)");
+        return ExitCode::FAILURE;
+    }
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("cannot read {file}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let report = match trace_analyze::analyze(&jsonl) {
-        Ok(analysis) => analysis.report(),
+    match mcd_bench::replay::replay_episode(&bytes, k) {
+        Ok(outcome) => {
+            print!("{}", outcome.report());
+            if outcome.byte_identical {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    print!("{report}");
-    if let Some(path) = &out {
-        if let Err(e) = write_file(path, report.as_bytes()) {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }
 
 /// `repro profile <ids>`: re-runs experiments with the span profiler and
@@ -668,11 +965,44 @@ fn main() -> ExitCode {
             Err(e) => failures.push((id, e)),
         }
     }
-    if let Some(path) = &trace_out {
-        let traces = rs.drain_traces().unwrap_or_default();
-        if let Err(e) = write_file(path, trace_analyze::render_traces(&traces).as_bytes()) {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    // Drain the flight recorder exactly once; the trace file and the
+    // bench-out trace_recorder block both come from this one drain.
+    let recordings = rs.drain_recordings();
+    let mut recorder = RecorderStats::default();
+    if let Some(recs) = &recordings {
+        let want_mcdt = trace_out.as_deref().map(is_mcdt).unwrap_or(false);
+        let need_jsonl = (trace_out.is_some() && !want_mcdt) || bench_out.is_some();
+        let need_mcdt = want_mcdt || bench_out.is_some();
+        recorder.events = recs.iter().map(|r| r.events.len() as u64).sum();
+        let mut jsonl: Option<String> = None;
+        let mut mcdt: Option<Vec<u8>> = None;
+        if need_jsonl {
+            let start = Instant::now();
+            let rendered = trace_analyze::render_recordings(recs);
+            recorder.jsonl_encode_ns_per_event = per_event_ns(start.elapsed(), recorder.events);
+            recorder.jsonl_bytes = rendered.len() as u64;
+            jsonl = Some(rendered);
+        }
+        if need_mcdt {
+            let start = Instant::now();
+            let encoded = mcd_trace::write_mcdt(recs);
+            recorder.mcdt_encode_ns_per_event = per_event_ns(start.elapsed(), recorder.events);
+            recorder.mcdt_bytes = encoded.len() as u64;
+            recorder.episodes = mcd_trace::read_index(&encoded)
+                .map(|ix| ix.episode_count() as u64)
+                .unwrap_or(0);
+            mcdt = Some(encoded);
+        }
+        if let Some(path) = &trace_out {
+            let bytes = if want_mcdt {
+                mcdt.expect("encoded above")
+            } else {
+                jsonl.expect("rendered above").into_bytes()
+            };
+            if let Err(e) = write_file(path, &bytes) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(path) = &bench_out {
@@ -690,6 +1020,7 @@ fn main() -> ExitCode {
             &records,
             &activity,
             rs.telemetry(),
+            &recorder,
         );
         if let Err(e) = write_file(path, json.as_bytes()) {
             eprintln!("{e}");

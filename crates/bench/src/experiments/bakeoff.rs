@@ -50,6 +50,41 @@ fn reaction_ns(r: &SimResult) -> Option<f64> {
     (count > 0).then(|| sum as f64 / count as f64 / 1000.0)
 }
 
+/// Workload class of a bake-off spec, for the class-weighted aggregate:
+/// the adversarial generators, the reference registry programs, and the
+/// synthetic patterns each count once in `wmean EDP`, whatever their
+/// population in the set (three adversaries must not outvote gzip).
+fn workload_class(name: &str) -> &'static str {
+    if name.starts_with("adversarial_") {
+        "adversarial"
+    } else if registry::by_name(name).is_some() {
+        "reference"
+    } else {
+        "synthetic"
+    }
+}
+
+/// Equal-weight mean over the per-class mean EDP improvements.
+fn class_weighted_edp(classes: &[&'static str], outcomes: &[Outcome]) -> f64 {
+    let mut names: Vec<&'static str> = Vec::new();
+    for &c in classes {
+        if !names.contains(&c) {
+            names.push(c);
+        }
+    }
+    let mut sum = 0.0;
+    for name in &names {
+        let in_class: Vec<f64> = classes
+            .iter()
+            .zip(outcomes)
+            .filter(|(c, _)| *c == name)
+            .map(|(_, o)| o.edp_improvement)
+            .collect();
+        sum += in_class.iter().sum::<f64>() / in_class.len() as f64;
+    }
+    sum / names.len() as f64
+}
+
 /// The scheme × workload bake-off matrix, normalized per workload and
 /// ranked by mean EDP improvement.
 pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
@@ -109,34 +144,58 @@ pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
     // Ranked aggregate: best mean EDP first. f64 ties are impossible to
     // break stably with partial_cmp alone; total_cmp keeps the ordering
     // deterministic bit-for-bit.
-    let mut ranked: Vec<(Scheme, Outcome, Option<f64>)> = agg
+    let classes: Vec<&'static str> = specs.iter().map(|s| workload_class(s.name)).collect();
+    let mut ranked: Vec<(Scheme, Outcome, f64, Option<f64>)> = agg
         .into_iter()
         .map(|(s, outcomes, reactions)| {
             let mean = Outcome::mean(&outcomes);
+            let wmean = class_weighted_edp(&classes, &outcomes);
             let reaction = (!reactions.is_empty())
                 .then(|| reactions.iter().sum::<f64>() / reactions.len() as f64);
-            (s, mean, reaction)
+            (s, mean, wmean, reaction)
         })
         .collect();
     ranked.sort_by(|a, b| b.1.edp_improvement.total_cmp(&a.1.edp_improvement));
+    // The energy/slowdown Pareto front: a scheme is marked unless some
+    // other scheme saves at least as much energy AND slows down no more,
+    // with one of the two strictly better.
+    let pareto: Vec<bool> = ranked
+        .iter()
+        .map(|(_, mean, _, _)| {
+            !ranked.iter().any(|(_, other, _, _)| {
+                other.energy_savings >= mean.energy_savings
+                    && other.perf_degradation <= mean.perf_degradation
+                    && (other.energy_savings > mean.energy_savings
+                        || other.perf_degradation < mean.perf_degradation)
+            })
+        })
+        .collect();
     let mut r = Table::new([
         "rank",
         "scheme",
         "mean energy",
         "mean slowdown",
         "mean EDP",
+        "wmean EDP",
         "mean reaction",
+        "pareto",
     ]);
-    for (i, (scheme, mean, reaction)) in ranked.iter().enumerate() {
+    for (i, (scheme, mean, wmean, reaction)) in ranked.iter().enumerate() {
         r.row([
             format!("{}", i + 1),
             scheme.name().to_string(),
             pct(mean.energy_savings),
             pct(mean.perf_degradation),
             pct(mean.edp_improvement),
+            pct(*wmean),
             match reaction {
                 Some(ns) => format!("{ns:.0}ns"),
                 None => "n/a".to_string(),
+            },
+            if pareto[i] {
+                "*".to_string()
+            } else {
+                String::new()
             },
         ]);
     }
@@ -148,7 +207,11 @@ pub fn run(rs: &RunSet, cfg: &RunConfig) -> Result<String, RunError> {
          ratio of 625 MHz to the 1 GHz front end, and the interleave context-\n\
          switches three programs at quantum granularity. Fixed-interval schemes\n\
          alias the storm into their interval averages; the adaptive scheme pays\n\
-         for its relay delays only when deviations sit just past them.\n",
+         for its relay delays only when deviations sit just past them.\n\
+         wmean EDP weighs the reference, synthetic, and adversarial workload\n\
+         classes equally (three adversaries must not outvote gzip); * marks the\n\
+         energy-vs-slowdown Pareto front — no scheme above or below it saves\n\
+         more energy while also slowing the machine down less.\n",
         t.render(),
         r.render()
     ))
@@ -268,6 +331,42 @@ mod tests {
             assert!(out.contains(workload), "missing {workload}");
         }
         assert!(out.contains("Ranked aggregate"));
+        assert!(out.contains("wmean EDP"), "class-weighted column missing");
+        assert!(out.contains("pareto"), "Pareto marker column missing");
+        // At least one scheme always sits on the Pareto front (the
+        // energy-max point cannot be dominated).
+        let ranked = &out[out.find("Ranked aggregate").expect("section")..];
+        assert!(
+            ranked.lines().any(|l| l.trim_end().ends_with('*')),
+            "no scheme marked on the Pareto front:\n{ranked}"
+        );
+    }
+
+    #[test]
+    fn workload_classes_partition_the_set() {
+        let specs = workloads();
+        let classes: Vec<&str> = specs.iter().map(|s| workload_class(s.name)).collect();
+        assert!(classes.contains(&"reference"));
+        assert!(classes.contains(&"adversarial"));
+        assert!(classes.contains(&"synthetic"));
+        assert_eq!(workload_class("gzip"), "reference");
+        assert_eq!(workload_class("adversarial_phase_storm"), "adversarial");
+        assert_eq!(workload_class("square_wave"), "synthetic");
+    }
+
+    #[test]
+    fn class_weighted_mean_weighs_classes_not_workloads() {
+        let o = |edp: f64| Outcome {
+            energy_savings: 0.0,
+            perf_degradation: 0.0,
+            edp_improvement: edp,
+        };
+        // Three adversarial outcomes at 0% vs one reference at 30%: the
+        // plain mean is 7.5%, the class-weighted mean is 15%.
+        let classes = ["adversarial", "adversarial", "adversarial", "reference"];
+        let outcomes = [o(0.0), o(0.0), o(0.0), o(0.30)];
+        let wmean = class_weighted_edp(&classes, &outcomes);
+        assert!((wmean - 0.15).abs() < 1e-12, "got {wmean}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod error;
 pub mod experiments;
 pub mod fault;
 pub mod parallel;
+pub mod replay;
 pub mod runner;
 pub mod snapstore;
 pub mod steal;

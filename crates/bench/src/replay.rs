@@ -1,0 +1,310 @@
+//! Time-travel replay: re-simulating the segment around one catalogued
+//! episode from the nearest snapshot anchor.
+//!
+//! A `.mcdt` recording made with sharding enabled carries the machine
+//! snapshot at every shard boundary. `repro trace replay FILE --episode K`
+//! restores the last anchor at or before the episode's onset, rebuilds
+//! the machine from the run's recorded replay spec, and advances it to
+//! the first anchor past the episode's close (or to the end of the run)
+//! with full tracing *and* telemetry on — then proves the replayed event
+//! stream is byte-identical to the corresponding slice of the original
+//! recording. The shard-equivalence invariant (PR 8) is what makes the
+//! skipped intermediate snapshot round-trips immaterial: the stream does
+//! not depend on where the run paused.
+
+use mcd_sim::telemetry::{SimTelemetry, TelemetrySink};
+use mcd_sim::{SimConfig, TraceEvent};
+use mcd_trace::{read_anchor_at, read_mcdt, Episode};
+
+use crate::checkpoint::{fnv1a64, str_field, u64_field, FNV_OFFSET};
+use crate::error::RunError;
+use crate::runner::{build_machine, ControllerActivity, RecorderSink, RunConfig, Scheme};
+
+/// Fingerprint of a simulator configuration — replay specs record it so
+/// a recording made under a non-default `SimConfig` fails loudly instead
+/// of silently replaying the wrong machine.
+fn sim_fingerprint(sim: &SimConfig) -> u64 {
+    fnv1a64(FNV_OFFSET, format!("{sim:?}").as_bytes())
+}
+
+/// Serializes everything needed to rebuild a registry run from scratch
+/// as one flat JSON object (parsed back by [`parse_replay_spec`]).
+pub fn replay_spec(benchmark: &str, scheme: Scheme, cfg: &RunConfig) -> String {
+    format!(
+        "{{\"benchmark\":\"{benchmark}\",\"scheme\":\"{}\",\"ops\":{},\"seed\":{},\
+         \"traces\":{},\"pid_interval\":{},\"q_ref_scale\":{},\"shard_ops\":{},\"sim_fp\":{}}}",
+        scheme.name(),
+        cfg.ops,
+        cfg.seed,
+        u64::from(cfg.traces),
+        cfg.pid_interval,
+        cfg.q_ref_scale,
+        cfg.shard_ops.unwrap_or(0),
+        sim_fingerprint(&cfg.sim)
+    )
+}
+
+/// Inverse of [`replay_spec`]. The reconstructed config always carries
+/// the default [`SimConfig`]; a recorded fingerprint that disagrees is a
+/// typed error (the run was made under simulator knobs the spec cannot
+/// carry).
+pub fn parse_replay_spec(spec: &str) -> Result<(String, Scheme, RunConfig), RunError> {
+    let err = |what: &str| RunError::Config(format!("replay spec: {what}: {spec}"));
+    let benchmark = str_field(spec, "benchmark").ok_or_else(|| err("no benchmark"))?;
+    let scheme_name = str_field(spec, "scheme").ok_or_else(|| err("no scheme"))?;
+    let scheme = Scheme::by_name(&scheme_name).ok_or_else(|| err("unknown scheme"))?;
+    let ops = u64_field(spec, "ops").ok_or_else(|| err("no ops"))?;
+    let seed = u64_field(spec, "seed").ok_or_else(|| err("no seed"))?;
+    let traces = u64_field(spec, "traces").ok_or_else(|| err("no traces flag"))? != 0;
+    let pid_interval = u64_field(spec, "pid_interval").ok_or_else(|| err("no pid_interval"))?;
+    let q_ref_scale =
+        crate::checkpoint::f64_field(spec, "q_ref_scale").ok_or_else(|| err("no q_ref_scale"))?;
+    let shard_ops = u64_field(spec, "shard_ops").ok_or_else(|| err("no shard_ops"))?;
+    let sim_fp = u64_field(spec, "sim_fp").ok_or_else(|| err("no sim fingerprint"))?;
+    let cfg = RunConfig {
+        ops,
+        seed,
+        traces,
+        pid_interval,
+        q_ref_scale,
+        shard_ops: (shard_ops > 0).then_some(shard_ops),
+        warm_dir: None,
+        sim: SimConfig::default(),
+    };
+    if sim_fingerprint(&cfg.sim) != sim_fp {
+        return Err(RunError::Config(
+            "replay spec: the run was recorded under a non-default simulator \
+             configuration, which the spec cannot reconstruct"
+                .to_string(),
+        ));
+    }
+    Ok((benchmark, scheme, cfg))
+}
+
+/// The result of replaying one episode's segment.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Label of the run the episode belongs to.
+    pub run_label: String,
+    /// The episode's global ordinal `K` (catalog order across runs).
+    pub global_ordinal: usize,
+    /// Its ordinal within the run.
+    pub run_ordinal: usize,
+    /// The catalog entry.
+    pub episode: Episode,
+    /// First replayed event's index in the run's stream.
+    pub start_event_index: u64,
+    /// One past the last replayed event's index.
+    pub end_event_index: u64,
+    /// Retired count of the restored anchor (`None` = cold start from
+    /// the beginning of the run).
+    pub anchor_retired: Option<u64>,
+    /// The events the replay produced.
+    pub replayed: Vec<TraceEvent>,
+    /// Whether the replayed stream is byte-identical to the original
+    /// slice — the replay contract.
+    pub byte_identical: bool,
+    /// Reaction-time samples the segment's telemetry recorded, summed
+    /// over back-end domains.
+    pub reaction_count: u64,
+    /// Mean reaction time over those samples, nanoseconds.
+    pub reaction_mean_ns: Option<f64>,
+}
+
+impl ReplayOutcome {
+    /// Human-readable replay report.
+    pub fn report(&self) -> String {
+        let ep = &self.episode;
+        let domain = ControllerActivity::DOMAINS[ep.domain];
+        let reaction = match ep.reaction_ps {
+            Some(ps) => format!("{:.1}ns", ps as f64 / 1000.0),
+            None => "abandoned".to_string(),
+        };
+        let anchor = match self.anchor_retired {
+            Some(r) => format!("anchor at {r} retired instructions"),
+            None => "cold start (no anchor at or before the onset)".to_string(),
+        };
+        let verdict = if self.byte_identical {
+            "byte-identical to the original recording"
+        } else {
+            "DIVERGED from the original recording"
+        };
+        let mean = match self.reaction_mean_ns {
+            Some(ns) => format!("{ns:.1}ns"),
+            None => "n/a".to_string(),
+        };
+        format!(
+            "Episode {k}: {domain} in {label}\n\
+             ==============={pad}\n\
+             onset    event {onset_i} at {onset} ps\n\
+             close    event {close_i} at {close} ps\n\
+             reaction {reaction}  (relay resets during episode: {resets})\n\
+             segment  events [{s}, {e}) replayed from {anchor}\n\
+             verify   {n} events replayed, {verdict}\n\
+             telemetry  {rc} reaction(s) in segment, mean {mean}\n",
+            k = self.global_ordinal,
+            pad = "=".repeat(self.run_label.len() + domain.len() + 14),
+            label = self.run_label,
+            onset_i = ep.onset_event_index,
+            onset = ep.onset_ps,
+            close_i = ep.close_event_index,
+            close = ep.close_ps,
+            resets = ep.relay_resets,
+            s = self.start_event_index,
+            e = self.end_event_index,
+            n = self.replayed.len(),
+            rc = self.reaction_count,
+        )
+    }
+}
+
+/// Replays the segment around catalogued episode `k` of a `.mcdt`
+/// recording and verifies it against the original stream.
+pub fn replay_episode(bytes: &[u8], k: usize) -> Result<ReplayOutcome, RunError> {
+    let codec = |e: mcd_trace::TraceCodecError| RunError::Config(e.to_string());
+    let file = read_mcdt(bytes).map_err(codec)?;
+    let (ri, ei) = file.index.locate_episode(k).ok_or_else(|| {
+        RunError::Config(format!(
+            "episode {k} out of range: the catalog holds {} episode(s)",
+            file.index.episode_count()
+        ))
+    })?;
+    let run_idx = &file.index.runs[ri];
+    let episode = run_idx.episodes[ei];
+    let spec = run_idx.spec.as_deref().ok_or_else(|| {
+        RunError::Config(format!(
+            "run {:?} recorded no replay spec (ad-hoc custom runs are not replayable)",
+            run_idx.label
+        ))
+    })?;
+    let (benchmark, scheme, cfg) = parse_replay_spec(spec)?;
+
+    // The segment: last anchor at or before the onset → first anchor
+    // past the close (exclusive), else the end of the run.
+    let start_anchor = run_idx
+        .anchors
+        .iter()
+        .take_while(|a| a.event_index <= episode.onset_event_index)
+        .last()
+        .copied();
+    let end_anchor = run_idx
+        .anchors
+        .iter()
+        .find(|a| a.event_index > episode.close_event_index)
+        .copied();
+    let original = &file.runs[ri].events;
+    let start_idx = start_anchor.map_or(0, |a| a.event_index);
+    let end_idx = end_anchor.map_or(original.len() as u64, |a| a.event_index);
+
+    let mut machine = build_machine(&benchmark, scheme, &cfg)?;
+    let anchor_retired = match start_anchor {
+        Some(aref) if aref.event_index > 0 || aref.retired > 0 => {
+            let anchor = read_anchor_at(bytes, aref.offset).map_err(codec)?;
+            machine
+                .restore(&anchor.snapshot)
+                .map_err(|e| RunError::Config(format!("recorded anchor failed to restore: {e}")))?;
+            Some(aref.retired)
+        }
+        _ => None,
+    };
+
+    let telemetry = SimTelemetry::new();
+    let mut sink = TelemetrySink::new(&telemetry, RecorderSink::new());
+    match end_anchor {
+        Some(aref) => {
+            // Advance to exactly the retired count the original run
+            // snapshotted at; shard equivalence guarantees the pause
+            // lands on the same inter-event point.
+            if machine.try_advance_traced(aref.retired, &mut sink)? {
+                return Err(RunError::Config(format!(
+                    "replay drained before reaching the end anchor at {} retired",
+                    aref.retired
+                )));
+            }
+        }
+        None => {
+            // To the end of the run, including the final histogram flush.
+            while !machine.try_advance_traced(u64::MAX, &mut sink)? {}
+            machine.finish_traced(&mut sink);
+        }
+    }
+
+    let (replayed, _anchors) = sink.into_inner().into_parts();
+    let want = original
+        .get(start_idx as usize..end_idx as usize)
+        .ok_or_else(|| {
+            RunError::Config(format!(
+                "index segment [{start_idx}, {end_idx}) exceeds the {}-event stream",
+                original.len()
+            ))
+        })?;
+    let byte_identical = replayed.len() == want.len()
+        && replayed
+            .iter()
+            .zip(want)
+            .all(|(a, b)| a.to_json() == b.to_json());
+
+    let (mut reaction_count, mut reaction_sum_ps) = (0u64, 0u64);
+    for h in &telemetry.reaction_ps {
+        let snap = h.snapshot();
+        reaction_count += snap.count();
+        reaction_sum_ps += snap.sum();
+    }
+    let reaction_mean_ns =
+        (reaction_count > 0).then(|| reaction_sum_ps as f64 / reaction_count as f64 / 1000.0);
+
+    Ok(ReplayOutcome {
+        run_label: run_idx.label.clone(),
+        global_ordinal: k,
+        run_ordinal: ei,
+        episode,
+        start_event_index: start_idx,
+        end_event_index: end_idx,
+        anchor_retired,
+        replayed,
+        byte_identical,
+        reaction_count,
+        reaction_mean_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_spec_round_trips() {
+        let cfg = RunConfig::quick();
+        let spec = replay_spec("gzip", Scheme::Adaptive, &cfg);
+        let (benchmark, scheme, parsed) = parse_replay_spec(&spec).expect("round trip");
+        assert_eq!(benchmark, "gzip");
+        assert_eq!(scheme, Scheme::Adaptive);
+        assert_eq!(parsed.ops, cfg.ops);
+        assert_eq!(parsed.seed, cfg.seed);
+        assert_eq!(parsed.traces, cfg.traces);
+        assert_eq!(parsed.pid_interval, cfg.pid_interval);
+        assert_eq!(parsed.q_ref_scale, cfg.q_ref_scale);
+        assert_eq!(parsed.shard_ops, cfg.shard_ops);
+    }
+
+    #[test]
+    fn spec_with_modified_sim_config_is_rejected() {
+        let mut cfg = RunConfig::quick();
+        cfg.sim.jitter_sigma_ps = 0.0;
+        let spec = replay_spec("gzip", Scheme::Pid, &cfg);
+        let e = parse_replay_spec(&spec).expect_err("non-default sim must be refused");
+        assert!(e.to_string().contains("non-default"), "{e}");
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "",
+            "{}",
+            "{\"benchmark\":\"gzip\"}",
+            "{\"scheme\":\"nope\"}",
+        ] {
+            assert!(parse_replay_spec(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

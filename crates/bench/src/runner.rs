@@ -12,9 +12,12 @@ use mcd_baselines::{
 };
 use mcd_sim::metrics::Metrics;
 use mcd_sim::telemetry::{SimTelemetry, TelemetrySink};
-use mcd_sim::trace::{NullSink, TraceEvent, TraceSink, VecSink};
+#[cfg(test)]
+use mcd_sim::trace::VecSink;
+use mcd_sim::trace::{NullSink, TraceEvent, TraceSink};
 use mcd_sim::{DomainId, DvfsController, Machine, SimConfig, SimResult, SnapshotSource};
 use mcd_telemetry::{Histogram, HistogramSnapshot, Profiler};
+use mcd_trace::{Anchor, RunRecording};
 use mcd_workloads::{registry, MicroOp, TraceGenerator};
 
 use crate::error::RunError;
@@ -66,6 +69,19 @@ impl Scheme {
             Scheme::IntegralGain => "integral-gain",
             Scheme::FeedbackDvs => "feedback-DVS",
         }
+    }
+
+    /// Inverse of [`Scheme::name`] — how replay specs name schemes.
+    pub fn by_name(name: &str) -> Option<Scheme> {
+        [
+            Scheme::Baseline,
+            Scheme::Adaptive,
+            Scheme::Pid,
+            Scheme::AttackDecay,
+        ]
+        .into_iter()
+        .chain(Scheme::BAKEOFF)
+        .find(|s| s.name() == name)
     }
 }
 
@@ -200,25 +216,33 @@ pub fn run_traced(
     run_sharded(
         cfg.shard_ops,
         store.as_ref().map(|s| (s, warm_key.as_str())),
-        || {
-            let spec = registry::by_name(benchmark)
-                .ok_or_else(|| RunError::Workload(format!("unknown benchmark {benchmark}")))?;
-            let mut sim = cfg.sim.clone();
-            if cfg.traces {
-                sim = sim.with_traces();
-            }
-            let trace =
-                TraceGenerator::try_new(&spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
-            let mut machine = Machine::try_new(sim, trace)?;
-            for &d in &DomainId::BACKEND {
-                if let Some(c) = controller_for(scheme, d, cfg) {
-                    machine = machine.with_controller(d, c);
-                }
-            }
-            Ok(machine)
-        },
+        || build_machine(benchmark, scheme, cfg),
         sink,
     )
+}
+
+/// Builds the machine for one (benchmark, scheme, config) run — the
+/// construction both [`run_traced`] and episode replay share, so a
+/// replayed segment runs on exactly the machine the recording did.
+pub fn build_machine(
+    benchmark: &str,
+    scheme: Scheme,
+    cfg: &RunConfig,
+) -> Result<Machine<TraceGenerator>, RunError> {
+    let spec = registry::by_name(benchmark)
+        .ok_or_else(|| RunError::Workload(format!("unknown benchmark {benchmark}")))?;
+    let mut sim = cfg.sim.clone();
+    if cfg.traces {
+        sim = sim.with_traces();
+    }
+    let trace = TraceGenerator::try_new(&spec, cfg.ops, cfg.seed).map_err(RunError::Workload)?;
+    let mut machine = Machine::try_new(sim, trace)?;
+    for &d in &DomainId::BACKEND {
+        if let Some(c) = controller_for(scheme, d, cfg) {
+            machine = machine.with_controller(d, c);
+        }
+    }
+    Ok(machine)
 }
 
 /// The warm-store identity of one run: every knob that shapes the
@@ -303,6 +327,9 @@ where
             return Ok(result);
         }
         let snapshot = machine.snapshot();
+        // Offer the boundary snapshot to the sink as a replay anchor —
+        // a no-op for every sink that doesn't build a seekable record.
+        sink.record_anchor(machine.retired(), &snapshot);
         if let Some((store, key)) = warm {
             if !sink.enabled() {
                 // Best-effort: a full disk must not fail the run.
@@ -520,6 +547,43 @@ impl ControllerActivity {
 /// One executed simulation's event stream, tagged with its run label.
 pub type LabeledTrace = (String, Vec<TraceEvent>);
 
+/// The flight recorder's in-memory sink: collects the event stream like a
+/// [`VecSink`] *and* captures the shard-boundary snapshots
+/// [`run_sharded`] offers through [`TraceSink::record_anchor`], each
+/// pinned to its position in the event stream — the raw material for a
+/// seekable `.mcdt` recording.
+#[derive(Debug, Default)]
+pub struct RecorderSink {
+    events: Vec<TraceEvent>,
+    anchors: Vec<Anchor>,
+}
+
+impl RecorderSink {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        RecorderSink::default()
+    }
+
+    /// Consumes the recorder, returning events and anchors.
+    pub fn into_parts(self) -> (Vec<TraceEvent>, Vec<Anchor>) {
+        (self.events, self.anchors)
+    }
+}
+
+impl TraceSink for RecorderSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+
+    fn record_anchor(&mut self, retired: u64, snapshot: &[u8]) {
+        self.anchors.push(Anchor {
+            event_index: self.events.len() as u64,
+            retired,
+            snapshot: snapshot.to_vec(),
+        });
+    }
+}
+
 /// A live observer of simulation events, consulted *per event* while a
 /// run executes — unlike [`RunSet::with_tracing`], which collects the
 /// whole stream for after-the-fact draining.
@@ -562,6 +626,11 @@ impl<S: TraceSink> TraceSink for TapSink<'_, S> {
         if self.inner.enabled() {
             self.inner.record(event);
         }
+    }
+
+    fn record_anchor(&mut self, retired: u64, snapshot: &[u8]) {
+        // Taps are per-event observers; anchors go to the sink only.
+        self.inner.record_anchor(retired, snapshot);
     }
 }
 
@@ -611,10 +680,15 @@ pub struct RunSet {
     /// [`RunSet::with_tag`].
     per_tag: Mutex<HashMap<&'static str, ExpStats>>,
     activity: Mutex<ControllerActivity>,
-    /// When tracing is on, each executed simulation's labeled event
-    /// stream lands here (`None` = tracing disabled, simulations run
-    /// through the zero-cost [`NullSink`]).
-    tracing: Option<Mutex<Vec<LabeledTrace>>>,
+    /// When tracing is on, each executed simulation's full recording
+    /// (labeled event stream + shard-boundary anchors) lands here
+    /// (`None` = tracing disabled, simulations run through the
+    /// zero-cost [`NullSink`]).
+    tracing: Option<Mutex<Vec<RunRecording>>>,
+    /// Replay specs for runs the set knows how to rebuild from scratch
+    /// (registry benchmark + named scheme + config), keyed by run label;
+    /// filled only while tracing so `drain_recordings` can attach them.
+    specs: Mutex<HashMap<String, String>>,
     /// When telemetry is on, per-domain reaction-time and occupancy
     /// distributions accumulate here via a [`TelemetrySink`] wrapped
     /// around each run's sink (`None` = runs keep the zero-cost
@@ -648,6 +722,7 @@ impl RunSet {
             per_tag: Mutex::new(HashMap::new()),
             activity: Mutex::new(ControllerActivity::default()),
             tracing: None,
+            specs: Mutex::new(HashMap::new()),
             telemetry: None,
             wall_us: Histogram::new(),
             profiler: Profiler::disabled(),
@@ -854,7 +929,7 @@ impl RunSet {
 
     /// Executes one simulation through the set's sink policy: a
     /// [`NullSink`] when tracing and telemetry are both off (zero
-    /// overhead), a collected [`VecSink`] and/or a [`TelemetrySink`]
+    /// overhead), a collected [`RecorderSink`] and/or a [`TelemetrySink`]
     /// otherwise. Counts the run and its per-segment wall times on
     /// success; a failed run contributes no counters, no trace and no
     /// telemetry.
@@ -867,14 +942,23 @@ impl RunSet {
         SEGMENT_WALLS.with(|w| w.borrow_mut().clear());
         let start = Instant::now();
         let tap = self.tap.0.as_deref();
+        let collect = |collector: &Mutex<Vec<RunRecording>>, sink: RecorderSink| {
+            let (events, anchors) = sink.into_parts();
+            collector
+                .lock()
+                .expect("trace collector poisoned")
+                .push(RunRecording {
+                    label: label.to_string(),
+                    spec: None,
+                    events,
+                    anchors,
+                });
+        };
         let result = match (&self.telemetry, &self.tracing) {
             (None, None) => Self::drive(tap, label, NullSink, simulate)?.1,
             (None, Some(collector)) => {
-                let (sink, result) = Self::drive(tap, label, VecSink::new(), simulate)?;
-                collector
-                    .lock()
-                    .expect("trace collector poisoned")
-                    .push((label.to_string(), sink.into_events()));
+                let (sink, result) = Self::drive(tap, label, RecorderSink::new(), simulate)?;
+                collect(collector, sink);
                 result
             }
             (Some(tel), None) => {
@@ -884,13 +968,10 @@ impl RunSet {
                 let (sink, result) = Self::drive(
                     tap,
                     label,
-                    TelemetrySink::new(tel, VecSink::new()),
+                    TelemetrySink::new(tel, RecorderSink::new()),
                     simulate,
                 )?;
-                collector
-                    .lock()
-                    .expect("trace collector poisoned")
-                    .push((label.to_string(), sink.into_inner().into_events()));
+                collect(collector, sink.into_inner());
                 result
             }
         };
@@ -934,13 +1015,47 @@ impl RunSet {
     /// sorted by label then serialized content so the output is
     /// deterministic whatever the worker scheduling.
     pub fn drain_traces(&self) -> Option<Vec<LabeledTrace>> {
+        Some(
+            self.drain_recordings()?
+                .into_iter()
+                .map(|r| (r.label, r.events))
+                .collect(),
+        )
+    }
+
+    /// All recordings collected so far (tracing must be enabled): labeled
+    /// event streams plus their shard-boundary anchors, with replay specs
+    /// attached for every run the set knows how to rebuild. Ordering is
+    /// the same deterministic label-then-content sort as
+    /// [`RunSet::drain_traces`], so the JSONL rendering of a `.mcdt`
+    /// built from these is byte-identical to a direct `--trace-out` run.
+    pub fn drain_recordings(&self) -> Option<Vec<RunRecording>> {
         let collector = self.tracing.as_ref()?;
-        let mut traces = std::mem::take(&mut *collector.lock().expect("trace collector poisoned"));
-        traces.sort_by_cached_key(|(label, events)| {
-            let body: String = events.iter().map(TraceEvent::to_json).collect();
-            (label.clone(), body)
+        let mut recordings =
+            std::mem::take(&mut *collector.lock().expect("trace collector poisoned"));
+        let specs = self.specs.lock().expect("replay specs poisoned");
+        for rec in &mut recordings {
+            rec.spec = specs.get(&rec.label).cloned();
+        }
+        drop(specs);
+        recordings.sort_by_cached_key(|rec| {
+            let body: String = rec.events.iter().map(TraceEvent::to_json).collect();
+            (rec.label.clone(), body)
         });
-        Some(traces)
+        Some(recordings)
+    }
+
+    /// Remembers how to rebuild a run from scratch, so its recording
+    /// carries a replay spec. Only meaningful while tracing.
+    fn register_spec(&self, label: &str, benchmark: &str, scheme: Scheme, cfg: &RunConfig) {
+        if self.tracing.is_none() {
+            return;
+        }
+        self.specs
+            .lock()
+            .expect("replay specs poisoned")
+            .entry(label.to_string())
+            .or_insert_with(|| crate::replay::replay_spec(benchmark, scheme, cfg));
     }
 
     /// Everything that can change a *baseline* run's result. The
@@ -1004,6 +1119,7 @@ impl RunSet {
             let _untagged = Restore(steal::set_current_tag(None));
             let _span = self.profiler.span("baseline");
             let label = Self::run_label(benchmark, Scheme::Baseline, cfg);
+            self.register_spec(&label, benchmark, Scheme::Baseline, cfg);
             self.simulate(&label, |sink| {
                 run_traced(benchmark, Scheme::Baseline, cfg, sink)
             })
@@ -1024,6 +1140,7 @@ impl RunSet {
             return Ok((*self.baseline(benchmark, cfg)?).clone());
         }
         let label = Self::run_label(benchmark, scheme, cfg);
+        self.register_spec(&label, benchmark, scheme, cfg);
         self.simulate(&label, |sink| run_traced(benchmark, scheme, cfg, sink))
     }
 

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 
 use mcd_sim::TraceEvent;
 use mcd_telemetry::{Histogram, HistogramSnapshot};
+use mcd_trace::Episode;
 
 use crate::error::RunError;
 use crate::runner::ControllerActivity;
@@ -43,14 +44,29 @@ pub fn json_escape(s: &str) -> String {
 pub fn render_traces(traces: &[(String, Vec<TraceEvent>)]) -> String {
     let mut out = String::new();
     for (label, events) in traces {
-        let run = json_escape(label);
-        for ev in events {
-            let body = ev.to_json();
-            // Splice the run tag into the event object: {"run":"...",...}.
-            out.push_str(&format!("{{\"run\": \"{run}\", {}\n", &body[1..]));
-        }
+        render_run(&mut out, label, events);
     }
     out
+}
+
+/// Renders drained [`mcd_trace::RunRecording`]s byte-identically to what
+/// [`render_traces`] produces for their (label, events) pairs — the
+/// recorder's anchors and replay specs have no JSONL representation.
+pub fn render_recordings(recordings: &[mcd_trace::RunRecording]) -> String {
+    let mut out = String::new();
+    for r in recordings {
+        render_run(&mut out, &r.label, &r.events);
+    }
+    out
+}
+
+fn render_run(out: &mut String, label: &str, events: &[TraceEvent]) {
+    let run = json_escape(label);
+    for ev in events {
+        let body = ev.to_json();
+        // Splice the run tag into the event object: {"run":"...",...}.
+        out.push_str(&format!("{{\"run\": \"{run}\", {}\n", &body[1..]));
+    }
 }
 
 /// The backend domains in report order, as serialized in events.
@@ -165,6 +181,9 @@ pub struct TraceAnalysis {
     runs: u64,
     domains: [DomainAggOut; 3],
     timeline: Option<Timeline>,
+    /// Set when the file's unterminated final line was dropped as a
+    /// mid-write truncation; rendered as a partial-analysis note.
+    truncation: Option<String>,
 }
 
 /// Public per-domain view (snapshots instead of live histograms).
@@ -225,6 +244,9 @@ impl TraceAnalysis {
             "{} events across {} runs\n\n",
             self.events, self.runs
         ));
+        if let Some(note) = &self.truncation {
+            out.push_str(&format!("NOTE: partial analysis — {note}\n\n"));
+        }
 
         let ns = |ps: u64| format!("{:.1} ns", ps as f64 / 1000.0);
         let mut t = Table::new(["domain", "reactions", "mean", "p50", "p99", "max"]);
@@ -346,21 +368,55 @@ impl TraceAnalysis {
 }
 
 /// Analyzes `--trace-out` JSON lines. Blank lines are skipped; any
-/// malformed line is a typed error naming its line number.
+/// malformed *complete* line is a typed error naming its line number.
+///
+/// Two degraded inputs get distinct treatment rather than a silent
+/// mis-summary: a file with no events at all is a typed error, and a
+/// file whose final line is both unterminated (no trailing newline) and
+/// unparseable — the signature of a writer killed mid-line — drops that
+/// line and flags the report as a partial analysis.
 pub fn analyze(jsonl: &str) -> Result<TraceAnalysis, RunError> {
+    if jsonl.chars().all(char::is_whitespace) {
+        return Err(RunError::Config(
+            "trace file is empty: no events to analyze (was the run given --trace-out?)".into(),
+        ));
+    }
     // Group lines by run label, preserving each run's in-file (time)
     // order. The BTreeMap makes the analysis independent of run order
     // in the file; within a run the events come from one simulation and
     // are already time-ordered.
+    let terminated = jsonl.ends_with('\n');
+    let total_lines = jsonl.lines().count();
     let mut by_run: BTreeMap<String, Vec<Line>> = BTreeMap::new();
     let mut events = 0u64;
+    let mut truncation = None;
     for (idx, raw) in jsonl.lines().enumerate() {
         if raw.trim().is_empty() {
             continue;
         }
-        let line = parse_line(raw, idx + 1)?;
-        events += 1;
-        by_run.entry(line.run.clone()).or_default().push(line);
+        match parse_line(raw, idx + 1) {
+            Ok(line) => {
+                events += 1;
+                by_run.entry(line.run.clone()).or_default().push(line);
+            }
+            Err(e) => {
+                if idx + 1 == total_lines && !terminated {
+                    truncation = Some(format!(
+                        "dropped unterminated final line {} ({} bytes, no trailing \
+                         newline); the trace was likely cut off mid-write",
+                        idx + 1,
+                        raw.len(),
+                    ));
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    if events == 0 {
+        return Err(RunError::Config(
+            "trace file contains no parseable events".into(),
+        ));
     }
 
     let mut aggs: [DomainAgg; 3] = Default::default();
@@ -461,6 +517,7 @@ pub fn analyze(jsonl: &str) -> Result<TraceAnalysis, RunError> {
 
     Ok(TraceAnalysis {
         events,
+        truncation,
         runs: by_run.len() as u64,
         domains: aggs.map(|a| DomainAggOut {
             reaction: a.reaction.snapshot(),
@@ -476,6 +533,106 @@ pub fn analyze(jsonl: &str) -> Result<TraceAnalysis, RunError> {
         }),
         timeline,
     })
+}
+
+/// Renders the episode-catalog view (`repro trace analyze --episodes`):
+/// a per-run summary table plus the worst-`worst` *reacted* episodes by
+/// reaction time (abandoned episodes never reacted, so they are excluded
+/// from the worst listing but counted in the summary). `runs` pairs each
+/// run label with its catalog in file order; the `episode` ordinal
+/// printed in the worst table is the `K` that
+/// `repro trace replay FILE --episode K` accepts.
+pub fn episodes_report(runs: &[(String, Vec<Episode>)], worst: usize) -> String {
+    let ns = |ps: u64| format!("{:.1} ns", ps as f64 / 1000.0);
+    let total: usize = runs.iter().map(|(_, eps)| eps.len()).sum();
+    let reacted: usize = runs
+        .iter()
+        .flat_map(|(_, eps)| eps)
+        .filter(|e| e.reaction_ps.is_some())
+        .count();
+
+    let mut out = String::new();
+    out.push_str("Episode catalog\n===============\n\n");
+    out.push_str(&format!(
+        "{} episodes across {} runs ({} reacted, {} abandoned)\n\n",
+        total,
+        runs.len(),
+        reacted,
+        total - reacted,
+    ));
+
+    let mut t = Table::new([
+        "run",
+        "episodes",
+        "reacted",
+        "abandoned",
+        "relay resets",
+        "mean reaction",
+        "max reaction",
+    ]);
+    for (label, eps) in runs {
+        let reactions: Vec<u64> = eps.iter().filter_map(|e| e.reaction_ps).collect();
+        let (mean, max) = if reactions.is_empty() {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (
+                ns(reactions.iter().sum::<u64>() / reactions.len() as u64),
+                ns(reactions.iter().copied().max().unwrap_or(0)),
+            )
+        };
+        t.row([
+            label.clone(),
+            eps.len().to_string(),
+            reactions.len().to_string(),
+            (eps.len() - reactions.len()).to_string(),
+            eps.iter().map(|e| e.relay_resets).sum::<u64>().to_string(),
+            mean,
+            max,
+        ]);
+    }
+    out.push_str("Per-run catalog:\n\n");
+    out.push_str(&t.render());
+
+    // Global ordinals enumerate runs in file order, episodes in onset
+    // order within each run — exactly `TraceIndex::locate_episode`.
+    let mut ranked: Vec<(u64, usize, usize, &str, &Episode)> = Vec::new();
+    let mut ordinal = 0usize;
+    for (run_idx, (label, eps)) in runs.iter().enumerate() {
+        for ep in eps {
+            if let Some(r) = ep.reaction_ps {
+                ranked.push((r, run_idx, ordinal, label, ep));
+            }
+            ordinal += 1;
+        }
+    }
+    ranked.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.4.onset_event_index.cmp(&b.4.onset_event_index))
+    });
+    ranked.truncate(worst);
+
+    let mut t = Table::new([
+        "episode", "run", "domain", "onset", "reaction", "resets", "offset",
+    ]);
+    for (r, _, k, label, ep) in &ranked {
+        t.row([
+            k.to_string(),
+            (*label).to_string(),
+            DOMAINS[ep.domain].to_string(),
+            format!("{:.3} us", ep.onset_ps as f64 / 1e6),
+            ns(*r),
+            ep.relay_resets.to_string(),
+            ep.block_offset.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "\nWorst {} reacted episodes (slowest onset->step first; replay one \
+         with `repro trace replay FILE --episode K`):\n\n",
+        ranked.len()
+    ));
+    out.push_str(&t.render());
+    out
 }
 
 #[cfg(test)]
@@ -624,5 +781,89 @@ mod tests {
     #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn empty_input_is_a_typed_error_not_a_zero_report() {
+        for input in ["", "\n", "  \n\n \n"] {
+            let err = analyze(input).unwrap_err();
+            assert_eq!(err.kind(), "config-invalid", "input {input:?}");
+            assert!(err.to_string().contains("empty"), "got: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_final_line_is_dropped_with_a_partial_analysis_note() {
+        let full = sample_trace();
+        // Cut the file mid-way through its final line, as a killed
+        // writer would leave it.
+        let cut = &full[..full.len() - 20];
+        assert!(!cut.ends_with('\n'));
+        let analysis = analyze(cut).expect("partial analysis, not an error");
+        assert_eq!(analysis.events, 6, "the seventh, cut line is dropped");
+        let report = analysis.report();
+        assert!(
+            report.contains("NOTE: partial analysis"),
+            "missing truncation note in:\n{report}"
+        );
+        assert!(report.contains("unterminated final line 7"));
+        // The same mangled line *with* a terminator is a hard error: the
+        // file claims the line is complete, so it is corrupt, not cut.
+        let err = analyze(&format!("{cut}\n")).unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+        assert!(err.to_string().contains("trace line 7"));
+    }
+
+    #[test]
+    fn parseable_unterminated_final_line_is_kept_without_a_note() {
+        let full = sample_trace();
+        let cut = full.strip_suffix('\n').expect("renders end in newline");
+        let analysis = analyze(cut).expect("valid");
+        assert_eq!(analysis.events, 7);
+        assert!(!analysis.report().contains("NOTE: partial analysis"));
+    }
+
+    #[test]
+    fn malformed_interior_lines_stay_hard_errors_even_when_unterminated() {
+        let err = analyze("{\"run\": \"x\", \"oops\": 1}\n{\"run\"").unwrap_err();
+        assert_eq!(err.kind(), "config-invalid");
+        assert!(err.to_string().contains("trace line 1"));
+    }
+
+    #[test]
+    fn episodes_report_ranks_by_reaction_and_numbers_globally() {
+        let ep = |domain, onset_idx: u64, onset_ps: u64, reaction: Option<u64>| Episode {
+            domain,
+            onset_event_index: onset_idx,
+            onset_ps,
+            close_event_index: onset_idx + 1,
+            close_ps: onset_ps + reaction.unwrap_or(7),
+            reaction_ps: reaction,
+            relay_resets: 1,
+            block_offset: 640 + onset_idx,
+        };
+        let runs = vec![
+            (
+                "a|adaptive".to_string(),
+                vec![ep(0, 0, 1_000, Some(50_000)), ep(1, 4, 9_000, None)],
+            ),
+            ("b|PID".to_string(), vec![ep(2, 2, 5_000, Some(125_500))]),
+        ];
+        let report = episodes_report(&runs, 20);
+        assert!(report.contains("3 episodes across 2 runs (2 reacted, 1 abandoned)"));
+        // Worst listing: run b's 125.5 ns episode first (global ordinal
+        // 2), then run a's 50 ns (ordinal 0); the abandoned one absent.
+        let section = &report[report
+            .find("Worst 2 reacted episodes")
+            .expect("worst section")..];
+        let worst = section.find("125.5 ns").expect("slowest listed");
+        let next = section.find("50.0 ns").expect("second listed");
+        assert!(worst < next, "slowest first:\n{section}");
+    }
+
+    #[test]
+    fn episodes_report_is_deterministic() {
+        let runs: Vec<(String, Vec<Episode>)> = vec![("r".into(), Vec::new())];
+        assert_eq!(episodes_report(&runs, 5), episodes_report(&runs, 5));
     }
 }

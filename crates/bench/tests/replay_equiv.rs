@@ -1,0 +1,99 @@
+//! The replay contract: `repro trace replay` of **any** catalogued
+//! episode must reproduce the original trace slice byte for byte. This
+//! suite records a sharded sweep to `.mcdt` and replays every episode,
+//! covering cold starts (onset before the first anchor), warm anchor
+//! restores, and end-of-run segments — plus the typed refusals for
+//! out-of-range ordinals and spec-less recordings.
+
+use mcd_bench::replay::replay_episode;
+use mcd_bench::runner::{RunConfig, RunSet, Scheme};
+use mcd_trace::{read_index, write_mcdt, RunRecording};
+
+/// Records one sharded, traced sweep and returns its `.mcdt` bytes.
+fn record(benchmark: &str, scheme: Scheme, ops: u64, shard: u64) -> Vec<u8> {
+    let rs = RunSet::new(2).with_tracing();
+    let cfg = RunConfig::quick().with_ops(ops).with_shard_ops(shard);
+    rs.run(benchmark, scheme, &cfg).expect("run succeeds");
+    write_mcdt(&rs.drain_recordings().expect("tracing on"))
+}
+
+#[test]
+fn every_catalogued_episode_replays_byte_identically() {
+    let bytes = record("gzip", Scheme::Adaptive, 20_000, 4_000);
+    let index = read_index(&bytes).expect("index decodes");
+    let total = index.episode_count();
+    assert!(total > 0, "an adaptive run has episodes");
+    let mut cold = 0usize;
+    let mut warm = 0usize;
+    for k in 0..total {
+        let outcome = replay_episode(&bytes, k).unwrap_or_else(|e| {
+            panic!("episode {k}/{total} failed to replay: {e}");
+        });
+        assert!(
+            outcome.byte_identical,
+            "episode {k}/{total} diverged: run {} segment [{}, {})",
+            outcome.run_label, outcome.start_event_index, outcome.end_event_index,
+        );
+        assert!(!outcome.replayed.is_empty(), "episode {k} replayed nothing");
+        match outcome.anchor_retired {
+            None => cold += 1,
+            Some(_) => warm += 1,
+        }
+    }
+    assert!(cold > 0, "episodes before the first anchor start cold");
+    assert!(warm > 0, "episodes after an anchor restore from it");
+}
+
+#[test]
+fn unsharded_recordings_replay_whole_runs_cold() {
+    // No sharding -> no anchors: every episode replays the entire run
+    // from a cold start, and must still match byte for byte.
+    let bytes = record("swim", Scheme::Adaptive, 12_000, 0);
+    let index = read_index(&bytes).expect("index decodes");
+    assert!(index.runs.iter().all(|r| r.anchors.is_empty()));
+    let total = index.episode_count();
+    assert!(total > 0);
+    // Whole-run cold replays are identical work per episode; one from
+    // each end of the catalog keeps the suite fast.
+    for k in [0, total - 1] {
+        let outcome = replay_episode(&bytes, k).expect("replays");
+        assert!(outcome.byte_identical, "episode {k} diverged");
+        assert_eq!(outcome.anchor_retired, None);
+        assert_eq!(outcome.start_event_index, 0);
+    }
+}
+
+#[test]
+fn out_of_range_ordinals_are_typed_errors() {
+    let bytes = record("gzip", Scheme::Adaptive, 8_000, 4_000);
+    let total = read_index(&bytes).expect("index decodes").episode_count();
+    let e = replay_episode(&bytes, total + 10).expect_err("out of range");
+    assert_eq!(e.kind(), "config-invalid");
+    assert!(e.to_string().contains("out of range"), "{e}");
+}
+
+#[test]
+fn recordings_without_a_replay_spec_are_refused() {
+    // Hand-build a recording the way `trace convert` does from JSONL:
+    // events only, no spec, no anchors.
+    let rs = RunSet::new(1).with_tracing();
+    let cfg = RunConfig::quick().with_ops(8_000).with_shard_ops(4_000);
+    rs.run("gzip", Scheme::Adaptive, &cfg)
+        .expect("run succeeds");
+    let stripped: Vec<RunRecording> = rs
+        .drain_recordings()
+        .expect("tracing on")
+        .into_iter()
+        .map(|mut r| {
+            r.spec = None;
+            r.anchors.clear();
+            r
+        })
+        .collect();
+    let bytes = write_mcdt(&stripped);
+    let total = read_index(&bytes).expect("index decodes").episode_count();
+    assert!(total > 0);
+    let e = replay_episode(&bytes, 0).expect_err("no spec, no replay");
+    assert_eq!(e.kind(), "config-invalid");
+    assert!(e.to_string().contains("no replay spec"), "{e}");
+}

@@ -5,8 +5,10 @@
 //! counters saw appears in the event stream).
 
 use mcd_bench::experiments;
-use mcd_bench::runner::{RunConfig, RunSet, RunStats};
+use mcd_bench::runner::{run_traced, RunConfig, RunSet, RunStats, Scheme};
+use mcd_sim::trace::NullSink;
 use mcd_sim::{CtrlEvent, TraceEvent};
+use mcd_trace::BinarySink;
 
 /// Counter equivalence modulo the scheduler's dispatch/batch split.
 ///
@@ -103,6 +105,32 @@ fn traces_are_wellformed_and_cover_all_firings_and_steps() {
     assert!(counted_fires > 0, "expected controller activity in fig9");
     assert_eq!(fires, counted_fires, "relay firings missing from trace");
     assert_eq!(steps, counted_steps, "frequency steps missing from trace");
+}
+
+#[test]
+fn binary_sink_leaves_results_byte_identical() {
+    // The flight recorder's framing sink is just another TraceSink: a
+    // run streamed straight into a BinarySink must report exactly what
+    // the NullSink run does, sharded or not, and the bytes it framed
+    // must decode back to a well-formed single-run stream.
+    for shard in [0u64, 5_000] {
+        let cfg = RunConfig::quick().with_ops(15_000).with_shard_ops(shard);
+        let mut plain = NullSink;
+        let a = run_traced("gzip", Scheme::Adaptive, &cfg, &mut plain).expect("plain run");
+        let mut sink = BinarySink::new();
+        sink.start_run("gzip|adaptive", None);
+        let b = run_traced("gzip", Scheme::Adaptive, &cfg, &mut sink).expect("recorded run");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "shard_ops={shard}: recording to a BinarySink changed the result"
+        );
+        let decoded = mcd_trace::read_mcdt(&sink.finish()).expect("framed bytes decode");
+        assert_eq!(decoded.runs.len(), 1);
+        assert!(!decoded.runs[0].events.is_empty());
+        let anchors = decoded.runs[0].anchors.len();
+        assert_eq!(anchors > 0, shard > 0, "anchors iff sharded");
+    }
 }
 
 #[test]

@@ -44,8 +44,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::http::{
-    chunk, chunk_end, parse_request, stream_head, Parsed, Request, Response, MAX_BODY,
-    MAX_HEADER_BYTES,
+    chunk, chunk_end, parse_request, stream_head, stream_head_mcdt, Parsed, Request, Response,
+    MAX_BODY, MAX_HEADER_BYTES,
 };
 use crate::metrics::{Endpoint, Outcome};
 use crate::router::{App, Job};
@@ -273,12 +273,16 @@ impl EventLoop {
                     self.queue_response(token, &response, close);
                     self.process_inbuf(token);
                 }
-                LoopMsg::StreamStart { token } => {
+                LoopMsg::StreamStart { token, binary } => {
                     let Some(conn) = self.conns.get_mut(&token) else {
                         continue;
                     };
                     conn.streaming = true;
-                    conn.outbuf.extend_from_slice(&stream_head());
+                    conn.outbuf.extend_from_slice(&if binary {
+                        stream_head_mcdt()
+                    } else {
+                        stream_head()
+                    });
                     self.app
                         .metrics
                         .streams_opened
@@ -286,24 +290,24 @@ impl EventLoop {
                     self.clear_deadline(token);
                     self.try_write(token);
                 }
-                LoopMsg::StreamLine { token, line } => {
+                LoopMsg::StreamLine { token, data } => {
                     let Some(conn) = self.conns.get_mut(&token) else {
                         continue;
                     };
                     if conn.streaming && !conn.close_after_write {
-                        conn.outbuf.extend_from_slice(&chunk(line.as_bytes()));
+                        conn.outbuf.extend_from_slice(&chunk(&data));
                         self.try_write(token);
                     }
                 }
-                LoopMsg::StreamEnd { token, final_line } => {
+                LoopMsg::StreamEnd { token, final_chunk } => {
                     let Some(conn) = self.conns.get_mut(&token) else {
                         continue;
                     };
                     if !conn.streaming || conn.close_after_write {
                         continue;
                     }
-                    if let Some(line) = final_line {
-                        conn.outbuf.extend_from_slice(&chunk(line.as_bytes()));
+                    if let Some(payload) = final_chunk {
+                        conn.outbuf.extend_from_slice(&chunk(&payload));
                     }
                     conn.outbuf.extend_from_slice(chunk_end());
                     conn.dispatched = false;
@@ -505,7 +509,7 @@ impl EventLoop {
             let started = Instant::now();
             let key = request.path["/watch/".len()..].to_string();
             self.app.metrics.requests.fetch_add(1, Ordering::Relaxed);
-            if self.shutting_down || !self.app.watch(&key, token) {
+            if self.shutting_down || !self.app.watch(&key, token, request.accepts_mcdt) {
                 let resp = Response::error(
                     404,
                     "no-active-flight",
@@ -521,7 +525,11 @@ impl EventLoop {
             }
             if let Some(conn) = self.conns.get_mut(&token) {
                 conn.streaming = true;
-                conn.outbuf.extend_from_slice(&stream_head());
+                conn.outbuf.extend_from_slice(&if request.accepts_mcdt {
+                    stream_head_mcdt()
+                } else {
+                    stream_head()
+                });
             }
             self.app
                 .metrics

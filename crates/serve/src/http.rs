@@ -44,6 +44,9 @@ pub struct Request {
     /// `true` when the client asked for `Connection: close` (or spoke
     /// HTTP/1.0 without requesting keep-alive).
     pub wants_close: bool,
+    /// `true` when the `Accept` header lists `application/x-mcdt`: the
+    /// client wants trace streams as CRC'd binary frames, not NDJSON.
+    pub accepts_mcdt: bool,
 }
 
 impl Request {
@@ -145,6 +148,7 @@ pub fn parse_request(buf: &[u8]) -> Parsed {
 
     let mut content_length = 0usize;
     let mut wants_close = http10;
+    let mut accepts_mcdt = false;
     let mut header_count = 0usize;
     for line in lines {
         header_count += 1;
@@ -175,6 +179,13 @@ pub fn parse_request(buf: &[u8]) -> Parsed {
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 wants_close = false;
             }
+        } else if name.eq_ignore_ascii_case("accept") {
+            if value
+                .split(',')
+                .any(|m| m.trim().eq_ignore_ascii_case("application/x-mcdt"))
+            {
+                accepts_mcdt = true;
+            }
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             // The service never accepts chunked request bodies.
             return Parsed::Error(HttpError::Malformed(
@@ -195,6 +206,7 @@ pub fn parse_request(buf: &[u8]) -> Parsed {
             query,
             body,
             wants_close,
+            accepts_mcdt,
         },
         consumed: body_start + content_length,
     }
@@ -338,6 +350,15 @@ impl Response {
 /// `Connection: close` (a chunked stream is this connection's last act).
 pub fn stream_head() -> Vec<u8> {
     b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+      Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        .to_vec()
+}
+
+/// The stream head for `Accept: application/x-mcdt` subscribers: same
+/// chunked framing, but the chunks carry self-contained binary frames
+/// (see `mcd_trace::frame`) instead of JSON lines.
+pub fn stream_head_mcdt() -> Vec<u8> {
+    b"HTTP/1.1 200 OK\r\nContent-Type: application/x-mcdt\r\n\
       Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
         .to_vec()
 }
@@ -490,6 +511,23 @@ mod tests {
         let head = String::from_utf8(stream_head()).unwrap();
         assert!(head.contains("Transfer-Encoding: chunked"));
         assert!(head.ends_with("\r\n\r\n"));
+        let bin = String::from_utf8(stream_head_mcdt()).unwrap();
+        assert!(bin.contains("Content-Type: application/x-mcdt"));
+        assert!(bin.contains("Transfer-Encoding: chunked"));
+    }
+
+    #[test]
+    fn accept_header_selects_the_binary_stream_format() {
+        let (req, _) = complete(b"GET /watch/k HTTP/1.1\r\nAccept: application/x-mcdt\r\n\r\n");
+        assert!(req.accepts_mcdt);
+        // A list with parameters still matches the exact media type.
+        let (req, _) =
+            complete(b"GET /watch/k HTTP/1.1\r\nAccept: text/html, application/x-mcdt\r\n\r\n");
+        assert!(req.accepts_mcdt);
+        let (req, _) = complete(b"GET /watch/k HTTP/1.1\r\nAccept: application/json\r\n\r\n");
+        assert!(!req.accepts_mcdt);
+        let (req, _) = complete(b"GET /watch/k HTTP/1.1\r\n\r\n");
+        assert!(!req.accepts_mcdt, "no Accept header defaults to NDJSON");
     }
 
     #[test]

@@ -161,6 +161,8 @@ pub struct ServeMetrics {
     /// Event lines fanned out to stream subscribers (mirrored from the
     /// broadcast registry at render time).
     pub stream_events: AtomicU64,
+    /// Binary `.mcdt` frames among those deliveries (mirrored counter).
+    pub stream_frames: AtomicU64,
     /// Live stream subscriptions right now (mirrored gauge).
     pub stream_subscribers: AtomicU64,
     /// Fan-out rooms registered right now (mirrored gauge).
@@ -233,6 +235,7 @@ impl ServeMetrics {
             deadline_closes: self.deadline_closes.load(Ordering::Relaxed),
             streams_opened: self.streams_opened.load(Ordering::Relaxed),
             stream_events: self.stream_events.load(Ordering::Relaxed),
+            stream_frames: self.stream_frames.load(Ordering::Relaxed),
             stream_subscribers: self.stream_subscribers.load(Ordering::Relaxed),
             stream_rooms: self.stream_rooms.load(Ordering::Relaxed),
             loop_fds: self.loop_fds.load(Ordering::Relaxed),
@@ -299,6 +302,8 @@ pub struct MetricsSnapshot {
     pub streams_opened: u64,
     /// Event lines fanned out to stream subscribers.
     pub stream_events: u64,
+    /// Binary `.mcdt` frames among those deliveries.
+    pub stream_frames: u64,
     /// Live stream subscriptions at snapshot time.
     pub stream_subscribers: u64,
     /// Fan-out rooms registered at snapshot time.
@@ -334,7 +339,7 @@ impl MetricsSnapshot {
              \"in_flight\": {}, \"cache_entries\": {}, \
              \"draining\": {}}},\n  \
              \"streaming\": {{\"streams_opened\": {}, \"stream_events\": {}, \
-             \"stream_subscribers\": {}, \"stream_rooms\": {}}},\n  \
+             \"stream_frames\": {}, \"stream_subscribers\": {}, \"stream_rooms\": {}}},\n  \
              \"event_loop\": {{\"keepalive_reuses\": {}, \"deadline_closes\": {}, \
              \"loop_fds\": {}, \"loop_ready\": {}}},\n  \
              \"simulation\": {{\"runs\": {}, \"instructions\": {}, \"baseline_requests\": {}}},\n  \
@@ -353,6 +358,7 @@ impl MetricsSnapshot {
             self.draining,
             self.streams_opened,
             self.stream_events,
+            self.stream_frames,
             self.stream_subscribers,
             self.stream_rooms,
             self.keepalive_reuses,
@@ -437,6 +443,11 @@ impl MetricsSnapshot {
             "Event lines fanned out to stream subscribers.",
         )
         .sample(&[], self.stream_events);
+        page.counter(
+            "mcd_serve_stream_frames_total",
+            "Binary .mcdt frames among the fanned-out deliveries.",
+        )
+        .sample(&[], self.stream_frames);
         page.gauge(
             "mcd_serve_stream_subscribers",
             "Live stream subscriptions across all fan-out rooms.",

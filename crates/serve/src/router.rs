@@ -32,6 +32,7 @@ use mcd_bench::parallel::par_try_map;
 use mcd_bench::runner::{ControllerActivity, EventTap, RunConfig, RunSet, RunStats};
 use mcd_sim::trace::TraceEvent;
 use mcd_telemetry::prometheus::CONTENT_TYPE;
+use mcd_trace::{encode_event_frame, encode_meta_frame};
 
 use crate::cache::{CachedRun, ResultCache};
 use crate::coalesce::{Coalescer, Ticket};
@@ -111,8 +112,9 @@ impl App {
     }
 
     /// Attaches a watcher connection to an active flight's room.
-    pub(crate) fn watch(&self, key: &str, token: u64) -> bool {
-        self.broadcast.watch(key, token)
+    /// `binary` selects frame delivery (`Accept: application/x-mcdt`).
+    pub(crate) fn watch(&self, key: &str, token: u64, binary: bool) -> bool {
+        self.broadcast.watch(key, token, binary)
     }
 
     /// Queues a `/run` job on the worker pool. `Err(())` is the shed
@@ -201,6 +203,9 @@ impl App {
         self.metrics
             .stream_events
             .store(self.broadcast.events_published(), Ordering::Relaxed);
+        self.metrics
+            .stream_frames
+            .store(self.broadcast.frames_published(), Ordering::Relaxed);
         let snap = self.metrics.snapshot(
             self.pool.depth(),
             self.pool.in_flight(),
@@ -225,6 +230,7 @@ impl App {
         self.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let wants_stream = request.query_has("stream", "1");
+        let binary = wants_stream && request.accepts_mcdt;
         let mut streaming = false;
         let (response, outcome) = match parse_run_request(&request.body, &self.base_cfg) {
             Ok((id, cfg)) => {
@@ -233,8 +239,8 @@ impl App {
                     // Subscribe before joining the flight so the
                     // leader's earliest events reach this connection,
                     // then commit to the chunked wire format.
-                    self.broadcast.subscribe(&key, token);
-                    self.loop_tx.send(LoopMsg::StreamStart { token });
+                    self.broadcast.subscribe(&key, token, binary);
+                    self.loop_tx.send(LoopMsg::StreamStart { token, binary });
                     streaming = true;
                 }
                 self.run_keyed(id, &cfg, &key)
@@ -247,9 +253,15 @@ impl App {
         let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         self.metrics.record_latency(Endpoint::Run, outcome, micros);
         if streaming {
+            let body = String::from_utf8_lossy(&response.body).into_owned();
+            let final_chunk = if binary {
+                encode_meta_frame(body.trim_end_matches('\n'))
+            } else {
+                body.into_bytes()
+            };
             self.loop_tx.send(LoopMsg::StreamEnd {
                 token,
-                final_line: Some(String::from_utf8_lossy(&response.body).into_owned()),
+                final_chunk: Some(final_chunk),
             });
         } else {
             self.loop_tx.send(LoopMsg::Done { token, response });
@@ -317,8 +329,9 @@ impl App {
                 // watchers' final line, and followers can't send their
                 // StreamEnd until publish wakes them — so finals always
                 // trail the events they summarize.
+                let body = String::from_utf8_lossy(&response.body);
                 self.broadcast
-                    .close(key, &String::from_utf8_lossy(&response.body));
+                    .close(key, &body, &encode_meta_frame(body.trim_end_matches('\n')));
                 self.coalescer.publish(key, Arc::new(response.clone()));
                 let outcome = if response.status == 200 {
                     Outcome::Miss
@@ -390,7 +403,8 @@ impl EventTap for RoomTap {
             json_escape(label),
             event.to_json()
         );
-        self.broadcast.publish(&self.room, &line);
+        let frame = encode_event_frame(label, event);
+        self.broadcast.publish(&self.room, &line, &frame);
     }
 }
 

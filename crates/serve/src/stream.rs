@@ -46,23 +46,28 @@ pub enum LoopMsg {
     StreamStart {
         /// Target connection.
         token: u64,
+        /// Whether the subscriber negotiated the binary frame format
+        /// (`Accept: application/x-mcdt`); selects the stream head.
+        binary: bool,
     },
-    /// One JSONL event line for an open stream.
+    /// One event payload for an open stream: a newline-terminated JSONL
+    /// line for NDJSON subscribers, or one CRC'd frame for binary ones.
+    /// Either way the loop wraps it as one HTTP chunk.
     StreamLine {
         /// Target connection.
         token: u64,
-        /// The line, newline-terminated.
-        line: Arc<str>,
+        /// The payload bytes.
+        data: Arc<[u8]>,
     },
-    /// A stream is complete: optionally write a final line, then the
+    /// A stream is complete: optionally write a final payload, then the
     /// terminating chunk, then close.
     StreamEnd {
         /// Target connection.
         token: u64,
-        /// Final result line (the exact `/run` response body) for
-        /// runner streams; `None` for watcher streams, whose final line
-        /// arrives as a [`LoopMsg::StreamLine`] at room close.
-        final_line: Option<String>,
+        /// Final payload (the `/run` response body as a line or meta
+        /// frame) for runner streams; `None` for watcher streams, whose
+        /// final arrives as a [`LoopMsg::StreamLine`] at room close.
+        final_chunk: Option<Vec<u8>>,
     },
     /// Begin graceful drain: stop accepting, finish in-flight work.
     Shutdown,
@@ -128,6 +133,29 @@ pub enum SubKind {
 struct Sub {
     token: u64,
     kind: SubKind,
+    /// Deliver binary frames instead of JSONL lines.
+    binary: bool,
+}
+
+/// One published event, pre-rendered in both wire encodings so a mixed
+/// room (NDJSON and binary subscribers) pays each encoding exactly once
+/// and the backlog replays correctly to either kind of late watcher.
+#[derive(Clone)]
+struct StreamItem {
+    /// The newline-terminated JSONL line.
+    text: Arc<[u8]>,
+    /// The equivalent self-contained binary frame.
+    frame: Arc<[u8]>,
+}
+
+impl StreamItem {
+    fn payload(&self, binary: bool) -> Arc<[u8]> {
+        if binary {
+            Arc::clone(&self.frame)
+        } else {
+            Arc::clone(&self.text)
+        }
+    }
 }
 
 /// Most-recent event lines a room retains for late subscribers. Bounded
@@ -144,7 +172,7 @@ pub const BACKLOG_CAP: usize = 256;
 /// delivered live) — never both, never neither.
 struct RoomState {
     subs: Vec<Sub>,
-    backlog: VecDeque<Arc<str>>,
+    backlog: VecDeque<StreamItem>,
 }
 
 /// One in-flight execution's fan-out point.
@@ -179,12 +207,16 @@ impl Room {
         self.sub_count.load(Ordering::Relaxed) > 0
     }
 
-    fn push(&self, token: u64, kind: SubKind) {
+    fn push(&self, token: u64, kind: SubKind, binary: bool) {
         let mut st = self.state.lock().expect("room state poisoned");
         if st.subs.iter().any(|s| s.token == token) {
             return;
         }
-        st.subs.push(Sub { token, kind });
+        st.subs.push(Sub {
+            token,
+            kind,
+            binary,
+        });
         self.sub_count.store(st.subs.len(), Ordering::Relaxed);
     }
 
@@ -202,8 +234,11 @@ impl Room {
 pub struct Broadcast {
     rooms: Mutex<HashMap<String, Arc<Room>>>,
     tx: LoopSender,
-    /// Event lines fanned out to subscribers, cumulative.
+    /// Event payloads fanned out to subscribers, cumulative (both
+    /// encodings).
     events_published: AtomicU64,
+    /// Binary frames among those deliveries, cumulative.
+    frames_published: AtomicU64,
 }
 
 impl Broadcast {
@@ -213,6 +248,7 @@ impl Broadcast {
             rooms: Mutex::new(HashMap::new()),
             tx,
             events_published: AtomicU64::new(0),
+            frames_published: AtomicU64::new(0),
         }
     }
 
@@ -235,9 +271,9 @@ impl Broadcast {
 
     /// Subscribes a streaming-run connection to `key`'s room, creating
     /// the room if the leader has not opened it yet (the leader's
-    /// `open` will then find it).
-    pub fn subscribe(&self, key: &str, token: u64) {
-        self.room(key).push(token, SubKind::Runner);
+    /// `open` will then find it). `binary` selects frame delivery.
+    pub fn subscribe(&self, key: &str, token: u64, binary: bool) {
+        self.room(key).push(token, SubKind::Runner, binary);
     }
 
     /// Attaches a watcher to `key`'s room **only if** a flight is
@@ -248,7 +284,7 @@ impl Broadcast {
     /// was watched — to the new token, *under the same lock `publish`
     /// takes*, so the replayed prefix and the live tail form one gapless,
     /// duplicate-free stream.
-    pub fn watch(&self, key: &str, token: u64) -> bool {
+    pub fn watch(&self, key: &str, token: u64, binary: bool) -> bool {
         let room = {
             let rooms = self.rooms.lock().expect("room registry poisoned");
             rooms.get(key).cloned()
@@ -260,14 +296,19 @@ impl Broadcast {
                     st.subs.push(Sub {
                         token,
                         kind: SubKind::Watcher,
+                        binary,
                     });
                     room.sub_count.store(st.subs.len(), Ordering::Relaxed);
                     self.events_published
                         .fetch_add(st.backlog.len() as u64, Ordering::Relaxed);
-                    for line in st.backlog.iter() {
+                    if binary {
+                        self.frames_published
+                            .fetch_add(st.backlog.len() as u64, Ordering::Relaxed);
+                    }
+                    for item in st.backlog.iter() {
                         self.tx.send(LoopMsg::StreamLine {
                             token,
-                            line: Arc::clone(line),
+                            data: item.payload(binary),
                         });
                     }
                 }
@@ -277,24 +318,31 @@ impl Broadcast {
         }
     }
 
-    /// Fans one event line out to every subscriber of `room` and appends
-    /// it to the room's bounded replay backlog for late watchers.
-    pub fn publish(&self, room: &Room, line: &str) {
+    /// Fans one event out to every subscriber of `room` — the JSONL
+    /// `text` to NDJSON subscribers, the binary `frame` to frame
+    /// subscribers — and appends both encodings to the room's bounded
+    /// replay backlog for late watchers.
+    pub fn publish(&self, room: &Room, text: &str, frame: &[u8]) {
         let mut st = room.state.lock().expect("room state poisoned");
-        let line: Arc<str> = Arc::from(line);
+        let item = StreamItem {
+            text: Arc::from(text.as_bytes()),
+            frame: Arc::from(frame),
+        };
         if st.backlog.len() == BACKLOG_CAP {
             st.backlog.pop_front();
         }
-        st.backlog.push_back(Arc::clone(&line));
+        st.backlog.push_back(item.clone());
         if st.subs.is_empty() {
             return;
         }
         self.events_published
             .fetch_add(st.subs.len() as u64, Ordering::Relaxed);
+        let frames = st.subs.iter().filter(|s| s.binary).count() as u64;
+        self.frames_published.fetch_add(frames, Ordering::Relaxed);
         for sub in st.subs.iter() {
             self.tx.send(LoopMsg::StreamLine {
                 token: sub.token,
-                line: Arc::clone(&line),
+                data: item.payload(sub.binary),
             });
         }
     }
@@ -303,7 +351,7 @@ impl Broadcast {
     /// end; runner subscriptions are dropped (their own jobs deliver
     /// their finals). The room leaves the registry, so late watch
     /// requests see 404 rather than a stream that will never move.
-    pub fn close(&self, key: &str, final_line: &str) {
+    pub fn close(&self, key: &str, final_line: &str, final_frame: &[u8]) {
         let room = {
             let mut rooms = self.rooms.lock().expect("room registry poisoned");
             rooms.remove(key)
@@ -312,15 +360,19 @@ impl Broadcast {
         room.active.store(false, Ordering::SeqCst);
         let mut st = room.state.lock().expect("room state poisoned");
         st.backlog.clear();
+        let final_item = StreamItem {
+            text: Arc::from(final_line.as_bytes()),
+            frame: Arc::from(final_frame),
+        };
         for sub in st.subs.drain(..) {
             if sub.kind == SubKind::Watcher {
                 self.tx.send(LoopMsg::StreamLine {
                     token: sub.token,
-                    line: Arc::from(final_line),
+                    data: final_item.payload(sub.binary),
                 });
                 self.tx.send(LoopMsg::StreamEnd {
                     token: sub.token,
-                    final_line: None,
+                    final_chunk: None,
                 });
             }
         }
@@ -352,9 +404,14 @@ impl Broadcast {
         self.rooms.lock().expect("room registry poisoned").len()
     }
 
-    /// Event lines fanned out so far (counter).
+    /// Event payloads fanned out so far, both encodings (counter).
     pub fn events_published(&self) -> u64 {
         self.events_published.load(Ordering::Relaxed)
+    }
+
+    /// Binary frames among those deliveries (counter).
+    pub fn frames_published(&self) -> u64 {
+        self.frames_published.load(Ordering::Relaxed)
     }
 }
 
@@ -369,7 +426,7 @@ mod tests {
                 LoopMsg::StreamLine { token, .. } => (token, "line"),
                 LoopMsg::StreamEnd { token, .. } => (token, "end"),
                 LoopMsg::Done { token, .. } => (token, "done"),
-                LoopMsg::StreamStart { token } => (token, "start"),
+                LoopMsg::StreamStart { token, .. } => (token, "start"),
                 LoopMsg::Shutdown => (0, "shutdown"),
             })
             .collect()
@@ -381,23 +438,73 @@ mod tests {
         let b = Broadcast::new(tx.clone());
         let room = b.open("k");
         assert!(!room.is_watched(), "empty room is unwatched");
-        b.subscribe("k", 10); // runner
-        assert!(b.watch("k", 20), "active room accepts watchers");
+        b.subscribe("k", 10, false); // runner
+        assert!(b.watch("k", 20, false), "active room accepts watchers");
         assert!(room.is_watched());
         assert_eq!(b.subscribers(), 2);
 
-        b.publish(&room, "{\"e\":1}\n");
+        b.publish(&room, "{\"e\":1}\n", b"\xe1frame");
         let msgs = drain_tokens(&tx);
         assert!(msgs.contains(&(10, "line")) && msgs.contains(&(20, "line")));
         assert_eq!(b.events_published(), 2, "one line × two subscribers");
+        assert_eq!(b.frames_published(), 0, "no binary subscribers yet");
 
-        b.close("k", "{\"final\":true}\n");
+        b.close("k", "{\"final\":true}\n", b"\xe0final");
         let msgs = drain_tokens(&tx);
         // Watcher 20 gets final line + end; runner 10 gets nothing more.
         assert!(msgs.contains(&(20, "line")) && msgs.contains(&(20, "end")));
         assert!(!msgs.iter().any(|(t, _)| *t == 10));
         assert_eq!(b.rooms(), 0, "closed rooms leave the registry");
-        assert!(!b.watch("k", 30), "closed rooms refuse watchers");
+        assert!(!b.watch("k", 30, false), "closed rooms refuse watchers");
+    }
+
+    #[test]
+    fn binary_subscribers_get_frames_and_text_subscribers_get_lines() {
+        let tx = LoopSender::new().expect("eventfd");
+        let b = Broadcast::new(tx.clone());
+        let room = b.open("k");
+        b.subscribe("k", 1, false);
+        assert!(b.watch("k", 2, true), "binary watcher attaches");
+
+        b.publish(&room, "text\n", b"FRAME");
+        let payloads: Vec<(u64, Vec<u8>)> = tx
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                LoopMsg::StreamLine { token, data } => Some((token, data.to_vec())),
+                _ => None,
+            })
+            .collect();
+        assert!(payloads.contains(&(1, b"text\n".to_vec())));
+        assert!(payloads.contains(&(2, b"FRAME".to_vec())));
+        assert_eq!(b.frames_published(), 1, "one frame delivery");
+        assert_eq!(b.events_published(), 2, "two deliveries total");
+
+        // A late binary watcher replays the backlog as frames.
+        assert!(b.watch("k", 3, true));
+        let replayed: Vec<Vec<u8>> = tx
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                LoopMsg::StreamLine { token: 3, data } => Some(data.to_vec()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replayed, vec![b"FRAME".to_vec()]);
+
+        // Close delivers each watcher its own encoding of the final.
+        b.close("k", "final\n", b"METAFRAME");
+        let finals: Vec<(u64, Vec<u8>)> = tx
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                LoopMsg::StreamLine { token, data } => Some((token, data.to_vec())),
+                _ => None,
+            })
+            .collect();
+        assert!(finals.contains(&(2, b"METAFRAME".to_vec())));
+        assert!(finals.contains(&(3, b"METAFRAME".to_vec())));
+        assert!(!finals.iter().any(|(t, _)| *t == 1), "runner gets no final");
     }
 
     #[test]
@@ -406,7 +513,7 @@ mod tests {
         let b = Broadcast::new(tx);
         // A runner subscribing before the leader opened the room — then
         // the leader never comes (e.g. its flight hit the cache).
-        b.subscribe("orphan", 7);
+        b.subscribe("orphan", 7, false);
         assert_eq!(b.rooms(), 1);
         b.unsubscribe(7);
         assert_eq!(b.rooms(), 0, "empty inactive room collected");
@@ -414,11 +521,11 @@ mod tests {
 
         // An active room survives losing its last subscriber.
         let room = b.open("live");
-        b.subscribe("live", 8);
+        b.subscribe("live", 8, false);
         b.unsubscribe(8);
         assert_eq!(b.rooms(), 1, "active room persists for the leader");
         assert!(!room.is_watched());
-        b.close("live", "x\n");
+        b.close("live", "x\n", b"x");
         assert_eq!(b.rooms(), 0);
     }
 
@@ -426,7 +533,9 @@ mod tests {
         tx.drain()
             .into_iter()
             .filter_map(|m| match m {
-                LoopMsg::StreamLine { token: t, line } if t == token => Some(line.to_string()),
+                LoopMsg::StreamLine { token: t, data } if t == token => {
+                    Some(String::from_utf8_lossy(&data).into_owned())
+                }
                 _ => None,
             })
             .collect()
@@ -437,32 +546,32 @@ mod tests {
         let tx = LoopSender::new().expect("eventfd");
         let b = Broadcast::new(tx.clone());
         let room = b.open("k");
-        b.subscribe("k", 1); // a runner keeps the room watched
+        b.subscribe("k", 1, false); // a runner keeps the room watched
         for i in 0..300 {
-            b.publish(&room, &format!("{i}\n"));
+            b.publish(&room, &format!("{i}\n"), &[i as u8]);
         }
         tx.drain();
 
         // The late watcher gets exactly the newest BACKLOG_CAP lines, in
         // publish order, as its replayed prefix.
-        assert!(b.watch("k", 2));
+        assert!(b.watch("k", 2, false));
         let replayed = drain_lines_for(&tx, 2);
         assert_eq!(replayed.len(), BACKLOG_CAP);
         assert_eq!(replayed.first().map(String::as_str), Some("44\n"));
         assert_eq!(replayed.last().map(String::as_str), Some("299\n"));
 
         // A duplicate attach neither re-subscribes nor re-replays.
-        assert!(b.watch("k", 2));
+        assert!(b.watch("k", 2, false));
         assert!(drain_lines_for(&tx, 2).is_empty());
         assert_eq!(b.subscribers(), 2);
 
         // Live lines resume after the replayed prefix with no gap or dup.
-        b.publish(&room, "live\n");
+        b.publish(&room, "live\n", b"live");
         assert_eq!(drain_lines_for(&tx, 2), ["live\n"]);
 
         // Close still ends watchers with the final line; the backlog is
         // not replayed again to anyone.
-        b.close("k", "final\n");
+        b.close("k", "final\n", b"final");
         assert_eq!(drain_lines_for(&tx, 2), ["final\n"]);
     }
 
@@ -471,25 +580,28 @@ mod tests {
         let tx = LoopSender::new().expect("eventfd");
         let b = Broadcast::new(tx.clone());
         let room = b.open("k");
-        b.subscribe("k", 5);
-        b.subscribe("k", 5);
+        b.subscribe("k", 5, false);
+        b.subscribe("k", 5, true);
         assert_eq!(b.subscribers(), 1);
-        b.publish(&room, "x\n");
+        b.publish(&room, "x\n", b"x");
         assert_eq!(drain_tokens(&tx).len(), 1);
-        b.close("k", "f\n");
+        b.close("k", "f\n", b"f");
     }
 
     #[test]
     fn sender_queue_is_fifo() {
         let tx = LoopSender::new().expect("eventfd");
-        tx.send(LoopMsg::StreamStart { token: 1 });
+        tx.send(LoopMsg::StreamStart {
+            token: 1,
+            binary: false,
+        });
         tx.send(LoopMsg::StreamLine {
             token: 1,
-            line: Arc::from("a\n"),
+            data: Arc::from(&b"a\n"[..]),
         });
         tx.send(LoopMsg::StreamEnd {
             token: 1,
-            final_line: None,
+            final_chunk: None,
         });
         let kinds: Vec<&str> = tx
             .drain()

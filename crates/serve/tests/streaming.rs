@@ -137,6 +137,69 @@ fn watcher_tails_an_in_flight_run_to_the_same_final_line() {
     server.shutdown().expect("clean shutdown");
 }
 
+/// A subscriber that negotiates `Accept: application/x-mcdt` receives
+/// the same stream as CRC'd binary frames: decodable event frames, then
+/// a meta frame whose text is byte-for-byte the plain `/run` body.
+#[test]
+fn binary_stream_decodes_to_the_same_final_body() {
+    use mcd_trace::{decode_frame, StreamFrame};
+
+    let server = Server::start(ServeConfig::default()).expect("server starts");
+    let addr = server.addr();
+    let body = "{\"experiment\": \"fig8\", \"ops\": 60000, \"seed\": 12}";
+
+    let mut conn = KeepAlive::connect(addr).expect("connect");
+    conn.send_accept(
+        "POST",
+        "/run?stream=1",
+        "application/x-mcdt",
+        body.as_bytes(),
+    )
+    .expect("send");
+    let (status, wire, content_type) = conn.read_stream_raw().expect("stream completes");
+    assert_eq!(status, 200);
+    assert_eq!(
+        content_type.as_deref(),
+        Some("application/x-mcdt"),
+        "binary streams advertise their media type"
+    );
+
+    // The wire is a concatenation of self-contained frames; walk it.
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    while pos < wire.len() {
+        let (frame, used) = decode_frame(&wire[pos..])
+            .unwrap_or_else(|e| panic!("undecodable frame at offset {pos}: {e}"));
+        frames.push(frame);
+        pos += used;
+    }
+    assert_eq!(pos, wire.len(), "no trailing garbage after the frames");
+    assert!(frames.len() > 1, "a fresh run streams event frames");
+    let (events, metas): (Vec<_>, Vec<_>) = frames
+        .iter()
+        .partition(|f| matches!(f, StreamFrame::Event { .. }));
+    assert!(!events.is_empty(), "event frames precede the final meta");
+    for f in &events {
+        let StreamFrame::Event { label, .. } = f else {
+            unreachable!()
+        };
+        assert!(!label.is_empty(), "event frames carry the run label");
+    }
+    assert_eq!(metas.len(), 1, "exactly one final meta frame");
+    let StreamFrame::Meta { line } = metas[0] else {
+        unreachable!()
+    };
+
+    // The meta frame's text is the exact plain /run body.
+    let plain = run(addr, body).expect("plain run");
+    assert_eq!(plain.status, 200);
+    assert_eq!(format!("{line}\n"), plain.body, "meta frame is the body");
+
+    assert!(metric(addr, "stream_frames") >= 1, "frame counter moved");
+    assert_eq!(metric(addr, "runs_executed"), 1);
+    server.shutdown().expect("clean shutdown");
+}
+
 /// Watching a fingerprint with no active flight answers 404 without
 /// giving up the connection.
 #[test]

@@ -126,6 +126,24 @@ impl KeepAlive {
         self.send_raw(&wire)
     }
 
+    /// Like [`KeepAlive::send`] but with an `Accept` header, for
+    /// negotiating the binary `.mcdt` stream format.
+    pub fn send_accept(
+        &mut self,
+        method: &str,
+        path: &str,
+        accept: &str,
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nAccept: {accept}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body);
+        self.send_raw(&wire)
+    }
+
     /// One full exchange: send, then read the reply.
     pub fn exchange(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Reply> {
         self.send(method, path, body)?;
@@ -213,14 +231,24 @@ impl KeepAlive {
     /// response head must advertise `Transfer-Encoding: chunked`.
     /// Returns the status and the decoded body split into lines.
     pub fn read_stream(&mut self) -> std::io::Result<(u16, Vec<String>)> {
+        let (status, body, _) = self.read_stream_raw()?;
+        let text = String::from_utf8_lossy(&body);
+        Ok((status, text.lines().map(|l| format!("{l}\n")).collect()))
+    }
+
+    /// Reads a chunked stream to its terminating chunk without decoding
+    /// the payload as text: status, concatenated chunk bytes, and the
+    /// `Content-Type` header (for binary `.mcdt` streams).
+    pub fn read_stream_raw(&mut self) -> std::io::Result<(u16, Vec<u8>, Option<String>)> {
         let (status, headers) = self.read_head()?;
+        let content_type = find_header(&headers, "content-type");
         if !find_header(&headers, "transfer-encoding").is_some_and(|v| v.contains("chunked")) {
             // Not a stream after all (e.g. a 4xx): frame by length.
             let len: usize = find_header(&headers, "content-length")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0);
             let body = self.read_exact_buf(len)?;
-            return Ok((status, vec![String::from_utf8_lossy(&body).into_owned()]));
+            return Ok((status, body, content_type));
         }
         let mut decoded = Vec::new();
         loop {
@@ -239,8 +267,7 @@ impl KeepAlive {
             decoded.extend_from_slice(&self.read_exact_buf(size)?);
             let _ = self.read_exact_buf(2)?; // chunk CRLF
         }
-        let text = String::from_utf8_lossy(&decoded);
-        Ok((status, text.lines().map(|l| format!("{l}\n")).collect()))
+        Ok((status, decoded, content_type))
     }
 }
 

@@ -122,6 +122,12 @@ impl<S: TraceSink> TraceSink for TelemetrySink<'_, S> {
             self.inner.record(event);
         }
     }
+
+    fn record_anchor(&mut self, retired: u64, snapshot: &[u8]) {
+        // Anchors carry no distribution signal; pass them straight
+        // through so a recording sink behind telemetry still sees them.
+        self.inner.record_anchor(retired, snapshot);
+    }
 }
 
 #[cfg(test)]

@@ -357,6 +357,13 @@ pub trait TraceSink {
 
     /// Consumes one event.
     fn record(&mut self, event: &TraceEvent);
+
+    /// Observes a resumable state snapshot taken between events (the
+    /// sharded runner drops one at every shard boundary). `retired` is
+    /// the machine's retired-instruction count at the snapshot point.
+    /// Sinks that don't build a seekable record ignore these; the
+    /// default is a no-op, so snapshots never perturb event streams.
+    fn record_anchor(&mut self, _retired: u64, _snapshot: &[u8]) {}
 }
 
 /// The disabled sink: records nothing, and reports itself disabled so

@@ -1,0 +1,118 @@
+//! Concurrent stress test for the loss-free property of `Histogram`
+//! `merge`/`snapshot`: merging a histogram while other threads are
+//! mid-`record` must never lose or invent samples. The buckets are
+//! relaxed atomics, so a mid-update snapshot may be *torn in time* —
+//! it can miss samples recorded after it started — but every sample
+//! must land in exactly one of {seen by this merge, seen by a later
+//! one}, and the final post-join merge must be exact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use mcd_telemetry::Histogram;
+
+const WRITERS: usize = 4;
+const PHASE1_PER_WRITER: u64 = 20_000;
+const PHASE2_PER_WRITER: u64 = 20_000;
+
+#[test]
+fn merges_taken_mid_update_never_lose_or_invent_samples() {
+    let source = Arc::new(Histogram::new());
+    let go_phase2 = Arc::new(AtomicBool::new(false));
+
+    // Writers: a fixed phase-1 population, then a barrier, then phase 2.
+    // Values cover distinct buckets so torn per-bucket reads would show.
+    let mut handles = Vec::new();
+    let barrier = Arc::new(std::sync::Barrier::new(WRITERS + 1));
+    for w in 0..WRITERS {
+        let source = Arc::clone(&source);
+        let barrier = Arc::clone(&barrier);
+        let go_phase2 = Arc::clone(&go_phase2);
+        handles.push(thread::spawn(move || {
+            for i in 0..PHASE1_PER_WRITER {
+                source.record((w as u64 + 1) * 1000 + (i % 97));
+            }
+            barrier.wait();
+            while !go_phase2.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            for i in 0..PHASE2_PER_WRITER {
+                source.record((w as u64 + 1) * 1_000_000 + (i % 89));
+            }
+        }));
+    }
+    barrier.wait();
+    go_phase2.store(true, Ordering::Release);
+
+    let phase1_total = WRITERS as u64 * PHASE1_PER_WRITER;
+    let grand_total = phase1_total + WRITERS as u64 * PHASE2_PER_WRITER;
+
+    // Merges taken while phase-2 writers are racing: each merged view
+    // must contain at least everything that was certainly complete
+    // (phase 1) and never more than everything ever recorded.
+    let mut last_count = 0u64;
+    for _ in 0..50 {
+        let merged = Histogram::new();
+        merged.merge(&source);
+        let snap = merged.snapshot();
+        assert!(
+            snap.count() >= phase1_total,
+            "mid-update merge lost settled samples: {} < {phase1_total}",
+            snap.count()
+        );
+        assert!(
+            snap.count() <= grand_total,
+            "mid-update merge invented samples: {} > {grand_total}",
+            snap.count()
+        );
+        // Monotonic: a later merge can never see fewer samples than an
+        // earlier one (writers only add).
+        assert!(
+            snap.count() >= last_count,
+            "merge went backwards: {} < {last_count}",
+            snap.count()
+        );
+        last_count = snap.count();
+    }
+
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    // After the writers join, one final merge must be exact — count,
+    // sum, and max all match an independently computed reference.
+    let merged = Histogram::new();
+    merged.merge(&source);
+    let snap = merged.snapshot();
+    assert_eq!(snap.count(), grand_total, "post-join merge must be exact");
+    assert_eq!(snap.count(), source.snapshot().count());
+    assert_eq!(snap.sum(), source.snapshot().sum());
+    assert_eq!(snap.max(), source.snapshot().max());
+}
+
+#[test]
+fn concurrent_merges_into_one_sink_accumulate_every_source() {
+    // N threads each build a private histogram and merge it into a
+    // shared sink concurrently; merge target updates must not clobber
+    // each other.
+    let sink = Arc::new(Histogram::new());
+    let per_thread = 10_000u64;
+    let threads = 8;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let sink = Arc::clone(&sink);
+        handles.push(thread::spawn(move || {
+            let private = Histogram::new();
+            for i in 0..per_thread {
+                private.record(t * 500 + (i % 61));
+            }
+            sink.merge(&private);
+        }));
+    }
+    for h in handles {
+        h.join().expect("merger thread");
+    }
+    let snap = sink.snapshot();
+    assert_eq!(snap.count(), threads * per_thread);
+}

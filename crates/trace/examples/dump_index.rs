@@ -1,0 +1,18 @@
+//! Debug helper: prints per-run anchor/episode counts of a .mcdt file.
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: dump_index FILE.mcdt");
+    let bytes = std::fs::read(&path).expect("readable");
+    let index = mcd_trace::read_index(&bytes).expect("valid index");
+    for r in &index.runs {
+        println!(
+            "{}: events={} anchors={} episodes={} spec={}",
+            r.label,
+            r.event_count,
+            r.anchors.len(),
+            r.episodes.len(),
+            r.spec.is_some(),
+        );
+    }
+}

@@ -1,0 +1,568 @@
+//! Primitive encoders/decoders: LEB128 varints, zigzag deltas, CRC32
+//! framing, and the per-event wire form shared by files and stream frames.
+
+use mcd_power::{OpIndex, TimePs};
+use mcd_sim::{CtrlEvent, DomainId, ResetReason, SignalKind, StepDir, TraceEvent};
+
+use crate::{err, TraceCodecError};
+
+// ---------------------------------------------------------------- varint
+
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Maps signed deltas onto varint-friendly unsigned values (0, -1, 1, -2 →
+/// 0, 1, 2, 3). Timestamps are monotone per run so deltas are almost
+/// always positive, but replayed edge batches can interleave domains;
+/// zigzag keeps the rare negative delta cheap instead of 10 bytes.
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ----------------------------------------------------------------- crc32
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial), the integrity check on every block.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------- reader
+
+/// A bounds-checked cursor over an immutable byte slice.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn at(bytes: &'a [u8], pos: usize) -> Result<Self, TraceCodecError> {
+        if pos > bytes.len() {
+            return Err(err(format!(
+                "offset {pos} past end of {}-byte stream",
+                bytes.len()
+            )));
+        }
+        Ok(Reader { bytes, pos })
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], TraceCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                err(format!(
+                    "truncated: wanted {n} bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32le(&mut self) -> Result<u32, TraceCodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn f64bits(&mut self) -> Result<f64, TraceCodecError> {
+        let b = self.take(8)?;
+        Ok(f64::from_bits(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ])))
+    }
+
+    pub(crate) fn varint(&mut self) -> Result<u64, TraceCodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(err("varint overflows u64"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(err("varint longer than 10 bytes"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- blocks
+
+/// Appends one framed block: `[kind][varint len][payload][crc32le]`.
+pub(crate) fn write_block(buf: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    buf.push(kind);
+    put_varint(buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Reads one framed block, verifying its CRC.
+pub(crate) fn read_block<'a>(r: &mut Reader<'a>) -> Result<(u8, &'a [u8]), TraceCodecError> {
+    let kind = r.u8()?;
+    let len = r.varint()?;
+    let len = usize::try_from(len).map_err(|_| err("block length overflows usize"))?;
+    let payload = r.take(len)?;
+    let want = r.u32le()?;
+    let got = crc32(payload);
+    if want != got {
+        return Err(err(format!(
+            "crc mismatch on block kind {kind:#04x}: stored {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok((kind, payload))
+}
+
+// ------------------------------------------------------------ strings
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn get_str(r: &mut Reader<'_>) -> Result<String, TraceCodecError> {
+    let len = r.varint()?;
+    let len = usize::try_from(len).map_err(|_| err("string length overflows usize"))?;
+    let bytes = r.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| err("string is not UTF-8"))
+}
+
+pub(crate) fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+        None => buf.push(0),
+    }
+}
+
+pub(crate) fn get_opt_str(r: &mut Reader<'_>) -> Result<Option<String>, TraceCodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_str(r)?)),
+        b => Err(err(format!("bad optional-string flag {b}"))),
+    }
+}
+
+// ----------------------------------------------------------- enum bytes
+
+const TAG_WINDOW_ENTER: u8 = 0;
+const TAG_WINDOW_EXIT: u8 = 1;
+const TAG_RELAY_ARM: u8 = 2;
+const TAG_RELAY_FIRE: u8 = 3;
+const TAG_RELAY_RESET: u8 = 4;
+const TAG_FREQ_STEP: u8 = 5;
+const TAG_QUEUE_HISTOGRAM: u8 = 6;
+
+pub(crate) fn domain_from_index(i: u8) -> Result<DomainId, TraceCodecError> {
+    match i {
+        0 => Ok(DomainId::FrontEnd),
+        1 => Ok(DomainId::Int),
+        2 => Ok(DomainId::Fp),
+        3 => Ok(DomainId::Ls),
+        _ => Err(err(format!("bad domain index {i}"))),
+    }
+}
+
+fn signal_byte(s: SignalKind) -> u8 {
+    s.index() as u8
+}
+
+fn signal_from(b: u8) -> Result<SignalKind, TraceCodecError> {
+    match b {
+        0 => Ok(SignalKind::Occupancy),
+        1 => Ok(SignalKind::Delta),
+        _ => Err(err(format!("bad signal byte {b}"))),
+    }
+}
+
+fn dir_byte(d: StepDir) -> u8 {
+    match d {
+        StepDir::Up => 0,
+        StepDir::Down => 1,
+    }
+}
+
+fn dir_from(b: u8) -> Result<StepDir, TraceCodecError> {
+    match b {
+        0 => Ok(StepDir::Up),
+        1 => Ok(StepDir::Down),
+        _ => Err(err(format!("bad direction byte {b}"))),
+    }
+}
+
+fn why_byte(w: ResetReason) -> u8 {
+    match w {
+        ResetReason::BackInside => 0,
+        ResetReason::SideFlip => 1,
+        ResetReason::Cancelled => 2,
+        ResetReason::Acted => 3,
+    }
+}
+
+fn why_from(b: u8) -> Result<ResetReason, TraceCodecError> {
+    match b {
+        0 => Ok(ResetReason::BackInside),
+        1 => Ok(ResetReason::SideFlip),
+        2 => Ok(ResetReason::Cancelled),
+        3 => Ok(ResetReason::Acted),
+        _ => Err(err(format!("bad reset-reason byte {b}"))),
+    }
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ------------------------------------------------------------ the event
+
+/// The domain an event is attributed to.
+pub(crate) fn event_domain(ev: &TraceEvent) -> DomainId {
+    match ev {
+        TraceEvent::Controller { domain, .. }
+        | TraceEvent::FreqStep { domain, .. }
+        | TraceEvent::QueueHistogram { domain, .. } => *domain,
+    }
+}
+
+/// The event's sample time in picoseconds.
+pub(crate) fn event_t_ps(ev: &TraceEvent) -> u64 {
+    match ev {
+        TraceEvent::Controller { event, .. } => event.at().as_ps(),
+        TraceEvent::FreqStep { at, .. } | TraceEvent::QueueHistogram { at, .. } => at.as_ps(),
+    }
+}
+
+/// Appends one event in wire form: `[tag][domain][zigzag Δt][fields…]`.
+/// `prev_t` carries the running timestamp; deltas are wrapping so any
+/// `u64` pair round-trips.
+pub(crate) fn encode_event(buf: &mut Vec<u8>, prev_t: &mut u64, ev: &TraceEvent) {
+    let t = event_t_ps(ev);
+    let dt = t.wrapping_sub(*prev_t) as i64;
+    *prev_t = t;
+    let (tag, ctrl) = match ev {
+        TraceEvent::Controller { event, .. } => match event {
+            CtrlEvent::WindowEnter { .. } => (TAG_WINDOW_ENTER, Some(event)),
+            CtrlEvent::WindowExit { .. } => (TAG_WINDOW_EXIT, Some(event)),
+            CtrlEvent::RelayArm { .. } => (TAG_RELAY_ARM, Some(event)),
+            CtrlEvent::RelayFire { .. } => (TAG_RELAY_FIRE, Some(event)),
+            CtrlEvent::RelayReset { .. } => (TAG_RELAY_RESET, Some(event)),
+        },
+        TraceEvent::FreqStep { .. } => (TAG_FREQ_STEP, None),
+        TraceEvent::QueueHistogram { .. } => (TAG_QUEUE_HISTOGRAM, None),
+    };
+    buf.push(tag);
+    buf.push(event_domain(ev).index() as u8);
+    put_varint(buf, zigzag(dt));
+    match (ctrl, ev) {
+        (
+            Some(CtrlEvent::WindowEnter {
+                signal,
+                value,
+                occupancy,
+                dir,
+                ..
+            }),
+            _,
+        ) => {
+            buf.push(signal_byte(*signal));
+            buf.push(dir_byte(*dir));
+            put_varint(buf, u64::from(*occupancy));
+            put_f64(buf, *value);
+        }
+        (
+            Some(CtrlEvent::WindowExit {
+                signal,
+                value,
+                occupancy,
+                ..
+            }),
+            _,
+        ) => {
+            buf.push(signal_byte(*signal));
+            put_varint(buf, u64::from(*occupancy));
+            put_f64(buf, *value);
+        }
+        (
+            Some(CtrlEvent::RelayArm {
+                signal,
+                dir,
+                remaining,
+                ..
+            }),
+            _,
+        ) => {
+            buf.push(signal_byte(*signal));
+            buf.push(dir_byte(*dir));
+            put_f64(buf, *remaining);
+        }
+        (Some(CtrlEvent::RelayFire { signal, dir, .. }), _) => {
+            buf.push(signal_byte(*signal));
+            buf.push(dir_byte(*dir));
+        }
+        (Some(CtrlEvent::RelayReset { signal, why, .. }), _) => {
+            buf.push(signal_byte(*signal));
+            buf.push(why_byte(*why));
+        }
+        (
+            None,
+            TraceEvent::FreqStep {
+                from,
+                to,
+                from_mhz,
+                to_mhz,
+                from_mv,
+                to_mv,
+                ..
+            },
+        ) => {
+            put_varint(buf, u64::from(from.0));
+            put_varint(buf, u64::from(to.0));
+            put_f64(buf, *from_mhz);
+            put_f64(buf, *to_mhz);
+            put_f64(buf, *from_mv);
+            put_f64(buf, *to_mv);
+        }
+        (
+            None,
+            TraceEvent::QueueHistogram {
+                samples, counts, ..
+            },
+        ) => {
+            put_varint(buf, *samples);
+            put_varint(buf, counts.len() as u64);
+            for &c in counts {
+                put_varint(buf, c);
+            }
+        }
+        _ => unreachable!("tag/event pairing is exhaustive"),
+    }
+}
+
+/// Inverse of [`encode_event`].
+pub(crate) fn decode_event(
+    r: &mut Reader<'_>,
+    prev_t: &mut u64,
+) -> Result<TraceEvent, TraceCodecError> {
+    let tag = r.u8()?;
+    let domain = domain_from_index(r.u8()?)?;
+    let dt = unzigzag(r.varint()?);
+    let t = prev_t.wrapping_add(dt as u64);
+    *prev_t = t;
+    let at = TimePs::new(t);
+    let ctrl = |event: CtrlEvent| TraceEvent::Controller { domain, event };
+    Ok(match tag {
+        TAG_WINDOW_ENTER => {
+            let signal = signal_from(r.u8()?)?;
+            let dir = dir_from(r.u8()?)?;
+            let occupancy = u32::try_from(r.varint()?).map_err(|_| err("occupancy > u32"))?;
+            let value = r.f64bits()?;
+            ctrl(CtrlEvent::WindowEnter {
+                at,
+                signal,
+                value,
+                occupancy,
+                dir,
+            })
+        }
+        TAG_WINDOW_EXIT => {
+            let signal = signal_from(r.u8()?)?;
+            let occupancy = u32::try_from(r.varint()?).map_err(|_| err("occupancy > u32"))?;
+            let value = r.f64bits()?;
+            ctrl(CtrlEvent::WindowExit {
+                at,
+                signal,
+                value,
+                occupancy,
+            })
+        }
+        TAG_RELAY_ARM => {
+            let signal = signal_from(r.u8()?)?;
+            let dir = dir_from(r.u8()?)?;
+            let remaining = r.f64bits()?;
+            ctrl(CtrlEvent::RelayArm {
+                at,
+                signal,
+                dir,
+                remaining,
+            })
+        }
+        TAG_RELAY_FIRE => {
+            let signal = signal_from(r.u8()?)?;
+            let dir = dir_from(r.u8()?)?;
+            ctrl(CtrlEvent::RelayFire { at, signal, dir })
+        }
+        TAG_RELAY_RESET => {
+            let signal = signal_from(r.u8()?)?;
+            let why = why_from(r.u8()?)?;
+            ctrl(CtrlEvent::RelayReset { at, signal, why })
+        }
+        TAG_FREQ_STEP => {
+            let from = OpIndex(u16::try_from(r.varint()?).map_err(|_| err("op index > u16"))?);
+            let to = OpIndex(u16::try_from(r.varint()?).map_err(|_| err("op index > u16"))?);
+            let from_mhz = r.f64bits()?;
+            let to_mhz = r.f64bits()?;
+            let from_mv = r.f64bits()?;
+            let to_mv = r.f64bits()?;
+            TraceEvent::FreqStep {
+                at,
+                domain,
+                from,
+                to,
+                from_mhz,
+                to_mhz,
+                from_mv,
+                to_mv,
+            }
+        }
+        TAG_QUEUE_HISTOGRAM => {
+            let samples = r.varint()?;
+            let n = usize::try_from(r.varint()?).map_err(|_| err("counts length > usize"))?;
+            let mut counts = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                counts.push(r.varint()?);
+            }
+            TraceEvent::QueueHistogram {
+                at,
+                domain,
+                samples,
+                counts,
+            }
+        }
+        other => return Err(err(format!("unknown event tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 145_000] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical check: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn block_crc_detects_corruption() {
+        let mut buf = Vec::new();
+        write_block(&mut buf, block_kind(), b"payload");
+        let n = buf.len();
+        buf[n - 6] ^= 0x01; // flip a payload byte
+        let mut r = Reader::new(&buf);
+        assert!(read_block(&mut r).is_err());
+    }
+
+    fn block_kind() -> u8 {
+        crate::block::EVENTS
+    }
+
+    #[test]
+    fn wrapping_delta_handles_out_of_order_timestamps() {
+        let ev1 = TraceEvent::FreqStep {
+            at: TimePs::new(1_000),
+            domain: DomainId::Int,
+            from: OpIndex(3),
+            to: OpIndex(1),
+            from_mhz: 900.0,
+            to_mhz: 700.0,
+            from_mv: 1_000.0,
+            to_mv: 900.0,
+        };
+        let ev2 = TraceEvent::QueueHistogram {
+            at: TimePs::new(5), // earlier than ev1: negative delta
+            domain: DomainId::Fp,
+            samples: 7,
+            counts: vec![1, 0, 3],
+        };
+        let mut buf = Vec::new();
+        let mut t = 0u64;
+        encode_event(&mut buf, &mut t, &ev1);
+        encode_event(&mut buf, &mut t, &ev2);
+        let mut r = Reader::new(&buf);
+        let mut t = 0u64;
+        assert_eq!(decode_event(&mut r, &mut t).unwrap(), ev1);
+        assert_eq!(decode_event(&mut r, &mut t).unwrap(), ev2);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Self-contained stream frames: the live-watch wire format `mcd-serve`
+//! sends to `Accept: application/x-mcdt` clients. Each frame is one CRC'd
+//! block carrying either a labeled event (absolute timestamp — frames
+//! must survive joining mid-stream) or a meta line (the final report
+//! line, identical text to the NDJSON wire).
+
+use mcd_sim::TraceEvent;
+
+use crate::codec::{decode_event, encode_event, get_str, put_str, read_block, write_block, Reader};
+use crate::{err, TraceCodecError};
+
+/// Frame kind byte: a labeled trace event.
+pub const FRAME_EVENT: u8 = 0xE1;
+/// Frame kind byte: a meta/report line (UTF-8 text payload).
+pub const FRAME_META: u8 = 0xE0;
+
+/// A decoded stream frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// One trace event, tagged with the run label that produced it.
+    Event {
+        /// The harness run label.
+        label: String,
+        /// The event.
+        event: TraceEvent,
+    },
+    /// A non-event line (the stream's final report line).
+    Meta {
+        /// The line text, without a trailing newline.
+        line: String,
+    },
+}
+
+/// Encodes one event frame. Timestamps are absolute (`prev_t = 0`), so
+/// every frame decodes on its own.
+pub fn encode_event_frame(label: &str, event: &TraceEvent) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(label.len() + 32);
+    put_str(&mut payload, label);
+    let mut t = 0u64;
+    encode_event(&mut payload, &mut t, event);
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    write_block(&mut out, FRAME_EVENT, &payload);
+    out
+}
+
+/// Encodes one meta frame wrapping a text line.
+pub fn encode_meta_frame(line: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(line.len() + 8);
+    write_block(&mut out, FRAME_META, line.as_bytes());
+    out
+}
+
+/// Decodes the frame at the head of `bytes`, returning it and the number
+/// of bytes consumed (so callers can walk a concatenated stream).
+pub fn decode_frame(bytes: &[u8]) -> Result<(StreamFrame, usize), TraceCodecError> {
+    let mut r = Reader::new(bytes);
+    let (kind, payload) = read_block(&mut r)?;
+    let frame = match kind {
+        FRAME_EVENT => {
+            let mut p = Reader::new(payload);
+            let label = get_str(&mut p)?;
+            let mut t = 0u64;
+            let event = decode_event(&mut p, &mut t)?;
+            if !p.is_empty() {
+                return Err(err("trailing bytes after event frame payload"));
+            }
+            StreamFrame::Event { label, event }
+        }
+        FRAME_META => StreamFrame::Meta {
+            line: String::from_utf8(payload.to_vec())
+                .map_err(|_| err("meta frame is not UTF-8"))?,
+        },
+        other => return Err(err(format!("unknown frame kind {other:#04x}"))),
+    };
+    Ok((frame, r.pos()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcd_power::TimePs;
+    use mcd_sim::{CtrlEvent, DomainId, SignalKind, StepDir};
+
+    #[test]
+    fn frames_round_trip_and_concatenate() {
+        let ev = TraceEvent::Controller {
+            domain: DomainId::Fp,
+            event: CtrlEvent::RelayFire {
+                at: TimePs::new(987_654_321),
+                signal: SignalKind::Delta,
+                dir: StepDir::Up,
+            },
+        };
+        let mut wire = encode_event_frame("run|a", &ev);
+        wire.extend_from_slice(&encode_meta_frame("{\"done\":true}"));
+        let (f1, n1) = decode_frame(&wire).expect("first frame");
+        assert_eq!(
+            f1,
+            StreamFrame::Event {
+                label: "run|a".into(),
+                event: ev
+            }
+        );
+        let (f2, n2) = decode_frame(&wire[n1..]).expect("second frame");
+        assert_eq!(
+            f2,
+            StreamFrame::Meta {
+                line: "{\"done\":true}".into()
+            }
+        );
+        assert_eq!(n1 + n2, wire.len());
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected() {
+        let ev = TraceEvent::QueueHistogram {
+            at: TimePs::new(5),
+            domain: DomainId::Ls,
+            samples: 2,
+            counts: vec![1, 1],
+        };
+        let mut wire = encode_event_frame("r", &ev);
+        let n = wire.len();
+        wire[n / 2] ^= 0xff;
+        assert!(decode_frame(&wire).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Decoders: the full-file reader, the O(1) footer→index path, and the
+//! random-access anchor reader.
+
+use crate::codec::{decode_event, get_opt_str, get_str, read_block, Reader};
+use crate::{
+    block, err, Anchor, AnchorRef, Episode, RunIndex, RunRecording, TraceCodecError, TraceIndex,
+    FOOTER_LEN, FOOTER_MAGIC, MAGIC,
+};
+
+/// A fully decoded `.mcdt` file: the event streams plus the index as
+/// written (the reader cross-checks them against each other).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McdtFile {
+    /// The decoded runs, in file order.
+    pub runs: Vec<RunRecording>,
+    /// The trailing index, as stored.
+    pub index: TraceIndex,
+}
+
+fn footer_index_offset(bytes: &[u8]) -> Result<usize, TraceCodecError> {
+    if bytes.len() < MAGIC.len() + FOOTER_LEN {
+        return Err(err(format!(
+            "{} bytes is too short for a .mcdt file",
+            bytes.len()
+        )));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(err("missing MCDT1 header magic"));
+    }
+    let tail = &bytes[bytes.len() - FOOTER_LEN..];
+    if &tail[8..] != FOOTER_MAGIC {
+        return Err(err("missing MCDTEND1 footer magic (truncated file?)"));
+    }
+    let offset = u64::from_le_bytes(tail[..8].try_into().expect("8 bytes"));
+    let offset = usize::try_from(offset).map_err(|_| err("index offset overflows usize"))?;
+    if offset < MAGIC.len() || offset >= bytes.len() - FOOTER_LEN {
+        return Err(err(format!("index offset {offset} out of bounds")));
+    }
+    Ok(offset)
+}
+
+fn decode_episode(r: &mut Reader<'_>) -> Result<Episode, TraceCodecError> {
+    let domain = usize::from(r.u8()?);
+    if domain > 2 {
+        return Err(err(format!(
+            "bad back-end domain index {domain} in episode"
+        )));
+    }
+    let onset_event_index = r.varint()?;
+    let onset_ps = r.varint()?;
+    let close_event_index = r.varint()?;
+    let close_ps = r.varint()?;
+    let reaction_ps = match r.u8()? {
+        0 => None,
+        1 => Some(r.varint()?),
+        b => return Err(err(format!("bad reaction flag {b}"))),
+    };
+    let relay_resets = r.varint()?;
+    let block_offset = r.varint()?;
+    Ok(Episode {
+        domain,
+        onset_event_index,
+        onset_ps,
+        close_event_index,
+        close_ps,
+        reaction_ps,
+        relay_resets,
+        block_offset,
+    })
+}
+
+fn decode_index(payload: &[u8]) -> Result<TraceIndex, TraceCodecError> {
+    let mut r = Reader::new(payload);
+    let n = r.varint()?;
+    let mut runs = Vec::new();
+    for _ in 0..n {
+        let label = get_str(&mut r)?;
+        let spec = get_opt_str(&mut r)?;
+        let start_offset = r.varint()?;
+        let event_count = r.varint()?;
+        let na = r.varint()?;
+        let mut anchors = Vec::new();
+        for _ in 0..na {
+            anchors.push(AnchorRef {
+                event_index: r.varint()?,
+                retired: r.varint()?,
+                offset: r.varint()?,
+            });
+        }
+        let ne = r.varint()?;
+        let mut episodes = Vec::new();
+        for _ in 0..ne {
+            episodes.push(decode_episode(&mut r)?);
+        }
+        runs.push(RunIndex {
+            label,
+            spec,
+            start_offset,
+            event_count,
+            anchors,
+            episodes,
+        });
+    }
+    if !r.is_empty() {
+        return Err(err("trailing bytes after index payload"));
+    }
+    Ok(TraceIndex { runs })
+}
+
+/// Reads only the trailing index: footer seek, one block decode — O(index
+/// size), independent of how many events the file holds.
+pub fn read_index(bytes: &[u8]) -> Result<TraceIndex, TraceCodecError> {
+    let offset = footer_index_offset(bytes)?;
+    let mut r = Reader::at(bytes, offset)?;
+    let (kind, payload) = read_block(&mut r)?;
+    if kind != block::INDEX {
+        return Err(err(format!(
+            "block at index offset has kind {kind:#04x}, not index"
+        )));
+    }
+    decode_index(payload)
+}
+
+fn decode_anchor(payload: &[u8]) -> Result<Anchor, TraceCodecError> {
+    let mut r = Reader::new(payload);
+    let event_index = r.varint()?;
+    let retired = r.varint()?;
+    let len = usize::try_from(r.varint()?).map_err(|_| err("snapshot length overflows usize"))?;
+    let snapshot = r.take(len)?.to_vec();
+    if !r.is_empty() {
+        return Err(err("trailing bytes after anchor payload"));
+    }
+    Ok(Anchor {
+        event_index,
+        retired,
+        snapshot,
+    })
+}
+
+/// Random-access read of one anchor block at a file offset taken from the
+/// index ([`AnchorRef::offset`]).
+pub fn read_anchor_at(bytes: &[u8], offset: u64) -> Result<Anchor, TraceCodecError> {
+    let offset = usize::try_from(offset).map_err(|_| err("anchor offset overflows usize"))?;
+    let mut r = Reader::at(bytes, offset)?;
+    let (kind, payload) = read_block(&mut r)?;
+    if kind != block::ANCHOR {
+        return Err(err(format!(
+            "block at offset {offset} has kind {kind:#04x}, not anchor"
+        )));
+    }
+    decode_anchor(payload)
+}
+
+/// Decodes the whole file, verifying every block CRC and cross-checking
+/// the stream against the trailing index.
+pub fn read_mcdt(bytes: &[u8]) -> Result<McdtFile, TraceCodecError> {
+    let index_offset = footer_index_offset(bytes)?;
+    let body = &bytes[..index_offset];
+    let mut r = Reader::at(body, MAGIC.len())?;
+    let mut runs: Vec<RunRecording> = Vec::new();
+    let mut prev_t = 0u64;
+    while !r.is_empty() {
+        let (kind, payload) = read_block(&mut r)?;
+        match kind {
+            block::RUN_START => {
+                let mut p = Reader::new(payload);
+                let label = get_str(&mut p)?;
+                let spec = get_opt_str(&mut p)?;
+                runs.push(RunRecording {
+                    label,
+                    spec,
+                    events: Vec::new(),
+                    anchors: Vec::new(),
+                });
+                prev_t = 0;
+            }
+            block::EVENTS => {
+                if runs.is_empty() {
+                    // An engine-driven sink opens one implicit unnamed run.
+                    runs.push(RunRecording {
+                        label: String::new(),
+                        spec: None,
+                        events: Vec::new(),
+                        anchors: Vec::new(),
+                    });
+                }
+                let run = runs.last_mut().expect("pushed above");
+                let mut p = Reader::new(payload);
+                let count = p.varint()?;
+                for _ in 0..count {
+                    run.events.push(decode_event(&mut p, &mut prev_t)?);
+                }
+                if !p.is_empty() {
+                    return Err(err("trailing bytes after events payload"));
+                }
+            }
+            block::ANCHOR => {
+                if runs.is_empty() {
+                    runs.push(RunRecording {
+                        label: String::new(),
+                        spec: None,
+                        events: Vec::new(),
+                        anchors: Vec::new(),
+                    });
+                }
+                let run = runs.last_mut().expect("pushed above");
+                run.anchors.push(decode_anchor(payload)?);
+            }
+            block::INDEX => {
+                return Err(err("index block before the footer offset"));
+            }
+            other => return Err(err(format!("unknown block kind {other:#04x}"))),
+        }
+    }
+    let index = read_index(bytes)?;
+    if index.runs.len() != runs.len() {
+        return Err(err(format!(
+            "index lists {} runs but the stream holds {}",
+            index.runs.len(),
+            runs.len()
+        )));
+    }
+    for (ri, (run, idx)) in runs.iter().zip(&index.runs).enumerate() {
+        if run.label != idx.label {
+            return Err(err(format!(
+                "run {ri}: stream label {:?} != index label {:?}",
+                run.label, idx.label
+            )));
+        }
+        if run.events.len() as u64 != idx.event_count {
+            return Err(err(format!(
+                "run {ri}: stream holds {} events, index says {}",
+                run.events.len(),
+                idx.event_count
+            )));
+        }
+        if run.anchors.len() != idx.anchors.len() {
+            return Err(err(format!(
+                "run {ri}: stream holds {} anchors, index says {}",
+                run.anchors.len(),
+                idx.anchors.len()
+            )));
+        }
+    }
+    Ok(McdtFile { runs, index })
+}

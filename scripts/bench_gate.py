@@ -101,6 +101,20 @@ EXACT_FIELDS = [
 # set-difference noise.
 MATRIX_EXPERIMENTS = ["bakeoff", "resonance"]
 
+# The flight recorder's bench-out block. Shape-checked only: the fields
+# must exist with non-negative numeric values (a reference written
+# before the recorder existed fails here by name), but the values are
+# not gated — encode timings are machine-dependent and byte counts are
+# zero unless the run also traced.
+TRACE_RECORDER_FIELDS = [
+    "events",
+    "episodes",
+    "jsonl_bytes",
+    "mcdt_bytes",
+    "jsonl_encode_ns_per_event",
+    "mcdt_encode_ns_per_event",
+]
+
 # Every field the HTTP gate reads from a phase record. Checked up front
 # so an old-schema record fails with its missing fields named instead of
 # a KeyError traceback mid-comparison.
@@ -254,6 +268,33 @@ def main():
     for key in EXACT_TOTALS:
         if ref[key] != fresh[key]:
             errors.append(f"{key}: reference {ref[key]} != fresh {fresh[key]}")
+
+    for label, rec in (("reference", ref), ("fresh", fresh)):
+        tr = rec.get("trace_recorder")
+        if not isinstance(tr, dict):
+            errors.append(
+                f"{label} record has no trace_recorder block — old-schema "
+                f"record (pre-flight-recorder); re-baseline it "
+                f"(repro all --quick --bench-out)"
+            )
+            continue
+        missing = missing_fields(tr, TRACE_RECORDER_FIELDS)
+        if missing:
+            errors.append(
+                f"{label} trace_recorder block is missing {missing} — "
+                f"old-schema record; re-baseline it"
+            )
+            continue
+        bad = [
+            k
+            for k in TRACE_RECORDER_FIELDS
+            if not isinstance(tr[k], (int, float)) or tr[k] < 0
+        ]
+        if bad:
+            errors.append(
+                f"{label} trace_recorder fields {bad} must be "
+                f"non-negative numbers"
+            )
 
     ref_exps = {e["experiment"]: e for e in ref["experiments"]}
     fresh_exps = {e["experiment"]: e for e in fresh["experiments"]}

@@ -18,17 +18,30 @@ if [[ ! -x "$bin" ]]; then
   cargo build --release --workspace
 fi
 
-# Regenerates every golden artifact into $1: the per-experiment reports
-# plus the offline trace-analysis report (a pure function of the trace
-# bytes, so it is as deterministic as the reports themselves).
+# Regenerates every golden artifact into $1: the per-experiment reports,
+# the offline trace-analysis report, and the flight-recorder episode
+# catalog (all pure functions of deterministic trace bytes). The same
+# fig9 run is recorded twice — once as JSONL, once as .mcdt — and the
+# converter must reproduce the JSONL byte for byte before the episode
+# view is snapshotted; a lossy codec fails the regeneration itself.
 regenerate() {
   local dir="$1"
-  local trace
-  trace=$(mktemp)
+  local tmp
+  tmp=$(mktemp -d)
   "$bin" all --quick --jobs 4 --out "$dir" > /dev/null
-  "$bin" fig9 --quick --jobs 4 --trace-out "$trace" > /dev/null
-  "$bin" trace analyze "$trace" --out "$dir/trace-analyze.txt" > /dev/null
-  rm -f "$trace"
+  "$bin" fig9 --quick --jobs 4 --trace-out "$tmp/fig9.trace.jsonl" > /dev/null
+  "$bin" trace analyze "$tmp/fig9.trace.jsonl" --out "$dir/trace-analyze.txt" > /dev/null
+  "$bin" fig9 --quick --jobs 4 --shard-ops 5000 --trace-out "$tmp/sharded.jsonl" > /dev/null
+  "$bin" fig9 --quick --jobs 4 --shard-ops 5000 --trace-out "$tmp/sharded.mcdt" > /dev/null
+  "$bin" trace convert "$tmp/sharded.mcdt" --out "$tmp/back.jsonl" > /dev/null
+  if ! cmp -s "$tmp/sharded.jsonl" "$tmp/back.jsonl"; then
+    echo "golden: .mcdt -> JSONL conversion is not lossless" >&2
+    rm -rf "$tmp"
+    exit 1
+  fi
+  "$bin" trace analyze "$tmp/sharded.mcdt" --episodes --worst 10 \
+    --out "$dir/trace-episodes.txt" > /dev/null
+  rm -rf "$tmp"
 }
 
 case "$mode" in
